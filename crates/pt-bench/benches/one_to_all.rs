@@ -1,0 +1,46 @@
+//! Criterion bench backing Table 1: one-to-all profile queries — CS at
+//! several thread counts against the label-correcting baseline, on a small
+//! Oahu-like city network and a Germany-like rail network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_core::StationId;
+use pt_spcs::{label_correcting, Network, ProfileEngine};
+use pt_timetable::synthetic::presets;
+
+fn bench_networks() -> Vec<(&'static str, Network)> {
+    vec![
+        ("oahu", Network::new(presets::oahu_like(0.08).timetable)),
+        ("germany", Network::new(presets::germany_like(0.12).timetable)),
+    ]
+}
+
+fn one_to_all(c: &mut Criterion) {
+    for (name, net) in bench_networks() {
+        let mut group = c.benchmark_group(format!("one_to_all/{name}"));
+        group.sample_size(10);
+        let sources: Vec<StationId> =
+            pt_bench::random_stations(net.num_stations(), 4, 42);
+        for p in [1usize, 2, 4] {
+            group.bench_with_input(BenchmarkId::new("cs", p), &p, |b, &p| {
+                let mut i = 0;
+                b.iter(|| {
+                    let s = sources[i % sources.len()];
+                    i += 1;
+                    ProfileEngine::new(&net).threads(p).one_to_all(s)
+                });
+            });
+        }
+        group.bench_function("lc", |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let s = sources[i % sources.len()];
+                i += 1;
+                label_correcting::profile_search(&net, s)
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, one_to_all);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the building blocks: PLF evaluation, connection
+//! reduction, heap arity (the paper uses a binary heap; 4-ary is the
+//! engineering alternative) and the partition strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pt_core::{Dur, Period, Plf, PlfPoint, Profile, ProfilePoint, Time};
+use pt_heap::{BinaryHeap, QuaternaryHeap};
+use pt_spcs::PartitionStrategy;
+use pt_timetable::synthetic::presets;
+
+fn plf_points(n: u32) -> Vec<PlfPoint> {
+    (0..n)
+        .map(|i| PlfPoint::new(Time(i * (86_400 / n)), Dur(300 + (i * 37) % 900)))
+        .collect()
+}
+
+fn plf(c: &mut Criterion) {
+    let period = Period::DAY;
+    let mut group = c.benchmark_group("plf");
+    for n in [16u32, 128, 1024] {
+        let f = Plf::from_points(plf_points(n), period);
+        group.bench_with_input(BenchmarkId::new("eval", n), &f, |b, f| {
+            let mut t = 0u32;
+            b.iter(|| {
+                t = (t + 7919) % 86_400;
+                f.eval_dur(Time(t), period)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reduce", n), &n, |b, &n| {
+            let pts: Vec<ProfilePoint> = (0..n)
+                .map(|i| {
+                    ProfilePoint::new(
+                        Time(i * (86_400 / n)),
+                        Time(i * (86_400 / n) + 300 + (i * 7919) % 3600),
+                    )
+                })
+                .collect();
+            b.iter(|| Profile::from_unreduced(pts.clone(), period));
+        });
+    }
+    group.finish();
+}
+
+fn heaps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heap");
+    const N: usize = 10_000;
+    let keys: Vec<u64> = (0..N).map(|i| ((i * 2654435761) % 1_000_000) as u64).collect();
+    group.bench_function("binary_push_pop", |b| {
+        b.iter(|| {
+            let mut h = BinaryHeap::new(N);
+            for (slot, &k) in keys.iter().enumerate() {
+                h.push_or_decrease(slot, k);
+            }
+            let mut sum = 0u64;
+            while let Some((_, k)) = h.pop() {
+                sum += k;
+            }
+            sum
+        });
+    });
+    group.bench_function("quaternary_push_pop", |b| {
+        b.iter(|| {
+            let mut h = QuaternaryHeap::new(N);
+            for (slot, &k) in keys.iter().enumerate() {
+                h.push_or_decrease(slot, k);
+            }
+            let mut sum = 0u64;
+            while let Some((_, k)) = h.pop() {
+                sum += k;
+            }
+            sum
+        });
+    });
+    group.finish();
+}
+
+fn partitions(c: &mut Criterion) {
+    let tt = presets::oahu_like(0.08).timetable;
+    // The busiest station's conn(S).
+    let busiest = tt
+        .station_ids()
+        .max_by_key(|&s| tt.conn(s).len())
+        .expect("non-empty network");
+    let conns = tt.conn(busiest);
+    let mut group = c.benchmark_group("partition");
+    for (name, strat) in [
+        ("time_slots", PartitionStrategy::EqualTimeSlots),
+        ("equal_conns", PartitionStrategy::EqualConnections),
+        ("kmeans", PartitionStrategy::KMeans { iters: 20 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| strat.partition(conns, 8, Period::DAY));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, plf, heaps, partitions);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench backing Table 2: station-to-station queries — stopping
+//! criterion only vs. distance-table pruning at 5 % transfer stations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_spcs::{DistanceTable, Network, S2sEngine, TransferSelection};
+use pt_timetable::synthetic::presets;
+
+fn s2s(c: &mut Criterion) {
+    let net = Network::new(presets::oahu_like(0.08).timetable);
+    let pairs = pt_bench::random_pairs(net.num_stations(), 8, 42);
+    let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.05));
+
+    let mut group = c.benchmark_group("s2s/oahu");
+    group.sample_size(10);
+    group.bench_function("stopping_only", |b| {
+        let engine = S2sEngine::new(&net).threads(2);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            engine.query(s, t)
+        });
+    });
+    group.bench_function("table_5pct", |b| {
+        let engine = S2sEngine::new(&net).threads(2).with_table(&table);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            engine.query(s, t)
+        });
+    });
+    group.bench_function("no_stopping", |b| {
+        let engine = S2sEngine::new(&net).threads(2).stopping_criterion(false);
+        let mut i = 0;
+        b.iter(|| {
+            let (s, t) = pairs[i % pairs.len()];
+            i += 1;
+            engine.query(s, t)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, s2s);
+criterion_main!(benches);

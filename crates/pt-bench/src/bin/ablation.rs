@@ -1,0 +1,128 @@
+//! Ablations backing the paper's design discussions.
+//!
+//! ```text
+//! cargo run --release -p pt-bench --bin ablation -- partition
+//! cargo run --release -p pt-bench --bin ablation -- self-pruning
+//! cargo run --release -p pt-bench --bin ablation -- stopping
+//! ```
+//!
+//! * `partition` — §3.2's choice of partition: balance (class sizes and
+//!   per-thread settled counts) and query time of equal time-slots vs.
+//!   equal connections vs. k-means.
+//! * `self-pruning` — §3.1's claim: settled elements and query time with
+//!   self-pruning on/off.
+//! * `stopping` — §4's stopping criterion: station-to-station query time
+//!   with/without (the paper reports ≈ 20 % acceleration).
+
+use std::time::Instant;
+
+use pt_bench::{mean, ms, random_pairs, random_stations, BenchConfig};
+use pt_spcs::{Network, PartitionStrategy, ProfileEngine, S2sEngine};
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "partition".to_string());
+    let cfg = BenchConfig::from_env();
+    match mode.as_str() {
+        "partition" => partition(&cfg),
+        "self-pruning" => self_pruning(&cfg),
+        "stopping" => stopping(&cfg),
+        other => {
+            eprintln!("unknown ablation `{other}`; use partition | self-pruning | stopping");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn partition(cfg: &BenchConfig) {
+    println!("# Ablation — conn(S) partition strategies (§3.2), p = 4");
+    let strategies = [
+        ("time-slots", PartitionStrategy::EqualTimeSlots),
+        ("equal-conns", PartitionStrategy::EqualConnections),
+        ("k-means", PartitionStrategy::KMeans { iters: 20 }),
+    ];
+    for preset in cfg.networks() {
+        let net = Network::new(preset.timetable);
+        let sources = random_stations(net.num_stations(), cfg.queries, cfg.seed);
+        println!("\n## {}", preset.name);
+        println!(
+            "{:<12} {:>12} {:>18} {:>12}",
+            "strategy", "time [ms]", "imbalance(settled)", "settled"
+        );
+        for (name, strat) in strategies {
+            let mut times = Vec::new();
+            let mut settled = Vec::new();
+            let mut imb = Vec::new();
+            for &s in &sources {
+                let t0 = Instant::now();
+                let r = ProfileEngine::new(&net)
+                    .threads(4)
+                    .strategy(strat)
+                    .one_to_all_with_stats(s);
+                times.push(ms(t0.elapsed()));
+                settled.push(r.stats.settled as f64);
+                let max = r.thread_settled.iter().max().copied().unwrap_or(0) as f64;
+                let avg = r.stats.settled as f64 / r.thread_settled.len() as f64;
+                imb.push(if avg > 0.0 { max / avg } else { 1.0 });
+            }
+            println!(
+                "{:<12} {:>12.1} {:>18.2} {:>12.0}",
+                name,
+                mean(&times),
+                mean(&imb),
+                mean(&settled)
+            );
+        }
+    }
+}
+
+fn self_pruning(cfg: &BenchConfig) {
+    println!("# Ablation — self-pruning (§3.1), single thread");
+    for preset in cfg.networks() {
+        let net = Network::new(preset.timetable);
+        let sources = random_stations(net.num_stations(), cfg.queries, cfg.seed);
+        println!("\n## {}", preset.name);
+        println!("{:<10} {:>14} {:>12}", "pruning", "settled conns", "time [ms]");
+        for on in [true, false] {
+            let mut times = Vec::new();
+            let mut settled = Vec::new();
+            for &s in &sources {
+                let t0 = Instant::now();
+                let r = ProfileEngine::new(&net).self_pruning(on).one_to_all_with_stats(s);
+                times.push(ms(t0.elapsed()));
+                settled.push(r.stats.settled as f64);
+            }
+            println!(
+                "{:<10} {:>14.0} {:>12.1}",
+                if on { "on" } else { "off" },
+                mean(&settled),
+                mean(&times)
+            );
+        }
+    }
+}
+
+fn stopping(cfg: &BenchConfig) {
+    println!("# Ablation — stopping criterion (§4, Thm 2), station-to-station, p = 8");
+    for preset in cfg.networks() {
+        let net = Network::new(preset.timetable);
+        let pairs = random_pairs(net.num_stations(), cfg.queries, cfg.seed);
+        println!("\n## {}", preset.name);
+        println!("{:<10} {:>14} {:>12}", "stopping", "settled conns", "time [ms]");
+        for on in [true, false] {
+            let mut times = Vec::new();
+            let mut settled = Vec::new();
+            for &(s, t) in &pairs {
+                let t0 = Instant::now();
+                let r = S2sEngine::new(&net).threads(8).stopping_criterion(on).query(s, t);
+                times.push(ms(t0.elapsed()));
+                settled.push(r.stats.settled as f64);
+            }
+            println!(
+                "{:<10} {:>14.0} {:>12.1}",
+                if on { "on" } else { "off" },
+                mean(&settled),
+                mean(&times)
+            );
+        }
+    }
+}

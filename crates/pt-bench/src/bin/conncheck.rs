@@ -1,0 +1,62 @@
+//! Diagnostic: connectivity of the generated evaluation networks.
+//!
+//! Prints, for each preset, the number of weakly connected components of
+//! the station graph and the count of entirely unserved stations. Real
+//! feeds are connected; the generators guarantee it via connector lines —
+//! this tool verifies that invariant at any scale.
+//!
+//! ```text
+//! cargo run --release -p pt-bench --bin conncheck
+//! ```
+
+use pt_core::StationId;
+use pt_graph::StationGraph;
+
+fn main() {
+    let scale = std::env::var("BC_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.5);
+    for preset in pt_timetable::synthetic::presets::all_presets(scale) {
+        let tt = preset.timetable;
+        let sg = StationGraph::build(&tt);
+        let n = sg.num_stations();
+        let mut comp = vec![usize::MAX; n];
+        let mut ncomp = 0;
+        for s in 0..n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            comp[s] = ncomp;
+            while let Some(v) = stack.pop() {
+                let vid = StationId(v as u32);
+                for (h, _) in sg.out(vid) {
+                    if comp[h.idx()] == usize::MAX {
+                        comp[h.idx()] = ncomp;
+                        stack.push(h.idx());
+                    }
+                }
+                for &h in sg.incoming(vid) {
+                    if comp[h.idx()] == usize::MAX {
+                        comp[h.idx()] = ncomp;
+                        stack.push(h.idx());
+                    }
+                }
+            }
+            ncomp += 1;
+        }
+        let mut sizes = vec![0usize; ncomp];
+        for &c in &comp {
+            sizes[c] += 1;
+        }
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let unserved = (0..n)
+            .filter(|&s| {
+                let sid = StationId(s as u32);
+                tt.conn(sid).is_empty() && sg.incoming(sid).is_empty()
+            })
+            .count();
+        println!(
+            "{:<16} stations={:<6} components={:<3} largest={:<6} unserved={}",
+            preset.name, n, ncomp, sizes[0], unserved
+        );
+    }
+}

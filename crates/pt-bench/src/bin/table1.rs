@@ -1,0 +1,94 @@
+//! Regenerates **Table 1** of the paper: one-to-all profile queries with
+//! the parallel self-pruning connection-setting algorithm (CS) on 1, 2, 4
+//! and 8 cores, compared to the label-correcting approach (LC).
+//!
+//! For every network, random source stations are drawn and the mean number
+//! of settled queue elements (summed over cores), the mean query time and
+//! the speed-up over the single-core run are reported — the paper's exact
+//! columns.
+//!
+//! ```text
+//! cargo run --release -p pt-bench --bin table1
+//! ```
+
+use std::time::Instant;
+
+use pt_bench::{mean, ms, random_stations, BenchConfig};
+use pt_spcs::{label_correcting, Network, ProfileEngine};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    println!("# Table 1 — one-to-all profile queries (CS on p cores vs. LC)");
+    println!(
+        "# scale={} queries={} lc_queries={} seed={} (host: {} cpus)",
+        cfg.scale,
+        cfg.queries,
+        cfg.lc_queries,
+        cfg.seed,
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    );
+    println!();
+
+    for preset in cfg.networks() {
+        let stats = preset.timetable.stats();
+        let build = Instant::now();
+        let net = Network::new(preset.timetable);
+        println!(
+            "## {}  ({} stations, {} conns, {:.0} conns/station; graph built in {:.1}s)",
+            preset.name,
+            stats.stations,
+            stats.connections,
+            stats.conns_per_station,
+            build.elapsed().as_secs_f64()
+        );
+        println!(
+            "{:<6} {:>6} {:>16} {:>12} {:>8}",
+            "algo", "p", "settled conns", "time [ms]", "spd-up"
+        );
+
+        let sources = random_stations(net.num_stations(), cfg.queries, cfg.seed);
+        let mut base_ms = 0.0;
+        for &p in &cfg.threads {
+            let mut settled = Vec::new();
+            let mut times = Vec::new();
+            for &s in &sources {
+                let t0 = Instant::now();
+                let res = ProfileEngine::new(&net).threads(p).one_to_all_with_stats(s);
+                times.push(ms(t0.elapsed()));
+                settled.push(res.stats.settled as f64);
+            }
+            let t = mean(&times);
+            if p == 1 {
+                base_ms = t;
+            }
+            println!(
+                "{:<6} {:>6} {:>16.0} {:>12.1} {:>8.1}",
+                "CS",
+                p,
+                mean(&settled),
+                t,
+                if t > 0.0 { base_ms / t } else { 0.0 }
+            );
+        }
+
+        // Label-correcting baseline (single core, as in the paper).
+        let lc_sources = &sources[..cfg.lc_queries.min(sources.len())];
+        let mut settled = Vec::new();
+        let mut times = Vec::new();
+        for &s in lc_sources {
+            let t0 = Instant::now();
+            let res = label_correcting::profile_search(&net, s);
+            times.push(ms(t0.elapsed()));
+            settled.push(res.stats.settled as f64);
+        }
+        println!(
+            "{:<6} {:>6} {:>16.0} {:>12.1} {:>8}",
+            "LC",
+            1,
+            mean(&settled),
+            mean(&times),
+            "—"
+        );
+        println!();
+    }
+}

@@ -1,0 +1,99 @@
+//! Regenerates **Table 2** of the paper: station-to-station queries with
+//! the stopping criterion, pruned by distance tables of varying size.
+//!
+//! For every network the harness builds distance tables over 0 % (no
+//! table), 1 %, 2.5 %, 5 % and 10 % of the stations (selected by
+//! contraction) plus the `deg > 2` selection, and reports preprocessing
+//! time, table size, mean settled queue elements, mean query time and the
+//! speed-up over the 0 % configuration — the paper's exact columns.
+//!
+//! ```text
+//! cargo run --release -p pt-bench --bin table2
+//! ```
+//!
+//! Extra knobs: `BC_FRACTIONS` (default `0.01,0.025,0.05,0.10`) and
+//! `BC_S2S_THREADS` (default `8`, the paper's Table 2 core count).
+
+use std::time::Instant;
+
+use pt_bench::{fmt_mmss, mean, ms, random_pairs, BenchConfig};
+use pt_spcs::{DistanceTable, Network, S2sEngine, TransferSelection};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let fractions: Vec<f64> = std::env::var("BC_FRACTIONS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![0.01, 0.025, 0.05, 0.10]);
+    let threads: usize = std::env::var("BC_S2S_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+
+    println!("# Table 2 — station-to-station queries with distance-table pruning");
+    println!(
+        "# scale={} queries={} threads={} seed={} fractions={:?} + deg>2",
+        cfg.scale, cfg.queries, threads, cfg.seed, fractions
+    );
+    println!();
+
+    for preset in cfg.networks() {
+        let stats = preset.timetable.stats();
+        let net = Network::new(preset.timetable);
+        println!(
+            "## {}  ({} stations, {} conns)",
+            preset.name, stats.stations, stats.connections
+        );
+        println!(
+            "{:<8} {:>8} {:>10} {:>14} {:>11} {:>7}",
+            "trans", "prepro", "size[MiB]", "settled conns", "time [ms]", "spd-up"
+        );
+        let pairs = random_pairs(net.num_stations(), cfg.queries, cfg.seed);
+
+        // Baseline: stopping criterion only (the paper's 0.0 % row).
+        let run = |engine: &S2sEngine<'_>| -> (f64, f64) {
+            let mut settled = Vec::new();
+            let mut times = Vec::new();
+            for &(s, t) in &pairs {
+                let t0 = Instant::now();
+                let r = engine.query(s, t);
+                times.push(ms(t0.elapsed()));
+                settled.push(r.stats.settled as f64);
+            }
+            (mean(&settled), mean(&times))
+        };
+
+        let engine = S2sEngine::new(&net).threads(threads);
+        let (settled0, time0) = run(&engine);
+        println!(
+            "{:<8} {:>8} {:>10} {:>14.0} {:>11.1} {:>7.1}",
+            "0.0%", "—", "—", settled0, time0, 1.0
+        );
+
+        let mut selections: Vec<(String, TransferSelection)> = fractions
+            .iter()
+            .map(|&f| (format!("{:.1}%", f * 100.0), TransferSelection::Fraction(f)))
+            .collect();
+        selections.push(("deg>2".to_string(), TransferSelection::DegreeAbove(2)));
+
+        for (label, sel) in selections {
+            let table = DistanceTable::build(&net, &sel);
+            if table.is_empty() {
+                println!("{label:<8} (no transfer stations selected — skipped)");
+                continue;
+            }
+            let engine = S2sEngine::new(&net).threads(threads).with_table(&table);
+            let (settled, time) = run(&engine);
+            println!(
+                "{:<8} {:>8} {:>10.1} {:>14.0} {:>11.1} {:>7.1}",
+                label,
+                fmt_mmss(table.build_time()),
+                table.size_mib(),
+                settled,
+                time,
+                if time > 0.0 { time0 / time } else { 0.0 }
+            );
+        }
+        println!();
+    }
+}

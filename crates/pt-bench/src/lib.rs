@@ -1,0 +1,146 @@
+//! Shared harness for regenerating the paper's tables.
+//!
+//! The binaries (`table1`, `table2`, `ablation`) print rows in the layout
+//! of the paper's Tables 1 and 2; this library holds the common pieces:
+//! network instantiation, seeded query workloads and formatting.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `BC_SCALE` — network scale factor (default `0.5`; `1.0` ≈ one tenth of
+//!   the paper's input sizes, see `pt-timetable::synthetic::presets`),
+//! * `BC_QUERIES` — queries per configuration (default `15`; the paper uses
+//!   1 000 on a 2009 dual Xeon — scale up when you have the hours),
+//! * `BC_LC_QUERIES` — queries for the label-correcting baseline (default
+//!   `3`; LC is an order of magnitude slower, the paper's point),
+//! * `BC_THREADS` — comma-separated thread counts (default `1,2,4,8`),
+//! * `BC_NETWORKS` — comma-separated substring filter on network names,
+//! * `BC_SEED` — workload seed (default `2010`).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pt_core::StationId;
+use pt_timetable::synthetic::presets::{self, Preset};
+
+/// Benchmark configuration resolved from the environment.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    pub scale: f64,
+    pub queries: usize,
+    pub lc_queries: usize,
+    pub threads: Vec<usize>,
+    pub networks: Option<Vec<String>>,
+    pub seed: u64,
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl BenchConfig {
+    /// Reads the `BC_*` environment variables.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("BC_THREADS")
+            .ok()
+            .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+            .unwrap_or_else(|| vec![1, 2, 4, 8]);
+        let networks = std::env::var("BC_NETWORKS")
+            .ok()
+            .map(|v| v.split(',').map(|s| s.trim().to_lowercase()).collect());
+        BenchConfig {
+            scale: env_parse("BC_SCALE", 0.5),
+            queries: env_parse("BC_QUERIES", 15),
+            lc_queries: env_parse("BC_LC_QUERIES", 3),
+            threads,
+            networks,
+            seed: env_parse("BC_SEED", 2010),
+        }
+    }
+
+    /// Instantiates the five evaluation networks, filtered by
+    /// `BC_NETWORKS`.
+    pub fn networks(&self) -> Vec<Preset> {
+        presets::all_presets(self.scale)
+            .into_iter()
+            .filter(|p| match &self.networks {
+                None => true,
+                Some(filter) => {
+                    let name = p.name.to_lowercase();
+                    filter.iter().any(|f| name.contains(f))
+                }
+            })
+            .collect()
+    }
+}
+
+/// `count` random stations (with repetition), deterministic in `seed`.
+pub fn random_stations(num_stations: usize, count: usize, seed: u64) -> Vec<StationId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| StationId(rng.gen_range(0..num_stations as u32))).collect()
+}
+
+/// `count` random ordered station pairs with distinct endpoints.
+pub fn random_pairs(
+    num_stations: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<(StationId, StationId)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5A5A);
+    (0..count)
+        .map(|_| loop {
+            let s = rng.gen_range(0..num_stations as u32);
+            let t = rng.gen_range(0..num_stations as u32);
+            if s != t {
+                return (StationId(s), StationId(t));
+            }
+        })
+        .collect()
+}
+
+/// Milliseconds with one decimal.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// `m:ss` like the paper's preprocessing-time column.
+pub fn fmt_mmss(d: Duration) -> String {
+    let s = d.as_secs();
+    format!("{}:{:02}", s / 60, s % 60)
+}
+
+/// Mean over query repetitions.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(random_stations(50, 10, 7), random_stations(50, 10, 7));
+        assert_eq!(random_pairs(50, 10, 7), random_pairs(50, 10, 7));
+        assert!(random_pairs(50, 100, 3).iter().all(|(s, t)| s != t));
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = BenchConfig::from_env();
+        assert!(cfg.scale > 0.0);
+        assert!(!cfg.threads.is_empty());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_mmss(Duration::from_secs(83)), "1:23");
+        assert_eq!(ms(Duration::from_millis(2)), 2.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

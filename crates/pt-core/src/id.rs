@@ -1,0 +1,88 @@
+//! Strongly typed identifiers.
+//!
+//! Every entity of the timetable and of the derived graphs gets its own
+//! `u32`-backed newtype, so that a station index can never be confused with a
+//! graph-node index. `u32` keeps hot label arrays half the size of `usize`
+//! (see the type-size guidance in the Rust Performance Book).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[repr(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index into dense per-entity arrays.
+            #[inline]
+            pub const fn idx(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense array index.
+            #[inline]
+            pub fn from_idx(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.idx()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A station `S ∈ S` of the timetable.
+    StationId, "S"
+);
+define_id!(
+    /// A route: an equivalence class of trains sharing the same stop sequence.
+    RouteId, "R"
+);
+define_id!(
+    /// A train `Z ∈ Z` of the timetable.
+    TrainId, "Z"
+);
+define_id!(
+    /// A node of the realistic time-dependent graph (station or route node).
+    NodeId, "n"
+);
+define_id!(
+    /// An elementary connection `c ∈ C`.
+    ConnId, "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_idx() {
+        let s = StationId::from_idx(17);
+        assert_eq!(s.idx(), 17);
+        assert_eq!(usize::from(s), 17);
+        assert_eq!(s.to_string(), "S17");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId(3) < NodeId(4));
+        assert_eq!(ConnId(9).to_string(), "c9");
+    }
+}

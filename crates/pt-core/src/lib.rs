@@ -1,0 +1,28 @@
+//! Core types for periodic public-transit routing.
+//!
+//! This crate provides the building blocks shared by every other crate in the
+//! workspace:
+//!
+//! * [`Time`], [`Dur`] and [`Period`] — integer time arithmetic over a
+//!   periodic timetable, including the cyclic length `Δ(τ1, τ2)` of the paper,
+//! * strongly typed identifiers ([`StationId`], [`RouteId`], [`TrainId`],
+//!   [`NodeId`], [`ConnId`]),
+//! * [`Plf`] — piecewise-linear *travel-time functions* attached to
+//!   time-dependent route edges, represented by their connection points,
+//! * [`Profile`] — piecewise-linear *arrival profiles* `dist(S, T, ·)`
+//!   produced by profile searches, together with the paper's
+//!   *connection reduction* (backward dominance scan).
+//!
+//! All types are plain-old-data with no interior pointers, so they are cheap
+//! to send across threads — a prerequisite for the parallel search in
+//! `pt-spcs`.
+
+pub mod id;
+pub mod plf;
+pub mod profile;
+pub mod time;
+
+pub use id::{ConnId, NodeId, RouteId, StationId, TrainId};
+pub use plf::{Plf, PlfPoint};
+pub use profile::{Profile, ProfilePoint};
+pub use time::{Dur, Period, Time, INFINITY};

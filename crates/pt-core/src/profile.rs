@@ -1,0 +1,348 @@
+//! Arrival profiles `dist(S, T, ·)` and the paper's *connection reduction*.
+//!
+//! A profile search computes, for a source station `S` and every target `T`,
+//! the function mapping each departure time `τ ∈ Π` to the earliest arrival
+//! at `T`. Equation (1) of the paper bounds its connection points by the
+//! outgoing connections of `S`:
+//!
+//! ```text
+//! P(dist(S,T,·)) ⊆ { (τdep(c), dist(S,T,τdep(c))) | c ∈ conn(S) }  =: P̂
+//! ```
+//!
+//! `P̂` in general violates FIFO — taking an *earlier* train in the wrong
+//! direction can arrive *later* than a later train in the right direction —
+//! so the paper reduces it with a backward scan that deletes every point
+//! whose arrival is not strictly earlier than the best arrival among later
+//! departures. [`Profile::from_unreduced`] implements exactly that scan.
+
+use serde::{Deserialize, Serialize};
+
+use crate::plf::Plf;
+use crate::time::{Dur, Period, Time, INFINITY};
+
+/// One point of an arrival profile: departing `S` at (period-local) `dep`
+/// arrives at the target at absolute time `arr` (`arr − dep` is the travel
+/// duration; `arr` may exceed the period for overnight itineraries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProfilePoint {
+    /// Period-local departure time at the source station.
+    pub dep: Time,
+    /// Absolute arrival time at the target (`≥ dep`).
+    pub arr: Time,
+}
+
+impl ProfilePoint {
+    /// Creates a profile point; `arr` must not precede `dep`.
+    #[inline]
+    pub fn new(dep: Time, arr: Time) -> Self {
+        debug_assert!(arr >= dep, "arrival {arr} before departure {dep}");
+        ProfilePoint { dep, arr }
+    }
+
+    /// Travel duration `arr − dep`.
+    #[inline]
+    pub fn dur(self) -> Dur {
+        self.arr - self.dep
+    }
+}
+
+/// A reduced (FIFO) arrival profile: departures strictly increasing,
+/// arrivals strictly increasing.
+///
+/// An empty profile means the target is unreachable.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Profile {
+    points: Vec<ProfilePoint>,
+}
+
+impl Profile {
+    /// The unreachable profile.
+    pub const EMPTY: Profile = Profile { points: Vec::new() };
+
+    /// Connection reduction (paper, §3.1): builds a reduced profile from the
+    /// raw point set `P̂`. Points with infinite arrival are dropped; among
+    /// equal departures the earliest arrival wins; a backward scan keeps a
+    /// point only if its arrival is strictly earlier than the minimum
+    /// arrival of all later departures.
+    pub fn from_unreduced(mut points: Vec<ProfilePoint>, period: Period) -> Self {
+        points.retain(|p| !p.arr.is_infinite());
+        for p in &points {
+            assert!(
+                period.contains(p.dep),
+                "profile departure {} not period-local",
+                p.dep
+            );
+            debug_assert!(p.arr >= p.dep);
+        }
+        points.sort_unstable_by_key(|p| (p.dep, p.arr));
+        points.dedup_by_key(|p| p.dep); // earliest arrival per departure
+        let mut reduced: Vec<ProfilePoint> = Vec::with_capacity(points.len());
+        let mut min_arr = INFINITY;
+        for &p in points.iter().rev() {
+            if p.arr < min_arr {
+                min_arr = p.arr;
+                reduced.push(p);
+            }
+        }
+        reduced.reverse();
+        // Cyclic fixup (see `Plf::from_points`): drop points dominated by the
+        // next period's first point, so next-departure evaluation is exact.
+        if let Some(first) = reduced.first() {
+            let threshold = first.arr + Dur(period.len());
+            reduced.retain(|p| p.arr < threshold);
+        }
+        Profile { points: reduced }
+    }
+
+    /// Builds a profile from points already reduced (debug-asserted).
+    pub fn from_reduced(points: Vec<ProfilePoint>, period: Period) -> Self {
+        let prof = Profile { points };
+        debug_assert!(prof.is_reduced(period), "points not reduced");
+        prof
+    }
+
+    /// The connection points, sorted strictly increasing by departure.
+    #[inline]
+    pub fn points(&self) -> &[ProfilePoint] {
+        &self.points
+    }
+
+    /// Number of connection points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` iff the target is unreachable.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Checks the reduced-profile invariant (sorted, strictly dominating,
+    /// period-local departures) — i.e. the FIFO property of the paper.
+    pub fn is_reduced(&self, period: Period) -> bool {
+        self.points
+            .iter()
+            .all(|p| period.contains(p.dep) && p.arr >= p.dep && !p.arr.is_infinite())
+            && self
+                .points
+                .windows(2)
+                .all(|w| w[0].dep < w[1].dep && w[0].arr < w[1].arr)
+            && match (self.points.first(), self.points.last()) {
+                (Some(f), Some(l)) => l.arr < f.arr + Dur(period.len()),
+                _ => true,
+            }
+    }
+
+    /// Earliest absolute arrival when departing the source at absolute time
+    /// `t`; [`INFINITY`] if unreachable. One binary search on a reduced
+    /// profile.
+    pub fn eval_arr(&self, t: Time, period: Period) -> Time {
+        if self.points.is_empty() {
+            return INFINITY;
+        }
+        let tau = period.local(t);
+        let i = self.points.partition_point(|p| p.dep < tau);
+        let p = self.points.get(i).copied().unwrap_or(self.points[0]);
+        // wait Δ(τ, dep) + travel (arr − dep)
+        t + period.delta(tau, p.dep) + p.dur()
+    }
+
+    /// Travel duration (waiting included) when departing at absolute `t`.
+    pub fn eval_dur(&self, t: Time, period: Period) -> Dur {
+        let arr = self.eval_arr(t, period);
+        if arr.is_infinite() {
+            Dur::INFINITE
+        } else {
+            arr - t
+        }
+    }
+
+    /// Pointwise minimum with `other` (both reduced); returns `true` iff
+    /// `self` changed. This is the profile-merge of the label-correcting
+    /// baseline.
+    pub fn merge(&mut self, other: &Profile, period: Period) -> bool {
+        if other.is_empty() {
+            return false;
+        }
+        if self.is_empty() {
+            self.points = other.points.clone();
+            return true;
+        }
+        // Fast path: nothing in `other` can improve `self`.
+        if other
+            .points
+            .iter()
+            .all(|p| self.eval_arr_local(p.dep, period) <= p.arr)
+        {
+            return false;
+        }
+        let mut union = Vec::with_capacity(self.points.len() + other.points.len());
+        union.extend_from_slice(&self.points);
+        union.extend_from_slice(&other.points);
+        let merged = Profile::from_unreduced(union, period);
+        let changed = merged != *self;
+        *self = merged;
+        changed
+    }
+
+    /// `eval_arr` for a period-local departure, avoiding the absolute-time
+    /// normalization.
+    #[inline]
+    fn eval_arr_local(&self, tau: Time, period: Period) -> Time {
+        debug_assert!(period.contains(tau));
+        if self.points.is_empty() {
+            return INFINITY;
+        }
+        let i = self.points.partition_point(|p| p.dep < tau);
+        let p = self.points.get(i).copied().unwrap_or(self.points[0]);
+        tau + period.delta(tau, p.dep) + p.dur()
+    }
+
+    /// Propagates the profile through a time-dependent edge `f`: each point
+    /// `(dep, arr)` becomes `(dep, arr + f(arr))`. The result is reduced.
+    /// Used by the label-correcting baseline.
+    pub fn link_plf(&self, f: &Plf, period: Period) -> Profile {
+        let linked: Vec<ProfilePoint> = self
+            .points
+            .iter()
+            .map(|p| ProfilePoint::new(p.dep, f.eval_arr(p.arr, period)))
+            .filter(|p| !p.arr.is_infinite())
+            .collect();
+        Profile::from_unreduced(linked, period)
+    }
+
+    /// Propagates the profile through a constant edge of duration `d`.
+    /// Stays reduced, so no re-reduction is needed.
+    pub fn link_const(&self, d: Dur, _period: Period) -> Profile {
+        Profile {
+            points: self
+                .points
+                .iter()
+                .map(|p| ProfilePoint::new(p.dep, p.arr + d))
+                .collect(),
+        }
+    }
+
+    /// Minimum arrival over all points ([`INFINITY`] if empty) — the queue
+    /// key of the label-correcting baseline.
+    pub fn min_arr(&self) -> Time {
+        self.points.iter().map(|p| p.arr).min().unwrap_or(INFINITY)
+    }
+
+    /// Minimum travel duration over all points.
+    pub fn min_dur(&self) -> Dur {
+        self.points.iter().map(|p| p.dur()).min().unwrap_or(Dur::INFINITE)
+    }
+
+    /// Heap + inline memory footprint in bytes (for the space column of
+    /// Table 2).
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.points.capacity() * std::mem::size_of::<ProfilePoint>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(dep_min: u32, arr_min: u32) -> ProfilePoint {
+        ProfilePoint::new(Time::hm(0, dep_min), Time::hm(0, arr_min))
+    }
+
+    const P: Period = Period::DAY;
+
+    #[test]
+    fn reduction_drops_dominated_points() {
+        // Leaving at 00:10 arrives 01:00; leaving at 00:20 arrives 00:50:
+        // the 00:10 departure is dominated (wait for the 00:20 one).
+        let prof = Profile::from_unreduced(vec![pt(10, 60), pt(20, 50)], P);
+        assert_eq!(prof.points(), &[pt(20, 50)]);
+        assert!(prof.is_reduced(P));
+    }
+
+    #[test]
+    fn reduction_deletes_equal_arrivals() {
+        // Equal arrival: the paper deletes the earlier departure (τarr_j ≥ τarr_min).
+        let prof = Profile::from_unreduced(vec![pt(10, 50), pt(20, 50)], P);
+        assert_eq!(prof.points(), &[pt(20, 50)]);
+    }
+
+    #[test]
+    fn reduction_drops_unreachable_points() {
+        let prof = Profile::from_unreduced(
+            vec![pt(10, 40), ProfilePoint { dep: Time::hm(0, 20), arr: INFINITY }],
+            P,
+        );
+        assert_eq!(prof.points(), &[pt(10, 40)]);
+    }
+
+    #[test]
+    fn eval_matches_next_useful_departure() {
+        let prof = Profile::from_unreduced(vec![pt(10, 30), pt(40, 55)], P);
+        // Before 00:10: take the first connection.
+        assert_eq!(prof.eval_arr(Time::hm(0, 5), P), Time::hm(0, 30));
+        // Between the two: take the second.
+        assert_eq!(prof.eval_arr(Time::hm(0, 15), P), Time::hm(0, 55));
+        // After the last: wrap to tomorrow's first.
+        assert_eq!(prof.eval_arr(Time::hm(0, 45), P), Time::hm(24, 30));
+    }
+
+    #[test]
+    fn eval_on_empty_is_infinite() {
+        assert_eq!(Profile::EMPTY.eval_arr(Time::hm(9, 0), P), INFINITY);
+        assert_eq!(Profile::EMPTY.eval_dur(Time::hm(9, 0), P), Dur::INFINITE);
+    }
+
+    #[test]
+    fn merge_takes_pointwise_minimum() {
+        let mut a = Profile::from_unreduced(vec![pt(10, 30), pt(40, 70)], P);
+        let b = Profile::from_unreduced(vec![pt(20, 25), pt(40, 60)], P);
+        assert!(a.merge(&b, P));
+        // 00:10→00:30 is dominated by 00:20→00:25.
+        assert_eq!(a.points(), &[pt(20, 25), pt(40, 60)]);
+        // Merging again changes nothing.
+        let before = a.clone();
+        assert!(!a.merge(&b, P));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn merge_with_empty_is_noop() {
+        let mut a = Profile::from_unreduced(vec![pt(10, 30)], P);
+        assert!(!a.merge(&Profile::EMPTY, P));
+        let mut e = Profile::EMPTY.clone();
+        assert!(e.merge(&a, P));
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn link_const_shifts_arrivals() {
+        let a = Profile::from_unreduced(vec![pt(10, 30), pt(40, 60)], P);
+        let b = a.link_const(Dur::minutes(5), P);
+        assert_eq!(b.points(), &[pt(10, 35), pt(40, 65)]);
+        assert!(b.is_reduced(P));
+    }
+
+    #[test]
+    fn link_plf_composes_travel_times() {
+        use crate::plf::PlfPoint;
+        let a = Profile::from_unreduced(vec![pt(10, 30)], P);
+        // Edge served at 00:35 taking 10 min.
+        let f = Plf::from_points(
+            vec![PlfPoint::new(Time::hm(0, 35), Dur::minutes(10))],
+            P,
+        );
+        let b = a.link_plf(&f, P);
+        assert_eq!(b.points(), &[pt(10, 45)]);
+    }
+
+    #[test]
+    fn min_arr_and_dur() {
+        let a = Profile::from_unreduced(vec![pt(10, 30), pt(40, 50)], P);
+        assert_eq!(a.min_arr(), Time::hm(0, 30));
+        assert_eq!(a.min_dur(), Dur::minutes(10));
+    }
+}

@@ -1,0 +1,277 @@
+//! Integer time arithmetic over a periodic timetable.
+//!
+//! A periodic timetable (paper, §2) fixes a finite set of discrete time points
+//! `Π = {0, …, π−1}`. Departure times are *period-local* (they lie in
+//! `[0, π)`), while arrival times and search labels are *absolute* and may
+//! exceed `π` (a train arriving after midnight). The cyclic length
+//! `Δ(τ1, τ2)` is `τ2 − τ1` if `τ2 ≥ τ1` and `π + τ2 − τ1` otherwise; note
+//! that `Δ` is not symmetric.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for "unreachable" labels. Large enough that no legal absolute
+/// time of a day-scale timetable comes near it.
+pub const INFINITY: Time = Time(u32::MAX);
+
+/// A point in time, in seconds.
+///
+/// Period-local times lie in `[0, period)`; absolute times (arrival labels)
+/// may exceed the period.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[repr(transparent)]
+pub struct Time(pub u32);
+
+/// A non-negative span of time, in seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[repr(transparent)]
+pub struct Dur(pub u32);
+
+impl Time {
+    /// Builds a time from hours, minutes and seconds. Hours may exceed 24
+    /// for absolute (post-midnight) times.
+    #[inline]
+    pub const fn hms(h: u32, m: u32, s: u32) -> Self {
+        Time(h * 3600 + m * 60 + s)
+    }
+
+    /// Builds a time from hours and minutes.
+    #[inline]
+    pub const fn hm(h: u32, m: u32) -> Self {
+        Self::hms(h, m, 0)
+    }
+
+    /// Raw seconds value.
+    #[inline]
+    pub const fn secs(self) -> u32 {
+        self.0
+    }
+
+    /// `true` iff this is the [`INFINITY`] sentinel.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Saturating addition of a duration; infinity is absorbing.
+    #[inline]
+    pub fn saturating_add(self, d: Dur) -> Time {
+        if self.is_infinite() {
+            INFINITY
+        } else {
+            Time(self.0.saturating_add(d.0))
+        }
+    }
+}
+
+impl Dur {
+    pub const ZERO: Dur = Dur(0);
+    /// Sentinel for "unreachable" travel times.
+    pub const INFINITE: Dur = Dur(u32::MAX);
+
+    /// Builds a duration from whole minutes.
+    #[inline]
+    pub const fn minutes(m: u32) -> Self {
+        Dur(m * 60)
+    }
+
+    /// Builds a duration from whole hours.
+    #[inline]
+    pub const fn hours(h: u32) -> Self {
+        Dur(h * 3600)
+    }
+
+    /// Raw seconds value.
+    #[inline]
+    pub const fn secs(self) -> u32 {
+        self.0
+    }
+
+    /// `true` iff this is the infinite sentinel.
+    #[inline]
+    pub const fn is_infinite(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Dur) -> Time {
+        debug_assert!(!self.is_infinite(), "arithmetic on infinite time");
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    /// Plain (non-cyclic) difference; requires `self >= rhs`.
+    #[inline]
+    fn sub(self, rhs: Time) -> Dur {
+        debug_assert!(self >= rhs, "negative duration: {self:?} - {rhs:?}");
+        Dur(self.0 - rhs.0)
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            return write!(f, "∞");
+        }
+        let (h, m, s) = (self.0 / 3600, (self.0 / 60) % 60, self.0 % 60);
+        if s == 0 {
+            write!(f, "{h:02}:{m:02}")
+        } else {
+            write!(f, "{h:02}:{m:02}:{s:02}")
+        }
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            return write!(f, "∞");
+        }
+        let (h, m, s) = (self.0 / 3600, (self.0 / 60) % 60, self.0 % 60);
+        match (h, s) {
+            (0, 0) => write!(f, "{m}min"),
+            (0, _) => write!(f, "{m}min{s:02}s"),
+            (_, 0) => write!(f, "{h}h{m:02}min"),
+            _ => write!(f, "{h}h{m:02}min{s:02}s"),
+        }
+    }
+}
+
+/// The periodicity `π` of a timetable, together with the cyclic operations
+/// derived from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Period(u32);
+
+impl Period {
+    /// A full day in seconds — the period of every real-world feed we model.
+    pub const DAY: Period = Period(24 * 3600);
+
+    /// Creates a period of `pi` seconds. Panics if `pi == 0`.
+    #[inline]
+    pub fn new(pi: u32) -> Self {
+        assert!(pi > 0, "period must be positive");
+        Period(pi)
+    }
+
+    /// The raw period length π in seconds.
+    #[inline]
+    pub const fn len(self) -> u32 {
+        self.0
+    }
+
+    /// The cyclic length `Δ(τ1, τ2)` of the paper: the non-negative waiting
+    /// time from `τ1` to the next occurrence of `τ2`, both period-local.
+    #[inline]
+    pub fn delta(self, tau1: Time, tau2: Time) -> Dur {
+        debug_assert!(tau1.0 < self.0, "τ1 not period-local");
+        debug_assert!(tau2.0 < self.0, "τ2 not period-local");
+        if tau2 >= tau1 {
+            Dur(tau2.0 - tau1.0)
+        } else {
+            Dur(self.0 + tau2.0 - tau1.0)
+        }
+    }
+
+    /// Reduces an absolute time to its period-local representative.
+    #[inline]
+    pub fn local(self, t: Time) -> Time {
+        debug_assert!(!t.is_infinite(), "local() on infinite time");
+        if t.0 < self.0 {
+            t
+        } else {
+            Time(t.0 % self.0)
+        }
+    }
+
+    /// `true` iff `t` is period-local.
+    #[inline]
+    pub fn contains(self, t: Time) -> bool {
+        t.0 < self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_forward() {
+        let p = Period::DAY;
+        assert_eq!(p.delta(Time::hm(8, 0), Time::hm(9, 30)), Dur::minutes(90));
+        assert_eq!(p.delta(Time::hm(8, 0), Time::hm(8, 0)), Dur::ZERO);
+    }
+
+    #[test]
+    fn delta_wraps_over_midnight() {
+        let p = Period::DAY;
+        // 23:00 -> 01:00 next day = 2h.
+        assert_eq!(p.delta(Time::hm(23, 0), Time::hm(1, 0)), Dur::hours(2));
+    }
+
+    #[test]
+    fn delta_is_not_symmetric() {
+        let p = Period::DAY;
+        let a = Time::hm(6, 0);
+        let b = Time::hm(18, 0);
+        assert_eq!(p.delta(a, b), Dur::hours(12));
+        assert_eq!(p.delta(b, a), Dur::hours(12));
+        let c = Time::hm(5, 0);
+        assert_eq!(p.delta(a, c), Dur::hours(23));
+        assert_eq!(p.delta(c, a), Dur::hours(1));
+    }
+
+    #[test]
+    fn local_reduces_absolute_times() {
+        let p = Period::DAY;
+        assert_eq!(p.local(Time::hm(25, 30)), Time::hm(1, 30));
+        assert_eq!(p.local(Time::hm(23, 59)), Time::hm(23, 59));
+    }
+
+    #[test]
+    fn infinity_is_absorbing() {
+        assert!(INFINITY.is_infinite());
+        assert_eq!(INFINITY.saturating_add(Dur::hours(5)), INFINITY);
+        assert!(Time::hm(10, 0) < INFINITY);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time::hm(7, 5).to_string(), "07:05");
+        assert_eq!(Time::hms(7, 5, 30).to_string(), "07:05:30");
+        assert_eq!(Dur::minutes(90).to_string(), "1h30min");
+        assert_eq!(Dur(45).to_string(), "0min45s");
+        assert_eq!(INFINITY.to_string(), "∞");
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        let _ = Period::new(0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the PLF / profile machinery.
+//!
+//! The central claim (paper §3.1): connection reduction preserves the
+//! function — evaluating the reduced point set gives exactly the minimum
+//! over the raw point set, for every query time. A small period (1000 s)
+//! and durations exceeding the period exercise the cyclic corner cases.
+
+use proptest::prelude::*;
+use pt_core::{Dur, Period, Plf, PlfPoint, Profile, ProfilePoint, Time};
+
+const PI: u32 = 1000;
+
+fn period() -> Period {
+    Period::new(PI)
+}
+
+/// Reference: minimum over the *raw* (unreduced) point set, scanning every
+/// point including next-period wraps.
+fn raw_min_dur(points: &[(u32, u32)], tau: u32) -> Option<u32> {
+    points
+        .iter()
+        .map(|&(dep, dur)| {
+            let wait = if dep >= tau { dep - tau } else { PI + dep - tau };
+            wait + dur
+        })
+        .min()
+}
+
+fn raw_points() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..PI, 0..3 * PI), 0..24)
+}
+
+proptest! {
+    #[test]
+    fn plf_construction_is_fifo(pts in raw_points()) {
+        let plf = Plf::from_points(
+            pts.iter().map(|&(d, w)| PlfPoint::new(Time(d), Dur(w))).collect(),
+            period(),
+        );
+        prop_assert!(plf.is_fifo(period()));
+    }
+
+    #[test]
+    fn plf_reduction_preserves_function(pts in raw_points(), taus in prop::collection::vec(0..PI, 1..16)) {
+        let plf = Plf::from_points(
+            pts.iter().map(|&(d, w)| PlfPoint::new(Time(d), Dur(w))).collect(),
+            period(),
+        );
+        for tau in taus {
+            let fast = plf.eval_dur(Time(tau), period());
+            match raw_min_dur(&pts, tau) {
+                None => prop_assert!(fast.is_infinite()),
+                Some(want) => prop_assert_eq!(fast.secs(), want, "tau={}", tau),
+            }
+        }
+    }
+
+    #[test]
+    fn plf_fast_eval_matches_exhaustive(pts in raw_points(), tau in 0..4 * PI) {
+        let plf = Plf::from_points(
+            pts.iter().map(|&(d, w)| PlfPoint::new(Time(d), Dur(w))).collect(),
+            period(),
+        );
+        prop_assert_eq!(
+            plf.eval_dur(Time(tau), period()),
+            plf.eval_dur_exhaustive(Time(tau), period())
+        );
+    }
+
+    #[test]
+    fn profile_reduction_preserves_function(pts in raw_points(), taus in prop::collection::vec(0..PI, 1..16)) {
+        let prof = Profile::from_unreduced(
+            pts.iter()
+                .map(|&(d, w)| ProfilePoint::new(Time(d), Time(d + w)))
+                .collect(),
+            period(),
+        );
+        prop_assert!(prof.is_reduced(period()));
+        for tau in taus {
+            let arr = prof.eval_arr(Time(tau), period());
+            match raw_min_dur(&pts, tau) {
+                None => prop_assert!(arr.is_infinite()),
+                Some(want) => prop_assert_eq!(arr.secs(), tau + want, "tau={}", tau),
+            }
+        }
+    }
+
+    #[test]
+    fn profile_reduction_is_idempotent(pts in raw_points()) {
+        let once = Profile::from_unreduced(
+            pts.iter()
+                .map(|&(d, w)| ProfilePoint::new(Time(d), Time(d + w)))
+                .collect(),
+            period(),
+        );
+        let twice = Profile::from_unreduced(once.points().to_vec(), period());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn merge_is_pointwise_minimum(a in raw_points(), b in raw_points(), taus in prop::collection::vec(0..PI, 1..16)) {
+        let pa = Profile::from_unreduced(
+            a.iter().map(|&(d, w)| ProfilePoint::new(Time(d), Time(d + w))).collect(),
+            period(),
+        );
+        let pb = Profile::from_unreduced(
+            b.iter().map(|&(d, w)| ProfilePoint::new(Time(d), Time(d + w))).collect(),
+            period(),
+        );
+        let mut merged = pa.clone();
+        merged.merge(&pb, period());
+        prop_assert!(merged.is_reduced(period()));
+        for tau in taus {
+            let want = pa
+                .eval_arr(Time(tau), period())
+                .min(pb.eval_arr(Time(tau), period()));
+            prop_assert_eq!(merged.eval_arr(Time(tau), period()), want, "tau={}", tau);
+        }
+    }
+
+    #[test]
+    fn link_const_shifts_evaluation(pts in raw_points(), shift in 0..PI, tau in 0..PI) {
+        let prof = Profile::from_unreduced(
+            pts.iter().map(|&(d, w)| ProfilePoint::new(Time(d), Time(d + w))).collect(),
+            period(),
+        );
+        let shifted = prof.link_const(Dur(shift), period());
+        let base = prof.eval_arr(Time(tau), period());
+        if base.is_infinite() {
+            prop_assert!(shifted.eval_arr(Time(tau), period()).is_infinite());
+        } else {
+            prop_assert_eq!(shifted.eval_arr(Time(tau), period()), base + Dur(shift));
+        }
+    }
+
+    #[test]
+    fn delta_triangle_inequality_cyclic(t1 in 0..PI, t2 in 0..PI, t3 in 0..PI) {
+        // Δ(t1,t3) ≤ Δ(t1,t2) + Δ(t2,t3) modulo full periods.
+        let p = period();
+        let d13 = p.delta(Time(t1), Time(t3)).secs();
+        let via = p.delta(Time(t1), Time(t2)).secs() + p.delta(Time(t2), Time(t3)).secs();
+        prop_assert_eq!(via % PI, d13 % PI);
+        prop_assert!(via >= d13);
+    }
+}

@@ -1,0 +1,259 @@
+//! The station graph `G_S` (paper §4, Fig. 3).
+//!
+//! `G_S = (S, E_S)` has an edge `(S1, S2)` iff at least one train runs from
+//! `S1` to `S2`. It carries scalar lower-bound weights (the minimum leg
+//! duration) for the contraction-based transfer-station selection, and its
+//! reverse is used by the DFS that computes the *local* and *via* stations
+//! of a query target.
+
+use pt_core::{Dur, StationId};
+use pt_timetable::Timetable;
+
+/// The condensed station graph with forward and reverse adjacency.
+#[derive(Debug, Clone)]
+pub struct StationGraph {
+    first_out: Vec<u32>,
+    out_heads: Vec<StationId>,
+    /// Minimum leg duration per forward edge (lower bound on travel time).
+    out_weights: Vec<Dur>,
+    first_in: Vec<u32>,
+    in_tails: Vec<StationId>,
+}
+
+/// Result of the local/via DFS from a target station `T`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViaLocal {
+    /// `via(T)`: transfer stations separating `T ∪ local(T)` from the rest.
+    pub via: Vec<StationId>,
+    /// `local(T)`: stations reaching `T` through non-transfer stations only.
+    pub local: Vec<StationId>,
+}
+
+impl ViaLocal {
+    /// `true` iff an `S`–`T` query from `source` is *local* (no distance
+    /// table pruning applies, paper §4).
+    pub fn is_local_query(&self, source: StationId) -> bool {
+        self.local.contains(&source)
+    }
+}
+
+impl StationGraph {
+    /// Builds the station graph of a timetable.
+    pub fn build(tt: &Timetable) -> StationGraph {
+        let n = tt.num_stations();
+        // Collect unique (from, to) pairs with min duration.
+        let mut edges: Vec<(StationId, StationId, Dur)> = Vec::new();
+        for s in tt.station_ids() {
+            let conns = tt.conn(s);
+            let mut targets: Vec<(StationId, Dur)> = Vec::new();
+            for c in conns {
+                match targets.iter_mut().find(|(t, _)| *t == c.to) {
+                    Some((_, d)) => *d = (*d).min(c.dur()),
+                    None => targets.push((c.to, c.dur())),
+                }
+            }
+            targets.sort_unstable_by_key(|&(t, _)| t);
+            for (t, d) in targets {
+                edges.push((s, t, d));
+            }
+        }
+
+        let mut first_out = vec![0u32; n + 1];
+        for &(s, _, _) in &edges {
+            first_out[s.idx() + 1] += 1;
+        }
+        for i in 1..=n {
+            first_out[i] += first_out[i - 1];
+        }
+        let out_heads: Vec<StationId> = edges.iter().map(|&(_, t, _)| t).collect();
+        let out_weights: Vec<Dur> = edges.iter().map(|&(_, _, d)| d).collect();
+
+        // Reverse adjacency.
+        let mut first_in = vec![0u32; n + 1];
+        for &(_, t, _) in &edges {
+            first_in[t.idx() + 1] += 1;
+        }
+        for i in 1..=n {
+            first_in[i] += first_in[i - 1];
+        }
+        let mut cursor = first_in.clone();
+        let mut in_tails = vec![StationId(0); edges.len()];
+        for &(s, t, _) in &edges {
+            let at = cursor[t.idx()] as usize;
+            in_tails[at] = s;
+            cursor[t.idx()] += 1;
+        }
+
+        StationGraph { first_out, out_heads, out_weights, first_in, in_tails }
+    }
+
+    /// Number of stations.
+    #[inline]
+    pub fn num_stations(&self) -> usize {
+        self.first_out.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_heads.len()
+    }
+
+    /// Forward neighbours of `s` with minimum leg durations.
+    #[inline]
+    pub fn out(&self, s: StationId) -> impl Iterator<Item = (StationId, Dur)> + '_ {
+        let lo = self.first_out[s.idx()] as usize;
+        let hi = self.first_out[s.idx() + 1] as usize;
+        self.out_heads[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.out_weights[lo..hi].iter().copied())
+    }
+
+    /// Stations with an edge *into* `s`.
+    #[inline]
+    pub fn incoming(&self, s: StationId) -> &[StationId] {
+        let lo = self.first_in[s.idx()] as usize;
+        let hi = self.first_in[s.idx() + 1] as usize;
+        &self.in_tails[lo..hi]
+    }
+
+    /// Undirected degree: number of distinct neighbours (either direction).
+    /// The "degree > k" transfer-station selection of §4 uses this.
+    pub fn degree(&self, s: StationId) -> usize {
+        let mut nbrs: Vec<StationId> = self
+            .out(s)
+            .map(|(t, _)| t)
+            .chain(self.incoming(s).iter().copied())
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        nbrs.len()
+    }
+
+    /// Determines `via(T)` and `local(T)` with a DFS on the reverse station
+    /// graph, pruned at transfer stations (paper §4, "Determining via(T)").
+    ///
+    /// Special case: if `T` is itself a transfer station, `local(T) = ∅` and
+    /// `via(T) = {T}`.
+    pub fn via_and_local(&self, t: StationId, is_transfer: &[bool]) -> ViaLocal {
+        assert_eq!(is_transfer.len(), self.num_stations());
+        if is_transfer[t.idx()] {
+            return ViaLocal { via: vec![t], local: Vec::new() };
+        }
+        let mut seen = vec![false; self.num_stations()];
+        let mut via = Vec::new();
+        let mut local = Vec::new();
+        let mut stack = vec![t];
+        seen[t.idx()] = true;
+        while let Some(v) = stack.pop() {
+            for &u in self.incoming(v) {
+                if seen[u.idx()] {
+                    continue;
+                }
+                seen[u.idx()] = true;
+                if is_transfer[u.idx()] {
+                    via.push(u); // touched, not expanded
+                } else {
+                    local.push(u);
+                    stack.push(u);
+                }
+            }
+        }
+        via.sort_unstable();
+        local.sort_unstable();
+        ViaLocal { via, local }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::{Period, Time};
+    use pt_timetable::TimetableBuilder;
+
+    /// A path network 0 → 1 → 2 → 3 plus a shortcut 0 → 2.
+    fn path_graph() -> StationGraph {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..4).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        b.add_simple_trip(
+            &[s[0], s[1], s[2], s[3]],
+            Time::hm(8, 0),
+            &[Dur::minutes(5), Dur::minutes(5), Dur::minutes(5)],
+            Dur::ZERO,
+        )
+        .unwrap();
+        b.add_simple_trip(&[s[0], s[2]], Time::hm(9, 0), &[Dur::minutes(7)], Dur::ZERO)
+            .unwrap();
+        StationGraph::build(&b.build().unwrap())
+    }
+
+    #[test]
+    fn edges_are_unique_with_min_weight() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let a = b.add_named_station("A", Dur::ZERO);
+        let c = b.add_named_station("B", Dur::ZERO);
+        b.add_simple_trip(&[a, c], Time::hm(8, 0), &[Dur::minutes(12)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[a, c], Time::hm(9, 0), &[Dur::minutes(8)], Dur::ZERO).unwrap();
+        let g = StationGraph::build(&b.build().unwrap());
+        assert_eq!(g.num_edges(), 1);
+        let (head, w) = g.out(a).next().unwrap();
+        assert_eq!(head, c);
+        assert_eq!(w, Dur::minutes(8)); // the faster train
+    }
+
+    #[test]
+    fn incoming_mirrors_outgoing() {
+        let g = path_graph();
+        assert_eq!(g.incoming(StationId(2)), &[StationId(0), StationId(1)]);
+        assert_eq!(g.incoming(StationId(0)), &[] as &[StationId]);
+        let outs: Vec<_> = g.out(StationId(0)).map(|(t, _)| t).collect();
+        assert_eq!(outs, vec![StationId(1), StationId(2)]);
+    }
+
+    #[test]
+    fn degree_counts_distinct_neighbours() {
+        let g = path_graph();
+        // Station 2: out {3}, in {0, 1} → 3 distinct.
+        assert_eq!(g.degree(StationId(2)), 3);
+        // Station 0: out {1, 2}, in {} → 2.
+        assert_eq!(g.degree(StationId(0)), 2);
+    }
+
+    #[test]
+    fn via_local_stops_at_transfer_stations() {
+        let g = path_graph();
+        // Transfer stations: {1}. Target 3: reverse reachability 3←2←{1,0}.
+        let mut is_transfer = vec![false; 4];
+        is_transfer[1] = true;
+        let vl = g.via_and_local(StationId(3), &is_transfer);
+        assert_eq!(vl.via, vec![StationId(1)]);
+        // 2 is local (direct), 0 is local via the 0→2 shortcut.
+        assert_eq!(vl.local, vec![StationId(0), StationId(2)]);
+        assert!(vl.is_local_query(StationId(0)));
+        assert!(!vl.is_local_query(StationId(1)));
+    }
+
+    #[test]
+    fn via_local_blocked_source_is_global() {
+        let g = path_graph();
+        // Transfer stations {1, 2}: station 0 can only reach 3 through them.
+        let mut is_transfer = vec![false; 4];
+        is_transfer[1] = true;
+        is_transfer[2] = true;
+        let vl = g.via_and_local(StationId(3), &is_transfer);
+        assert_eq!(vl.via, vec![StationId(2)]);
+        assert!(vl.local.is_empty());
+        assert!(!vl.is_local_query(StationId(0)));
+    }
+
+    #[test]
+    fn transfer_target_is_its_own_via() {
+        let g = path_graph();
+        let mut is_transfer = vec![false; 4];
+        is_transfer[3] = true;
+        let vl = g.via_and_local(StationId(3), &is_transfer);
+        assert_eq!(vl.via, vec![StationId(3)]);
+        assert!(vl.local.is_empty());
+    }
+}

@@ -1,0 +1,386 @@
+//! The realistic time-dependent graph model (paper §2, Fig. 1).
+//!
+//! Nodes: one *station node* per station (ids `0..|S|`), then one *route
+//! node* per (route, stop) pair. Edges:
+//!
+//! * `station(S) → routenode(ρ, j)` with constant weight `T(S)` — boarding a
+//!   route requires the minimum transfer time (the searches bypass these
+//!   edges at the source, so starting a journey is free),
+//! * `routenode(ρ, j) → station(S)` with constant weight `0` — alighting,
+//! * `routenode(ρ, j) → routenode(ρ, j+1)` with a time-dependent weight: the
+//!   PLF whose connection points are the departures of all trains of `ρ`
+//!   on that hop.
+
+use pt_core::{ConnId, Dur, NodeId, Period, Plf, PlfPoint, StationId, Time};
+use pt_timetable::{Routes, Timetable};
+
+/// Weight of a graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeWeight {
+    /// Constant duration (transfer edges).
+    Const(Dur),
+    /// Time-dependent duration: index into the PLF arena.
+    Td(u32),
+}
+
+/// One outgoing edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Head node.
+    pub head: NodeId,
+    /// Weight.
+    pub weight: EdgeWeight,
+}
+
+/// The realistic time-dependent graph of a timetable.
+#[derive(Debug, Clone)]
+pub struct TdGraph {
+    period: Period,
+    num_stations: u32,
+    first_edge: Vec<u32>,
+    edges: Vec<Edge>,
+    plfs: Vec<Plf>,
+    /// `st(v)` — the station every node belongs to.
+    node_station: Vec<StationId>,
+    /// For route nodes (offset by `num_stations`): `(route, stop index)`.
+    route_node_info: Vec<(pt_core::RouteId, u16)>,
+    /// For every elementary connection: the route node where it departs.
+    conn_start: Vec<NodeId>,
+    /// `T(S)` per station (copied out of the timetable for cache locality).
+    transfer: Vec<Dur>,
+}
+
+impl TdGraph {
+    /// Builds the graph from a timetable and its route partition.
+    pub fn build(tt: &Timetable, routes: &Routes) -> TdGraph {
+        let period = tt.period();
+        let ns = tt.num_stations();
+        let mut node_station: Vec<StationId> =
+            (0..ns as u32).map(StationId).collect();
+
+        // Route nodes, contiguous per route.
+        let mut route_first_node: Vec<NodeId> = Vec::with_capacity(routes.len());
+        let mut route_node_info: Vec<(pt_core::RouteId, u16)> = Vec::new();
+        for (ri, r) in routes.routes().iter().enumerate() {
+            route_first_node.push(NodeId::from_idx(node_station.len()));
+            node_station.extend(r.stations.iter().copied());
+            route_node_info.extend(
+                (0..r.stations.len()).map(|j| (pt_core::RouteId::from_idx(ri), j as u16)),
+            );
+        }
+        let num_nodes = node_station.len();
+
+        let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); num_nodes];
+        let mut plfs: Vec<Plf> = Vec::new();
+        for (ri, r) in routes.routes().iter().enumerate() {
+            let base = route_first_node[ri].idx();
+            for (j, &s) in r.stations.iter().enumerate() {
+                let rn = NodeId::from_idx(base + j);
+                // Board / alight edges.
+                adj[s.idx()].push(Edge {
+                    head: rn,
+                    weight: EdgeWeight::Const(tt.transfer_time(s)),
+                });
+                adj[rn.idx()].push(Edge {
+                    head: NodeId(s.0),
+                    weight: EdgeWeight::Const(Dur::ZERO),
+                });
+            }
+            // Route edges with one PLF per hop.
+            for hop in 0..r.num_hops() {
+                let points: Vec<PlfPoint> = r
+                    .trains
+                    .iter()
+                    .map(|&t| {
+                        let c = tt.connection(routes.connection_at(t, hop));
+                        PlfPoint::new(c.dep, c.dur())
+                    })
+                    .collect();
+                let expected = points.len();
+                let plf = Plf::from_points(points, period);
+                debug_assert_eq!(
+                    plf.len(),
+                    expected,
+                    "route partition produced a non-FIFO hop"
+                );
+                let idx = plfs.len() as u32;
+                plfs.push(plf);
+                adj[base + hop].push(Edge {
+                    head: NodeId::from_idx(base + hop + 1),
+                    weight: EdgeWeight::Td(idx),
+                });
+            }
+        }
+
+        // Flatten to CSR.
+        let mut first_edge = Vec::with_capacity(num_nodes + 1);
+        let mut edges = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        first_edge.push(0u32);
+        for a in &adj {
+            edges.extend_from_slice(a);
+            first_edge.push(edges.len() as u32);
+        }
+
+        // Start node of each connection: route node of (route(train), seq).
+        let conn_start: Vec<NodeId> = tt
+            .connections()
+            .iter()
+            .map(|c| {
+                let r = routes.route_of(c.train);
+                NodeId::from_idx(route_first_node[r.idx()].idx() + c.seq as usize)
+            })
+            .collect();
+
+        let transfer = (0..ns).map(|s| tt.transfer_time(StationId(s as u32))).collect();
+
+        TdGraph {
+            period,
+            num_stations: ns as u32,
+            first_edge,
+            edges,
+            plfs,
+            node_station,
+            route_node_info,
+            conn_start,
+            transfer,
+        }
+    }
+
+    /// For a route node: its `(route, stop index)`; `None` on station nodes.
+    #[inline]
+    pub fn route_node_info(&self, v: NodeId) -> Option<(pt_core::RouteId, u16)> {
+        let i = v.idx().checked_sub(self.num_stations as usize)?;
+        self.route_node_info.get(i).copied()
+    }
+
+    /// The timetable period.
+    #[inline]
+    pub fn period(&self) -> Period {
+        self.period
+    }
+
+    /// Total number of nodes (stations + route nodes).
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_station.len()
+    }
+
+    /// Number of stations; station nodes are `0..num_stations`.
+    #[inline]
+    pub fn num_stations(&self) -> usize {
+        self.num_stations as usize
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The station node of a station (identity mapping by construction).
+    #[inline]
+    pub fn station_node(&self, s: StationId) -> NodeId {
+        debug_assert!(s.0 < self.num_stations);
+        NodeId(s.0)
+    }
+
+    /// `st(v)`: the station a node belongs to.
+    #[inline]
+    pub fn station_of(&self, v: NodeId) -> StationId {
+        self.node_station[v.idx()]
+    }
+
+    /// `true` iff `v` is a station node.
+    #[inline]
+    pub fn is_station_node(&self, v: NodeId) -> bool {
+        v.0 < self.num_stations
+    }
+
+    /// Outgoing edges of `v`.
+    #[inline]
+    pub fn edges(&self, v: NodeId) -> &[Edge] {
+        let lo = self.first_edge[v.idx()] as usize;
+        let hi = self.first_edge[v.idx() + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// The PLF arena entry of a time-dependent edge.
+    #[inline]
+    pub fn plf(&self, idx: u32) -> &Plf {
+        &self.plfs[idx as usize]
+    }
+
+    /// Arrival time over `edge` when leaving its tail at absolute time `t`;
+    /// [`INFINITY`] if the edge is never served.
+    #[inline]
+    pub fn eval_edge(&self, edge: &Edge, t: Time) -> Time {
+        debug_assert!(!t.is_infinite());
+        match edge.weight {
+            EdgeWeight::Const(d) => t + d,
+            EdgeWeight::Td(idx) => self.plfs[idx as usize].eval_arr(t, self.period),
+        }
+    }
+
+    /// Arrival like [`eval_edge`], but treating constant (transfer) edges as
+    /// free — used when expanding the *source* station, where boarding does
+    /// not require a transfer.
+    #[inline]
+    pub fn eval_edge_free_transfer(&self, edge: &Edge, t: Time) -> Time {
+        match edge.weight {
+            EdgeWeight::Const(_) => t,
+            EdgeWeight::Td(idx) => self.plfs[idx as usize].eval_arr(t, self.period),
+        }
+    }
+
+    /// The route node at which a connection departs (used by the
+    /// connection-setting initialization, paper §3.1).
+    #[inline]
+    pub fn conn_start_node(&self, c: ConnId) -> NodeId {
+        self.conn_start[c.idx()]
+    }
+
+    /// `T(S)` of a station.
+    #[inline]
+    pub fn transfer_time(&self, s: StationId) -> Dur {
+        self.transfer[s.idx()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Total number of connection points over all route-edge PLFs.
+    pub fn num_plf_points(&self) -> usize {
+        self.plfs.iter().map(Plf::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::Period;
+    use pt_timetable::TimetableBuilder;
+
+    /// Two stations, one line A→B with two trains (08:00 and 09:00, 10 min).
+    fn two_station_graph() -> (Timetable, Routes, TdGraph) {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let a = b.add_named_station("A", Dur::minutes(2));
+        let bb = b.add_named_station("B", Dur::minutes(3));
+        for h in [8, 9] {
+            b.add_simple_trip(&[a, bb], Time::hm(h, 0), &[Dur::minutes(10)], Dur::ZERO)
+                .unwrap();
+        }
+        let tt = b.build().unwrap();
+        let routes = Routes::partition(&tt);
+        let g = TdGraph::build(&tt, &routes);
+        (tt, routes, g)
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let (tt, routes, g) = two_station_graph();
+        assert_eq!(routes.len(), 1);
+        // 2 station nodes + 2 route nodes.
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_stations(), tt.num_stations());
+        // 2 board + 2 alight + 1 route edge.
+        assert_eq!(g.num_edges(), 5);
+        // Both trains share one PLF with two points.
+        assert_eq!(g.num_plf_points(), 2);
+    }
+
+    #[test]
+    fn station_of_route_nodes() {
+        let (_, _, g) = two_station_graph();
+        let a = StationId(0);
+        let b = StationId(1);
+        assert_eq!(g.station_of(g.station_node(a)), a);
+        // Route nodes 2 and 3 belong to A and B.
+        assert_eq!(g.station_of(NodeId(2)), a);
+        assert_eq!(g.station_of(NodeId(3)), b);
+        assert!(g.is_station_node(NodeId(1)));
+        assert!(!g.is_station_node(NodeId(2)));
+    }
+
+    #[test]
+    fn boarding_costs_transfer_time() {
+        let (_, _, g) = two_station_graph();
+        let a = g.station_node(StationId(0));
+        let board = g
+            .edges(a)
+            .iter()
+            .find(|e| !g.is_station_node(e.head))
+            .expect("board edge");
+        // At 07:00, boarding puts us on the route node at 07:02.
+        assert_eq!(g.eval_edge(board, Time::hm(7, 0)), Time::hm(7, 2));
+        // At the source, boarding is free.
+        assert_eq!(g.eval_edge_free_transfer(board, Time::hm(7, 0)), Time::hm(7, 0));
+    }
+
+    #[test]
+    fn route_edge_waits_for_departure() {
+        let (_, _, g) = two_station_graph();
+        let rn_a = NodeId(2);
+        let route_edge = g
+            .edges(rn_a)
+            .iter()
+            .find(|e| matches!(e.weight, EdgeWeight::Td(_)))
+            .expect("route edge");
+        // Reaching the route node at 08:30 means riding the 09:00 train.
+        assert_eq!(g.eval_edge(route_edge, Time::hm(8, 30)), Time::hm(9, 10));
+        // Reaching it at exactly 08:00 rides the 08:00 train.
+        assert_eq!(g.eval_edge(route_edge, Time::hm(8, 0)), Time::hm(8, 10));
+    }
+
+    #[test]
+    fn alighting_is_free() {
+        let (_, _, g) = two_station_graph();
+        let rn_b = NodeId(3);
+        let alight = g
+            .edges(rn_b)
+            .iter()
+            .find(|e| g.is_station_node(e.head))
+            .expect("alight edge");
+        assert_eq!(alight.weight, EdgeWeight::Const(Dur::ZERO));
+        assert_eq!(g.eval_edge(alight, Time::hm(8, 10)), Time::hm(8, 10));
+    }
+
+    #[test]
+    fn conn_start_nodes_point_at_departure_route_node() {
+        let (tt, _, g) = two_station_graph();
+        for (i, c) in tt.connections().iter().enumerate() {
+            let start = g.conn_start_node(ConnId::from_idx(i));
+            assert_eq!(g.station_of(start), c.from);
+            assert!(!g.is_station_node(start));
+        }
+    }
+
+    #[test]
+    fn multi_hop_route_chains_route_nodes() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        b.add_simple_trip(
+            &[s[0], s[1], s[2]],
+            Time::hm(6, 0),
+            &[Dur::minutes(5), Dur::minutes(7)],
+            Dur::ZERO,
+        )
+        .unwrap();
+        let tt = b.build().unwrap();
+        let routes = Routes::partition(&tt);
+        let g = TdGraph::build(&tt, &routes);
+        // 3 station + 3 route nodes; 3 board + 3 alight + 2 route edges.
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.num_edges(), 8);
+        // Ride through: route node of hop 0 at 06:00 → arr 06:05 at hop 1,
+        // depart 06:05 (zero dwell) → arr 06:12.
+        let rn0 = NodeId(3);
+        let e01 = g.edges(rn0).iter().find(|e| matches!(e.weight, EdgeWeight::Td(_))).unwrap();
+        let t1 = g.eval_edge(e01, Time::hm(6, 0));
+        assert_eq!(t1, Time::hm(6, 5));
+        let rn1 = e01.head;
+        let e12 = g.edges(rn1).iter().find(|e| matches!(e.weight, EdgeWeight::Td(_))).unwrap();
+        assert_eq!(g.eval_edge(e12, t1), Time::hm(6, 12));
+    }
+}

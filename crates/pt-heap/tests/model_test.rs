@@ -1,0 +1,93 @@
+//! Model test: the indexed heap against a reference priority map, driven by
+//! random operation sequences, for both arities.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    PushOrDecrease { slot: usize, key: u64 },
+    Pop,
+    Clear,
+}
+
+fn ops(slots: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            6 => (0..slots, 0u64..1000).prop_map(|(slot, key)| Op::PushOrDecrease { slot, key }),
+            3 => Just(Op::Pop),
+            1 => Just(Op::Clear),
+        ],
+        0..200,
+    )
+}
+
+fn run_model<const D: usize>(ops: Vec<Op>) -> Result<(), TestCaseError> {
+    const SLOTS: usize = 24;
+    let mut heap = pt_heap::IndexedHeap::<D>::new(SLOTS);
+    // Reference: slot -> key, popped in (key, insertion-order-agnostic) order.
+    let mut model: BTreeMap<usize, u64> = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::PushOrDecrease { slot, key } => {
+                let model_changed = match model.get(&slot) {
+                    Some(&k) if k <= key => false,
+                    _ => {
+                        model.insert(slot, key);
+                        true
+                    }
+                };
+                let heap_changed = heap.push_or_decrease(slot, key);
+                prop_assert_eq!(heap_changed, model_changed);
+            }
+            Op::Pop => {
+                match heap.pop() {
+                    None => prop_assert!(model.is_empty()),
+                    Some((slot, key)) => {
+                        let min = *model.values().min().expect("model non-empty");
+                        prop_assert_eq!(key, min, "popped key must be the minimum");
+                        prop_assert_eq!(model.remove(&slot), Some(key));
+                    }
+                }
+            }
+            Op::Clear => {
+                heap.clear();
+                model.clear();
+            }
+        }
+        prop_assert!(heap.check_invariants());
+        prop_assert_eq!(heap.len(), model.len());
+        for slot in 0..SLOTS {
+            prop_assert_eq!(heap.key_of(slot), model.get(&slot).copied());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn binary_heap_matches_model(ops in ops(24)) {
+        run_model::<2>(ops)?;
+    }
+
+    #[test]
+    fn quaternary_heap_matches_model(ops in ops(24)) {
+        run_model::<4>(ops)?;
+    }
+
+    #[test]
+    fn heapsort_property(keys in prop::collection::vec(0u64..10_000, 1..256)) {
+        // Distinct slots, arbitrary keys: pops come out sorted.
+        let mut h = pt_heap::QuaternaryHeap::new(keys.len());
+        for (slot, &k) in keys.iter().enumerate() {
+            h.push_or_decrease(slot, k);
+        }
+        let mut popped = Vec::with_capacity(keys.len());
+        while let Some((_, k)) = h.pop() {
+            popped.push(k);
+        }
+        let mut want = keys.clone();
+        want.sort_unstable();
+        prop_assert_eq!(popped, want);
+    }
+}

@@ -1,0 +1,308 @@
+//! SPCS — the self-pruning connection-setting profile search (paper §3.1).
+//!
+//! One Dijkstra-like search over `(node, connection)` pairs, keyed by
+//! arrival time:
+//!
+//! * **Initialization**: `conn(S)` is ordered by departure time; for each
+//!   outgoing connection `c_i` the queue receives `(r, i)` with key
+//!   `τdep(c_i)`, where `r` is the route node `c_i` departs from.
+//! * **Connection-setting**: each `(v, i)` is settled at most once; the
+//!   label-setting property holds per connection.
+//! * **Self-pruning**: a `maxconn(v)` label holds the highest connection
+//!   index settled at `v`. Settling `(v, i)` with `i ≤ maxconn(v)` proves
+//!   the connection useless at `v` (a later departure arrived no later), so
+//!   its edges are not relaxed and `arr(v, i)` is marked unreachable.
+//! * **Connection reduction** turns the raw labels at each station into the
+//!   reduced (FIFO) profile `dist(S, T, ·)`.
+
+use pt_core::{NodeId, Period, Profile, ProfilePoint, StationId, Time, INFINITY};
+use pt_heap::BinaryHeap;
+
+use crate::network::Network;
+use crate::parallel::{self, OneToAllResult};
+use crate::partition::PartitionStrategy;
+use crate::profile_set::ProfileSet;
+use crate::stats::QueryStats;
+
+/// Label value marking "connection pruned at this node" (`arr(v,i) := ∞`
+/// in the paper). Distinct from [`INFINITY`] = "not discovered", so a
+/// pruned pair is never re-settled.
+pub(crate) const PRUNED: Time = Time(u32::MAX - 1);
+
+/// One-to-all profile searches over a fixed network.
+///
+/// Builder-style configuration:
+///
+/// ```ignore
+/// let mut engine = ProfileEngine::new(&net).threads(4);
+/// let profiles = engine.one_to_all(source);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileEngine<'a> {
+    net: &'a Network,
+    threads: usize,
+    strategy: PartitionStrategy,
+    self_pruning: bool,
+}
+
+impl<'a> ProfileEngine<'a> {
+    /// A single-threaded engine with self-pruning and the paper's default
+    /// *equal number of connections* partition.
+    pub fn new(net: &'a Network) -> Self {
+        ProfileEngine {
+            net,
+            threads: 1,
+            strategy: PartitionStrategy::EqualConnections,
+            self_pruning: true,
+        }
+    }
+
+    /// Sets the number of worker threads `p` (§3.2).
+    pub fn threads(mut self, p: usize) -> Self {
+        assert!(p >= 1, "need at least one thread");
+        self.threads = p;
+        self
+    }
+
+    /// Sets the `conn(S)` partition strategy (§3.2).
+    pub fn strategy(mut self, s: PartitionStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Enables/disables self-pruning (ablation; the paper always prunes).
+    pub fn self_pruning(mut self, on: bool) -> Self {
+        self.self_pruning = on;
+        self
+    }
+
+    /// The network this engine queries.
+    pub fn network(&self) -> &'a Network {
+        self.net
+    }
+
+    /// Runs a one-to-all profile search from `source`.
+    pub fn one_to_all(&mut self, source: StationId) -> ProfileSet {
+        self.one_to_all_with_stats(source).profiles
+    }
+
+    /// Like [`ProfileEngine::one_to_all`], also returning operation counts
+    /// and the per-thread balance.
+    pub fn one_to_all_with_stats(&mut self, source: StationId) -> OneToAllResult {
+        parallel::one_to_all(self.net, source, self.threads, self.strategy, self.self_pruning)
+    }
+}
+
+/// Per-thread output of [`run_range`]: arrival labels restricted to station
+/// nodes, in local-connection-major order.
+pub(crate) struct CsRangeResult {
+    /// `arr[i_local * num_stations + station]`; [`INFINITY`] = unreachable.
+    pub station_arr: Vec<Time>,
+    pub stats: QueryStats,
+}
+
+/// Runs the (self-pruning) connection-setting search restricted to the
+/// global connection-id range `lo..hi` (a contiguous subset of `conn(S)`).
+///
+/// This is the workhorse of both the sequential and the parallel algorithm:
+/// each worker thread calls it on its partition class.
+pub(crate) fn run_range(
+    net: &Network,
+    lo: u32,
+    hi: u32,
+    self_pruning: bool,
+) -> CsRangeResult {
+    let g = net.graph();
+    let tt = net.timetable();
+    let nv = g.num_nodes();
+    let ns = g.num_stations();
+    let k = (hi - lo) as usize;
+    let mut stats = QueryStats::default();
+
+    // Labels arr(v, i) for the local connections, plus maxconn(v).
+    let mut arr: Vec<Time> = vec![INFINITY; k * nv];
+    let mut maxconn: Vec<u32> = vec![u32::MAX; nv];
+    let mut heap = BinaryHeap::new(k * nv);
+
+    // Initialization: one queue item per outgoing connection, at the route
+    // node it departs from, keyed by its departure time.
+    for i in 0..k {
+        let c = pt_core::ConnId(lo + i as u32);
+        let r = g.conn_start_node(c);
+        let dep = tt.connection(c).dep;
+        let slot = i * nv + r.idx();
+        // Two connections of one thread may depart from the same route node;
+        // distinct `i` gives distinct slots, so no key collision is possible.
+        heap.push_or_decrease(slot, dep.secs() as u64);
+        stats.pushes += 1;
+    }
+
+    while let Some((slot, key)) = heap.pop() {
+        stats.settled += 1;
+        let i = slot / nv;
+        let v = slot % nv;
+        let t = Time(key as u32);
+
+        if self_pruning {
+            let mc = maxconn[v];
+            if mc != u32::MAX && i as u32 <= mc {
+                // A later connection already settled v: this one cannot be
+                // part of any reduced profile through v.
+                stats.self_pruned += 1;
+                arr[slot] = PRUNED;
+                continue;
+            }
+            maxconn[v] = i as u32;
+        }
+        arr[slot] = t;
+
+        let base = i * nv;
+        for e in g.edges(NodeId::from_idx(v)) {
+            let ta = g.eval_edge(e, t);
+            if ta.is_infinite() {
+                continue;
+            }
+            let wslot = base + e.head.idx();
+            if arr[wslot] != INFINITY {
+                continue; // already settled (or pruned) for connection i
+            }
+            stats.relaxed += 1;
+            if heap.contains(wslot) {
+                if heap.push_or_decrease(wslot, ta.secs() as u64) {
+                    stats.decreases += 1;
+                }
+            } else {
+                heap.push_or_decrease(wslot, ta.secs() as u64);
+                stats.pushes += 1;
+            }
+        }
+    }
+
+    // Extract labels at station nodes (station nodes are 0..ns).
+    let mut station_arr = vec![INFINITY; k * ns];
+    for i in 0..k {
+        let src = i * nv;
+        let dst = i * ns;
+        for s in 0..ns {
+            let a = arr[src + s];
+            station_arr[dst + s] = if a >= PRUNED { INFINITY } else { a };
+        }
+    }
+    CsRangeResult { station_arr, stats }
+}
+
+/// Builds the reduced profile of one station out of per-connection labels.
+///
+/// `parts` lists, in global connection order, `(departure, arrival)` pairs;
+/// infinite arrivals are skipped. This is the paper's connection reduction
+/// applied to the merged label `arr(v, ·)`.
+pub(crate) fn reduce_station_profile(
+    points: impl Iterator<Item = (Time, Time)>,
+    period: Period,
+) -> Profile {
+    let raw: Vec<ProfilePoint> = points
+        .filter(|(_, arr)| !arr.is_infinite())
+        .map(|(dep, arr)| ProfilePoint::new(dep, arr))
+        .collect();
+    Profile::from_unreduced(raw, period)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::Dur;
+    use pt_timetable::TimetableBuilder;
+
+    /// Line A→B→C every 30 min 08:00–10:00 (10-min legs, no dwell) and a
+    /// detour line A→D→C at 07:45 arriving late.
+    fn net() -> (Network, Vec<StationId>) {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..4)
+            .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2)))
+            .collect();
+        for m in [0u32, 30, 60, 90, 120] {
+            b.add_simple_trip(
+                &[s[0], s[1], s[2]],
+                Time::hm(8, 0) + Dur::minutes(m),
+                &[Dur::minutes(10), Dur::minutes(10)],
+                Dur::ZERO,
+            )
+            .unwrap();
+        }
+        b.add_simple_trip(
+            &[s[0], s[3], s[2]],
+            Time::hm(7, 45),
+            &[Dur::minutes(30), Dur::minutes(30)],
+            Dur::ZERO,
+        )
+        .unwrap();
+        (Network::new(b.build().unwrap()), s)
+    }
+
+    #[test]
+    fn profile_has_one_point_per_useful_departure() {
+        let (net, s) = net();
+        let mut engine = ProfileEngine::new(&net);
+        let prof = engine.one_to_all(s[0]);
+        let to_b = prof.profile(s[1]);
+        // Five line departures, each useful for reaching B.
+        assert_eq!(to_b.len(), 5);
+        assert_eq!(
+            prof.earliest_arrival(s[1], Time::hm(8, 10)),
+            Time::hm(8, 40)
+        );
+    }
+
+    #[test]
+    fn dominated_detour_is_reduced_away() {
+        let (net, s) = net();
+        let mut engine = ProfileEngine::new(&net);
+        let prof = engine.one_to_all(s[0]);
+        let to_c = prof.profile(s[2]);
+        // The 07:45 detour arrives at C at 08:45; the 08:00 direct arrives
+        // 08:20 — the detour departure is dominated and must be gone.
+        assert!(to_c.points().iter().all(|p| p.dep != Time::hm(7, 45)));
+        assert_eq!(to_c.len(), 5);
+        // But the detour is the only way to reach D.
+        let to_d = prof.profile(s[3]);
+        assert_eq!(to_d.len(), 1);
+        assert_eq!(to_d.points()[0].arr, Time::hm(8, 15));
+    }
+
+    #[test]
+    fn profile_matches_time_queries_at_every_departure() {
+        let (net, s) = net();
+        let mut engine = ProfileEngine::new(&net);
+        let prof = engine.one_to_all(s[0]);
+        for tau in [Time::hm(7, 0), Time::hm(7, 45), Time::hm(8, 1), Time::hm(9, 55)] {
+            for &target in &s[1..] {
+                let want = crate::time_query::earliest_arrival(&net, s[0], tau, target);
+                let got = prof.profile(target).eval_arr(tau, Period::DAY);
+                assert_eq!(got, want, "target {target} at {tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn self_pruning_reduces_work_but_not_results() {
+        let (net, s) = net();
+        let with = ProfileEngine::new(&net).one_to_all_with_stats(s[0]);
+        let without = ProfileEngine::new(&net)
+            .self_pruning(false)
+            .one_to_all_with_stats(s[0]);
+        assert_eq!(with.profiles, without.profiles);
+        assert!(with.stats.relaxed <= without.stats.relaxed);
+        assert!(with.stats.self_pruned > 0);
+    }
+
+    #[test]
+    fn source_profile_is_trivial() {
+        let (net, s) = net();
+        let prof = ProfileEngine::new(&net).one_to_all(s[0]);
+        // Every point of the source profile departs and arrives at the same
+        // time (you are already there).
+        for p in prof.profile(s[0]).points() {
+            assert_eq!(p.dep, p.arr);
+        }
+    }
+}

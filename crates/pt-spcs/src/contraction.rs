@@ -1,0 +1,244 @@
+//! Contraction-based importance ordering of the station graph (paper §4,
+//! "Selection of Transfer Stations").
+//!
+//! The paper adopts the *contraction* idea of contraction hierarchies
+//! [Geisberger et al. '08]: iteratively remove unimportant stations from the
+//! station graph, inserting shortcut edges to preserve distances between the
+//! remaining stations; the stations still present after contracting `c`
+//! stations are marked important (= transfer stations).
+//!
+//! The overlay uses scalar lower-bound weights (minimum leg durations), the
+//! node priority is `edge difference + deleted neighbours`, maintained
+//! lazily, and witness searches are bounded Dijkstras — the standard
+//! engineering of CH orderings, scaled to station graphs of a few thousand
+//! nodes.
+
+use std::collections::HashMap;
+
+use pt_core::StationId;
+use pt_graph::StationGraph;
+use pt_heap::QuaternaryHeap;
+
+/// Overlay graph with mutable adjacency, weights in seconds.
+struct Overlay {
+    out: Vec<HashMap<u32, u32>>,
+    inc: Vec<HashMap<u32, u32>>,
+    contracted: Vec<bool>,
+    deleted_neighbours: Vec<u32>,
+}
+
+impl Overlay {
+    fn new(sg: &StationGraph) -> Overlay {
+        let n = sg.num_stations();
+        let mut out: Vec<HashMap<u32, u32>> = vec![HashMap::new(); n];
+        let mut inc: Vec<HashMap<u32, u32>> = vec![HashMap::new(); n];
+        for s in 0..n as u32 {
+            for (head, w) in sg.out(StationId(s)) {
+                let w = w.secs();
+                out[s as usize]
+                    .entry(head.0)
+                    .and_modify(|e| *e = (*e).min(w))
+                    .or_insert(w);
+                inc[head.idx()].entry(s).and_modify(|e| *e = (*e).min(w)).or_insert(w);
+            }
+        }
+        Overlay { out, inc, contracted: vec![false; n], deleted_neighbours: vec![0; n] }
+    }
+
+    /// Bounded Dijkstra from `from` avoiding `avoid`; returns the distance
+    /// to `to` if one of at most `settle_limit` settled nodes within
+    /// `cutoff` reaches it, else `u32::MAX`.
+    fn witness(&self, from: u32, to: u32, avoid: u32, cutoff: u32, settle_limit: usize) -> u32 {
+        let mut dist: HashMap<u32, u32> = HashMap::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u32, from)));
+        dist.insert(from, 0);
+        let mut settled = 0usize;
+        while let Some(std::cmp::Reverse((d, v))) = heap.pop() {
+            if dist.get(&v).is_some_and(|&b| b < d) {
+                continue; // stale
+            }
+            if v == to {
+                return d;
+            }
+            settled += 1;
+            if settled > settle_limit || d > cutoff {
+                break;
+            }
+            for (&w, &wt) in &self.out[v as usize] {
+                if w == avoid || self.contracted[w as usize] {
+                    continue;
+                }
+                let nd = d.saturating_add(wt);
+                if nd <= cutoff && dist.get(&w).map_or(true, |&b| nd < b) {
+                    dist.insert(w, nd);
+                    heap.push(std::cmp::Reverse((nd, w)));
+                }
+            }
+        }
+        u32::MAX
+    }
+
+    /// The shortcuts contraction of `v` would need: `(u, w, weight)` for
+    /// in-neighbour `u` and out-neighbour `w` without a witness path.
+    fn needed_shortcuts(&self, v: u32) -> Vec<(u32, u32, u32)> {
+        let mut shortcuts = Vec::new();
+        let ins: Vec<(u32, u32)> = self.inc[v as usize]
+            .iter()
+            .filter(|(&u, _)| !self.contracted[u as usize] && u != v)
+            .map(|(&u, &w)| (u, w))
+            .collect();
+        let outs: Vec<(u32, u32)> = self.out[v as usize]
+            .iter()
+            .filter(|(&w, _)| !self.contracted[w as usize] && w != v)
+            .map(|(&w, &wt)| (w, wt))
+            .collect();
+        for &(u, wu) in &ins {
+            let max_cutoff = outs
+                .iter()
+                .map(|&(_, wv)| wu.saturating_add(wv))
+                .max()
+                .unwrap_or(0);
+            for &(w, wv) in &outs {
+                if u == w {
+                    continue;
+                }
+                let via = wu.saturating_add(wv);
+                let witness = self.witness(u, w, v, max_cutoff.min(via), 24);
+                if witness > via {
+                    shortcuts.push((u, w, via));
+                }
+            }
+        }
+        shortcuts
+    }
+
+    /// Edge-difference part of the priority.
+    fn edge_difference(&self, v: u32) -> i64 {
+        let ins = self.inc[v as usize]
+            .keys()
+            .filter(|&&u| !self.contracted[u as usize])
+            .count() as i64;
+        let outs = self.out[v as usize]
+            .keys()
+            .filter(|&&w| !self.contracted[w as usize])
+            .count() as i64;
+        self.needed_shortcuts(v).len() as i64 - ins - outs
+    }
+
+    fn priority(&self, v: u32) -> i64 {
+        self.edge_difference(v) + self.deleted_neighbours[v as usize] as i64
+    }
+
+    fn contract(&mut self, v: u32) {
+        for (u, w, wt) in self.needed_shortcuts(v) {
+            let e = self.out[u as usize].entry(w).or_insert(u32::MAX);
+            *e = (*e).min(wt);
+            let e = self.inc[w as usize].entry(u).or_insert(u32::MAX);
+            *e = (*e).min(wt);
+        }
+        self.contracted[v as usize] = true;
+        for &u in self.inc[v as usize].keys() {
+            if !self.contracted[u as usize] {
+                self.deleted_neighbours[u as usize] += 1;
+            }
+        }
+        for &w in self.out[v as usize].keys() {
+            if !self.contracted[w as usize] {
+                self.deleted_neighbours[w as usize] += 1;
+            }
+        }
+    }
+}
+
+/// Contracts `count` stations in importance order (least important first)
+/// and returns them; the complement survives as the important stations.
+///
+/// Priorities are maintained lazily: the heap's minimum is re-evaluated
+/// before contraction and re-queued if it no longer is the minimum.
+pub fn contract_stations(sg: &StationGraph, count: usize) -> Vec<StationId> {
+    let n = sg.num_stations();
+    let count = count.min(n);
+    let mut overlay = Overlay::new(sg);
+    // i64 priority → shifted u64 heap key.
+    let to_key = |p: i64| (p + (1i64 << 40)) as u64;
+    let mut heap = QuaternaryHeap::new(n);
+    for v in 0..n as u32 {
+        heap.push_or_decrease(v as usize, to_key(overlay.priority(v)));
+    }
+    let mut order = Vec::with_capacity(count);
+    while order.len() < count {
+        let Some((v, key)) = heap.pop() else { break };
+        let v = v as u32;
+        // Lazy re-evaluation.
+        let fresh = to_key(overlay.priority(v));
+        if fresh > key {
+            if let Some((_, next_key)) = heap.peek() {
+                if fresh > next_key {
+                    heap.push_or_decrease(v as usize, fresh);
+                    continue;
+                }
+            }
+        }
+        overlay.contract(v);
+        order.push(StationId(v));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::{Dur, Period, Time};
+    use pt_timetable::TimetableBuilder;
+
+    /// Star: center 0 connected to leaves 1..=4 in both directions.
+    fn star_graph() -> StationGraph {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let c = b.add_named_station("hub", Dur::ZERO);
+        let leaves: Vec<_> =
+            (0..4).map(|i| b.add_named_station(format!("leaf{i}"), Dur::ZERO)).collect();
+        for &l in &leaves {
+            b.add_simple_trip(&[c, l], Time::hm(8, 0), &[Dur::minutes(10)], Dur::ZERO).unwrap();
+            b.add_simple_trip(&[l, c], Time::hm(9, 0), &[Dur::minutes(10)], Dur::ZERO).unwrap();
+        }
+        StationGraph::build(&b.build().unwrap())
+    }
+
+    #[test]
+    fn hub_survives_contraction() {
+        let sg = star_graph();
+        // Contract all but one station: the hub (degree 4) must survive —
+        // removing it early would require many shortcuts.
+        let removed = contract_stations(&sg, 4);
+        assert_eq!(removed.len(), 4);
+        assert!(
+            !removed.contains(&StationId(0)),
+            "hub was contracted: {removed:?}"
+        );
+    }
+
+    #[test]
+    fn contraction_is_deterministic_and_complete() {
+        let sg = star_graph();
+        let a = contract_stations(&sg, 5);
+        let b = contract_stations(&sg, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let mut sorted: Vec<u32> = a.iter().map(|s| s.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_count_contracts_nothing() {
+        let sg = star_graph();
+        assert!(contract_stations(&sg, 0).is_empty());
+    }
+
+    #[test]
+    fn count_clamps_to_station_count() {
+        let sg = star_graph();
+        assert_eq!(contract_stations(&sg, 100).len(), 5);
+    }
+}

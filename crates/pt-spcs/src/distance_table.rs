@@ -1,0 +1,208 @@
+//! Distance tables between transfer stations (paper §4).
+//!
+//! `D : S_trans × S_trans × Π → N0` returns, for each pair of transfer
+//! stations, the arrival time at the second when departing the first at a
+//! given time — *without* transfer times at either endpoint. We store one
+//! reduced arrival profile per ordered pair; an evaluation is one binary
+//! search.
+//!
+//! The table is precomputed "by running our parallel one-to-all algorithm
+//! from every transfer station" (§5.2). Here the outer loop over source
+//! stations is data-parallel (rayon) with a sequential SPCS per source —
+//! the same total work, better scheduling for many small searches.
+
+use rayon::prelude::*;
+
+use pt_core::{Period, Profile, StationId, Time, INFINITY};
+
+use crate::connection_setting::ProfileEngine;
+use crate::network::Network;
+use crate::transfer_selection::TransferSelection;
+
+/// A full profile table between transfer stations.
+#[derive(Debug, Clone)]
+pub struct DistanceTable {
+    period: Period,
+    /// Sorted transfer stations.
+    stations: Vec<StationId>,
+    /// Station → table index (`u32::MAX` = not a transfer station).
+    index: Vec<u32>,
+    /// Row-major `|S_trans|²` profiles.
+    profiles: Vec<Profile>,
+    /// Wall-clock preprocessing time.
+    build_time: std::time::Duration,
+}
+
+impl DistanceTable {
+    /// Precomputes the table for the given selection strategy.
+    pub fn build(net: &Network, selection: &TransferSelection) -> DistanceTable {
+        let stations = selection.select(net);
+        Self::build_for(net, stations)
+    }
+
+    /// Precomputes the table for an explicit (sorted, deduped) station set.
+    pub fn build_for(net: &Network, stations: Vec<StationId>) -> DistanceTable {
+        let start = std::time::Instant::now();
+        let period = net.timetable().period();
+        let n = stations.len();
+        let mut index = vec![u32::MAX; net.num_stations()];
+        for (i, s) in stations.iter().enumerate() {
+            index[s.idx()] = i as u32;
+        }
+
+        // One sequential SPCS per source, sources in parallel.
+        let rows: Vec<Vec<Profile>> = stations
+            .par_iter()
+            .map(|&src| {
+                let set = ProfileEngine::new(net).one_to_all(src);
+                stations.iter().map(|&dst| set.profile(dst).clone()).collect()
+            })
+            .collect();
+
+        let mut profiles = Vec::with_capacity(n * n);
+        for row in rows {
+            profiles.extend(row);
+        }
+        DistanceTable { period, stations, index, profiles, build_time: start.elapsed() }
+    }
+
+    /// Number of transfer stations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// `true` iff no transfer stations were selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stations.is_empty()
+    }
+
+    /// The sorted transfer stations.
+    #[inline]
+    pub fn stations(&self) -> &[StationId] {
+        &self.stations
+    }
+
+    /// `true` iff `s ∈ S_trans`.
+    #[inline]
+    pub fn is_transfer(&self, s: StationId) -> bool {
+        self.index[s.idx()] != u32::MAX
+    }
+
+    /// Boolean mask over all stations.
+    pub fn transfer_mask(&self) -> Vec<bool> {
+        self.index.iter().map(|&i| i != u32::MAX).collect()
+    }
+
+    /// The stored profile `D(a, b, ·)`; both must be transfer stations.
+    #[inline]
+    pub fn profile(&self, a: StationId, b: StationId) -> &Profile {
+        let ia = self.index[a.idx()];
+        let ib = self.index[b.idx()];
+        debug_assert!(ia != u32::MAX && ib != u32::MAX, "not transfer stations");
+        &self.profiles[ia as usize * self.stations.len() + ib as usize]
+    }
+
+    /// `D(a, b, t)`: earliest arrival at `b` when departing `a` at absolute
+    /// time `t` (no transfer buffers at the endpoints). `a == b` yields `t`;
+    /// unreachable pairs yield [`INFINITY`].
+    #[inline]
+    pub fn eval(&self, a: StationId, b: StationId, t: Time) -> Time {
+        if a == b {
+            return t;
+        }
+        if t.is_infinite() {
+            return INFINITY;
+        }
+        self.profile(a, b).eval_arr(t, self.period)
+    }
+
+    /// Wall-clock time spent in [`DistanceTable::build`].
+    pub fn build_time(&self) -> std::time::Duration {
+        self.build_time
+    }
+
+    /// Memory footprint of the stored profiles in bytes (the space column
+    /// of Table 2).
+    pub fn size_bytes(&self) -> usize {
+        self.profiles.iter().map(Profile::size_bytes).sum::<usize>()
+            + self.index.len() * std::mem::size_of::<u32>()
+            + self.stations.len() * std::mem::size_of::<StationId>()
+    }
+
+    /// Megabytes variant of [`DistanceTable::size_bytes`].
+    pub fn size_mib(&self) -> f64 {
+        self.size_bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_timetable::synthetic::city::{generate_city, CityConfig};
+
+    fn net() -> Network {
+        Network::new(generate_city(&CityConfig::sized(36, 5, 11)))
+    }
+
+    #[test]
+    fn table_matches_one_to_all_profiles() {
+        let net = net();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
+        assert!(!table.is_empty());
+        for &a in table.stations().iter().take(3) {
+            let set = ProfileEngine::new(&net).one_to_all(a);
+            for &b in table.stations() {
+                assert_eq!(table.profile(a, b), set.profile(b), "{a}→{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_is_identity_on_diagonal() {
+        let net = net();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.1));
+        let s = table.stations()[0];
+        let t = Time::hm(9, 30);
+        assert_eq!(table.eval(s, s, t), t);
+    }
+
+    #[test]
+    fn eval_agrees_with_time_queries() {
+        let net = net();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        let deps = [Time::hm(7, 0), Time::hm(12, 31), Time::hm(23, 45)];
+        for &a in table.stations().iter().take(2) {
+            for &b in table.stations().iter().take(4) {
+                if a == b {
+                    continue;
+                }
+                for &dep in &deps {
+                    let want = crate::time_query::earliest_arrival(&net, a, dep, b);
+                    assert_eq!(table.eval(a, b, dep), want, "{a}→{b} at {dep}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_accounting_is_positive() {
+        let net = net();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.1));
+        assert!(table.size_bytes() > 0);
+        assert!(table.size_mib() > 0.0);
+        assert!(table.build_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn mask_is_consistent() {
+        let net = net();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.1));
+        let mask = table.transfer_mask();
+        for s in net.station_ids() {
+            assert_eq!(mask[s.idx()], table.is_transfer(s));
+        }
+        assert_eq!(mask.iter().filter(|&&b| b).count(), table.len());
+    }
+}

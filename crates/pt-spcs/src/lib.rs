@@ -1,0 +1,48 @@
+//! The paper's search algorithms.
+//!
+//! * [`time_query`] — time-dependent Dijkstra (`dist(S, ·, τ)`), the
+//!   label-setting baseline of §2 and the ground truth for tests,
+//! * [`label_correcting`] — the label-correcting profile search the paper
+//!   compares against in Table 1 (propagates whole functions),
+//! * [`connection_setting`] — **SPCS**, the self-pruning connection-setting
+//!   one-to-all profile search (§3.1),
+//! * [`partition`] — the `conn(S)` partition strategies for parallel
+//!   execution (§3.2): equal time-slots, equal number of connections,
+//!   1-D k-means,
+//! * [`parallel`] — the multi-threaded driver: one SPCS per thread on its
+//!   connection subset, merge + connection reduction at the master (§3.2),
+//! * [`s2s`] — station-to-station queries (§4): stopping criterion,
+//!   distance-table pruning via `via(T)`, target pruning,
+//! * [`distance_table`] — precomputed full profile tables between transfer
+//!   stations,
+//! * [`transfer_selection`] / [`contraction`] — choosing the transfer
+//!   stations by station-graph contraction or by degree,
+//! * [`multicriteria`] — the paper's future-work extension: Pareto
+//!   (arrival, transfers) time-queries.
+
+pub mod connection_setting;
+pub mod contraction;
+pub mod distance_table;
+pub mod journey;
+pub mod label_correcting;
+pub mod multicriteria;
+pub mod network;
+pub mod parallel;
+pub mod partition;
+pub mod profile_set;
+pub mod s2s;
+pub mod stats;
+pub mod time_query;
+pub mod transfer_selection;
+
+pub use connection_setting::ProfileEngine;
+pub use distance_table::DistanceTable;
+pub use journey::{earliest_journey, Journey, Leg};
+pub use network::Network;
+pub use parallel::OneToAllResult;
+pub use partition::PartitionStrategy;
+pub use profile_set::ProfileSet;
+pub use s2s::{QueryKind, S2sEngine, S2sResult};
+pub use stats::QueryStats;
+pub use transfer_selection::TransferSelection;
+

@@ -1,0 +1,66 @@
+//! Bundled search structures of one transportation network.
+
+use pt_core::StationId;
+use pt_graph::{StationGraph, TdGraph};
+use pt_timetable::{Routes, Timetable};
+
+/// A timetable together with every derived structure the searches need:
+/// the route partition, the realistic time-dependent graph and the station
+/// graph. Build it once, query it many times; all queries take `&Network`.
+#[derive(Debug, Clone)]
+pub struct Network {
+    timetable: Timetable,
+    routes: Routes,
+    graph: TdGraph,
+    stations: StationGraph,
+}
+
+impl Network {
+    /// Builds all derived structures from a timetable.
+    pub fn new(timetable: Timetable) -> Network {
+        let routes = Routes::partition(&timetable);
+        let graph = TdGraph::build(&timetable, &routes);
+        let stations = StationGraph::build(&timetable);
+        Network { timetable, routes, graph, stations }
+    }
+
+    /// Like [`Network::new`], borrowing the timetable (clones it).
+    pub fn build(timetable: &Timetable) -> Network {
+        Self::new(timetable.clone())
+    }
+
+    /// The underlying timetable.
+    #[inline]
+    pub fn timetable(&self) -> &Timetable {
+        &self.timetable
+    }
+
+    /// The route partition.
+    #[inline]
+    pub fn routes(&self) -> &Routes {
+        &self.routes
+    }
+
+    /// The realistic time-dependent graph.
+    #[inline]
+    pub fn graph(&self) -> &TdGraph {
+        &self.graph
+    }
+
+    /// The station graph `G_S`.
+    #[inline]
+    pub fn station_graph(&self) -> &StationGraph {
+        &self.stations
+    }
+
+    /// Number of stations.
+    #[inline]
+    pub fn num_stations(&self) -> usize {
+        self.timetable.num_stations()
+    }
+
+    /// Iterates over all stations.
+    pub fn station_ids(&self) -> impl Iterator<Item = StationId> + '_ {
+        self.timetable.station_ids()
+    }
+}

@@ -1,0 +1,156 @@
+//! Parallel SPCS driver (paper §3.2).
+//!
+//! `conn(S)` is partitioned into `p` subsets; `p` worker threads each run
+//! the self-pruning connection-setting search on their subset with private
+//! labels (no sharing, no locks — connections in different threads cannot
+//! prune each other, which is exactly the self-pruning loss the paper
+//! analyses). A master step then merges the per-thread labels in global
+//! connection order and applies connection reduction, restoring FIFO.
+
+use pt_core::StationId;
+
+use crate::connection_setting::{self, CsRangeResult};
+use crate::network::Network;
+use crate::partition::PartitionStrategy;
+use crate::profile_set::ProfileSet;
+use crate::stats::QueryStats;
+
+/// Result of a one-to-all profile query.
+#[derive(Debug, Clone)]
+pub struct OneToAllResult {
+    /// Reduced profiles to every station.
+    pub profiles: ProfileSet,
+    /// Operation counts, summed over threads (the paper's convention).
+    pub stats: QueryStats,
+    /// Settled-element count per thread — the balance diagnostic behind the
+    /// partition-strategy discussion in §3.2.
+    pub thread_settled: Vec<u64>,
+}
+
+/// Runs the one-to-all profile search on `p` threads.
+pub(crate) fn one_to_all(
+    net: &Network,
+    source: StationId,
+    p: usize,
+    strategy: PartitionStrategy,
+    self_pruning: bool,
+) -> OneToAllResult {
+    let tt = net.timetable();
+    let period = tt.period();
+    let ns = net.num_stations();
+    let conn_range = tt.conn_ids(source);
+    let conns = tt.conn(source);
+    let ranges = strategy.partition(conns, p, period);
+
+    // Run the workers (inline when single-threaded).
+    let results: Vec<CsRangeResult> = if p == 1 {
+        vec![connection_setting::run_range(
+            net,
+            conn_range.start,
+            conn_range.end,
+            self_pruning,
+        )]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|r| {
+                    let (lo, hi) = (conn_range.start + r.start, conn_range.start + r.end);
+                    scope.spawn(move || connection_setting::run_range(net, lo, hi, self_pruning))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        })
+    };
+
+    let thread_settled: Vec<u64> = results.iter().map(|r| r.stats.settled).collect();
+    let stats = QueryStats::sum(results.iter().map(|r| r.stats));
+
+    // Master merge: per station, concatenate the per-thread labels in global
+    // connection order, then reduce. The merged label need not be FIFO
+    // (threads do not prune each other), the reduction restores it.
+    let mut profiles = Vec::with_capacity(ns);
+    for s in 0..ns {
+        let points = results.iter().zip(&ranges).flat_map(|(res, r)| {
+            let k = r.len();
+            (0..k).map(move |i| {
+                let dep = conns[r.start as usize + i].dep;
+                let arr = res.station_arr[i * ns + s];
+                (dep, arr)
+            })
+        });
+        profiles.push(connection_setting::reduce_station_profile(points, period));
+    }
+    OneToAllResult {
+        profiles: ProfileSet::new(source, period, profiles),
+        stats,
+        thread_settled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection_setting::ProfileEngine;
+    use pt_core::{Dur, Period, Time};
+    use pt_timetable::synthetic::city::{generate_city, CityConfig};
+    use pt_timetable::TimetableBuilder;
+
+    fn small_city() -> Network {
+        Network::new(generate_city(&CityConfig::sized(36, 5, 7)))
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let net = small_city();
+        let sources = [StationId(0), StationId(7), StationId(20)];
+        for &s in &sources {
+            let seq = ProfileEngine::new(&net).one_to_all(s);
+            for p in [2, 3, 4, 8] {
+                let par = ProfileEngine::new(&net).threads(p).one_to_all(s);
+                assert_eq!(seq, par, "source {s}, {p} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_results() {
+        let net = small_city();
+        let s = StationId(3);
+        let base = ProfileEngine::new(&net).one_to_all(s);
+        for strat in [
+            PartitionStrategy::EqualTimeSlots,
+            PartitionStrategy::EqualConnections,
+            PartitionStrategy::KMeans { iters: 10 },
+        ] {
+            let got = ProfileEngine::new(&net).threads(4).strategy(strat).one_to_all(s);
+            assert_eq!(base, got, "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn more_threads_settle_more_but_balanced() {
+        let net = small_city();
+        let s = StationId(1);
+        let r1 = ProfileEngine::new(&net).one_to_all_with_stats(s);
+        let r4 = ProfileEngine::new(&net).threads(4).one_to_all_with_stats(s);
+        // Cross-thread self-pruning is lost: total settled grows (or stays).
+        assert!(r4.stats.settled >= r1.stats.settled);
+        assert_eq!(r4.thread_settled.len(), 4);
+        assert_eq!(r4.thread_settled.iter().sum::<u64>(), r4.stats.settled);
+    }
+
+    #[test]
+    fn degenerate_source_without_departures() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let a = b.add_named_station("A", Dur::ZERO);
+        let c = b.add_named_station("B", Dur::ZERO);
+        let d = b.add_named_station("sink", Dur::ZERO);
+        b.add_simple_trip(&[a, c], Time::hm(8, 0), &[Dur::minutes(5)], Dur::ZERO).unwrap();
+        let net = Network::new(b.build().unwrap());
+        // `sink` has no outgoing connections at all.
+        let prof = ProfileEngine::new(&net).threads(2).one_to_all(d);
+        assert!(prof.profile(a).is_empty());
+        assert!(prof.profile(c).is_empty());
+    }
+}

@@ -1,0 +1,535 @@
+//! Station-to-station profile queries (paper §4).
+//!
+//! The one-to-all search is specialized to a single target `T` with three
+//! pruning rules, each proved correct in the paper:
+//!
+//! * **Stopping criterion** (Thm 2): once connection `i` settled at `T`,
+//!   every queued `(v, j)` with `j ≤ i` is discarded — boarding an earlier
+//!   train can no longer improve the profile at `T`.
+//! * **Distance-table pruning** (Thm 3), for *global* queries: every best
+//!   connection must pass a *via station* `V_j ∈ via(T)`. Settling `(v, i)`
+//!   at a transfer station tightens the upper bounds
+//!   `µ_{i,j} = min(µ_{i,j}, D(st(v), V_j, arr + T(st(v))) + T(V_j))` and the
+//!   search is pruned at `v` if even the transfer-free lower bound
+//!   `D(st(v), V_j, arr)` exceeds `µ_{i,j}` for every via station.
+//! * **Target pruning** (Thm 4), when `T` itself is a transfer station:
+//!   maintain the lower bound `γ_i = min D(st(v), T, arr)`; once every queue
+//!   entry of `i` has a transfer station on its path and some settled
+//!   transfer station achieves `D(st(v), T, arr + T(st(v))) = γ_i`, the
+//!   optimum for `i` is found and the connection is finished.
+//!
+//! When both endpoints are transfer stations the stored table profile *is*
+//! the answer; when the query is *local* (`S ∈ local(T)`) only the stopping
+//! criterion applies.
+
+use pt_core::{ConnId, NodeId, Profile, StationId, Time, INFINITY};
+use pt_heap::BinaryHeap;
+
+use crate::connection_setting::{reduce_station_profile, PRUNED};
+use crate::distance_table::DistanceTable;
+use crate::network::Network;
+use crate::partition::PartitionStrategy;
+use crate::stats::QueryStats;
+
+/// How a station-to-station query was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Both endpoints are transfer stations: answered from the table.
+    TableDirect,
+    /// `S ∈ local(T)`: search with stopping criterion only.
+    Local,
+    /// Global query pruned via the distance table and `via(T)`.
+    Global,
+    /// `T ∈ S_trans`: target pruning.
+    TargetTransfer,
+    /// No distance table configured: stopping criterion only.
+    Plain,
+}
+
+/// Result of a station-to-station profile query.
+#[derive(Debug, Clone)]
+pub struct S2sResult {
+    /// The reduced profile `dist(S, T, ·)`.
+    pub profile: Profile,
+    /// Operation counters (summed over threads).
+    pub stats: QueryStats,
+    /// Which §4 machinery answered the query.
+    pub kind: QueryKind,
+}
+
+/// Station-to-station query engine.
+#[derive(Debug, Clone)]
+pub struct S2sEngine<'a> {
+    net: &'a Network,
+    threads: usize,
+    strategy: PartitionStrategy,
+    stopping: bool,
+    table: Option<&'a DistanceTable>,
+    mask: Vec<bool>,
+}
+
+impl<'a> S2sEngine<'a> {
+    /// An engine with the stopping criterion enabled and no distance table.
+    pub fn new(net: &'a Network) -> Self {
+        S2sEngine {
+            net,
+            threads: 1,
+            strategy: PartitionStrategy::EqualConnections,
+            stopping: true,
+            table: None,
+            mask: Vec::new(),
+        }
+    }
+
+    /// Sets the number of worker threads.
+    pub fn threads(mut self, p: usize) -> Self {
+        assert!(p >= 1);
+        self.threads = p;
+        self
+    }
+
+    /// Sets the `conn(S)` partition strategy.
+    pub fn strategy(mut self, s: PartitionStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Enables/disables the stopping criterion (ablation).
+    pub fn stopping_criterion(mut self, on: bool) -> Self {
+        self.stopping = on;
+        self
+    }
+
+    /// Attaches a precomputed distance table for §4 pruning.
+    pub fn with_table(mut self, table: &'a DistanceTable) -> Self {
+        self.mask = table.transfer_mask();
+        self.table = Some(table);
+        self
+    }
+
+    /// Computes the profile `dist(source, target, ·)`.
+    pub fn query(&self, source: StationId, target: StationId) -> S2sResult {
+        let tt = self.net.timetable();
+        let period = tt.period();
+
+        // Special case: both endpoints in the table (§4, "Special Cases").
+        if let Some(table) = self.table {
+            if table.is_transfer(source) && table.is_transfer(target) {
+                return S2sResult {
+                    profile: table.profile(source, target).clone(),
+                    stats: QueryStats::default(),
+                    kind: QueryKind::TableDirect,
+                };
+            }
+        }
+
+        // Resolve the pruning mode.
+        let (kind, via): (QueryKind, Vec<StationId>) = match self.table {
+            None => (QueryKind::Plain, Vec::new()),
+            Some(table) => {
+                if table.is_transfer(target) {
+                    (QueryKind::TargetTransfer, Vec::new())
+                } else {
+                    let vl = self.net.station_graph().via_and_local(target, &self.mask);
+                    if vl.is_local_query(source) || source == target {
+                        (QueryKind::Local, Vec::new())
+                    } else if vl.via.is_empty() {
+                        // No via station separates T: a global source cannot
+                        // reach it at all.
+                        return S2sResult {
+                            profile: Profile::EMPTY,
+                            stats: QueryStats::default(),
+                            kind: QueryKind::Global,
+                        };
+                    } else {
+                        (QueryKind::Global, vl.via)
+                    }
+                }
+            }
+        };
+
+        let conn_range = tt.conn_ids(source);
+        let conns = tt.conn(source);
+        let ranges = self.strategy.partition(conns, self.threads, period);
+
+        let run = |lo: u32, hi: u32| -> (Vec<Time>, QueryStats) {
+            let mode = match kind {
+                QueryKind::Global => Mode::Via {
+                    table: self.table.expect("table present"),
+                    via: &via,
+                },
+                QueryKind::TargetTransfer => Mode::Target {
+                    table: self.table.expect("table present"),
+                },
+                _ => Mode::Plain,
+            };
+            s2s_range(self.net, lo, hi, target, self.stopping, &self.mask, mode)
+        };
+
+        let results: Vec<(Vec<Time>, QueryStats)> = if self.threads == 1 {
+            vec![run(conn_range.start, conn_range.end)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|r| {
+                        let (lo, hi) = (conn_range.start + r.start, conn_range.start + r.end);
+                        let run = &run;
+                        scope.spawn(move || run(lo, hi))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            })
+        };
+
+        let stats = QueryStats::sum(results.iter().map(|(_, s)| *s));
+        let points = results.iter().zip(&ranges).flat_map(|((arr_t, _), r)| {
+            arr_t
+                .iter()
+                .enumerate()
+                .map(move |(i, &arr)| (conns[r.start as usize + i].dep, arr))
+        });
+        let profile = reduce_station_profile(points, period);
+        S2sResult { profile, stats, kind }
+    }
+}
+
+/// Pruning mode of one worker.
+enum Mode<'t> {
+    Plain,
+    Via { table: &'t DistanceTable, via: &'t [StationId] },
+    Target { table: &'t DistanceTable },
+}
+
+/// One worker: SPCS over the connection range `lo..hi` specialized to
+/// `target`, returning the final arrival per local connection.
+fn s2s_range(
+    net: &Network,
+    lo: u32,
+    hi: u32,
+    target: StationId,
+    stopping: bool,
+    transfer_mask: &[bool],
+    mode: Mode<'_>,
+) -> (Vec<Time>, QueryStats) {
+    let g = net.graph();
+    let tt = net.timetable();
+    let nv = g.num_nodes();
+    let k = (hi - lo) as usize;
+    let target_node = g.station_node(target);
+    let mut stats = QueryStats::default();
+
+    let mut arr: Vec<Time> = vec![INFINITY; k * nv];
+    let mut maxconn: Vec<u32> = vec![u32::MAX; nv];
+    let mut heap = BinaryHeap::new(k * nv);
+    let mut arr_t: Vec<Time> = vec![INFINITY; k];
+    // Stopping criterion state: highest local connection settled at T.
+    let mut tm: i64 = -1;
+
+    // Via-pruning state: µ[i * |via| + j].
+    let (is_via, n_via) = match &mode {
+        Mode::Via { via, .. } => (true, via.len()),
+        _ => (false, 0),
+    };
+    let mut mu: Vec<Time> = if is_via { vec![INFINITY; k * n_via] } else { Vec::new() };
+
+    // Target-pruning state.
+    let is_target_mode = matches!(mode, Mode::Target { .. });
+    let mut gamma: Vec<Time> = if is_target_mode { vec![INFINITY; k] } else { Vec::new() };
+    let mut done: Vec<bool> = if is_target_mode { vec![false; k] } else { Vec::new() };
+    // Path flag per (conn, node): passed a transfer station?
+    let mut anc: Vec<bool> = if is_target_mode { vec![false; k * nv] } else { Vec::new() };
+    // Queue entries per connection whose path lacks a transfer ancestor.
+    let mut noanc: Vec<u32> = if is_target_mode { vec![0; k] } else { Vec::new() };
+
+    for i in 0..k {
+        let c = ConnId(lo + i as u32);
+        let r = g.conn_start_node(c);
+        let dep = tt.connection(c).dep;
+        let slot = i * nv + r.idx();
+        heap.push_or_decrease(slot, dep.secs() as u64);
+        stats.pushes += 1;
+        if is_target_mode {
+            // The source is never a transfer station in target mode
+            // (otherwise the query would have been answered from the table).
+            noanc[i] += 1;
+        }
+    }
+
+    while let Some((slot, key)) = heap.pop() {
+        stats.settled += 1;
+        let i = slot / nv;
+        let v = slot % nv;
+        let t = Time(key as u32);
+
+        if is_target_mode && !anc[slot] {
+            noanc[i] -= 1;
+        }
+
+        // Stopping criterion (Thm 2).
+        if stopping && (i as i64) <= tm {
+            stats.stop_pruned += 1;
+            arr[slot] = PRUNED;
+            continue;
+        }
+        // Connection already finished by target pruning.
+        if is_target_mode && done[i] {
+            stats.table_pruned += 1;
+            arr[slot] = PRUNED;
+            continue;
+        }
+        // Self-pruning (§3.1).
+        let mc = maxconn[v];
+        if mc != u32::MAX && i as u32 <= mc {
+            stats.self_pruned += 1;
+            arr[slot] = PRUNED;
+            continue;
+        }
+        maxconn[v] = i as u32;
+        arr[slot] = t;
+
+        // Settling the target station finishes connection i.
+        if NodeId::from_idx(v) == target_node {
+            arr_t[i] = arr_t[i].min(t);
+            tm = tm.max(i as i64);
+            if is_target_mode {
+                done[i] = true;
+            }
+            continue;
+        }
+
+        let station_v = g.station_of(NodeId::from_idx(v));
+        let at_transfer = transfer_mask.get(station_v.idx()).copied().unwrap_or(false);
+
+        match &mode {
+            Mode::Plain => {}
+            Mode::Via { table, via } => {
+                if at_transfer {
+                    // Tighten µ bounds, then try to prune (Thm 3).
+                    let board = t + g.transfer_time(station_v);
+                    let mut prunable = true;
+                    for (j, &vj) in via.iter().enumerate() {
+                        let reach = table.eval(station_v, vj, board);
+                        if !reach.is_infinite() {
+                            let cand = reach + g.transfer_time(vj);
+                            let m = &mut mu[i * n_via + j];
+                            if cand < *m {
+                                *m = cand;
+                            }
+                        }
+                        if prunable {
+                            let lower = table.eval(station_v, vj, t);
+                            if lower <= mu[i * n_via + j] {
+                                prunable = false;
+                            }
+                        }
+                    }
+                    if prunable {
+                        stats.table_pruned += 1;
+                        continue; // v is provably useless for every via station
+                    }
+                }
+            }
+            Mode::Target { table } => {
+                if at_transfer {
+                    // Lower bound γ_i (no transfer at st(v)).
+                    let lower = table.eval(station_v, target, t);
+                    if lower < gamma[i] {
+                        gamma[i] = lower;
+                    }
+                    // Upper bound through st(v) with a transfer (Thm 4).
+                    let cand = table.eval(station_v, target, t + g.transfer_time(station_v));
+                    if noanc[i] == 0 && !cand.is_infinite() && cand == gamma[i] {
+                        arr_t[i] = arr_t[i].min(cand);
+                        done[i] = true;
+                        stats.table_pruned += 1;
+                        continue;
+                    }
+                }
+            }
+        }
+
+        // Relax outgoing edges.
+        let child_anc = is_target_mode && (anc[slot] || at_transfer);
+        let base = i * nv;
+        for e in g.edges(NodeId::from_idx(v)) {
+            let ta = g.eval_edge(e, t);
+            if ta.is_infinite() {
+                continue;
+            }
+            let wslot = base + e.head.idx();
+            if arr[wslot] != INFINITY {
+                continue;
+            }
+            stats.relaxed += 1;
+            let new_key = ta.secs() as u64;
+            if heap.contains(wslot) {
+                if heap.push_or_decrease(wslot, new_key) {
+                    stats.decreases += 1;
+                    if is_target_mode && anc[wslot] != child_anc {
+                        // The better path replaces the flag.
+                        if child_anc {
+                            noanc[i] -= 1;
+                        } else {
+                            noanc[i] += 1;
+                        }
+                        anc[wslot] = child_anc;
+                    }
+                }
+            } else {
+                heap.push_or_decrease(wslot, new_key);
+                stats.pushes += 1;
+                if is_target_mode {
+                    anc[wslot] = child_anc;
+                    if !child_anc {
+                        noanc[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    (arr_t, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connection_setting::ProfileEngine;
+    use crate::transfer_selection::TransferSelection;
+    use pt_timetable::synthetic::city::{generate_city, CityConfig};
+    use pt_timetable::synthetic::rail::{generate_rail, RailConfig};
+
+    fn city() -> Network {
+        Network::new(generate_city(&CityConfig::sized(49, 7, 17)))
+    }
+
+    fn rail() -> Network {
+        Network::new(generate_rail(&RailConfig::national(8, 4)))
+    }
+
+    /// Every (S, T) pair in `pairs`: the s2s profile must equal the
+    /// corresponding one-to-all profile.
+    fn assert_matches_one_to_all(net: &Network, engine: &S2sEngine<'_>, pairs: &[(u32, u32)]) {
+        for &(s, t) in pairs {
+            let (s, t) = (StationId(s), StationId(t));
+            let want = ProfileEngine::new(net).one_to_all(s);
+            let got = engine.query(s, t);
+            assert_eq!(
+                &got.profile,
+                want.profile(t),
+                "{s}→{t} ({:?})",
+                got.kind
+            );
+        }
+    }
+
+    #[test]
+    fn stopping_criterion_preserves_profiles() {
+        let net = city();
+        let engine = S2sEngine::new(&net);
+        assert_matches_one_to_all(&net, &engine, &[(0, 48), (5, 7), (13, 2), (20, 20)]);
+    }
+
+    #[test]
+    fn stopping_criterion_reduces_settled() {
+        let net = city();
+        let s = StationId(3);
+        let t = StationId(40);
+        let with = S2sEngine::new(&net).query(s, t);
+        let without = S2sEngine::new(&net).stopping_criterion(false).query(s, t);
+        assert_eq!(with.profile, without.profile);
+        assert!(
+            with.stats.settled <= without.stats.settled,
+            "stopping made things worse: {} vs {}",
+            with.stats.settled,
+            without.stats.settled
+        );
+        assert!(with.stats.stop_pruned > 0);
+    }
+
+    #[test]
+    fn table_pruned_queries_preserve_profiles_city() {
+        let net = city();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        let engine = S2sEngine::new(&net).with_table(&table);
+        let pairs: Vec<(u32, u32)> =
+            vec![(0, 48), (1, 37), (9, 22), (30, 4), (11, 44), (48, 0), (17, 8)];
+        assert_matches_one_to_all(&net, &engine, &pairs);
+    }
+
+    #[test]
+    fn table_pruned_queries_preserve_profiles_rail() {
+        let net = rail();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
+        let engine = S2sEngine::new(&net).with_table(&table);
+        let n = net.num_stations() as u32;
+        let pairs: Vec<(u32, u32)> =
+            (0..12).map(|i| ((i * 7) % n, (i * 13 + 3) % n)).filter(|(a, b)| a != b).collect();
+        assert_matches_one_to_all(&net, &engine, &pairs);
+    }
+
+    #[test]
+    fn all_query_kinds_appear() {
+        let net = city();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        let engine = S2sEngine::new(&net).with_table(&table);
+        let mut kinds = std::collections::BTreeSet::new();
+        let n = net.num_stations() as u32;
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                let r = engine.query(StationId(s), StationId(t));
+                kinds.insert(format!("{:?}", r.kind));
+                if kinds.len() == 4 {
+                    return;
+                }
+            }
+        }
+        panic!("only saw kinds {kinds:?}");
+    }
+
+    #[test]
+    fn parallel_s2s_matches_sequential() {
+        let net = city();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        for &(s, t) in &[(2u32, 44u32), (8, 31), (25, 0)] {
+            let (s, t) = (StationId(s), StationId(t));
+            let seq = S2sEngine::new(&net).with_table(&table).query(s, t);
+            for p in [2, 4] {
+                let par = S2sEngine::new(&net).with_table(&table).threads(p).query(s, t);
+                assert_eq!(seq.profile, par.profile, "{s}→{t} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_direct_uses_no_search(){
+        let net = city();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
+        let a = table.stations()[0];
+        let b = table.stations()[1];
+        let r = S2sEngine::new(&net).with_table(&table).query(a, b);
+        assert_eq!(r.kind, QueryKind::TableDirect);
+        assert_eq!(r.stats.settled, 0);
+        let want = ProfileEngine::new(&net).one_to_all(a);
+        assert_eq!(&r.profile, want.profile(b));
+    }
+
+    #[test]
+    fn unreachable_target_gives_empty_profile() {
+        use pt_core::{Dur, Period, Time};
+        use pt_timetable::TimetableBuilder;
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let a = b.add_named_station("A", Dur::ZERO);
+        let c = b.add_named_station("B", Dur::ZERO);
+        let d = b.add_named_station("island", Dur::ZERO);
+        b.add_simple_trip(&[a, c], Time::hm(8, 0), &[Dur::minutes(5)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[d, a], Time::hm(8, 0), &[Dur::minutes(5)], Dur::ZERO).unwrap();
+        let net = Network::new(b.build().unwrap());
+        let r = S2sEngine::new(&net).query(a, d);
+        assert!(r.profile.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Operation counters, matching the columns of the paper's tables.
+
+use std::ops::AddAssign;
+
+/// Counters collected by one query (summed over all threads, as in the
+/// paper's "settled connections" column).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Queue elements taken from the priority queue ("settled connections",
+    /// Tables 1 and 2). For the label-correcting baseline this counts the
+    /// sizes of the popped connection labels instead.
+    pub settled: u64,
+    /// Settled elements discarded by self-pruning (§3.1).
+    pub self_pruned: u64,
+    /// Settled elements discarded by the stopping criterion (§4, Thm 2).
+    pub stop_pruned: u64,
+    /// Searches pruned by the distance table (§4, Thm 3) or target pruning
+    /// (§4, Thm 4).
+    pub table_pruned: u64,
+    /// Edge relaxations.
+    pub relaxed: u64,
+    /// Priority-queue inserts.
+    pub pushes: u64,
+    /// Priority-queue decrease-key operations.
+    pub decreases: u64,
+}
+
+impl AddAssign for QueryStats {
+    fn add_assign(&mut self, rhs: QueryStats) {
+        self.settled += rhs.settled;
+        self.self_pruned += rhs.self_pruned;
+        self.stop_pruned += rhs.stop_pruned;
+        self.table_pruned += rhs.table_pruned;
+        self.relaxed += rhs.relaxed;
+        self.pushes += rhs.pushes;
+        self.decreases += rhs.decreases;
+    }
+}
+
+impl QueryStats {
+    /// Sum of several per-thread stats.
+    pub fn sum(parts: impl IntoIterator<Item = QueryStats>) -> QueryStats {
+        let mut total = QueryStats::default();
+        for p in parts {
+            total += p;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_adds_fieldwise() {
+        let a = QueryStats { settled: 1, relaxed: 2, pushes: 3, ..Default::default() };
+        let b = QueryStats { settled: 10, self_pruned: 5, ..Default::default() };
+        let s = QueryStats::sum([a, b]);
+        assert_eq!(s.settled, 11);
+        assert_eq!(s.self_pruned, 5);
+        assert_eq!(s.relaxed, 2);
+        assert_eq!(s.pushes, 3);
+    }
+}

@@ -1,0 +1,223 @@
+//! Incremental timetable construction from trips.
+
+use pt_core::{Dur, Period, StationId, Time, TrainId};
+
+use crate::model::{Connection, Station, Timetable, TimetableError};
+
+/// One stop of a trip: the train arrives at `arr` and departs at `dep`
+/// (absolute times, monotone along the trip; `arr ≤ dep` models dwell time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripStop {
+    pub station: StationId,
+    pub arr: Time,
+    pub dep: Time,
+}
+
+impl TripStop {
+    /// A stop without dwell time.
+    pub fn passing(station: StationId, t: Time) -> Self {
+        TripStop { station, arr: t, dep: t }
+    }
+}
+
+/// Builds a [`Timetable`] from stations and trips.
+///
+/// Trips use *absolute* times (monotone along the trip, possibly crossing
+/// the period boundary); the builder normalizes each leg into an elementary
+/// connection with a period-local departure.
+#[derive(Debug, Clone)]
+pub struct TimetableBuilder {
+    period: Period,
+    stations: Vec<Station>,
+    conns: Vec<Connection>,
+    next_train: u32,
+}
+
+impl TimetableBuilder {
+    /// Creates an empty builder for the given period.
+    pub fn new(period: Period) -> Self {
+        TimetableBuilder { period, stations: Vec::new(), conns: Vec::new(), next_train: 0 }
+    }
+
+    /// Registers a station and returns its id.
+    pub fn add_station(&mut self, station: Station) -> StationId {
+        let id = StationId::from_idx(self.stations.len());
+        self.stations.push(station);
+        id
+    }
+
+    /// Convenience: station with a name and transfer time at the origin.
+    pub fn add_named_station(&mut self, name: impl Into<String>, transfer: Dur) -> StationId {
+        self.add_station(Station::new(name, transfer))
+    }
+
+    /// Number of stations registered so far.
+    pub fn num_stations(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Number of connections accumulated so far.
+    pub fn num_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// The stations registered so far.
+    pub fn stations(&self) -> &[Station] {
+        &self.stations
+    }
+
+    /// The connections accumulated so far (in insertion order, unsorted).
+    pub fn connections(&self) -> &[Connection] {
+        &self.conns
+    }
+
+    /// Adds one train running the given trip; returns its [`TrainId`].
+    ///
+    /// Validates chronological order (`arr_i ≤ dep_i ≤ arr_{i+1}`), strictly
+    /// positive leg durations and at least two stops.
+    pub fn add_trip(&mut self, stops: &[TripStop]) -> Result<TrainId, TimetableError> {
+        let train = TrainId(self.next_train);
+        if stops.len() < 2 {
+            return Err(TimetableError::TripTooShort { train });
+        }
+        for (i, s) in stops.iter().enumerate() {
+            if s.arr > s.dep {
+                return Err(TimetableError::NonMonotoneTrip { train });
+            }
+            if i + 1 < stops.len() && s.dep >= stops[i + 1].arr {
+                return Err(TimetableError::NonMonotoneTrip { train });
+            }
+        }
+        for (seq, leg) in stops.windows(2).enumerate() {
+            let dep_abs = leg[0].dep;
+            let arr_abs = leg[1].arr;
+            let dep = self.period.local(dep_abs);
+            let arr = dep + (arr_abs - dep_abs);
+            self.conns.push(Connection {
+                from: leg[0].station,
+                to: leg[1].station,
+                dep,
+                arr,
+                train,
+                seq: seq as u16,
+            });
+        }
+        self.next_train += 1;
+        Ok(train)
+    }
+
+    /// Convenience: a trip along `path` starting at `start`, with per-leg
+    /// durations `legs` (must satisfy `legs.len() == path.len() − 1`) and a
+    /// constant dwell time at intermediate stops.
+    pub fn add_simple_trip(
+        &mut self,
+        path: &[StationId],
+        start: Time,
+        legs: &[Dur],
+        dwell: Dur,
+    ) -> Result<TrainId, TimetableError> {
+        assert_eq!(legs.len() + 1, path.len(), "one duration per leg");
+        let mut stops = Vec::with_capacity(path.len());
+        let mut t = start;
+        for (i, &station) in path.iter().enumerate() {
+            let arr = t;
+            let dep = if i + 1 < path.len() && i > 0 { arr + dwell } else { arr };
+            stops.push(TripStop { station, arr, dep });
+            if i < legs.len() {
+                t = dep + legs[i];
+            }
+        }
+        self.add_trip(&stops)
+    }
+
+    /// Finalizes the timetable.
+    pub fn build(self) -> Result<Timetable, TimetableError> {
+        Timetable::new(self.period, self.stations, self.conns, self.next_train)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder_with(n: usize) -> (TimetableBuilder, Vec<StationId>) {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let ids = (0..n)
+            .map(|i| b.add_named_station(format!("S{i}"), Dur::minutes(2)))
+            .collect();
+        (b, ids)
+    }
+
+    #[test]
+    fn trip_produces_one_connection_per_leg() {
+        let (mut b, s) = builder_with(3);
+        b.add_trip(&[
+            TripStop::passing(s[0], Time::hm(8, 0)),
+            TripStop { station: s[1], arr: Time::hm(8, 10), dep: Time::hm(8, 12) },
+            TripStop::passing(s[2], Time::hm(8, 25)),
+        ])
+        .unwrap();
+        let tt = b.build().unwrap();
+        assert_eq!(tt.num_connections(), 2);
+        assert_eq!(tt.num_trains(), 1);
+        let legs = tt.connections();
+        let c01 = legs.iter().find(|c| c.from == s[0]).unwrap();
+        assert_eq!((c01.dep, c01.arr), (Time::hm(8, 0), Time::hm(8, 10)));
+        let c12 = legs.iter().find(|c| c.from == s[1]).unwrap();
+        assert_eq!((c12.dep, c12.arr), (Time::hm(8, 12), Time::hm(8, 25)));
+        assert_eq!(c12.seq, 1);
+    }
+
+    #[test]
+    fn trip_crossing_midnight_normalizes_departures() {
+        let (mut b, s) = builder_with(3);
+        b.add_trip(&[
+            TripStop::passing(s[0], Time::hm(23, 50)),
+            TripStop::passing(s[1], Time::hm(24, 10)),
+            TripStop::passing(s[2], Time::hm(24, 30)),
+        ])
+        .unwrap();
+        let tt = b.build().unwrap();
+        let c12 = tt.connections().iter().find(|c| c.from == s[1]).unwrap();
+        // Second leg departs 00:10 local time.
+        assert_eq!(c12.dep, Time::hm(0, 10));
+        assert_eq!(c12.arr, Time::hm(0, 30));
+    }
+
+    #[test]
+    fn non_monotone_trip_rejected() {
+        let (mut b, s) = builder_with(2);
+        let err = b
+            .add_trip(&[
+                TripStop::passing(s[0], Time::hm(9, 0)),
+                TripStop::passing(s[1], Time::hm(8, 0)),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, TimetableError::NonMonotoneTrip { .. }));
+    }
+
+    #[test]
+    fn short_trip_rejected() {
+        let (mut b, s) = builder_with(1);
+        let err = b.add_trip(&[TripStop::passing(s[0], Time::hm(9, 0))]).unwrap_err();
+        assert!(matches!(err, TimetableError::TripTooShort { .. }));
+    }
+
+    #[test]
+    fn simple_trip_expands_to_stops() {
+        let (mut b, s) = builder_with(3);
+        b.add_simple_trip(
+            &[s[0], s[1], s[2]],
+            Time::hm(7, 0),
+            &[Dur::minutes(10), Dur::minutes(15)],
+            Dur::minutes(1),
+        )
+        .unwrap();
+        let tt = b.build().unwrap();
+        let c01 = tt.connections().iter().find(|c| c.from == s[0]).unwrap();
+        let c12 = tt.connections().iter().find(|c| c.from == s[1]).unwrap();
+        assert_eq!((c01.dep, c01.arr), (Time::hm(7, 0), Time::hm(7, 10)));
+        // One minute dwell at S1.
+        assert_eq!((c12.dep, c12.arr), (Time::hm(7, 11), Time::hm(7, 26)));
+    }
+}

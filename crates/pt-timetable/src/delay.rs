@@ -1,0 +1,151 @@
+//! Delay injection — the *fully dynamic scenario* of the paper (§5.1):
+//! because SPCS needs no preprocessing, "we can directly use this approach
+//! in a fully dynamic scenario" where trains run late and the timetable
+//! changes between queries (Müller-Hannemann, Schnee, Frede '08).
+//!
+//! [`apply_delay`] produces an updated timetable in which a train runs late
+//! from a given hop onward, with the delay optionally decaying at later
+//! stops (catch-up through schedule slack). Searches on the returned
+//! timetable immediately reflect the disruption; only precomputed distance
+//! tables must be rebuilt (or dropped — queries then fall back to the
+//! stopping criterion, staying correct).
+
+use pt_core::{Dur, TrainId};
+
+use crate::model::{Timetable, TimetableError};
+
+/// How a delayed train recovers at subsequent stops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// The full delay propagates to every later stop.
+    None,
+    /// The train catches up `per_hop` at each later hop until on time.
+    CatchUp { per_hop: Dur },
+}
+
+/// Returns a timetable in which `train` departs `delay` late from its
+/// `from_hop`-th hop onward. The delay shifts departures *and* arrivals;
+/// with [`Recovery::CatchUp`] it shrinks hop by hop. Other trains are
+/// untouched (the model has no vehicle-rotation constraints).
+pub fn apply_delay(
+    tt: &Timetable,
+    train: TrainId,
+    from_hop: u16,
+    delay: Dur,
+    recovery: Recovery,
+) -> Result<Timetable, TimetableError> {
+    let period = tt.period();
+    let mut conns = tt.connections().to_vec();
+    for c in &mut conns {
+        if c.train != train || c.seq < from_hop {
+            continue;
+        }
+        let hops_in = (c.seq - from_hop) as u32;
+        let effective = match recovery {
+            Recovery::None => delay,
+            Recovery::CatchUp { per_hop } => {
+                Dur(delay.secs().saturating_sub(per_hop.secs() * hops_in))
+            }
+        };
+        if effective == Dur::ZERO {
+            continue;
+        }
+        let dur = c.dur();
+        c.dep = period.local(c.dep + effective);
+        c.arr = c.dep + dur;
+    }
+    Timetable::new(period, tt.stations().to_vec(), conns, tt.num_trains() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TimetableBuilder;
+    use pt_core::{Period, StationId, Time};
+
+    fn line() -> (Timetable, Vec<StationId>) {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..3)
+            .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2)))
+            .collect();
+        b.add_simple_trip(
+            &[s[0], s[1], s[2]],
+            Time::hm(8, 0),
+            &[Dur::minutes(10), Dur::minutes(10)],
+            Dur::ZERO,
+        )
+        .unwrap();
+        b.add_simple_trip(
+            &[s[0], s[1], s[2]],
+            Time::hm(9, 0),
+            &[Dur::minutes(10), Dur::minutes(10)],
+            Dur::ZERO,
+        )
+        .unwrap();
+        (b.build().unwrap(), s)
+    }
+
+    #[test]
+    fn full_delay_shifts_all_later_hops() {
+        let (tt, s) = line();
+        let delayed = apply_delay(&tt, TrainId(0), 0, Dur::minutes(7), Recovery::None).unwrap();
+        let dep0 = delayed
+            .conn(s[0])
+            .iter()
+            .find(|c| c.train == TrainId(0))
+            .unwrap();
+        assert_eq!(dep0.dep, Time::hm(8, 7));
+        let dep1 = delayed
+            .conn(s[1])
+            .iter()
+            .find(|c| c.train == TrainId(0))
+            .unwrap();
+        assert_eq!(dep1.dep, Time::hm(8, 17));
+        assert_eq!(dep1.arr, Time::hm(8, 27));
+        // The 09:00 train is untouched.
+        assert!(delayed.conn(s[0]).iter().any(|c| c.dep == Time::hm(9, 0)));
+    }
+
+    #[test]
+    fn catch_up_recovers_per_hop() {
+        let (tt, s) = line();
+        let delayed = apply_delay(
+            &tt,
+            TrainId(0),
+            0,
+            Dur::minutes(6),
+            Recovery::CatchUp { per_hop: Dur::minutes(6) },
+        )
+        .unwrap();
+        // Hop 0 delayed 6 min, hop 1 back on schedule.
+        let dep0 = delayed.conn(s[0]).iter().find(|c| c.train == TrainId(0)).unwrap();
+        assert_eq!(dep0.dep, Time::hm(8, 6));
+        let dep1 = delayed.conn(s[1]).iter().find(|c| c.train == TrainId(0)).unwrap();
+        assert_eq!(dep1.dep, Time::hm(8, 10));
+    }
+
+    #[test]
+    fn delay_from_mid_trip_leaves_earlier_hops() {
+        let (tt, s) = line();
+        let delayed =
+            apply_delay(&tt, TrainId(0), 1, Dur::minutes(20), Recovery::None).unwrap();
+        let dep0 = delayed.conn(s[0]).iter().find(|c| c.train == TrainId(0)).unwrap();
+        assert_eq!(dep0.dep, Time::hm(8, 0)); // first hop punctual
+        let dep1 = delayed.conn(s[1]).iter().find(|c| c.train == TrainId(0)).unwrap();
+        assert_eq!(dep1.dep, Time::hm(8, 30));
+    }
+
+    #[test]
+    fn delay_past_midnight_stays_periodic() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let a = b.add_named_station("A", Dur::ZERO);
+        let c = b.add_named_station("B", Dur::ZERO);
+        b.add_simple_trip(&[a, c], Time::hm(23, 50), &[Dur::minutes(20)], Dur::ZERO).unwrap();
+        let tt = b.build().unwrap();
+        let delayed = apply_delay(&tt, TrainId(0), 0, Dur::minutes(30), Recovery::None).unwrap();
+        let conn = &delayed.conn(a)[0];
+        // 23:50 + 30 min wraps to 00:20 next day, period-local.
+        assert_eq!(conn.dep, Time::hm(0, 20));
+        assert_eq!(conn.dur(), Dur::minutes(20));
+    }
+}

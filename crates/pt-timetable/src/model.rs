@@ -1,0 +1,348 @@
+//! The validated periodic-timetable model `(C, S, Z, Π, T)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pt_core::{ConnId, Dur, Period, StationId, Time, TrainId};
+
+/// A station `S ∈ S` with its minimum transfer time `T(S)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Station {
+    /// Human-readable name (GTFS `stop_name`).
+    pub name: String,
+    /// Minimum time required to change trains at this station.
+    pub transfer_time: Dur,
+    /// Planar position, used by the generators and exported as lat/lon.
+    pub pos: (f32, f32),
+}
+
+impl Station {
+    /// Creates a station at the origin.
+    pub fn new(name: impl Into<String>, transfer_time: Dur) -> Self {
+        Station { name: name.into(), transfer_time, pos: (0.0, 0.0) }
+    }
+}
+
+/// An elementary connection `c = (Z, S_dep, S_arr, τ_dep, τ_arr)`: train
+/// `train` runs non-stop from `from` to `to`, departing at the period-local
+/// time `dep` and arriving at the absolute time `arr ≥ dep` (`arr − dep` is
+/// the leg duration; `arr` may exceed the period).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Connection {
+    /// Departure station `S_dep`.
+    pub from: StationId,
+    /// Arrival station `S_arr`.
+    pub to: StationId,
+    /// Period-local departure time `τ_dep`.
+    pub dep: Time,
+    /// Absolute arrival time `τ_arr` (≥ `dep`).
+    pub arr: Time,
+    /// The train `Z` operating this leg.
+    pub train: TrainId,
+    /// Hop index of this leg within its train's journey.
+    pub seq: u16,
+}
+
+impl Connection {
+    /// Leg duration `Δ(τ_dep, τ_arr)`.
+    #[inline]
+    pub fn dur(&self) -> Dur {
+        self.arr - self.dep
+    }
+}
+
+/// Validation failures of [`Timetable::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimetableError {
+    /// A connection references a station index out of range.
+    UnknownStation { conn: usize, station: u32 },
+    /// A departure time is not period-local.
+    DepartureNotLocal { conn: usize, dep: Time },
+    /// An arrival precedes its departure.
+    ArrivalBeforeDeparture { conn: usize },
+    /// A connection departs and arrives at the same station.
+    SelfLoop { conn: usize, station: StationId },
+    /// A connection has zero duration.
+    ZeroDuration { conn: usize },
+    /// A trip's stops are not in chronological order (builder-level).
+    NonMonotoneTrip { train: TrainId },
+    /// A trip has fewer than two stops (builder-level).
+    TripTooShort { train: TrainId },
+}
+
+impl fmt::Display for TimetableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimetableError::UnknownStation { conn, station } => {
+                write!(f, "connection {conn} references unknown station {station}")
+            }
+            TimetableError::DepartureNotLocal { conn, dep } => {
+                write!(f, "connection {conn} departs at {dep}, outside the period")
+            }
+            TimetableError::ArrivalBeforeDeparture { conn } => {
+                write!(f, "connection {conn} arrives before it departs")
+            }
+            TimetableError::SelfLoop { conn, station } => {
+                write!(f, "connection {conn} loops at station {station}")
+            }
+            TimetableError::ZeroDuration { conn } => {
+                write!(f, "connection {conn} has zero duration")
+            }
+            TimetableError::NonMonotoneTrip { train } => {
+                write!(f, "trip of train {train} is not chronologically ordered")
+            }
+            TimetableError::TripTooShort { train } => {
+                write!(f, "trip of train {train} has fewer than two stops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimetableError {}
+
+/// Summary statistics, matching the figures the paper reports per input
+/// (stations, elementary connections, connections-per-station ratio).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimetableStats {
+    pub stations: usize,
+    pub trains: usize,
+    pub connections: usize,
+    /// Average `|conn(S)|` — the quantity that drives self-pruning quality
+    /// and parallel scalability (paper, §3.2 and §5.1).
+    pub conns_per_station: f64,
+}
+
+/// A validated periodic timetable.
+///
+/// Connections are stored sorted by `(from, dep, train)`, so `conn(S)` —
+/// the set of outgoing connections of `S` ordered non-decreasingly by
+/// departure time (paper, §3.1) — is the contiguous slice
+/// [`Timetable::conn`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timetable {
+    period: Period,
+    stations: Vec<Station>,
+    num_trains: u32,
+    conns: Vec<Connection>,
+    /// `first_out[s] .. first_out[s+1]` indexes `conns` for station `s`.
+    first_out: Vec<u32>,
+}
+
+impl Timetable {
+    /// Validates and indexes a timetable. Connections may be in any order.
+    pub fn new(
+        period: Period,
+        stations: Vec<Station>,
+        mut conns: Vec<Connection>,
+        num_trains: u32,
+    ) -> Result<Self, TimetableError> {
+        let n = stations.len() as u32;
+        for (i, c) in conns.iter().enumerate() {
+            if c.from.0 >= n {
+                return Err(TimetableError::UnknownStation { conn: i, station: c.from.0 });
+            }
+            if c.to.0 >= n {
+                return Err(TimetableError::UnknownStation { conn: i, station: c.to.0 });
+            }
+            if !period.contains(c.dep) {
+                return Err(TimetableError::DepartureNotLocal { conn: i, dep: c.dep });
+            }
+            if c.arr < c.dep {
+                return Err(TimetableError::ArrivalBeforeDeparture { conn: i });
+            }
+            if c.arr == c.dep {
+                return Err(TimetableError::ZeroDuration { conn: i });
+            }
+            if c.from == c.to {
+                return Err(TimetableError::SelfLoop { conn: i, station: c.from });
+            }
+        }
+        conns.sort_unstable_by_key(|c| (c.from, c.dep, c.train, c.seq));
+        let mut first_out = vec![0u32; stations.len() + 1];
+        for c in &conns {
+            first_out[c.from.idx() + 1] += 1;
+        }
+        for i in 1..first_out.len() {
+            first_out[i] += first_out[i - 1];
+        }
+        Ok(Timetable { period, stations, num_trains, conns, first_out })
+    }
+
+    /// The periodicity `Π`.
+    #[inline]
+    pub fn period(&self) -> Period {
+        self.period
+    }
+
+    /// Number of stations `|S|`.
+    #[inline]
+    pub fn num_stations(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Number of trains `|Z|`.
+    #[inline]
+    pub fn num_trains(&self) -> usize {
+        self.num_trains as usize
+    }
+
+    /// Number of elementary connections `|C|`.
+    #[inline]
+    pub fn num_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// All stations, indexed by [`StationId`].
+    #[inline]
+    pub fn stations(&self) -> &[Station] {
+        &self.stations
+    }
+
+    /// A single station.
+    #[inline]
+    pub fn station(&self, s: StationId) -> &Station {
+        &self.stations[s.idx()]
+    }
+
+    /// The minimum transfer time `T(S)`.
+    #[inline]
+    pub fn transfer_time(&self, s: StationId) -> Dur {
+        self.stations[s.idx()].transfer_time
+    }
+
+    /// All connections, sorted by `(from, dep)`; [`ConnId`] indexes this
+    /// slice.
+    #[inline]
+    pub fn connections(&self) -> &[Connection] {
+        &self.conns
+    }
+
+    /// A single connection.
+    #[inline]
+    pub fn connection(&self, c: ConnId) -> &Connection {
+        &self.conns[c.idx()]
+    }
+
+    /// `conn(S)`: the outgoing connections of `s`, ordered non-decreasingly
+    /// by departure time.
+    #[inline]
+    pub fn conn(&self, s: StationId) -> &[Connection] {
+        let lo = self.first_out[s.idx()] as usize;
+        let hi = self.first_out[s.idx() + 1] as usize;
+        &self.conns[lo..hi]
+    }
+
+    /// The [`ConnId`] range of `conn(S)`.
+    #[inline]
+    pub fn conn_ids(&self, s: StationId) -> std::ops::Range<u32> {
+        self.first_out[s.idx()]..self.first_out[s.idx() + 1]
+    }
+
+    /// Iterates over station ids.
+    pub fn station_ids(&self) -> impl Iterator<Item = StationId> + '_ {
+        (0..self.stations.len() as u32).map(StationId)
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> TimetableStats {
+        TimetableStats {
+            stations: self.num_stations(),
+            trains: self.num_trains(),
+            connections: self.num_connections(),
+            conns_per_station: self.num_connections() as f64 / self.num_stations().max(1) as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conn(from: u32, to: u32, dep_min: u32, arr_min: u32) -> Connection {
+        Connection {
+            from: StationId(from),
+            to: StationId(to),
+            dep: Time::hm(0, dep_min),
+            arr: Time::hm(0, arr_min),
+            train: TrainId(0),
+            seq: 0,
+        }
+    }
+
+    fn stations(n: usize) -> Vec<Station> {
+        (0..n).map(|i| Station::new(format!("S{i}"), Dur::minutes(2))).collect()
+    }
+
+    #[test]
+    fn conn_slice_is_sorted_by_departure() {
+        let tt = Timetable::new(
+            Period::DAY,
+            stations(3),
+            vec![conn(0, 1, 30, 40), conn(0, 2, 10, 25), conn(1, 2, 5, 9)],
+            1,
+        )
+        .unwrap();
+        let out: Vec<u32> = tt.conn(StationId(0)).iter().map(|c| c.dep.secs() / 60).collect();
+        assert_eq!(out, vec![10, 30]);
+        assert_eq!(tt.conn(StationId(1)).len(), 1);
+        assert_eq!(tt.conn(StationId(2)).len(), 0);
+        assert_eq!(tt.conn_ids(StationId(0)), 0..2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_connections() {
+        let err = |c: Connection| {
+            Timetable::new(Period::DAY, stations(2), vec![c], 1).unwrap_err()
+        };
+        assert!(matches!(
+            err(conn(0, 5, 0, 10)),
+            TimetableError::UnknownStation { .. }
+        ));
+        assert!(matches!(err(conn(0, 0, 0, 10)), TimetableError::SelfLoop { .. }));
+        assert!(matches!(err(conn(0, 1, 10, 10)), TimetableError::ZeroDuration { .. }));
+        let mut c = conn(0, 1, 0, 10);
+        c.dep = Time::hm(25, 0);
+        c.arr = Time::hm(25, 10);
+        assert!(matches!(
+            Timetable::new(Period::DAY, stations(2), vec![c], 1).unwrap_err(),
+            TimetableError::DepartureNotLocal { .. }
+        ));
+        let mut c = conn(0, 1, 20, 10);
+        c.arr = Time::hm(0, 10);
+        assert!(matches!(
+            Timetable::new(Period::DAY, stations(2), vec![c], 1).unwrap_err(),
+            TimetableError::ArrivalBeforeDeparture { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_report_ratio() {
+        let tt = Timetable::new(
+            Period::DAY,
+            stations(2),
+            vec![conn(0, 1, 0, 10), conn(0, 1, 30, 40), conn(1, 0, 15, 25)],
+            2,
+        )
+        .unwrap();
+        let s = tt.stats();
+        assert_eq!(s.stations, 2);
+        assert_eq!(s.connections, 3);
+        assert!((s.conns_per_station - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overnight_connection_is_legal() {
+        // Departs 23:50, arrives 24:10 (absolute).
+        let c = Connection {
+            from: StationId(0),
+            to: StationId(1),
+            dep: Time::hm(23, 50),
+            arr: Time::hm(24, 10),
+            train: TrainId(0),
+            seq: 0,
+        };
+        let tt = Timetable::new(Period::DAY, stations(2), vec![c], 1).unwrap();
+        assert_eq!(tt.connection(ConnId(0)).dur(), Dur::minutes(20));
+    }
+}

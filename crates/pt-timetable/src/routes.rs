@@ -1,0 +1,272 @@
+//! Partition of trains into *routes* (paper, §2).
+//!
+//! Two trains are equivalent if they run through the same sequence of
+//! stations. The realistic time-dependent model creates one route node per
+//! (route, station) pair, and its route edges carry the travel-time PLFs of
+//! all trains on the route — which is only sound if no train *overtakes*
+//! another on any leg (otherwise the edge function would silently drop the
+//! overtaken train). We therefore split each stop-sequence equivalence
+//! class further, greedily, so that within one route all legs are FIFO:
+//! departures strictly increasing and arrivals strictly increasing on every
+//! hop.
+
+use std::collections::BTreeMap;
+
+use pt_core::{ConnId, RouteId, StationId, Time, TrainId};
+
+use crate::model::Timetable;
+
+/// One route: a maximal overtaking-free set of trains sharing a stop
+/// sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// The stop sequence (length ≥ 2).
+    pub stations: Vec<StationId>,
+    /// Trains on this route, ordered by departure at the first stop.
+    pub trains: Vec<TrainId>,
+}
+
+impl RouteInfo {
+    /// Number of hops (edges) of the route.
+    #[inline]
+    pub fn num_hops(&self) -> usize {
+        self.stations.len() - 1
+    }
+}
+
+/// The route partition of a timetable.
+#[derive(Debug, Clone)]
+pub struct Routes {
+    routes: Vec<RouteInfo>,
+    /// Route of each train, indexed by [`TrainId`].
+    train_route: Vec<RouteId>,
+    /// Connections of each train ordered by hop index, indexed by [`TrainId`].
+    train_conns: Vec<Vec<ConnId>>,
+}
+
+impl Routes {
+    /// Computes the route partition. Deterministic: routes are numbered by
+    /// stop sequence, then by departure of their first train.
+    pub fn partition(tt: &Timetable) -> Routes {
+        // Connections of every train, ordered by hop index.
+        let mut train_conns: Vec<Vec<ConnId>> = vec![Vec::new(); tt.num_trains()];
+        for (i, c) in tt.connections().iter().enumerate() {
+            train_conns[c.train.idx()].push(ConnId::from_idx(i));
+        }
+        for conns in &mut train_conns {
+            conns.sort_unstable_by_key(|&c| tt.connection(c).seq);
+            debug_assert!(conns.windows(2).all(|w| {
+                tt.connection(w[0]).to == tt.connection(w[1]).from
+            }), "train journey is not contiguous");
+        }
+
+        // Group trains by stop sequence (BTreeMap for determinism).
+        let mut groups: BTreeMap<Vec<StationId>, Vec<TrainId>> = BTreeMap::new();
+        for (t, conns) in train_conns.iter().enumerate() {
+            if conns.is_empty() {
+                continue;
+            }
+            let mut seq = Vec::with_capacity(conns.len() + 1);
+            seq.push(tt.connection(conns[0]).from);
+            for &c in conns {
+                seq.push(tt.connection(c).to);
+            }
+            groups.entry(seq).or_default().push(TrainId::from_idx(t));
+        }
+
+        let mut routes = Vec::new();
+        let mut train_route = vec![RouteId(u32::MAX); tt.num_trains()];
+        for (stations, mut trains) in groups {
+            trains.sort_unstable_by_key(|&t| {
+                (tt.connection(train_conns[t.idx()][0]).dep, t)
+            });
+            // Greedy first-fit split into overtaking-free subroutes.
+            let hops = stations.len() - 1;
+            let mut subroutes: Vec<(Vec<TrainId>, Vec<Vec<(Time, Time)>>)> = Vec::new();
+            'train: for &t in &trains {
+                let legs: Vec<(Time, Time)> = train_conns[t.idx()]
+                    .iter()
+                    .map(|&c| {
+                        let c = tt.connection(c);
+                        (c.dep, c.arr)
+                    })
+                    .collect();
+                for (members, hop_points) in &mut subroutes {
+                    if fits(hop_points, &legs) {
+                        for (h, &leg) in legs.iter().enumerate() {
+                            let p = hop_points[h].partition_point(|&(d, _)| d < leg.0);
+                            hop_points[h].insert(p, leg);
+                        }
+                        members.push(t);
+                        continue 'train;
+                    }
+                }
+                let mut hop_points = vec![Vec::new(); hops];
+                for (h, &leg) in legs.iter().enumerate() {
+                    hop_points[h].push(leg);
+                }
+                subroutes.push((vec![t], hop_points));
+            }
+            for (members, _) in subroutes {
+                let id = RouteId::from_idx(routes.len());
+                for &t in &members {
+                    train_route[t.idx()] = id;
+                }
+                routes.push(RouteInfo { stations: stations.clone(), trains: members });
+            }
+        }
+        Routes { routes, train_route, train_conns }
+    }
+
+    /// All routes, indexed by [`RouteId`].
+    #[inline]
+    pub fn routes(&self) -> &[RouteInfo] {
+        &self.routes
+    }
+
+    /// A single route.
+    #[inline]
+    pub fn route(&self, r: RouteId) -> &RouteInfo {
+        &self.routes[r.idx()]
+    }
+
+    /// Number of routes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// `true` iff the timetable has no trains.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// The route a train belongs to.
+    #[inline]
+    pub fn route_of(&self, t: TrainId) -> RouteId {
+        self.train_route[t.idx()]
+    }
+
+    /// The connections of a train, ordered by hop index.
+    #[inline]
+    pub fn train_connections(&self, t: TrainId) -> &[ConnId] {
+        &self.train_conns[t.idx()]
+    }
+
+    /// The connection of train `t` on hop `hop` of its route.
+    #[inline]
+    pub fn connection_at(&self, t: TrainId, hop: usize) -> ConnId {
+        self.train_conns[t.idx()][hop]
+    }
+}
+
+/// Can `legs` be inserted into every hop of the subroute without breaking
+/// the per-hop FIFO order (strictly increasing departures *and* arrivals)?
+fn fits(hop_points: &[Vec<(Time, Time)>], legs: &[(Time, Time)]) -> bool {
+    legs.iter().enumerate().all(|(h, &(dep, arr))| {
+        let points = &hop_points[h];
+        let p = points.partition_point(|&(d, _)| d < dep);
+        if points.get(p).is_some_and(|&(d, _)| d == dep) {
+            return false; // duplicate departure on this hop
+        }
+        let prev_ok = p == 0 || points[p - 1].1 < arr;
+        let next_ok = p == points.len() || arr < points[p].1;
+        prev_ok && next_ok
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TimetableBuilder;
+    use pt_core::{Dur, Period};
+
+    fn line(
+        b: &mut TimetableBuilder,
+        path: &[StationId],
+        starts: &[Time],
+        leg: Dur,
+    ) {
+        let legs = vec![leg; path.len() - 1];
+        for &s in starts {
+            b.add_simple_trip(path, s, &legs, Dur::ZERO).unwrap();
+        }
+    }
+
+    #[test]
+    fn same_sequence_same_route() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        line(&mut b, &[s[0], s[1], s[2]], &[Time::hm(8, 0), Time::hm(9, 0)], Dur::minutes(10));
+        let tt = b.build().unwrap();
+        let routes = Routes::partition(&tt);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes.route(RouteId(0)).trains.len(), 2);
+        assert_eq!(routes.route_of(TrainId(0)), routes.route_of(TrainId(1)));
+    }
+
+    #[test]
+    fn different_sequences_different_routes() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        line(&mut b, &[s[0], s[1], s[2]], &[Time::hm(8, 0)], Dur::minutes(10));
+        line(&mut b, &[s[2], s[1], s[0]], &[Time::hm(8, 0)], Dur::minutes(10));
+        let tt = b.build().unwrap();
+        let routes = Routes::partition(&tt);
+        assert_eq!(routes.len(), 2);
+        assert_ne!(routes.route_of(TrainId(0)), routes.route_of(TrainId(1)));
+    }
+
+    #[test]
+    fn overtaking_train_is_split_off() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..2).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        // Slow train departs 08:00, takes 60 min. Express departs 08:10,
+        // takes 10 min — it overtakes, so it must land on its own route.
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(60)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 10), &[Dur::minutes(10)], Dur::ZERO)
+            .unwrap();
+        let tt = b.build().unwrap();
+        let routes = Routes::partition(&tt);
+        assert_eq!(routes.len(), 2);
+        assert_ne!(routes.route_of(TrainId(0)), routes.route_of(TrainId(1)));
+    }
+
+    #[test]
+    fn non_overtaking_trains_share_route() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..2).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(20)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 10), &[Dur::minutes(20)], Dur::ZERO)
+            .unwrap();
+        let tt = b.build().unwrap();
+        assert_eq!(Routes::partition(&tt).len(), 1);
+    }
+
+    #[test]
+    fn train_connections_ordered_by_hop() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..4).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        line(&mut b, &[s[0], s[1], s[2], s[3]], &[Time::hm(6, 0)], Dur::minutes(5));
+        let tt = b.build().unwrap();
+        let routes = Routes::partition(&tt);
+        let conns = routes.train_connections(TrainId(0));
+        assert_eq!(conns.len(), 3);
+        for (h, &c) in conns.iter().enumerate() {
+            assert_eq!(tt.connection(c).seq as usize, h);
+            assert_eq!(tt.connection(c).from, s[h]);
+        }
+        assert_eq!(routes.connection_at(TrainId(0), 2), conns[2]);
+    }
+
+    #[test]
+    fn equal_departure_on_a_hop_splits() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..2).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(10)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(12)], Dur::ZERO).unwrap();
+        let tt = b.build().unwrap();
+        assert_eq!(Routes::partition(&tt).len(), 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! City bus network generator.
+//!
+//! Stations sit on a jittered grid (a street network); each bus line is a
+//! direction-persistent random walk across the grid, operated in both
+//! directions with a time-of-day headway profile. Per-route leg durations
+//! are constant across trips, so no trip overtakes another within a route —
+//! the FIFO precondition of the realistic model holds by construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pt_core::{Dur, Period, StationId};
+
+use crate::builder::TimetableBuilder;
+use crate::model::{Station, Timetable};
+use crate::synthetic::headway::HeadwayProfile;
+
+/// Configuration of [`generate_city`].
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Number of stations (grid cells).
+    pub stations: usize,
+    /// Number of bus lines; each is operated in both directions.
+    pub lines: usize,
+    /// Stops per line, inclusive range.
+    pub line_stops: (usize, usize),
+    /// Per-leg travel time in minutes, inclusive range.
+    pub leg_minutes: (u32, u32),
+    /// Dwell time at intermediate stops.
+    pub dwell: Dur,
+    /// Departure frequency over the day.
+    pub profile: HeadwayProfile,
+    /// Share of lines using the sparser feeder profile (0..=1).
+    pub feeder_share: f64,
+    /// Feeder profile for that share.
+    pub feeder_profile: HeadwayProfile,
+    /// Station minimum transfer time in minutes, inclusive range.
+    pub transfer_minutes: (u32, u32),
+    /// Timetable period.
+    pub period: Period,
+    /// RNG seed — generation is fully deterministic in it.
+    pub seed: u64,
+}
+
+impl CityConfig {
+    /// A reasonable default city of the given size.
+    pub fn sized(stations: usize, lines: usize, seed: u64) -> Self {
+        let period = Period::DAY;
+        CityConfig {
+            stations,
+            lines,
+            line_stops: (12, 32),
+            leg_minutes: (1, 4),
+            dwell: Dur(30),
+            profile: HeadwayProfile::urban(period),
+            feeder_share: 0.3,
+            feeder_profile: HeadwayProfile::urban_feeder(period),
+            transfer_minutes: (0, 3),
+            period,
+            seed,
+        }
+    }
+}
+
+/// Generates a city bus timetable. Deterministic in `cfg.seed`.
+pub fn generate_city(cfg: &CityConfig) -> Timetable {
+    assert!(cfg.stations >= 4, "need at least 4 stations");
+    assert!(cfg.line_stops.0 >= 2 && cfg.line_stops.0 <= cfg.line_stops.1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC17Bu64);
+
+    // Jittered grid of stations.
+    let w = (cfg.stations as f64).sqrt().ceil() as usize;
+    let h = cfg.stations.div_ceil(w);
+    let mut b = TimetableBuilder::new(cfg.period);
+    for i in 0..cfg.stations {
+        let (x, y) = (i % w, i / w);
+        let jitter = |r: &mut StdRng| r.gen_range(-0.3..0.3);
+        let mut st = Station::new(
+            format!("Stop {x}/{y}"),
+            Dur::minutes(rng.gen_range(cfg.transfer_minutes.0..=cfg.transfer_minutes.1)),
+        );
+        st.pos = (x as f32 + jitter(&mut rng) as f32, y as f32 + jitter(&mut rng) as f32);
+        b.add_station(st);
+    }
+    let at = |x: usize, y: usize| -> Option<StationId> {
+        let i = y * w + x;
+        (x < w && i < cfg.stations).then(|| StationId::from_idx(i))
+    };
+
+    for _line in 0..cfg.lines {
+        let target_len = rng.gen_range(cfg.line_stops.0..=cfg.line_stops.1);
+        let path = walk_line(&mut rng, w, h, cfg.stations, target_len, at);
+        if path.len() < 2 {
+            continue;
+        }
+        // Constant per-leg durations for the line (both directions share).
+        let legs: Vec<Dur> = (1..path.len())
+            .map(|_| Dur::minutes(rng.gen_range(cfg.leg_minutes.0..=cfg.leg_minutes.1)))
+            .collect();
+        let profile = if rng.gen_bool(cfg.feeder_share) {
+            &cfg.feeder_profile
+        } else {
+            &cfg.profile
+        };
+        for dir in 0..2 {
+            let (path_d, legs_d): (Vec<StationId>, Vec<Dur>) = if dir == 0 {
+                (path.clone(), legs.clone())
+            } else {
+                (
+                    path.iter().rev().copied().collect(),
+                    legs.iter().rev().copied().collect(),
+                )
+            };
+            let offset = Dur(rng.gen_range(0..profile.max_headway().secs()));
+            for dep in profile.departures(offset) {
+                b.add_simple_trip(&path_d, dep, &legs_d, cfg.dwell)
+                    .expect("generated trip is valid");
+            }
+        }
+    }
+    // Random walks may strand grid cells; feeder connectors make the
+    // network connected, like any real feed.
+    crate::synthetic::ensure_connected(&mut b, &cfg.feeder_profile, &mut rng, 2.0);
+    b.build().expect("generated timetable is valid")
+}
+
+/// Direction-persistent random walk on the grid, skipping repeats of the
+/// immediately preceding station and stopping at `target_len` stops.
+fn walk_line(
+    rng: &mut StdRng,
+    w: usize,
+    h: usize,
+    stations: usize,
+    target_len: usize,
+    at: impl Fn(usize, usize) -> Option<StationId>,
+) -> Vec<StationId> {
+    const DIRS: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+    let (mut x, mut y) = loop {
+        let x = rng.gen_range(0..w);
+        let y = rng.gen_range(0..h);
+        if y * w + x < stations {
+            break (x as i64, y as i64);
+        }
+    };
+    let mut dir = rng.gen_range(0..4usize);
+    let mut path: Vec<StationId> = vec![at(x as usize, y as usize).expect("start on grid")];
+    let mut attempts = 0;
+    while path.len() < target_len && attempts < 8 * target_len {
+        attempts += 1;
+        // Persist direction, sometimes turn; never reverse immediately.
+        let r: f64 = rng.gen();
+        let next_dir = if r < 0.65 {
+            dir
+        } else if r < 0.85 {
+            (dir + 2) % 4 // orthogonal turn (indices 0,1 are x-moves; 2,3 y-moves)
+        } else {
+            (dir + 3) % 4
+        };
+        let (dx, dy) = DIRS[next_dir];
+        let (nx, ny) = (x + dx, y + dy);
+        if nx < 0 || ny < 0 || nx as usize >= w || ny as usize >= h {
+            dir = (dir + 2) % 4;
+            continue;
+        }
+        let Some(s) = at(nx as usize, ny as usize) else {
+            dir = (dir + 2) % 4;
+            continue;
+        };
+        if path.last() == Some(&s) || path.len() >= 2 && path[path.len() - 2] == s {
+            dir = rng.gen_range(0..4usize);
+            continue;
+        }
+        dir = next_dir;
+        x = nx;
+        y = ny;
+        path.push(s);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CityConfig::sized(60, 6, 42);
+        let a = generate_city(&cfg);
+        let b = generate_city(&cfg);
+        assert_eq!(a.num_connections(), b.num_connections());
+        assert_eq!(a.connections(), b.connections());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_city(&CityConfig::sized(60, 6, 1));
+        let b = generate_city(&CityConfig::sized(60, 6, 2));
+        assert_ne!(a.connections(), b.connections());
+    }
+
+    #[test]
+    fn produces_dense_local_network() {
+        let cfg = CityConfig::sized(100, 12, 7);
+        let tt = generate_city(&cfg);
+        let stats = tt.stats();
+        assert_eq!(stats.stations, 100);
+        assert!(stats.connections > 10_000, "got {}", stats.connections);
+        // Bidirectional service: some station has both in- and outgoing.
+        assert!(stats.conns_per_station > 50.0);
+    }
+
+    #[test]
+    fn routes_partition_cleanly() {
+        // The FIFO-by-construction claim: partitioning the generated
+        // timetable must give exactly one route per (line, direction) —
+        // no overtaking splits.
+        let cfg = CityConfig::sized(80, 8, 99);
+        let tt = generate_city(&cfg);
+        let routes = crate::routes::Routes::partition(&tt);
+        // Every route has at least a handful of trains (headway-driven).
+        let avg = tt.num_trains() as f64 / routes.len() as f64;
+        assert!(avg > 20.0, "avg trains per route = {avg}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Hierarchical railway network generator.
+//!
+//! Cities are scattered on a plane; each city has a hub station and a few
+//! regional branch lines fanning out from the hub. Intercity lines connect
+//! each hub to its nearest neighbours, and a handful of long corridors chain
+//! many hubs. Service frequencies are low (hourly and worse), producing the
+//! small connections-per-station ratio that makes self-pruning — and hence
+//! parallel scaling — weaker on railway networks (paper, §5.1, Europe).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pt_core::{Dur, Period, StationId};
+
+use crate::builder::TimetableBuilder;
+use crate::model::{Station, Timetable};
+use crate::synthetic::headway::HeadwayProfile;
+
+/// Configuration of [`generate_rail`].
+#[derive(Debug, Clone)]
+pub struct RailConfig {
+    /// Number of cities (each gets one hub).
+    pub cities: usize,
+    /// Non-hub stations per city, inclusive range.
+    pub stations_per_city: (usize, usize),
+    /// Stations per regional branch, inclusive range.
+    pub branch_len: (usize, usize),
+    /// Each hub connects to this many nearest hubs.
+    pub intercity_degree: usize,
+    /// Number of long corridors chaining hubs end-to-end.
+    pub corridors: usize,
+    /// Hubs per corridor, inclusive range.
+    pub corridor_len: (usize, usize),
+    /// Regional leg duration in minutes, inclusive range.
+    pub regional_leg_minutes: (u32, u32),
+    /// Intercity minutes per unit of planar distance.
+    pub intercity_minutes_per_dist: f64,
+    /// Regional service frequency.
+    pub regional_profile: HeadwayProfile,
+    /// Intercity service frequency.
+    pub intercity_profile: HeadwayProfile,
+    /// Station transfer time in minutes, inclusive range (hubs get the max).
+    pub transfer_minutes: (u32, u32),
+    /// Timetable period.
+    pub period: Period,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RailConfig {
+    /// A national network in the spirit of the paper's Germany input.
+    pub fn national(cities: usize, seed: u64) -> Self {
+        let period = Period::DAY;
+        RailConfig {
+            cities,
+            stations_per_city: (4, 10),
+            branch_len: (2, 5),
+            intercity_degree: 3,
+            corridors: (cities / 12).max(2),
+            corridor_len: (4, 8),
+            regional_leg_minutes: (5, 20),
+            intercity_minutes_per_dist: 0.55,
+            regional_profile: HeadwayProfile::rail_regional(period),
+            intercity_profile: HeadwayProfile::rail_intercity(period),
+            transfer_minutes: (3, 6),
+            period,
+            seed,
+        }
+    }
+
+    /// A continental network in the spirit of the paper's Europe input:
+    /// more cities, sparser service.
+    pub fn continental(cities: usize, seed: u64) -> Self {
+        let period = Period::DAY;
+        RailConfig {
+            intercity_degree: 2,
+            regional_profile: HeadwayProfile::rail_regional(period),
+            intercity_profile: HeadwayProfile::rail_sparse(period),
+            stations_per_city: (4, 12),
+            ..Self::national(cities, seed)
+        }
+    }
+}
+
+/// Generates a railway timetable. Deterministic in `cfg.seed`.
+pub fn generate_rail(cfg: &RailConfig) -> Timetable {
+    assert!(cfg.cities >= 2, "need at least two cities");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9A17u64);
+    let mut b = TimetableBuilder::new(cfg.period);
+
+    // Place cities; hub transfer times are the configured maximum.
+    let positions: Vec<(f64, f64)> = (0..cfg.cities)
+        .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
+        .collect();
+    let mut hubs = Vec::with_capacity(cfg.cities);
+    let mut city_stations: Vec<Vec<StationId>> = Vec::with_capacity(cfg.cities);
+    for (c, &(x, y)) in positions.iter().enumerate() {
+        let mut hub = Station::new(
+            format!("City {c} Hbf"),
+            Dur::minutes(cfg.transfer_minutes.1),
+        );
+        hub.pos = (x as f32, y as f32);
+        let hub_id = b.add_station(hub);
+        hubs.push(hub_id);
+        let n = rng.gen_range(cfg.stations_per_city.0..=cfg.stations_per_city.1);
+        let mut locals = Vec::with_capacity(n);
+        for i in 0..n {
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let dist = rng.gen_range(3.0..25.0);
+            let mut st = Station::new(
+                format!("City {c} / {i}"),
+                Dur::minutes(rng.gen_range(cfg.transfer_minutes.0..=cfg.transfer_minutes.1)),
+            );
+            st.pos = ((x + dist * angle.cos()) as f32, (y + dist * angle.sin()) as f32);
+            locals.push(b.add_station(st));
+        }
+        city_stations.push(locals);
+    }
+
+    // Regional branch lines: hub → chain of locals, both directions.
+    for c in 0..cfg.cities {
+        let mut remaining: Vec<StationId> = city_stations[c].clone();
+        while !remaining.is_empty() {
+            let len = rng
+                .gen_range(cfg.branch_len.0..=cfg.branch_len.1)
+                .min(remaining.len());
+            let branch: Vec<StationId> = remaining.drain(..len).collect();
+            let mut path = Vec::with_capacity(branch.len() + 1);
+            path.push(hubs[c]);
+            path.extend(branch);
+            let legs: Vec<Dur> = (1..path.len())
+                .map(|_| {
+                    Dur::minutes(
+                        rng.gen_range(cfg.regional_leg_minutes.0..=cfg.regional_leg_minutes.1),
+                    )
+                })
+                .collect();
+            run_line(&mut b, &path, &legs, &cfg.regional_profile, &mut rng);
+        }
+    }
+
+    // Intercity lines: each hub to its `intercity_degree` nearest hubs.
+    let mut seen_pairs = std::collections::BTreeSet::new();
+    for a in 0..cfg.cities {
+        let mut order: Vec<usize> = (0..cfg.cities).filter(|&b2| b2 != a).collect();
+        order.sort_by(|&i, &j| {
+            dist(positions[a], positions[i])
+                .total_cmp(&dist(positions[a], positions[j]))
+        });
+        for &nb in order.iter().take(cfg.intercity_degree) {
+            let key = (a.min(nb), a.max(nb));
+            if !seen_pairs.insert(key) {
+                continue;
+            }
+            let minutes =
+                (dist(positions[a], positions[nb]) * cfg.intercity_minutes_per_dist).max(10.0);
+            let legs = [Dur::minutes(minutes.round() as u32)];
+            run_line(&mut b, &[hubs[a], hubs[nb]], &legs, &cfg.intercity_profile, &mut rng);
+        }
+    }
+
+    // Long corridors: nearest-neighbour chains of hubs.
+    for _ in 0..cfg.corridors {
+        let len = rng.gen_range(cfg.corridor_len.0..=cfg.corridor_len.1).min(cfg.cities);
+        let mut current = rng.gen_range(0..cfg.cities);
+        let mut chain = vec![current];
+        while chain.len() < len {
+            let next = (0..cfg.cities)
+                .filter(|c| !chain.contains(c))
+                .min_by(|&i, &j| {
+                    dist(positions[current], positions[i])
+                        .total_cmp(&dist(positions[current], positions[j]))
+                });
+            let Some(next) = next else { break };
+            chain.push(next);
+            current = next;
+        }
+        if chain.len() < 2 {
+            continue;
+        }
+        let path: Vec<StationId> = chain.iter().map(|&c| hubs[c]).collect();
+        let legs: Vec<Dur> = chain
+            .windows(2)
+            .map(|w| {
+                let minutes =
+                    (dist(positions[w[0]], positions[w[1]]) * cfg.intercity_minutes_per_dist)
+                        .max(10.0);
+                Dur::minutes(minutes.round() as u32)
+            })
+            .collect();
+        run_line(&mut b, &path, &legs, &cfg.intercity_profile, &mut rng);
+    }
+
+    // Nearest-neighbour intercity links need not span all cities; connector
+    // lines make the network connected, like any real feed.
+    crate::synthetic::ensure_connected(
+        &mut b,
+        &cfg.intercity_profile,
+        &mut rng,
+        cfg.intercity_minutes_per_dist,
+    );
+    b.build().expect("generated timetable is valid")
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Operates a line in both directions with the given profile.
+fn run_line(
+    b: &mut TimetableBuilder,
+    path: &[StationId],
+    legs: &[Dur],
+    profile: &HeadwayProfile,
+    rng: &mut StdRng,
+) {
+    let dwell = Dur::minutes(1);
+    for dir in 0..2 {
+        let (path_d, legs_d): (Vec<StationId>, Vec<Dur>) = if dir == 0 {
+            (path.to_vec(), legs.to_vec())
+        } else {
+            (path.iter().rev().copied().collect(), legs.iter().rev().copied().collect())
+        };
+        let offset = Dur(rng.gen_range(0..profile.max_headway().secs()));
+        for dep in profile.departures(offset) {
+            b.add_simple_trip(&path_d, dep, &legs_d, dwell)
+                .expect("generated trip is valid");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RailConfig::national(12, 5);
+        let a = generate_rail(&cfg);
+        let b = generate_rail(&cfg);
+        assert_eq!(a.connections(), b.connections());
+    }
+
+    #[test]
+    fn rail_is_sparser_than_city() {
+        let rail = generate_rail(&RailConfig::national(20, 3));
+        let city = crate::synthetic::city::generate_city(
+            &crate::synthetic::city::CityConfig::sized(rail.num_stations(), 12, 3),
+        );
+        assert!(
+            rail.stats().conns_per_station < city.stats().conns_per_station / 2.0,
+            "rail {:.1} vs city {:.1}",
+            rail.stats().conns_per_station,
+            city.stats().conns_per_station
+        );
+    }
+
+    #[test]
+    fn continental_is_sparser_than_national() {
+        let nat = generate_rail(&RailConfig::national(20, 3));
+        let cont = generate_rail(&RailConfig::continental(20, 3));
+        assert!(
+            cont.stats().conns_per_station < nat.stats().conns_per_station,
+            "continental {:.1} vs national {:.1}",
+            cont.stats().conns_per_station,
+            nat.stats().conns_per_station
+        );
+    }
+
+    #[test]
+    fn network_is_connected_enough() {
+        // Every station has at least one outgoing connection (lines are
+        // bidirectional, so leaves still have departures).
+        let tt = generate_rail(&RailConfig::national(10, 11));
+        for s in tt.station_ids() {
+            assert!(!tt.conn(s).is_empty(), "station {s} has no departures");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Timetable health checks beyond structural validation.
+//!
+//! [`Timetable::new`] guarantees well-formedness (period-local departures,
+//! positive durations, known stations). This module reports *semantic*
+//! properties that affect search behaviour: service coverage, connectivity
+//! of the induced station graph, overtaking pressure (how many routes the
+//! FIFO split produced) and the temporal spread of departures.
+
+use pt_core::{StationId, Time};
+
+use crate::model::Timetable;
+use crate::routes::Routes;
+
+/// Diagnostic report over a timetable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Stations without any outgoing or incoming connection.
+    pub unserved_stations: Vec<StationId>,
+    /// Number of weakly connected components of the station graph.
+    pub components: usize,
+    /// Routes produced by the overtaking-aware partition.
+    pub routes: usize,
+    /// Stop-sequence equivalence classes (before overtaking splits); equal
+    /// to `routes` iff no train overtakes another.
+    pub sequence_classes: usize,
+    /// Maximum `|conn(S)|` over all stations.
+    pub max_conn_s: usize,
+    /// Share of departures inside the two rush-hour bands (07–09, 16–19),
+    /// the temporal skew behind the partition-balance discussion (§3.2).
+    pub rush_hour_share: f64,
+}
+
+impl Report {
+    /// `true` iff the network is fully served and connected.
+    pub fn is_healthy(&self) -> bool {
+        self.unserved_stations.is_empty() && self.components <= 1
+    }
+}
+
+/// Computes the report.
+pub fn check(tt: &Timetable) -> Report {
+    let n = tt.num_stations();
+
+    // Service coverage and weak connectivity via union-find.
+    let mut served = vec![false; n];
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for c in tt.connections() {
+        served[c.from.idx()] = true;
+        served[c.to.idx()] = true;
+        let (a, b) = (find(&mut parent, c.from.0), find(&mut parent, c.to.0));
+        if a != b {
+            parent[a as usize] = b;
+        }
+    }
+    let unserved: Vec<StationId> = (0..n as u32)
+        .map(StationId)
+        .filter(|s| !served[s.idx()])
+        .collect();
+    let mut roots: Vec<u32> = (0..n as u32)
+        .filter(|&s| served[s as usize])
+        .map(|s| find(&mut parent, s))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    let components = roots.len() + unserved.len();
+
+    // Route partition pressure.
+    let routes = Routes::partition(tt);
+    let mut sequences: Vec<&[StationId]> =
+        routes.routes().iter().map(|r| r.stations.as_slice()).collect();
+    sequences.sort_unstable();
+    sequences.dedup();
+
+    // Temporal skew: the period always maps onto 24 "hours".
+    let period = tt.period();
+    let secs_per_hour = period.len() as f64 / 24.0;
+    let in_rush = |t: Time| {
+        let h = t.secs() as f64 / secs_per_hour;
+        (7.0..9.0).contains(&h) || (16.0..19.0).contains(&h)
+    };
+    let rush = tt.connections().iter().filter(|c| in_rush(c.dep)).count();
+
+    let max_conn_s = tt.station_ids().map(|s| tt.conn(s).len()).max().unwrap_or(0);
+
+    Report {
+        unserved_stations: unserved,
+        components,
+        routes: routes.len(),
+        sequence_classes: sequences.len(),
+        max_conn_s,
+        rush_hour_share: rush as f64 / tt.num_connections().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TimetableBuilder;
+    use crate::synthetic::city::{generate_city, CityConfig};
+    use pt_core::{Dur, Period};
+
+    #[test]
+    fn generated_city_is_healthy() {
+        let tt = generate_city(&CityConfig::sized(60, 8, 5));
+        let r = check(&tt);
+        assert!(r.is_healthy(), "{r:?}");
+        assert_eq!(r.components, 1);
+        assert!(r.max_conn_s > 0);
+        // Urban profile concentrates departures in rush hours.
+        assert!(r.rush_hour_share > 0.25, "rush share {}", r.rush_hour_share);
+    }
+
+    #[test]
+    fn detects_unserved_and_disconnected() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let a = b.add_named_station("A", Dur::ZERO);
+        let c = b.add_named_station("B", Dur::ZERO);
+        let d = b.add_named_station("C", Dur::ZERO);
+        let e = b.add_named_station("D", Dur::ZERO);
+        let lonely = b.add_named_station("lonely", Dur::ZERO);
+        // Two disconnected served pairs plus one unserved station.
+        b.add_simple_trip(&[a, c], Time::hm(8, 0), &[Dur::minutes(5)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[d, e], Time::hm(8, 0), &[Dur::minutes(5)], Dur::ZERO).unwrap();
+        let tt = b.build().unwrap();
+        let r = check(&tt);
+        assert!(!r.is_healthy());
+        assert_eq!(r.unserved_stations, vec![lonely]);
+        assert_eq!(r.components, 3); // {A,B}, {C,D}, {lonely}
+    }
+
+    #[test]
+    fn overtaking_shows_as_extra_routes() {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let a = b.add_named_station("A", Dur::ZERO);
+        let c = b.add_named_station("B", Dur::ZERO);
+        b.add_simple_trip(&[a, c], Time::hm(8, 0), &[Dur::minutes(60)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[a, c], Time::hm(8, 10), &[Dur::minutes(10)], Dur::ZERO).unwrap();
+        let tt = b.build().unwrap();
+        let r = check(&tt);
+        assert_eq!(r.sequence_classes, 1);
+        assert_eq!(r.routes, 2); // split by the express overtaking the local
+    }
+}

@@ -1,0 +1,83 @@
+//! City commute: a Los-Angeles-like bus network, parallel profile search
+//! and distance-table-accelerated station-to-station queries.
+//!
+//! ```text
+//! cargo run --release --example city_commute
+//! ```
+
+use std::time::Instant;
+
+use best_connections::prelude::*;
+use best_connections::timetable::synthetic::presets;
+
+fn main() {
+    let scale = std::env::var("BC_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.25);
+    let preset = presets::los_angeles_like(scale);
+    let stats = preset.timetable.stats();
+    println!(
+        "network `{}`: {} stops, {} connections ({:.0} per stop)",
+        preset.name, stats.stations, stats.connections, stats.conns_per_station
+    );
+
+    let t0 = Instant::now();
+    let net = Network::new(preset.timetable);
+    println!(
+        "built graphs in {:.2}s: {} nodes, {} edges",
+        t0.elapsed().as_secs_f64(),
+        net.graph().num_nodes(),
+        net.graph().num_edges()
+    );
+
+    // Parallel one-to-all profile search from a busy stop.
+    let source = (0..net.num_stations() as u32)
+        .map(StationId)
+        .max_by_key(|&s| net.timetable().conn(s).len())
+        .expect("non-empty network");
+    for p in [1, 2, 4] {
+        let t0 = Instant::now();
+        let r = ProfileEngine::new(&net).threads(p).one_to_all_with_stats(source);
+        println!(
+            "one-to-all from {} on {p} thread(s): {:6.1} ms, {} settled, {} stations reachable",
+            net.timetable().station(source).name,
+            t0.elapsed().as_secs_f64() * 1e3,
+            r.stats.settled,
+            r.profiles.reachable(),
+        );
+    }
+
+    // Precompute a 10 % distance table, then compare s2s with and without.
+    let t0 = Instant::now();
+    let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.10));
+    println!(
+        "\ndistance table over {} transfer stations: {:.1} MiB, built in {:.1}s",
+        table.len(),
+        table.size_mib(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let pairs = [
+        (StationId(1), StationId(net.num_stations() as u32 - 2)),
+        (StationId(7), StationId(net.num_stations() as u32 / 2)),
+    ];
+    for (s, t) in pairs {
+        let plain = S2sEngine::new(&net).threads(2).query(s, t);
+        let pruned = S2sEngine::new(&net).threads(2).with_table(&table).query(s, t);
+        assert_eq!(plain.profile, pruned.profile, "pruning must not change results");
+        println!(
+            "{} → {}: {} connection points | settled {} (stopping only) vs {} ({:?} with table)",
+            net.timetable().station(s).name,
+            net.timetable().station(t).name,
+            plain.profile.len(),
+            plain.stats.settled,
+            pruned.stats.settled,
+            pruned.kind,
+        );
+        // Morning commute: leave at 08:00.
+        let arr = pruned.profile.eval_arr(Time::hm(8, 0), Period::DAY);
+        if arr.is_infinite() {
+            println!("  unreachable");
+        } else {
+            println!("  leave 08:00 → arrive {arr}");
+        }
+    }
+}

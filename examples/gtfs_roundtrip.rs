@@ -1,0 +1,57 @@
+//! GTFS round-trip: export a synthetic network as a GTFS-subset directory,
+//! load it back, and verify that queries agree — the ingestion path a real
+//! feed (the paper's Google-Transit inputs) would take.
+//!
+//! ```text
+//! cargo run --release --example gtfs_roundtrip [output-dir]
+//! ```
+
+use best_connections::prelude::*;
+use best_connections::timetable::gtfs;
+use best_connections::timetable::synthetic::presets;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("best-connections-gtfs"));
+
+    let preset = presets::oahu_like(0.15);
+    let original = preset.timetable;
+    println!(
+        "exporting `{}` ({} stops, {} connections) to {}",
+        preset.name,
+        original.num_stations(),
+        original.num_connections(),
+        dir.display()
+    );
+    gtfs::save_dir(&original, &dir).expect("GTFS export");
+    for f in ["stops.txt", "routes.txt", "trips.txt", "stop_times.txt", "transfers.txt"] {
+        let len = std::fs::metadata(dir.join(f)).map(|m| m.len()).unwrap_or(0);
+        println!("  wrote {f:<15} {len:>9} bytes");
+    }
+
+    let loaded = gtfs::load_dir(&dir, Period::DAY, Dur::ZERO).expect("GTFS import");
+    println!(
+        "\nreloaded: {} stops, {} trains, {} connections",
+        loaded.num_stations(),
+        loaded.num_trains(),
+        loaded.num_connections()
+    );
+    assert_eq!(loaded.num_stations(), original.num_stations());
+    assert_eq!(loaded.num_connections(), original.num_connections());
+
+    // Same profiles before and after the round-trip.
+    let net_a = Network::new(original);
+    let net_b = Network::new(loaded);
+    let source = StationId(0);
+    let a = ProfileEngine::new(&net_a).one_to_all(source);
+    let b = ProfileEngine::new(&net_b).one_to_all(source);
+    let agree = net_a
+        .station_ids()
+        .filter(|&s| a.profile(s) == b.profile(s))
+        .count();
+    println!("profiles agree for {agree}/{} stations", net_a.num_stations());
+    assert_eq!(agree, net_a.num_stations(), "round-trip must preserve semantics");
+    println!("round-trip OK");
+}

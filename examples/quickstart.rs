@@ -1,0 +1,75 @@
+//! Quickstart: build a toy timetable, run a profile search, evaluate it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use best_connections::prelude::*;
+
+fn main() {
+    // Three stations on a line, with an hourly service 06:00–22:00 and a
+    // faster express every two hours.
+    let mut b = TimetableBuilder::new(Period::DAY);
+    let airport = b.add_named_station("Airport", Dur::minutes(5));
+    let center = b.add_named_station("City Center", Dur::minutes(3));
+    let harbor = b.add_named_station("Harbor", Dur::minutes(2));
+
+    for h in 6..22 {
+        // Local: Airport → Center → Harbor, 25 + 15 minutes.
+        b.add_simple_trip(
+            &[airport, center, harbor],
+            Time::hm(h, 0),
+            &[Dur::minutes(25), Dur::minutes(15)],
+            Dur::minutes(1),
+        )
+        .expect("valid trip");
+        if h % 2 == 0 {
+            // Express: Airport → Harbor direct, 30 minutes, at :30.
+            b.add_simple_trip(
+                &[airport, harbor],
+                Time::hm(h, 30),
+                &[Dur::minutes(30)],
+                Dur::ZERO,
+            )
+            .expect("valid trip");
+        }
+    }
+    let tt = b.build().expect("valid timetable");
+    println!(
+        "timetable: {} stations, {} trains, {} elementary connections",
+        tt.num_stations(),
+        tt.num_trains(),
+        tt.num_connections()
+    );
+
+    // One-to-all profile search (the paper's SPCS), on two threads.
+    let net = Network::new(tt);
+    let mut engine = ProfileEngine::new(&net).threads(2);
+    let result = engine.one_to_all_with_stats(airport);
+    println!(
+        "one-to-all from Airport: settled {} queue elements ({} self-pruned)",
+        result.stats.settled, result.stats.self_pruned
+    );
+
+    // The full day's best connections Airport → Harbor.
+    let profile = result.profiles.profile(harbor);
+    println!("\nAirport → Harbor has {} useful departures:", profile.len());
+    for p in profile.points().iter().take(8) {
+        println!("  depart {}  →  arrive {}  ({})", p.dep, p.arr, p.dur());
+    }
+    println!("  ...");
+
+    // Evaluate the profile: "I reach the airport at 09:10 — when am I at
+    // the harbor?"
+    let dep = Time::hm(9, 10);
+    let arr = profile.eval_arr(dep, Period::DAY);
+    println!("\nleaving at {dep}, earliest arrival at Harbor: {arr}");
+
+    // A station-to-station query answers the same question with less work.
+    let s2s = S2sEngine::new(&net).query(airport, harbor);
+    assert_eq!(s2s.profile.eval_arr(dep, Period::DAY), arr);
+    println!(
+        "station-to-station query settled {} elements (vs {} one-to-all)",
+        s2s.stats.settled, result.stats.settled
+    );
+}

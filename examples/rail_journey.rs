@@ -1,0 +1,72 @@
+//! Rail journey: a Germany-like railway network — the full day's best
+//! connections between two cities, the CS-vs-LC comparison of Table 1, and
+//! the multi-criteria (arrival, transfers) extension.
+//!
+//! ```text
+//! cargo run --release --example rail_journey
+//! ```
+
+use std::time::Instant;
+
+use best_connections::prelude::*;
+use best_connections::spcs::{label_correcting, multicriteria};
+use best_connections::timetable::synthetic::presets;
+
+fn main() {
+    let scale = std::env::var("BC_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.4);
+    let preset = presets::germany_like(scale);
+    let stats = preset.timetable.stats();
+    println!(
+        "network `{}`: {} stations, {} connections ({:.0} per station)",
+        preset.name, stats.stations, stats.connections, stats.conns_per_station
+    );
+    let net = Network::new(preset.timetable);
+
+    // Two city hubs ("Hbf" stations are the generator's hubs).
+    let hubs: Vec<StationId> = net
+        .station_ids()
+        .filter(|&s| net.timetable().station(s).name.ends_with("Hbf"))
+        .collect();
+    let (from, to) = (hubs[0], hubs[hubs.len() / 2]);
+    println!(
+        "\nconnection board {} → {}:",
+        net.timetable().station(from).name,
+        net.timetable().station(to).name
+    );
+
+    // Profile via SPCS.
+    let t0 = Instant::now();
+    let cs = ProfileEngine::new(&net).threads(2).one_to_all_with_stats(from);
+    let cs_time = t0.elapsed();
+    let board = cs.profiles.profile(to);
+    for p in board.points().iter().take(10) {
+        println!("  dep {}  arr {}  (travel {})", p.dep, p.arr, p.dur());
+    }
+    if board.len() > 10 {
+        println!("  … {} departures in total", board.len());
+    }
+
+    // The label-correcting baseline computes the same profiles, slower.
+    let t0 = Instant::now();
+    let lc = label_correcting::profile_search(&net, from);
+    let lc_time = t0.elapsed();
+    assert_eq!(lc.profiles.profile(to), board, "LC and SPCS must agree");
+    println!(
+        "\nSPCS (2 threads): {:5.1} ms, {:7} settled  |  LC: {:5.1} ms, {:7} label points",
+        cs_time.as_secs_f64() * 1e3,
+        cs.stats.settled,
+        lc_time.as_secs_f64() * 1e3,
+        lc.stats.settled
+    );
+
+    // Multi-criteria: minimize transfers as well (the paper's future work).
+    let dep = Time::hm(9, 0);
+    let pareto = multicriteria::pareto_query(&net, from, dep, to);
+    println!("\nleaving at {dep}, Pareto options (arrival ⨯ transfers):");
+    for o in &pareto.options {
+        println!("  arrive {} with {} transfer(s)", o.arrival, o.transfers);
+    }
+    let scalar = best_connections::spcs::time_query::earliest_arrival(&net, from, dep, to);
+    let best = pareto.options.iter().map(|o| o.arrival).min().unwrap_or(INFINITY);
+    assert_eq!(best, scalar, "fastest Pareto option equals the scalar optimum");
+}

@@ -1,0 +1,59 @@
+//! **best-connections** — a Rust reproduction of
+//! *Delling, Katz, Pajor: Parallel Computation of Best Connections in Public
+//! Transportation Networks* (IPPS 2010).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`](pt_core) — time arithmetic, piecewise-linear travel-time
+//!   functions, arrival profiles and connection reduction,
+//! * [`timetable`](pt_timetable) — the periodic timetable model, GTFS-subset
+//!   I/O and synthetic network generators,
+//! * [`graph`](pt_graph) — the realistic time-dependent graph model and the
+//!   station graph,
+//! * [`heap`](pt_heap) — indexed d-ary priority queues,
+//! * [`spcs`](pt_spcs) — the search algorithms: time-queries, the
+//!   label-correcting profile baseline, sequential and parallel self-pruning
+//!   connection-setting (SPCS), and the station-to-station engine with
+//!   distance-table pruning.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; in short:
+//!
+//! ```
+//! use best_connections::prelude::*;
+//!
+//! // Build a two-station toy timetable.
+//! let mut b = TimetableBuilder::new(Period::DAY);
+//! let a = b.add_named_station("A", Dur::minutes(2));
+//! let t = b.add_named_station("B", Dur::minutes(2));
+//! b.add_simple_trip(&[a, t], Time::hm(8, 0), &[Dur::minutes(30)], Dur::ZERO).unwrap();
+//! let tt = b.build().unwrap();
+//!
+//! // One-to-all profile search from A.
+//! let network = Network::build(&tt);
+//! let mut engine = ProfileEngine::new(&network);
+//! let profiles = engine.one_to_all(a);
+//! let arr = profiles.profile(t).eval_arr(Time::hm(7, 0), Period::DAY);
+//! assert_eq!(arr, Time::hm(8, 30));
+//! ```
+
+pub use pt_core as core;
+pub use pt_graph as graph;
+pub use pt_heap as heap;
+pub use pt_spcs as spcs;
+pub use pt_timetable as timetable;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use pt_core::{
+        ConnId, Dur, NodeId, Period, Plf, PlfPoint, Profile, ProfilePoint, RouteId, StationId,
+        Time, TrainId, INFINITY,
+    };
+    pub use pt_graph::{StationGraph, TdGraph};
+    pub use pt_spcs::{
+        DistanceTable, Network, PartitionStrategy, ProfileEngine, QueryStats, S2sEngine,
+        TransferSelection,
+    };
+    pub use pt_timetable::{Station, Timetable, TimetableBuilder, TripStop};
+}

@@ -1,0 +1,148 @@
+//! Property tests over *arbitrary* small timetables (not the generators):
+//! random trips with random times, dwell times and transfer times —
+//! including midnight wraps and disconnected pieces — must satisfy every
+//! cross-algorithm equivalence.
+
+use proptest::prelude::*;
+
+use best_connections::prelude::*;
+use best_connections::spcs::{label_correcting, time_query};
+
+/// A random trip: station path (indices into 0..n), start minute, leg
+/// durations in minutes, dwell minutes.
+#[derive(Debug, Clone)]
+struct TripSpec {
+    path: Vec<u8>,
+    start_min: u32,
+    leg_min: Vec<u16>,
+    dwell_min: u8,
+}
+
+fn trip_strategy(n: u8) -> impl Strategy<Value = TripSpec> {
+    (2usize..=5)
+        .prop_flat_map(move |len| {
+            (
+                prop::collection::vec(0..n, len),
+                0u32..(24 * 60),
+                prop::collection::vec(1u16..=130, len - 1),
+                0u8..=5,
+            )
+        })
+        .prop_map(|(path, start_min, leg_min, dwell_min)| TripSpec {
+            path,
+            start_min,
+            leg_min,
+            dwell_min,
+        })
+}
+
+/// Builds a timetable from specs; consecutive duplicate stations in a path
+/// are skipped (the builder rejects self-loops).
+fn build(n: u8, transfer_min: Vec<u8>, trips: Vec<TripSpec>) -> Option<Timetable> {
+    let mut b = TimetableBuilder::new(Period::DAY);
+    for (i, &tm) in transfer_min.iter().enumerate() {
+        b.add_named_station(format!("S{i}"), Dur::minutes(tm as u32));
+    }
+    let _ = n;
+    let mut added = 0;
+    for t in trips {
+        let mut path: Vec<StationId> = Vec::new();
+        for &p in &t.path {
+            let s = StationId(p as u32);
+            if path.last() != Some(&s) {
+                path.push(s);
+            }
+        }
+        if path.len() < 2 {
+            continue;
+        }
+        let legs: Vec<Dur> =
+            t.leg_min.iter().take(path.len() - 1).map(|&m| Dur::minutes(m as u32)).collect();
+        b.add_simple_trip(&path, Time(t.start_min * 60), &legs, Dur::minutes(t.dwell_min as u32))
+            .ok()?;
+        added += 1;
+    }
+    if added == 0 {
+        return None;
+    }
+    b.build().ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cs_equals_lc_on_random_timetables(
+        transfer_min in prop::collection::vec(0u8..=8, 3..=6),
+        trips in prop::collection::vec(trip_strategy(6), 1..=10),
+    ) {
+        let n = transfer_min.len() as u8;
+        let Some(tt) = build(n, transfer_min, trips) else { return Ok(()) };
+        let net = Network::new(tt);
+        for s in net.station_ids() {
+            let cs = ProfileEngine::new(&net).one_to_all(s);
+            let lc = label_correcting::profile_search(&net, s);
+            prop_assert_eq!(&lc.profiles, &cs, "source {}", s);
+            // Parallel equivalence on a nontrivial thread count.
+            let par = ProfileEngine::new(&net).threads(3).one_to_all(s);
+            prop_assert_eq!(&par, &cs, "parallel from {}", s);
+        }
+    }
+
+    #[test]
+    fn profile_eval_equals_time_query(
+        transfer_min in prop::collection::vec(0u8..=8, 3..=6),
+        trips in prop::collection::vec(trip_strategy(6), 1..=10),
+        dep_mins in prop::collection::vec(0u32..(24 * 60), 1..=6),
+    ) {
+        let n = transfer_min.len() as u8;
+        let Some(tt) = build(n, transfer_min, trips) else { return Ok(()) };
+        let net = Network::new(tt);
+        let source = StationId(0);
+        let set = ProfileEngine::new(&net).threads(2).one_to_all(source);
+        for &m in &dep_mins {
+            let dep = Time(m * 60);
+            let truth = time_query::earliest_arrivals(&net, source, dep);
+            for s in net.station_ids() {
+                if s == source {
+                    continue; // source-profile convention, see ProfileSet::profile
+                }
+                prop_assert_eq!(
+                    set.profile(s).eval_arr(dep, Period::DAY),
+                    truth.arrival_at(s),
+                    "station {} dep {}", s, dep
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn s2s_with_tables_equals_one_to_all(
+        transfer_min in prop::collection::vec(0u8..=8, 4..=6),
+        trips in prop::collection::vec(trip_strategy(6), 2..=10),
+        frac in 0.2f64..0.8,
+    ) {
+        let n = transfer_min.len() as u8;
+        let Some(tt) = build(n, transfer_min, trips) else { return Ok(()) };
+        let net = Network::new(tt);
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(frac));
+        let engine = S2sEngine::new(&net).threads(2).with_table(&table);
+        let plain = S2sEngine::new(&net);
+        for s in net.station_ids() {
+            let want = ProfileEngine::new(&net).one_to_all(s);
+            for t in net.station_ids() {
+                if s == t { continue; }
+                let got = engine.query(s, t);
+                prop_assert_eq!(
+                    &got.profile, want.profile(t),
+                    "{} → {} kind {:?}", s, t, got.kind
+                );
+                let got_plain = plain.query(s, t);
+                prop_assert_eq!(
+                    &got_plain.profile, want.profile(t),
+                    "{} → {} stopping-only", s, t
+                );
+            }
+        }
+    }
+}
