@@ -18,8 +18,7 @@ fn one_to_all(c: &mut Criterion) {
     for (name, net) in bench_networks() {
         let mut group = c.benchmark_group(format!("one_to_all/{name}"));
         group.sample_size(10);
-        let sources: Vec<StationId> =
-            pt_bench::random_stations(net.num_stations(), 4, 42);
+        let sources: Vec<StationId> = pt_bench::random_stations(net.num_stations(), 4, 42);
         for p in [1usize, 2, 4] {
             group.bench_with_input(BenchmarkId::new("cs", p), &p, |b, &p| {
                 let mut i = 0;

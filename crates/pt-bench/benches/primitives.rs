@@ -5,13 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pt_core::{Dur, Period, Plf, PlfPoint, Profile, ProfilePoint, Time};
 use pt_heap::{BinaryHeap, QuaternaryHeap};
-use pt_spcs::PartitionStrategy;
 use pt_timetable::synthetic::presets;
 
 fn plf_points(n: u32) -> Vec<PlfPoint> {
-    (0..n)
-        .map(|i| PlfPoint::new(Time(i * (86_400 / n)), Dur(300 + (i * 37) % 900)))
-        .collect()
+    (0..n).map(|i| PlfPoint::new(Time(i * (86_400 / n)), Dur(300 + (i * 37) % 900))).collect()
 }
 
 fn plf(c: &mut Criterion) {
@@ -77,17 +74,10 @@ fn heaps(c: &mut Criterion) {
 fn partitions(c: &mut Criterion) {
     let tt = presets::oahu_like(0.08).timetable;
     // The busiest station's conn(S).
-    let busiest = tt
-        .station_ids()
-        .max_by_key(|&s| tt.conn(s).len())
-        .expect("non-empty network");
+    let busiest = tt.station_ids().max_by_key(|&s| tt.conn(s).len()).expect("non-empty network");
     let conns = tt.conn(busiest);
     let mut group = c.benchmark_group("partition");
-    for (name, strat) in [
-        ("time_slots", PartitionStrategy::EqualTimeSlots),
-        ("equal_conns", PartitionStrategy::EqualConnections),
-        ("kmeans", PartitionStrategy::KMeans { iters: 20 }),
-    ] {
+    for (name, strat) in pt_bench::conncheck::STRATEGIES {
         group.bench_function(name, |b| {
             b.iter(|| strat.partition(conns, 8, Period::DAY));
         });

@@ -17,7 +17,7 @@
 use std::time::Instant;
 
 use pt_bench::{mean, ms, random_pairs, random_stations, BenchConfig};
-use pt_spcs::{Network, PartitionStrategy, ProfileEngine, S2sEngine};
+use pt_spcs::{Network, ProfileEngine, S2sEngine};
 
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_else(|| "partition".to_string());
@@ -35,11 +35,7 @@ fn main() {
 
 fn partition(cfg: &BenchConfig) {
     println!("# Ablation — conn(S) partition strategies (§3.2), p = 4");
-    let strategies = [
-        ("time-slots", PartitionStrategy::EqualTimeSlots),
-        ("equal-conns", PartitionStrategy::EqualConnections),
-        ("k-means", PartitionStrategy::KMeans { iters: 20 }),
-    ];
+    let strategies = pt_bench::conncheck::STRATEGIES;
     for preset in cfg.networks() {
         let net = Network::new(preset.timetable);
         let sources = random_stations(net.num_stations(), cfg.queries, cfg.seed);
@@ -54,10 +50,8 @@ fn partition(cfg: &BenchConfig) {
             let mut imb = Vec::new();
             for &s in &sources {
                 let t0 = Instant::now();
-                let r = ProfileEngine::new(&net)
-                    .threads(4)
-                    .strategy(strat)
-                    .one_to_all_with_stats(s);
+                let r =
+                    ProfileEngine::new(&net).threads(4).strategy(strat).one_to_all_with_stats(s);
                 times.push(ms(t0.elapsed()));
                 settled.push(r.stats.settled as f64);
                 let max = r.thread_settled.iter().max().copied().unwrap_or(0) as f64;

@@ -1,20 +1,35 @@
-//! Diagnostic: connectivity of the generated evaluation networks.
+//! Diagnostic: connectivity of the generated evaluation networks, plus the
+//! cross-algorithm equivalence check.
 //!
-//! Prints, for each preset, the number of weakly connected components of
-//! the station graph and the count of entirely unserved stations. Real
-//! feeds are connected; the generators guarantee it via connector lines —
-//! this tool verifies that invariant at any scale.
+//! Section 1 prints, for each preset, the number of weakly connected
+//! components of the station graph and the count of entirely unserved
+//! stations. Real feeds are connected; the generators guarantee it via
+//! connector lines — this tool verifies that invariant at any scale.
+//!
+//! Section 2 runs [`pt_bench::conncheck::cross_check`]: sequential SPCS vs
+//! label-correcting vs parallel SPCS (all three partition strategies, at
+//! the `BC_THREADS` thread counts) vs the label-setting time-query
+//! baseline, on `BC_QUERIES` sampled sources per network. Any disagreement
+//! is printed and the process exits non-zero.
 //!
 //! ```text
-//! cargo run --release -p pt-bench --bin conncheck
+//! cargo run --release --bin conncheck
 //! ```
+//!
+//! Knobs: `BC_SCALE` (default 0.5), `BC_QUERIES` sources per network
+//! (default 15, capped at 64), `BC_THREADS` (default 1,2,4,8),
+//! `BC_NETWORKS` name filter, `BC_SEED`.
 
+use pt_bench::conncheck::{cross_check, standard_departures};
+use pt_bench::BenchConfig;
 use pt_core::StationId;
 use pt_graph::StationGraph;
+use pt_spcs::Network;
 
 fn main() {
-    let scale = std::env::var("BC_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.5);
-    for preset in pt_timetable::synthetic::presets::all_presets(scale) {
+    let cfg = BenchConfig::from_env();
+    let mut networks = Vec::new();
+    for preset in cfg.networks() {
         let tt = preset.timetable;
         let sg = StationGraph::build(&tt);
         let n = sg.num_stations();
@@ -58,5 +73,38 @@ fn main() {
             "{:<16} stations={:<6} components={:<3} largest={:<6} unserved={}",
             preset.name, n, ncomp, sizes[0], unserved
         );
+        networks.push((preset.name, tt));
     }
+
+    if networks.is_empty() {
+        eprintln!("conncheck: no network matches BC_NETWORKS filter — nothing to check");
+        std::process::exit(2);
+    }
+
+    println!();
+    println!("cross-check: sequential SPCS vs LC vs parallel SPCS vs time-query");
+    let departures = standard_departures();
+    let sources_per_net = cfg.queries.clamp(1, 64);
+    let mut total_mismatches = 0usize;
+    for (name, tt) in networks {
+        let net = Network::new(tt);
+        let sources = pt_bench::random_stations(net.num_stations(), sources_per_net, cfg.seed);
+        let outcome = cross_check(name, &net, &sources, &cfg.threads, &departures);
+        println!(
+            "{:<16} sources={:<3} comparisons={:<8} mismatches={}",
+            outcome.network,
+            outcome.sources,
+            outcome.comparisons,
+            outcome.mismatches.len()
+        );
+        for m in &outcome.mismatches {
+            eprintln!("  MISMATCH: {m}");
+        }
+        total_mismatches += outcome.mismatches.len();
+    }
+    if total_mismatches > 0 {
+        eprintln!("conncheck FAILED: {total_mismatches} mismatch(es)");
+        std::process::exit(1);
+    }
+    println!("conncheck OK: zero mismatches");
 }

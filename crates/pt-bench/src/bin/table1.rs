@@ -81,14 +81,7 @@ fn main() {
             times.push(ms(t0.elapsed()));
             settled.push(res.stats.settled as f64);
         }
-        println!(
-            "{:<6} {:>6} {:>16.0} {:>12.1} {:>8}",
-            "LC",
-            1,
-            mean(&settled),
-            mean(&times),
-            "—"
-        );
+        println!("{:<6} {:>6} {:>16.0} {:>12.1} {:>8}", "LC", 1, mean(&settled), mean(&times), "—");
         println!();
     }
 }

@@ -25,10 +25,8 @@ fn main() {
         .ok()
         .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
         .unwrap_or_else(|| vec![0.01, 0.025, 0.05, 0.10]);
-    let threads: usize = std::env::var("BC_S2S_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
+    let threads: usize =
+        std::env::var("BC_S2S_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
 
     println!("# Table 2 — station-to-station queries with distance-table pruning");
     println!(
@@ -40,10 +38,7 @@ fn main() {
     for preset in cfg.networks() {
         let stats = preset.timetable.stats();
         let net = Network::new(preset.timetable);
-        println!(
-            "## {}  ({} stations, {} conns)",
-            preset.name, stats.stations, stats.connections
-        );
+        println!("## {}  ({} stations, {} conns)", preset.name, stats.stations, stats.connections);
         println!(
             "{:<8} {:>8} {:>10} {:>14} {:>11} {:>7}",
             "trans", "prepro", "size[MiB]", "settled conns", "time [ms]", "spd-up"

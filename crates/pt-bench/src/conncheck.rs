@@ -1,0 +1,122 @@
+//! Cross-algorithm equivalence checking.
+//!
+//! The correctness contract of the whole workspace (and of the paper): on
+//! any timetable, every profile algorithm computes *the same* reduced
+//! arrival profiles, and evaluating a profile at a departure time equals
+//! the label-setting time-query baseline (`dist(S, T, τ)`, §2). This
+//! module checks, for a set of sampled source stations:
+//!
+//! * sequential SPCS (`ProfileEngine`, 1 thread) — the reference,
+//! * the label-correcting profile search (Table 1's baseline),
+//! * parallel SPCS under **all three** `conn(S)` partition strategies
+//!   (§3.2) at every requested thread count,
+//! * `time_query::earliest_arrivals` evaluated against the sequential
+//!   profiles at sampled departure times (including late-night wrap-around
+//!   departures).
+//!
+//! Used by the `conncheck` binary (full networks) and by the tier-1
+//! integration test `tests/conncheck_fast.rs` (scaled-down fast mode).
+
+use pt_core::{StationId, Time};
+use pt_spcs::{label_correcting, time_query, Network, PartitionStrategy, ProfileEngine};
+
+/// The three partition strategies of §3.2, with display names.
+pub const STRATEGIES: [(&str, PartitionStrategy); 3] = [
+    ("time_slots", PartitionStrategy::EqualTimeSlots),
+    ("equal_conns", PartitionStrategy::EqualConnections),
+    ("kmeans", PartitionStrategy::KMeans { iters: 20 }),
+];
+
+/// Result of [`cross_check`] on one network.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    pub network: String,
+    pub sources: usize,
+    /// Number of whole-profile-set / arrival comparisons performed.
+    pub comparisons: usize,
+    /// Human-readable description of every disagreement found (capped).
+    pub mismatches: Vec<String>,
+}
+
+impl CheckOutcome {
+    pub fn is_clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+const MAX_REPORTED: usize = 20;
+
+fn record(mismatches: &mut Vec<String>, msg: String) {
+    if mismatches.len() < MAX_REPORTED {
+        mismatches.push(msg);
+    }
+}
+
+/// Runs every cross-algorithm comparison on `net`; see the module docs.
+pub fn cross_check(
+    name: &str,
+    net: &Network,
+    sources: &[StationId],
+    threads: &[usize],
+    departures: &[Time],
+) -> CheckOutcome {
+    let period = net.timetable().period();
+    let mut comparisons = 0usize;
+    let mut mismatches = Vec::new();
+
+    for &s in sources {
+        let seq = ProfileEngine::new(net).one_to_all(s);
+
+        let lc = label_correcting::profile_search(net, s);
+        comparisons += 1;
+        if lc.profiles != seq {
+            record(
+                &mut mismatches,
+                format!("{name}: label-correcting != sequential SPCS from {s}"),
+            );
+        }
+
+        for (strat_name, strat) in STRATEGIES {
+            for &p in threads {
+                let par = ProfileEngine::new(net).threads(p).strategy(strat).one_to_all(s);
+                comparisons += 1;
+                if par != seq {
+                    record(
+                        &mut mismatches,
+                        format!(
+                            "{name}: parallel SPCS ({strat_name}, p={p}) != sequential from {s}"
+                        ),
+                    );
+                }
+            }
+        }
+
+        for &dep in departures {
+            let truth = time_query::earliest_arrivals(net, s, dep);
+            for t in net.station_ids() {
+                if t == s {
+                    continue; // source-profile convention, see ProfileSet::profile
+                }
+                comparisons += 1;
+                let got = seq.profile(t).eval_arr(dep, period);
+                let want = truth.arrival_at(t);
+                if got != want {
+                    record(
+                        &mut mismatches,
+                        format!(
+                            "{name}: profile eval {s} -> {t} at dep {dep}: \
+                             profile says {got}, time-query says {want}"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    CheckOutcome { network: name.to_string(), sources: sources.len(), comparisons, mismatches }
+}
+
+/// Departure times exercising normal daytime plus the period wrap-around.
+pub fn standard_departures() -> Vec<Time> {
+    vec![Time::hm(0, 30), Time::hm(7, 45), Time::hm(12, 0), Time::hm(23, 30)]
+}

@@ -16,6 +16,8 @@
 //! * `BC_NETWORKS` — comma-separated substring filter on network names,
 //! * `BC_SEED` — workload seed (default `2010`).
 
+pub mod conncheck;
+
 use std::time::Duration;
 
 use rand::rngs::StdRng;
@@ -82,11 +84,7 @@ pub fn random_stations(num_stations: usize, count: usize, seed: u64) -> Vec<Stat
 }
 
 /// `count` random ordered station pairs with distinct endpoints.
-pub fn random_pairs(
-    num_stations: usize,
-    count: usize,
-    seed: u64,
-) -> Vec<(StationId, StationId)> {
+pub fn random_pairs(num_stations: usize, count: usize, seed: u64) -> Vec<(StationId, StationId)> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5A5A);
     (0..count)
         .map(|_| loop {

@@ -73,6 +73,7 @@ impl Plf {
         }
         points.sort_unstable_by_key(|p| (p.dep, p.dur));
         points.dedup_by_key(|p| p.dep); // keeps the first = fastest per dep
+
         // Backward dominance scan (the paper's connection reduction applied
         // to an edge function): keep a point only if it arrives strictly
         // earlier than every later departure's arrival.
@@ -127,10 +128,7 @@ impl Plf {
     /// the next period's first point.
     pub fn is_fifo(&self, period: Period) -> bool {
         self.points.iter().all(|p| period.contains(p.dep))
-            && self
-                .points
-                .windows(2)
-                .all(|w| w[0].dep < w[1].dep && w[0].arr() < w[1].arr())
+            && self.points.windows(2).all(|w| w[0].dep < w[1].dep && w[0].arr() < w[1].arr())
             && match (self.points.first(), self.points.last()) {
                 (Some(f), Some(l)) => l.arr() < f.arr() + Dur(period.len()),
                 _ => true,
@@ -175,11 +173,7 @@ impl Plf {
     /// even for non-FIFO point sets. Used by tests and debug assertions.
     pub fn eval_dur_exhaustive(&self, t: Time, period: Period) -> Dur {
         let tau = period.local(t);
-        self.points
-            .iter()
-            .map(|p| period.delta(tau, p.dep) + p.dur)
-            .min()
-            .unwrap_or(Dur::INFINITE)
+        self.points.iter().map(|p| period.delta(tau, p.dep) + p.dur).min().unwrap_or(Dur::INFINITE)
     }
 
     /// The minimum duration over all connection points — a valid lower bound
@@ -278,10 +272,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "not period-local")]
     fn non_local_departure_rejected() {
-        let _ = Plf::from_points(
-            vec![PlfPoint::new(Time::hm(25, 0), Dur::minutes(5))],
-            Period::DAY,
-        );
+        let _ =
+            Plf::from_points(vec![PlfPoint::new(Time::hm(25, 0), Dur::minutes(5))], Period::DAY);
     }
 
     #[test]

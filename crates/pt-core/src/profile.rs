@@ -67,11 +67,7 @@ impl Profile {
     pub fn from_unreduced(mut points: Vec<ProfilePoint>, period: Period) -> Self {
         points.retain(|p| !p.arr.is_infinite());
         for p in &points {
-            assert!(
-                period.contains(p.dep),
-                "profile departure {} not period-local",
-                p.dep
-            );
+            assert!(period.contains(p.dep), "profile departure {} not period-local", p.dep);
             debug_assert!(p.arr >= p.dep);
         }
         points.sort_unstable_by_key(|p| (p.dep, p.arr));
@@ -122,13 +118,8 @@ impl Profile {
     /// Checks the reduced-profile invariant (sorted, strictly dominating,
     /// period-local departures) — i.e. the FIFO property of the paper.
     pub fn is_reduced(&self, period: Period) -> bool {
-        self.points
-            .iter()
-            .all(|p| period.contains(p.dep) && p.arr >= p.dep && !p.arr.is_infinite())
-            && self
-                .points
-                .windows(2)
-                .all(|w| w[0].dep < w[1].dep && w[0].arr < w[1].arr)
+        self.points.iter().all(|p| period.contains(p.dep) && p.arr >= p.dep && !p.arr.is_infinite())
+            && self.points.windows(2).all(|w| w[0].dep < w[1].dep && w[0].arr < w[1].arr)
             && match (self.points.first(), self.points.last()) {
                 (Some(f), Some(l)) => l.arr < f.arr + Dur(period.len()),
                 _ => true,
@@ -171,11 +162,7 @@ impl Profile {
             return true;
         }
         // Fast path: nothing in `other` can improve `self`.
-        if other
-            .points
-            .iter()
-            .all(|p| self.eval_arr_local(p.dep, period) <= p.arr)
-        {
+        if other.points.iter().all(|p| self.eval_arr_local(p.dep, period) <= p.arr) {
             return false;
         }
         let mut union = Vec::with_capacity(self.points.len() + other.points.len());
@@ -217,11 +204,7 @@ impl Profile {
     /// Stays reduced, so no re-reduction is needed.
     pub fn link_const(&self, d: Dur, _period: Period) -> Profile {
         Profile {
-            points: self
-                .points
-                .iter()
-                .map(|p| ProfilePoint::new(p.dep, p.arr + d))
-                .collect(),
+            points: self.points.iter().map(|p| ProfilePoint::new(p.dep, p.arr + d)).collect(),
         }
     }
 
@@ -239,8 +222,7 @@ impl Profile {
     /// Heap + inline memory footprint in bytes (for the space column of
     /// Table 2).
     pub fn size_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.points.capacity() * std::mem::size_of::<ProfilePoint>()
+        std::mem::size_of::<Self>() + self.points.capacity() * std::mem::size_of::<ProfilePoint>()
     }
 }
 
@@ -331,10 +313,7 @@ mod tests {
         use crate::plf::PlfPoint;
         let a = Profile::from_unreduced(vec![pt(10, 30)], P);
         // Edge served at 00:35 taking 10 min.
-        let f = Plf::from_points(
-            vec![PlfPoint::new(Time::hm(0, 35), Dur::minutes(10))],
-            P,
-        );
+        let f = Plf::from_points(vec![PlfPoint::new(Time::hm(0, 35), Dur::minutes(10))], P);
         let b = a.link_plf(&f, P);
         assert_eq!(b.points(), &[pt(10, 45)]);
     }

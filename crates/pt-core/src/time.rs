@@ -180,6 +180,10 @@ impl Period {
     }
 
     /// The raw period length π in seconds.
+    ///
+    /// A period is never empty (`new` rejects π = 0), so there is no
+    /// `is_empty` counterpart.
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub const fn len(self) -> u32 {
         self.0
@@ -273,5 +277,84 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_rejected() {
         let _ = Period::new(0);
+    }
+
+    #[test]
+    fn delta_at_period_boundary() {
+        // The extremes of the wrap-around branch: one second before the
+        // boundary to the boundary itself, and the near-full-cycle wait.
+        let pi = 1000;
+        let p = Period::new(pi);
+        let last = Time(pi - 1);
+        assert_eq!(p.delta(last, Time(0)), Dur(1));
+        assert_eq!(p.delta(Time(0), last), Dur(pi - 1));
+        assert_eq!(p.delta(last, last), Dur::ZERO);
+        assert_eq!(p.delta(Time(1), Time(0)), Dur(pi - 1));
+        // Δ never reaches a full period: the maximum wait is π − 1.
+        for tau1 in [0, 1, pi / 2, pi - 1] {
+            for tau2 in [0, 1, pi / 2, pi - 1] {
+                assert!(p.delta(Time(tau1), Time(tau2)).secs() < pi);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_on_degenerate_period() {
+        // A one-second period has a single time point; every Δ is zero.
+        let p = Period::new(1);
+        assert_eq!(p.delta(Time(0), Time(0)), Dur::ZERO);
+        assert!(p.contains(Time(0)));
+        assert!(!p.contains(Time(1)));
+    }
+
+    #[test]
+    fn local_at_period_multiples() {
+        let p = Period::new(1000);
+        assert_eq!(p.local(Time(999)), Time(999));
+        assert_eq!(p.local(Time(1000)), Time(0));
+        assert_eq!(p.local(Time(1001)), Time(1));
+        assert_eq!(p.local(Time(2999)), Time(999));
+        assert_eq!(p.local(Time(3000)), Time(0));
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let p = Period::new(1000);
+        assert!(p.contains(Time(0)));
+        assert!(p.contains(Time(999)));
+        assert!(!p.contains(Time(1000)));
+        assert!(!p.contains(INFINITY));
+    }
+
+    #[test]
+    fn saturating_add_clamps_into_the_sentinel() {
+        // Saturation lands exactly on u32::MAX, which *is* the INFINITY
+        // sentinel — a finite label that would overflow becomes
+        // unreachable rather than wrapping to a small (wrong) arrival.
+        let near_max = Time(u32::MAX - 1);
+        assert!(!near_max.is_infinite());
+        assert!(near_max.saturating_add(Dur(1)).is_infinite());
+        assert!(near_max.saturating_add(Dur(100)).is_infinite());
+        assert_eq!(near_max.saturating_add(Dur::ZERO), near_max);
+    }
+
+    #[test]
+    fn infinite_duration_saturates_any_time() {
+        assert!(Time::hm(0, 0).saturating_add(Dur::INFINITE).is_infinite());
+        assert!(Time::hm(23, 59).saturating_add(Dur::INFINITE).is_infinite());
+        assert!(INFINITY.saturating_add(Dur::INFINITE).is_infinite());
+        assert!(Dur::INFINITE.is_infinite());
+        assert!(!Dur::ZERO.is_infinite());
+    }
+
+    #[test]
+    fn infinity_ordering_dominates_finite_times() {
+        // Searches rely on INFINITY comparing greater than every real
+        // label, and on min() with INFINITY being the identity.
+        let finite = Time::hms(48, 0, 0); // absolute two-day label
+        assert!(finite < INFINITY);
+        assert_eq!(finite.min(INFINITY), finite);
+        assert_eq!(INFINITY.min(finite), finite);
+        assert_eq!(INFINITY.max(finite), INFINITY);
     }
 }

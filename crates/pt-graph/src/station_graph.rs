@@ -104,10 +104,7 @@ impl StationGraph {
     pub fn out(&self, s: StationId) -> impl Iterator<Item = (StationId, Dur)> + '_ {
         let lo = self.first_out[s.idx()] as usize;
         let hi = self.first_out[s.idx() + 1] as usize;
-        self.out_heads[lo..hi]
-            .iter()
-            .copied()
-            .zip(self.out_weights[lo..hi].iter().copied())
+        self.out_heads[lo..hi].iter().copied().zip(self.out_weights[lo..hi].iter().copied())
     }
 
     /// Stations with an edge *into* `s`.
@@ -121,11 +118,8 @@ impl StationGraph {
     /// Undirected degree: number of distinct neighbours (either direction).
     /// The "degree > k" transfer-station selection of §4 uses this.
     pub fn degree(&self, s: StationId) -> usize {
-        let mut nbrs: Vec<StationId> = self
-            .out(s)
-            .map(|(t, _)| t)
-            .chain(self.incoming(s).iter().copied())
-            .collect();
+        let mut nbrs: Vec<StationId> =
+            self.out(s).map(|(t, _)| t).chain(self.incoming(s).iter().copied()).collect();
         nbrs.sort_unstable();
         nbrs.dedup();
         nbrs.len()
@@ -183,8 +177,7 @@ mod tests {
             Dur::ZERO,
         )
         .unwrap();
-        b.add_simple_trip(&[s[0], s[2]], Time::hm(9, 0), &[Dur::minutes(7)], Dur::ZERO)
-            .unwrap();
+        b.add_simple_trip(&[s[0], s[2]], Time::hm(9, 0), &[Dur::minutes(7)], Dur::ZERO).unwrap();
         StationGraph::build(&b.build().unwrap())
     }
 

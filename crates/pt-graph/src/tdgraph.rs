@@ -55,8 +55,7 @@ impl TdGraph {
     pub fn build(tt: &Timetable, routes: &Routes) -> TdGraph {
         let period = tt.period();
         let ns = tt.num_stations();
-        let mut node_station: Vec<StationId> =
-            (0..ns as u32).map(StationId).collect();
+        let mut node_station: Vec<StationId> = (0..ns as u32).map(StationId).collect();
 
         // Route nodes, contiguous per route.
         let mut route_first_node: Vec<NodeId> = Vec::with_capacity(routes.len());
@@ -64,9 +63,8 @@ impl TdGraph {
         for (ri, r) in routes.routes().iter().enumerate() {
             route_first_node.push(NodeId::from_idx(node_station.len()));
             node_station.extend(r.stations.iter().copied());
-            route_node_info.extend(
-                (0..r.stations.len()).map(|j| (pt_core::RouteId::from_idx(ri), j as u16)),
-            );
+            route_node_info
+                .extend((0..r.stations.len()).map(|j| (pt_core::RouteId::from_idx(ri), j as u16)));
         }
         let num_nodes = node_station.len();
 
@@ -77,14 +75,10 @@ impl TdGraph {
             for (j, &s) in r.stations.iter().enumerate() {
                 let rn = NodeId::from_idx(base + j);
                 // Board / alight edges.
-                adj[s.idx()].push(Edge {
-                    head: rn,
-                    weight: EdgeWeight::Const(tt.transfer_time(s)),
-                });
-                adj[rn.idx()].push(Edge {
-                    head: NodeId(s.0),
-                    weight: EdgeWeight::Const(Dur::ZERO),
-                });
+                adj[s.idx()]
+                    .push(Edge { head: rn, weight: EdgeWeight::Const(tt.transfer_time(s)) });
+                adj[rn.idx()]
+                    .push(Edge { head: NodeId(s.0), weight: EdgeWeight::Const(Dur::ZERO) });
             }
             // Route edges with one PLF per hop.
             for hop in 0..r.num_hops() {
@@ -98,11 +92,7 @@ impl TdGraph {
                     .collect();
                 let expected = points.len();
                 let plf = Plf::from_points(points, period);
-                debug_assert_eq!(
-                    plf.len(),
-                    expected,
-                    "route partition produced a non-FIFO hop"
-                );
+                debug_assert_eq!(plf.len(), expected, "route partition produced a non-FIFO hop");
                 let idx = plfs.len() as u32;
                 plfs.push(plf);
                 adj[base + hop].push(Edge {
@@ -268,8 +258,7 @@ mod tests {
         let a = b.add_named_station("A", Dur::minutes(2));
         let bb = b.add_named_station("B", Dur::minutes(3));
         for h in [8, 9] {
-            b.add_simple_trip(&[a, bb], Time::hm(h, 0), &[Dur::minutes(10)], Dur::ZERO)
-                .unwrap();
+            b.add_simple_trip(&[a, bb], Time::hm(h, 0), &[Dur::minutes(10)], Dur::ZERO).unwrap();
         }
         let tt = b.build().unwrap();
         let routes = Routes::partition(&tt);
@@ -307,11 +296,7 @@ mod tests {
     fn boarding_costs_transfer_time() {
         let (_, _, g) = two_station_graph();
         let a = g.station_node(StationId(0));
-        let board = g
-            .edges(a)
-            .iter()
-            .find(|e| !g.is_station_node(e.head))
-            .expect("board edge");
+        let board = g.edges(a).iter().find(|e| !g.is_station_node(e.head)).expect("board edge");
         // At 07:00, boarding puts us on the route node at 07:02.
         assert_eq!(g.eval_edge(board, Time::hm(7, 0)), Time::hm(7, 2));
         // At the source, boarding is free.
@@ -337,11 +322,7 @@ mod tests {
     fn alighting_is_free() {
         let (_, _, g) = two_station_graph();
         let rn_b = NodeId(3);
-        let alight = g
-            .edges(rn_b)
-            .iter()
-            .find(|e| g.is_station_node(e.head))
-            .expect("alight edge");
+        let alight = g.edges(rn_b).iter().find(|e| g.is_station_node(e.head)).expect("alight edge");
         assert_eq!(alight.weight, EdgeWeight::Const(Dur::ZERO));
         assert_eq!(g.eval_edge(alight, Time::hm(8, 10)), Time::hm(8, 10));
     }

@@ -40,10 +40,7 @@ impl<const D: usize> IndexedHeap<D> {
     pub fn new(capacity: usize) -> Self {
         assert!(D >= 2, "heap arity must be at least 2");
         assert!(capacity < INVALID_POS as usize, "slot space too large");
-        IndexedHeap {
-            data: Vec::new(),
-            pos: vec![INVALID_POS; capacity],
-        }
+        IndexedHeap { data: Vec::new(), pos: vec![INVALID_POS; capacity] }
     }
 
     /// Number of queued elements.
@@ -136,8 +133,7 @@ impl<const D: usize> IndexedHeap<D> {
     /// Verifies the heap invariant and position index — used by tests.
     pub fn check_invariants(&self) -> bool {
         self.data.iter().enumerate().all(|(i, &(k, s))| {
-            self.pos[s as usize] == i as u32
-                && (i == 0 || self.data[(i - 1) / D].0 <= k)
+            self.pos[s as usize] == i as u32 && (i == 0 || self.data[(i - 1) / D].0 <= k)
         })
     }
 

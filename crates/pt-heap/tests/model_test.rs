@@ -40,16 +40,14 @@ fn run_model<const D: usize>(ops: Vec<Op>) -> Result<(), TestCaseError> {
                 let heap_changed = heap.push_or_decrease(slot, key);
                 prop_assert_eq!(heap_changed, model_changed);
             }
-            Op::Pop => {
-                match heap.pop() {
-                    None => prop_assert!(model.is_empty()),
-                    Some((slot, key)) => {
-                        let min = *model.values().min().expect("model non-empty");
-                        prop_assert_eq!(key, min, "popped key must be the minimum");
-                        prop_assert_eq!(model.remove(&slot), Some(key));
-                    }
+            Op::Pop => match heap.pop() {
+                None => prop_assert!(model.is_empty()),
+                Some((slot, key)) => {
+                    let min = *model.values().min().expect("model non-empty");
+                    prop_assert_eq!(key, min, "popped key must be the minimum");
+                    prop_assert_eq!(model.remove(&slot), Some(key));
                 }
-            }
+            },
             Op::Clear => {
                 heap.clear();
                 model.clear();

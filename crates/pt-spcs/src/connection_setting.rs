@@ -33,9 +33,19 @@ pub(crate) const PRUNED: Time = Time(u32::MAX - 1);
 ///
 /// Builder-style configuration:
 ///
-/// ```ignore
+/// ```
+/// use pt_core::{Dur, Period, Time};
+/// use pt_spcs::{Network, ProfileEngine};
+/// use pt_timetable::TimetableBuilder;
+/// # let mut b = TimetableBuilder::new(Period::DAY);
+/// # let a = b.add_named_station("A", Dur::minutes(2));
+/// # let t = b.add_named_station("B", Dur::minutes(2));
+/// # b.add_simple_trip(&[a, t], Time::hm(8, 0), &[Dur::minutes(30)], Dur::ZERO).unwrap();
+/// # let net = Network::new(b.build().unwrap());
+/// # let source = a;
 /// let mut engine = ProfileEngine::new(&net).threads(4);
 /// let profiles = engine.one_to_all(source);
+/// assert!(!profiles.profile(t).eval_arr(Time::hm(7, 0), Period::DAY).is_infinite());
 /// ```
 #[derive(Debug, Clone)]
 pub struct ProfileEngine<'a> {
@@ -106,12 +116,7 @@ pub(crate) struct CsRangeResult {
 ///
 /// This is the workhorse of both the sequential and the parallel algorithm:
 /// each worker thread calls it on its partition class.
-pub(crate) fn run_range(
-    net: &Network,
-    lo: u32,
-    hi: u32,
-    self_pruning: bool,
-) -> CsRangeResult {
+pub(crate) fn run_range(net: &Network, lo: u32, hi: u32, self_pruning: bool) -> CsRangeResult {
     let g = net.graph();
     let tt = net.timetable();
     let nv = g.num_nodes();
@@ -217,9 +222,8 @@ mod tests {
     /// detour line A→D→C at 07:45 arriving late.
     fn net() -> (Network, Vec<StationId>) {
         let mut b = TimetableBuilder::new(Period::DAY);
-        let s: Vec<_> = (0..4)
-            .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2)))
-            .collect();
+        let s: Vec<_> =
+            (0..4).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2))).collect();
         for m in [0u32, 30, 60, 90, 120] {
             b.add_simple_trip(
                 &[s[0], s[1], s[2]],
@@ -247,10 +251,7 @@ mod tests {
         let to_b = prof.profile(s[1]);
         // Five line departures, each useful for reaching B.
         assert_eq!(to_b.len(), 5);
-        assert_eq!(
-            prof.earliest_arrival(s[1], Time::hm(8, 10)),
-            Time::hm(8, 40)
-        );
+        assert_eq!(prof.earliest_arrival(s[1], Time::hm(8, 10)), Time::hm(8, 40));
     }
 
     #[test]
@@ -287,9 +288,7 @@ mod tests {
     fn self_pruning_reduces_work_but_not_results() {
         let (net, s) = net();
         let with = ProfileEngine::new(&net).one_to_all_with_stats(s[0]);
-        let without = ProfileEngine::new(&net)
-            .self_pruning(false)
-            .one_to_all_with_stats(s[0]);
+        let without = ProfileEngine::new(&net).self_pruning(false).one_to_all_with_stats(s[0]);
         assert_eq!(with.profiles, without.profiles);
         assert!(with.stats.relaxed <= without.stats.relaxed);
         assert!(with.stats.self_pruned > 0);

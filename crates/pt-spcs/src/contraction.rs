@@ -35,10 +35,7 @@ impl Overlay {
         for s in 0..n as u32 {
             for (head, w) in sg.out(StationId(s)) {
                 let w = w.secs();
-                out[s as usize]
-                    .entry(head.0)
-                    .and_modify(|e| *e = (*e).min(w))
-                    .or_insert(w);
+                out[s as usize].entry(head.0).and_modify(|e| *e = (*e).min(w)).or_insert(w);
                 inc[head.idx()].entry(s).and_modify(|e| *e = (*e).min(w)).or_insert(w);
             }
         }
@@ -70,7 +67,7 @@ impl Overlay {
                     continue;
                 }
                 let nd = d.saturating_add(wt);
-                if nd <= cutoff && dist.get(&w).map_or(true, |&b| nd < b) {
+                if nd <= cutoff && dist.get(&w).is_none_or(|&b| nd < b) {
                     dist.insert(w, nd);
                     heap.push(std::cmp::Reverse((nd, w)));
                 }
@@ -94,11 +91,7 @@ impl Overlay {
             .map(|(&w, &wt)| (w, wt))
             .collect();
         for &(u, wu) in &ins {
-            let max_cutoff = outs
-                .iter()
-                .map(|&(_, wv)| wu.saturating_add(wv))
-                .max()
-                .unwrap_or(0);
+            let max_cutoff = outs.iter().map(|&(_, wv)| wu.saturating_add(wv)).max().unwrap_or(0);
             for &(w, wv) in &outs {
                 if u == w {
                     continue;
@@ -115,14 +108,10 @@ impl Overlay {
 
     /// Edge-difference part of the priority.
     fn edge_difference(&self, v: u32) -> i64 {
-        let ins = self.inc[v as usize]
-            .keys()
-            .filter(|&&u| !self.contracted[u as usize])
-            .count() as i64;
-        let outs = self.out[v as usize]
-            .keys()
-            .filter(|&&w| !self.contracted[w as usize])
-            .count() as i64;
+        let ins =
+            self.inc[v as usize].keys().filter(|&&u| !self.contracted[u as usize]).count() as i64;
+        let outs =
+            self.out[v as usize].keys().filter(|&&w| !self.contracted[w as usize]).count() as i64;
         self.needed_shortcuts(v).len() as i64 - ins - outs
     }
 
@@ -212,10 +201,7 @@ mod tests {
         // removing it early would require many shortcuts.
         let removed = contract_stations(&sg, 4);
         assert_eq!(removed.len(), 4);
-        assert!(
-            !removed.contains(&StationId(0)),
-            "hub was contracted: {removed:?}"
-        );
+        assert!(!removed.contains(&StationId(0)), "hub was contracted: {removed:?}");
     }
 
     #[test]

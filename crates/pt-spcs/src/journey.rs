@@ -63,7 +63,12 @@ impl std::fmt::Display for Journey {
             write!(
                 f,
                 "{} {} → {} ({}, dep {}, arr {})",
-                leg.train, leg.from, leg.to, leg.arr - leg.dep, leg.dep, leg.arr
+                leg.train,
+                leg.from,
+                leg.to,
+                leg.arr - leg.dep,
+                leg.dep,
+                leg.arr
             )?;
         }
         Ok(())
@@ -103,15 +108,11 @@ pub fn earliest_journey(
         }
         let from_source = v == src;
         for e in g.edges(v) {
-            let ta = if from_source {
-                g.eval_edge_free_transfer(e, t)
-            } else {
-                g.eval_edge(e, t)
-            };
+            let ta = if from_source { g.eval_edge_free_transfer(e, t) } else { g.eval_edge(e, t) };
             if ta.is_infinite() || settled[e.head.idx()] {
                 continue;
             }
-            if heap.key_of(e.head.idx()).map_or(true, |k| (ta.secs() as u64) < k) {
+            if heap.key_of(e.head.idx()).is_none_or(|k| (ta.secs() as u64) < k) {
                 heap.push_or_decrease(e.head.idx(), ta.secs() as u64);
                 parent[e.head.idx()] = slot as u32;
             }
@@ -187,9 +188,8 @@ mod tests {
 
     fn line_net() -> (Network, Vec<StationId>) {
         let mut b = TimetableBuilder::new(Period::DAY);
-        let s: Vec<_> = (0..4)
-            .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(4)))
-            .collect();
+        let s: Vec<_> =
+            (0..4).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(4))).collect();
         // Line 1: 0 → 1 → 2, hourly.
         for h in [8, 9] {
             b.add_simple_trip(
@@ -238,19 +238,14 @@ mod tests {
         let net = Network::new(generate_city(&CityConfig::sized(36, 5, 77)));
         let mut found = 0;
         for (a, b) in [(0u32, 30u32), (5, 22), (17, 3), (30, 0), (11, 35)] {
-            let Some(j) =
-                earliest_journey(&net, StationId(a), Time::hm(7, 30), StationId(b))
+            let Some(j) = earliest_journey(&net, StationId(a), Time::hm(7, 30), StationId(b))
             else {
                 continue;
             };
             found += 1;
             // Arrival equals the scalar optimum.
-            let want = time_query::earliest_arrival(
-                &net,
-                StationId(a),
-                Time::hm(7, 30),
-                StationId(b),
-            );
+            let want =
+                time_query::earliest_arrival(&net, StationId(a), Time::hm(7, 30), StationId(b));
             assert_eq!(j.arr(), want, "{a}→{b}");
             // Legs chain: consecutive stations match, times ordered, and
             // train changes respect the transfer time.

@@ -102,9 +102,8 @@ mod tests {
     #[test]
     fn lc_matches_connection_setting_on_a_line() {
         let mut b = TimetableBuilder::new(Period::DAY);
-        let s: Vec<_> = (0..3)
-            .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(3)))
-            .collect();
+        let s: Vec<_> =
+            (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(3))).collect();
         for h in [7, 8, 9, 10] {
             b.add_simple_trip(
                 &[s[0], s[1], s[2]],

@@ -45,4 +45,3 @@ pub use profile_set::ProfileSet;
 pub use s2s::{QueryKind, S2sEngine, S2sResult};
 pub use stats::QueryStats;
 pub use transfer_selection::TransferSelection;
-

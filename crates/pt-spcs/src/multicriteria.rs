@@ -84,11 +84,7 @@ pub fn pareto_query(
         let from_source = v == src.idx();
         for e in g.edges(NodeId::from_idx(v)) {
             let boarding = g.is_station_node(NodeId::from_idx(v)) && !g.is_station_node(e.head);
-            let ta = if from_source {
-                g.eval_edge_free_transfer(e, t)
-            } else {
-                g.eval_edge(e, t)
-            };
+            let ta = if from_source { g.eval_edge_free_transfer(e, t) } else { g.eval_edge(e, t) };
             if ta.is_infinite() {
                 continue;
             }
@@ -144,15 +140,11 @@ mod tests {
     /// needing one transfer).
     fn network() -> (Network, Vec<StationId>) {
         let mut b = TimetableBuilder::new(Period::DAY);
-        let s: Vec<_> = (0..3)
-            .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2)))
-            .collect();
-        b.add_simple_trip(&[s[0], s[2]], Time::hm(8, 0), &[Dur::minutes(60)], Dur::ZERO)
-            .unwrap();
-        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(12)], Dur::ZERO)
-            .unwrap();
-        b.add_simple_trip(&[s[1], s[2]], Time::hm(8, 20), &[Dur::minutes(12)], Dur::ZERO)
-            .unwrap();
+        let s: Vec<_> =
+            (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2))).collect();
+        b.add_simple_trip(&[s[0], s[2]], Time::hm(8, 0), &[Dur::minutes(60)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(12)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[s[1], s[2]], Time::hm(8, 20), &[Dur::minutes(12)], Dur::ZERO).unwrap();
         (Network::new(b.build().unwrap()), s)
     }
 
@@ -175,21 +167,14 @@ mod tests {
     fn dominated_option_is_dropped() {
         // If the transfer journey were *slower*, only the direct remains.
         let mut b = TimetableBuilder::new(Period::DAY);
-        let s: Vec<_> = (0..3)
-            .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2)))
-            .collect();
-        b.add_simple_trip(&[s[0], s[2]], Time::hm(8, 0), &[Dur::minutes(30)], Dur::ZERO)
-            .unwrap();
-        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(20)], Dur::ZERO)
-            .unwrap();
-        b.add_simple_trip(&[s[1], s[2]], Time::hm(8, 30), &[Dur::minutes(20)], Dur::ZERO)
-            .unwrap();
+        let s: Vec<_> =
+            (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2))).collect();
+        b.add_simple_trip(&[s[0], s[2]], Time::hm(8, 0), &[Dur::minutes(30)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(20)], Dur::ZERO).unwrap();
+        b.add_simple_trip(&[s[1], s[2]], Time::hm(8, 30), &[Dur::minutes(20)], Dur::ZERO).unwrap();
         let net = Network::new(b.build().unwrap());
         let r = pareto_query(&net, s[0], Time::hm(7, 50), s[2]);
-        assert_eq!(
-            r.options,
-            vec![ParetoOption { arrival: Time::hm(8, 30), transfers: 0 }]
-        );
+        assert_eq!(r.options, vec![ParetoOption { arrival: Time::hm(8, 30), transfers: 0 }]);
     }
 
     #[test]

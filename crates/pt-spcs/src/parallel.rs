@@ -44,12 +44,7 @@ pub(crate) fn one_to_all(
 
     // Run the workers (inline when single-threaded).
     let results: Vec<CsRangeResult> = if p == 1 {
-        vec![connection_setting::run_range(
-            net,
-            conn_range.start,
-            conn_range.end,
-            self_pruning,
-        )]
+        vec![connection_setting::run_range(net, conn_range.start, conn_range.end, self_pruning)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
@@ -81,11 +76,7 @@ pub(crate) fn one_to_all(
         });
         profiles.push(connection_setting::reduce_station_profile(points, period));
     }
-    OneToAllResult {
-        profiles: ProfileSet::new(source, period, profiles),
-        stats,
-        thread_settled,
-    }
+    OneToAllResult { profiles: ProfileSet::new(source, period, profiles), stats, thread_settled }
 }
 
 #[cfg(test)]

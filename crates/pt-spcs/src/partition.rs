@@ -16,20 +16,15 @@ use pt_timetable::Connection;
 use std::ops::Range;
 
 /// How to distribute `conn(S)` over threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PartitionStrategy {
     /// Split the period into `p` equal time intervals.
     EqualTimeSlots,
     /// Split `conn(S)` into `p` chunks of (almost) equal cardinality.
+    #[default]
     EqualConnections,
     /// 1-D k-means clustering of departure times (`iters` Lloyd rounds).
     KMeans { iters: u32 },
-}
-
-impl Default for PartitionStrategy {
-    fn default() -> Self {
-        PartitionStrategy::EqualConnections
-    }
 }
 
 impl PartitionStrategy {
@@ -40,8 +35,9 @@ impl PartitionStrategy {
         debug_assert!(conns.windows(2).all(|w| w[0].dep <= w[1].dep), "conn(S) must be sorted");
         let n = conns.len() as u32;
         if p == 1 || conns.is_empty() {
-            let mut out = vec![0..n];
-            out.extend(std::iter::repeat(n..n).take(p - 1));
+            let mut out = Vec::with_capacity(p);
+            out.push(0..n);
+            out.extend(std::iter::repeat_n(n..n, p - 1));
             return out;
         }
         let boundaries: Vec<u32> = match *self {

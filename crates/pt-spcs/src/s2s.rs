@@ -154,13 +154,12 @@ impl<'a> S2sEngine<'a> {
 
         let run = |lo: u32, hi: u32| -> (Vec<Time>, QueryStats) {
             let mode = match kind {
-                QueryKind::Global => Mode::Via {
-                    table: self.table.expect("table present"),
-                    via: &via,
-                },
-                QueryKind::TargetTransfer => Mode::Target {
-                    table: self.table.expect("table present"),
-                },
+                QueryKind::Global => {
+                    Mode::Via { table: self.table.expect("table present"), via: &via }
+                }
+                QueryKind::TargetTransfer => {
+                    Mode::Target { table: self.table.expect("table present") }
+                }
                 _ => Mode::Plain,
             };
             s2s_range(self.net, lo, hi, target, self.stopping, &self.mask, mode)
@@ -184,10 +183,7 @@ impl<'a> S2sEngine<'a> {
 
         let stats = QueryStats::sum(results.iter().map(|(_, s)| *s));
         let points = results.iter().zip(&ranges).flat_map(|((arr_t, _), r)| {
-            arr_t
-                .iter()
-                .enumerate()
-                .map(move |(i, &arr)| (conns[r.start as usize + i].dep, arr))
+            arr_t.iter().enumerate().map(move |(i, &arr)| (conns[r.start as usize + i].dep, arr))
         });
         let profile = reduce_station_profile(points, period);
         S2sResult { profile, stats, kind }
@@ -242,6 +238,9 @@ fn s2s_range(
     // Queue entries per connection whose path lacks a transfer ancestor.
     let mut noanc: Vec<u32> = if is_target_mode { vec![0; k] } else { Vec::new() };
 
+    // `i` also derives the heap slot and (in target mode) indexes `noanc`,
+    // so an iterator over one of them would obscure the pairing.
+    #[allow(clippy::needless_range_loop)]
     for i in 0..k {
         let c = ConnId(lo + i as u32);
         let r = g.conn_start_node(c);
@@ -415,12 +414,7 @@ mod tests {
             let (s, t) = (StationId(s), StationId(t));
             let want = ProfileEngine::new(net).one_to_all(s);
             let got = engine.query(s, t);
-            assert_eq!(
-                &got.profile,
-                want.profile(t),
-                "{s}→{t} ({:?})",
-                got.kind
-            );
+            assert_eq!(&got.profile, want.profile(t), "{s}→{t} ({:?})", got.kind);
         }
     }
 
@@ -506,7 +500,7 @@ mod tests {
     }
 
     #[test]
-    fn table_direct_uses_no_search(){
+    fn table_direct_uses_no_search() {
         let net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
         let a = table.stations()[0];

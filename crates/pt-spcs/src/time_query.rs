@@ -36,12 +36,7 @@ pub fn earliest_arrivals(net: &Network, source: StationId, dep: Time) -> TimeQue
 
 /// Earliest arrival at `target` when departing `source` at `dep`
 /// ([`INFINITY`] if unreachable). Stops as soon as the target is settled.
-pub fn earliest_arrival(
-    net: &Network,
-    source: StationId,
-    dep: Time,
-    target: StationId,
-) -> Time {
+pub fn earliest_arrival(net: &Network, source: StationId, dep: Time, target: StationId) -> Time {
     run(net, source, dep, Some(target)).arrival[target.idx()]
 }
 
@@ -103,9 +98,8 @@ mod tests {
     /// plus a slow direct A → C train at 08:05 taking 50 min.
     fn net() -> (Network, Vec<StationId>) {
         let mut b = TimetableBuilder::new(Period::DAY);
-        let s: Vec<_> = (0..3)
-            .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(5)))
-            .collect();
+        let s: Vec<_> =
+            (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(5))).collect();
         for h in [8, 9, 10] {
             b.add_simple_trip(
                 &[s[0], s[1], s[2]],
@@ -115,8 +109,7 @@ mod tests {
             )
             .unwrap();
         }
-        b.add_simple_trip(&[s[0], s[2]], Time::hm(8, 5), &[Dur::minutes(50)], Dur::ZERO)
-            .unwrap();
+        b.add_simple_trip(&[s[0], s[2]], Time::hm(8, 5), &[Dur::minutes(50)], Dur::ZERO).unwrap();
         (Network::new(b.build().unwrap()), s)
     }
 
@@ -158,8 +151,7 @@ mod tests {
         let c = b.add_named_station("C", Dur::minutes(5));
         b.add_simple_trip(&[a, bb], Time::hm(8, 0), &[Dur::minutes(10)], Dur::ZERO).unwrap();
         for m in [12, 30] {
-            b.add_simple_trip(&[bb, c], Time::hm(8, m), &[Dur::minutes(10)], Dur::ZERO)
-                .unwrap();
+            b.add_simple_trip(&[bb, c], Time::hm(8, m), &[Dur::minutes(10)], Dur::ZERO).unwrap();
         }
         let net = Network::new(b.build().unwrap());
         assert_eq!(earliest_arrival(&net, a, Time::hm(7, 50), c), Time::hm(8, 40));

@@ -39,17 +39,11 @@ impl TransferSelection {
                 for s in &removed {
                     is_removed[s.idx()] = true;
                 }
-                (0..n as u32)
-                    .map(StationId)
-                    .filter(|s| !is_removed[s.idx()])
-                    .collect::<Vec<_>>()
+                (0..n as u32).map(StationId).filter(|s| !is_removed[s.idx()]).collect::<Vec<_>>()
             }
             TransferSelection::DegreeAbove(k) => {
                 let sg = net.station_graph();
-                (0..n as u32)
-                    .map(StationId)
-                    .filter(|&s| sg.degree(s) > *k)
-                    .collect()
+                (0..n as u32).map(StationId).filter(|&s| sg.degree(s) > *k).collect()
             }
             TransferSelection::Explicit(set) => set.clone(),
         };
@@ -121,10 +115,9 @@ mod tests {
         let net = net();
         let sg = net.station_graph();
         let picked = TransferSelection::Fraction(0.1).select(&net);
-        let avg_all: f64 = (0..net.num_stations() as u32)
-            .map(|s| sg.degree(StationId(s)) as f64)
-            .sum::<f64>()
-            / net.num_stations() as f64;
+        let avg_all: f64 =
+            (0..net.num_stations() as u32).map(|s| sg.degree(StationId(s)) as f64).sum::<f64>()
+                / net.num_stations() as f64;
         let avg_picked: f64 =
             picked.iter().map(|&s| sg.degree(s) as f64).sum::<f64>() / picked.len() as f64;
         assert!(

@@ -142,9 +142,7 @@ mod tests {
 
     fn builder_with(n: usize) -> (TimetableBuilder, Vec<StationId>) {
         let mut b = TimetableBuilder::new(Period::DAY);
-        let ids = (0..n)
-            .map(|i| b.add_named_station(format!("S{i}"), Dur::minutes(2)))
-            .collect();
+        let ids = (0..n).map(|i| b.add_named_station(format!("S{i}"), Dur::minutes(2))).collect();
         (b, ids)
     }
 

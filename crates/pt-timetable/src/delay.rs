@@ -65,9 +65,8 @@ mod tests {
 
     fn line() -> (Timetable, Vec<StationId>) {
         let mut b = TimetableBuilder::new(Period::DAY);
-        let s: Vec<_> = (0..3)
-            .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2)))
-            .collect();
+        let s: Vec<_> =
+            (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2))).collect();
         b.add_simple_trip(
             &[s[0], s[1], s[2]],
             Time::hm(8, 0),
@@ -89,17 +88,9 @@ mod tests {
     fn full_delay_shifts_all_later_hops() {
         let (tt, s) = line();
         let delayed = apply_delay(&tt, TrainId(0), 0, Dur::minutes(7), Recovery::None).unwrap();
-        let dep0 = delayed
-            .conn(s[0])
-            .iter()
-            .find(|c| c.train == TrainId(0))
-            .unwrap();
+        let dep0 = delayed.conn(s[0]).iter().find(|c| c.train == TrainId(0)).unwrap();
         assert_eq!(dep0.dep, Time::hm(8, 7));
-        let dep1 = delayed
-            .conn(s[1])
-            .iter()
-            .find(|c| c.train == TrainId(0))
-            .unwrap();
+        let dep1 = delayed.conn(s[1]).iter().find(|c| c.train == TrainId(0)).unwrap();
         assert_eq!(dep1.dep, Time::hm(8, 17));
         assert_eq!(dep1.arr, Time::hm(8, 27));
         // The 09:00 train is untouched.
@@ -127,8 +118,7 @@ mod tests {
     #[test]
     fn delay_from_mid_trip_leaves_earlier_hops() {
         let (tt, s) = line();
-        let delayed =
-            apply_delay(&tt, TrainId(0), 1, Dur::minutes(20), Recovery::None).unwrap();
+        let delayed = apply_delay(&tt, TrainId(0), 1, Dur::minutes(20), Recovery::None).unwrap();
         let dep0 = delayed.conn(s[0]).iter().find(|c| c.train == TrainId(0)).unwrap();
         assert_eq!(dep0.dep, Time::hm(8, 0)); // first hop punctual
         let dep1 = delayed.conn(s[1]).iter().find(|c| c.train == TrainId(0)).unwrap();

@@ -211,20 +211,16 @@ pub fn load_dir(
     let mut trips: HashMap<String, Vec<(u32, TripStop)>> = HashMap::new();
     let mut trip_order: Vec<String> = Vec::new();
     for (i, rec) in stop_times.records.iter().enumerate() {
-        let parse_err = |msg: String| GtfsError::Parse {
-            file: "stop_times.txt".into(),
-            line: i + 2,
-            msg,
-        };
+        let parse_err =
+            |msg: String| GtfsError::Parse { file: "stop_times.txt".into(), line: i + 2, msg };
         let trip = stop_times.field(rec, trip_c, i)?.to_string();
         let arr = parse_time(stop_times.field(rec, arr_c, i)?)
             .ok_or_else(|| parse_err("bad arrival_time".into()))?;
         let dep = parse_time(stop_times.field(rec, dep_c, i)?)
             .ok_or_else(|| parse_err("bad departure_time".into()))?;
         let stop = stop_times.field(rec, stop_c, i)?;
-        let &station = stop_ids
-            .get(stop)
-            .ok_or_else(|| parse_err(format!("unknown stop `{stop}`")))?;
+        let &station =
+            stop_ids.get(stop).ok_or_else(|| parse_err(format!("unknown stop `{stop}`")))?;
         let seq: u32 = stop_times
             .field(rec, seq_c, i)?
             .trim()
@@ -267,8 +263,9 @@ pub fn load_dir(
             for (sid, d) in overrides {
                 stations[sid.idx()].transfer_time = d;
             }
-            tt = Timetable::new(period, stations, tt.connections().to_vec(), tt.num_trains() as u32)
-                .map_err(GtfsError::Invalid)?;
+            tt =
+                Timetable::new(period, stations, tt.connections().to_vec(), tt.num_trains() as u32)
+                    .map_err(GtfsError::Invalid)?;
         }
     }
     Ok(tt)
@@ -371,9 +368,8 @@ mod tests {
     fn roundtrip_preserves_timetable() {
         use crate::builder::TimetableBuilder;
         let mut b = TimetableBuilder::new(Period::DAY);
-        let s: Vec<_> = (0..4)
-            .map(|i| b.add_named_station(format!("Stop {i}"), Dur::minutes(i)))
-            .collect();
+        let s: Vec<_> =
+            (0..4).map(|i| b.add_named_station(format!("Stop {i}"), Dur::minutes(i))).collect();
         for start in [Time::hm(7, 0), Time::hm(8, 0), Time::hm(23, 45)] {
             b.add_simple_trip(
                 &[s[0], s[1], s[2], s[3]],
@@ -383,8 +379,7 @@ mod tests {
             )
             .unwrap();
         }
-        b.add_simple_trip(&[s[3], s[1]], Time::hm(9, 30), &[Dur::minutes(25)], Dur::ZERO)
-            .unwrap();
+        b.add_simple_trip(&[s[3], s[1]], Time::hm(9, 30), &[Dur::minutes(25)], Dur::ZERO).unwrap();
         let tt = b.build().unwrap();
 
         let dir = std::env::temp_dir().join(format!("gtfs-roundtrip-{}", std::process::id()));
@@ -404,10 +399,7 @@ mod tests {
         assert_eq!(a, b2);
         // Transfer times survive.
         for i in 0..4 {
-            assert_eq!(
-                loaded.transfer_time(StationId(i)),
-                Dur::minutes(i),
-            );
+            assert_eq!(loaded.transfer_time(StationId(i)), Dur::minutes(i),);
         }
     }
 

@@ -292,13 +292,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_connections() {
-        let err = |c: Connection| {
-            Timetable::new(Period::DAY, stations(2), vec![c], 1).unwrap_err()
-        };
-        assert!(matches!(
-            err(conn(0, 5, 0, 10)),
-            TimetableError::UnknownStation { .. }
-        ));
+        let err = |c: Connection| Timetable::new(Period::DAY, stations(2), vec![c], 1).unwrap_err();
+        assert!(matches!(err(conn(0, 5, 0, 10)), TimetableError::UnknownStation { .. }));
         assert!(matches!(err(conn(0, 0, 0, 10)), TimetableError::SelfLoop { .. }));
         assert!(matches!(err(conn(0, 1, 10, 10)), TimetableError::ZeroDuration { .. }));
         let mut c = conn(0, 1, 0, 10);

@@ -55,9 +55,10 @@ impl Routes {
         }
         for conns in &mut train_conns {
             conns.sort_unstable_by_key(|&c| tt.connection(c).seq);
-            debug_assert!(conns.windows(2).all(|w| {
-                tt.connection(w[0]).to == tt.connection(w[1]).from
-            }), "train journey is not contiguous");
+            debug_assert!(
+                conns.windows(2).all(|w| { tt.connection(w[0]).to == tt.connection(w[1]).from }),
+                "train journey is not contiguous"
+            );
         }
 
         // Group trains by stop sequence (BTreeMap for determinism).
@@ -77,12 +78,12 @@ impl Routes {
         let mut routes = Vec::new();
         let mut train_route = vec![RouteId(u32::MAX); tt.num_trains()];
         for (stations, mut trains) in groups {
-            trains.sort_unstable_by_key(|&t| {
-                (tt.connection(train_conns[t.idx()][0]).dep, t)
-            });
+            trains.sort_unstable_by_key(|&t| (tt.connection(train_conns[t.idx()][0]).dep, t));
             // Greedy first-fit split into overtaking-free subroutes.
+            // Per subroute: its trains, and per train the (dep, arr) legs.
+            type Subroute = (Vec<TrainId>, Vec<Vec<(Time, Time)>>);
             let hops = stations.len() - 1;
-            let mut subroutes: Vec<(Vec<TrainId>, Vec<Vec<(Time, Time)>>)> = Vec::new();
+            let mut subroutes: Vec<Subroute> = Vec::new();
             'train: for &t in &trains {
                 let legs: Vec<(Time, Time)> = train_conns[t.idx()]
                     .iter()
@@ -182,12 +183,7 @@ mod tests {
     use crate::builder::TimetableBuilder;
     use pt_core::{Dur, Period};
 
-    fn line(
-        b: &mut TimetableBuilder,
-        path: &[StationId],
-        starts: &[Time],
-        leg: Dur,
-    ) {
+    fn line(b: &mut TimetableBuilder, path: &[StationId], starts: &[Time], leg: Dur) {
         let legs = vec![leg; path.len() - 1];
         for &s in starts {
             b.add_simple_trip(path, s, &legs, Dur::ZERO).unwrap();
@@ -225,8 +221,7 @@ mod tests {
         // Slow train departs 08:00, takes 60 min. Express departs 08:10,
         // takes 10 min — it overtakes, so it must land on its own route.
         b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(60)], Dur::ZERO).unwrap();
-        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 10), &[Dur::minutes(10)], Dur::ZERO)
-            .unwrap();
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 10), &[Dur::minutes(10)], Dur::ZERO).unwrap();
         let tt = b.build().unwrap();
         let routes = Routes::partition(&tt);
         assert_eq!(routes.len(), 2);
@@ -238,8 +233,7 @@ mod tests {
         let mut b = TimetableBuilder::new(Period::DAY);
         let s: Vec<_> = (0..2).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
         b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 0), &[Dur::minutes(20)], Dur::ZERO).unwrap();
-        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 10), &[Dur::minutes(20)], Dur::ZERO)
-            .unwrap();
+        b.add_simple_trip(&[s[0], s[1]], Time::hm(8, 10), &[Dur::minutes(20)], Dur::ZERO).unwrap();
         let tt = b.build().unwrap();
         assert_eq!(Routes::partition(&tt).len(), 1);
     }

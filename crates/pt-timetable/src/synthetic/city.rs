@@ -97,19 +97,13 @@ pub fn generate_city(cfg: &CityConfig) -> Timetable {
         let legs: Vec<Dur> = (1..path.len())
             .map(|_| Dur::minutes(rng.gen_range(cfg.leg_minutes.0..=cfg.leg_minutes.1)))
             .collect();
-        let profile = if rng.gen_bool(cfg.feeder_share) {
-            &cfg.feeder_profile
-        } else {
-            &cfg.profile
-        };
+        let profile =
+            if rng.gen_bool(cfg.feeder_share) { &cfg.feeder_profile } else { &cfg.profile };
         for dir in 0..2 {
             let (path_d, legs_d): (Vec<StationId>, Vec<Dur>) = if dir == 0 {
                 (path.clone(), legs.clone())
             } else {
-                (
-                    path.iter().rev().copied().collect(),
-                    legs.iter().rev().copied().collect(),
-                )
+                (path.iter().rev().copied().collect(), legs.iter().rev().copied().collect())
             };
             let offset = Dur(rng.gen_range(0..profile.max_headway().secs()));
             for dep in profile.departures(offset) {

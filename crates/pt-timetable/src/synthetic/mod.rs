@@ -24,7 +24,9 @@ pub mod rail;
 
 pub use city::{generate_city, CityConfig};
 pub use headway::HeadwayProfile;
-pub use presets::{europe_like, germany_like, los_angeles_like, oahu_like, washington_like, Preset};
+pub use presets::{
+    europe_like, germany_like, los_angeles_like, oahu_like, washington_like, Preset,
+};
 pub use rail::{generate_rail, RailConfig};
 
 use pt_core::{Dur, StationId};
@@ -92,7 +94,7 @@ pub(crate) fn ensure_connected(
                     continue;
                 }
                 let d = dist(u, v);
-                if best.map_or(true, |(_, _, bd)| d < bd) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((u, v, d));
                 }
             }

@@ -89,16 +89,12 @@ pub fn generate_rail(cfg: &RailConfig) -> Timetable {
     let mut b = TimetableBuilder::new(cfg.period);
 
     // Place cities; hub transfer times are the configured maximum.
-    let positions: Vec<(f64, f64)> = (0..cfg.cities)
-        .map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0)))
-        .collect();
+    let positions: Vec<(f64, f64)> =
+        (0..cfg.cities).map(|_| (rng.gen_range(0.0..1000.0), rng.gen_range(0.0..1000.0))).collect();
     let mut hubs = Vec::with_capacity(cfg.cities);
     let mut city_stations: Vec<Vec<StationId>> = Vec::with_capacity(cfg.cities);
     for (c, &(x, y)) in positions.iter().enumerate() {
-        let mut hub = Station::new(
-            format!("City {c} Hbf"),
-            Dur::minutes(cfg.transfer_minutes.1),
-        );
+        let mut hub = Station::new(format!("City {c} Hbf"), Dur::minutes(cfg.transfer_minutes.1));
         hub.pos = (x as f32, y as f32);
         let hub_id = b.add_station(hub);
         hubs.push(hub_id);
@@ -121,9 +117,7 @@ pub fn generate_rail(cfg: &RailConfig) -> Timetable {
     for c in 0..cfg.cities {
         let mut remaining: Vec<StationId> = city_stations[c].clone();
         while !remaining.is_empty() {
-            let len = rng
-                .gen_range(cfg.branch_len.0..=cfg.branch_len.1)
-                .min(remaining.len());
+            let len = rng.gen_range(cfg.branch_len.0..=cfg.branch_len.1).min(remaining.len());
             let branch: Vec<StationId> = remaining.drain(..len).collect();
             let mut path = Vec::with_capacity(branch.len() + 1);
             path.push(hubs[c]);
@@ -144,8 +138,7 @@ pub fn generate_rail(cfg: &RailConfig) -> Timetable {
     for a in 0..cfg.cities {
         let mut order: Vec<usize> = (0..cfg.cities).filter(|&b2| b2 != a).collect();
         order.sort_by(|&i, &j| {
-            dist(positions[a], positions[i])
-                .total_cmp(&dist(positions[a], positions[j]))
+            dist(positions[a], positions[i]).total_cmp(&dist(positions[a], positions[j]))
         });
         for &nb in order.iter().take(cfg.intercity_degree) {
             let key = (a.min(nb), a.max(nb));
@@ -165,12 +158,10 @@ pub fn generate_rail(cfg: &RailConfig) -> Timetable {
         let mut current = rng.gen_range(0..cfg.cities);
         let mut chain = vec![current];
         while chain.len() < len {
-            let next = (0..cfg.cities)
-                .filter(|c| !chain.contains(c))
-                .min_by(|&i, &j| {
-                    dist(positions[current], positions[i])
-                        .total_cmp(&dist(positions[current], positions[j]))
-                });
+            let next = (0..cfg.cities).filter(|c| !chain.contains(c)).min_by(|&i, &j| {
+                dist(positions[current], positions[i])
+                    .total_cmp(&dist(positions[current], positions[j]))
+            });
             let Some(next) = next else { break };
             chain.push(next);
             current = next;
@@ -182,9 +173,9 @@ pub fn generate_rail(cfg: &RailConfig) -> Timetable {
         let legs: Vec<Dur> = chain
             .windows(2)
             .map(|w| {
-                let minutes =
-                    (dist(positions[w[0]], positions[w[1]]) * cfg.intercity_minutes_per_dist)
-                        .max(10.0);
+                let minutes = (dist(positions[w[0]], positions[w[1]])
+                    * cfg.intercity_minutes_per_dist)
+                    .max(10.0);
                 Dur::minutes(minutes.round() as u32)
             })
             .collect();
@@ -223,8 +214,7 @@ fn run_line(
         };
         let offset = Dur(rng.gen_range(0..profile.max_headway().secs()));
         for dep in profile.departures(offset) {
-            b.add_simple_trip(&path_d, dep, &legs_d, dwell)
-                .expect("generated trip is valid");
+            b.add_simple_trip(&path_d, dep, &legs_d, dwell).expect("generated trip is valid");
         }
     }
 }

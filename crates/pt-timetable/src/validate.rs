@@ -59,14 +59,10 @@ pub fn check(tt: &Timetable) -> Report {
             parent[a as usize] = b;
         }
     }
-    let unserved: Vec<StationId> = (0..n as u32)
-        .map(StationId)
-        .filter(|s| !served[s.idx()])
-        .collect();
-    let mut roots: Vec<u32> = (0..n as u32)
-        .filter(|&s| served[s as usize])
-        .map(|s| find(&mut parent, s))
-        .collect();
+    let unserved: Vec<StationId> =
+        (0..n as u32).map(StationId).filter(|s| !served[s.idx()]).collect();
+    let mut roots: Vec<u32> =
+        (0..n as u32).filter(|&s| served[s as usize]).map(|s| find(&mut parent, s)).collect();
     roots.sort_unstable();
     roots.dedup();
     let components = roots.len() + unserved.len();

@@ -47,10 +47,7 @@ fn main() {
     let source = StationId(0);
     let a = ProfileEngine::new(&net_a).one_to_all(source);
     let b = ProfileEngine::new(&net_b).one_to_all(source);
-    let agree = net_a
-        .station_ids()
-        .filter(|&s| a.profile(s) == b.profile(s))
-        .count();
+    let agree = net_a.station_ids().filter(|&s| a.profile(s) == b.profile(s)).count();
     println!("profiles agree for {agree}/{} stations", net_a.num_stations());
     assert_eq!(agree, net_a.num_stations(), "round-trip must preserve semantics");
     println!("round-trip OK");

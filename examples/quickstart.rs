@@ -25,13 +25,8 @@ fn main() {
         .expect("valid trip");
         if h % 2 == 0 {
             // Express: Airport → Harbor direct, 30 minutes, at :30.
-            b.add_simple_trip(
-                &[airport, harbor],
-                Time::hm(h, 30),
-                &[Dur::minutes(30)],
-                Dur::ZERO,
-            )
-            .expect("valid trip");
+            b.add_simple_trip(&[airport, harbor], Time::hm(h, 30), &[Dur::minutes(30)], Dur::ZERO)
+                .expect("valid trip");
         }
     }
     let tt = b.build().expect("valid timetable");

@@ -23,10 +23,8 @@ fn main() {
     let net = Network::new(preset.timetable);
 
     // Two city hubs ("Hbf" stations are the generator's hubs).
-    let hubs: Vec<StationId> = net
-        .station_ids()
-        .filter(|&s| net.timetable().station(s).name.ends_with("Hbf"))
-        .collect();
+    let hubs: Vec<StationId> =
+        net.station_ids().filter(|&s| net.timetable().station(s).name.ends_with("Hbf")).collect();
     let (from, to) = (hubs[0], hubs[hubs.len() / 2]);
     println!(
         "\nconnection board {} → {}:",

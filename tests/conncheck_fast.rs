@@ -1,0 +1,25 @@
+//! Fast-mode cross-algorithm check, wired into tier-1 (`cargo test`).
+//!
+//! Scaled-down versions of all five evaluation networks, a couple of
+//! sources each: sequential SPCS must agree with the label-correcting
+//! baseline, with parallel SPCS under all three partition strategies, and
+//! with the label-setting time-query ground truth. The full-size version
+//! is `cargo run --release --bin conncheck`.
+
+use pt_bench::conncheck::{cross_check, standard_departures, STRATEGIES};
+use pt_spcs::Network;
+use pt_timetable::synthetic::presets;
+
+#[test]
+fn all_presets_cross_check_clean_in_fast_mode() {
+    assert_eq!(STRATEGIES.len(), 3, "every partition strategy must be covered");
+    let departures = standard_departures();
+    for preset in presets::all_presets(0.05) {
+        let name = preset.name;
+        let net = Network::new(preset.timetable);
+        let sources = pt_bench::random_stations(net.num_stations(), 2, 2010);
+        let outcome = cross_check(name, &net, &sources, &[2, 3], &departures);
+        assert!(outcome.is_clean(), "cross-check mismatches on {name}: {:#?}", outcome.mismatches);
+        assert!(outcome.comparisons > 0);
+    }
+}

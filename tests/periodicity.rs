@@ -10,9 +10,7 @@ use best_connections::spcs::{label_correcting, time_query};
 fn two_hour_net() -> (Network, Vec<StationId>) {
     let period = Period::new(2 * 3600);
     let mut b = TimetableBuilder::new(period);
-    let s: Vec<_> = (0..4)
-        .map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2)))
-        .collect();
+    let s: Vec<_> = (0..4).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2))).collect();
     // Ring 0 → 1 → 2 → 3 every 25 minutes; legs of 9 minutes mean late
     // trips arrive in the next period.
     for k in 0..5u32 {
@@ -33,8 +31,7 @@ fn two_hour_net() -> (Network, Vec<StationId>) {
     }
     // One express crossing the boundary outright: departs at 1:55:00,
     // arrives 19 minutes later — in the next period.
-    b.add_simple_trip(&[s[0], s[3]], Time(115 * 60), &[Dur::minutes(19)], Dur::ZERO)
-        .unwrap();
+    b.add_simple_trip(&[s[0], s[3]], Time(115 * 60), &[Dur::minutes(19)], Dur::ZERO).unwrap();
     (Network::new(b.build().unwrap()), s)
 }
 
@@ -111,19 +108,10 @@ fn delays_wrap_correctly_in_short_periods() {
     let (net, s) = two_hour_net();
     let tt = net.timetable();
     // Delay the express (the last train added) past the period boundary.
-    let express_train = tt
-        .conn(s[0])
-        .iter()
-        .find(|c| c.dep == Time(115 * 60))
-        .expect("express exists")
-        .train;
-    let delayed =
-        apply_delay(tt, express_train, 0, Dur::minutes(10), Recovery::None).unwrap();
-    let c = delayed
-        .connections()
-        .iter()
-        .find(|c| c.train == express_train)
-        .unwrap();
+    let express_train =
+        tt.conn(s[0]).iter().find(|c| c.dep == Time(115 * 60)).expect("express exists").train;
+    let delayed = apply_delay(tt, express_train, 0, Dur::minutes(10), Recovery::None).unwrap();
+    let c = delayed.connections().iter().find(|c| c.train == express_train).unwrap();
     // 1:55 + 10 min wraps to 0:05 of the next period.
     assert_eq!(c.dep, Time(5 * 60));
     // And the delayed network still satisfies CS == LC.

@@ -1,0 +1,431 @@
+//! A small, dependency-free subset of `proptest`, vendored so the
+//! workspace's property tests run without network access.
+//!
+//! Implemented surface (exactly what the workspace tests use):
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` / `boxed`,
+//! * range strategies over integers and floats, tuple strategies,
+//!   [`strategy::Just`], weighted [`prop_oneof!`],
+//! * [`collection::vec`] with exact, half-open or inclusive size ranges,
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   [`prop_assert!`] / [`prop_assert_eq!`], [`test_runner::TestCaseError`].
+//!
+//! Differences from real proptest: no shrinking (a failing case prints its
+//! inputs instead of a minimised counterexample) and no persistence files.
+//! Generation is deterministic per test (seeded from the test name), so
+//! failures reproduce across runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Failure carrier for property bodies (`Result<(), TestCaseError>`).
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_shrink_iters: 0 }
+        }
+    }
+}
+
+pub use test_runner::{Config as ProptestConfig, TestCaseError};
+
+/// Deterministic RNG handed to strategies by the [`proptest!`] runner.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded from the test name: deterministic, but decorrelated between
+    /// tests.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A generator of values; the shim's stand-in for proptest's `Strategy`.
+    ///
+    /// Object-safe: combinators carry `where Self: Sized` so boxed
+    /// strategies (needed by `prop_oneof!`) work.
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (**self).gen_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// Weighted choice between boxed strategies (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            let total = options.iter().map(|&(w, _)| w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.rng().gen_range(0..self.total);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Inclusive size bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)` — vectors of generated
+    /// elements with a sampled length.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng().gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` resolves after a prelude
+/// glob import, as with real proptest.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (config = ($config:expr); $(
+        #[test]
+        fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let strategies = ( $($strat,)+ );
+            for __case in 0..config.cases {
+                #[allow(non_snake_case)]
+                let ( $($arg,)+ ) = $crate::strategy::Strategy::gen_value(&strategies, &mut __rng);
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                match __result {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {}/{}:\n{}\n(no shrinking in offline shim; rerun reproduces deterministically)",
+                            stringify!($name), __case + 1, config.cases, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,112 @@
+//! A tiny, dependency-free subset of `rayon`, vendored so the workspace
+//! builds without network access.
+//!
+//! Supports the data-parallel pattern the workspace uses:
+//!
+//! ```
+//! use rayon::prelude::*;
+//! let squares: Vec<u64> = [1u64, 2, 3].par_iter().map(|&x| x * x).collect();
+//! assert_eq!(squares, vec![1, 4, 9]);
+//! ```
+//!
+//! `par_iter()` over a slice (or anything that derefs to one), `.map(...)`,
+//! `.collect()` — executed on `std::thread::scope` with one chunk per
+//! available core, preserving input order. This is genuine parallelism,
+//! just without rayon's work stealing.
+
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// `.par_iter()` — entry point, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Sync + 'data;
+
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { data: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { data: self.as_slice() }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    data: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { data: self.data, f }
+    }
+}
+
+/// The result of `.par_iter().map(f)`; terminal op is `.collect()`.
+pub struct ParMap<'data, T, F> {
+    data: &'data [T],
+    f: F,
+}
+
+impl<'data, T, F, R> ParMap<'data, T, F>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let n = self.data.len();
+        let threads =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+        if threads <= 1 {
+            return self.data.iter().map(&self.f).collect::<Vec<R>>().into();
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .data
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                out.extend(h.join().expect("rayon-shim worker panicked"));
+            }
+        });
+        out.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn preserves_order() {
+        let input: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u32> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: [u32; 0] = [];
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

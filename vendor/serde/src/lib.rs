@@ -1,0 +1,15 @@
+//! Offline stub for `serde`: marker traits plus no-op derive macros.
+//!
+//! The workspace's data model derives `Serialize`/`Deserialize` so a later
+//! PR can flip on real serialization without touching every type again.
+//! Nothing currently serializes, so marker impls are all that is needed to
+//! build without network access. The `derive` feature exists (as a no-op)
+//! so manifests can keep the conventional `features = ["derive"]` shape.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

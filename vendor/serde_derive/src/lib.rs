@@ -1,0 +1,61 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace derives serde traits on its data model so that a future
+//! PR can turn on real (de)serialization, but nothing currently calls the
+//! trait methods. These derives therefore emit marker impls only, which
+//! lets the whole workspace build offline without the real `serde`.
+
+use proc_macro::TokenStream;
+
+/// Extracts the identifier the derive is attached to and the generics tail
+/// so we can emit `impl<...> Trait for Name<...>`.
+///
+/// Handles `struct Name { .. }`, `struct Name(..);`, `enum Name { .. }`,
+/// including simple generic parameter lists (no defaults stripping needed
+/// for this workspace's plain-old-data types).
+fn item_name_and_generics(input: &str) -> Option<(String, String)> {
+    let mut rest = input;
+    // Skip attributes and doc comments that precede the item keyword.
+    let kw_pos =
+        ["struct ", "enum "].iter().filter_map(|kw| rest.find(kw).map(|p| p + kw.len())).min()?;
+    rest = &rest[kw_pos..];
+    let name_end = rest.find(|c: char| !(c.is_alphanumeric() || c == '_')).unwrap_or(rest.len());
+    let name = rest[..name_end].trim().to_string();
+    if name.is_empty() {
+        return None;
+    }
+    let after = rest[name_end..].trim_start();
+    let generics = if let Some(stripped) = after.strip_prefix('<') {
+        let close = stripped.find('>')?;
+        format!("<{}>", &stripped[..close])
+    } else {
+        String::new()
+    };
+    Some((name, generics))
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    let text = input.to_string();
+    match item_name_and_generics(&text) {
+        // Generic types would need bound propagation; the workspace's serde
+        // derives are all on plain-old-data types, so skip the marker there.
+        Some((name, generics)) if generics.is_empty() => if trait_path.contains("Deserialize") {
+            format!("impl<'de> {trait_path}<'de> for {name} {{}}")
+        } else {
+            format!("impl {trait_path} for {name} {{}}")
+        }
+        .parse()
+        .unwrap_or_default(),
+        _ => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize")
+}
