@@ -4,8 +4,10 @@
 //! For every network the harness builds distance tables over 0 % (no
 //! table), 1 %, 2.5 %, 5 % and 10 % of the stations (selected by
 //! contraction) plus the `deg > 2` selection, and reports preprocessing
-//! time, table size, mean settled queue elements, mean query time and the
-//! speed-up over the 0 % configuration — the paper's exact columns.
+//! time, table size, mean settled queue elements, mean query time, the
+//! mean master-merge time (the §3.2 merge overhead, measured separately)
+//! and the speed-up over the 0 % configuration — the paper's exact columns
+//! plus the merge number the paper only discusses qualitatively.
 //!
 //! ```text
 //! cargo run --release -p pt-bench --bin table2
@@ -40,29 +42,34 @@ fn main() {
         let net = Network::new(preset.timetable);
         println!("## {}  ({} stations, {} conns)", preset.name, stats.stations, stats.connections);
         println!(
-            "{:<8} {:>8} {:>10} {:>14} {:>11} {:>7}",
-            "trans", "prepro", "size[MiB]", "settled conns", "time [ms]", "spd-up"
+            "{:<8} {:>8} {:>10} {:>14} {:>11} {:>11} {:>7}",
+            "trans", "prepro", "size[MiB]", "settled conns", "time [ms]", "merge [ms]", "spd-up"
         );
         let pairs = random_pairs(net.num_stations(), cfg.queries, cfg.seed);
 
-        // Baseline: stopping criterion only (the paper's 0.0 % row).
-        let run = |engine: &S2sEngine<'_>| -> (f64, f64) {
+        // Baseline: stopping criterion only (the paper's 0.0 % row). The
+        // engine persists across the query stream (workspace + pool reuse);
+        // the master-merge share of each query is reported separately — the
+        // §3.2 merge-overhead number the paper discusses but never gives.
+        let run = |engine: &mut S2sEngine<'_>| -> (f64, f64, f64) {
             let mut settled = Vec::new();
             let mut times = Vec::new();
+            let mut merge_ms = Vec::new();
             for &(s, t) in &pairs {
                 let t0 = Instant::now();
                 let r = engine.query(s, t);
                 times.push(ms(t0.elapsed()));
                 settled.push(r.stats.settled as f64);
+                merge_ms.push(r.stats.merge_ns as f64 / 1e6);
             }
-            (mean(&settled), mean(&times))
+            (mean(&settled), mean(&times), mean(&merge_ms))
         };
 
-        let engine = S2sEngine::new(&net).threads(threads);
-        let (settled0, time0) = run(&engine);
+        let mut engine = S2sEngine::new(&net).threads(threads);
+        let (settled0, time0, merge0) = run(&mut engine);
         println!(
-            "{:<8} {:>8} {:>10} {:>14.0} {:>11.1} {:>7.1}",
-            "0.0%", "—", "—", settled0, time0, 1.0
+            "{:<8} {:>8} {:>10} {:>14.0} {:>11.1} {:>11.2} {:>7.1}",
+            "0.0%", "—", "—", settled0, time0, merge0, 1.0
         );
 
         let mut selections: Vec<(String, TransferSelection)> = fractions
@@ -77,15 +84,16 @@ fn main() {
                 println!("{label:<8} (no transfer stations selected — skipped)");
                 continue;
             }
-            let engine = S2sEngine::new(&net).threads(threads).with_table(&table);
-            let (settled, time) = run(&engine);
+            let mut engine = S2sEngine::new(&net).threads(threads).with_table(&table);
+            let (settled, time, merge) = run(&mut engine);
             println!(
-                "{:<8} {:>8} {:>10.1} {:>14.0} {:>11.1} {:>7.1}",
+                "{:<8} {:>8} {:>10.1} {:>14.0} {:>11.1} {:>11.2} {:>7.1}",
                 label,
                 fmt_mmss(table.build_time()),
                 table.size_mib(),
                 settled,
                 time,
+                merge,
                 if time > 0.0 { time0 / time } else { 0.0 }
             );
         }

@@ -1,0 +1,195 @@
+//! Sustained query throughput: the engine-as-a-service benchmark.
+//!
+//! The paper's tables measure single-query latency; the ROADMAP's north
+//! star is a long-lived engine under heavy query traffic. This binary
+//! measures sustained queries/sec for one-to-all and station-to-station
+//! workloads in three execution models:
+//!
+//! * **cold** — a fresh engine per query (full per-query label-array
+//!   allocation): the seed behaviour,
+//! * **warm** — one persistent engine, queries answered one at a time with
+//!   within-query parallelism on reused workspaces,
+//! * **batch** — the two-level driver ([`ProfileEngine::many_to_all`] /
+//!   [`S2sEngine::batch`]): whole queries distributed across the pool.
+//!
+//! Results are printed and written to `BENCH_spcs.json` (override with
+//! `BC_JSON_OUT`) so the perf trajectory is tracked across PRs: per-query
+//! median ns, queries/sec, thread balance, and workspace growth counters
+//! proving the hot path does not allocate.
+//!
+//! ```text
+//! cargo run --release -p pt-bench --bin throughput
+//! ```
+//!
+//! Knobs: the usual `BC_*` set plus `BC_TP_THREADS` (worker count,
+//! default `min(8, cpus)`).
+
+use std::time::Instant;
+
+use pt_bench::report::{balance, json_out_path, median, write_json, Json};
+use pt_bench::{random_pairs, random_stations, BenchConfig};
+use pt_spcs::{Network, ProfileEngine, S2sEngine};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let queries = cfg.queries.max(1); // a throughput run needs at least one query
+    let cpus = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let threads: usize =
+        std::env::var("BC_TP_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(cpus.min(8));
+
+    println!("# Throughput — sustained queries/sec, cold vs warm vs batch");
+    println!(
+        "# scale={} queries={queries} threads={} seed={} (host: {cpus} cpus)",
+        cfg.scale, threads, cfg.seed
+    );
+    println!();
+
+    let mut networks_json = Vec::new();
+    for preset in cfg.networks() {
+        let stats = preset.timetable.stats();
+        let net = Network::new(preset.timetable);
+        println!("## {}  ({} stations, {} conns)", preset.name, stats.stations, stats.connections);
+
+        let sources = random_stations(net.num_stations(), queries, cfg.seed);
+        let pairs = random_pairs(net.num_stations(), queries, cfg.seed);
+
+        // --- one-to-all ---------------------------------------------------
+        // Cold: a fresh engine (and pool) per query — the seed behaviour.
+        let mut cold_ns = Vec::new();
+        for &s in &sources {
+            let t0 = Instant::now();
+            let _ = ProfileEngine::new(&net).threads(threads).one_to_all(s);
+            cold_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+
+        // Warm: one persistent engine, within-query parallelism.
+        let mut engine = ProfileEngine::new(&net).threads(threads);
+        let _ = engine.one_to_all(sources[0]); // warm-up: size the workspaces
+        let grows_before = engine.workspace_grow_events();
+        let mut warm_ns = Vec::new();
+        let mut thread_settled = Vec::new();
+        for &s in &sources {
+            let t0 = Instant::now();
+            let r = engine.one_to_all_with_stats(s);
+            warm_ns.push(t0.elapsed().as_nanos() as f64);
+            thread_settled = r.thread_settled;
+        }
+        let warm_growth = engine.workspace_grow_events() - grows_before;
+
+        // Batch: across-query parallelism over the same pool.
+        let t0 = Instant::now();
+        let batch_results = engine.many_to_all(&sources);
+        let batch_total_ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(batch_results.len(), sources.len());
+
+        let n = sources.len() as f64;
+        let qps = |total_ns: f64| if total_ns > 0.0 { n / (total_ns * 1e-9) } else { 0.0 };
+        let cold_total: f64 = cold_ns.iter().sum();
+        let warm_total: f64 = warm_ns.iter().sum();
+        let batch_speedup = if batch_total_ns > 0.0 { cold_total / batch_total_ns } else { 0.0 };
+
+        println!("one-to-all ({} queries, p={threads}):", sources.len());
+        println!("  {:<10} {:>14} {:>12}", "mode", "median [ms]", "queries/s");
+        println!("  {:<10} {:>14.2} {:>12.1}", "cold", median(&cold_ns) / 1e6, qps(cold_total));
+        println!("  {:<10} {:>14.2} {:>12.1}", "warm", median(&warm_ns) / 1e6, qps(warm_total));
+        println!(
+            "  {:<10} {:>14.2} {:>12.1}   ({batch_speedup:.1}x vs cold)",
+            "batch",
+            batch_total_ns / n / 1e6,
+            qps(batch_total_ns)
+        );
+        println!(
+            "  thread balance (max/avg settled): {:.2}; warm-path workspace growth: {warm_growth}",
+            balance(&thread_settled)
+        );
+
+        // --- station-to-station -------------------------------------------
+        let mut s2s_cold_ns = Vec::new();
+        for &(s, t) in &pairs {
+            let t0 = Instant::now();
+            let _ = S2sEngine::new(&net).threads(threads).query(s, t);
+            s2s_cold_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+        let mut s2s_engine = S2sEngine::new(&net).threads(threads);
+        let t0 = Instant::now();
+        let s2s_batch = s2s_engine.batch(&pairs);
+        let s2s_batch_ns = t0.elapsed().as_nanos() as f64;
+        assert_eq!(s2s_batch.len(), pairs.len());
+        let s2s_cold_total: f64 = s2s_cold_ns.iter().sum();
+        println!("s2s ({} queries, p={threads}):", pairs.len());
+        println!(
+            "  cold {:.1} q/s, batch {:.1} q/s ({:.1}x)",
+            qps(s2s_cold_total),
+            qps(s2s_batch_ns),
+            if s2s_batch_ns > 0.0 { s2s_cold_total / s2s_batch_ns } else { 0.0 }
+        );
+        println!();
+
+        networks_json.push(Json::obj([
+            ("name", Json::from(preset.name)),
+            ("stations", Json::from(stats.stations)),
+            ("connections", Json::from(stats.connections)),
+            (
+                "one_to_all",
+                Json::obj([
+                    ("queries", Json::from(sources.len())),
+                    ("threads", Json::from(threads)),
+                    (
+                        "cold",
+                        Json::obj([
+                            ("median_ns", Json::from(median(&cold_ns) as u64)),
+                            ("qps", Json::from(qps(cold_total))),
+                        ]),
+                    ),
+                    (
+                        "warm",
+                        Json::obj([
+                            ("median_ns", Json::from(median(&warm_ns) as u64)),
+                            ("qps", Json::from(qps(warm_total))),
+                            ("workspace_growth_after_warmup", Json::from(warm_growth)),
+                        ]),
+                    ),
+                    (
+                        "batch",
+                        Json::obj([
+                            ("total_ns", Json::from(batch_total_ns as u64)),
+                            ("mean_ns", Json::from((batch_total_ns / n) as u64)),
+                            ("qps", Json::from(qps(batch_total_ns))),
+                            ("speedup_vs_cold", Json::from(batch_speedup)),
+                        ]),
+                    ),
+                    ("thread_balance", Json::from(balance(&thread_settled))),
+                ]),
+            ),
+            (
+                "s2s",
+                Json::obj([
+                    ("queries", Json::from(pairs.len())),
+                    ("cold_qps", Json::from(qps(s2s_cold_total))),
+                    ("batch_qps", Json::from(qps(s2s_batch_ns))),
+                    (
+                        "batch_speedup_vs_cold",
+                        Json::from(if s2s_batch_ns > 0.0 {
+                            s2s_cold_total / s2s_batch_ns
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ]),
+            ),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("bench", Json::from("spcs_throughput")),
+        ("scale", Json::from(cfg.scale)),
+        ("seed", Json::from(cfg.seed)),
+        ("threads", Json::from(threads)),
+        ("networks", Json::Arr(networks_json)),
+    ]);
+    let path = json_out_path("BENCH_spcs.json");
+    if let Err(e) = write_json(&path, &doc) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,11 @@
 //! * the label-correcting profile search (Table 1's baseline),
 //! * parallel SPCS under **all three** `conn(S)` partition strategies
 //!   (§3.2) at every requested thread count,
+//! * SPCS with self-pruning disabled (the ablation path), sequential and
+//!   parallel,
+//! * the batch layer: `ProfileEngine::many_to_all` over all sources and
+//!   `S2sEngine::batch` over sampled pairs, both against the sequential
+//!   profiles,
 //! * `time_query::earliest_arrivals` evaluated against the sequential
 //!   profiles at sampled departure times (including late-night wrap-around
 //!   departures).
@@ -18,7 +23,9 @@
 //! integration test `tests/conncheck_fast.rs` (scaled-down fast mode).
 
 use pt_core::{StationId, Time};
-use pt_spcs::{label_correcting, time_query, Network, PartitionStrategy, ProfileEngine};
+use pt_spcs::{
+    label_correcting, time_query, Network, PartitionStrategy, ProfileEngine, ProfileSet, S2sEngine,
+};
 
 /// The three partition strategies of §3.2, with display names.
 pub const STRATEGIES: [(&str, PartitionStrategy); 3] = [
@@ -64,15 +71,27 @@ pub fn cross_check(
     let mut comparisons = 0usize;
     let mut mismatches = Vec::new();
 
-    for &s in sources {
-        let seq = ProfileEngine::new(net).one_to_all(s);
+    // Sequential SPCS is the reference for everything below.
+    let seqs: Vec<ProfileSet> =
+        sources.iter().map(|&s| ProfileEngine::new(net).one_to_all(s)).collect();
 
+    for (&s, seq) in sources.iter().zip(&seqs) {
         let lc = label_correcting::profile_search(net, s);
         comparisons += 1;
-        if lc.profiles != seq {
+        if &lc.profiles != seq {
             record(
                 &mut mismatches,
                 format!("{name}: label-correcting != sequential SPCS from {s}"),
+            );
+        }
+
+        // Ablation path: disabling self-pruning changes work, never results.
+        let nopruning = ProfileEngine::new(net).self_pruning(false).one_to_all(s);
+        comparisons += 1;
+        if &nopruning != seq {
+            record(
+                &mut mismatches,
+                format!("{name}: self_pruning(false) != sequential SPCS from {s}"),
             );
         }
 
@@ -80,7 +99,7 @@ pub fn cross_check(
             for &p in threads {
                 let par = ProfileEngine::new(net).threads(p).strategy(strat).one_to_all(s);
                 comparisons += 1;
-                if par != seq {
+                if &par != seq {
                     record(
                         &mut mismatches,
                         format!(
@@ -88,6 +107,18 @@ pub fn cross_check(
                         ),
                     );
                 }
+            }
+        }
+
+        // Parallel ablation: no self-pruning on the split search either.
+        if let Some(&p) = threads.first() {
+            let par_nop = ProfileEngine::new(net).threads(p).self_pruning(false).one_to_all(s);
+            comparisons += 1;
+            if &par_nop != seq {
+                record(
+                    &mut mismatches,
+                    format!("{name}: parallel self_pruning(false) p={p} != sequential from {s}"),
+                );
             }
         }
 
@@ -107,6 +138,50 @@ pub fn cross_check(
                             "{name}: profile eval {s} -> {t} at dep {dep}: \
                              profile says {got}, time-query says {want}"
                         ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Batch layer: many_to_all must reproduce the per-source sequential
+    // profiles exactly, under both its across-query regime (sources >=
+    // threads) and its within-query fallback.
+    for &p in threads {
+        let batch = ProfileEngine::new(net).threads(p).many_to_all(sources);
+        for ((got, want), &s) in batch.iter().zip(&seqs).zip(sources) {
+            comparisons += 1;
+            if got != want {
+                record(
+                    &mut mismatches,
+                    format!("{name}: many_to_all (p={p}) != sequential from {s}"),
+                );
+            }
+        }
+    }
+
+    // Batch station-to-station: every source paired with a spread of
+    // targets, answered by S2sEngine::batch, against the sequential
+    // one-to-all profiles.
+    let ns = net.num_stations() as u32;
+    let pairs: Vec<(StationId, StationId)> = sources
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &s)| {
+            [(s, StationId((i as u32 * 7 + 1) % ns)), (s, StationId((i as u32 * 13 + 3) % ns))]
+        })
+        .filter(|(s, t)| s != t)
+        .collect();
+    if !pairs.is_empty() {
+        for &p in threads {
+            let results = S2sEngine::new(net).threads(p).batch(&pairs);
+            for (r, &(s, t)) in results.iter().zip(&pairs) {
+                let si = sources.iter().position(|&x| x == s).expect("pair source is sampled");
+                comparisons += 1;
+                if &r.profile != seqs[si].profile(t) {
+                    record(
+                        &mut mismatches,
+                        format!("{name}: S2sEngine::batch (p={p}) {s}->{t} != sequential profile"),
                     );
                 }
             }

@@ -17,6 +17,7 @@
 //! * `BC_SEED` — workload seed (default `2010`).
 
 pub mod conncheck;
+pub mod report;
 
 use std::time::Duration;
 

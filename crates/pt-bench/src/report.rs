@@ -1,0 +1,239 @@
+//! Machine-readable benchmark output (`BENCH_spcs.json`).
+//!
+//! The table binaries print the paper's layout for humans; this module
+//! writes the same measurements as JSON so the perf trajectory can be
+//! tracked across PRs by scripts. No external JSON crate exists in the
+//! offline build environment, so a minimal value tree + serializer lives
+//! here (string escaping included — enough for our own keys and names).
+//!
+//! Conventions: durations are reported as integer nanoseconds
+//! (`median_ns`), rates as queries per second (`qps`), balance as the
+//! max-over-average settled-count ratio across threads (`1.0` = perfect).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Construct with the `From` impls and [`Json::obj`] /
+/// [`Json::arr`].
+#[derive(Debug, Clone)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Finite floats only; non-finite values serialize as `null`.
+    Num(f64),
+    Int(i64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        i64::try_from(v).map(Json::Int).unwrap_or(Json::Num(v as f64))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::from(v as u64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl Json {
+    /// An object from `(key, value)` pairs, preserving order.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    pad(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Resolves the output path: `BC_JSON_OUT` env override, else `default`.
+pub fn json_out_path(default: &str) -> std::path::PathBuf {
+    std::env::var("BC_JSON_OUT").unwrap_or_else(|_| default.to_string()).into()
+}
+
+/// Writes `value` to `path`, reporting the destination on stderr.
+pub fn write_json(path: &std::path::Path, value: &Json) -> std::io::Result<()> {
+    std::fs::write(path, value.render())?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Median of a sample (ns, ms, …); `0.0` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Thread balance: max settled over average settled (`1.0` = perfectly
+/// balanced, `p` = one thread did everything).
+pub fn balance(thread_settled: &[u64]) -> f64 {
+    if thread_settled.is_empty() {
+        return 1.0;
+    }
+    let max = thread_settled.iter().copied().max().unwrap_or(0) as f64;
+    let avg = thread_settled.iter().sum::<u64>() as f64 / thread_settled.len() as f64;
+    if avg > 0.0 {
+        max / avg
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let v = Json::obj([
+            ("name", Json::from("city \"A\"\n")),
+            ("qps", Json::from(1234.5)),
+            ("threads", Json::from(vec![1u64, 2, 4])),
+            ("empty", Json::arr([])),
+            ("nan", Json::Num(f64::NAN)),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"city \\\"A\\\"\\n\""));
+        assert!(s.contains("\"qps\": 1234.5"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn median_and_balance() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(balance(&[10, 10]), 1.0);
+        assert_eq!(balance(&[20, 0]), 2.0);
+        assert_eq!(balance(&[]), 1.0);
+    }
+
+    #[test]
+    fn u64_overflowing_i64_degrades_to_float() {
+        let v = Json::from(u64::MAX);
+        assert!(matches!(v, Json::Num(_)));
+    }
+}

@@ -201,7 +201,7 @@ impl TdGraph {
     }
 
     /// Arrival time over `edge` when leaving its tail at absolute time `t`;
-    /// [`INFINITY`] if the edge is never served.
+    /// [`INFINITY`](pt_core::INFINITY) if the edge is never served.
     #[inline]
     pub fn eval_edge(&self, edge: &Edge, t: Time) -> Time {
         debug_assert!(!t.is_infinite());
@@ -211,7 +211,7 @@ impl TdGraph {
         }
     }
 
-    /// Arrival like [`eval_edge`], but treating constant (transfer) edges as
+    /// Arrival like [`TdGraph::eval_edge`], but treating constant (transfer) edges as
     /// free — used when expanding the *source* station, where boarding does
     /// not require a transfer.
     #[inline]

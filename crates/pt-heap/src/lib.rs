@@ -62,10 +62,27 @@ impl<const D: usize> IndexedHeap<D> {
     }
 
     /// Grows the slot space to at least `capacity`, keeping queued elements.
-    pub fn grow(&mut self, capacity: usize) {
+    /// Returns `true` iff the slot space actually grew (used by workspace
+    /// allocation accounting).
+    pub fn grow(&mut self, capacity: usize) -> bool {
         if capacity > self.pos.len() {
             self.pos.resize(capacity, INVALID_POS);
+            true
+        } else {
+            false
         }
+    }
+
+    /// Prepares the heap for a fresh query over the slot space
+    /// `0..capacity`: grows the slot space if needed and removes all queued
+    /// elements — in `O(len)`, **keeping every allocation** (both the
+    /// element storage and the position index survive, so a warm heap
+    /// performs no allocation at all). Returns `true` iff the slot space
+    /// grew.
+    pub fn reset(&mut self, capacity: usize) -> bool {
+        let grew = self.grow(capacity);
+        self.clear();
+        grew
     }
 
     /// `true` iff `slot` is currently queued.
@@ -243,10 +260,32 @@ mod tests {
     fn grow_extends_slot_space() {
         let mut h = BinaryHeap::new(2);
         h.push_or_decrease(1, 5);
-        h.grow(10);
+        assert!(h.grow(10));
+        assert!(!h.grow(4), "shrinking grow must be a no-op");
         h.push_or_decrease(9, 3);
         assert_eq!(h.pop(), Some((9, 3)));
         assert_eq!(h.pop(), Some((1, 5)));
+    }
+
+    #[test]
+    fn reset_clears_and_preserves_capacity() {
+        let mut h = BinaryHeap::new(4);
+        for s in 0..4 {
+            h.push_or_decrease(s, 10 - s as u64);
+        }
+        assert!(h.reset(8), "first reset grows the slot space");
+        assert!(h.is_empty());
+        assert_eq!(h.capacity(), 8);
+        h.push_or_decrease(7, 1);
+        // A warm reset to the same capacity keeps everything allocated.
+        assert!(!h.reset(8));
+        assert!(h.is_empty());
+        assert_eq!(h.capacity(), 8);
+        for s in 0..8 {
+            assert!(!h.contains(s));
+        }
+        h.push_or_decrease(3, 9);
+        assert_eq!(h.pop(), Some((3, 9)));
     }
 
     #[test]

@@ -14,15 +14,18 @@
 //!   its edges are not relaxed and `arr(v, i)` is marked unreachable.
 //! * **Connection reduction** turns the raw labels at each station into the
 //!   reduced (FIFO) profile `dist(S, T, ·)`.
+//!
+//! All per-query state lives in a reusable [`SearchWorkspace`]; a warm
+//! engine answers a query without any full-size allocation.
 
 use pt_core::{NodeId, Period, Profile, ProfilePoint, StationId, Time, INFINITY};
-use pt_heap::BinaryHeap;
 
 use crate::network::Network;
 use crate::parallel::{self, OneToAllResult};
 use crate::partition::PartitionStrategy;
 use crate::profile_set::ProfileSet;
 use crate::stats::QueryStats;
+use crate::workspace::SearchWorkspace;
 
 /// Label value marking "connection pruned at this node" (`arr(v,i) := ∞`
 /// in the paper). Distinct from [`INFINITY`] = "not discovered", so a
@@ -30,6 +33,13 @@ use crate::stats::QueryStats;
 pub(crate) const PRUNED: Time = Time(u32::MAX - 1);
 
 /// One-to-all profile searches over a fixed network.
+///
+/// The engine is **persistent**: it owns one [`SearchWorkspace`] per
+/// worker, created lazily on the first query and reused for the engine's
+/// lifetime; parallel work runs on the process-global persistent pool
+/// ([`rayon::global`]), so no threads are ever spawned per query. Build the
+/// engine once and stream queries through it — repeated queries run
+/// allocation-free once warm.
 ///
 /// Builder-style configuration:
 ///
@@ -53,6 +63,8 @@ pub struct ProfileEngine<'a> {
     threads: usize,
     strategy: PartitionStrategy,
     self_pruning: bool,
+    /// One workspace per worker, created lazily.
+    workspaces: Vec<SearchWorkspace>,
 }
 
 impl<'a> ProfileEngine<'a> {
@@ -64,6 +76,7 @@ impl<'a> ProfileEngine<'a> {
             threads: 1,
             strategy: PartitionStrategy::EqualConnections,
             self_pruning: true,
+            workspaces: Vec::new(),
         }
     }
 
@@ -91,6 +104,21 @@ impl<'a> ProfileEngine<'a> {
         self.net
     }
 
+    /// Total backing-array growth events over all workspaces. Constant
+    /// across repeated queries once the engine is warm — the reuse
+    /// guarantee asserted by tests and the `throughput` bench.
+    pub fn workspace_grow_events(&self) -> u64 {
+        self.workspaces.iter().map(SearchWorkspace::grow_events).sum()
+    }
+
+    /// Creates the per-worker workspaces on first use (or after a
+    /// `threads` increase).
+    fn ensure_workers(&mut self) {
+        if self.workspaces.len() < self.threads {
+            self.workspaces.resize_with(self.threads, SearchWorkspace::new);
+        }
+    }
+
     /// Runs a one-to-all profile search from `source`.
     pub fn one_to_all(&mut self, source: StationId) -> ProfileSet {
         self.one_to_all_with_stats(source).profiles
@@ -99,24 +127,85 @@ impl<'a> ProfileEngine<'a> {
     /// Like [`ProfileEngine::one_to_all`], also returning operation counts
     /// and the per-thread balance.
     pub fn one_to_all_with_stats(&mut self, source: StationId) -> OneToAllResult {
-        parallel::one_to_all(self.net, source, self.threads, self.strategy, self.self_pruning)
+        self.ensure_workers();
+        parallel::one_to_all(
+            self.net,
+            source,
+            self.threads,
+            self.strategy,
+            self.self_pruning,
+            &mut self.workspaces,
+        )
+    }
+
+    /// Batch one-to-all: profiles from every source in `sources`.
+    ///
+    /// With `p` threads and at least `p` sources this parallelizes *across*
+    /// queries — each worker answers whole sources from a shared work queue
+    /// on its own workspace, executing the `conn(S)` partition as `p`
+    /// *blocked* sequential searches (same per-class label sizes as the
+    /// split search, no merge barrier, no cross-worker coordination).
+    /// Results are identical to per-source [`ProfileEngine::one_to_all`]
+    /// calls, and this is the throughput-optimal way to answer many
+    /// independent queries (the regime of the ROADMAP's query streams and
+    /// of [`DistanceTable::build`](crate::DistanceTable::build)). With
+    /// fewer sources than threads it falls back to within-query
+    /// parallelism, one source at a time.
+    pub fn many_to_all(&mut self, sources: &[StationId]) -> Vec<ProfileSet> {
+        self.many_to_all_with_stats(sources).into_iter().map(|r| r.profiles).collect()
+    }
+
+    /// Like [`ProfileEngine::many_to_all`], returning full per-query
+    /// results.
+    pub fn many_to_all_with_stats(&mut self, sources: &[StationId]) -> Vec<OneToAllResult> {
+        self.ensure_workers();
+        if self.threads > 1 && sources.len() >= self.threads {
+            parallel::many_to_all_across(
+                self.net,
+                sources,
+                self.threads,
+                self.strategy,
+                self.self_pruning,
+                &mut self.workspaces[..self.threads],
+            )
+        } else {
+            sources.iter().map(|&s| self.one_to_all_with_stats(s)).collect()
+        }
     }
 }
 
-/// Per-thread output of [`run_range`]: arrival labels restricted to station
-/// nodes, in local-connection-major order.
-pub(crate) struct CsRangeResult {
-    /// `arr[i_local * num_stations + station]`; [`INFINITY`] = unreachable.
-    pub station_arr: Vec<Time>,
-    pub stats: QueryStats,
-}
-
 /// Runs the (self-pruning) connection-setting search restricted to the
-/// global connection-id range `lo..hi` (a contiguous subset of `conn(S)`).
+/// global connection-id range `lo..hi` (a contiguous subset of `conn(S)`),
+/// on the given workspace.
 ///
 /// This is the workhorse of both the sequential and the parallel algorithm:
-/// each worker thread calls it on its partition class.
-pub(crate) fn run_range(net: &Network, lo: u32, hi: u32, self_pruning: bool) -> CsRangeResult {
+/// each worker thread calls it on its partition class. On return,
+/// `ws.station_arr[i * ns + s]` holds the arrival label of local connection
+/// `i` at station `s` ([`INFINITY`] = unreachable or pruned).
+pub(crate) fn run_range(
+    net: &Network,
+    lo: u32,
+    hi: u32,
+    self_pruning: bool,
+    ws: &mut SearchWorkspace,
+) -> QueryStats {
+    let ns = net.graph().num_stations();
+    ws.fresh_station_arr((hi - lo) as usize * ns);
+    run_range_into(net, lo, hi, self_pruning, ws, 0)
+}
+
+/// [`run_range`] writing its station labels at `out_base` of an already
+/// prepared `ws.station_arr` — lets one worker run several partition
+/// classes of a query back to back into a single query-level buffer
+/// (*blocked* execution, used by the batch layer).
+pub(crate) fn run_range_into(
+    net: &Network,
+    lo: u32,
+    hi: u32,
+    self_pruning: bool,
+    ws: &mut SearchWorkspace,
+    out_base: usize,
+) -> QueryStats {
     let g = net.graph();
     let tt = net.timetable();
     let nv = g.num_nodes();
@@ -124,10 +213,10 @@ pub(crate) fn run_range(net: &Network, lo: u32, hi: u32, self_pruning: bool) -> 
     let k = (hi - lo) as usize;
     let mut stats = QueryStats::default();
 
-    // Labels arr(v, i) for the local connections, plus maxconn(v).
-    let mut arr: Vec<Time> = vec![INFINITY; k * nv];
-    let mut maxconn: Vec<u32> = vec![u32::MAX; nv];
-    let mut heap = BinaryHeap::new(k * nv);
+    // Labels arr(v, i) for the local connections, maxconn(v), and the queue
+    // all live in the workspace; begin() invalidates the previous query in
+    // O(1) via the generation counter.
+    ws.begin(k * nv, nv, false);
 
     // Initialization: one queue item per outgoing connection, at the route
     // node it departs from, keyed by its departure time.
@@ -138,28 +227,28 @@ pub(crate) fn run_range(net: &Network, lo: u32, hi: u32, self_pruning: bool) -> 
         let slot = i * nv + r.idx();
         // Two connections of one thread may depart from the same route node;
         // distinct `i` gives distinct slots, so no key collision is possible.
-        heap.push_or_decrease(slot, dep.secs() as u64);
+        ws.heap.push_or_decrease(slot, dep.secs() as u64);
         stats.pushes += 1;
     }
 
-    while let Some((slot, key)) = heap.pop() {
+    while let Some((slot, key)) = ws.heap.pop() {
         stats.settled += 1;
         let i = slot / nv;
         let v = slot % nv;
         let t = Time(key as u32);
 
         if self_pruning {
-            let mc = maxconn[v];
+            let mc = ws.maxconn(v);
             if mc != u32::MAX && i as u32 <= mc {
                 // A later connection already settled v: this one cannot be
                 // part of any reduced profile through v.
                 stats.self_pruned += 1;
-                arr[slot] = PRUNED;
+                ws.set_arr(slot, PRUNED);
                 continue;
             }
-            maxconn[v] = i as u32;
+            ws.set_maxconn(v, i as u32);
         }
-        arr[slot] = t;
+        ws.set_arr(slot, t);
 
         let base = i * nv;
         for e in g.edges(NodeId::from_idx(v)) {
@@ -168,37 +257,38 @@ pub(crate) fn run_range(net: &Network, lo: u32, hi: u32, self_pruning: bool) -> 
                 continue;
             }
             let wslot = base + e.head.idx();
-            if arr[wslot] != INFINITY {
+            if ws.arr(wslot) != INFINITY {
                 continue; // already settled (or pruned) for connection i
             }
             stats.relaxed += 1;
-            if heap.contains(wslot) {
-                if heap.push_or_decrease(wslot, ta.secs() as u64) {
+            if ws.heap.contains(wslot) {
+                if ws.heap.push_or_decrease(wslot, ta.secs() as u64) {
                     stats.decreases += 1;
                 }
             } else {
-                heap.push_or_decrease(wslot, ta.secs() as u64);
+                ws.heap.push_or_decrease(wslot, ta.secs() as u64);
                 stats.pushes += 1;
             }
         }
     }
 
     // Extract labels at station nodes (station nodes are 0..ns).
-    let mut station_arr = vec![INFINITY; k * ns];
     for i in 0..k {
         let src = i * nv;
-        let dst = i * ns;
+        let dst = out_base + i * ns;
         for s in 0..ns {
-            let a = arr[src + s];
-            station_arr[dst + s] = if a >= PRUNED { INFINITY } else { a };
+            let a = ws.arr(src + s);
+            if a < PRUNED {
+                ws.station_arr[dst + s] = a;
+            }
         }
     }
-    CsRangeResult { station_arr, stats }
+    stats
 }
 
 /// Builds the reduced profile of one station out of per-connection labels.
 ///
-/// `parts` lists, in global connection order, `(departure, arrival)` pairs;
+/// `points` lists, in global connection order, `(departure, arrival)` pairs;
 /// infinite arrivals are skipped. This is the paper's connection reduction
 /// applied to the merged label `arr(v, ·)`.
 pub(crate) fn reduce_station_profile(
@@ -303,5 +393,47 @@ mod tests {
         for p in prof.profile(s[0]).points() {
             assert_eq!(p.dep, p.arr);
         }
+    }
+
+    #[test]
+    fn warm_engine_answers_queries_without_allocating() {
+        let (net, s) = net();
+        let mut engine = ProfileEngine::new(&net);
+        let first = engine.one_to_all(s[0]);
+        let warm_grows = engine.workspace_grow_events();
+        assert!(warm_grows > 0, "the first query must have sized the workspace");
+        // Ten more queries from the same source: identical results, zero
+        // further backing-array growth — the workspace-reuse guarantee.
+        for _ in 0..10 {
+            let again = engine.one_to_all(s[0]);
+            assert_eq!(again, first);
+        }
+        assert_eq!(engine.workspace_grow_events(), warm_grows);
+    }
+
+    #[test]
+    fn engine_reuse_across_different_sources_is_consistent() {
+        let (net, s) = net();
+        let mut reused = ProfileEngine::new(&net).threads(2);
+        // Interleave sources so stale labels of one query would corrupt the
+        // next if the epoch clearing were wrong.
+        for &src in &[s[0], s[3], s[0], s[1], s[0]] {
+            let fresh = ProfileEngine::new(&net).threads(2).one_to_all(src);
+            assert_eq!(reused.one_to_all(src), fresh, "source {src}");
+        }
+    }
+
+    #[test]
+    fn many_to_all_matches_individual_queries() {
+        let (net, s) = net();
+        let sources: Vec<StationId> = vec![s[0], s[1], s[3], s[0]];
+        let individual: Vec<ProfileSet> =
+            sources.iter().map(|&src| ProfileEngine::new(&net).one_to_all(src)).collect();
+        // Across-query parallelism (sources >= threads)...
+        let batch = ProfileEngine::new(&net).threads(2).many_to_all(&sources);
+        assert_eq!(batch, individual);
+        // ...and the within-query fallback (sources < threads).
+        let few = ProfileEngine::new(&net).threads(8).many_to_all(&sources[..1]);
+        assert_eq!(few[0], individual[0]);
     }
 }

@@ -7,11 +7,11 @@
 //! search.
 //!
 //! The table is precomputed "by running our parallel one-to-all algorithm
-//! from every transfer station" (§5.2). Here the outer loop over source
-//! stations is data-parallel (rayon) with a sequential SPCS per source —
-//! the same total work, better scheduling for many small searches.
-
-use rayon::prelude::*;
+//! from every transfer station" (§5.2). Here the build rides on
+//! [`ProfileEngine::many_to_all`]: the batch layer distributes the source
+//! stations over the persistent worker pool with a sequential SPCS per
+//! source and per-worker workspace reuse — the same total work, better
+//! scheduling and no per-source allocation.
 
 use pt_core::{Period, Profile, StationId, Time, INFINITY};
 
@@ -50,18 +50,14 @@ impl DistanceTable {
             index[s.idx()] = i as u32;
         }
 
-        // One sequential SPCS per source, sources in parallel.
-        let rows: Vec<Vec<Profile>> = stations
-            .par_iter()
-            .map(|&src| {
-                let set = ProfileEngine::new(net).one_to_all(src);
-                stations.iter().map(|&dst| set.profile(dst).clone()).collect()
-            })
-            .collect();
+        // One sequential SPCS per source, sources batched over the pool.
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        let mut engine = ProfileEngine::new(net).threads(workers);
+        let sets = engine.many_to_all(&stations);
 
         let mut profiles = Vec::with_capacity(n * n);
-        for row in rows {
-            profiles.extend(row);
+        for set in &sets {
+            profiles.extend(stations.iter().map(|&dst| set.profile(dst).clone()));
         }
         DistanceTable { period, stations, index, profiles, build_time: start.elapsed() }
     }

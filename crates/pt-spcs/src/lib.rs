@@ -13,6 +13,8 @@
 //!   connection subset, merge + connection reduction at the master (§3.2),
 //! * [`s2s`] — station-to-station queries (§4): stopping criterion,
 //!   distance-table pruning via `via(T)`, target pruning,
+//! * [`workspace`] — persistent, epoch-stamped per-worker search state;
+//!   engines reuse it so the repeated-query hot path allocates nothing,
 //! * [`distance_table`] — precomputed full profile tables between transfer
 //!   stations,
 //! * [`transfer_selection`] / [`contraction`] — choosing the transfer
@@ -34,6 +36,7 @@ pub mod s2s;
 pub mod stats;
 pub mod time_query;
 pub mod transfer_selection;
+pub mod workspace;
 
 pub use connection_setting::ProfileEngine;
 pub use distance_table::DistanceTable;
@@ -45,3 +48,4 @@ pub use profile_set::ProfileSet;
 pub use s2s::{QueryKind, S2sEngine, S2sResult};
 pub use stats::QueryStats;
 pub use transfer_selection::TransferSelection;
+pub use workspace::SearchWorkspace;

@@ -1,19 +1,34 @@
 //! Parallel SPCS driver (paper §3.2).
 //!
-//! `conn(S)` is partitioned into `p` subsets; `p` worker threads each run
-//! the self-pruning connection-setting search on their subset with private
+//! `conn(S)` is partitioned into `p` subsets; `p` pool workers each run the
+//! self-pruning connection-setting search on their subset with private
 //! labels (no sharing, no locks — connections in different threads cannot
 //! prune each other, which is exactly the self-pruning loss the paper
 //! analyses). A master step then merges the per-thread labels in global
-//! connection order and applies connection reduction, restoring FIFO.
+//! connection order and applies connection reduction, restoring FIFO; its
+//! cost is recorded separately in [`QueryStats::merge_ns`].
+//!
+//! Work is dispatched onto the process-global persistent worker pool
+//! ([`rayon::global`]; no per-query — or even per-engine — thread
+//! spawning), and every worker reuses its [`SearchWorkspace`] across
+//! queries. Concurrency per query is bounded by its job count (`p`
+//! partition classes, or `p` claim loops for a batch), never by pool
+//! ownership. `many_to_all_across` adds the second parallelization level:
+//! whole queries are distributed over the pool, each answered by a blocked
+//! single-worker search (`one_to_all_blocked`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use pt_core::StationId;
 
-use crate::connection_setting::{self, CsRangeResult};
+use crate::connection_setting;
 use crate::network::Network;
 use crate::partition::PartitionStrategy;
 use crate::profile_set::ProfileSet;
 use crate::stats::QueryStats;
+use crate::workspace::SearchWorkspace;
 
 /// Result of a one-to-all profile query.
 #[derive(Debug, Clone)]
@@ -27,13 +42,46 @@ pub struct OneToAllResult {
     pub thread_settled: Vec<u64>,
 }
 
-/// Runs the one-to-all profile search on `p` threads.
+/// Distributes `n` independent work items over the pool: one claim loop
+/// per workspace, items claimed from a shared atomic counter, each answered
+/// on that worker's own workspace. The common scaffold of
+/// [`many_to_all_across`] and `S2sEngine::batch`.
+pub(crate) fn run_batch<T, F>(workspaces: &mut [SearchWorkspace], n: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut SearchWorkspace) -> T + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    rayon::global().scope(|scope| {
+        for ws in workspaces.iter_mut() {
+            let (next, slots, job) = (&next, &slots, &job);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = job(i, ws);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("every item index was claimed by a worker"))
+        .collect()
+}
+
+/// Runs the one-to-all profile search with `p` partition classes on the
+/// global pool. `workspaces` must provide at least `p` entries; each class
+/// uses exactly one.
 pub(crate) fn one_to_all(
     net: &Network,
     source: StationId,
     p: usize,
     strategy: PartitionStrategy,
     self_pruning: bool,
+    workspaces: &mut [SearchWorkspace],
 ) -> OneToAllResult {
     let tt = net.timetable();
     let period = tt.period();
@@ -41,42 +89,123 @@ pub(crate) fn one_to_all(
     let conn_range = tt.conn_ids(source);
     let conns = tt.conn(source);
     let ranges = strategy.partition(conns, p, period);
+    assert!(workspaces.len() >= ranges.len(), "one workspace per partition class required");
 
     // Run the workers (inline when single-threaded).
-    let results: Vec<CsRangeResult> = if p == 1 {
-        vec![connection_setting::run_range(net, conn_range.start, conn_range.end, self_pruning)]
+    let mut per_stats = vec![QueryStats::default(); ranges.len()];
+    if p == 1 {
+        per_stats[0] = connection_setting::run_range(
+            net,
+            conn_range.start,
+            conn_range.end,
+            self_pruning,
+            &mut workspaces[0],
+        );
     } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|r| {
-                    let (lo, hi) = (conn_range.start + r.start, conn_range.start + r.end);
-                    scope.spawn(move || connection_setting::run_range(net, lo, hi, self_pruning))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
-        })
-    };
+        rayon::global().scope(|scope| {
+            for ((ws, st), r) in
+                workspaces[..ranges.len()].iter_mut().zip(per_stats.iter_mut()).zip(&ranges)
+            {
+                let (lo, hi) = (conn_range.start + r.start, conn_range.start + r.end);
+                scope.spawn(move || {
+                    *st = connection_setting::run_range(net, lo, hi, self_pruning, ws);
+                });
+            }
+        });
+    }
 
-    let thread_settled: Vec<u64> = results.iter().map(|r| r.stats.settled).collect();
-    let stats = QueryStats::sum(results.iter().map(|r| r.stats));
+    let thread_settled: Vec<u64> = per_stats.iter().map(|r| r.settled).collect();
+    let mut stats = QueryStats::sum(per_stats);
 
     // Master merge: per station, concatenate the per-thread labels in global
     // connection order, then reduce. The merged label need not be FIFO
     // (threads do not prune each other), the reduction restores it.
+    let merge_start = Instant::now();
+    let used = &workspaces[..ranges.len()];
     let mut profiles = Vec::with_capacity(ns);
     for s in 0..ns {
-        let points = results.iter().zip(&ranges).flat_map(|(res, r)| {
+        let points = used.iter().zip(&ranges).flat_map(|(ws, r)| {
             let k = r.len();
             (0..k).map(move |i| {
                 let dep = conns[r.start as usize + i].dep;
-                let arr = res.station_arr[i * ns + s];
+                let arr = ws.station_arr[i * ns + s];
                 (dep, arr)
             })
         });
         profiles.push(connection_setting::reduce_station_profile(points, period));
     }
+    stats.merge_ns = merge_start.elapsed().as_nanos() as u64;
     OneToAllResult { profiles: ProfileSet::new(source, period, profiles), stats, thread_settled }
+}
+
+/// One-to-all answered entirely by **one** worker, but with the `conn(S)`
+/// partition executed as `blocks` back-to-back *blocked* searches on the
+/// same workspace. Per-class label spaces (and heaps) are a factor `blocks`
+/// smaller than one monolithic search, which more than pays for the lost
+/// cross-class self-pruning — the same trade the parallel split makes, kept
+/// even when the classes run sequentially. The per-class station labels
+/// line up into the query-level buffer in global connection order, so the
+/// merge is identical to the parallel master step (and the result is
+/// bit-identical to a `blocks`-thread query with the same strategy).
+pub(crate) fn one_to_all_blocked(
+    net: &Network,
+    source: StationId,
+    blocks: usize,
+    strategy: PartitionStrategy,
+    self_pruning: bool,
+    ws: &mut SearchWorkspace,
+) -> OneToAllResult {
+    let tt = net.timetable();
+    let period = tt.period();
+    let ns = net.num_stations();
+    let conn_range = tt.conn_ids(source);
+    let conns = tt.conn(source);
+    let ranges = strategy.partition(conns, blocks, period);
+    let k = conns.len();
+
+    ws.fresh_station_arr(k * ns);
+    let mut per_stats = Vec::with_capacity(ranges.len());
+    for r in &ranges {
+        let (lo, hi) = (conn_range.start + r.start, conn_range.start + r.end);
+        per_stats.push(connection_setting::run_range_into(
+            net,
+            lo,
+            hi,
+            self_pruning,
+            ws,
+            r.start as usize * ns,
+        ));
+    }
+    let thread_settled: Vec<u64> = per_stats.iter().map(|r| r.settled).collect();
+    let mut stats = QueryStats::sum(per_stats);
+
+    let merge_start = Instant::now();
+    let mut profiles = Vec::with_capacity(ns);
+    for s in 0..ns {
+        let points = (0..k).map(|i| (conns[i].dep, ws.station_arr[i * ns + s]));
+        profiles.push(connection_setting::reduce_station_profile(points, period));
+    }
+    stats.merge_ns = merge_start.elapsed().as_nanos() as u64;
+    OneToAllResult { profiles: ProfileSet::new(source, period, profiles), stats, thread_settled }
+}
+
+/// The second parallelization level: distributes whole one-to-all queries
+/// over the pool. Each worker owns one workspace and answers sources pulled
+/// from a shared queue with the blocked search ([`one_to_all_blocked`]) —
+/// no cross-worker coordination and no merge barrier per query, which
+/// maximizes sustained throughput when there are at least as many queries
+/// as workers.
+pub(crate) fn many_to_all_across(
+    net: &Network,
+    sources: &[StationId],
+    blocks: usize,
+    strategy: PartitionStrategy,
+    self_pruning: bool,
+    workspaces: &mut [SearchWorkspace],
+) -> Vec<OneToAllResult> {
+    run_batch(workspaces, sources.len(), |i, ws| {
+        one_to_all_blocked(net, sources[i], blocks, strategy, self_pruning, ws)
+    })
 }
 
 #[cfg(test)]
@@ -129,6 +258,39 @@ mod tests {
         assert!(r4.stats.settled >= r1.stats.settled);
         assert_eq!(r4.thread_settled.len(), 4);
         assert_eq!(r4.thread_settled.iter().sum::<u64>(), r4.stats.settled);
+    }
+
+    #[test]
+    fn merge_time_is_recorded() {
+        let net = small_city();
+        let r = ProfileEngine::new(&net).threads(2).one_to_all_with_stats(StationId(5));
+        assert!(r.stats.merge_ns > 0, "master merge must be timed");
+    }
+
+    #[test]
+    fn warm_parallel_engine_reuses_all_workspaces() {
+        let net = small_city();
+        let mut engine = ProfileEngine::new(&net).threads(4);
+        let first = engine.one_to_all(StationId(2));
+        let warm = engine.workspace_grow_events();
+        for _ in 0..5 {
+            assert_eq!(engine.one_to_all(StationId(2)), first);
+        }
+        assert_eq!(engine.workspace_grow_events(), warm, "hot path must not allocate");
+    }
+
+    #[test]
+    fn batch_across_queries_matches_sequential_ground_truth() {
+        let net = small_city();
+        let sources: Vec<StationId> = (0..12).map(|i| StationId(i * 3 % 36)).collect();
+        let mut engine = ProfileEngine::new(&net).threads(4);
+        let batch = engine.many_to_all_with_stats(&sources);
+        assert_eq!(batch.len(), sources.len());
+        for (r, &s) in batch.iter().zip(&sources) {
+            let seq = ProfileEngine::new(&net).one_to_all(s);
+            assert_eq!(r.profiles, seq, "batch result for source {s}");
+            assert_eq!(r.profiles.source(), s);
+        }
     }
 
     #[test]

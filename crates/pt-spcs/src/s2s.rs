@@ -21,15 +21,23 @@
 //! When both endpoints are transfer stations the stored table profile *is*
 //! the answer; when the query is *local* (`S ∈ local(T)`) only the stopping
 //! criterion applies.
+//!
+//! Like [`ProfileEngine`](crate::ProfileEngine), the engine is persistent:
+//! per-worker [`SearchWorkspace`]s live for the engine's lifetime, parallel
+//! work runs on the process-global pool ([`rayon::global`]), and
+//! [`S2sEngine::batch`] distributes whole queries over that pool for
+//! stream throughput.
+
+use std::time::Instant;
 
 use pt_core::{ConnId, NodeId, Profile, StationId, Time, INFINITY};
-use pt_heap::BinaryHeap;
 
 use crate::connection_setting::{reduce_station_profile, PRUNED};
 use crate::distance_table::DistanceTable;
 use crate::network::Network;
 use crate::partition::PartitionStrategy;
 use crate::stats::QueryStats;
+use crate::workspace::SearchWorkspace;
 
 /// How a station-to-station query was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,7 +65,9 @@ pub struct S2sResult {
     pub kind: QueryKind,
 }
 
-/// Station-to-station query engine.
+/// Station-to-station query engine. Owns persistent per-worker workspaces
+/// (parallel work runs on the process-global pool); repeated queries
+/// through one engine run allocation-free once warm.
 #[derive(Debug, Clone)]
 pub struct S2sEngine<'a> {
     net: &'a Network,
@@ -66,6 +76,8 @@ pub struct S2sEngine<'a> {
     stopping: bool,
     table: Option<&'a DistanceTable>,
     mask: Vec<bool>,
+    /// One workspace per worker, created lazily.
+    workspaces: Vec<SearchWorkspace>,
 }
 
 impl<'a> S2sEngine<'a> {
@@ -78,6 +90,7 @@ impl<'a> S2sEngine<'a> {
             stopping: true,
             table: None,
             mask: Vec::new(),
+            workspaces: Vec::new(),
         }
     }
 
@@ -107,90 +120,168 @@ impl<'a> S2sEngine<'a> {
         self
     }
 
-    /// Computes the profile `dist(source, target, ·)`.
-    pub fn query(&self, source: StationId, target: StationId) -> S2sResult {
-        let tt = self.net.timetable();
-        let period = tt.period();
+    /// Total backing-array growth events over all workspaces; constant
+    /// across repeated queries once the engine is warm.
+    pub fn workspace_grow_events(&self) -> u64 {
+        self.workspaces.iter().map(SearchWorkspace::grow_events).sum()
+    }
 
-        // Special case: both endpoints in the table (§4, "Special Cases").
-        if let Some(table) = self.table {
-            if table.is_transfer(source) && table.is_transfer(target) {
-                return S2sResult {
-                    profile: table.profile(source, target).clone(),
-                    stats: QueryStats::default(),
-                    kind: QueryKind::TableDirect,
-                };
-            }
+    fn ensure_workers(&mut self) {
+        if self.workspaces.len() < self.threads {
+            self.workspaces.resize_with(self.threads, SearchWorkspace::new);
         }
+    }
 
-        // Resolve the pruning mode.
-        let (kind, via): (QueryKind, Vec<StationId>) = match self.table {
-            None => (QueryKind::Plain, Vec::new()),
-            Some(table) => {
-                if table.is_transfer(target) {
-                    (QueryKind::TargetTransfer, Vec::new())
-                } else {
-                    let vl = self.net.station_graph().via_and_local(target, &self.mask);
-                    if vl.is_local_query(source) || source == target {
-                        (QueryKind::Local, Vec::new())
-                    } else if vl.via.is_empty() {
-                        // No via station separates T: a global source cannot
-                        // reach it at all.
-                        return S2sResult {
-                            profile: Profile::EMPTY,
-                            stats: QueryStats::default(),
-                            kind: QueryKind::Global,
-                        };
-                    } else {
-                        (QueryKind::Global, vl.via)
-                    }
-                }
-            }
+    /// Computes the profile `dist(source, target, ·)`.
+    pub fn query(&mut self, source: StationId, target: StationId) -> S2sResult {
+        self.ensure_workers();
+        let cfg = QueryConfig {
+            net: self.net,
+            table: self.table,
+            mask: &self.mask,
+            stopping: self.stopping,
+            strategy: self.strategy,
         };
+        query_with(&cfg, self.threads, &mut self.workspaces, source, target)
+    }
 
-        let conn_range = tt.conn_ids(source);
-        let conns = tt.conn(source);
-        let ranges = self.strategy.partition(conns, self.threads, period);
-
-        let run = |lo: u32, hi: u32| -> (Vec<Time>, QueryStats) {
-            let mode = match kind {
-                QueryKind::Global => {
-                    Mode::Via { table: self.table.expect("table present"), via: &via }
-                }
-                QueryKind::TargetTransfer => {
-                    Mode::Target { table: self.table.expect("table present") }
-                }
-                _ => Mode::Plain,
-            };
-            s2s_range(self.net, lo, hi, target, self.stopping, &self.mask, mode)
+    /// Batch station-to-station queries.
+    ///
+    /// With `p` threads and at least `p` pairs this parallelizes *across*
+    /// queries: each worker answers whole queries from a shared work queue
+    /// on its own workspace, with the full §4 pruning per query. With fewer
+    /// pairs it answers them one at a time using within-query parallelism.
+    pub fn batch(&mut self, pairs: &[(StationId, StationId)]) -> Vec<S2sResult> {
+        self.ensure_workers();
+        let cfg = QueryConfig {
+            net: self.net,
+            table: self.table,
+            mask: &self.mask,
+            stopping: self.stopping,
+            strategy: self.strategy,
         };
-
-        let results: Vec<(Vec<Time>, QueryStats)> = if self.threads == 1 {
-            vec![run(conn_range.start, conn_range.end)]
+        if self.threads > 1 && pairs.len() >= self.threads {
+            crate::parallel::run_batch(
+                &mut self.workspaces[..self.threads],
+                pairs.len(),
+                |i, ws| {
+                    let (s, t) = pairs[i];
+                    query_with(&cfg, 1, std::slice::from_mut(ws), s, t)
+                },
+            )
         } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = ranges
-                    .iter()
-                    .map(|r| {
-                        let (lo, hi) = (conn_range.start + r.start, conn_range.start + r.end);
-                        let run = &run;
-                        scope.spawn(move || run(lo, hi))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-            })
-        };
-
-        let stats = QueryStats::sum(results.iter().map(|(_, s)| *s));
-        let points = results.iter().zip(&ranges).flat_map(|((arr_t, _), r)| {
-            arr_t.iter().enumerate().map(move |(i, &arr)| (conns[r.start as usize + i].dep, arr))
-        });
-        let profile = reduce_station_profile(points, period);
-        S2sResult { profile, stats, kind }
+            pairs.iter().map(|&(s, t)| self.query(s, t)).collect()
+        }
     }
 }
 
+/// The engine configuration a query needs, separated from the mutable
+/// worker state so batch workers can share it.
+struct QueryConfig<'a> {
+    net: &'a Network,
+    table: Option<&'a DistanceTable>,
+    mask: &'a [bool],
+    stopping: bool,
+    strategy: PartitionStrategy,
+}
+
+/// Answers one query on the given workers; the common backend of
+/// [`S2sEngine::query`] and [`S2sEngine::batch`].
+fn query_with(
+    cfg: &QueryConfig<'_>,
+    threads: usize,
+    workspaces: &mut [SearchWorkspace],
+    source: StationId,
+    target: StationId,
+) -> S2sResult {
+    let tt = cfg.net.timetable();
+    let period = tt.period();
+
+    // Special case: both endpoints in the table (§4, "Special Cases").
+    if let Some(table) = cfg.table {
+        if table.is_transfer(source) && table.is_transfer(target) {
+            return S2sResult {
+                profile: table.profile(source, target).clone(),
+                stats: QueryStats::default(),
+                kind: QueryKind::TableDirect,
+            };
+        }
+    }
+
+    // Resolve the pruning mode.
+    let (kind, via): (QueryKind, Vec<StationId>) = match cfg.table {
+        None => (QueryKind::Plain, Vec::new()),
+        Some(table) => {
+            if table.is_transfer(target) {
+                (QueryKind::TargetTransfer, Vec::new())
+            } else {
+                let vl = cfg.net.station_graph().via_and_local(target, cfg.mask);
+                if vl.is_local_query(source) || source == target {
+                    (QueryKind::Local, Vec::new())
+                } else if vl.via.is_empty() {
+                    // No via station separates T: a global source cannot
+                    // reach it at all.
+                    return S2sResult {
+                        profile: Profile::EMPTY,
+                        stats: QueryStats::default(),
+                        kind: QueryKind::Global,
+                    };
+                } else {
+                    (QueryKind::Global, vl.via)
+                }
+            }
+        }
+    };
+    let mode = match kind {
+        QueryKind::Global => Mode::Via { table: cfg.table.expect("table present"), via: &via },
+        QueryKind::TargetTransfer => Mode::Target { table: cfg.table.expect("table present") },
+        _ => Mode::Plain,
+    };
+
+    let conn_range = tt.conn_ids(source);
+    let conns = tt.conn(source);
+    let ranges = cfg.strategy.partition(conns, threads, period);
+    assert!(workspaces.len() >= ranges.len(), "one workspace per partition class required");
+
+    let mut per_stats = vec![QueryStats::default(); ranges.len()];
+    if threads == 1 {
+        per_stats[0] = s2s_range(
+            cfg.net,
+            conn_range.start,
+            conn_range.end,
+            target,
+            cfg.stopping,
+            cfg.mask,
+            mode,
+            &mut workspaces[0],
+        );
+    } else {
+        rayon::global().scope(|scope| {
+            for ((ws, st), r) in
+                workspaces[..ranges.len()].iter_mut().zip(per_stats.iter_mut()).zip(&ranges)
+            {
+                let (lo, hi) = (conn_range.start + r.start, conn_range.start + r.end);
+                let (net, mask, stopping) = (cfg.net, cfg.mask, cfg.stopping);
+                scope.spawn(move || {
+                    *st = s2s_range(net, lo, hi, target, stopping, mask, mode, ws);
+                });
+            }
+        });
+    }
+
+    let mut stats = QueryStats::sum(per_stats);
+    let merge_start = Instant::now();
+    let used = &workspaces[..ranges.len()];
+    let points = used.iter().zip(&ranges).flat_map(|(ws, r)| {
+        ws.arr_t.iter().enumerate().map(move |(i, &arr)| (conns[r.start as usize + i].dep, arr))
+    });
+    let profile = reduce_station_profile(points, period);
+    stats.merge_ns = merge_start.elapsed().as_nanos() as u64;
+    S2sResult { profile, stats, kind }
+}
+
 /// Pruning mode of one worker.
+#[derive(Clone, Copy)]
 enum Mode<'t> {
     Plain,
     Via { table: &'t DistanceTable, via: &'t [StationId] },
@@ -198,7 +289,9 @@ enum Mode<'t> {
 }
 
 /// One worker: SPCS over the connection range `lo..hi` specialized to
-/// `target`, returning the final arrival per local connection.
+/// `target`. On return, `ws.arr_t[i]` holds the best arrival at `target`
+/// per local connection.
+#[allow(clippy::too_many_arguments)]
 fn s2s_range(
     net: &Network,
     lo: u32,
@@ -207,7 +300,8 @@ fn s2s_range(
     stopping: bool,
     transfer_mask: &[bool],
     mode: Mode<'_>,
-) -> (Vec<Time>, QueryStats) {
+    ws: &mut SearchWorkspace,
+) -> QueryStats {
     let g = net.graph();
     let tt = net.timetable();
     let nv = g.num_nodes();
@@ -215,28 +309,24 @@ fn s2s_range(
     let target_node = g.station_node(target);
     let mut stats = QueryStats::default();
 
-    let mut arr: Vec<Time> = vec![INFINITY; k * nv];
-    let mut maxconn: Vec<u32> = vec![u32::MAX; nv];
-    let mut heap = BinaryHeap::new(k * nv);
-    let mut arr_t: Vec<Time> = vec![INFINITY; k];
-    // Stopping criterion state: highest local connection settled at T.
-    let mut tm: i64 = -1;
-
     // Via-pruning state: µ[i * |via| + j].
     let (is_via, n_via) = match &mode {
         Mode::Via { via, .. } => (true, via.len()),
         _ => (false, 0),
     };
-    let mut mu: Vec<Time> = if is_via { vec![INFINITY; k * n_via] } else { Vec::new() };
-
     // Target-pruning state.
     let is_target_mode = matches!(mode, Mode::Target { .. });
-    let mut gamma: Vec<Time> = if is_target_mode { vec![INFINITY; k] } else { Vec::new() };
-    let mut done: Vec<bool> = if is_target_mode { vec![false; k] } else { Vec::new() };
-    // Path flag per (conn, node): passed a transfer station?
-    let mut anc: Vec<bool> = if is_target_mode { vec![false; k * nv] } else { Vec::new() };
-    // Queue entries per connection whose path lacks a transfer ancestor.
-    let mut noanc: Vec<u32> = if is_target_mode { vec![0; k] } else { Vec::new() };
+
+    ws.begin(k * nv, nv, is_target_mode);
+    ws.fresh_arr_t(k);
+    if is_via {
+        ws.fresh_mu(k * n_via);
+    }
+    if is_target_mode {
+        ws.fresh_target_scratch(k);
+    }
+    // Stopping criterion state: highest local connection settled at T.
+    let mut tm: i64 = -1;
 
     // `i` also derives the heap slot and (in target mode) indexes `noanc`,
     // so an iterator over one of them would obscure the pairing.
@@ -246,53 +336,53 @@ fn s2s_range(
         let r = g.conn_start_node(c);
         let dep = tt.connection(c).dep;
         let slot = i * nv + r.idx();
-        heap.push_or_decrease(slot, dep.secs() as u64);
+        ws.heap.push_or_decrease(slot, dep.secs() as u64);
         stats.pushes += 1;
         if is_target_mode {
             // The source is never a transfer station in target mode
             // (otherwise the query would have been answered from the table).
-            noanc[i] += 1;
+            ws.noanc[i] += 1;
         }
     }
 
-    while let Some((slot, key)) = heap.pop() {
+    while let Some((slot, key)) = ws.heap.pop() {
         stats.settled += 1;
         let i = slot / nv;
         let v = slot % nv;
         let t = Time(key as u32);
 
-        if is_target_mode && !anc[slot] {
-            noanc[i] -= 1;
+        if is_target_mode && !ws.anc(slot) {
+            ws.noanc[i] -= 1;
         }
 
         // Stopping criterion (Thm 2).
         if stopping && (i as i64) <= tm {
             stats.stop_pruned += 1;
-            arr[slot] = PRUNED;
+            ws.set_arr(slot, PRUNED);
             continue;
         }
         // Connection already finished by target pruning.
-        if is_target_mode && done[i] {
+        if is_target_mode && ws.done[i] {
             stats.table_pruned += 1;
-            arr[slot] = PRUNED;
+            ws.set_arr(slot, PRUNED);
             continue;
         }
         // Self-pruning (§3.1).
-        let mc = maxconn[v];
+        let mc = ws.maxconn(v);
         if mc != u32::MAX && i as u32 <= mc {
             stats.self_pruned += 1;
-            arr[slot] = PRUNED;
+            ws.set_arr(slot, PRUNED);
             continue;
         }
-        maxconn[v] = i as u32;
-        arr[slot] = t;
+        ws.set_maxconn(v, i as u32);
+        ws.set_arr(slot, t);
 
         // Settling the target station finishes connection i.
         if NodeId::from_idx(v) == target_node {
-            arr_t[i] = arr_t[i].min(t);
+            ws.arr_t[i] = ws.arr_t[i].min(t);
             tm = tm.max(i as i64);
             if is_target_mode {
-                done[i] = true;
+                ws.done[i] = true;
             }
             continue;
         }
@@ -311,14 +401,14 @@ fn s2s_range(
                         let reach = table.eval(station_v, vj, board);
                         if !reach.is_infinite() {
                             let cand = reach + g.transfer_time(vj);
-                            let m = &mut mu[i * n_via + j];
+                            let m = &mut ws.mu[i * n_via + j];
                             if cand < *m {
                                 *m = cand;
                             }
                         }
                         if prunable {
                             let lower = table.eval(station_v, vj, t);
-                            if lower <= mu[i * n_via + j] {
+                            if lower <= ws.mu[i * n_via + j] {
                                 prunable = false;
                             }
                         }
@@ -333,14 +423,14 @@ fn s2s_range(
                 if at_transfer {
                     // Lower bound γ_i (no transfer at st(v)).
                     let lower = table.eval(station_v, target, t);
-                    if lower < gamma[i] {
-                        gamma[i] = lower;
+                    if lower < ws.gamma[i] {
+                        ws.gamma[i] = lower;
                     }
                     // Upper bound through st(v) with a transfer (Thm 4).
                     let cand = table.eval(station_v, target, t + g.transfer_time(station_v));
-                    if noanc[i] == 0 && !cand.is_infinite() && cand == gamma[i] {
-                        arr_t[i] = arr_t[i].min(cand);
-                        done[i] = true;
+                    if ws.noanc[i] == 0 && !cand.is_infinite() && cand == ws.gamma[i] {
+                        ws.arr_t[i] = ws.arr_t[i].min(cand);
+                        ws.done[i] = true;
                         stats.table_pruned += 1;
                         continue;
                     }
@@ -349,7 +439,7 @@ fn s2s_range(
         }
 
         // Relax outgoing edges.
-        let child_anc = is_target_mode && (anc[slot] || at_transfer);
+        let child_anc = is_target_mode && (ws.anc(slot) || at_transfer);
         let base = i * nv;
         for e in g.edges(NodeId::from_idx(v)) {
             let ta = g.eval_edge(e, t);
@@ -357,38 +447,38 @@ fn s2s_range(
                 continue;
             }
             let wslot = base + e.head.idx();
-            if arr[wslot] != INFINITY {
+            if ws.arr(wslot) != INFINITY {
                 continue;
             }
             stats.relaxed += 1;
             let new_key = ta.secs() as u64;
-            if heap.contains(wslot) {
-                if heap.push_or_decrease(wslot, new_key) {
+            if ws.heap.contains(wslot) {
+                if ws.heap.push_or_decrease(wslot, new_key) {
                     stats.decreases += 1;
-                    if is_target_mode && anc[wslot] != child_anc {
+                    if is_target_mode && ws.anc(wslot) != child_anc {
                         // The better path replaces the flag.
                         if child_anc {
-                            noanc[i] -= 1;
+                            ws.noanc[i] -= 1;
                         } else {
-                            noanc[i] += 1;
+                            ws.noanc[i] += 1;
                         }
-                        anc[wslot] = child_anc;
+                        ws.set_anc(wslot, child_anc);
                     }
                 }
             } else {
-                heap.push_or_decrease(wslot, new_key);
+                ws.heap.push_or_decrease(wslot, new_key);
                 stats.pushes += 1;
                 if is_target_mode {
-                    anc[wslot] = child_anc;
+                    ws.set_anc(wslot, child_anc);
                     if !child_anc {
-                        noanc[i] += 1;
+                        ws.noanc[i] += 1;
                     }
                 }
             }
         }
     }
 
-    (arr_t, stats)
+    stats
 }
 
 #[cfg(test)]
@@ -409,7 +499,7 @@ mod tests {
 
     /// Every (S, T) pair in `pairs`: the s2s profile must equal the
     /// corresponding one-to-all profile.
-    fn assert_matches_one_to_all(net: &Network, engine: &S2sEngine<'_>, pairs: &[(u32, u32)]) {
+    fn assert_matches_one_to_all(net: &Network, engine: &mut S2sEngine<'_>, pairs: &[(u32, u32)]) {
         for &(s, t) in pairs {
             let (s, t) = (StationId(s), StationId(t));
             let want = ProfileEngine::new(net).one_to_all(s);
@@ -421,8 +511,8 @@ mod tests {
     #[test]
     fn stopping_criterion_preserves_profiles() {
         let net = city();
-        let engine = S2sEngine::new(&net);
-        assert_matches_one_to_all(&net, &engine, &[(0, 48), (5, 7), (13, 2), (20, 20)]);
+        let mut engine = S2sEngine::new(&net);
+        assert_matches_one_to_all(&net, &mut engine, &[(0, 48), (5, 7), (13, 2), (20, 20)]);
     }
 
     #[test]
@@ -446,28 +536,28 @@ mod tests {
     fn table_pruned_queries_preserve_profiles_city() {
         let net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-        let engine = S2sEngine::new(&net).with_table(&table);
+        let mut engine = S2sEngine::new(&net).with_table(&table);
         let pairs: Vec<(u32, u32)> =
             vec![(0, 48), (1, 37), (9, 22), (30, 4), (11, 44), (48, 0), (17, 8)];
-        assert_matches_one_to_all(&net, &engine, &pairs);
+        assert_matches_one_to_all(&net, &mut engine, &pairs);
     }
 
     #[test]
     fn table_pruned_queries_preserve_profiles_rail() {
         let net = rail();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
-        let engine = S2sEngine::new(&net).with_table(&table);
+        let mut engine = S2sEngine::new(&net).with_table(&table);
         let n = net.num_stations() as u32;
         let pairs: Vec<(u32, u32)> =
             (0..12).map(|i| ((i * 7) % n, (i * 13 + 3) % n)).filter(|(a, b)| a != b).collect();
-        assert_matches_one_to_all(&net, &engine, &pairs);
+        assert_matches_one_to_all(&net, &mut engine, &pairs);
     }
 
     #[test]
     fn all_query_kinds_appear() {
         let net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-        let engine = S2sEngine::new(&net).with_table(&table);
+        let mut engine = S2sEngine::new(&net).with_table(&table);
         let mut kinds = std::collections::BTreeSet::new();
         let n = net.num_stations() as u32;
         for s in 0..n {
@@ -497,6 +587,51 @@ mod tests {
                 assert_eq!(seq.profile, par.profile, "{s}→{t} p={p}");
             }
         }
+    }
+
+    #[test]
+    fn warm_s2s_engine_reuses_workspaces() {
+        let net = city();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        let mut engine = S2sEngine::new(&net).with_table(&table);
+        // Warm up with one query of every search kind (they size different
+        // scratch arrays), then repeat: no further growth allowed.
+        let warmup: &[(u32, u32)] = &[(0, 48), (1, 37), (9, 22), (30, 4), (11, 44), (17, 8)];
+        for &(s, t) in warmup {
+            engine.query(StationId(s), StationId(t));
+        }
+        let warm = engine.workspace_grow_events();
+        for &(s, t) in warmup {
+            engine.query(StationId(s), StationId(t));
+        }
+        assert_eq!(engine.workspace_grow_events(), warm, "hot path must not allocate");
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let net = city();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        let n = net.num_stations() as u32;
+        let pairs: Vec<(StationId, StationId)> = (0..10)
+            .map(|i| (StationId(i * 5 % n), StationId((i * 11 + 2) % n)))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let individual: Vec<S2sResult> = pairs
+            .iter()
+            .map(|&(s, t)| S2sEngine::new(&net).with_table(&table).query(s, t))
+            .collect();
+        // Across-query parallelism (pairs >= threads)...
+        let mut batch_engine = S2sEngine::new(&net).with_table(&table).threads(3);
+        let batch = batch_engine.batch(&pairs);
+        assert_eq!(batch.len(), individual.len());
+        for ((b, i), &(s, t)) in batch.iter().zip(&individual).zip(&pairs) {
+            assert_eq!(b.profile, i.profile, "{s}→{t}");
+            assert_eq!(b.kind, i.kind, "{s}→{t}");
+        }
+        // ...and the within-query fallback (pairs < threads).
+        let few = batch_engine.threads(16).batch(&pairs[..2]);
+        assert_eq!(few[0].profile, individual[0].profile);
+        assert_eq!(few[1].profile, individual[1].profile);
     }
 
     #[test]

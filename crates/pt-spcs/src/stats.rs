@@ -23,6 +23,10 @@ pub struct QueryStats {
     pub pushes: u64,
     /// Priority-queue decrease-key operations.
     pub decreases: u64,
+    /// Wall-clock nanoseconds spent in the sequential master step (merging
+    /// per-thread labels and reducing them to profiles, §3.2) — the merge
+    /// overhead the paper discusses qualitatively but never quantifies.
+    pub merge_ns: u64,
 }
 
 impl AddAssign for QueryStats {
@@ -34,6 +38,7 @@ impl AddAssign for QueryStats {
         self.relaxed += rhs.relaxed;
         self.pushes += rhs.pushes;
         self.decreases += rhs.decreases;
+        self.merge_ns += rhs.merge_ns;
     }
 }
 

@@ -45,6 +45,23 @@ fn main() {
         );
     }
 
+    // Batch layer: a morning's worth of queries through one persistent
+    // engine — whole queries are distributed across the worker pool, each
+    // answered on a reused workspace.
+    let sources: Vec<StationId> =
+        (0..net.num_stations() as u32).step_by(7).map(StationId).collect();
+    let mut engine = ProfileEngine::new(&net).threads(4);
+    let t0 = Instant::now();
+    let sets = engine.many_to_all(&sources);
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "\nbatch many-to-all: {} queries in {:.2}s ({:.1} queries/s, {} workspace grow events)",
+        sets.len(),
+        elapsed,
+        sets.len() as f64 / elapsed.max(1e-9),
+        engine.workspace_grow_events(),
+    );
+
     // Precompute a 10 % distance table, then compare s2s with and without.
     let t0 = Instant::now();
     let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.10));

@@ -4,17 +4,17 @@
 //!
 //! This facade re-exports the workspace crates:
 //!
-//! * [`core`](pt_core) — time arithmetic, piecewise-linear travel-time
+//! * [`core`] — time arithmetic, piecewise-linear travel-time
 //!   functions, arrival profiles and connection reduction,
-//! * [`timetable`](pt_timetable) — the periodic timetable model, GTFS-subset
+//! * [`timetable`] — the periodic timetable model, GTFS-subset
 //!   I/O and synthetic network generators,
-//! * [`graph`](pt_graph) — the realistic time-dependent graph model and the
+//! * [`graph`] — the realistic time-dependent graph model and the
 //!   station graph,
-//! * [`heap`](pt_heap) — indexed d-ary priority queues,
-//! * [`spcs`](pt_spcs) — the search algorithms: time-queries, the
+//! * [`heap`] — indexed d-ary priority queues,
+//! * [`spcs`] — the search algorithms: time-queries, the
 //!   label-correcting profile baseline, sequential and parallel self-pruning
-//!   connection-setting (SPCS), and the station-to-station engine with
-//!   distance-table pruning.
+//!   connection-setting (SPCS), the station-to-station engine with
+//!   distance-table pruning, and the workspace/pool/batch execution layers.
 //!
 //! # Quickstart
 //!

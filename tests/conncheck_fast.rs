@@ -2,7 +2,9 @@
 //!
 //! Scaled-down versions of all five evaluation networks, a couple of
 //! sources each: sequential SPCS must agree with the label-correcting
-//! baseline, with parallel SPCS under all three partition strategies, and
+//! baseline, with parallel SPCS under all three partition strategies, with
+//! the `self_pruning(false)` ablation path (sequential and parallel), with
+//! the batch APIs (`ProfileEngine::many_to_all`, `S2sEngine::batch`), and
 //! with the label-setting time-query ground truth. The full-size version
 //! is `cargo run --release --bin conncheck`.
 

@@ -265,7 +265,7 @@ pub mod collection {
     use super::TestRng;
     use rand::Rng;
 
-    /// Inclusive size bounds for [`vec`].
+    /// Inclusive size bounds for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

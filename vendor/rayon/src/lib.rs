@@ -1,7 +1,17 @@
 //! A tiny, dependency-free subset of `rayon`, vendored so the workspace
 //! builds without network access.
 //!
-//! Supports the data-parallel pattern the workspace uses:
+//! Two layers:
+//!
+//! * [`ThreadPool`] — a **persistent, reusable scoped worker pool**. Workers
+//!   are spawned once and live for the pool's lifetime; every
+//!   [`ThreadPool::scope`] call dispatches borrowed closures onto them
+//!   (rayon's `scope`/`spawn` pattern) without per-call thread spawning.
+//!   Waiting threads *help* drain the job queue, so nested scopes cannot
+//!   deadlock on a saturated pool.
+//! * `par_iter()` over a slice (or anything that derefs to one), `.map(...)`,
+//!   `.collect()` — executed on the [`global`] pool with one chunk per
+//!   worker, preserving input order.
 //!
 //! ```
 //! use rayon::prelude::*;
@@ -9,13 +19,238 @@
 //! assert_eq!(squares, vec![1, 4, 9]);
 //! ```
 //!
-//! `par_iter()` over a slice (or anything that derefs to one), `.map(...)`,
-//! `.collect()` — executed on `std::thread::scope` with one chunk per
-//! available core, preserving input order. This is genuine parallelism,
-//! just without rayon's work stealing.
+//! This is genuine parallelism, just without rayon's work stealing.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
+}
+
+/// A type-erased job. Jobs are queued with their borrow lifetimes erased;
+/// soundness is guaranteed by [`ThreadPool::scope`], which never returns
+/// (even on unwind) before every job spawned in it has finished.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// State shared between a pool's workers and every thread using the pool.
+struct Shared {
+    /// FIFO job queue plus the shutdown flag.
+    queue: Mutex<(VecDeque<Job>, bool)>,
+    /// Signalled when a job is queued, a job completes, or shutdown starts.
+    cond: Condvar,
+}
+
+/// A persistent worker pool with a scoped spawn API.
+///
+/// Workers are OS threads spawned once in [`ThreadPool::new`] and reused by
+/// every subsequent [`ThreadPool::scope`] call — the pool amortizes thread
+/// creation across queries, which is the point of keeping one alive for the
+/// lifetime of an engine.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool").field("threads", &self.handles.len()).finish()
+    }
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared =
+            Arc::new(Shared { queue: Mutex::new((VecDeque::new(), false)), cond: Condvar::new() });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowed closures can be spawned
+    /// onto the pool. Blocks until every spawned closure has finished; the
+    /// calling thread helps execute queued jobs while it waits, so scopes
+    /// may nest freely (a worker waiting on an inner scope drains the queue
+    /// instead of deadlocking). The first panic of any spawned closure is
+    /// resumed on the caller after all jobs completed.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let state = Arc::new(ScopeState::default());
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+
+        /// Waits in `Drop` so spawned jobs (borrowing `'env` data) finish
+        /// even when the scope body itself unwinds.
+        struct WaitGuard<'a> {
+            shared: &'a Shared,
+            state: &'a ScopeState,
+        }
+        impl Drop for WaitGuard<'_> {
+            fn drop(&mut self) {
+                help_until_done(self.shared, self.state);
+            }
+        }
+
+        let out = {
+            let _guard = WaitGuard { shared: &self.shared, state: &state };
+            f(&scope)
+        };
+        if let Some(payload) = state.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        out
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().1 = true;
+        self.shared.cond.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-scope completion tracking.
+#[derive(Default)]
+struct ScopeState {
+    /// Jobs spawned but not yet finished.
+    pending: AtomicUsize,
+    /// First panic payload from a spawned job.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// Handle for spawning borrowed closures onto a pool; see
+/// [`ThreadPool::scope`].
+pub struct Scope<'env> {
+    shared: Arc<Shared>,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queues `f` for execution on the pool. `f` may borrow anything that
+    /// outlives the enclosing [`ThreadPool::scope`] call.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let shared = Arc::clone(&self.shared);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            state.pending.fetch_sub(1, Ordering::SeqCst);
+            // Take the queue lock before notifying so a waiter cannot check
+            // `pending` and block between our decrement and our notify.
+            let _queue = shared.queue.lock().unwrap();
+            shared.cond.notify_all();
+        });
+        // SAFETY: `ThreadPool::scope` does not return — even on unwind, via
+        // `WaitGuard` — until `pending` reaches zero, i.e. until this job has
+        // run to completion. Every `'env` borrow captured by `f` therefore
+        // strictly outlives the job's execution, so erasing the lifetime of
+        // the boxed closure (identical layout, fat pointer to the same
+        // vtable) cannot create a dangling reference.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        let mut queue = self.shared.queue.lock().unwrap();
+        queue.0.push_back(job);
+        drop(queue);
+        self.shared.cond.notify_one();
+    }
+}
+
+/// Worker main loop: pop a job or sleep; exit on shutdown with empty queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut guard = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = guard.0.pop_front() {
+                    break Some(job);
+                }
+                if guard.1 {
+                    break None;
+                }
+                guard = shared.cond.wait(guard).unwrap();
+            }
+        };
+        match job {
+            Some(job) => job(),
+            None => return,
+        }
+    }
+}
+
+/// Blocks until `state.pending` reaches zero, executing queued jobs (from
+/// any scope of the same pool) while waiting.
+fn help_until_done(shared: &Shared, state: &ScopeState) {
+    loop {
+        if state.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let job = shared.queue.lock().unwrap().0.pop_front();
+        match job {
+            Some(job) => job(),
+            None => {
+                let guard = shared.queue.lock().unwrap();
+                if state.pending.load(Ordering::SeqCst) == 0 || !guard.0.is_empty() {
+                    continue;
+                }
+                // Timeout is belt-and-braces against a missed wakeup.
+                let _ = shared.cond.wait_timeout(guard, Duration::from_millis(1)).unwrap();
+            }
+        }
+    }
+}
+
+/// The process-wide shared pool used by `par_iter`, sized to the available
+/// parallelism. Created on first use, never torn down.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        ThreadPool::new(std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+    })
+}
+
+/// [`ThreadPool::scope`] on the [`global`] pool, mirroring `rayon::scope`.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    global().scope(f)
 }
 
 /// `.par_iter()` — entry point, mirroring `rayon::iter::IntoParallelRefIterator`.
@@ -70,31 +305,37 @@ where
 {
     pub fn collect<C: From<Vec<R>>>(self) -> C {
         let n = self.data.len();
-        let threads =
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
-        if threads <= 1 {
+        let pool = global();
+        let chunks = pool.threads().min(n);
+        if chunks <= 1 {
             return self.data.iter().map(&self.f).collect::<Vec<R>>().into();
         }
-        let chunk = n.div_ceil(threads);
+        let chunk = n.div_ceil(chunks);
         let f = &self.f;
-        let mut out: Vec<R> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .data
-                .chunks(chunk)
-                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            for h in handles {
-                out.extend(h.join().expect("rayon-shim worker panicked"));
+        let parts: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks));
+        pool.scope(|scope| {
+            for (i, c) in self.data.chunks(chunk).enumerate() {
+                let parts = &parts;
+                scope.spawn(move || {
+                    let part: Vec<R> = c.iter().map(f).collect();
+                    parts.lock().unwrap().push((i, part));
+                });
             }
         });
+        let mut parts = parts.into_inner().unwrap();
+        parts.sort_unstable_by_key(|&(i, _)| i);
+        let mut out = Vec::with_capacity(n);
+        for (_, part) in parts {
+            out.extend(part);
+        }
         out.into()
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn preserves_order() {
@@ -108,5 +349,87 @@ mod tests {
         let input: [u32; 0] = [];
         let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scope_runs_borrowed_jobs() {
+        let pool = ThreadPool::new(4);
+        let data: Vec<u64> = (0..100).collect();
+        let mut partial = [0u64; 4];
+        pool.scope(|s| {
+            for (i, out) in partial.iter_mut().enumerate() {
+                let data = &data;
+                s.spawn(move || *out = data.iter().skip(i).step_by(4).sum());
+            }
+        });
+        assert_eq!(partial.iter().sum::<u64>(), (0..100).sum());
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let pool = ThreadPool::new(2);
+        let counter = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    let counter = &counter;
+                    s.spawn(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // More outer jobs than workers, each outer job opening its own
+        // scope: only possible because waiting threads help execute jobs.
+        let pool = ThreadPool::new(2);
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..6 {
+                let total = &total;
+                let pool = &pool;
+                s.spawn(move || {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 24);
+    }
+
+    #[test]
+    fn scope_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicking job.
+        let ok = AtomicU64::new(0);
+        pool.scope(|s| {
+            let ok = &ok;
+            s.spawn(move || {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scope_returns_body_value() {
+        let pool = ThreadPool::new(1);
+        let x = pool.scope(|_| 42);
+        assert_eq!(x, 42);
     }
 }
