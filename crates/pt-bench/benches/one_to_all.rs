@@ -25,7 +25,7 @@ fn one_to_all(c: &mut Criterion) {
                 b.iter(|| {
                     let s = sources[i % sources.len()];
                     i += 1;
-                    ProfileEngine::new(&net).threads(p).one_to_all(s)
+                    ProfileEngine::new().threads(p).one_to_all(&net, s)
                 });
             });
         }

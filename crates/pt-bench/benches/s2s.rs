@@ -13,30 +13,30 @@ fn s2s(c: &mut Criterion) {
     let mut group = c.benchmark_group("s2s/oahu");
     group.sample_size(10);
     group.bench_function("stopping_only", |b| {
-        let mut engine = S2sEngine::new(&net).threads(2);
+        let mut engine = S2sEngine::new().threads(2);
         let mut i = 0;
         b.iter(|| {
             let (s, t) = pairs[i % pairs.len()];
             i += 1;
-            engine.query(s, t)
+            engine.query(&net, s, t)
         });
     });
     group.bench_function("table_5pct", |b| {
-        let mut engine = S2sEngine::new(&net).threads(2).with_table(&table);
+        let mut engine = S2sEngine::new().threads(2).with_table(&table);
         let mut i = 0;
         b.iter(|| {
             let (s, t) = pairs[i % pairs.len()];
             i += 1;
-            engine.query(s, t)
+            engine.query(&net, s, t)
         });
     });
     group.bench_function("no_stopping", |b| {
-        let mut engine = S2sEngine::new(&net).threads(2).stopping_criterion(false);
+        let mut engine = S2sEngine::new().threads(2).stopping_criterion(false);
         let mut i = 0;
         b.iter(|| {
             let (s, t) = pairs[i % pairs.len()];
             i += 1;
-            engine.query(s, t)
+            engine.query(&net, s, t)
         });
     });
     group.finish();

@@ -45,13 +45,13 @@ fn partition(cfg: &BenchConfig) {
             "strategy", "time [ms]", "imbalance(settled)", "settled"
         );
         for (name, strat) in strategies {
-            let mut engine = ProfileEngine::new(&net).threads(4).strategy(strat);
+            let mut engine = ProfileEngine::new().threads(4).strategy(strat);
             let mut times = Vec::new();
             let mut settled = Vec::new();
             let mut imb = Vec::new();
             for &s in &sources {
                 let t0 = Instant::now();
-                let r = engine.one_to_all_with_stats(s);
+                let r = engine.one_to_all_with_stats(&net, s);
                 times.push(ms(t0.elapsed()));
                 settled.push(r.stats.settled as f64);
                 let max = r.thread_settled.iter().max().copied().unwrap_or(0) as f64;
@@ -77,12 +77,12 @@ fn self_pruning(cfg: &BenchConfig) {
         println!("\n## {}", preset.name);
         println!("{:<10} {:>14} {:>12}", "pruning", "settled conns", "time [ms]");
         for on in [true, false] {
-            let mut engine = ProfileEngine::new(&net).self_pruning(on);
+            let mut engine = ProfileEngine::new().self_pruning(on);
             let mut times = Vec::new();
             let mut settled = Vec::new();
             for &s in &sources {
                 let t0 = Instant::now();
-                let r = engine.one_to_all_with_stats(s);
+                let r = engine.one_to_all_with_stats(&net, s);
                 times.push(ms(t0.elapsed()));
                 settled.push(r.stats.settled as f64);
             }
@@ -104,12 +104,12 @@ fn stopping(cfg: &BenchConfig) {
         println!("\n## {}", preset.name);
         println!("{:<10} {:>14} {:>12}", "stopping", "settled conns", "time [ms]");
         for on in [true, false] {
-            let mut engine = S2sEngine::new(&net).threads(8).stopping_criterion(on);
+            let mut engine = S2sEngine::new().threads(8).stopping_criterion(on);
             let mut times = Vec::new();
             let mut settled = Vec::new();
             for &(s, t) in &pairs {
                 let t0 = Instant::now();
-                let r = engine.query(s, t);
+                let r = engine.query(&net, s, t);
                 times.push(ms(t0.elapsed()));
                 settled.push(r.stats.settled as f64);
             }

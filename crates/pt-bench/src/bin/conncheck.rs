@@ -20,7 +20,7 @@
 //! (default 15, capped at 64), `BC_THREADS` (default 1,2,4,8),
 //! `BC_NETWORKS` name filter, `BC_SEED`.
 
-use pt_bench::conncheck::{cross_check, standard_departures};
+use pt_bench::conncheck::{cross_check, cross_check_after_delays, standard_departures};
 use pt_bench::BenchConfig;
 use pt_core::StationId;
 use pt_graph::StationGraph;
@@ -101,6 +101,22 @@ fn main() {
             eprintln!("  MISMATCH: {m}");
         }
         total_mismatches += outcome.mismatches.len();
+
+        // Delay mode: the same battery on a network disrupted through the
+        // incremental patch path, checked against a full rebuild first.
+        let (delayed, patched, rebuilt) =
+            cross_check_after_delays(name, &net, &sources, &cfg.threads, &departures, 8, cfg.seed);
+        println!(
+            "{:<16} sources={:<3} comparisons={:<8} mismatches={} (updates: {patched} patched, {rebuilt} rebuilt)",
+            delayed.network,
+            delayed.sources,
+            delayed.comparisons,
+            delayed.mismatches.len()
+        );
+        for m in &delayed.mismatches {
+            eprintln!("  MISMATCH: {m}");
+        }
+        total_mismatches += delayed.mismatches.len();
     }
     if total_mismatches > 0 {
         eprintln!("conncheck FAILED: {total_mismatches} mismatch(es)");

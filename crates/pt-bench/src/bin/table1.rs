@@ -51,12 +51,12 @@ fn main() {
         for &p in &cfg.threads {
             // One persistent engine per configuration: workspaces and the
             // worker pool are reused across the whole query stream.
-            let mut engine = ProfileEngine::new(&net).threads(p);
+            let mut engine = ProfileEngine::new().threads(p);
             let mut settled = Vec::new();
             let mut times = Vec::new();
             for &s in &sources {
                 let t0 = Instant::now();
-                let res = engine.one_to_all_with_stats(s);
+                let res = engine.one_to_all_with_stats(&net, s);
                 times.push(ms(t0.elapsed()));
                 settled.push(res.stats.settled as f64);
             }

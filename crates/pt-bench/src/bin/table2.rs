@@ -51,13 +51,13 @@ fn main() {
         // engine persists across the query stream (workspace + pool reuse);
         // the master-merge share of each query is reported separately — the
         // §3.2 merge-overhead number the paper discusses but never gives.
-        let run = |engine: &mut S2sEngine<'_>| -> (f64, f64, f64) {
+        let run = |engine: &mut S2sEngine<'_>, net: &Network| -> (f64, f64, f64) {
             let mut settled = Vec::new();
             let mut times = Vec::new();
             let mut merge_ms = Vec::new();
             for &(s, t) in &pairs {
                 let t0 = Instant::now();
-                let r = engine.query(s, t);
+                let r = engine.query(net, s, t);
                 times.push(ms(t0.elapsed()));
                 settled.push(r.stats.settled as f64);
                 merge_ms.push(r.stats.merge_ns as f64 / 1e6);
@@ -65,8 +65,8 @@ fn main() {
             (mean(&settled), mean(&times), mean(&merge_ms))
         };
 
-        let mut engine = S2sEngine::new(&net).threads(threads);
-        let (settled0, time0, merge0) = run(&mut engine);
+        let mut engine = S2sEngine::new().threads(threads);
+        let (settled0, time0, merge0) = run(&mut engine, &net);
         println!(
             "{:<8} {:>8} {:>10} {:>14.0} {:>11.1} {:>11.2} {:>7.1}",
             "0.0%", "—", "—", settled0, time0, merge0, 1.0
@@ -84,8 +84,8 @@ fn main() {
                 println!("{label:<8} (no transfer stations selected — skipped)");
                 continue;
             }
-            let mut engine = S2sEngine::new(&net).threads(threads).with_table(&table);
-            let (settled, time, merge) = run(&mut engine);
+            let mut engine = S2sEngine::new().threads(threads).with_table(&table);
+            let (settled, time, merge) = run(&mut engine, &net);
             println!(
                 "{:<8} {:>8} {:>10.1} {:>14.0} {:>11.1} {:>11.2} {:>7.1}",
                 label,

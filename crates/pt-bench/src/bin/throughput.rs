@@ -10,7 +10,10 @@
 //! * **warm** — one persistent engine, queries answered one at a time with
 //!   within-query parallelism on reused workspaces,
 //! * **batch** — the two-level driver ([`ProfileEngine::many_to_all`] /
-//!   [`S2sEngine::batch`]): whole queries distributed across the pool.
+//!   [`S2sEngine::batch`]): whole queries distributed across the pool,
+//! * **cached** — the warm engine behind the generation-keyed LRU
+//!   ([`ProfileEngine::with_cache`]): a replayed workload is answered
+//!   entirely from cache; the hit rate is reported in the JSON.
 //!
 //! Results are printed and written to `BENCH_spcs.json` (override with
 //! `BC_JSON_OUT`) so the perf trajectory is tracked across PRs: per-query
@@ -58,19 +61,19 @@ fn main() {
         let mut cold_ns = Vec::new();
         for &s in &sources {
             let t0 = Instant::now();
-            let _ = ProfileEngine::new(&net).threads(threads).one_to_all(s);
+            let _ = ProfileEngine::new().threads(threads).one_to_all(&net, s);
             cold_ns.push(t0.elapsed().as_nanos() as f64);
         }
 
         // Warm: one persistent engine, within-query parallelism.
-        let mut engine = ProfileEngine::new(&net).threads(threads);
-        let _ = engine.one_to_all(sources[0]); // warm-up: size the workspaces
+        let mut engine = ProfileEngine::new().threads(threads);
+        let _ = engine.one_to_all(&net, sources[0]); // warm-up: size the workspaces
         let grows_before = engine.workspace_grow_events();
         let mut warm_ns = Vec::new();
         let mut thread_settled = Vec::new();
         for &s in &sources {
             let t0 = Instant::now();
-            let r = engine.one_to_all_with_stats(s);
+            let r = engine.one_to_all_with_stats(&net, s);
             warm_ns.push(t0.elapsed().as_nanos() as f64);
             thread_settled = r.thread_settled;
         }
@@ -78,9 +81,26 @@ fn main() {
 
         // Batch: across-query parallelism over the same pool.
         let t0 = Instant::now();
-        let batch_results = engine.many_to_all(&sources);
+        let batch_results = engine.many_to_all(&net, &sources);
         let batch_total_ns = t0.elapsed().as_nanos() as f64;
         assert_eq!(batch_results.len(), sources.len());
+
+        // Cached: the generation-keyed LRU in front of the warm engine. The
+        // first pass fills the cache (misses, full searches); the timed
+        // second pass replays the identical workload and must be all hits —
+        // the repeated-source regime of real query traffic.
+        let mut cached_engine =
+            ProfileEngine::new().threads(threads).with_cache(sources.len().max(1));
+        for &s in &sources {
+            let _ = cached_engine.one_to_all(&net, s);
+        }
+        let t0 = Instant::now();
+        for &s in &sources {
+            let _ = cached_engine.one_to_all(&net, s);
+        }
+        let cached_total_ns = t0.elapsed().as_nanos() as f64;
+        let cache = cached_engine.cache_stats().expect("cache enabled");
+        assert!(cache.hits >= sources.len() as u64, "warm replay must hit");
 
         let n = sources.len() as f64;
         let qps = |total_ns: f64| if total_ns > 0.0 { n / (total_ns * 1e-9) } else { 0.0 };
@@ -99,6 +119,15 @@ fn main() {
             qps(batch_total_ns)
         );
         println!(
+            "  {:<10} {:>14.2} {:>12.1}   (hit rate {:.0}%, {} hits / {} misses)",
+            "cached",
+            cached_total_ns / n / 1e6,
+            qps(cached_total_ns),
+            cache.hit_rate() * 100.0,
+            cache.hits,
+            cache.misses
+        );
+        println!(
             "  thread balance (max/avg settled): {:.2}; warm-path workspace growth: {warm_growth}",
             balance(&thread_settled)
         );
@@ -107,12 +136,12 @@ fn main() {
         let mut s2s_cold_ns = Vec::new();
         for &(s, t) in &pairs {
             let t0 = Instant::now();
-            let _ = S2sEngine::new(&net).threads(threads).query(s, t);
+            let _ = S2sEngine::new().threads(threads).query(&net, s, t);
             s2s_cold_ns.push(t0.elapsed().as_nanos() as f64);
         }
-        let mut s2s_engine = S2sEngine::new(&net).threads(threads);
+        let mut s2s_engine = S2sEngine::new().threads(threads);
         let t0 = Instant::now();
-        let s2s_batch = s2s_engine.batch(&pairs);
+        let s2s_batch = s2s_engine.batch(&net, &pairs);
         let s2s_batch_ns = t0.elapsed().as_nanos() as f64;
         assert_eq!(s2s_batch.len(), pairs.len());
         let s2s_cold_total: f64 = s2s_cold_ns.iter().sum();
@@ -156,6 +185,16 @@ fn main() {
                             ("mean_ns", Json::from((batch_total_ns / n) as u64)),
                             ("qps", Json::from(qps(batch_total_ns))),
                             ("speedup_vs_cold", Json::from(batch_speedup)),
+                        ]),
+                    ),
+                    (
+                        "cached",
+                        Json::obj([
+                            ("qps", Json::from(qps(cached_total_ns))),
+                            ("hit_rate", Json::from(cache.hit_rate())),
+                            ("hits", Json::from(cache.hits)),
+                            ("misses", Json::from(cache.misses)),
+                            ("evictions", Json::from(cache.evictions)),
                         ]),
                     ),
                     ("thread_balance", Json::from(balance(&thread_settled))),

@@ -22,10 +22,14 @@
 //! Used by the `conncheck` binary (full networks) and by the tier-1
 //! integration test `tests/conncheck_fast.rs` (scaled-down fast mode).
 
-use pt_core::{StationId, Time};
+use std::sync::Arc;
+
+use pt_core::{Dur, StationId, Time, TrainId};
 use pt_spcs::{
-    label_correcting, time_query, Network, PartitionStrategy, ProfileEngine, ProfileSet, S2sEngine,
+    label_correcting, time_query, DelayUpdate, Network, PartitionStrategy, ProfileEngine,
+    ProfileSet, S2sEngine,
 };
+use pt_timetable::Recovery;
 
 /// The three partition strategies of §3.2, with display names.
 pub const STRATEGIES: [(&str, PartitionStrategy); 3] = [
@@ -72,13 +76,13 @@ pub fn cross_check(
     let mut mismatches = Vec::new();
 
     // Sequential SPCS is the reference for everything below.
-    let seqs: Vec<ProfileSet> =
-        sources.iter().map(|&s| ProfileEngine::new(net).one_to_all(s)).collect();
+    let seqs: Vec<Arc<ProfileSet>> =
+        sources.iter().map(|&s| ProfileEngine::new().one_to_all(net, s)).collect();
 
     for (&s, seq) in sources.iter().zip(&seqs) {
         let lc = label_correcting::profile_search(net, s);
         comparisons += 1;
-        if &lc.profiles != seq {
+        if lc.profiles != **seq {
             record(
                 &mut mismatches,
                 format!("{name}: label-correcting != sequential SPCS from {s}"),
@@ -86,7 +90,7 @@ pub fn cross_check(
         }
 
         // Ablation path: disabling self-pruning changes work, never results.
-        let nopruning = ProfileEngine::new(net).self_pruning(false).one_to_all(s);
+        let nopruning = ProfileEngine::new().self_pruning(false).one_to_all(net, s);
         comparisons += 1;
         if &nopruning != seq {
             record(
@@ -97,7 +101,7 @@ pub fn cross_check(
 
         for (strat_name, strat) in STRATEGIES {
             for &p in threads {
-                let par = ProfileEngine::new(net).threads(p).strategy(strat).one_to_all(s);
+                let par = ProfileEngine::new().threads(p).strategy(strat).one_to_all(net, s);
                 comparisons += 1;
                 if &par != seq {
                     record(
@@ -112,7 +116,7 @@ pub fn cross_check(
 
         // Parallel ablation: no self-pruning on the split search either.
         if let Some(&p) = threads.first() {
-            let par_nop = ProfileEngine::new(net).threads(p).self_pruning(false).one_to_all(s);
+            let par_nop = ProfileEngine::new().threads(p).self_pruning(false).one_to_all(net, s);
             comparisons += 1;
             if &par_nop != seq {
                 record(
@@ -148,7 +152,7 @@ pub fn cross_check(
     // profiles exactly, under both its across-query regime (sources >=
     // threads) and its within-query fallback.
     for &p in threads {
-        let batch = ProfileEngine::new(net).threads(p).many_to_all(sources);
+        let batch = ProfileEngine::new().threads(p).many_to_all(net, sources);
         for ((got, want), &s) in batch.iter().zip(&seqs).zip(sources) {
             comparisons += 1;
             if got != want {
@@ -174,7 +178,7 @@ pub fn cross_check(
         .collect();
     if !pairs.is_empty() {
         for &p in threads {
-            let results = S2sEngine::new(net).threads(p).batch(&pairs);
+            let results = S2sEngine::new().threads(p).batch(net, &pairs);
             for (r, &(s, t)) in results.iter().zip(&pairs) {
                 let si = sources.iter().position(|&x| x == s).expect("pair source is sampled");
                 comparisons += 1;
@@ -194,4 +198,78 @@ pub fn cross_check(
 /// Departure times exercising normal daytime plus the period wrap-around.
 pub fn standard_departures() -> Vec<Time> {
     vec![Time::hm(0, 30), Time::hm(7, 45), Time::hm(12, 0), Time::hm(23, 30)]
+}
+
+/// The fully dynamic scenario (§5.1): applies `num_delays` deterministic
+/// delays to a copy of `net` through the incremental path
+/// ([`Network::apply_delay`]), asserts the patched network is
+/// query-equivalent to a from-scratch rebuild of its timetable, and then
+/// runs the whole [`cross_check`] battery on the patched network — so the
+/// dynamic path inherits the zero-mismatch guarantee of the static one.
+///
+/// Returns the outcome plus the patched network's update counts
+/// (`patched`, `rebuilt`) for reporting.
+pub fn cross_check_after_delays(
+    name: &str,
+    net: &Network,
+    sources: &[StationId],
+    threads: &[usize],
+    departures: &[Time],
+    num_delays: usize,
+    seed: u64,
+) -> (CheckOutcome, usize, usize) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDE1A);
+    let mut patched_net = net.clone();
+    let trains = patched_net.timetable().num_trains() as u32;
+    let (mut patched, mut rebuilt) = (0usize, 0usize);
+    for _ in 0..num_delays {
+        let train = TrainId(rng.gen_range(0..trains.max(1)));
+        let from_hop = rng.gen_range(0..4u16);
+        let delay = Dur::minutes(rng.gen_range(1..90u32));
+        let recovery = if rng.gen_range(0..2u8) == 0 {
+            Recovery::None
+        } else {
+            Recovery::CatchUp { per_hop: Dur::minutes(rng.gen_range(1..20u32)) }
+        };
+        match patched_net.apply_delay(train, from_hop, delay, recovery) {
+            DelayUpdate::Unchanged => {}
+            DelayUpdate::Patched => patched += 1,
+            DelayUpdate::Rebuilt => rebuilt += 1,
+        }
+    }
+
+    let mut outcome = {
+        // The patched network must answer exactly like a fresh build of the
+        // same (patched) timetable.
+        let rebuilt_net = Network::build(patched_net.timetable());
+        let mut mismatches = Vec::new();
+        let mut comparisons = 0usize;
+        for &s in sources {
+            comparisons += 1;
+            let from_patch = ProfileEngine::new().one_to_all(&patched_net, s);
+            let from_rebuild = ProfileEngine::new().one_to_all(&rebuilt_net, s);
+            if from_patch != from_rebuild {
+                record(
+                    &mut mismatches,
+                    format!("{name}: patched network != rebuilt network from {s}"),
+                );
+            }
+        }
+        CheckOutcome {
+            network: format!("{name}+delays"),
+            sources: sources.len(),
+            comparisons,
+            mismatches,
+        }
+    };
+
+    // The full static battery on the patched network.
+    let inner = cross_check(&format!("{name}+delays"), &patched_net, sources, threads, departures);
+    outcome.comparisons += inner.comparisons;
+    outcome.mismatches.extend(inner.mismatches);
+    outcome.mismatches.truncate(MAX_REPORTED);
+    (outcome, patched, rebuilt)
 }

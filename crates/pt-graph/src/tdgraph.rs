@@ -11,8 +11,8 @@
 //!   PLF whose connection points are the departures of all trains of `ρ`
 //!   on that hop.
 
-use pt_core::{ConnId, Dur, NodeId, Period, Plf, PlfPoint, StationId, Time};
-use pt_timetable::{Routes, Timetable};
+use pt_core::{ConnId, Dur, NodeId, Period, Plf, PlfPoint, StationId, Time, TrainId};
+use pt_timetable::{DelayPatch, Routes, Timetable};
 
 /// Weight of a graph edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +44,10 @@ pub struct TdGraph {
     node_station: Vec<StationId>,
     /// For route nodes (offset by `num_stations`): `(route, stop index)`.
     route_node_info: Vec<(pt_core::RouteId, u16)>,
+    /// First route node of each route (route nodes are contiguous per
+    /// route) — the anchor [`TdGraph::repatch`] needs to find a route's
+    /// hop edges without a search.
+    route_first_node: Vec<NodeId>,
     /// For every elementary connection: the route node where it departs.
     conn_start: Vec<NodeId>,
     /// `T(S)` per station (copied out of the timetable for cache locality).
@@ -131,8 +135,61 @@ impl TdGraph {
             plfs,
             node_station,
             route_node_info,
+            route_first_node,
             conn_start,
             transfer,
+        }
+    }
+
+    /// Incrementally follows a [`Timetable::patch_delay`]: updates the
+    /// remapped `conn_start` entries and rewrites the interpolation points
+    /// of the delayed route's hop PLFs — the only edges a delay can touch.
+    /// Everything else (nodes, edge topology, transfer weights, all other
+    /// PLFs) is untouched, so a warm engine keeps its workspace sizes.
+    ///
+    /// `routes` must already be [`Routes::repatch`]ed, and the delayed
+    /// route must still pass [`Routes::route_is_fifo`] — when it does not,
+    /// the route partition itself is stale and the graph must be rebuilt
+    /// with [`TdGraph::build`] instead (a delay that makes one train
+    /// overtake another changes which trains may share route edges).
+    pub fn repatch(&mut self, tt: &Timetable, routes: &Routes, train: TrainId, patch: &DelayPatch) {
+        if !patch.changed {
+            return;
+        }
+        // conn_start entries move with their connections (the start node
+        // depends only on the connection's train and hop).
+        let saved: Vec<NodeId> =
+            patch.remapped.iter().map(|&(old, _)| self.conn_start[old.idx()]).collect();
+        for (&(_, new), node) in patch.remapped.iter().zip(saved) {
+            self.conn_start[new.idx()] = node;
+        }
+
+        // Rebuild the PLF of every hop of the delayed route.
+        let r = routes.route_of(train);
+        let info = routes.route(r);
+        let base = self.route_first_node[r.idx()].idx();
+        for hop in 0..info.num_hops() {
+            let points: Vec<PlfPoint> = info
+                .trains
+                .iter()
+                .map(|&t| {
+                    let c = tt.connection(routes.connection_at(t, hop));
+                    PlfPoint::new(c.dep, c.dur())
+                })
+                .collect();
+            let expected = points.len();
+            let plf = Plf::from_points(points, self.period);
+            debug_assert_eq!(plf.len(), expected, "repatch on a non-FIFO route");
+            let lo = self.first_edge[base + hop] as usize;
+            let hi = self.first_edge[base + hop + 1] as usize;
+            let idx = self.edges[lo..hi]
+                .iter()
+                .find_map(|e| match e.weight {
+                    EdgeWeight::Td(idx) => Some(idx),
+                    EdgeWeight::Const(_) => None,
+                })
+                .expect("route node has a time-dependent hop edge");
+            self.plfs[idx as usize] = plf;
         }
     }
 
@@ -334,6 +391,63 @@ mod tests {
             let start = g.conn_start_node(ConnId::from_idx(i));
             assert_eq!(g.station_of(start), c.from);
             assert!(!g.is_station_node(start));
+        }
+    }
+
+    #[test]
+    fn repatch_matches_full_rebuild() {
+        use pt_timetable::Recovery;
+        // Two-train route over three stations plus an unrelated line, so
+        // the patch must leave other routes' PLFs alone.
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> =
+            (0..4).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(1))).collect();
+        for h in [8, 9] {
+            b.add_simple_trip(
+                &[s[0], s[1], s[2]],
+                Time::hm(h, 0),
+                &[Dur::minutes(10), Dur::minutes(10)],
+                Dur::ZERO,
+            )
+            .unwrap();
+        }
+        b.add_simple_trip(&[s[3], s[1]], Time::hm(8, 30), &[Dur::minutes(5)], Dur::ZERO).unwrap();
+        let mut tt = b.build().unwrap();
+        let mut routes = Routes::partition(&tt);
+        let mut g = TdGraph::build(&tt, &routes);
+
+        // Delay the 08:00 train to 09:05 — it still arrives everywhere
+        // before the 09:00 train... no: 09:05 + 10 = 09:15 > 09:10? The
+        // 09:00 train arrives 09:10, so the delayed train is overtaken by
+        // departure order; use 70 min so departures AND arrivals reorder
+        // consistently (09:10 dep, 09:20 arr vs 09:00 dep, 09:10 arr).
+        let patch = tt.patch_delay(pt_core::TrainId(0), 0, Dur::minutes(70), Recovery::None);
+        assert!(patch.changed);
+        routes.repatch(&tt, &patch);
+        assert!(routes.route_is_fifo(&tt, routes.route_of(pt_core::TrainId(0))));
+        g.repatch(&tt, &routes, pt_core::TrainId(0), &patch);
+
+        let fresh_routes = Routes::partition(&tt);
+        let fresh = TdGraph::build(&tt, &fresh_routes);
+        assert_eq!(g.num_nodes(), fresh.num_nodes());
+        assert_eq!(g.num_edges(), fresh.num_edges());
+        assert_eq!(g.num_plf_points(), fresh.num_plf_points());
+        // Same connection start nodes (ids remapped identically)…
+        for i in 0..tt.num_connections() {
+            let c = ConnId::from_idx(i);
+            assert_eq!(
+                g.station_of(g.conn_start_node(c)),
+                fresh.station_of(fresh.conn_start_node(c)),
+                "conn {i}"
+            );
+        }
+        // …and identical edge evaluation everywhere.
+        for v in g.node_ids() {
+            for (e, ef) in g.edges(v).iter().zip(fresh.edges(v)) {
+                for t in [Time::hm(7, 0), Time::hm(8, 30), Time::hm(9, 7), Time::hm(23, 50)] {
+                    assert_eq!(g.eval_edge(e, t), fresh.eval_edge(ef, t), "node {v} at {t}");
+                }
+            }
         }
     }
 

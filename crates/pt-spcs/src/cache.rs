@@ -1,0 +1,260 @@
+//! Generation-keyed LRU cache over profile query results.
+//!
+//! Real query traffic repeats heavily — the same `(source)` one-to-all
+//! requests arrive again and again (commuting-demand workloads). A
+//! [`ProfileCache`] memoizes whole [`ProfileSet`]s behind `Arc`s, keyed by
+//! `(source, network epoch, timetable generation)`: a hit hands out the
+//! shared result with no search and no copy, and a delay update
+//! ([`Network::apply_delay`](crate::network::Network::apply_delay)) bumps
+//! the generation, so every stale entry simply stops matching — no explicit
+//! invalidation pass — and ages out through normal LRU pressure. The epoch
+//! ([`Network::epoch`](crate::network::Network::epoch)) is a process-unique
+//! per-instance stamp: engines are network-free, so one cached engine may
+//! legally serve several networks, and freshly built (or cloned) networks
+//! whose generations coincide must still never alias in the cache.
+//!
+//! The cache is opt-in per engine
+//! ([`ProfileEngine::with_cache`](crate::ProfileEngine::with_cache)) and
+//! fixed-capacity; eviction is least-recently-used, tracked by a logical
+//! tick. Hit/miss/eviction counts surface both per query (in
+//! [`QueryStats`](crate::QueryStats)) and cumulatively ([`CacheStats`]).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pt_core::StationId;
+
+use crate::profile_set::ProfileSet;
+
+/// Cumulative counters and occupancy of a [`ProfileCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a search.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Current number of cached profile sets.
+    pub entries: usize,
+    /// Maximum number of cached profile sets.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    set: Arc<ProfileSet>,
+    /// Logical last-use time; unique per entry (every touch bumps the
+    /// cache-wide tick), so LRU order is total and deterministic.
+    last_used: u64,
+}
+
+/// A cache key: `(source, network epoch, timetable generation)`.
+type Key = (StationId, u64, u64);
+
+/// A fixed-capacity LRU over `Arc<ProfileSet>` keyed by
+/// `(source, network epoch, timetable generation)`.
+#[derive(Debug, Clone)]
+pub struct ProfileCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<Key, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ProfileCache {
+    /// An empty cache holding at most `capacity` profile sets.
+    pub fn new(capacity: usize) -> ProfileCache {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ProfileCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up the profiles of `source` on the network identified by
+    /// `(epoch, generation)`, refreshing the entry's LRU position. Counts
+    /// a hit or a miss.
+    pub fn get(
+        &mut self,
+        source: StationId,
+        epoch: u64,
+        generation: u64,
+    ) -> Option<Arc<ProfileSet>> {
+        self.tick += 1;
+        match self.entries.get_mut(&(source, epoch, generation)) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&e.set))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result, evicting the least-recently-used entry when full.
+    /// Returns `true` iff an eviction happened. Re-inserting an existing
+    /// key replaces the value in place (no eviction).
+    pub fn insert(
+        &mut self,
+        source: StationId,
+        epoch: u64,
+        generation: u64,
+        set: Arc<ProfileSet>,
+    ) -> bool {
+        self.tick += 1;
+        let key = (source, epoch, generation);
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.set = set;
+            e.last_used = self.tick;
+            return false;
+        }
+        let mut evicted = false;
+        if self.entries.len() >= self.capacity {
+            // O(capacity) scan — capacities are small and fixed, and the
+            // unique ticks make the minimum (the LRU victim) unambiguous.
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("cache is non-empty when full");
+            self.entries.remove(&lru);
+            self.evictions += 1;
+            evicted = true;
+        }
+        self.entries.insert(key, Entry { set, last_used: self.tick });
+        evicted
+    }
+
+    /// Cumulative counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::{Period, Profile};
+
+    fn set(source: u32) -> Arc<ProfileSet> {
+        Arc::new(ProfileSet::new(
+            StationId(source),
+            Period::DAY,
+            vec![Profile::EMPTY, Profile::EMPTY],
+        ))
+    }
+
+    #[test]
+    fn hit_returns_the_shared_set() {
+        let mut c = ProfileCache::new(2);
+        let s = set(0);
+        c.insert(StationId(0), 7, 0, Arc::clone(&s));
+        let hit = c.get(StationId(0), 7, 0).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &s), "a hit must be the identical set, not a copy");
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    fn generation_bump_misses() {
+        let mut c = ProfileCache::new(4);
+        c.insert(StationId(0), 7, 0, set(0));
+        assert!(c.get(StationId(0), 7, 0).is_some());
+        // A delay bumped the generation: same source, different key.
+        assert!(c.get(StationId(0), 7, 1).is_none());
+        // Same source and generation on a *different network instance*
+        // (another epoch) must also miss: no cross-network aliasing.
+        assert!(c.get(StationId(0), 8, 0).is_none());
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses), (1, 2));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ProfileCache::new(2);
+        c.insert(StationId(0), 7, 0, set(0));
+        c.insert(StationId(1), 7, 0, set(1));
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(c.get(StationId(0), 7, 0).is_some());
+        assert!(c.insert(StationId(2), 7, 0, set(2)), "full cache must evict");
+        assert!(c.get(StationId(1), 7, 0).is_none(), "LRU entry evicted");
+        assert!(c.get(StationId(0), 7, 0).is_some(), "recently used entry kept");
+        assert!(c.get(StationId(2), 7, 0).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c = ProfileCache::new(1);
+        c.insert(StationId(0), 7, 0, set(0));
+        assert!(!c.insert(StationId(0), 7, 0, set(0)));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn stats_and_hit_rate() {
+        let mut c = ProfileCache::new(2);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        c.insert(StationId(0), 7, 0, set(0));
+        let _ = c.get(StationId(0), 7, 0);
+        let _ = c.get(StationId(1), 7, 0);
+        let st = c.stats();
+        assert_eq!((st.hits, st.misses, st.entries, st.capacity), (1, 1, 1, 2));
+        assert!((st.hit_rate() - 0.5).abs() < 1e-12);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1, "clear keeps counters");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = ProfileCache::new(0);
+    }
+}

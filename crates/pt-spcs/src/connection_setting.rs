@@ -18,8 +18,11 @@
 //! All per-query state lives in a reusable [`SearchWorkspace`]; a warm
 //! engine answers a query without any full-size allocation.
 
+use std::sync::Arc;
+
 use pt_core::{NodeId, Period, Profile, ProfilePoint, StationId, Time, INFINITY};
 
+use crate::cache::{CacheStats, ProfileCache};
 use crate::network::Network;
 use crate::parallel::{self, OneToAllResult};
 use crate::partition::PartitionStrategy;
@@ -32,14 +35,22 @@ use crate::workspace::SearchWorkspace;
 /// pruned pair is never re-settled.
 pub(crate) const PRUNED: Time = Time(u32::MAX - 1);
 
-/// One-to-all profile searches over a fixed network.
+/// One-to-all profile search engine.
 ///
-/// The engine is **persistent**: it owns one [`SearchWorkspace`] per
-/// worker, created lazily on the first query and reused for the engine's
-/// lifetime; parallel work runs on the process-global persistent pool
+/// The engine is **persistent** and **network-free**: it owns one
+/// [`SearchWorkspace`] per worker, created lazily on the first query and
+/// reused for the engine's lifetime, while every query takes the network by
+/// reference. Parallel work runs on the process-global persistent pool
 /// ([`rayon::global`]), so no threads are ever spawned per query. Build the
 /// engine once and stream queries through it — repeated queries run
-/// allocation-free once warm.
+/// allocation-free once warm, and the workspaces survive
+/// [`Network::apply_delay`] updates between queries (the fully dynamic
+/// scenario: a `Patched` update keeps every workspace size).
+///
+/// With [`ProfileEngine::with_cache`], results are memoized behind `Arc`s
+/// keyed by `(source, network epoch, generation)`; a repeat query on an
+/// unchanged network returns the identical [`ProfileSet`] without running
+/// a search, and a delay update invalidates by bumping the generation.
 ///
 /// Builder-style configuration:
 ///
@@ -53,30 +64,37 @@ pub(crate) const PRUNED: Time = Time(u32::MAX - 1);
 /// # b.add_simple_trip(&[a, t], Time::hm(8, 0), &[Dur::minutes(30)], Dur::ZERO).unwrap();
 /// # let net = Network::new(b.build().unwrap());
 /// # let source = a;
-/// let mut engine = ProfileEngine::new(&net).threads(4);
-/// let profiles = engine.one_to_all(source);
+/// let mut engine = ProfileEngine::new().threads(4).with_cache(128);
+/// let profiles = engine.one_to_all(&net, source);
 /// assert!(!profiles.profile(t).eval_arr(Time::hm(7, 0), Period::DAY).is_infinite());
 /// ```
 #[derive(Debug, Clone)]
-pub struct ProfileEngine<'a> {
-    net: &'a Network,
+pub struct ProfileEngine {
     threads: usize,
     strategy: PartitionStrategy,
     self_pruning: bool,
     /// One workspace per worker, created lazily.
     workspaces: Vec<SearchWorkspace>,
+    /// Opt-in generation-keyed result cache.
+    cache: Option<ProfileCache>,
 }
 
-impl<'a> ProfileEngine<'a> {
-    /// A single-threaded engine with self-pruning and the paper's default
-    /// *equal number of connections* partition.
-    pub fn new(net: &'a Network) -> Self {
+impl Default for ProfileEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProfileEngine {
+    /// A single-threaded engine with self-pruning, the paper's default
+    /// *equal number of connections* partition and no result cache.
+    pub fn new() -> Self {
         ProfileEngine {
-            net,
             threads: 1,
             strategy: PartitionStrategy::EqualConnections,
             self_pruning: true,
             workspaces: Vec::new(),
+            cache: None,
         }
     }
 
@@ -99,9 +117,19 @@ impl<'a> ProfileEngine<'a> {
         self
     }
 
-    /// The network this engine queries.
-    pub fn network(&self) -> &'a Network {
-        self.net
+    /// Enables the generation-keyed LRU result cache, holding at most
+    /// `capacity` profile sets. Keys include the network's process-unique
+    /// epoch and its timetable generation, so [`Network::apply_delay`]
+    /// invalidates every stale entry for free and results can never alias
+    /// across distinct networks served by one engine.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(ProfileCache::new(capacity));
+        self
+    }
+
+    /// Cumulative cache counters; `None` without [`ProfileEngine::with_cache`].
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(ProfileCache::stats)
     }
 
     /// Total backing-array growth events over all workspaces. Constant
@@ -120,16 +148,36 @@ impl<'a> ProfileEngine<'a> {
     }
 
     /// Runs a one-to-all profile search from `source`.
-    pub fn one_to_all(&mut self, source: StationId) -> ProfileSet {
-        self.one_to_all_with_stats(source).profiles
+    pub fn one_to_all(&mut self, net: &Network, source: StationId) -> Arc<ProfileSet> {
+        self.one_to_all_with_stats(net, source).profiles
     }
 
     /// Like [`ProfileEngine::one_to_all`], also returning operation counts
-    /// and the per-thread balance.
-    pub fn one_to_all_with_stats(&mut self, source: StationId) -> OneToAllResult {
+    /// and the per-thread balance. A cache hit reports `cache_hits = 1` and
+    /// zero search work.
+    pub fn one_to_all_with_stats(&mut self, net: &Network, source: StationId) -> OneToAllResult {
+        let (epoch, generation) = (net.epoch(), net.generation());
+        if let Some(cache) = &mut self.cache {
+            if let Some(profiles) = cache.get(source, epoch, generation) {
+                let stats = QueryStats { cache_hits: 1, ..QueryStats::default() };
+                return OneToAllResult { profiles, stats, thread_settled: Vec::new() };
+            }
+        }
+        let mut r = self.search_one_to_all(net, source);
+        if let Some(cache) = &mut self.cache {
+            r.stats.cache_misses = 1;
+            if cache.insert(source, epoch, generation, Arc::clone(&r.profiles)) {
+                r.stats.cache_evictions = 1;
+            }
+        }
+        r
+    }
+
+    /// The uncached search backend of the one-to-all paths.
+    fn search_one_to_all(&mut self, net: &Network, source: StationId) -> OneToAllResult {
         self.ensure_workers();
         parallel::one_to_all(
-            self.net,
+            net,
             source,
             self.threads,
             self.strategy,
@@ -140,37 +188,106 @@ impl<'a> ProfileEngine<'a> {
 
     /// Batch one-to-all: profiles from every source in `sources`.
     ///
-    /// With `p` threads and at least `p` sources this parallelizes *across*
-    /// queries — each worker answers whole sources from a shared work queue
-    /// on its own workspace, executing the `conn(S)` partition as `p`
-    /// *blocked* sequential searches (same per-class label sizes as the
-    /// split search, no merge barrier, no cross-worker coordination).
-    /// Results are identical to per-source [`ProfileEngine::one_to_all`]
-    /// calls, and this is the throughput-optimal way to answer many
-    /// independent queries (the regime of the ROADMAP's query streams and
-    /// of [`DistanceTable::build`](crate::DistanceTable::build)). With
-    /// fewer sources than threads it falls back to within-query
-    /// parallelism, one source at a time.
-    pub fn many_to_all(&mut self, sources: &[StationId]) -> Vec<ProfileSet> {
-        self.many_to_all_with_stats(sources).into_iter().map(|r| r.profiles).collect()
+    /// With `p` threads and at least `p` (uncached) sources this
+    /// parallelizes *across* queries — each worker answers whole sources
+    /// from a shared work queue on its own workspace, executing the
+    /// `conn(S)` partition as `p` *blocked* sequential searches (same
+    /// per-class label sizes as the split search, no merge barrier, no
+    /// cross-worker coordination). Results are identical to per-source
+    /// [`ProfileEngine::one_to_all`] calls, and this is the
+    /// throughput-optimal way to answer many independent queries (the
+    /// regime of the ROADMAP's query streams and of
+    /// [`DistanceTable::build`](crate::DistanceTable::build)). With fewer
+    /// sources than threads it falls back to within-query parallelism, one
+    /// source at a time. When the cache is enabled, hits are resolved up
+    /// front and only the misses are searched.
+    pub fn many_to_all(&mut self, net: &Network, sources: &[StationId]) -> Vec<Arc<ProfileSet>> {
+        self.many_to_all_with_stats(net, sources).into_iter().map(|r| r.profiles).collect()
     }
 
     /// Like [`ProfileEngine::many_to_all`], returning full per-query
     /// results.
-    pub fn many_to_all_with_stats(&mut self, sources: &[StationId]) -> Vec<OneToAllResult> {
+    pub fn many_to_all_with_stats(
+        &mut self,
+        net: &Network,
+        sources: &[StationId],
+    ) -> Vec<OneToAllResult> {
         self.ensure_workers();
-        if self.threads > 1 && sources.len() >= self.threads {
-            parallel::many_to_all_across(
-                self.net,
-                sources,
-                self.threads,
-                self.strategy,
-                self.self_pruning,
-                &mut self.workspaces[..self.threads],
-            )
+        let (epoch, generation) = (net.epoch(), net.generation());
+
+        // Resolve cache hits up front; only the misses hit the pool. With
+        // the cache on, misses are also deduplicated — a source repeated
+        // within one batch (the regime the cache targets) is searched once
+        // and fanned out, its duplicates counting as hits.
+        let mut out: Vec<Option<OneToAllResult>> = sources.iter().map(|_| None).collect();
+        let mut miss: Vec<usize> = Vec::new();
+        if let Some(cache) = &mut self.cache {
+            let mut searching: Vec<StationId> = Vec::new();
+            for (i, &s) in sources.iter().enumerate() {
+                if searching.contains(&s) {
+                    continue; // duplicate of an in-batch miss: resolve below
+                }
+                match cache.get(s, epoch, generation) {
+                    Some(profiles) => {
+                        let stats = QueryStats { cache_hits: 1, ..QueryStats::default() };
+                        out[i] =
+                            Some(OneToAllResult { profiles, stats, thread_settled: Vec::new() });
+                    }
+                    None => {
+                        miss.push(i);
+                        searching.push(s);
+                    }
+                }
+            }
         } else {
-            sources.iter().map(|&s| self.one_to_all_with_stats(s)).collect()
+            miss.extend(0..sources.len());
         }
+
+        let miss_sources: Vec<StationId> = miss.iter().map(|&i| sources[i]).collect();
+        let computed: Vec<OneToAllResult> =
+            if self.threads > 1 && miss_sources.len() >= self.threads {
+                parallel::many_to_all_across(
+                    net,
+                    &miss_sources,
+                    self.threads,
+                    self.strategy,
+                    self.self_pruning,
+                    &mut self.workspaces[..self.threads],
+                )
+            } else {
+                miss_sources.iter().map(|&s| self.search_one_to_all(net, s)).collect()
+            };
+
+        let mut searched: Vec<(StationId, Arc<ProfileSet>)> = Vec::new();
+        for (&i, mut r) in miss.iter().zip(computed) {
+            if let Some(cache) = &mut self.cache {
+                r.stats.cache_misses = 1;
+                if cache.insert(sources[i], epoch, generation, Arc::clone(&r.profiles)) {
+                    r.stats.cache_evictions = 1;
+                }
+                searched.push((sources[i], Arc::clone(&r.profiles)));
+            }
+            out[i] = Some(r);
+        }
+        if let Some(cache) = &mut self.cache {
+            // Duplicates skipped above: serve them from the cache (counting
+            // a hit), or — if a smaller-than-batch cache already evicted the
+            // entry — from the batch's own results.
+            for (i, &s) in sources.iter().enumerate() {
+                if out[i].is_none() {
+                    let profiles = cache.get(s, epoch, generation).unwrap_or_else(|| {
+                        let (_, set) = searched
+                            .iter()
+                            .find(|(src, _)| *src == s)
+                            .expect("every duplicate shadows an in-batch search");
+                        Arc::clone(set)
+                    });
+                    let stats = QueryStats { cache_hits: 1, ..QueryStats::default() };
+                    out[i] = Some(OneToAllResult { profiles, stats, thread_settled: Vec::new() });
+                }
+            }
+        }
+        out.into_iter().map(|r| r.expect("every source resolved")).collect()
     }
 }
 
@@ -336,8 +453,8 @@ mod tests {
     #[test]
     fn profile_has_one_point_per_useful_departure() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new(&net);
-        let prof = engine.one_to_all(s[0]);
+        let mut engine = ProfileEngine::new();
+        let prof = engine.one_to_all(&net, s[0]);
         let to_b = prof.profile(s[1]);
         // Five line departures, each useful for reaching B.
         assert_eq!(to_b.len(), 5);
@@ -347,8 +464,8 @@ mod tests {
     #[test]
     fn dominated_detour_is_reduced_away() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new(&net);
-        let prof = engine.one_to_all(s[0]);
+        let mut engine = ProfileEngine::new();
+        let prof = engine.one_to_all(&net, s[0]);
         let to_c = prof.profile(s[2]);
         // The 07:45 detour arrives at C at 08:45; the 08:00 direct arrives
         // 08:20 — the detour departure is dominated and must be gone.
@@ -363,8 +480,8 @@ mod tests {
     #[test]
     fn profile_matches_time_queries_at_every_departure() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new(&net);
-        let prof = engine.one_to_all(s[0]);
+        let mut engine = ProfileEngine::new();
+        let prof = engine.one_to_all(&net, s[0]);
         for tau in [Time::hm(7, 0), Time::hm(7, 45), Time::hm(8, 1), Time::hm(9, 55)] {
             for &target in &s[1..] {
                 let want = crate::time_query::earliest_arrival(&net, s[0], tau, target);
@@ -377,8 +494,8 @@ mod tests {
     #[test]
     fn self_pruning_reduces_work_but_not_results() {
         let (net, s) = net();
-        let with = ProfileEngine::new(&net).one_to_all_with_stats(s[0]);
-        let without = ProfileEngine::new(&net).self_pruning(false).one_to_all_with_stats(s[0]);
+        let with = ProfileEngine::new().one_to_all_with_stats(&net, s[0]);
+        let without = ProfileEngine::new().self_pruning(false).one_to_all_with_stats(&net, s[0]);
         assert_eq!(with.profiles, without.profiles);
         assert!(with.stats.relaxed <= without.stats.relaxed);
         assert!(with.stats.self_pruned > 0);
@@ -387,7 +504,7 @@ mod tests {
     #[test]
     fn source_profile_is_trivial() {
         let (net, s) = net();
-        let prof = ProfileEngine::new(&net).one_to_all(s[0]);
+        let prof = ProfileEngine::new().one_to_all(&net, s[0]);
         // Every point of the source profile departs and arrives at the same
         // time (you are already there).
         for p in prof.profile(s[0]).points() {
@@ -398,14 +515,14 @@ mod tests {
     #[test]
     fn warm_engine_answers_queries_without_allocating() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new(&net);
-        let first = engine.one_to_all(s[0]);
+        let mut engine = ProfileEngine::new();
+        let first = engine.one_to_all(&net, s[0]);
         let warm_grows = engine.workspace_grow_events();
         assert!(warm_grows > 0, "the first query must have sized the workspace");
         // Ten more queries from the same source: identical results, zero
         // further backing-array growth — the workspace-reuse guarantee.
         for _ in 0..10 {
-            let again = engine.one_to_all(s[0]);
+            let again = engine.one_to_all(&net, s[0]);
             assert_eq!(again, first);
         }
         assert_eq!(engine.workspace_grow_events(), warm_grows);
@@ -414,12 +531,12 @@ mod tests {
     #[test]
     fn engine_reuse_across_different_sources_is_consistent() {
         let (net, s) = net();
-        let mut reused = ProfileEngine::new(&net).threads(2);
+        let mut reused = ProfileEngine::new().threads(2);
         // Interleave sources so stale labels of one query would corrupt the
         // next if the epoch clearing were wrong.
         for &src in &[s[0], s[3], s[0], s[1], s[0]] {
-            let fresh = ProfileEngine::new(&net).threads(2).one_to_all(src);
-            assert_eq!(reused.one_to_all(src), fresh, "source {src}");
+            let fresh = ProfileEngine::new().threads(2).one_to_all(&net, src);
+            assert_eq!(reused.one_to_all(&net, src), fresh, "source {src}");
         }
     }
 
@@ -427,13 +544,122 @@ mod tests {
     fn many_to_all_matches_individual_queries() {
         let (net, s) = net();
         let sources: Vec<StationId> = vec![s[0], s[1], s[3], s[0]];
-        let individual: Vec<ProfileSet> =
-            sources.iter().map(|&src| ProfileEngine::new(&net).one_to_all(src)).collect();
+        let individual: Vec<Arc<ProfileSet>> =
+            sources.iter().map(|&src| ProfileEngine::new().one_to_all(&net, src)).collect();
         // Across-query parallelism (sources >= threads)...
-        let batch = ProfileEngine::new(&net).threads(2).many_to_all(&sources);
+        let batch = ProfileEngine::new().threads(2).many_to_all(&net, &sources);
         assert_eq!(batch, individual);
         // ...and the within-query fallback (sources < threads).
-        let few = ProfileEngine::new(&net).threads(8).many_to_all(&sources[..1]);
+        let few = ProfileEngine::new().threads(8).many_to_all(&net, &sources[..1]);
         assert_eq!(few[0], individual[0]);
+    }
+
+    #[test]
+    fn cache_hits_skip_the_search_and_share_the_set() {
+        let (net, s) = net();
+        let mut engine = ProfileEngine::new().with_cache(8);
+        let first = engine.one_to_all_with_stats(&net, s[0]);
+        assert_eq!((first.stats.cache_hits, first.stats.cache_misses), (0, 1));
+        assert!(first.stats.settled > 0);
+        let again = engine.one_to_all_with_stats(&net, s[0]);
+        // No search ran: zero settled/relaxed, one hit, the identical set.
+        assert_eq!(again.stats.settled, 0);
+        assert_eq!((again.stats.cache_hits, again.stats.cache_misses), (1, 0));
+        assert!(Arc::ptr_eq(&again.profiles, &first.profiles));
+        let cs = engine.cache_stats().expect("cache enabled");
+        assert_eq!((cs.hits, cs.misses, cs.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn delay_bumps_generation_and_invalidates_cache() {
+        use pt_core::TrainId;
+        use pt_timetable::Recovery;
+        let (mut net, s) = net();
+        let mut engine = ProfileEngine::new().with_cache(8);
+        let before = engine.one_to_all(&net, s[0]);
+        let g0 = net.generation();
+        assert_ne!(
+            net.apply_delay(TrainId(0), 0, Dur::minutes(7), Recovery::None),
+            crate::network::DelayUpdate::Unchanged
+        );
+        assert!(net.generation() > g0);
+        // Same source, new generation: the stale entry cannot match.
+        let after = engine.one_to_all_with_stats(&net, s[0]);
+        assert_eq!(after.stats.cache_misses, 1);
+        assert_ne!(&after.profiles, &before, "the delay must change the profiles");
+        // The fresh result matches an uncached engine on the patched net.
+        assert_eq!(after.profiles, ProfileEngine::new().one_to_all(&net, s[0]));
+    }
+
+    #[test]
+    fn many_to_all_resolves_hits_and_searches_misses() {
+        let (net, s) = net();
+        let mut engine = ProfileEngine::new().with_cache(8);
+        let _ = engine.one_to_all(&net, s[0]);
+        let results = engine.many_to_all_with_stats(&net, &[s[0], s[1], s[0]]);
+        assert_eq!(results[0].stats.cache_hits, 1);
+        assert_eq!(results[1].stats.cache_misses, 1);
+        assert_eq!(results[2].stats.cache_hits, 1, "duplicate source hits within the batch");
+        for (r, &src) in results.iter().zip(&[s[0], s[1], s[0]]) {
+            assert_eq!(r.profiles, ProfileEngine::new().one_to_all(&net, src));
+        }
+    }
+
+    #[test]
+    fn cache_never_aliases_across_networks() {
+        // Engines are network-free: one cached engine may serve several
+        // networks. Distinct networks share generation 0, so the key's
+        // epoch component must keep their entries apart.
+        let make = |leg_min: u32| {
+            let mut b = pt_timetable::TimetableBuilder::new(Period::DAY);
+            let a = b.add_named_station("A", Dur::minutes(2));
+            let t = b.add_named_station("T", Dur::minutes(2));
+            b.add_simple_trip(&[a, t], Time::hm(8, 0), &[Dur::minutes(leg_min)], Dur::ZERO)
+                .unwrap();
+            (Network::new(b.build().unwrap()), a, t)
+        };
+        let (net1, a, t) = make(30);
+        let (net2, _, _) = make(60);
+        assert_ne!(net1.epoch(), net2.epoch());
+        assert_ne!(net1.epoch(), net1.clone().epoch(), "clones get fresh epochs");
+        let mut engine = ProfileEngine::new().with_cache(8);
+        let on1 = engine.one_to_all(&net1, a);
+        let on2 = engine.one_to_all(&net2, a);
+        assert_eq!(on1.profile(t).points()[0].arr, Time::hm(8, 30));
+        assert_eq!(on2.profile(t).points()[0].arr, Time::hm(9, 0), "stale cross-network hit");
+    }
+
+    #[test]
+    fn many_to_all_dedupes_in_batch_duplicate_misses() {
+        let (net, s) = net();
+        let mut engine = ProfileEngine::new().with_cache(8);
+        // Cold cache, duplicated source: exactly one search may run.
+        let results = engine.many_to_all_with_stats(&net, &[s[0], s[0], s[0]]);
+        assert_eq!(results[0].stats.cache_misses, 1);
+        assert!(results[0].stats.settled > 0);
+        for r in &results[1..] {
+            assert_eq!(r.stats.cache_hits, 1, "duplicates resolve without a search");
+            assert_eq!(r.stats.settled, 0);
+            assert_eq!(r.profiles, results[0].profiles);
+        }
+        let cs = engine.cache_stats().unwrap();
+        assert_eq!(cs.entries, 1);
+        // Tiny cache + duplicates: evicted in-batch entries still resolve.
+        let mut small = ProfileEngine::new().with_cache(1);
+        let many = small.many_to_all_with_stats(&net, &[s[0], s[1], s[0], s[1]]);
+        for (r, &src) in many.iter().zip(&[s[0], s[1], s[0], s[1]]) {
+            assert_eq!(r.profiles, ProfileEngine::new().one_to_all(&net, src));
+        }
+    }
+
+    #[test]
+    fn cache_eviction_is_reported_in_query_stats() {
+        let (net, s) = net();
+        let mut engine = ProfileEngine::new().with_cache(1);
+        let _ = engine.one_to_all(&net, s[0]);
+        let r = engine.one_to_all_with_stats(&net, s[1]);
+        assert_eq!(r.stats.cache_evictions, 1, "capacity-1 cache must evict");
+        let cs = engine.cache_stats().unwrap();
+        assert_eq!((cs.evictions, cs.entries, cs.capacity), (1, 1, 1));
     }
 }

@@ -20,6 +20,14 @@ use crate::network::Network;
 use crate::transfer_selection::TransferSelection;
 
 /// A full profile table between transfer stations.
+///
+/// The table is a snapshot of the network it was built from: after a
+/// [`Network::apply_delay`](crate::network::Network::apply_delay) its
+/// profiles are stale and pruning with it is unsound — rebuild it, or drop
+/// it and let queries fall back to the stopping criterion. The table
+/// records the `(epoch, generation)` of the network it was built from, and
+/// [`S2sEngine`](crate::S2sEngine) refuses (panics) to prune with a table
+/// whose stamp does not match the queried network.
 #[derive(Debug, Clone)]
 pub struct DistanceTable {
     period: Period,
@@ -31,6 +39,8 @@ pub struct DistanceTable {
     profiles: Vec<Profile>,
     /// Wall-clock preprocessing time.
     build_time: std::time::Duration,
+    /// `(Network::epoch, Network::generation)` at build time.
+    built_for: (u64, u64),
 }
 
 impl DistanceTable {
@@ -52,14 +62,36 @@ impl DistanceTable {
 
         // One sequential SPCS per source, sources batched over the pool.
         let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let mut engine = ProfileEngine::new(net).threads(workers);
-        let sets = engine.many_to_all(&stations);
+        let mut engine = ProfileEngine::new().threads(workers);
+        let sets = engine.many_to_all(net, &stations);
 
         let mut profiles = Vec::with_capacity(n * n);
         for set in &sets {
             profiles.extend(stations.iter().map(|&dst| set.profile(dst).clone()));
         }
-        DistanceTable { period, stations, index, profiles, build_time: start.elapsed() }
+        DistanceTable {
+            period,
+            stations,
+            index,
+            profiles,
+            build_time: start.elapsed(),
+            built_for: (net.epoch(), net.generation()),
+        }
+    }
+
+    /// Panics unless this table was built from exactly this network state
+    /// (same [`Network::epoch`](Network::epoch) and generation). Called by
+    /// the s2s engine before every table-pruned query: a stale table would
+    /// silently produce wrong arrivals, a panic makes the bug loud.
+    pub fn assert_fresh(&self, net: &Network) {
+        assert_eq!(
+            self.built_for,
+            (net.epoch(), net.generation()),
+            "stale distance table: built for network (epoch, generation) {:?}, queried \
+             against {:?} — rebuild (or drop) distance tables after delay updates",
+            self.built_for,
+            (net.epoch(), net.generation())
+        );
     }
 
     /// Number of transfer stations.
@@ -148,7 +180,7 @@ mod tests {
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
         assert!(!table.is_empty());
         for &a in table.stations().iter().take(3) {
-            let set = ProfileEngine::new(&net).one_to_all(a);
+            let set = ProfileEngine::new().one_to_all(&net, a);
             for &b in table.stations() {
                 assert_eq!(table.profile(a, b), set.profile(b), "{a}→{b}");
             }

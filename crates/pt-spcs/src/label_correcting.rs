@@ -115,8 +115,8 @@ mod tests {
         }
         let net = Network::new(b.build().unwrap());
         let lc = profile_search(&net, s[0]);
-        let cs = ProfileEngine::new(&net).one_to_all(s[0]);
-        assert_eq!(lc.profiles, cs);
+        let cs = ProfileEngine::new().one_to_all(&net, s[0]);
+        assert_eq!(lc.profiles, *cs);
     }
 
     #[test]
@@ -125,8 +125,8 @@ mod tests {
         for src in [0u32, 5, 17] {
             let s = StationId(src);
             let lc = profile_search(&net, s);
-            let cs = ProfileEngine::new(&net).threads(3).one_to_all(s);
-            assert_eq!(lc.profiles, cs, "source {s}");
+            let cs = ProfileEngine::new().threads(3).one_to_all(&net, s);
+            assert_eq!(lc.profiles, *cs, "source {s}");
         }
     }
 
@@ -135,7 +135,7 @@ mod tests {
         let net = Network::new(generate_city(&CityConfig::sized(30, 4, 23)));
         let s = StationId(2);
         let lc = profile_search(&net, s);
-        let cs = ProfileEngine::new(&net).one_to_all_with_stats(s);
+        let cs = ProfileEngine::new().one_to_all_with_stats(&net, s);
         // The paper's headline observation (Table 1): LC moves an order of
         // magnitude more connections through the queue.
         assert!(

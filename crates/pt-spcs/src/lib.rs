@@ -15,6 +15,9 @@
 //!   distance-table pruning via `via(T)`, target pruning,
 //! * [`workspace`] — persistent, epoch-stamped per-worker search state;
 //!   engines reuse it so the repeated-query hot path allocates nothing,
+//! * [`cache`] — the generation-keyed LRU over shared profile sets behind
+//!   [`ProfileEngine::with_cache`]; delay updates
+//!   ([`Network::apply_delay`]) invalidate it by bumping the generation,
 //! * [`distance_table`] — precomputed full profile tables between transfer
 //!   stations,
 //! * [`transfer_selection`] / [`contraction`] — choosing the transfer
@@ -22,6 +25,7 @@
 //! * [`multicriteria`] — the paper's future-work extension: Pareto
 //!   (arrival, transfers) time-queries.
 
+pub mod cache;
 pub mod connection_setting;
 pub mod contraction;
 pub mod distance_table;
@@ -38,10 +42,11 @@ pub mod time_query;
 pub mod transfer_selection;
 pub mod workspace;
 
+pub use cache::{CacheStats, ProfileCache};
 pub use connection_setting::ProfileEngine;
 pub use distance_table::DistanceTable;
 pub use journey::{earliest_journey, Journey, Leg};
-pub use network::Network;
+pub use network::{DelayUpdate, Network};
 pub use parallel::OneToAllResult;
 pub use partition::PartitionStrategy;
 pub use profile_set::ProfileSet;

@@ -1,18 +1,62 @@
 //! Bundled search structures of one transportation network.
 
-use pt_core::StationId;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pt_core::{Dur, StationId, TrainId};
 use pt_graph::{StationGraph, TdGraph};
-use pt_timetable::{Routes, Timetable};
+use pt_timetable::{Recovery, Routes, Timetable};
+
+/// Source of process-unique [`Network::epoch`] stamps.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// How [`Network::apply_delay`] serviced an update — the fully dynamic
+/// scenario of the paper (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayUpdate {
+    /// The delay matched no connection (or was fully absorbed by the
+    /// recovery): nothing changed, the generation did not move.
+    Unchanged,
+    /// The fast path: the timetable was patched in place and only the
+    /// delayed route's PLFs were rewritten ([`TdGraph::repatch`]). Node and
+    /// edge counts are untouched, so warm engine workspaces stay sized.
+    Patched,
+    /// The delay made the route partition stale (a train now overtakes a
+    /// companion on its route, or departures collide): routes and
+    /// time-dependent graph were rebuilt from the patched timetable.
+    Rebuilt,
+}
 
 /// A timetable together with every derived structure the searches need:
 /// the route partition, the realistic time-dependent graph and the station
-/// graph. Build it once, query it many times; all queries take `&Network`.
-#[derive(Debug, Clone)]
+/// graph. Build it once, query it many times; all queries take `&Network`,
+/// and [`Network::apply_delay`] mutates it in place between queries.
+#[derive(Debug)]
 pub struct Network {
     timetable: Timetable,
     routes: Routes,
     graph: TdGraph,
     stations: StationGraph,
+    /// Process-unique instance stamp (fresh on construction *and* on
+    /// clone): two distinct `Network` values never share an epoch, even
+    /// when their timetable generations coincide. Caches key on
+    /// `(epoch, generation)` so a network-free engine queried against
+    /// several networks can never serve a result across them.
+    epoch: u64,
+}
+
+impl Clone for Network {
+    /// Clones every structure but stamps a fresh [`Network::epoch`]: the
+    /// clone can be mutated independently, so cached results must not
+    /// alias between original and copy.
+    fn clone(&self) -> Network {
+        Network {
+            timetable: self.timetable.clone(),
+            routes: self.routes.clone(),
+            graph: self.graph.clone(),
+            stations: self.stations.clone(),
+            epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+        }
+    }
 }
 
 impl Network {
@@ -21,12 +65,65 @@ impl Network {
         let routes = Routes::partition(&timetable);
         let graph = TdGraph::build(&timetable, &routes);
         let stations = StationGraph::build(&timetable);
-        Network { timetable, routes, graph, stations }
+        let epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
+        Network { timetable, routes, graph, stations, epoch }
     }
 
     /// Like [`Network::new`], borrowing the timetable (clones it).
     pub fn build(timetable: &Timetable) -> Network {
         Self::new(timetable.clone())
+    }
+
+    /// Applies a delay to the live network: `train` runs `delay` late from
+    /// its `from_hop`-th hop onward, recovering per [`Recovery`]. The
+    /// timetable is patched in place ([`Timetable::patch_delay`]) and the
+    /// derived structures follow incrementally where possible:
+    ///
+    /// * [`Routes`] rewrite their remapped connection ids,
+    /// * if the delayed route is still FIFO, [`TdGraph::repatch`] rewrites
+    ///   only the route's hop PLFs ([`DelayUpdate::Patched`]); otherwise
+    ///   routes and graph are rebuilt ([`DelayUpdate::Rebuilt`]),
+    /// * the station graph is invariant (delays shift times, never
+    ///   durations or the edge set) and is always kept.
+    ///
+    /// Every change bumps [`Network::generation`], invalidating
+    /// generation-keyed caches. Precomputed [`crate::DistanceTable`]s are
+    /// *not* managed here — rebuild or drop them after a delay.
+    pub fn apply_delay(
+        &mut self,
+        train: TrainId,
+        from_hop: u16,
+        delay: Dur,
+        recovery: Recovery,
+    ) -> DelayUpdate {
+        let patch = self.timetable.patch_delay(train, from_hop, delay, recovery);
+        if !patch.changed {
+            return DelayUpdate::Unchanged;
+        }
+        self.routes.repatch(&self.timetable, &patch);
+        if self.routes.route_is_fifo(&self.timetable, self.routes.route_of(train)) {
+            self.graph.repatch(&self.timetable, &self.routes, train, &patch);
+            DelayUpdate::Patched
+        } else {
+            self.routes = Routes::partition(&self.timetable);
+            self.graph = TdGraph::build(&self.timetable, &self.routes);
+            DelayUpdate::Rebuilt
+        }
+    }
+
+    /// The timetable's update generation (see [`Timetable::generation`]).
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.timetable.generation()
+    }
+
+    /// The process-unique instance stamp of this network. Combined with
+    /// [`Network::generation`] it identifies exactly one network state:
+    /// construction and [`Clone`] both assign a fresh epoch, mutation bumps
+    /// the generation.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The underlying timetable.

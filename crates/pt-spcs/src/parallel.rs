@@ -18,7 +18,7 @@
 //! single-worker search (`one_to_all_blocked`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use pt_core::StationId;
@@ -33,8 +33,9 @@ use crate::workspace::SearchWorkspace;
 /// Result of a one-to-all profile query.
 #[derive(Debug, Clone)]
 pub struct OneToAllResult {
-    /// Reduced profiles to every station.
-    pub profiles: ProfileSet,
+    /// Reduced profiles to every station, shared so result caches can hand
+    /// out the same set without copying.
+    pub profiles: Arc<ProfileSet>,
     /// Operation counts, summed over threads (the paper's convention).
     pub stats: QueryStats,
     /// Settled-element count per thread — the balance diagnostic behind the
@@ -135,7 +136,11 @@ pub(crate) fn one_to_all(
         profiles.push(connection_setting::reduce_station_profile(points, period));
     }
     stats.merge_ns = merge_start.elapsed().as_nanos() as u64;
-    OneToAllResult { profiles: ProfileSet::new(source, period, profiles), stats, thread_settled }
+    OneToAllResult {
+        profiles: Arc::new(ProfileSet::new(source, period, profiles)),
+        stats,
+        thread_settled,
+    }
 }
 
 /// One-to-all answered entirely by **one** worker, but with the `conn(S)`
@@ -186,7 +191,11 @@ pub(crate) fn one_to_all_blocked(
         profiles.push(connection_setting::reduce_station_profile(points, period));
     }
     stats.merge_ns = merge_start.elapsed().as_nanos() as u64;
-    OneToAllResult { profiles: ProfileSet::new(source, period, profiles), stats, thread_settled }
+    OneToAllResult {
+        profiles: Arc::new(ProfileSet::new(source, period, profiles)),
+        stats,
+        thread_settled,
+    }
 }
 
 /// The second parallelization level: distributes whole one-to-all queries
@@ -225,9 +234,9 @@ mod tests {
         let net = small_city();
         let sources = [StationId(0), StationId(7), StationId(20)];
         for &s in &sources {
-            let seq = ProfileEngine::new(&net).one_to_all(s);
+            let seq = ProfileEngine::new().one_to_all(&net, s);
             for p in [2, 3, 4, 8] {
-                let par = ProfileEngine::new(&net).threads(p).one_to_all(s);
+                let par = ProfileEngine::new().threads(p).one_to_all(&net, s);
                 assert_eq!(seq, par, "source {s}, {p} threads");
             }
         }
@@ -237,13 +246,13 @@ mod tests {
     fn all_strategies_agree_on_results() {
         let net = small_city();
         let s = StationId(3);
-        let base = ProfileEngine::new(&net).one_to_all(s);
+        let base = ProfileEngine::new().one_to_all(&net, s);
         for strat in [
             PartitionStrategy::EqualTimeSlots,
             PartitionStrategy::EqualConnections,
             PartitionStrategy::KMeans { iters: 10 },
         ] {
-            let got = ProfileEngine::new(&net).threads(4).strategy(strat).one_to_all(s);
+            let got = ProfileEngine::new().threads(4).strategy(strat).one_to_all(&net, s);
             assert_eq!(base, got, "{strat:?}");
         }
     }
@@ -252,8 +261,8 @@ mod tests {
     fn more_threads_settle_more_but_balanced() {
         let net = small_city();
         let s = StationId(1);
-        let r1 = ProfileEngine::new(&net).one_to_all_with_stats(s);
-        let r4 = ProfileEngine::new(&net).threads(4).one_to_all_with_stats(s);
+        let r1 = ProfileEngine::new().one_to_all_with_stats(&net, s);
+        let r4 = ProfileEngine::new().threads(4).one_to_all_with_stats(&net, s);
         // Cross-thread self-pruning is lost: total settled grows (or stays).
         assert!(r4.stats.settled >= r1.stats.settled);
         assert_eq!(r4.thread_settled.len(), 4);
@@ -263,18 +272,18 @@ mod tests {
     #[test]
     fn merge_time_is_recorded() {
         let net = small_city();
-        let r = ProfileEngine::new(&net).threads(2).one_to_all_with_stats(StationId(5));
+        let r = ProfileEngine::new().threads(2).one_to_all_with_stats(&net, StationId(5));
         assert!(r.stats.merge_ns > 0, "master merge must be timed");
     }
 
     #[test]
     fn warm_parallel_engine_reuses_all_workspaces() {
         let net = small_city();
-        let mut engine = ProfileEngine::new(&net).threads(4);
-        let first = engine.one_to_all(StationId(2));
+        let mut engine = ProfileEngine::new().threads(4);
+        let first = engine.one_to_all(&net, StationId(2));
         let warm = engine.workspace_grow_events();
         for _ in 0..5 {
-            assert_eq!(engine.one_to_all(StationId(2)), first);
+            assert_eq!(engine.one_to_all(&net, StationId(2)), first);
         }
         assert_eq!(engine.workspace_grow_events(), warm, "hot path must not allocate");
     }
@@ -283,11 +292,11 @@ mod tests {
     fn batch_across_queries_matches_sequential_ground_truth() {
         let net = small_city();
         let sources: Vec<StationId> = (0..12).map(|i| StationId(i * 3 % 36)).collect();
-        let mut engine = ProfileEngine::new(&net).threads(4);
-        let batch = engine.many_to_all_with_stats(&sources);
+        let mut engine = ProfileEngine::new().threads(4);
+        let batch = engine.many_to_all_with_stats(&net, &sources);
         assert_eq!(batch.len(), sources.len());
         for (r, &s) in batch.iter().zip(&sources) {
-            let seq = ProfileEngine::new(&net).one_to_all(s);
+            let seq = ProfileEngine::new().one_to_all(&net, s);
             assert_eq!(r.profiles, seq, "batch result for source {s}");
             assert_eq!(r.profiles.source(), s);
         }
@@ -302,7 +311,7 @@ mod tests {
         b.add_simple_trip(&[a, c], Time::hm(8, 0), &[Dur::minutes(5)], Dur::ZERO).unwrap();
         let net = Network::new(b.build().unwrap());
         // `sink` has no outgoing connections at all.
-        let prof = ProfileEngine::new(&net).threads(2).one_to_all(d);
+        let prof = ProfileEngine::new().threads(2).one_to_all(&net, d);
         assert!(prof.profile(a).is_empty());
         assert!(prof.profile(c).is_empty());
     }

@@ -67,10 +67,12 @@ pub struct S2sResult {
 
 /// Station-to-station query engine. Owns persistent per-worker workspaces
 /// (parallel work runs on the process-global pool); repeated queries
-/// through one engine run allocation-free once warm.
+/// through one engine run allocation-free once warm. Queries take the
+/// network by reference, so the workspaces also survive
+/// [`Network::apply_delay`] updates between queries. A configured distance
+/// table is **not** delay-aware: rebuild (or drop) it after a delay.
 #[derive(Debug, Clone)]
 pub struct S2sEngine<'a> {
-    net: &'a Network,
     threads: usize,
     strategy: PartitionStrategy,
     stopping: bool,
@@ -80,11 +82,16 @@ pub struct S2sEngine<'a> {
     workspaces: Vec<SearchWorkspace>,
 }
 
+impl<'a> Default for S2sEngine<'a> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl<'a> S2sEngine<'a> {
     /// An engine with the stopping criterion enabled and no distance table.
-    pub fn new(net: &'a Network) -> Self {
+    pub fn new() -> Self {
         S2sEngine {
-            net,
             threads: 1,
             strategy: PartitionStrategy::EqualConnections,
             stopping: true,
@@ -133,10 +140,10 @@ impl<'a> S2sEngine<'a> {
     }
 
     /// Computes the profile `dist(source, target, ·)`.
-    pub fn query(&mut self, source: StationId, target: StationId) -> S2sResult {
+    pub fn query(&mut self, net: &Network, source: StationId, target: StationId) -> S2sResult {
         self.ensure_workers();
         let cfg = QueryConfig {
-            net: self.net,
+            net,
             table: self.table,
             mask: &self.mask,
             stopping: self.stopping,
@@ -151,10 +158,10 @@ impl<'a> S2sEngine<'a> {
     /// queries: each worker answers whole queries from a shared work queue
     /// on its own workspace, with the full §4 pruning per query. With fewer
     /// pairs it answers them one at a time using within-query parallelism.
-    pub fn batch(&mut self, pairs: &[(StationId, StationId)]) -> Vec<S2sResult> {
+    pub fn batch(&mut self, net: &Network, pairs: &[(StationId, StationId)]) -> Vec<S2sResult> {
         self.ensure_workers();
         let cfg = QueryConfig {
-            net: self.net,
+            net,
             table: self.table,
             mask: &self.mask,
             stopping: self.stopping,
@@ -170,7 +177,7 @@ impl<'a> S2sEngine<'a> {
                 },
             )
         } else {
-            pairs.iter().map(|&(s, t)| self.query(s, t)).collect()
+            pairs.iter().map(|&(s, t)| self.query(net, s, t)).collect()
         }
     }
 }
@@ -199,6 +206,8 @@ fn query_with(
 
     // Special case: both endpoints in the table (§4, "Special Cases").
     if let Some(table) = cfg.table {
+        // A table snapshot from another network state would prune wrongly.
+        table.assert_fresh(cfg.net);
         if table.is_transfer(source) && table.is_transfer(target) {
             return S2sResult {
                 profile: table.profile(source, target).clone(),
@@ -502,8 +511,8 @@ mod tests {
     fn assert_matches_one_to_all(net: &Network, engine: &mut S2sEngine<'_>, pairs: &[(u32, u32)]) {
         for &(s, t) in pairs {
             let (s, t) = (StationId(s), StationId(t));
-            let want = ProfileEngine::new(net).one_to_all(s);
-            let got = engine.query(s, t);
+            let want = ProfileEngine::new().one_to_all(net, s);
+            let got = engine.query(net, s, t);
             assert_eq!(&got.profile, want.profile(t), "{s}→{t} ({:?})", got.kind);
         }
     }
@@ -511,7 +520,7 @@ mod tests {
     #[test]
     fn stopping_criterion_preserves_profiles() {
         let net = city();
-        let mut engine = S2sEngine::new(&net);
+        let mut engine = S2sEngine::new();
         assert_matches_one_to_all(&net, &mut engine, &[(0, 48), (5, 7), (13, 2), (20, 20)]);
     }
 
@@ -520,8 +529,8 @@ mod tests {
         let net = city();
         let s = StationId(3);
         let t = StationId(40);
-        let with = S2sEngine::new(&net).query(s, t);
-        let without = S2sEngine::new(&net).stopping_criterion(false).query(s, t);
+        let with = S2sEngine::new().query(&net, s, t);
+        let without = S2sEngine::new().stopping_criterion(false).query(&net, s, t);
         assert_eq!(with.profile, without.profile);
         assert!(
             with.stats.settled <= without.stats.settled,
@@ -536,7 +545,7 @@ mod tests {
     fn table_pruned_queries_preserve_profiles_city() {
         let net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-        let mut engine = S2sEngine::new(&net).with_table(&table);
+        let mut engine = S2sEngine::new().with_table(&table);
         let pairs: Vec<(u32, u32)> =
             vec![(0, 48), (1, 37), (9, 22), (30, 4), (11, 44), (48, 0), (17, 8)];
         assert_matches_one_to_all(&net, &mut engine, &pairs);
@@ -546,7 +555,7 @@ mod tests {
     fn table_pruned_queries_preserve_profiles_rail() {
         let net = rail();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
-        let mut engine = S2sEngine::new(&net).with_table(&table);
+        let mut engine = S2sEngine::new().with_table(&table);
         let n = net.num_stations() as u32;
         let pairs: Vec<(u32, u32)> =
             (0..12).map(|i| ((i * 7) % n, (i * 13 + 3) % n)).filter(|(a, b)| a != b).collect();
@@ -557,7 +566,7 @@ mod tests {
     fn all_query_kinds_appear() {
         let net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-        let mut engine = S2sEngine::new(&net).with_table(&table);
+        let mut engine = S2sEngine::new().with_table(&table);
         let mut kinds = std::collections::BTreeSet::new();
         let n = net.num_stations() as u32;
         for s in 0..n {
@@ -565,7 +574,7 @@ mod tests {
                 if s == t {
                     continue;
                 }
-                let r = engine.query(StationId(s), StationId(t));
+                let r = engine.query(&net, StationId(s), StationId(t));
                 kinds.insert(format!("{:?}", r.kind));
                 if kinds.len() == 4 {
                     return;
@@ -581,9 +590,9 @@ mod tests {
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
         for &(s, t) in &[(2u32, 44u32), (8, 31), (25, 0)] {
             let (s, t) = (StationId(s), StationId(t));
-            let seq = S2sEngine::new(&net).with_table(&table).query(s, t);
+            let seq = S2sEngine::new().with_table(&table).query(&net, s, t);
             for p in [2, 4] {
-                let par = S2sEngine::new(&net).with_table(&table).threads(p).query(s, t);
+                let par = S2sEngine::new().with_table(&table).threads(p).query(&net, s, t);
                 assert_eq!(seq.profile, par.profile, "{s}→{t} p={p}");
             }
         }
@@ -593,16 +602,16 @@ mod tests {
     fn warm_s2s_engine_reuses_workspaces() {
         let net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-        let mut engine = S2sEngine::new(&net).with_table(&table);
+        let mut engine = S2sEngine::new().with_table(&table);
         // Warm up with one query of every search kind (they size different
         // scratch arrays), then repeat: no further growth allowed.
         let warmup: &[(u32, u32)] = &[(0, 48), (1, 37), (9, 22), (30, 4), (11, 44), (17, 8)];
         for &(s, t) in warmup {
-            engine.query(StationId(s), StationId(t));
+            engine.query(&net, StationId(s), StationId(t));
         }
         let warm = engine.workspace_grow_events();
         for &(s, t) in warmup {
-            engine.query(StationId(s), StationId(t));
+            engine.query(&net, StationId(s), StationId(t));
         }
         assert_eq!(engine.workspace_grow_events(), warm, "hot path must not allocate");
     }
@@ -618,20 +627,33 @@ mod tests {
             .collect();
         let individual: Vec<S2sResult> = pairs
             .iter()
-            .map(|&(s, t)| S2sEngine::new(&net).with_table(&table).query(s, t))
+            .map(|&(s, t)| S2sEngine::new().with_table(&table).query(&net, s, t))
             .collect();
         // Across-query parallelism (pairs >= threads)...
-        let mut batch_engine = S2sEngine::new(&net).with_table(&table).threads(3);
-        let batch = batch_engine.batch(&pairs);
+        let mut batch_engine = S2sEngine::new().with_table(&table).threads(3);
+        let batch = batch_engine.batch(&net, &pairs);
         assert_eq!(batch.len(), individual.len());
         for ((b, i), &(s, t)) in batch.iter().zip(&individual).zip(&pairs) {
             assert_eq!(b.profile, i.profile, "{s}→{t}");
             assert_eq!(b.kind, i.kind, "{s}→{t}");
         }
         // ...and the within-query fallback (pairs < threads).
-        let few = batch_engine.threads(16).batch(&pairs[..2]);
+        let few = batch_engine.threads(16).batch(&net, &pairs[..2]);
         assert_eq!(few[0].profile, individual[0].profile);
         assert_eq!(few[1].profile, individual[1].profile);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale distance table")]
+    fn stale_table_after_delay_is_rejected() {
+        use pt_core::{Dur, TrainId};
+        use pt_timetable::Recovery;
+        let mut net = city();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        net.apply_delay(TrainId(0), 0, Dur::minutes(20), Recovery::None);
+        // The table snapshot predates the delay: pruning with it would be
+        // silently wrong, so the engine must refuse loudly.
+        let _ = S2sEngine::new().with_table(&table).query(&net, StationId(3), StationId(40));
     }
 
     #[test]
@@ -640,10 +662,10 @@ mod tests {
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
         let a = table.stations()[0];
         let b = table.stations()[1];
-        let r = S2sEngine::new(&net).with_table(&table).query(a, b);
+        let r = S2sEngine::new().with_table(&table).query(&net, a, b);
         assert_eq!(r.kind, QueryKind::TableDirect);
         assert_eq!(r.stats.settled, 0);
-        let want = ProfileEngine::new(&net).one_to_all(a);
+        let want = ProfileEngine::new().one_to_all(&net, a);
         assert_eq!(&r.profile, want.profile(b));
     }
 
@@ -658,7 +680,7 @@ mod tests {
         b.add_simple_trip(&[a, c], Time::hm(8, 0), &[Dur::minutes(5)], Dur::ZERO).unwrap();
         b.add_simple_trip(&[d, a], Time::hm(8, 0), &[Dur::minutes(5)], Dur::ZERO).unwrap();
         let net = Network::new(b.build().unwrap());
-        let r = S2sEngine::new(&net).query(a, d);
+        let r = S2sEngine::new().query(&net, a, d);
         assert!(r.profile.is_empty());
     }
 }

@@ -27,6 +27,13 @@ pub struct QueryStats {
     /// per-thread labels and reducing them to profiles, §3.2) — the merge
     /// overhead the paper discusses qualitatively but never quantifies.
     pub merge_ns: u64,
+    /// Queries answered from the profile cache (no search ran). Always 0
+    /// without [`ProfileEngine::with_cache`](crate::ProfileEngine::with_cache).
+    pub cache_hits: u64,
+    /// Queries that consulted the cache and fell through to a search.
+    pub cache_misses: u64,
+    /// Cache entries evicted while storing this query's result.
+    pub cache_evictions: u64,
 }
 
 impl AddAssign for QueryStats {
@@ -39,6 +46,9 @@ impl AddAssign for QueryStats {
         self.pushes += rhs.pushes;
         self.decreases += rhs.decreases;
         self.merge_ns += rhs.merge_ns;
+        self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+        self.cache_evictions += rhs.cache_evictions;
     }
 }
 

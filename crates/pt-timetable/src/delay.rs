@@ -3,16 +3,17 @@
 //! in a fully dynamic scenario" where trains run late and the timetable
 //! changes between queries (Müller-Hannemann, Schnee, Frede '08).
 //!
-//! [`apply_delay`] produces an updated timetable in which a train runs late
-//! from a given hop onward, with the delay optionally decaying at later
-//! stops (catch-up through schedule slack). Searches on the returned
-//! timetable immediately reflect the disruption; only precomputed distance
-//! tables must be rebuilt (or dropped — queries then fall back to the
-//! stopping criterion, staying correct).
+//! [`Timetable::patch_delay`] updates a timetable **in place** so a train
+//! runs late from a given hop onward, with the delay optionally decaying at
+//! later stops (catch-up through schedule slack); the pure [`apply_delay`]
+//! is a thin clone-then-patch wrapper. Searches on the patched timetable
+//! immediately reflect the disruption; only precomputed distance tables
+//! must be rebuilt (or dropped — queries then fall back to the stopping
+//! criterion, staying correct).
 
-use pt_core::{Dur, TrainId};
+use pt_core::{ConnId, Dur, TrainId};
 
-use crate::model::{Timetable, TimetableError};
+use crate::model::Timetable;
 
 /// How a delayed train recovers at subsequent stops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,38 +24,55 @@ pub enum Recovery {
     CatchUp { per_hop: Dur },
 }
 
+/// What [`Timetable::patch_delay`] changed — everything a derived structure
+/// needs to follow the mutation without a rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayPatch {
+    /// The delayed train.
+    pub train: TrainId,
+    /// `false` iff the patch was a no-op (unknown train, hop out of range,
+    /// or the delay fully absorbed by the recovery); the generation is only
+    /// bumped when `true`.
+    pub changed: bool,
+    /// `(old, new)` pairs for every connection whose [`ConnId`] moved when
+    /// the touched `conn(S)` buckets were re-sorted by departure time. A
+    /// permutation: the old and new id sets are equal. Connections of
+    /// *other* trains sharing a touched bucket can appear here too.
+    pub remapped: Vec<(ConnId, ConnId)>,
+}
+
+/// The delay still left `hops_in` hops after the delayed hop. Saturating:
+/// an over-large recovery (or hop count) yields zero rather than wrapping —
+/// `per_hop · hops_in` can exceed `u32` long before the timetable does.
+pub(crate) fn effective_delay(delay: Dur, recovery: Recovery, hops_in: u32) -> Dur {
+    match recovery {
+        Recovery::None => delay,
+        Recovery::CatchUp { per_hop } => {
+            Dur(delay.secs().saturating_sub(per_hop.secs().saturating_mul(hops_in)))
+        }
+    }
+}
+
 /// Returns a timetable in which `train` departs `delay` late from its
 /// `from_hop`-th hop onward. The delay shifts departures *and* arrivals;
 /// with [`Recovery::CatchUp`] it shrinks hop by hop. Other trains are
 /// untouched (the model has no vehicle-rotation constraints).
+///
+/// Pure wrapper over [`Timetable::patch_delay`]; prefer the in-place patch
+/// in serving paths that keep engines warm across updates. Infallible: a
+/// patch can only shift times inside the period, never produce an invalid
+/// timetable (the historical `Result` signature is gone with the
+/// revalidation it paid for).
 pub fn apply_delay(
     tt: &Timetable,
     train: TrainId,
     from_hop: u16,
     delay: Dur,
     recovery: Recovery,
-) -> Result<Timetable, TimetableError> {
-    let period = tt.period();
-    let mut conns = tt.connections().to_vec();
-    for c in &mut conns {
-        if c.train != train || c.seq < from_hop {
-            continue;
-        }
-        let hops_in = (c.seq - from_hop) as u32;
-        let effective = match recovery {
-            Recovery::None => delay,
-            Recovery::CatchUp { per_hop } => {
-                Dur(delay.secs().saturating_sub(per_hop.secs() * hops_in))
-            }
-        };
-        if effective == Dur::ZERO {
-            continue;
-        }
-        let dur = c.dur();
-        c.dep = period.local(c.dep + effective);
-        c.arr = c.dep + dur;
-    }
-    Timetable::new(period, tt.stations().to_vec(), conns, tt.num_trains() as u32)
+) -> Timetable {
+    let mut out = tt.clone();
+    out.patch_delay(train, from_hop, delay, recovery);
+    out
 }
 
 #[cfg(test)]
@@ -87,7 +105,7 @@ mod tests {
     #[test]
     fn full_delay_shifts_all_later_hops() {
         let (tt, s) = line();
-        let delayed = apply_delay(&tt, TrainId(0), 0, Dur::minutes(7), Recovery::None).unwrap();
+        let delayed = apply_delay(&tt, TrainId(0), 0, Dur::minutes(7), Recovery::None);
         let dep0 = delayed.conn(s[0]).iter().find(|c| c.train == TrainId(0)).unwrap();
         assert_eq!(dep0.dep, Time::hm(8, 7));
         let dep1 = delayed.conn(s[1]).iter().find(|c| c.train == TrainId(0)).unwrap();
@@ -106,8 +124,7 @@ mod tests {
             0,
             Dur::minutes(6),
             Recovery::CatchUp { per_hop: Dur::minutes(6) },
-        )
-        .unwrap();
+        );
         // Hop 0 delayed 6 min, hop 1 back on schedule.
         let dep0 = delayed.conn(s[0]).iter().find(|c| c.train == TrainId(0)).unwrap();
         assert_eq!(dep0.dep, Time::hm(8, 6));
@@ -118,11 +135,84 @@ mod tests {
     #[test]
     fn delay_from_mid_trip_leaves_earlier_hops() {
         let (tt, s) = line();
-        let delayed = apply_delay(&tt, TrainId(0), 1, Dur::minutes(20), Recovery::None).unwrap();
+        let delayed = apply_delay(&tt, TrainId(0), 1, Dur::minutes(20), Recovery::None);
         let dep0 = delayed.conn(s[0]).iter().find(|c| c.train == TrainId(0)).unwrap();
         assert_eq!(dep0.dep, Time::hm(8, 0)); // first hop punctual
         let dep1 = delayed.conn(s[1]).iter().find(|c| c.train == TrainId(0)).unwrap();
         assert_eq!(dep1.dep, Time::hm(8, 30));
+    }
+
+    #[test]
+    fn catch_up_recovery_uses_checked_math() {
+        // Regression: `per_hop.secs() * hops_in` used to overflow u32. With
+        // per_hop > u32::MAX / 2 and hops_in = 2 the product wrapped to a
+        // tiny value, so the train stayed delayed where the recovery should
+        // long have absorbed the delay.
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..4).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        b.add_simple_trip(
+            &[s[0], s[1], s[2], s[3]],
+            Time::hm(8, 0),
+            &[Dur::minutes(10), Dur::minutes(10), Dur::minutes(10)],
+            Dur::ZERO,
+        )
+        .unwrap();
+        let tt = b.build().unwrap();
+        let huge = Dur(u32::MAX / 2 + 1);
+        let delayed =
+            apply_delay(&tt, TrainId(0), 0, Dur::minutes(7), Recovery::CatchUp { per_hop: huge });
+        // Hop 0 carries the delay; hops 1 and 2 (hops_in = 1, 2) are fully
+        // recovered — hops_in = 2 is the overflowing product.
+        let dep = |h: usize| {
+            delayed.conn(s[h]).iter().find(|c| c.train == TrainId(0)).map(|c| c.dep).unwrap()
+        };
+        assert_eq!(dep(0), Time::hm(8, 7));
+        assert_eq!(dep(1), Time::hm(8, 10));
+        assert_eq!(dep(2), Time::hm(8, 20));
+    }
+
+    #[test]
+    fn patch_delay_bumps_generation_and_keeps_order() {
+        let (tt, s) = line();
+        let mut patched = tt.clone();
+        assert_eq!(patched.generation(), 0);
+        let patch = patched.patch_delay(TrainId(0), 0, Dur::minutes(70), Recovery::None);
+        assert!(patch.changed);
+        assert_eq!(patched.generation(), 1);
+        // The delayed 08:00 train now departs 09:10, after the 09:00 train:
+        // the bucket re-sorted, so ids moved and the remap records it.
+        assert!(!patch.remapped.is_empty());
+        for st in [s[0], s[1]] {
+            let deps: Vec<_> = patched.conn(st).iter().map(|c| c.dep).collect();
+            assert!(deps.windows(2).all(|w| w[0] <= w[1]), "conn({st}) no longer sorted");
+        }
+        // The remap is a permutation: each new id holds the connection
+        // (identified by train and hop) that used to live at the old id.
+        for &(old, new) in &patch.remapped {
+            let (before, after) = (tt.connection(old), patched.connection(new));
+            assert_eq!((before.train, before.seq), (after.train, after.seq), "ids must follow");
+        }
+        // Equivalent to the pure wrapper.
+        let pure = apply_delay(&tt, TrainId(0), 0, Dur::minutes(70), Recovery::None);
+        assert_eq!(pure.connections(), patched.connections());
+    }
+
+    #[test]
+    fn patch_delay_noop_leaves_generation() {
+        let (tt, _) = line();
+        let mut patched = tt.clone();
+        // Unknown train, hop out of range, zero delay, fully recovered delay.
+        for (train, hop, delay, rec) in [
+            (TrainId(99), 0, Dur::minutes(5), Recovery::None),
+            (TrainId(0), 9, Dur::minutes(5), Recovery::None),
+            (TrainId(0), 0, Dur::ZERO, Recovery::None),
+        ] {
+            let patch = patched.patch_delay(train, hop, delay, rec);
+            assert!(!patch.changed);
+            assert!(patch.remapped.is_empty());
+        }
+        assert_eq!(patched.generation(), 0);
+        assert_eq!(patched.connections(), tt.connections());
     }
 
     #[test]
@@ -132,7 +222,7 @@ mod tests {
         let c = b.add_named_station("B", Dur::ZERO);
         b.add_simple_trip(&[a, c], Time::hm(23, 50), &[Dur::minutes(20)], Dur::ZERO).unwrap();
         let tt = b.build().unwrap();
-        let delayed = apply_delay(&tt, TrainId(0), 0, Dur::minutes(30), Recovery::None).unwrap();
+        let delayed = apply_delay(&tt, TrainId(0), 0, Dur::minutes(30), Recovery::None);
         let conn = &delayed.conn(a)[0];
         // 23:50 + 30 min wraps to 00:20 next day, period-local.
         assert_eq!(conn.dep, Time::hm(0, 20));

@@ -6,6 +6,8 @@ use serde::{Deserialize, Serialize};
 
 use pt_core::{ConnId, Dur, Period, StationId, Time, TrainId};
 
+use crate::delay::{effective_delay, DelayPatch, Recovery};
+
 /// A station `S ∈ S` with its minimum transfer time `T(S)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Station {
@@ -127,6 +129,10 @@ pub struct Timetable {
     conns: Vec<Connection>,
     /// `first_out[s] .. first_out[s+1]` indexes `conns` for station `s`.
     first_out: Vec<u32>,
+    /// Monotonically-increasing update stamp, bumped by every in-place
+    /// mutation ([`Timetable::patch_delay`]). Query caches key on it: a
+    /// bumped generation invalidates every cached result for free.
+    generation: u64,
 }
 
 impl Timetable {
@@ -166,13 +172,90 @@ impl Timetable {
         for i in 1..first_out.len() {
             first_out[i] += first_out[i - 1];
         }
-        Ok(Timetable { period, stations, num_trains, conns, first_out })
+        Ok(Timetable { period, stations, num_trains, conns, first_out, generation: 0 })
     }
 
     /// The periodicity `Π`.
     #[inline]
     pub fn period(&self) -> Period {
         self.period
+    }
+
+    /// The update generation: 0 for a freshly validated timetable, bumped by
+    /// every mutation that changes connection times
+    /// ([`Timetable::patch_delay`]). Monotonically increasing, so any result
+    /// derived from generation `g` is stale exactly when `generation() > g`.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Applies a delay **in place**: `train` runs `delay` late from its
+    /// `from_hop`-th hop onward, recovering per [`Recovery`]. Durations are
+    /// preserved (`arr` shifts with `dep`), so the station graph of the
+    /// timetable is invariant under this operation.
+    ///
+    /// Only the affected train's connections are rewritten and only the
+    /// touched `conn(S)` buckets are re-sorted — the rest of the index
+    /// (`first_out`, untouched buckets) is untouched, which is what makes
+    /// the fully dynamic scenario (paper §5.1) cheap. Because `conn(S)` must
+    /// stay ordered by departure time, re-sorting a bucket can renumber the
+    /// [`ConnId`]s inside it; the returned [`DelayPatch`] records that
+    /// remapping so derived structures (`Routes`, `TdGraph`) can follow
+    /// without a rebuild.
+    ///
+    /// Bumps [`Timetable::generation`] iff at least one connection changed.
+    /// A `train`/`from_hop` combination matching no connection, or a delay
+    /// fully absorbed by the recovery, is a no-op (`patch.changed == false`).
+    pub fn patch_delay(
+        &mut self,
+        train: TrainId,
+        from_hop: u16,
+        delay: Dur,
+        recovery: Recovery,
+    ) -> DelayPatch {
+        let pi = self.period.len() as u64;
+        let mut touched: Vec<StationId> = Vec::new();
+        for c in &mut self.conns {
+            if c.train != train || c.seq < from_hop {
+                continue;
+            }
+            let hops_in = (c.seq - from_hop) as u32;
+            let effective = effective_delay(delay, recovery, hops_in);
+            if effective == Dur::ZERO {
+                continue;
+            }
+            let dur = c.dur();
+            // 64-bit reduction: `dep + effective` may exceed u32 for
+            // adversarial delays; the period-local result never does.
+            c.dep = Time(((c.dep.secs() as u64 + effective.secs() as u64) % pi) as u32);
+            c.arr = c.dep + dur;
+            touched.push(c.from);
+        }
+        if touched.is_empty() {
+            return DelayPatch { train, changed: false, remapped: Vec::new() };
+        }
+        self.generation += 1;
+        touched.sort_unstable();
+        touched.dedup();
+
+        // Restore per-bucket departure order, recording every ConnId move.
+        let mut remapped: Vec<(ConnId, ConnId)> = Vec::new();
+        for s in touched {
+            let lo = self.first_out[s.idx()] as usize;
+            let hi = self.first_out[s.idx() + 1] as usize;
+            let mut tagged: Vec<(Connection, u32)> =
+                self.conns[lo..hi].iter().copied().zip(lo as u32..).collect();
+            tagged.sort_unstable_by_key(|&(c, _)| (c.dep, c.train, c.seq));
+            for (offset, &(c, old)) in tagged.iter().enumerate() {
+                let new = (lo + offset) as u32;
+                self.conns[new as usize] = c;
+                if old != new {
+                    remapped.push((ConnId(old), ConnId(new)));
+                }
+            }
+        }
+        DelayPatch { train, changed: true, remapped }
     }
 
     /// Number of stations `|S|`.

@@ -10,10 +10,11 @@
 //! departures strictly increasing and arrivals strictly increasing on every
 //! hop.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use pt_core::{ConnId, RouteId, StationId, Time, TrainId};
 
+use crate::delay::DelayPatch;
 use crate::model::Timetable;
 
 /// One route: a maximal overtaking-free set of trains sharing a stop
@@ -160,6 +161,73 @@ impl Routes {
     pub fn connection_at(&self, t: TrainId, hop: usize) -> ConnId {
         self.train_conns[t.idx()][hop]
     }
+
+    /// Follows a [`Timetable::patch_delay`]: rewrites every remapped
+    /// [`ConnId`] in the per-train connection lists and restores the
+    /// "trains ordered by first-stop departure" invariant on the delayed
+    /// train's route. The partition itself (which trains share a route) is
+    /// deliberately **not** recomputed — call [`Routes::route_is_fifo`] on
+    /// the delayed route afterwards to learn whether it is still valid, and
+    /// fall back to a fresh [`Routes::partition`] if not.
+    ///
+    /// `tt` must be the already-patched timetable the patch came from.
+    pub fn repatch(&mut self, tt: &Timetable, patch: &DelayPatch) {
+        if !patch.changed {
+            return;
+        }
+        if !patch.remapped.is_empty() {
+            let map: HashMap<ConnId, ConnId> = patch.remapped.iter().copied().collect();
+            // Trains owning a moved connection (read at the new id).
+            let mut trains: Vec<TrainId> =
+                patch.remapped.iter().map(|&(_, n)| tt.connection(n).train).collect();
+            trains.sort_unstable();
+            trains.dedup();
+            for t in trains {
+                for c in &mut self.train_conns[t.idx()] {
+                    if let Some(&n) = map.get(c) {
+                        *c = n;
+                    }
+                }
+            }
+        }
+        let r = self.train_route[patch.train.idx()];
+        if r != RouteId(u32::MAX) {
+            let train_conns = &self.train_conns;
+            self.routes[r.idx()]
+                .trains
+                .sort_unstable_by_key(|&t| (tt.connection(train_conns[t.idx()][0]).dep, t));
+        }
+    }
+
+    /// `true` iff route `r` still satisfies, per hop, the strict FIFO
+    /// property the realistic time-dependent model requires of a route:
+    /// departures strictly increasing, arrivals strictly increasing, and no
+    /// leg dominated by the next period's first leg (the cyclic condition of
+    /// [`pt_core::Plf::is_fifo`]). [`Routes::partition`] guarantees the
+    /// first two by construction; a delay can break any of them, at which
+    /// point the partition must be recomputed.
+    pub fn route_is_fifo(&self, tt: &Timetable, r: RouteId) -> bool {
+        let info = &self.routes[r.idx()];
+        let pi = tt.period().len();
+        let mut legs: Vec<(Time, Time)> = Vec::with_capacity(info.trains.len());
+        for hop in 0..info.num_hops() {
+            legs.clear();
+            legs.extend(info.trains.iter().map(|&t| {
+                let c = tt.connection(self.connection_at(t, hop));
+                (c.dep, c.arr)
+            }));
+            legs.sort_unstable();
+            if !legs.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1) {
+                return false;
+            }
+            if let (Some(f), Some(l)) = (legs.first(), legs.last()) {
+                if l.1.secs() >= f.1.secs().saturating_add(pi) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 /// Can `legs` be inserted into every hop of the subroute without breaking
@@ -252,6 +320,63 @@ mod tests {
             assert_eq!(tt.connection(c).from, s[h]);
         }
         assert_eq!(routes.connection_at(TrainId(0), 2), conns[2]);
+    }
+
+    #[test]
+    fn repatch_follows_delay_remaps_and_reorders() {
+        use crate::delay::Recovery;
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        line(&mut b, &[s[0], s[1], s[2]], &[Time::hm(8, 0), Time::hm(9, 0)], Dur::minutes(10));
+        let mut tt = b.build().unwrap();
+        let mut routes = Routes::partition(&tt);
+        // Delay the 08:00 train to 09:10: it now departs after the 09:00
+        // train on every hop (no overtake — it also arrives later).
+        let patch = routes_patch(&mut tt, TrainId(0), Dur::minutes(70), Recovery::None);
+        assert!(patch.changed && !patch.remapped.is_empty());
+        routes.repatch(&tt, &patch);
+        // train_connections point at the right (train, hop) again.
+        for t in [TrainId(0), TrainId(1)] {
+            for (h, &c) in routes.train_connections(t).iter().enumerate() {
+                assert_eq!(tt.connection(c).train, t);
+                assert_eq!(tt.connection(c).seq as usize, h);
+            }
+        }
+        // The route's trains are re-sorted by first-stop departure…
+        let r = routes.route_of(TrainId(0));
+        assert_eq!(routes.route(r).trains, vec![TrainId(1), TrainId(0)]);
+        // …and the route is still FIFO, identical to a fresh partition.
+        assert!(routes.route_is_fifo(&tt, r));
+        assert_eq!(Routes::partition(&tt).len(), routes.len());
+    }
+
+    #[test]
+    fn route_is_fifo_detects_overtaking_delay() {
+        use crate::delay::Recovery;
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..2).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        line(&mut b, &[s[0], s[1]], &[Time::hm(8, 0), Time::hm(8, 30)], Dur::minutes(10));
+        let mut tt = b.build().unwrap();
+        let mut routes = Routes::partition(&tt);
+        assert_eq!(routes.len(), 1);
+        let r = routes.route_of(TrainId(0));
+        assert!(routes.route_is_fifo(&tt, r));
+        // Delay the 08:00 train to 08:40: it departs after the 08:30 train
+        // but arrives after it too — still FIFO. Delay to 08:35 with the
+        // same duration: departs later (08:35 > 08:30), arrives 08:45 >
+        // 08:40 — still FIFO. Make it *equal* departure instead: broken.
+        let patch = routes_patch(&mut tt, TrainId(0), Dur::minutes(30), Recovery::None);
+        routes.repatch(&tt, &patch);
+        assert!(!routes.route_is_fifo(&tt, r), "equal departures must break FIFO");
+    }
+
+    fn routes_patch(
+        tt: &mut Timetable,
+        train: TrainId,
+        delay: Dur,
+        rec: crate::delay::Recovery,
+    ) -> DelayPatch {
+        tt.patch_delay(train, 0, delay, rec)
     }
 
     #[test]

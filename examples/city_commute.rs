@@ -35,7 +35,7 @@ fn main() {
         .expect("non-empty network");
     for p in [1, 2, 4] {
         let t0 = Instant::now();
-        let r = ProfileEngine::new(&net).threads(p).one_to_all_with_stats(source);
+        let r = ProfileEngine::new().threads(p).one_to_all_with_stats(&net, source);
         println!(
             "one-to-all from {} on {p} thread(s): {:6.1} ms, {} settled, {} stations reachable",
             net.timetable().station(source).name,
@@ -50,9 +50,9 @@ fn main() {
     // answered on a reused workspace.
     let sources: Vec<StationId> =
         (0..net.num_stations() as u32).step_by(7).map(StationId).collect();
-    let mut engine = ProfileEngine::new(&net).threads(4);
+    let mut engine = ProfileEngine::new().threads(4);
     let t0 = Instant::now();
-    let sets = engine.many_to_all(&sources);
+    let sets = engine.many_to_all(&net, &sources);
     let elapsed = t0.elapsed().as_secs_f64();
     println!(
         "\nbatch many-to-all: {} queries in {:.2}s ({:.1} queries/s, {} workspace grow events)",
@@ -77,8 +77,8 @@ fn main() {
         (StationId(7), StationId(net.num_stations() as u32 / 2)),
     ];
     for (s, t) in pairs {
-        let plain = S2sEngine::new(&net).threads(2).query(s, t);
-        let pruned = S2sEngine::new(&net).threads(2).with_table(&table).query(s, t);
+        let plain = S2sEngine::new().threads(2).query(&net, s, t);
+        let pruned = S2sEngine::new().threads(2).with_table(&table).query(&net, s, t);
         assert_eq!(plain.profile, pruned.profile, "pruning must not change results");
         println!(
             "{} → {}: {} connection points | settled {} (stopping only) vs {} ({:?} with table)",

@@ -45,8 +45,8 @@ fn main() {
     let net_a = Network::new(original);
     let net_b = Network::new(loaded);
     let source = StationId(0);
-    let a = ProfileEngine::new(&net_a).one_to_all(source);
-    let b = ProfileEngine::new(&net_b).one_to_all(source);
+    let a = ProfileEngine::new().one_to_all(&net_a, source);
+    let b = ProfileEngine::new().one_to_all(&net_b, source);
     let agree = net_a.station_ids().filter(|&s| a.profile(s) == b.profile(s)).count();
     println!("profiles agree for {agree}/{} stations", net_a.num_stations());
     assert_eq!(agree, net_a.num_stations(), "round-trip must preserve semantics");

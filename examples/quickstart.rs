@@ -38,9 +38,9 @@ fn main() {
     );
 
     // One-to-all profile search (the paper's SPCS), on two threads.
-    let net = Network::new(tt);
-    let mut engine = ProfileEngine::new(&net).threads(2);
-    let result = engine.one_to_all_with_stats(airport);
+    let mut net = Network::new(tt);
+    let mut engine = ProfileEngine::new().threads(2).with_cache(32);
+    let result = engine.one_to_all_with_stats(&net, airport);
     println!(
         "one-to-all from Airport: settled {} queue elements ({} self-pruned)",
         result.stats.settled, result.stats.self_pruned
@@ -61,10 +61,24 @@ fn main() {
     println!("\nleaving at {dep}, earliest arrival at Harbor: {arr}");
 
     // A station-to-station query answers the same question with less work.
-    let s2s = S2sEngine::new(&net).query(airport, harbor);
+    let s2s = S2sEngine::new().query(&net, airport, harbor);
     assert_eq!(s2s.profile.eval_arr(dep, Period::DAY), arr);
     println!(
         "station-to-station query settled {} elements (vs {} one-to-all)",
         s2s.stats.settled, result.stats.settled
+    );
+
+    // The fully dynamic scenario: a repeated query hits the engine's
+    // generation-keyed cache; a live delay invalidates it and the next
+    // query searches the patched network — no rebuild, warm workspaces.
+    let repeat = engine.one_to_all_with_stats(&net, airport);
+    assert_eq!(repeat.stats.cache_hits, 1);
+    let update = net.apply_delay(TrainId(0), 0, Dur::minutes(10), Recovery::None);
+    let after = engine.one_to_all_with_stats(&net, airport);
+    assert_eq!(after.stats.cache_misses, 1);
+    println!(
+        "\ndelay update ({update:?}): cached repeat answered with no search, \
+         post-delay query re-searched ({} settled)",
+        after.stats.settled
     );
 }

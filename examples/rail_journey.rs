@@ -34,7 +34,7 @@ fn main() {
 
     // Profile via SPCS.
     let t0 = Instant::now();
-    let cs = ProfileEngine::new(&net).threads(2).one_to_all_with_stats(from);
+    let cs = ProfileEngine::new().threads(2).one_to_all_with_stats(&net, from);
     let cs_time = t0.elapsed();
     let board = cs.profiles.profile(to);
     for p in board.points().iter().take(10) {

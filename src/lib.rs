@@ -30,12 +30,19 @@
 //! b.add_simple_trip(&[a, t], Time::hm(8, 0), &[Dur::minutes(30)], Dur::ZERO).unwrap();
 //! let tt = b.build().unwrap();
 //!
-//! // One-to-all profile search from A.
-//! let network = Network::build(&tt);
-//! let mut engine = ProfileEngine::new(&network);
-//! let profiles = engine.one_to_all(a);
+//! // One-to-all profile search from A (the engine is network-free: it
+//! // keeps its workspaces — and optional result cache — across queries
+//! // and across delay updates).
+//! let mut network = Network::build(&tt);
+//! let mut engine = ProfileEngine::new().with_cache(64);
+//! let profiles = engine.one_to_all(&network, a);
 //! let arr = profiles.profile(t).eval_arr(Time::hm(7, 0), Period::DAY);
 //! assert_eq!(arr, Time::hm(8, 30));
+//!
+//! // The fully dynamic scenario: patch a delay in place and re-query.
+//! network.apply_delay(TrainId(0), 0, Dur::minutes(15), Recovery::None);
+//! let delayed = engine.one_to_all(&network, a);
+//! assert_eq!(delayed.profile(t).eval_arr(Time::hm(7, 0), Period::DAY), Time::hm(8, 45));
 //! ```
 
 pub use pt_core as core;
@@ -52,8 +59,8 @@ pub mod prelude {
     };
     pub use pt_graph::{StationGraph, TdGraph};
     pub use pt_spcs::{
-        DistanceTable, Network, PartitionStrategy, ProfileEngine, QueryStats, S2sEngine,
-        TransferSelection,
+        CacheStats, DelayUpdate, DistanceTable, Network, PartitionStrategy, ProfileEngine,
+        QueryStats, S2sEngine, TransferSelection,
     };
-    pub use pt_timetable::{Station, Timetable, TimetableBuilder, TripStop};
+    pub use pt_timetable::{Recovery, Station, Timetable, TimetableBuilder, TripStop};
 }

@@ -8,7 +8,7 @@
 //! with the label-setting time-query ground truth. The full-size version
 //! is `cargo run --release --bin conncheck`.
 
-use pt_bench::conncheck::{cross_check, standard_departures, STRATEGIES};
+use pt_bench::conncheck::{cross_check, cross_check_after_delays, standard_departures, STRATEGIES};
 use pt_spcs::Network;
 use pt_timetable::synthetic::presets;
 
@@ -22,6 +22,27 @@ fn all_presets_cross_check_clean_in_fast_mode() {
         let sources = pt_bench::random_stations(net.num_stations(), 2, 2010);
         let outcome = cross_check(name, &net, &sources, &[2, 3], &departures);
         assert!(outcome.is_clean(), "cross-check mismatches on {name}: {:#?}", outcome.mismatches);
+        assert!(outcome.comparisons > 0);
+    }
+}
+
+#[test]
+fn delayed_presets_cross_check_clean_in_fast_mode() {
+    // The dynamic-update path inherits the zero-mismatch guarantee: after a
+    // burst of incremental delay patches, the patched network must agree
+    // with a full rebuild and pass the whole static battery.
+    let departures = standard_departures();
+    for preset in presets::all_presets(0.05) {
+        let name = preset.name;
+        let net = Network::new(preset.timetable);
+        let sources = pt_bench::random_stations(net.num_stations(), 2, 2010);
+        let (outcome, _, _) =
+            cross_check_after_delays(name, &net, &sources, &[2], &departures, 6, 2010);
+        assert!(
+            outcome.is_clean(),
+            "delay cross-check mismatches on {name}: {:#?}",
+            outcome.mismatches
+        );
         assert!(outcome.comparisons > 0);
     }
 }

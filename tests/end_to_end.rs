@@ -17,7 +17,7 @@ fn rail_net(seed: u64) -> Network {
 /// The ground truth: at every departure event of `conn(S)` (and between
 /// events), a time-query from S must equal the profile evaluation.
 fn assert_profiles_match_time_queries(net: &Network, source: StationId) {
-    let set = ProfileEngine::new(net).threads(2).one_to_all(source);
+    let set = ProfileEngine::new().threads(2).one_to_all(net, source);
     let period = net.timetable().period();
     // Sample: every 11th outgoing departure plus surrounding instants.
     let deps: Vec<Time> = net
@@ -65,8 +65,8 @@ fn lc_and_cs_agree_on_both_network_families() {
         for s in [1u32, 13] {
             let s = StationId(s);
             let lc = label_correcting::profile_search(&net, s);
-            let cs = ProfileEngine::new(&net).threads(4).one_to_all(s);
-            assert_eq!(lc.profiles, cs);
+            let cs = ProfileEngine::new().threads(4).one_to_all(&net, s);
+            assert_eq!(lc.profiles, *cs);
         }
     }
 }
@@ -75,14 +75,14 @@ fn lc_and_cs_agree_on_both_network_families() {
 fn every_thread_count_and_strategy_is_equivalent() {
     let net = city_net(23);
     let s = StationId(17);
-    let base = ProfileEngine::new(&net).one_to_all(s);
+    let base = ProfileEngine::new().one_to_all(&net, s);
     for p in [2usize, 3, 5, 8] {
         for strat in [
             PartitionStrategy::EqualTimeSlots,
             PartitionStrategy::EqualConnections,
             PartitionStrategy::KMeans { iters: 8 },
         ] {
-            let got = ProfileEngine::new(&net).threads(p).strategy(strat).one_to_all(s);
+            let got = ProfileEngine::new().threads(p).strategy(strat).one_to_all(&net, s);
             assert_eq!(base, got, "p={p} {strat:?}");
         }
     }
@@ -92,7 +92,7 @@ fn every_thread_count_and_strategy_is_equivalent() {
 fn s2s_equals_one_to_all_for_every_kind() {
     let net = city_net(31);
     let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-    let mut engine = S2sEngine::new(&net).threads(2).with_table(&table);
+    let mut engine = S2sEngine::new().threads(2).with_table(&table);
     let n = net.num_stations() as u32;
     let mut seen = std::collections::BTreeMap::<String, u32>::new();
     for i in 0..30u32 {
@@ -101,8 +101,8 @@ fn s2s_equals_one_to_all_for_every_kind() {
         if s == t {
             continue;
         }
-        let want = ProfileEngine::new(&net).one_to_all(s);
-        let got = engine.query(s, t);
+        let want = ProfileEngine::new().one_to_all(&net, s);
+        let got = engine.query(&net, s, t);
         assert_eq!(&got.profile, want.profile(t), "{s}→{t} {:?}", got.kind);
         *seen.entry(format!("{:?}", got.kind)).or_default() += 1;
     }
@@ -121,11 +121,11 @@ fn transfer_selections_all_yield_correct_pruning() {
         if table.is_empty() {
             continue;
         }
-        let mut engine = S2sEngine::new(&net).with_table(&table);
+        let mut engine = S2sEngine::new().with_table(&table);
         for (s, t) in [(0u32, 9u32), (4, 30), (22, 1)] {
             let (s, t) = (StationId(s), StationId(t));
-            let want = ProfileEngine::new(&net).one_to_all(s);
-            let got = engine.query(s, t);
+            let want = ProfileEngine::new().one_to_all(&net, s);
+            let got = engine.query(&net, s, t);
             assert_eq!(&got.profile, want.profile(t), "{s}→{t} with {sel:?}");
         }
     }
@@ -151,7 +151,7 @@ fn pareto_frontier_is_consistent_with_scalar_search() {
             assert!(w[0].arrival > w[1].arrival);
         }
         // And the profile search upper-bounds nothing the frontier misses.
-        let prof = ProfileEngine::new(&net).one_to_all(s);
+        let prof = ProfileEngine::new().one_to_all(&net, s);
         assert_eq!(prof.profile(t).eval_arr(dep, period), scalar);
     }
 }
@@ -165,17 +165,17 @@ fn dynamic_scenario_delays_propagate_through_searches() {
     let tt = generate_city(&CityConfig::sized(36, 5, 61)).clone();
     let net = Network::new(tt.clone());
     let source = StationId(0);
-    let before = ProfileEngine::new(&net).one_to_all(source);
+    let before = ProfileEngine::new().one_to_all(&net, source);
 
     // Delay the train serving the first outgoing connection by 45 minutes.
     let victim = tt.conn(source)[0].train;
-    let delayed_tt = apply_delay(&tt, victim, 0, Dur::minutes(45), Recovery::None).unwrap();
+    let delayed_tt = apply_delay(&tt, victim, 0, Dur::minutes(45), Recovery::None);
     let delayed = Network::new(delayed_tt);
-    let after_engine = ProfileEngine::new(&delayed).threads(2).one_to_all(source);
+    let after_engine = ProfileEngine::new().threads(2).one_to_all(&delayed, source);
 
     // Correctness on the disrupted timetable: CS still equals LC.
     let lc = label_correcting::profile_search(&delayed, source);
-    assert_eq!(lc.profiles, after_engine);
+    assert_eq!(lc.profiles, *after_engine);
 
     // No station may arrive *earlier* than before at the original first
     // departure instant (delays never help; FIFO networks).
@@ -202,7 +202,7 @@ fn journeys_are_extractable_along_profiles() {
     let mut found = 0;
     for (a, b) in [(0u32, 41u32), (7, 19), (30, 2)] {
         let (s, t) = (StationId(a), StationId(b));
-        let prof = ProfileEngine::new(&net).one_to_all(s);
+        let prof = ProfileEngine::new().one_to_all(&net, s);
         for dep in [Time::hm(7, 0), Time::hm(17, 30)] {
             let want = prof.profile(t).eval_arr(dep, period);
             let j = earliest_journey(&net, s, dep, t);
@@ -222,7 +222,7 @@ fn journeys_are_extractable_along_profiles() {
 #[test]
 fn stats_are_internally_consistent() {
     let net = city_net(47);
-    let r = ProfileEngine::new(&net).threads(3).one_to_all_with_stats(StationId(2));
+    let r = ProfileEngine::new().threads(3).one_to_all_with_stats(&net, StationId(2));
     assert_eq!(r.thread_settled.iter().sum::<u64>(), r.stats.settled);
     assert!(r.stats.pushes >= r.stats.settled); // everything popped was pushed
     assert!(r.stats.self_pruned <= r.stats.settled);

@@ -48,9 +48,9 @@ fn timetable_respects_custom_period() {
 fn cs_equals_lc_under_two_hour_period() {
     let (net, s) = two_hour_net();
     for &src in &s {
-        let cs = ProfileEngine::new(&net).threads(2).one_to_all(src);
+        let cs = ProfileEngine::new().threads(2).one_to_all(&net, src);
         let lc = label_correcting::profile_search(&net, src);
-        assert_eq!(lc.profiles, cs, "source {src}");
+        assert_eq!(lc.profiles, *cs, "source {src}");
     }
 }
 
@@ -58,7 +58,7 @@ fn cs_equals_lc_under_two_hour_period() {
 fn profile_eval_equals_time_query_across_the_boundary() {
     let (net, s) = two_hour_net();
     let period = net.timetable().period();
-    let set = ProfileEngine::new(&net).one_to_all(s[0]);
+    let set = ProfileEngine::new().one_to_all(&net, s[0]);
     // Sample the whole period, densest near the boundary.
     let mut deps: Vec<Time> = (0..24).map(|i| Time(i * 300)).collect();
     deps.extend((0..10).map(|i| Time(7200 - 1 - i * 37)));
@@ -77,7 +77,7 @@ fn profile_eval_equals_time_query_across_the_boundary() {
 #[test]
 fn wraparound_express_appears_in_the_profile() {
     let (net, s) = two_hour_net();
-    let prof = ProfileEngine::new(&net).one_to_all(s[0]);
+    let prof = ProfileEngine::new().one_to_all(&net, s[0]);
     let to_3 = prof.profile(s[3]);
     // The 1:55 express (arriving 2:14 absolute) must be a profile point.
     let express = to_3.points().iter().find(|p| p.dep == Time(115 * 60));
@@ -89,14 +89,14 @@ fn wraparound_express_appears_in_the_profile() {
 fn s2s_with_table_works_under_custom_period() {
     let (net, s) = two_hour_net();
     let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.5));
-    let mut engine = S2sEngine::new(&net).threads(2).with_table(&table);
+    let mut engine = S2sEngine::new().threads(2).with_table(&table);
     for &src in &s {
-        let want = ProfileEngine::new(&net).one_to_all(src);
+        let want = ProfileEngine::new().one_to_all(&net, src);
         for &t in &s {
             if src == t {
                 continue;
             }
-            let got = engine.query(src, t);
+            let got = engine.query(&net, src, t);
             assert_eq!(&got.profile, want.profile(t), "{src}→{t} ({:?})", got.kind);
         }
     }
@@ -110,13 +110,13 @@ fn delays_wrap_correctly_in_short_periods() {
     // Delay the express (the last train added) past the period boundary.
     let express_train =
         tt.conn(s[0]).iter().find(|c| c.dep == Time(115 * 60)).expect("express exists").train;
-    let delayed = apply_delay(tt, express_train, 0, Dur::minutes(10), Recovery::None).unwrap();
+    let delayed = apply_delay(tt, express_train, 0, Dur::minutes(10), Recovery::None);
     let c = delayed.connections().iter().find(|c| c.train == express_train).unwrap();
     // 1:55 + 10 min wraps to 0:05 of the next period.
     assert_eq!(c.dep, Time(5 * 60));
     // And the delayed network still satisfies CS == LC.
     let dnet = Network::new(delayed);
-    let cs = ProfileEngine::new(&dnet).one_to_all(s[0]);
+    let cs = ProfileEngine::new().one_to_all(&dnet, s[0]);
     let lc = label_correcting::profile_search(&dnet, s[0]);
-    assert_eq!(lc.profiles, cs);
+    assert_eq!(lc.profiles, *cs);
 }

@@ -80,11 +80,11 @@ proptest! {
         let Some(tt) = build(n, transfer_min, trips) else { return Ok(()) };
         let net = Network::new(tt);
         for s in net.station_ids() {
-            let cs = ProfileEngine::new(&net).one_to_all(s);
+            let cs = ProfileEngine::new().one_to_all(&net, s);
             let lc = label_correcting::profile_search(&net, s);
-            prop_assert_eq!(&lc.profiles, &cs, "source {}", s);
+            prop_assert_eq!(&lc.profiles, &*cs, "source {}", s);
             // Parallel equivalence on a nontrivial thread count.
-            let par = ProfileEngine::new(&net).threads(3).one_to_all(s);
+            let par = ProfileEngine::new().threads(3).one_to_all(&net, s);
             prop_assert_eq!(&par, &cs, "parallel from {}", s);
         }
     }
@@ -99,7 +99,7 @@ proptest! {
         let Some(tt) = build(n, transfer_min, trips) else { return Ok(()) };
         let net = Network::new(tt);
         let source = StationId(0);
-        let set = ProfileEngine::new(&net).threads(2).one_to_all(source);
+        let set = ProfileEngine::new().threads(2).one_to_all(&net, source);
         for &m in &dep_mins {
             let dep = Time(m * 60);
             let truth = time_query::earliest_arrivals(&net, source, dep);
@@ -126,18 +126,18 @@ proptest! {
         let Some(tt) = build(n, transfer_min, trips) else { return Ok(()) };
         let net = Network::new(tt);
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(frac));
-        let mut engine = S2sEngine::new(&net).threads(2).with_table(&table);
-        let mut plain = S2sEngine::new(&net);
+        let mut engine = S2sEngine::new().threads(2).with_table(&table);
+        let mut plain = S2sEngine::new();
         for s in net.station_ids() {
-            let want = ProfileEngine::new(&net).one_to_all(s);
+            let want = ProfileEngine::new().one_to_all(&net, s);
             for t in net.station_ids() {
                 if s == t { continue; }
-                let got = engine.query(s, t);
+                let got = engine.query(&net, s, t);
                 prop_assert_eq!(
                     &got.profile, want.profile(t),
                     "{} → {} kind {:?}", s, t, got.kind
                 );
-                let got_plain = plain.query(s, t);
+                let got_plain = plain.query(&net, s, t);
                 prop_assert_eq!(
                     &got_plain.profile, want.profile(t),
                     "{} → {} stopping-only", s, t
