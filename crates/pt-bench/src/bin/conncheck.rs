@@ -9,8 +9,12 @@
 //! Section 2 runs [`pt_bench::conncheck::cross_check`]: sequential SPCS vs
 //! label-correcting vs parallel SPCS (all three partition strategies, at
 //! the `BC_THREADS` thread counts) vs the label-setting time-query
-//! baseline, on `BC_QUERIES` sampled sources per network. Any disagreement
-//! is printed and the process exits non-zero.
+//! baseline, on `BC_QUERIES` sampled sources per network — then repeats
+//! the battery after a burst of single delay patches (delay mode) and
+//! after batched feeds of delays + cancellations (feed mode, which also
+//! checks the incremental distance-table refresh entry-for-entry against
+//! a from-scratch build). Any disagreement is printed and the process
+//! exits non-zero.
 //!
 //! ```text
 //! cargo run --release --bin conncheck
@@ -20,7 +24,9 @@
 //! (default 15, capped at 64), `BC_THREADS` (default 1,2,4,8),
 //! `BC_NETWORKS` name filter, `BC_SEED`.
 
-use pt_bench::conncheck::{cross_check, cross_check_after_delays, standard_departures};
+use pt_bench::conncheck::{
+    cross_check, cross_check_after_delays, cross_check_after_feed, standard_departures,
+};
 use pt_bench::BenchConfig;
 use pt_core::StationId;
 use pt_graph::StationGraph;
@@ -117,6 +123,36 @@ fn main() {
             eprintln!("  MISMATCH: {m}");
         }
         total_mismatches += delayed.mismatches.len();
+
+        // Feed mode: batched delays + cancellations through apply_feed,
+        // with the incremental distance-table refresh checked entry for
+        // entry against a from-scratch build after every feed.
+        let (fed, feed_stats) = cross_check_after_feed(
+            name,
+            &net,
+            &sources,
+            &cfg.threads,
+            &departures,
+            3,
+            12,
+            cfg.seed,
+        );
+        println!(
+            "{:<16} sources={:<3} comparisons={:<8} mismatches={} (feed: {} events, {} patched, \
+             {} rebuilt, {} table rows refreshed)",
+            fed.network,
+            fed.sources,
+            fed.comparisons,
+            fed.mismatches.len(),
+            feed_stats.events,
+            feed_stats.patched,
+            feed_stats.rebuilt,
+            feed_stats.rows_refreshed
+        );
+        for m in &fed.mismatches {
+            eprintln!("  MISMATCH: {m}");
+        }
+        total_mismatches += fed.mismatches.len();
     }
     if total_mismatches > 0 {
         eprintln!("conncheck FAILED: {total_mismatches} mismatch(es)");

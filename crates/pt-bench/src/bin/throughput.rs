@@ -13,7 +13,12 @@
 //!   [`S2sEngine::batch`]): whole queries distributed across the pool,
 //! * **cached** — the warm engine behind the generation-keyed LRU
 //!   ([`ProfileEngine::with_cache`]): a replayed workload is answered
-//!   entirely from cache; the hit rate is reported in the JSON.
+//!   entirely from cache; the hit rate is reported in the JSON,
+//! * **feed** — the live-update phase: batches of GTFS-RT-style
+//!   `DelayEvent`s (delays + cancellations) through
+//!   [`Network::apply_feed`], reporting events/sec, repatch-vs-rebuild
+//!   route counts, and the cache hit rate of a workload replayed across
+//!   the feeds (each feed costs exactly one invalidation).
 //!
 //! Results are printed and written to `BENCH_spcs.json` (override with
 //! `BC_JSON_OUT`) so the perf trajectory is tracked across PRs: per-query
@@ -29,8 +34,11 @@
 
 use std::time::Instant;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
 use pt_bench::report::{balance, json_out_path, median, write_json, Json};
-use pt_bench::{random_pairs, random_stations, BenchConfig};
+use pt_bench::{random_feed, random_pairs, random_stations, BenchConfig};
 use pt_spcs::{Network, ProfileEngine, S2sEngine};
 
 fn main() {
@@ -50,7 +58,7 @@ fn main() {
     let mut networks_json = Vec::new();
     for preset in cfg.networks() {
         let stats = preset.timetable.stats();
-        let net = Network::new(preset.timetable);
+        let mut net = Network::new(preset.timetable);
         println!("## {}  ({} stations, {} conns)", preset.name, stats.stations, stats.connections);
 
         let sources = random_stations(net.num_stations(), queries, cfg.seed);
@@ -152,6 +160,53 @@ fn main() {
             qps(s2s_batch_ns),
             if s2s_batch_ns > 0.0 { s2s_cold_total / s2s_batch_ns } else { 0.0 }
         );
+
+        // --- live feed (runs last: it mutates the network) ----------------
+        // Batches of 100 GTFS-RT-style events through apply_feed: one
+        // generation bump and at most one repatch per touched route per
+        // batch, however many events pile onto a route.
+        let num_feeds = 5usize;
+        let events_per_feed = 100usize;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xF00D);
+        let num_trains = net.timetable().num_trains() as u32;
+        let (mut touched, mut repatched, mut refit, mut bumps) = (0usize, 0usize, 0usize, 0u64);
+        let mut feed_ns = 0f64;
+        for _ in 0..num_feeds {
+            let events = random_feed(&mut rng, num_trains, events_per_feed, 60);
+            let gen_before = net.generation();
+            let t0 = Instant::now();
+            let summary = net.apply_feed(&events);
+            feed_ns += t0.elapsed().as_nanos() as f64;
+            touched += summary.touched_routes;
+            repatched += summary.repatched_routes;
+            refit += summary.refit_routes;
+            bumps += net.generation() - gen_before;
+        }
+        let total_events = (num_feeds * events_per_feed) as f64;
+        let events_per_sec = if feed_ns > 0.0 { total_events / (feed_ns * 1e-9) } else { 0.0 };
+        // One bump per feed that changed anything, never one per event (a
+        // feed whose events all net out legally costs zero).
+        assert!(bumps >= 1 && bumps as usize <= num_feeds, "{bumps} bumps for {num_feeds} feeds");
+
+        // Post-feed cache behaviour: the fed network is a new generation,
+        // so one replay refills the cache (misses) and the next is all
+        // hits — the whole feed cost a single invalidation.
+        let pre = cached_engine.cache_stats().expect("cache enabled");
+        for _ in 0..2 {
+            for &s in &sources {
+                let _ = cached_engine.one_to_all(&net, s);
+            }
+        }
+        let post = cached_engine.cache_stats().expect("cache enabled");
+        let (dh, dm) = (post.hits - pre.hits, post.misses - pre.misses);
+        let post_feed_hit_rate = if dh + dm > 0 { dh as f64 / (dh + dm) as f64 } else { 0.0 };
+
+        println!("feed ({num_feeds} feeds x {events_per_feed} events):");
+        println!(
+            "  {events_per_sec:.0} events/s; routes: {touched} touched, {repatched} repatched, \
+             {refit} refit; post-feed cache hit rate {:.0}%",
+            post_feed_hit_rate * 100.0
+        );
         println!();
 
         networks_json.push(Json::obj([
@@ -214,6 +269,19 @@ fn main() {
                             0.0
                         }),
                     ),
+                ]),
+            ),
+            (
+                "feed",
+                Json::obj([
+                    ("feeds", Json::from(num_feeds)),
+                    ("events", Json::from(num_feeds * events_per_feed)),
+                    ("events_per_sec", Json::from(events_per_sec)),
+                    ("generation_bumps", Json::from(bumps)),
+                    ("routes_touched", Json::from(touched)),
+                    ("routes_repatched", Json::from(repatched)),
+                    ("routes_refit", Json::from(refit)),
+                    ("post_feed_cache_hit_rate", Json::from(post_feed_hit_rate)),
                 ]),
             ),
         ]));

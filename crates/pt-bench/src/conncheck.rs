@@ -26,8 +26,8 @@ use std::sync::Arc;
 
 use pt_core::{Dur, StationId, Time, TrainId};
 use pt_spcs::{
-    label_correcting, time_query, DelayUpdate, Network, PartitionStrategy, ProfileEngine,
-    ProfileSet, S2sEngine,
+    label_correcting, time_query, DelayUpdate, DistanceTable, Network, PartitionStrategy,
+    ProfileEngine, ProfileSet, S2sEngine, TransferSelection,
 };
 use pt_timetable::Recovery;
 
@@ -272,4 +272,152 @@ pub fn cross_check_after_delays(
     outcome.mismatches.extend(inner.mismatches);
     outcome.mismatches.truncate(MAX_REPORTED);
     (outcome, patched, rebuilt)
+}
+
+/// Aggregate counters of one [`cross_check_after_feed`] run.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FeedCheckStats {
+    /// Feed events applied (over all batches).
+    pub events: usize,
+    /// Per-event [`DelayUpdate::Patched`] outcomes.
+    pub patched: usize,
+    /// Per-event [`DelayUpdate::Rebuilt`] outcomes.
+    pub rebuilt: usize,
+    /// Distance-table rows recomputed by the incremental refreshes.
+    pub rows_refreshed: usize,
+}
+
+/// The *batched* dynamic scenario: drives `num_feeds` random feeds of
+/// `events_per_feed` events each (delays, pile-ups on one train, and
+/// cancellations) through [`Network::apply_feed`] on a copy of `net`,
+/// checking after **every** feed that
+///
+/// * the generation moved by exactly one iff the feed changed anything
+///   (one cache invalidation per feed, however many events),
+/// * the patched network is query-identical to a from-scratch rebuild of
+///   its timetable (sampled sources),
+/// * the incrementally refreshed [`DistanceTable`] matches a from-scratch
+///   build **entry for entry** — every ordered pair of transfer stations,
+///
+/// and finally runs the whole static [`cross_check`] battery on the fed
+/// network plus an [`S2sEngine`] pass over the refreshed table. Any
+/// disagreement lands in the outcome's mismatch list.
+#[allow(clippy::too_many_arguments)]
+pub fn cross_check_after_feed(
+    name: &str,
+    net: &Network,
+    sources: &[StationId],
+    threads: &[usize],
+    departures: &[Time],
+    num_feeds: usize,
+    events_per_feed: usize,
+    seed: u64,
+) -> (CheckOutcome, FeedCheckStats) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    let mut fed = net.clone();
+    let trains = fed.timetable().num_trains() as u32;
+    let mut table = DistanceTable::build(&fed, &TransferSelection::Fraction(0.15));
+    let mut stats = FeedCheckStats::default();
+    let mut mismatches = Vec::new();
+    let mut comparisons = 0usize;
+
+    for feed_no in 0..num_feeds {
+        let events = crate::random_feed(&mut rng, trains, events_per_feed, 90);
+        let gen_before = fed.generation();
+        let summary = fed.apply_feed(&events);
+        stats.events += events.len();
+        stats.patched += summary.events.iter().filter(|&&u| u == DelayUpdate::Patched).count();
+        stats.rebuilt += summary.events.iter().filter(|&&u| u == DelayUpdate::Rebuilt).count();
+
+        comparisons += 1;
+        let expected_bump = u64::from(summary.changed());
+        if fed.generation() != gen_before + expected_bump {
+            record(
+                &mut mismatches,
+                format!(
+                    "{name}: feed {feed_no} of {} events bumped the generation {} times",
+                    events.len(),
+                    fed.generation() - gen_before
+                ),
+            );
+        }
+
+        // Query-identical to a from-scratch rebuild, from every sampled
+        // source.
+        let rebuilt_net = Network::build(fed.timetable());
+        for &s in sources {
+            comparisons += 1;
+            if ProfileEngine::new().one_to_all(&fed, s)
+                != ProfileEngine::new().one_to_all(&rebuilt_net, s)
+            {
+                record(
+                    &mut mismatches,
+                    format!("{name}: fed network != rebuilt network from {s} (feed {feed_no})"),
+                );
+            }
+        }
+
+        // Incremental table refresh vs from-scratch build, entry for entry.
+        match table.refresh(&fed) {
+            Err(e) => record(&mut mismatches, format!("{name}: refresh failed: {e}")),
+            Ok(rows) => {
+                stats.rows_refreshed += rows;
+                let scratch = DistanceTable::build_for(&fed, table.stations().to_vec());
+                for &a in table.stations() {
+                    for &b in table.stations() {
+                        comparisons += 1;
+                        if table.profile(a, b) != scratch.profile(a, b) {
+                            record(
+                                &mut mismatches,
+                                format!(
+                                    "{name}: refreshed table D({a}, {b}) != rebuilt \
+                                     (feed {feed_no})"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Table-pruned s2s queries through the refreshed table agree with the
+    // sequential one-to-all profiles on the fed network.
+    let mut s2s = S2sEngine::new().with_table(&table);
+    let ns = fed.num_stations() as u32;
+    for (i, &s) in sources.iter().enumerate() {
+        let t = StationId((i as u32 * 11 + 5) % ns);
+        if s == t {
+            continue;
+        }
+        comparisons += 1;
+        match s2s.try_query(&fed, s, t) {
+            Err(e) => record(&mut mismatches, format!("{name}: refreshed table rejected: {e}")),
+            Ok(r) => {
+                let want = ProfileEngine::new().one_to_all(&fed, s);
+                if &r.profile != want.profile(t) {
+                    record(
+                        &mut mismatches,
+                        format!("{name}: s2s over refreshed table {s}->{t} != sequential"),
+                    );
+                }
+            }
+        }
+    }
+
+    // The full static battery on the fed network.
+    let inner = cross_check(&format!("{name}+feed"), &fed, sources, threads, departures);
+    comparisons += inner.comparisons;
+    mismatches.extend(inner.mismatches);
+    mismatches.truncate(MAX_REPORTED);
+    let outcome = CheckOutcome {
+        network: format!("{name}+feed"),
+        sources: sources.len(),
+        comparisons,
+        mismatches,
+    };
+    (outcome, stats)
 }

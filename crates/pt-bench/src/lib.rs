@@ -24,8 +24,9 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use pt_core::StationId;
+use pt_core::{Dur, StationId, TrainId};
 use pt_timetable::synthetic::presets::{self, Preset};
+use pt_timetable::{DelayEvent, Recovery};
 
 /// Benchmark configuration resolved from the environment.
 #[derive(Debug, Clone)]
@@ -93,6 +94,39 @@ pub fn random_pairs(num_stations: usize, count: usize, seed: u64) -> Vec<(Statio
             let t = rng.gen_range(0..num_stations as u32);
             if s != t {
                 return (StationId(s), StationId(t));
+            }
+        })
+        .collect()
+}
+
+/// A deterministic batch of feed events — the mix of a live GTFS-RT-style
+/// stream: mostly delays (half with catch-up recovery, up to
+/// `max_delay_min` minutes, from a random hop), one in four a
+/// cancellation. Shared by conncheck's feed mode and the `throughput`
+/// feed phase so the workload shape cannot diverge between them.
+pub fn random_feed(
+    rng: &mut StdRng,
+    num_trains: u32,
+    len: usize,
+    max_delay_min: u32,
+) -> Vec<DelayEvent> {
+    (0..len)
+        .map(|_| {
+            let train = TrainId(rng.gen_range(0..num_trains.max(1)));
+            if rng.gen_range(0..4u8) == 0 {
+                DelayEvent::Cancel { train }
+            } else {
+                let recovery = if rng.gen_range(0..2u8) == 0 {
+                    Recovery::None
+                } else {
+                    Recovery::CatchUp { per_hop: Dur::minutes(rng.gen_range(1..20u32)) }
+                };
+                DelayEvent::Delay {
+                    train,
+                    from_hop: rng.gen_range(0..4u16),
+                    delay: Dur::minutes(rng.gen_range(1..max_delay_min.max(2))),
+                    recovery,
+                }
             }
         })
         .collect()

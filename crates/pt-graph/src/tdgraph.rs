@@ -156,40 +156,58 @@ impl TdGraph {
         if !patch.changed {
             return;
         }
+        self.repatch_routes(tt, routes, &[routes.route_of(train)], &patch.remapped);
+    }
+
+    /// The multi-route form of [`TdGraph::repatch`], following a
+    /// [`Timetable::patch_feed`]: applies the feed's merged `ConnId` remap
+    /// to `conn_start` once, then rewrites the hop PLFs of each route in
+    /// `touched` exactly once — however many feed events hit the route. All
+    /// routes must already be [`Routes::repatch_feed`]ed and pass
+    /// [`Routes::route_is_fifo`]; send non-FIFO routes through
+    /// [`Routes::refit`] + [`TdGraph::build`] instead.
+    pub fn repatch_routes(
+        &mut self,
+        tt: &Timetable,
+        routes: &Routes,
+        touched: &[pt_core::RouteId],
+        remapped: &[(ConnId, ConnId)],
+    ) {
         // conn_start entries move with their connections (the start node
         // depends only on the connection's train and hop).
         let saved: Vec<NodeId> =
-            patch.remapped.iter().map(|&(old, _)| self.conn_start[old.idx()]).collect();
-        for (&(_, new), node) in patch.remapped.iter().zip(saved) {
+            remapped.iter().map(|&(old, _)| self.conn_start[old.idx()]).collect();
+        for (&(_, new), node) in remapped.iter().zip(saved) {
             self.conn_start[new.idx()] = node;
         }
 
-        // Rebuild the PLF of every hop of the delayed route.
-        let r = routes.route_of(train);
-        let info = routes.route(r);
-        let base = self.route_first_node[r.idx()].idx();
-        for hop in 0..info.num_hops() {
-            let points: Vec<PlfPoint> = info
-                .trains
-                .iter()
-                .map(|&t| {
-                    let c = tt.connection(routes.connection_at(t, hop));
-                    PlfPoint::new(c.dep, c.dur())
-                })
-                .collect();
-            let expected = points.len();
-            let plf = Plf::from_points(points, self.period);
-            debug_assert_eq!(plf.len(), expected, "repatch on a non-FIFO route");
-            let lo = self.first_edge[base + hop] as usize;
-            let hi = self.first_edge[base + hop + 1] as usize;
-            let idx = self.edges[lo..hi]
-                .iter()
-                .find_map(|e| match e.weight {
-                    EdgeWeight::Td(idx) => Some(idx),
-                    EdgeWeight::Const(_) => None,
-                })
-                .expect("route node has a time-dependent hop edge");
-            self.plfs[idx as usize] = plf;
+        // Rebuild the PLF of every hop of each touched route.
+        for &r in touched {
+            let info = routes.route(r);
+            let base = self.route_first_node[r.idx()].idx();
+            for hop in 0..info.num_hops() {
+                let points: Vec<PlfPoint> = info
+                    .trains
+                    .iter()
+                    .map(|&t| {
+                        let c = tt.connection(routes.connection_at(t, hop));
+                        PlfPoint::new(c.dep, c.dur())
+                    })
+                    .collect();
+                let expected = points.len();
+                let plf = Plf::from_points(points, self.period);
+                debug_assert_eq!(plf.len(), expected, "repatch on a non-FIFO route");
+                let lo = self.first_edge[base + hop] as usize;
+                let hi = self.first_edge[base + hop + 1] as usize;
+                let idx = self.edges[lo..hi]
+                    .iter()
+                    .find_map(|e| match e.weight {
+                        EdgeWeight::Td(idx) => Some(idx),
+                        EdgeWeight::Const(_) => None,
+                    })
+                    .expect("route node has a time-dependent hop edge");
+                self.plfs[idx as usize] = plf;
+            }
         }
     }
 
@@ -445,6 +463,75 @@ mod tests {
         for v in g.node_ids() {
             for (e, ef) in g.edges(v).iter().zip(fresh.edges(v)) {
                 for t in [Time::hm(7, 0), Time::hm(8, 30), Time::hm(9, 7), Time::hm(23, 50)] {
+                    assert_eq!(g.eval_edge(e, t), fresh.eval_edge(ef, t), "node {v} at {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feed_repatch_rewrites_every_touched_route_and_matches_rebuild() {
+        use pt_timetable::{DelayEvent, Recovery};
+        // Two independent routes plus an untouched bystander line.
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> =
+            (0..5).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(1))).collect();
+        for h in [8, 9] {
+            b.add_simple_trip(
+                &[s[0], s[1], s[2]],
+                Time::hm(h, 0),
+                &[Dur::minutes(10), Dur::minutes(10)],
+                Dur::ZERO,
+            )
+            .unwrap();
+        }
+        for h in [10, 11] {
+            b.add_simple_trip(&[s[3], s[1]], Time::hm(h, 0), &[Dur::minutes(5)], Dur::ZERO)
+                .unwrap();
+        }
+        b.add_simple_trip(&[s[4], s[0]], Time::hm(7, 0), &[Dur::minutes(5)], Dur::ZERO).unwrap();
+        let mut tt = b.build().unwrap();
+        let mut routes = Routes::partition(&tt);
+        let mut g = TdGraph::build(&tt, &routes);
+
+        // One feed touching both multi-train routes (FIFO-preserving).
+        let patch = tt.patch_feed(&[
+            DelayEvent::Delay {
+                train: pt_core::TrainId(0),
+                from_hop: 0,
+                delay: Dur::minutes(70),
+                recovery: Recovery::None,
+            },
+            DelayEvent::Delay {
+                train: pt_core::TrainId(2),
+                from_hop: 0,
+                delay: Dur::minutes(70),
+                recovery: Recovery::None,
+            },
+        ]);
+        assert!(patch.changed);
+        let touched = routes.repatch_feed(&tt, &patch);
+        assert_eq!(touched.len(), 2);
+        for &r in &touched {
+            assert!(routes.route_is_fifo(&tt, r));
+        }
+        g.repatch_routes(&tt, &routes, &touched, &patch.remapped);
+
+        let fresh_routes = Routes::partition(&tt);
+        let fresh = TdGraph::build(&tt, &fresh_routes);
+        assert_eq!(g.num_nodes(), fresh.num_nodes());
+        assert_eq!(g.num_plf_points(), fresh.num_plf_points());
+        for i in 0..tt.num_connections() {
+            let c = ConnId::from_idx(i);
+            assert_eq!(
+                g.station_of(g.conn_start_node(c)),
+                fresh.station_of(fresh.conn_start_node(c)),
+                "conn {i}"
+            );
+        }
+        for v in g.node_ids() {
+            for (e, ef) in g.edges(v).iter().zip(fresh.edges(v)) {
+                for t in [Time::hm(7, 0), Time::hm(9, 5), Time::hm(10, 30), Time::hm(23, 50)] {
                     assert_eq!(g.eval_edge(e, t), fresh.eval_edge(ef, t), "node {v} at {t}");
                 }
             }

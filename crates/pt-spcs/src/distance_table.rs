@@ -13,21 +13,63 @@
 //! source and per-worker workspace reuse — the same total work, better
 //! scheduling and no per-source allocation.
 
+use std::fmt;
+
 use pt_core::{Period, Profile, StationId, Time, INFINITY};
 
 use crate::connection_setting::ProfileEngine;
 use crate::network::Network;
 use crate::transfer_selection::TransferSelection;
 
+/// A distance table was asked to serve a network state it was not built
+/// (or last refreshed) for. Pruning with a stale table silently produces
+/// wrong arrivals, so the engines refuse; a feed-driven server catches
+/// this and calls [`DistanceTable::refresh`] (same epoch) or rebuilds
+/// (different network instance) instead of crashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaleTable {
+    /// `(Network::epoch, Network::generation)` the table was built for.
+    pub built_for: (u64, u64),
+    /// The `(epoch, generation)` of the network that was queried.
+    pub queried: (u64, u64),
+}
+
+impl StaleTable {
+    /// `true` iff [`DistanceTable::refresh`] can reconcile the table (same
+    /// network instance, only the generation moved); `false` means a
+    /// different network entirely — rebuild from scratch.
+    pub fn refreshable(&self) -> bool {
+        self.built_for.0 == self.queried.0
+    }
+}
+
+impl fmt::Display for StaleTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stale distance table: built for network (epoch, generation) {:?}, queried \
+             against {:?} — refresh (or rebuild) distance tables after delay updates",
+            self.built_for, self.queried
+        )
+    }
+}
+
+impl std::error::Error for StaleTable {}
+
 /// A full profile table between transfer stations.
 ///
 /// The table is a snapshot of the network it was built from: after a
-/// [`Network::apply_delay`](crate::network::Network::apply_delay) its
-/// profiles are stale and pruning with it is unsound — rebuild it, or drop
-/// it and let queries fall back to the stopping criterion. The table
-/// records the `(epoch, generation)` of the network it was built from, and
-/// [`S2sEngine`](crate::S2sEngine) refuses (panics) to prune with a table
-/// whose stamp does not match the queried network.
+/// [`Network::apply_delay`](crate::network::Network::apply_delay) /
+/// [`Network::apply_feed`](crate::network::Network::apply_feed) its
+/// profiles are stale and pruning with it is unsound. The table records the
+/// `(epoch, generation)` of the network it was built from, and
+/// [`S2sEngine`](crate::S2sEngine) refuses to prune with a table whose
+/// stamp does not match the queried network — as a typed [`StaleTable`]
+/// from [`S2sEngine::try_query`](crate::S2sEngine::try_query), as a panic
+/// from the infallible paths. [`DistanceTable::refresh`] reconciles the
+/// table after a feed by recomputing only the rows whose profiles can have
+/// changed; rebuilding (or dropping — queries then fall back to the
+/// stopping criterion, staying correct) always works too.
 #[derive(Debug, Clone)]
 pub struct DistanceTable {
     period: Period,
@@ -61,9 +103,7 @@ impl DistanceTable {
         }
 
         // One sequential SPCS per source, sources batched over the pool.
-        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-        let mut engine = ProfileEngine::new().threads(workers);
-        let sets = engine.many_to_all(net, &stations);
+        let sets = build_engine().many_to_all(net, &stations);
 
         let mut profiles = Vec::with_capacity(n * n);
         for set in &sets {
@@ -79,19 +119,101 @@ impl DistanceTable {
         }
     }
 
-    /// Panics unless this table was built from exactly this network state
-    /// (same [`Network::epoch`](Network::epoch) and generation). Called by
-    /// the s2s engine before every table-pruned query: a stale table would
-    /// silently produce wrong arrivals, a panic makes the bug loud.
+    /// Incrementally reconciles the table with a network that was mutated
+    /// by delay feeds since the table was built (or last refreshed),
+    /// recomputing **only the rows that can have changed** instead of
+    /// dropping the whole table — what keeps §4 pruning hot under a live
+    /// feed.
+    ///
+    /// The affected rows come from the network itself: it records, per
+    /// generation, the departure stations of every re-timed connection
+    /// ([`Network::touched_since`]), so a table any number of feeds behind
+    /// still sees the **complete** union — the caller cannot accidentally
+    /// under-report. A profile `D(a, b)` can only change if some journey
+    /// from `a` rides a re-timed connection, i.e. if `a` reaches a touched
+    /// station in the station graph — which is invariant under delays, so
+    /// a reverse reachability search from the touched set (following
+    /// incoming edges) finds exactly the rows to recompute; every other
+    /// row provably matches a from-scratch rebuild. Columns need no
+    /// narrowing: an unaffected row is unaffected in every column. When
+    /// the table is further behind than the network's bounded log, every
+    /// row is recomputed (still in one batched pass).
+    ///
+    /// Returns the number of rows recomputed (0 when the table is already
+    /// fresh). Errors with a non-[`refreshable`](StaleTable::refreshable)
+    /// [`StaleTable`] when `net` is a *different network instance* (another
+    /// epoch) — refresh can only follow mutations of the network the table
+    /// was built from.
+    pub fn refresh(&mut self, net: &Network) -> Result<usize, StaleTable> {
+        let queried = (net.epoch(), net.generation());
+        if self.built_for.0 != net.epoch() {
+            return Err(StaleTable { built_for: self.built_for, queried });
+        }
+        if self.built_for.1 == net.generation() {
+            return Ok(0); // already fresh
+        }
+        let start = std::time::Instant::now();
+
+        let affected: Vec<StationId> = match net.touched_since(self.built_for.1) {
+            // Reverse reachability: every station with a path *into* the
+            // touched set can route through a re-timed connection.
+            Some(touched) => {
+                let sg = net.station_graph();
+                let mut reaches = vec![false; net.num_stations()];
+                let mut stack: Vec<StationId> = Vec::with_capacity(touched.len());
+                for &s in &touched {
+                    if !reaches[s.idx()] {
+                        reaches[s.idx()] = true;
+                        stack.push(s);
+                    }
+                }
+                while let Some(v) = stack.pop() {
+                    for &u in sg.incoming(v) {
+                        if !reaches[u.idx()] {
+                            reaches[u.idx()] = true;
+                            stack.push(u);
+                        }
+                    }
+                }
+                self.stations.iter().copied().filter(|s| reaches[s.idx()]).collect()
+            }
+            // Too far behind the network's log: recompute everything.
+            None => self.stations.clone(),
+        };
+        let sets = build_engine().many_to_all(net, &affected);
+        let n = self.stations.len();
+        for (&a, set) in affected.iter().zip(&sets) {
+            let row = self.index[a.idx()] as usize * n;
+            for (j, &b) in self.stations.iter().enumerate() {
+                self.profiles[row + j] = set.profile(b).clone();
+            }
+        }
+        self.built_for = queried;
+        self.build_time += start.elapsed();
+        Ok(affected.len())
+    }
+
+    /// `Ok` iff this table was built (or last [`DistanceTable::refresh`]ed)
+    /// from exactly this network state (same
+    /// [`Network::epoch`](Network::epoch) and generation); the typed
+    /// [`StaleTable`] otherwise. Checked by the s2s engine before every
+    /// table-pruned query.
+    pub fn check_fresh(&self, net: &Network) -> Result<(), StaleTable> {
+        let queried = (net.epoch(), net.generation());
+        if self.built_for == queried {
+            Ok(())
+        } else {
+            Err(StaleTable { built_for: self.built_for, queried })
+        }
+    }
+
+    /// Panicking form of [`DistanceTable::check_fresh`], for paths that
+    /// cannot recover: a stale table would silently produce wrong
+    /// arrivals, the panic makes the bug loud.
     pub fn assert_fresh(&self, net: &Network) {
-        assert_eq!(
-            self.built_for,
-            (net.epoch(), net.generation()),
-            "stale distance table: built for network (epoch, generation) {:?}, queried \
-             against {:?} — rebuild (or drop) distance tables after delay updates",
-            self.built_for,
-            (net.epoch(), net.generation())
-        );
+        if let Err(e) = self.check_fresh(net) {
+            panic!("{e}");
+        }
     }
 
     /// Number of transfer stations.
@@ -146,7 +268,8 @@ impl DistanceTable {
         self.profile(a, b).eval_arr(t, self.period)
     }
 
-    /// Wall-clock time spent in [`DistanceTable::build`].
+    /// Cumulative wall-clock time spent in [`DistanceTable::build`] and
+    /// every subsequent [`DistanceTable::refresh`].
     pub fn build_time(&self) -> std::time::Duration {
         self.build_time
     }
@@ -163,6 +286,12 @@ impl DistanceTable {
     pub fn size_mib(&self) -> f64 {
         self.size_bytes() as f64 / (1024.0 * 1024.0)
     }
+}
+
+/// The engine `build`/`refresh` distribute their one-to-all searches on.
+fn build_engine() -> ProfileEngine {
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    ProfileEngine::new().threads(workers)
 }
 
 #[cfg(test)]
@@ -221,6 +350,53 @@ mod tests {
         assert!(table.size_bytes() > 0);
         assert!(table.size_mib() > 0.0);
         assert!(table.build_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn refresh_matches_full_rebuild_entry_for_entry() {
+        use pt_core::{Dur, TrainId};
+        use pt_timetable::{DelayEvent, Recovery};
+        let mut net = net();
+        let mut table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
+        // Two *separate* feeds before a single refresh: the table is two
+        // generations behind, and the refresh must cover the union of both
+        // feeds' touched stations (it asks the network, so a caller cannot
+        // under-report the first feed).
+        let first = net.apply_feed(&[DelayEvent::Delay {
+            train: TrainId(0),
+            from_hop: 0,
+            delay: Dur::minutes(17),
+            recovery: Recovery::None,
+        }]);
+        let second = net.apply_feed(&[DelayEvent::Delay {
+            train: TrainId(3),
+            from_hop: 1,
+            delay: Dur::minutes(40),
+            recovery: Recovery::CatchUp { per_hop: Dur::minutes(5) },
+        }]);
+        assert!(first.changed() && second.changed());
+        assert!(table.check_fresh(&net).is_err(), "feeds must stale the table");
+        let rows = table.refresh(&net).expect("same epoch");
+        assert!(rows > 0, "the feeds must affect at least one transfer station");
+        assert!(table.check_fresh(&net).is_ok());
+        let rebuilt = DistanceTable::build_for(&net, table.stations().to_vec());
+        for &a in table.stations() {
+            for &b in table.stations() {
+                assert_eq!(table.profile(a, b), rebuilt.profile(a, b), "{a}→{b}");
+            }
+        }
+        // A second refresh with nothing new is free.
+        assert_eq!(table.refresh(&net).unwrap(), 0);
+    }
+
+    #[test]
+    fn refresh_rejects_a_different_network_instance() {
+        let net1 = net();
+        let net2 = net();
+        let mut table = DistanceTable::build(&net1, &TransferSelection::Fraction(0.1));
+        let err = table.refresh(&net2).unwrap_err();
+        assert!(!err.refreshable(), "another epoch can never be reconciled");
+        assert!(err.to_string().contains("stale distance table"));
     }
 
     #[test]

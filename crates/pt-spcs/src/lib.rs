@@ -16,10 +16,13 @@
 //! * [`workspace`] — persistent, epoch-stamped per-worker search state;
 //!   engines reuse it so the repeated-query hot path allocates nothing,
 //! * [`cache`] — the generation-keyed LRU over shared profile sets behind
-//!   [`ProfileEngine::with_cache`]; delay updates
-//!   ([`Network::apply_delay`]) invalidate it by bumping the generation,
+//!   [`ProfileEngine::with_cache`]; delay updates ([`Network::apply_delay`]
+//!   and batched feeds, [`Network::apply_feed`] — one bump per feed)
+//!   invalidate it by bumping the generation,
 //! * [`distance_table`] — precomputed full profile tables between transfer
-//!   stations,
+//!   stations, kept fresh under live feeds by the row-scoped incremental
+//!   [`DistanceTable::refresh`] (stale tables surface as a typed
+//!   [`StaleTable`] from the fallible s2s entry points),
 //! * [`transfer_selection`] / [`contraction`] — choosing the transfer
 //!   stations by station-graph contraction or by degree,
 //! * [`multicriteria`] — the paper's future-work extension: Pareto
@@ -44,9 +47,9 @@ pub mod workspace;
 
 pub use cache::{CacheStats, ProfileCache};
 pub use connection_setting::ProfileEngine;
-pub use distance_table::DistanceTable;
+pub use distance_table::{DistanceTable, StaleTable};
 pub use journey::{earliest_journey, Journey, Leg};
-pub use network::{DelayUpdate, Network};
+pub use network::{DelayUpdate, FeedSummary, Network};
 pub use parallel::OneToAllResult;
 pub use partition::PartitionStrategy;
 pub use profile_set::ProfileSet;

@@ -2,12 +2,23 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pt_core::{Dur, StationId, TrainId};
+use pt_core::{Dur, RouteId, StationId, TrainId};
 use pt_graph::{StationGraph, TdGraph};
-use pt_timetable::{Recovery, Routes, Timetable};
+use pt_timetable::{DelayEvent, Recovery, Routes, Timetable};
 
 /// Source of process-unique [`Network::epoch`] stamps.
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// How many mutations back [`Network::touched_since`] can answer. Bounds
+/// the per-network memory of the touched-station log; a consumer further
+/// behind than this falls back to a full recompute.
+const FEED_LOG_CAP: usize = 64;
+
+/// Scoped refits accumulate extra routes; once they exceed this floor
+/// *and* an eighth of the partition, the next overtaking fallback runs a
+/// full [`Routes::partition`] instead, re-coalescing every split (including
+/// those whose delays were since cancelled) at the same graph-rebuild cost.
+const REFIT_HEAL_FLOOR: usize = 16;
 
 /// How [`Network::apply_delay`] serviced an update — the fully dynamic
 /// scenario of the paper (§5.1).
@@ -21,9 +32,62 @@ pub enum DelayUpdate {
     /// edge counts are untouched, so warm engine workspaces stay sized.
     Patched,
     /// The delay made the route partition stale (a train now overtakes a
-    /// companion on its route, or departures collide): routes and
-    /// time-dependent graph were rebuilt from the patched timetable.
+    /// companion on its route, or departures collide): the offending route
+    /// was re-split ([`Routes::refit`]) and the time-dependent graph
+    /// rebuilt from the patched timetable.
     Rebuilt,
+}
+
+/// What [`Network::apply_feed`] did with one batch of [`DelayEvent`]s —
+/// the per-event outcomes plus the aggregate counters a feed-driven server
+/// (and the `throughput` bench) reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedSummary {
+    /// Per event, in feed order, how it was serviced. An event whose train
+    /// ended up with unchanged times (a no-op delay, a cancellation of a
+    /// never-delayed train, or a delay+cancel pair that nets out) is
+    /// [`DelayUpdate::Unchanged`]; an event on a route that stayed FIFO is
+    /// [`DelayUpdate::Patched`]; an event on an offending (refit) route is
+    /// [`DelayUpdate::Rebuilt`].
+    pub events: Vec<DelayUpdate>,
+    /// Distinct routes carrying a net-changed train.
+    pub touched_routes: usize,
+    /// Touched routes that stayed FIFO and were rewritten in place — each
+    /// exactly once ([`TdGraph::repatch_routes`]).
+    pub repatched_routes: usize,
+    /// Touched routes that lost FIFO and were re-split in place
+    /// ([`Routes::refit`]); non-zero means the graph was rebuilt once.
+    pub refit_routes: usize,
+    /// Departure stations of every net-changed connection, sorted and
+    /// deduplicated. Informational — the network records the same data per
+    /// generation in its own bounded log ([`Network::touched_since`]), which
+    /// is what [`DistanceTable::refresh`](crate::DistanceTable::refresh)
+    /// consults, so stale tables several feeds behind refresh correctly
+    /// without the caller accumulating these.
+    pub touched_stations: Vec<StationId>,
+}
+
+impl FeedSummary {
+    /// `true` iff the feed changed at least one connection time (exactly
+    /// when the generation was bumped — once).
+    pub fn changed(&self) -> bool {
+        self.touched_routes > 0
+    }
+
+    /// `true` iff the overtaking fallback ran (graph rebuilt once).
+    pub fn rebuilt(&self) -> bool {
+        self.refit_routes > 0
+    }
+
+    fn unchanged(num_events: usize) -> FeedSummary {
+        FeedSummary {
+            events: vec![DelayUpdate::Unchanged; num_events],
+            touched_routes: 0,
+            repatched_routes: 0,
+            refit_routes: 0,
+            touched_stations: Vec::new(),
+        }
+    }
 }
 
 /// A timetable together with every derived structure the searches need:
@@ -42,6 +106,15 @@ pub struct Network {
     /// `(epoch, generation)` so a network-free engine queried against
     /// several networks can never serve a result across them.
     epoch: u64,
+    /// The last [`FEED_LOG_CAP`] mutations as `(generation after the
+    /// mutation, its touched stations)` — consecutive generations, since
+    /// every mutation flows through [`Network::apply_feed`] and bumps
+    /// exactly once. Backs [`Network::touched_since`], the source of truth
+    /// for incremental distance-table refreshes.
+    feed_log: Vec<(u64, Vec<StationId>)>,
+    /// Routes added by scoped [`Routes::refit`]s since the last full
+    /// partition; drives the fragmentation heal (see [`REFIT_HEAL_FLOOR`]).
+    refit_extra_routes: usize,
 }
 
 impl Clone for Network {
@@ -55,6 +128,8 @@ impl Clone for Network {
             graph: self.graph.clone(),
             stations: self.stations.clone(),
             epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+            feed_log: self.feed_log.clone(),
+            refit_extra_routes: self.refit_extra_routes,
         }
     }
 }
@@ -66,7 +141,15 @@ impl Network {
         let graph = TdGraph::build(&timetable, &routes);
         let stations = StationGraph::build(&timetable);
         let epoch = NEXT_EPOCH.fetch_add(1, Ordering::Relaxed);
-        Network { timetable, routes, graph, stations, epoch }
+        Network {
+            timetable,
+            routes,
+            graph,
+            stations,
+            epoch,
+            feed_log: Vec::new(),
+            refit_extra_routes: 0,
+        }
     }
 
     /// Like [`Network::new`], borrowing the timetable (clones it).
@@ -96,19 +179,143 @@ impl Network {
         delay: Dur,
         recovery: Recovery,
     ) -> DelayUpdate {
-        let patch = self.timetable.patch_delay(train, from_hop, delay, recovery);
+        self.apply_feed(&[DelayEvent::Delay { train, from_hop, delay, recovery }]).events[0]
+    }
+
+    /// Withdraws every previous delay announcement for `train`
+    /// ([`DelayEvent::Cancel`] applied alone): its hops return to the
+    /// published schedule. A never-delayed train is a no-op
+    /// ([`DelayUpdate::Unchanged`], no generation bump).
+    pub fn apply_cancel(&mut self, train: TrainId) -> DelayUpdate {
+        self.apply_feed(&[DelayEvent::Cancel { train }]).events[0]
+    }
+
+    /// Applies a whole realtime feed to the live network in **one pass** —
+    /// the batched form of [`Network::apply_delay`], sized for GTFS-RT-style
+    /// streams of hundreds of updates:
+    ///
+    /// * [`Timetable::patch_feed`] coalesces the events per train, rewrites
+    ///   every net-changed connection once, re-sorts each touched `conn(S)`
+    ///   bucket once and bumps the generation **once** (so
+    ///   generation-keyed caches are invalidated once per feed, not once
+    ///   per event),
+    /// * [`Routes::repatch_feed`] follows the merged remap and returns the
+    ///   touched routes, each exactly once,
+    /// * touched routes that kept the FIFO property are rewritten in place
+    ///   by [`TdGraph::repatch_routes`] — **at most one repatch per touched
+    ///   route** regardless of how many events hit it,
+    /// * the overtaking fallback is scoped to the offending routes: only
+    ///   they are re-split ([`Routes::refit`]); the graph is then rebuilt
+    ///   once (route-node topology changed), every other route keeping its
+    ///   trains,
+    /// * the station graph is invariant (delays and cancellations shift
+    ///   times, never durations or the edge set) and is always kept.
+    ///
+    /// The returned [`FeedSummary`] carries a per-event [`DelayUpdate`]
+    /// (net semantics: events whose train ended up back on its previous
+    /// times report [`DelayUpdate::Unchanged`]) and the feed's touched
+    /// stations; the same stations are recorded per generation in the
+    /// network's bounded log ([`Network::touched_since`]) for incremental
+    /// [`DistanceTable::refresh`](crate::DistanceTable::refresh)es. A feed
+    /// with net effect nil leaves the network — and its generation —
+    /// untouched.
+    pub fn apply_feed(&mut self, events: &[DelayEvent]) -> FeedSummary {
+        let patch = self.timetable.patch_feed(events);
         if !patch.changed {
-            return DelayUpdate::Unchanged;
+            return FeedSummary::unchanged(events.len());
         }
-        self.routes.repatch(&self.timetable, &patch);
-        if self.routes.route_is_fifo(&self.timetable, self.routes.route_of(train)) {
-            self.graph.repatch(&self.timetable, &self.routes, train, &patch);
-            DelayUpdate::Patched
+        let touched = self.routes.repatch_feed(&self.timetable, &patch);
+        let (fifo, offending): (Vec<RouteId>, Vec<RouteId>) =
+            touched.iter().partition(|&&r| self.routes.route_is_fifo(&self.timetable, r));
+
+        // Attribute outcomes before refit renumbers trains' routes.
+        let events_out: Vec<DelayUpdate> = events
+            .iter()
+            .zip(&patch.event_changed)
+            .map(|(ev, &changed)| {
+                let train = ev.train();
+                if !changed || patch.trains.binary_search(&train).is_err() {
+                    DelayUpdate::Unchanged
+                } else if offending.contains(&self.routes.route_of(train)) {
+                    DelayUpdate::Rebuilt
+                } else {
+                    DelayUpdate::Patched
+                }
+            })
+            .collect();
+
+        if offending.is_empty() {
+            self.graph.repatch_routes(&self.timetable, &self.routes, &fifo, &patch.remapped);
         } else {
-            self.routes = Routes::partition(&self.timetable);
+            // Scoped fallback: re-split only the offending routes, then
+            // rebuild the graph (its route-node topology changed). The
+            // still-FIFO touched routes are covered by the rebuild too.
+            let routes_before = self.routes.len();
+            self.routes.refit(&self.timetable, &offending);
+            self.refit_extra_routes += self.routes.len() - routes_before;
+            // Scoped refits only ever split; nothing re-merges trains whose
+            // delays were later cancelled, so a long-lived stream would
+            // fragment the partition monotonically. Heal by amortization:
+            // once the accumulated splits are substantial, spend one full
+            // partition here — the graph is being rebuilt anyway.
+            if self.refit_extra_routes >= REFIT_HEAL_FLOOR
+                && self.refit_extra_routes * 8 > self.routes.len()
+            {
+                self.routes = Routes::partition(&self.timetable);
+                self.refit_extra_routes = 0;
+            }
             self.graph = TdGraph::build(&self.timetable, &self.routes);
-            DelayUpdate::Rebuilt
         }
+        self.feed_log.push((self.generation(), patch.touched_stations.clone()));
+        if self.feed_log.len() > FEED_LOG_CAP {
+            self.feed_log.remove(0);
+        }
+        FeedSummary {
+            events: events_out,
+            touched_routes: touched.len(),
+            repatched_routes: if offending.is_empty() { fifo.len() } else { 0 },
+            refit_routes: offending.len(),
+            touched_stations: patch.touched_stations,
+        }
+    }
+
+    /// The union of touched stations (departure stations of re-timed
+    /// connections) over every mutation after `generation`, or `None` when
+    /// the bounded log no longer reaches back that far — the consumer must
+    /// then assume everything changed. `Some(vec![])` means the network
+    /// has not changed since `generation`. Backs
+    /// [`DistanceTable::refresh`](crate::DistanceTable::refresh), which
+    /// needs the *complete* union since its build generation — asking the
+    /// network instead of trusting callers to accumulate per-feed
+    /// summaries closes the it-looked-fresh-but-wasn't hole.
+    pub fn touched_since(&self, generation: u64) -> Option<Vec<StationId>> {
+        let current = self.generation();
+        if generation > current {
+            return None; // a future generation: not this network's past
+        }
+        if generation == current {
+            return Some(Vec::new());
+        }
+        // Entries carry consecutive generations (each mutation bumps once),
+        // so coverage of (generation, current] is a contiguity walk.
+        let mut covered = generation;
+        let mut union: Vec<StationId> = Vec::new();
+        for (g, stations) in &self.feed_log {
+            if *g <= generation {
+                continue;
+            }
+            if *g != covered + 1 {
+                return None; // trimmed out of the bounded log
+            }
+            covered = *g;
+            union.extend(stations.iter().copied());
+        }
+        if covered != current {
+            return None;
+        }
+        union.sort_unstable();
+        union.dedup();
+        Some(union)
     }
 
     /// The timetable's update generation (see [`Timetable::generation`]).

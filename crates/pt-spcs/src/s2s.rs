@@ -33,7 +33,7 @@ use std::time::Instant;
 use pt_core::{ConnId, NodeId, Profile, StationId, Time, INFINITY};
 
 use crate::connection_setting::{reduce_station_profile, PRUNED};
-use crate::distance_table::DistanceTable;
+use crate::distance_table::{DistanceTable, StaleTable};
 use crate::network::Network;
 use crate::partition::PartitionStrategy;
 use crate::stats::QueryStats;
@@ -69,8 +69,12 @@ pub struct S2sResult {
 /// (parallel work runs on the process-global pool); repeated queries
 /// through one engine run allocation-free once warm. Queries take the
 /// network by reference, so the workspaces also survive
-/// [`Network::apply_delay`] updates between queries. A configured distance
-/// table is **not** delay-aware: rebuild (or drop) it after a delay.
+/// [`Network::apply_delay`] / [`Network::apply_feed`] updates between
+/// queries. A configured distance table must match the queried network
+/// state: after a delay the engine refuses it — typed ([`StaleTable`])
+/// from [`S2sEngine::try_query`] / [`S2sEngine::try_batch`], panicking
+/// from the infallible forms — until it is
+/// [`refresh`](DistanceTable::refresh)ed or rebuilt.
 #[derive(Debug, Clone)]
 pub struct S2sEngine<'a> {
     threads: usize,
@@ -140,7 +144,30 @@ impl<'a> S2sEngine<'a> {
     }
 
     /// Computes the profile `dist(source, target, ·)`.
+    ///
+    /// Panics when the configured distance table is stale (see
+    /// [`S2sEngine::try_query`] for the recoverable form).
     pub fn query(&mut self, net: &Network, source: StationId, target: StationId) -> S2sResult {
+        match self.try_query(net, source, target) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`S2sEngine::query`], but a stale distance table — the network
+    /// moved on (delay feed) since the table was built or refreshed — comes
+    /// back as a typed [`StaleTable`] instead of a panic, so a feed-driven
+    /// server can [`DistanceTable::refresh`] (or rebuild) and retry instead
+    /// of crashing. An engine without a table never errors.
+    pub fn try_query(
+        &mut self,
+        net: &Network,
+        source: StationId,
+        target: StationId,
+    ) -> Result<S2sResult, StaleTable> {
+        if let Some(table) = self.table {
+            table.check_fresh(net)?;
+        }
         self.ensure_workers();
         let cfg = QueryConfig {
             net,
@@ -149,7 +176,7 @@ impl<'a> S2sEngine<'a> {
             stopping: self.stopping,
             strategy: self.strategy,
         };
-        query_with(&cfg, self.threads, &mut self.workspaces, source, target)
+        Ok(query_with(&cfg, self.threads, &mut self.workspaces, source, target))
     }
 
     /// Batch station-to-station queries.
@@ -158,7 +185,26 @@ impl<'a> S2sEngine<'a> {
     /// queries: each worker answers whole queries from a shared work queue
     /// on its own workspace, with the full §4 pruning per query. With fewer
     /// pairs it answers them one at a time using within-query parallelism.
+    ///
+    /// Panics when the configured distance table is stale (see
+    /// [`S2sEngine::try_batch`] for the recoverable form).
     pub fn batch(&mut self, net: &Network, pairs: &[(StationId, StationId)]) -> Vec<S2sResult> {
+        match self.try_batch(net, pairs) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`S2sEngine::batch`], with the stale-table case as a typed
+    /// [`StaleTable`] — checked once up front for the whole batch.
+    pub fn try_batch(
+        &mut self,
+        net: &Network,
+        pairs: &[(StationId, StationId)],
+    ) -> Result<Vec<S2sResult>, StaleTable> {
+        if let Some(table) = self.table {
+            table.check_fresh(net)?;
+        }
         self.ensure_workers();
         let cfg = QueryConfig {
             net,
@@ -168,16 +214,16 @@ impl<'a> S2sEngine<'a> {
             strategy: self.strategy,
         };
         if self.threads > 1 && pairs.len() >= self.threads {
-            crate::parallel::run_batch(
+            Ok(crate::parallel::run_batch(
                 &mut self.workspaces[..self.threads],
                 pairs.len(),
                 |i, ws| {
                     let (s, t) = pairs[i];
                     query_with(&cfg, 1, std::slice::from_mut(ws), s, t)
                 },
-            )
+            ))
         } else {
-            pairs.iter().map(|&(s, t)| self.query(net, s, t)).collect()
+            pairs.iter().map(|&(s, t)| self.try_query(net, s, t)).collect()
         }
     }
 }
@@ -654,6 +700,46 @@ mod tests {
         // The table snapshot predates the delay: pruning with it would be
         // silently wrong, so the engine must refuse loudly.
         let _ = S2sEngine::new().with_table(&table).query(&net, StationId(3), StationId(40));
+    }
+
+    #[test]
+    fn try_query_returns_typed_stale_error_and_recovers_after_refresh() {
+        use pt_core::{Dur, TrainId};
+        use pt_timetable::{DelayEvent, Recovery};
+        let mut net = city();
+        let mut table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        let (s, t) = (StationId(3), StationId(40));
+        {
+            // Fresh table: Ok path, identical to the infallible query.
+            let mut engine = S2sEngine::new().with_table(&table);
+            let ok = engine.try_query(&net, s, t).expect("fresh table must answer");
+            assert_eq!(ok.profile, S2sEngine::new().with_table(&table).query(&net, s, t).profile);
+        }
+        let summary = net.apply_feed(&[DelayEvent::Delay {
+            train: TrainId(0),
+            from_hop: 0,
+            delay: Dur::minutes(20),
+            recovery: Recovery::None,
+        }]);
+        assert!(summary.changed());
+        {
+            // Stale table: the typed error, carrying both stamps, and the
+            // batch form errors identically.
+            let mut engine = S2sEngine::new().with_table(&table);
+            let err = engine.try_query(&net, s, t).expect_err("stale table must error");
+            assert!(err.refreshable(), "same network instance is refreshable");
+            assert_eq!(err.queried, (net.epoch(), net.generation()));
+            assert_eq!(engine.try_batch(&net, &[(s, t)]).unwrap_err(), err);
+        }
+        // The server-side recovery: refresh, then retry succeeds and agrees
+        // with an uncached search on the fed network.
+        table.refresh(&net).expect("same epoch refreshes");
+        let got = S2sEngine::new()
+            .with_table(&table)
+            .try_query(&net, s, t)
+            .expect("refreshed table must answer");
+        let want = ProfileEngine::new().one_to_all(&net, s);
+        assert_eq!(&got.profile, want.profile(t));
     }
 
     #[test]

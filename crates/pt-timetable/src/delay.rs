@@ -6,12 +6,15 @@
 //! [`Timetable::patch_delay`] updates a timetable **in place** so a train
 //! runs late from a given hop onward, with the delay optionally decaying at
 //! later stops (catch-up through schedule slack); the pure [`apply_delay`]
-//! is a thin clone-then-patch wrapper. Searches on the patched timetable
-//! immediately reflect the disruption; only precomputed distance tables
-//! must be rebuilt (or dropped — queries then fall back to the stopping
-//! criterion, staying correct).
+//! is a thin clone-then-patch wrapper. A live GTFS-RT-style stream is
+//! served by [`Timetable::patch_feed`], which applies a whole batch of
+//! [`DelayEvent`]s — delays *and* cancellations (re-announcing the
+//! published schedule) — in one pass with a single generation bump.
+//! Searches on the patched timetable immediately reflect the disruption;
+//! only precomputed distance tables must be refreshed (or dropped — queries
+//! then fall back to the stopping criterion, staying correct).
 
-use pt_core::{ConnId, Dur, TrainId};
+use pt_core::{ConnId, Dur, StationId, TrainId};
 
 use crate::model::Timetable;
 
@@ -22,6 +25,75 @@ pub enum Recovery {
     None,
     /// The train catches up `per_hop` at each later hop until on time.
     CatchUp { per_hop: Dur },
+}
+
+/// One item of a realtime update feed (a GTFS-RT-style stream): either a
+/// delay announcement or the *cancellation* of all previous announcements
+/// for a train (re-announcing its published schedule times).
+///
+/// Events are applied in feed order by [`Timetable::patch_feed`]; the result
+/// is exactly what applying them one at a time through
+/// [`Timetable::patch_delay`] / [`Timetable::patch_cancel`] would produce,
+/// but with one coalesced write-back, one re-sort per touched `conn(S)`
+/// bucket, one merged [`ConnId`] remap and a single generation bump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayEvent {
+    /// `train` runs `delay` late from its `from_hop`-th hop onward,
+    /// recovering per [`Recovery`] — the batched form of
+    /// [`Timetable::patch_delay`].
+    Delay { train: TrainId, from_hop: u16, delay: Dur, recovery: Recovery },
+    /// All delay announcements for `train` are withdrawn: every hop returns
+    /// to its published schedule time.
+    Cancel { train: TrainId },
+}
+
+impl DelayEvent {
+    /// The train this event concerns.
+    #[inline]
+    pub fn train(&self) -> TrainId {
+        match *self {
+            DelayEvent::Delay { train, .. } | DelayEvent::Cancel { train } => train,
+        }
+    }
+}
+
+/// What [`Timetable::patch_feed`] changed — the batched analogue of
+/// [`DelayPatch`], with everything derived structures and distance-table
+/// refreshes need to follow a whole feed in one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedPatch {
+    /// `false` iff the feed's *net* effect was nil (every event a no-op, or
+    /// events cancelling each other out); the generation is bumped — once —
+    /// only when `true`.
+    pub changed: bool,
+    /// Per event, in feed order: did applying it (on top of the preceding
+    /// events) move at least one departure? Sequential semantics: the flag
+    /// a lone [`Timetable::patch_delay`] / [`Timetable::patch_cancel`]
+    /// would have reported at that point of the feed.
+    pub event_changed: Vec<bool>,
+    /// Trains with at least one connection whose time *net*-changed,
+    /// sorted, deduplicated.
+    pub trains: Vec<TrainId>,
+    /// Merged `(old, new)` [`ConnId`] remap over all touched-bucket
+    /// re-sorts; a permutation, exactly like [`DelayPatch::remapped`].
+    pub remapped: Vec<(ConnId, ConnId)>,
+    /// Departure stations of every net-changed connection, sorted,
+    /// deduplicated — the seed set for reverse-reachability distance-table
+    /// refreshes.
+    pub touched_stations: Vec<StationId>,
+}
+
+impl FeedPatch {
+    /// A patch that changed nothing (the all-no-op feed).
+    pub(crate) fn unchanged(num_events: usize) -> FeedPatch {
+        FeedPatch {
+            changed: false,
+            event_changed: vec![false; num_events],
+            trains: Vec::new(),
+            remapped: Vec::new(),
+            touched_stations: Vec::new(),
+        }
+    }
 }
 
 /// What [`Timetable::patch_delay`] changed — everything a derived structure
@@ -213,6 +285,123 @@ mod tests {
         }
         assert_eq!(patched.generation(), 0);
         assert_eq!(patched.connections(), tt.connections());
+    }
+
+    #[test]
+    fn patch_feed_equals_sequential_patches_with_one_bump() {
+        let (tt, _) = line();
+        // Feed: delay train 0, delay train 1, pile a second delay onto
+        // train 0 (coalesced per train), cancel train 1 (net no-op for it).
+        let events = [
+            DelayEvent::Delay {
+                train: TrainId(0),
+                from_hop: 0,
+                delay: Dur::minutes(5),
+                recovery: Recovery::None,
+            },
+            DelayEvent::Delay {
+                train: TrainId(1),
+                from_hop: 1,
+                delay: Dur::minutes(9),
+                recovery: Recovery::None,
+            },
+            DelayEvent::Delay {
+                train: TrainId(0),
+                from_hop: 1,
+                delay: Dur::minutes(3),
+                recovery: Recovery::None,
+            },
+            DelayEvent::Cancel { train: TrainId(1) },
+        ];
+        let mut batched = tt.clone();
+        let patch = batched.patch_feed(&events);
+        assert!(patch.changed);
+        assert_eq!(patch.event_changed, vec![true, true, true, true]);
+        assert_eq!(patch.trains, vec![TrainId(0)], "train 1's events cancelled out");
+        assert_eq!(batched.generation(), 1, "a feed costs exactly one bump");
+
+        let mut sequential = tt.clone();
+        sequential.patch_delay(TrainId(0), 0, Dur::minutes(5), Recovery::None);
+        sequential.patch_delay(TrainId(1), 1, Dur::minutes(9), Recovery::None);
+        sequential.patch_delay(TrainId(0), 1, Dur::minutes(3), Recovery::None);
+        sequential.patch_cancel(TrainId(1));
+        assert_eq!(batched.connections(), sequential.connections());
+
+        // The merged remap is a valid permutation: ids follow their conns.
+        for &(old, new) in &patch.remapped {
+            let (before, after) = (tt.connection(old), batched.connection(new));
+            assert_eq!((before.train, before.seq), (after.train, after.seq));
+        }
+        // Touched stations are exactly the dep stations of changed conns.
+        for &s in &patch.touched_stations {
+            assert!(batched
+                .conn(s)
+                .iter()
+                .zip(tt.conn(s))
+                .any(|(a, b)| a != b || a.train == TrainId(0)));
+        }
+    }
+
+    #[test]
+    fn net_nil_feed_is_a_no_op() {
+        let (tt, _) = line();
+        let mut patched = tt.clone();
+        let patch = patched.patch_feed(&[
+            DelayEvent::Delay {
+                train: TrainId(0),
+                from_hop: 0,
+                delay: Dur::minutes(12),
+                recovery: Recovery::None,
+            },
+            DelayEvent::Cancel { train: TrainId(0) },
+        ]);
+        // Both events moved departures *within the simulation*…
+        assert_eq!(patch.event_changed, vec![true, true]);
+        // …but the net effect is nil: no bump, no remap, identical conns.
+        assert!(!patch.changed);
+        assert!(patch.remapped.is_empty() && patch.trains.is_empty());
+        assert_eq!(patched.generation(), 0);
+        assert_eq!(patched.connections(), tt.connections());
+    }
+
+    #[test]
+    fn cancel_of_never_delayed_train_is_unchanged() {
+        let (tt, _) = line();
+        let mut patched = tt.clone();
+        let patch = patched.patch_cancel(TrainId(0));
+        assert!(!patch.changed);
+        assert_eq!(patched.generation(), 0);
+        assert_eq!(patched.connections(), tt.connections());
+    }
+
+    #[test]
+    fn cancel_restores_schedule_after_resorts_and_roundtrips() {
+        let (tt, s) = line();
+        let mut patched = tt.clone();
+        // +70 min pushes the 08:00 train behind the 09:00 one: buckets
+        // re-sort, ConnIds move — the schedule times must move with them.
+        patched.patch_delay(TrainId(0), 0, Dur::minutes(70), Recovery::None);
+        let delayed_conns = patched.connections().to_vec();
+        let patch = patched.patch_cancel(TrainId(0));
+        assert!(patch.changed);
+        assert_eq!(patched.connections(), tt.connections(), "cancel restores the schedule");
+        for st in [s[0], s[1]] {
+            for (c, id) in patched.conn(st).iter().zip(patched.conn_ids(st)) {
+                assert_eq!(patched.scheduled_dep(pt_core::ConnId(id)), c.dep);
+            }
+        }
+        // Re-announcing the same delay round-trips to the delayed state.
+        patched.patch_delay(TrainId(0), 0, Dur::minutes(70), Recovery::None);
+        assert_eq!(patched.connections(), delayed_conns.as_slice());
+    }
+
+    #[test]
+    fn empty_feed_is_unchanged() {
+        let (tt, _) = line();
+        let mut patched = tt.clone();
+        let patch = patched.patch_feed(&[]);
+        assert!(!patch.changed && patch.event_changed.is_empty());
+        assert_eq!(patched.generation(), 0);
     }
 
     #[test]

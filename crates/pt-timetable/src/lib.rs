@@ -26,6 +26,6 @@ pub mod synthetic;
 pub mod validate;
 
 pub use builder::{TimetableBuilder, TripStop};
-pub use delay::{apply_delay, DelayPatch, Recovery};
+pub use delay::{apply_delay, DelayEvent, DelayPatch, FeedPatch, Recovery};
 pub use model::{Connection, Station, Timetable, TimetableError, TimetableStats};
 pub use routes::{RouteInfo, Routes};

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use pt_core::{ConnId, Dur, Period, StationId, Time, TrainId};
 
-use crate::delay::{effective_delay, DelayPatch, Recovery};
+use crate::delay::{effective_delay, DelayEvent, DelayPatch, FeedPatch, Recovery};
 
 /// A station `S ∈ S` with its minimum transfer time `T(S)`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -127,10 +127,15 @@ pub struct Timetable {
     stations: Vec<Station>,
     num_trains: u32,
     conns: Vec<Connection>,
+    /// Published (schedule) departure time of each connection, aligned with
+    /// `conns` and permuted along with it whenever a touched bucket is
+    /// re-sorted. Delay *cancellations* restore these times.
+    sched: Vec<Time>,
     /// `first_out[s] .. first_out[s+1]` indexes `conns` for station `s`.
     first_out: Vec<u32>,
     /// Monotonically-increasing update stamp, bumped by every in-place
-    /// mutation ([`Timetable::patch_delay`]). Query caches key on it: a
+    /// mutation ([`Timetable::patch_delay`], [`Timetable::patch_feed`]) that
+    /// changes at least one connection time. Query caches key on it: a
     /// bumped generation invalidates every cached result for free.
     generation: u64,
 }
@@ -172,7 +177,8 @@ impl Timetable {
         for i in 1..first_out.len() {
             first_out[i] += first_out[i - 1];
         }
-        Ok(Timetable { period, stations, num_trains, conns, first_out, generation: 0 })
+        let sched = conns.iter().map(|c| c.dep).collect();
+        Ok(Timetable { period, stations, num_trains, conns, sched, first_out, generation: 0 })
     }
 
     /// The periodicity `Π`.
@@ -214,48 +220,156 @@ impl Timetable {
         delay: Dur,
         recovery: Recovery,
     ) -> DelayPatch {
+        let feed = self.patch_feed(&[DelayEvent::Delay { train, from_hop, delay, recovery }]);
+        DelayPatch { train, changed: feed.changed, remapped: feed.remapped }
+    }
+
+    /// Cancels every previous delay announcement for `train` **in place**:
+    /// all its hops return to their published schedule times (the
+    /// [`DelayEvent::Cancel`] of a feed, applied alone). A never-delayed
+    /// train is a no-op (`patch.changed == false`, generation untouched).
+    pub fn patch_cancel(&mut self, train: TrainId) -> DelayPatch {
+        let feed = self.patch_feed(&[DelayEvent::Cancel { train }]);
+        DelayPatch { train, changed: feed.changed, remapped: feed.remapped }
+    }
+
+    /// Applies a whole realtime feed **in place**, in one pass: events are
+    /// coalesced per train (each applied in feed order on top of its
+    /// predecessors, exactly as one-at-a-time [`Timetable::patch_delay`] /
+    /// [`Timetable::patch_cancel`] calls would), connections are rewritten
+    /// once with their *net* new times, each touched `conn(S)` bucket is
+    /// re-sorted once, and a single merged [`ConnId`] remap is returned.
+    ///
+    /// Bumps [`Timetable::generation`] **once** iff at least one connection
+    /// ended up with a different time than before the feed — a feed whose
+    /// events cancel out (delay + cancel of the same train) is a no-op and
+    /// leaves the generation alone, even though individual
+    /// [`FeedPatch::event_changed`] flags may be set.
+    pub fn patch_feed(&mut self, events: &[DelayEvent]) -> FeedPatch {
+        if events.is_empty() {
+            return FeedPatch::unchanged(0);
+        }
+        let mut feed_trains: Vec<TrainId> = events.iter().map(DelayEvent::train).collect();
+        feed_trains.sort_unstable();
+        feed_trains.dedup();
+        let slot_of = |t: TrainId| feed_trains.binary_search(&t).ok();
+
+        // Connection indices of every train the feed mentions (one scan).
+        let mut train_conns: Vec<Vec<usize>> = vec![Vec::new(); feed_trains.len()];
+        for (i, c) in self.conns.iter().enumerate() {
+            if let Some(s) = slot_of(c.train) {
+                train_conns[s].push(i);
+            }
+        }
+
+        // Simulate the feed on working copies of the departure times.
         let pi = self.period.len() as u64;
+        let mut deps: Vec<Vec<Time>> = train_conns
+            .iter()
+            .map(|ixs| ixs.iter().map(|&i| self.conns[i].dep).collect())
+            .collect();
+        let mut event_changed = vec![false; events.len()];
+        for (ei, ev) in events.iter().enumerate() {
+            let s = slot_of(ev.train()).expect("every feed train is indexed");
+            match *ev {
+                DelayEvent::Delay { from_hop, delay, recovery, .. } => {
+                    for (k, &ci) in train_conns[s].iter().enumerate() {
+                        let seq = self.conns[ci].seq;
+                        if seq < from_hop {
+                            continue;
+                        }
+                        let effective = effective_delay(delay, recovery, (seq - from_hop) as u32);
+                        if effective == Dur::ZERO {
+                            continue;
+                        }
+                        // 64-bit reduction: `dep + effective` may exceed u32
+                        // for adversarial delays; the period-local result
+                        // never does.
+                        let d = &mut deps[s][k];
+                        let shifted =
+                            Time(((d.secs() as u64 + effective.secs() as u64) % pi) as u32);
+                        if *d != shifted {
+                            *d = shifted;
+                            event_changed[ei] = true;
+                        }
+                    }
+                }
+                DelayEvent::Cancel { .. } => {
+                    for (k, &ci) in train_conns[s].iter().enumerate() {
+                        let published = self.sched[ci];
+                        if deps[s][k] != published {
+                            deps[s][k] = published;
+                            event_changed[ei] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // One coalesced write-back of the *net* new times.
         let mut touched: Vec<StationId> = Vec::new();
-        for c in &mut self.conns {
-            if c.train != train || c.seq < from_hop {
-                continue;
+        let mut trains: Vec<TrainId> = Vec::new();
+        for (s, ixs) in train_conns.iter().enumerate() {
+            let mut train_changed = false;
+            for (k, &ci) in ixs.iter().enumerate() {
+                let new_dep = deps[s][k];
+                let c = &mut self.conns[ci];
+                if c.dep != new_dep {
+                    let dur = c.dur();
+                    c.dep = new_dep;
+                    c.arr = new_dep + dur;
+                    touched.push(c.from);
+                    train_changed = true;
+                }
             }
-            let hops_in = (c.seq - from_hop) as u32;
-            let effective = effective_delay(delay, recovery, hops_in);
-            if effective == Dur::ZERO {
-                continue;
+            if train_changed {
+                trains.push(feed_trains[s]);
             }
-            let dur = c.dur();
-            // 64-bit reduction: `dep + effective` may exceed u32 for
-            // adversarial delays; the period-local result never does.
-            c.dep = Time(((c.dep.secs() as u64 + effective.secs() as u64) % pi) as u32);
-            c.arr = c.dep + dur;
-            touched.push(c.from);
         }
         if touched.is_empty() {
-            return DelayPatch { train, changed: false, remapped: Vec::new() };
+            return FeedPatch { event_changed, ..FeedPatch::unchanged(events.len()) };
         }
         self.generation += 1;
         touched.sort_unstable();
         touched.dedup();
+        let remapped = self.resort_buckets(&touched);
+        FeedPatch { changed: true, event_changed, trains, remapped, touched_stations: touched }
+    }
 
-        // Restore per-bucket departure order, recording every ConnId move.
+    /// Restores per-bucket departure order after connection times moved,
+    /// recording every [`ConnId`] move. The schedule times ride along so
+    /// cancellations keep working after any number of re-sorts.
+    fn resort_buckets(&mut self, touched: &[StationId]) -> Vec<(ConnId, ConnId)> {
         let mut remapped: Vec<(ConnId, ConnId)> = Vec::new();
-        for s in touched {
+        for &s in touched {
             let lo = self.first_out[s.idx()] as usize;
             let hi = self.first_out[s.idx() + 1] as usize;
-            let mut tagged: Vec<(Connection, u32)> =
-                self.conns[lo..hi].iter().copied().zip(lo as u32..).collect();
-            tagged.sort_unstable_by_key(|&(c, _)| (c.dep, c.train, c.seq));
-            for (offset, &(c, old)) in tagged.iter().enumerate() {
+            let mut tagged: Vec<(Connection, Time, u32)> = self.conns[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.sched[lo..hi].iter().copied())
+                .zip(lo as u32..)
+                .map(|((c, sd), i)| (c, sd, i))
+                .collect();
+            tagged.sort_unstable_by_key(|&(c, _, _)| (c.dep, c.train, c.seq));
+            for (offset, &(c, sd, old)) in tagged.iter().enumerate() {
                 let new = (lo + offset) as u32;
                 self.conns[new as usize] = c;
+                self.sched[new as usize] = sd;
                 if old != new {
                     remapped.push((ConnId(old), ConnId(new)));
                 }
             }
         }
-        DelayPatch { train, changed: true, remapped }
+        remapped
+    }
+
+    /// The published (schedule) departure time of a connection — what a
+    /// [`DelayEvent::Cancel`] restores. Equals [`Connection::dep`] unless
+    /// the connection currently carries a delay.
+    #[inline]
+    pub fn scheduled_dep(&self, c: ConnId) -> Time {
+        self.sched[c.idx()]
     }
 
     /// Number of stations `|S|`.

@@ -14,7 +14,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use pt_core::{ConnId, RouteId, StationId, Time, TrainId};
 
-use crate::delay::DelayPatch;
+use crate::delay::{DelayPatch, FeedPatch};
 use crate::model::Timetable;
 
 /// One route: a maximal overtaking-free set of trains sharing a stop
@@ -175,27 +175,131 @@ impl Routes {
         if !patch.changed {
             return;
         }
-        if !patch.remapped.is_empty() {
-            let map: HashMap<ConnId, ConnId> = patch.remapped.iter().copied().collect();
-            // Trains owning a moved connection (read at the new id).
-            let mut trains: Vec<TrainId> =
-                patch.remapped.iter().map(|&(_, n)| tt.connection(n).train).collect();
-            trains.sort_unstable();
-            trains.dedup();
-            for t in trains {
-                for c in &mut self.train_conns[t.idx()] {
-                    if let Some(&n) = map.get(c) {
-                        *c = n;
-                    }
+        self.apply_remap(tt, &patch.remapped);
+        let r = self.train_route[patch.train.idx()];
+        if r != RouteId(u32::MAX) {
+            self.resort_route_trains(tt, r);
+        }
+    }
+
+    /// The multi-train analogue of [`Routes::repatch`], following a
+    /// [`Timetable::patch_feed`]: rewrites every remapped [`ConnId`] once
+    /// and restores the train order on **each** route that carries a
+    /// net-changed train, returning those routes sorted and deduplicated —
+    /// each appears exactly once, so the caller rewrites (or refits) every
+    /// touched route exactly once regardless of how many feed events hit
+    /// it. The partition itself is not recomputed; run
+    /// [`Routes::route_is_fifo`] on the returned routes and
+    /// [`Routes::refit`] the ones that fail.
+    pub fn repatch_feed(&mut self, tt: &Timetable, patch: &FeedPatch) -> Vec<RouteId> {
+        if !patch.changed {
+            return Vec::new();
+        }
+        self.apply_remap(tt, &patch.remapped);
+        let mut touched: Vec<RouteId> = patch
+            .trains
+            .iter()
+            .map(|&t| self.train_route[t.idx()])
+            .filter(|&r| r != RouteId(u32::MAX))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for &r in &touched {
+            self.resort_route_trains(tt, r);
+        }
+        touched
+    }
+
+    /// Rewrites every remapped [`ConnId`] in the per-train connection lists.
+    fn apply_remap(&mut self, tt: &Timetable, remapped: &[(ConnId, ConnId)]) {
+        if remapped.is_empty() {
+            return;
+        }
+        let map: HashMap<ConnId, ConnId> = remapped.iter().copied().collect();
+        // Trains owning a moved connection (read at the new id).
+        let mut trains: Vec<TrainId> =
+            remapped.iter().map(|&(_, n)| tt.connection(n).train).collect();
+        trains.sort_unstable();
+        trains.dedup();
+        for t in trains {
+            for c in &mut self.train_conns[t.idx()] {
+                if let Some(&n) = map.get(c) {
+                    *c = n;
                 }
             }
         }
-        let r = self.train_route[patch.train.idx()];
-        if r != RouteId(u32::MAX) {
-            let train_conns = &self.train_conns;
-            self.routes[r.idx()]
-                .trains
-                .sort_unstable_by_key(|&t| (tt.connection(train_conns[t.idx()][0]).dep, t));
+    }
+
+    /// Restores the "trains ordered by first-stop departure" invariant of
+    /// one route.
+    fn resort_route_trains(&mut self, tt: &Timetable, r: RouteId) {
+        let train_conns = &self.train_conns;
+        self.routes[r.idx()]
+            .trains
+            .sort_unstable_by_key(|&t| (tt.connection(train_conns[t.idx()][0]).dep, t));
+    }
+
+    /// Re-splits each of the given (presumed non-FIFO) routes into
+    /// overtaking-free subroutes — the *scoped* fallback when a delay makes
+    /// a train overtake a companion: only the offending routes are
+    /// repartitioned, every other route keeps its id and trains. The first
+    /// subroute reuses the stale [`RouteId`]; extra subroutes are appended
+    /// at fresh ids (so the graph must be rebuilt afterwards — route-node
+    /// topology changed — but the partition work is proportional to the
+    /// offending routes, not the whole timetable).
+    ///
+    /// Any finer-than-maximal FIFO split is a *sound* partition for the
+    /// realistic time-dependent model, so queries on the refit partition
+    /// are identical to a from-scratch [`Routes::partition`]. Each
+    /// resulting route passes [`Routes::route_is_fifo`] by construction
+    /// (the fit check includes the cyclic condition).
+    pub fn refit(&mut self, tt: &Timetable, stale: &[RouteId]) {
+        let pi = tt.period().len();
+        for &r in stale {
+            let info = &self.routes[r.idx()];
+            if info.trains.len() <= 1 {
+                continue; // a single train can never overtake itself
+            }
+            let stations = info.stations.clone();
+            let trains = info.trains.clone();
+            let hops = stations.len() - 1;
+            type Subroute = (Vec<TrainId>, Vec<Vec<(Time, Time)>>);
+            let mut subroutes: Vec<Subroute> = Vec::new();
+            'train: for &t in &trains {
+                let legs: Vec<(Time, Time)> = self.train_conns[t.idx()]
+                    .iter()
+                    .map(|&c| {
+                        let c = tt.connection(c);
+                        (c.dep, c.arr)
+                    })
+                    .collect();
+                for (members, hop_points) in &mut subroutes {
+                    if fits(hop_points, &legs) && fits_cyclic(hop_points, &legs, pi) {
+                        for (h, &leg) in legs.iter().enumerate() {
+                            let p = hop_points[h].partition_point(|&(d, _)| d < leg.0);
+                            hop_points[h].insert(p, leg);
+                        }
+                        members.push(t);
+                        continue 'train;
+                    }
+                }
+                let mut hop_points = vec![Vec::new(); hops];
+                for (h, &leg) in legs.iter().enumerate() {
+                    hop_points[h].push(leg);
+                }
+                subroutes.push((vec![t], hop_points));
+            }
+            let mut subroutes = subroutes.into_iter();
+            let (first, _) = subroutes.next().expect("a non-empty route splits non-trivially");
+            self.routes[r.idx()].trains = first;
+            for (members, _) in subroutes {
+                let id = RouteId::from_idx(self.routes.len());
+                for &t in &members {
+                    self.train_route[t.idx()] = id;
+                }
+                self.routes.push(RouteInfo { stations: stations.clone(), trains: members });
+            }
+            debug_assert!(self.route_is_fifo(tt, r), "refit left route {r:?} non-FIFO");
         }
     }
 
@@ -242,6 +346,21 @@ fn fits(hop_points: &[Vec<(Time, Time)>], legs: &[(Time, Time)]) -> bool {
         let prev_ok = p == 0 || points[p - 1].1 < arr;
         let next_ok = p == points.len() || arr < points[p].1;
         prev_ok && next_ok
+    })
+}
+
+/// Does every hop also satisfy the *cyclic* FIFO condition once `legs` is
+/// inserted — no arrival a full period (or more) after the hop's earliest
+/// arrival? [`Routes::route_is_fifo`] checks it on live routes;
+/// [`Routes::refit`] must enforce it during the split so the subroutes it
+/// produces are valid without a second pass.
+fn fits_cyclic(hop_points: &[Vec<(Time, Time)>], legs: &[(Time, Time)], pi: u32) -> bool {
+    legs.iter().enumerate().all(|(h, &(_, arr))| {
+        let (lo, hi) = hop_points[h]
+            .iter()
+            .map(|&(_, a)| a)
+            .fold((arr, arr), |(lo, hi), a| (lo.min(a), hi.max(a)));
+        (hi.secs() as u64) < lo.secs() as u64 + pi as u64
     })
 }
 
@@ -377,6 +496,108 @@ mod tests {
         rec: crate::delay::Recovery,
     ) -> DelayPatch {
         tt.patch_delay(train, 0, delay, rec)
+    }
+
+    #[test]
+    fn repatch_feed_touches_each_route_once() {
+        use crate::delay::{DelayEvent, Recovery};
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..4).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        // Route A: two trains 0/1 over 0→1→2; route B: one train 2 over 3→1.
+        line(&mut b, &[s[0], s[1], s[2]], &[Time::hm(8, 0), Time::hm(9, 0)], Dur::minutes(10));
+        line(&mut b, &[s[3], s[1]], &[Time::hm(8, 30)], Dur::minutes(5));
+        let mut tt = b.build().unwrap();
+        let mut routes = Routes::partition(&tt);
+        // Three events, two of them on route A's trains: the touched list
+        // must still name each route exactly once.
+        let patch = tt.patch_feed(&[
+            DelayEvent::Delay {
+                train: TrainId(0),
+                from_hop: 0,
+                delay: Dur::minutes(70),
+                recovery: Recovery::None,
+            },
+            DelayEvent::Delay {
+                train: TrainId(1),
+                from_hop: 0,
+                delay: Dur::minutes(5),
+                recovery: Recovery::None,
+            },
+            DelayEvent::Delay {
+                train: TrainId(2),
+                from_hop: 0,
+                delay: Dur::minutes(3),
+                recovery: Recovery::None,
+            },
+        ]);
+        assert!(patch.changed);
+        let touched = routes.repatch_feed(&tt, &patch);
+        assert_eq!(touched.len(), 2, "two distinct routes touched: {touched:?}");
+        let mut expect = vec![routes.route_of(TrainId(0)), routes.route_of(TrainId(2))];
+        expect.sort_unstable();
+        assert_eq!(touched, expect);
+        // Per-train lists point at the right (train, hop) again, and every
+        // touched route's trains are re-sorted by first-stop departure.
+        for t in [TrainId(0), TrainId(1), TrainId(2)] {
+            for (h, &c) in routes.train_connections(t).iter().enumerate() {
+                assert_eq!(tt.connection(c).train, t);
+                assert_eq!(tt.connection(c).seq as usize, h);
+            }
+        }
+        assert_eq!(
+            routes.route(routes.route_of(TrainId(0))).trains,
+            vec![TrainId(1), TrainId(0)],
+            "delayed train now departs last"
+        );
+        for &r in &touched {
+            assert!(routes.route_is_fifo(&tt, r));
+        }
+    }
+
+    #[test]
+    fn refit_splits_only_the_offending_route() {
+        use crate::delay::Recovery;
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> = (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::ZERO)).collect();
+        // Route A: trains 0/1 on 0→1; route B: trains 2/3 on 1→2.
+        line(&mut b, &[s[0], s[1]], &[Time::hm(8, 0), Time::hm(8, 30)], Dur::minutes(10));
+        line(&mut b, &[s[1], s[2]], &[Time::hm(9, 0), Time::hm(9, 30)], Dur::minutes(10));
+        let mut tt = b.build().unwrap();
+        let mut routes = Routes::partition(&tt);
+        assert_eq!(routes.len(), 2);
+        let rb = routes.route_of(TrainId(2));
+        // Land train 0 exactly on train 1's slot: equal departures on route
+        // A break FIFO; route B is untouched.
+        let patch = tt.patch_delay(TrainId(0), 0, Dur::minutes(30), Recovery::None);
+        let touched = routes.repatch_feed(
+            &tt,
+            &FeedPatch {
+                changed: true,
+                event_changed: vec![true],
+                trains: vec![TrainId(0)],
+                remapped: patch.remapped.clone(),
+                touched_stations: vec![s[0]],
+            },
+        );
+        let ra = routes.route_of(TrainId(0));
+        assert_eq!(touched, vec![ra]);
+        assert!(!routes.route_is_fifo(&tt, ra));
+        routes.refit(&tt, &[ra]);
+        // The offending route split in two; route B kept its id and trains.
+        assert_eq!(routes.len(), 3);
+        assert_ne!(routes.route_of(TrainId(0)), routes.route_of(TrainId(1)));
+        assert_eq!(routes.route_of(TrainId(2)), rb);
+        assert_eq!(routes.route(rb).trains, vec![TrainId(2), TrainId(3)]);
+        for r in 0..routes.len() {
+            assert!(routes.route_is_fifo(&tt, RouteId::from_idx(r)), "route {r} not FIFO");
+        }
+        // The split partition answers like a fresh one: same train sets per
+        // stop sequence, every route FIFO (soundness is what matters — the
+        // fresh partition may group differently but both are valid).
+        let fresh = Routes::partition(&tt);
+        for r in 0..fresh.len() {
+            assert!(fresh.route_is_fifo(&tt, RouteId::from_idx(r)));
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! A feed-driven server loop in miniature: a live network under batches of
+//! realtime updates (delays *and* cancellations), a distance table kept hot
+//! by incremental refreshes, and station-to-station queries that recover
+//! from a stale table through the typed error instead of crashing.
+//!
+//! ```text
+//! cargo run --release --example live_feed
+//! ```
+
+use best_connections::prelude::*;
+use best_connections::timetable::synthetic::city::{generate_city, CityConfig};
+
+fn main() {
+    let net_tt = generate_city(&CityConfig::sized(49, 7, 17));
+    let mut net = Network::new(net_tt);
+    let mut table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+    println!(
+        "network: {} stations, {} connections; distance table over {} transfer stations",
+        net.num_stations(),
+        net.timetable().num_connections(),
+        table.len()
+    );
+
+    let (source, target) = (StationId(3), StationId(40));
+
+    // Two feed batches: a cluster of delays, then a partial recovery where
+    // one train's announcements are withdrawn entirely.
+    let feeds: [Vec<DelayEvent>; 2] = [
+        // Small disruptions that keep every route overtaking-free: the
+        // whole batch lands on the incremental repatch path.
+        vec![
+            DelayEvent::Delay {
+                train: TrainId(0),
+                from_hop: 0,
+                delay: Dur::minutes(8),
+                recovery: Recovery::None,
+            },
+            DelayEvent::Delay {
+                train: TrainId(0),
+                from_hop: 2,
+                delay: Dur::minutes(3),
+                recovery: Recovery::CatchUp { per_hop: Dur::minutes(1) },
+            },
+        ],
+        // A recovery plus a disruption big enough to overtake: the first
+        // train's announcements are withdrawn, the second forces the
+        // fallback — scoped to its own route.
+        vec![
+            DelayEvent::Cancel { train: TrainId(0) },
+            DelayEvent::Delay {
+                train: TrainId(9),
+                from_hop: 1,
+                delay: Dur::minutes(40),
+                recovery: Recovery::CatchUp { per_hop: Dur::minutes(5) },
+            },
+        ],
+    ];
+
+    for (i, feed) in feeds.iter().enumerate() {
+        let summary = net.apply_feed(feed);
+        println!(
+            "\nfeed {i}: {} events -> {:?}; {} routes touched ({} repatched, {} refit), \
+             generation {}",
+            feed.len(),
+            summary.events,
+            summary.touched_routes,
+            summary.repatched_routes,
+            summary.refit_routes,
+            net.generation()
+        );
+
+        // The table snapshot predates the feed: the engine refuses with a
+        // typed error a server can act on…
+        let stale =
+            S2sEngine::new().with_table(&table).try_query(&net, source, target).unwrap_err();
+        println!("  query rejected: {stale}");
+        assert!(stale.refreshable());
+        // …by refreshing only the rows the feed can have changed.
+        let rows = table.refresh(&net).expect("same network");
+        println!("  refreshed {rows}/{} table rows", table.len());
+        let result = S2sEngine::new()
+            .with_table(&table)
+            .try_query(&net, source, target)
+            .expect("fresh table answers");
+        let eight = Time::hm(8, 0);
+        println!(
+            "  dist({source}, {target}, 08:00) = {} ({:?} query, {} settled)",
+            result.profile.eval_arr(eight, net.timetable().period()),
+            result.kind,
+            result.stats.settled
+        );
+    }
+}

@@ -59,8 +59,8 @@ pub mod prelude {
     };
     pub use pt_graph::{StationGraph, TdGraph};
     pub use pt_spcs::{
-        CacheStats, DelayUpdate, DistanceTable, Network, PartitionStrategy, ProfileEngine,
-        QueryStats, S2sEngine, TransferSelection,
+        CacheStats, DelayUpdate, DistanceTable, FeedSummary, Network, PartitionStrategy,
+        ProfileEngine, QueryStats, S2sEngine, StaleTable, TransferSelection,
     };
-    pub use pt_timetable::{Recovery, Station, Timetable, TimetableBuilder, TripStop};
+    pub use pt_timetable::{DelayEvent, Recovery, Station, Timetable, TimetableBuilder, TripStop};
 }

@@ -8,7 +8,9 @@
 //! with the label-setting time-query ground truth. The full-size version
 //! is `cargo run --release --bin conncheck`.
 
-use pt_bench::conncheck::{cross_check, cross_check_after_delays, standard_departures, STRATEGIES};
+use pt_bench::conncheck::{
+    cross_check, cross_check_after_delays, cross_check_after_feed, standard_departures, STRATEGIES,
+};
 use pt_spcs::Network;
 use pt_timetable::synthetic::presets;
 
@@ -23,6 +25,29 @@ fn all_presets_cross_check_clean_in_fast_mode() {
         let outcome = cross_check(name, &net, &sources, &[2, 3], &departures);
         assert!(outcome.is_clean(), "cross-check mismatches on {name}: {:#?}", outcome.mismatches);
         assert!(outcome.comparisons > 0);
+    }
+}
+
+#[test]
+fn fed_presets_cross_check_clean_in_fast_mode() {
+    // The batched dynamic path: random feeds (delays + cancellations)
+    // through Network::apply_feed, one generation bump per feed, the
+    // incremental distance-table refresh compared entry-for-entry against a
+    // from-scratch build, then the full static battery on the fed network.
+    let departures = standard_departures();
+    for preset in presets::all_presets(0.05) {
+        let name = preset.name;
+        let net = Network::new(preset.timetable);
+        let sources = pt_bench::random_stations(net.num_stations(), 2, 2010);
+        let (outcome, stats) =
+            cross_check_after_feed(name, &net, &sources, &[2], &departures, 2, 6, 2010);
+        assert!(
+            outcome.is_clean(),
+            "feed cross-check mismatches on {name}: {:#?}",
+            outcome.mismatches
+        );
+        assert!(outcome.comparisons > 0);
+        assert_eq!(stats.events, 12, "every feed event must have been applied on {name}");
     }
 }
 

@@ -233,6 +233,76 @@ fn overtaking_delay_takes_the_rebuild_path_and_matches_rebuild() {
 }
 
 #[test]
+fn cancelling_a_never_delayed_train_is_unchanged() {
+    let mut net = Network::new(two_train_line());
+    let g0 = net.generation();
+    let before = net.timetable().connections().to_vec();
+    assert_eq!(net.apply_cancel(TrainId(0)), DelayUpdate::Unchanged);
+    // The feed form agrees, and neither bumps the generation.
+    let summary = net.apply_feed(&[DelayEvent::Cancel { train: TrainId(1) }]);
+    assert_eq!(summary.events, vec![DelayUpdate::Unchanged]);
+    assert!(!summary.changed());
+    assert_eq!(net.generation(), g0, "no-op cancels must not invalidate caches");
+    assert_eq!(net.timetable().connections(), before.as_slice());
+}
+
+#[test]
+fn cancel_then_redelay_round_trips() {
+    let mut net = Network::new(two_train_line());
+    let schedule = net.timetable().connections().to_vec();
+    // Delay enough to re-sort buckets (the 08:00 train moves behind the
+    // 09:00 one), remember the delayed state.
+    assert_ne!(
+        net.apply_delay(TrainId(0), 0, Dur::minutes(70), Recovery::None),
+        DelayUpdate::Unchanged
+    );
+    let delayed = net.timetable().connections().to_vec();
+    // Cancel restores the schedule exactly…
+    assert_ne!(net.apply_cancel(TrainId(0)), DelayUpdate::Unchanged);
+    assert_eq!(net.timetable().connections(), schedule.as_slice());
+    // …re-announcing the same delay restores the delayed state exactly…
+    assert_ne!(
+        net.apply_delay(TrainId(0), 0, Dur::minutes(70), Recovery::None),
+        DelayUpdate::Unchanged
+    );
+    assert_eq!(net.timetable().connections(), delayed.as_slice());
+    // …and a second cancel round-trips again, with the network still
+    // query-identical to a from-scratch build at every step.
+    assert_ne!(net.apply_cancel(TrainId(0)), DelayUpdate::Unchanged);
+    assert_eq!(net.timetable().connections(), schedule.as_slice());
+    let rebuilt = Network::build(net.timetable());
+    let mut engine = ProfileEngine::new();
+    for s in net.station_ids().collect::<Vec<_>>() {
+        assert_eq!(engine.one_to_all(&net, s), ProfileEngine::new().one_to_all(&rebuilt, s));
+    }
+}
+
+#[test]
+fn cancellation_past_midnight_stays_periodic() {
+    let mut b = TimetableBuilder::new(Period::DAY);
+    let a = b.add_named_station("A", Dur::ZERO);
+    let c = b.add_named_station("B", Dur::ZERO);
+    b.add_simple_trip(&[a, c], Time::hm(23, 50), &[Dur::minutes(20)], Dur::ZERO).unwrap();
+    let mut net = Network::new(b.build().unwrap());
+    // +30 min wraps the departure past midnight to 00:20 (period-local).
+    net.apply_delay(TrainId(0), 0, Dur::minutes(30), Recovery::None);
+    assert_eq!(net.timetable().conn(a)[0].dep, Time::hm(0, 20));
+    // The cancellation walks it back across the period boundary: the
+    // restored departure is the period-local schedule time, not 24:20.
+    assert_ne!(net.apply_cancel(TrainId(0)), DelayUpdate::Unchanged);
+    let conn = &net.timetable().conn(a)[0];
+    assert_eq!(conn.dep, Time::hm(23, 50));
+    assert_eq!(conn.dur(), Dur::minutes(20));
+    assert!(net.timetable().period().contains(conn.dep));
+    // And the wrap-around profile agrees with a rebuild.
+    let rebuilt = Network::build(net.timetable());
+    assert_eq!(
+        ProfileEngine::new().one_to_all(&net, a),
+        ProfileEngine::new().one_to_all(&rebuilt, a)
+    );
+}
+
+#[test]
 fn workspaces_stay_warm_across_a_patch_query_cycle() {
     let mut net = Network::new(two_train_line());
     let mut engine = ProfileEngine::new().threads(2);

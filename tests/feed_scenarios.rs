@@ -1,0 +1,513 @@
+//! Scenario harness for **batched** delay feeds (the server scenario of
+//! §5, under GTFS-RT-style streams).
+//!
+//! Drives deterministic random sequences of feeds — each a batch of delay
+//! *and cancellation* events, with events piling up on the same trains and
+//! mid-feed overtaking — against a live [`Network`] via
+//! [`Network::apply_feed`]. After **every** feed, the acceptance contract
+//! of the batched dynamic path is asserted:
+//!
+//! * the patched network is **query-identical** to a from-scratch
+//!   `Network::build` of the same timetable,
+//! * a feed of N events costs **exactly one** generation bump (zero when
+//!   its net effect is nil), and
+//! * each touched route is rewritten at most once
+//!   (`repatched + refit ≤ touched`, every count from the summary).
+//!
+//! Deterministic companions below the proptest pin down the 100-event
+//! acceptance criterion, feed ≡ sequential-patch equivalence, the scoped
+//! overtaking fallback, and cache invalidation (once per feed, not per
+//! event).
+
+use proptest::prelude::*;
+
+use best_connections::prelude::*;
+use best_connections::timetable::synthetic::city::{generate_city, CityConfig};
+
+/// A random trip, as in `tests/delay_scenarios.rs`.
+#[derive(Debug, Clone)]
+struct TripSpec {
+    path: Vec<u8>,
+    start_min: u32,
+    leg_min: Vec<u16>,
+    dwell_min: u8,
+}
+
+fn trip_strategy(n: u8) -> impl Strategy<Value = TripSpec> {
+    (2usize..=5)
+        .prop_flat_map(move |len| {
+            (
+                prop::collection::vec(0..n, len),
+                0u32..(24 * 60),
+                prop::collection::vec(1u16..=130, len - 1),
+                0u8..=5,
+            )
+        })
+        .prop_map(|(path, start_min, leg_min, dwell_min)| TripSpec {
+            path,
+            start_min,
+            leg_min,
+            dwell_min,
+        })
+}
+
+fn build(transfer_min: &[u8], trips: Vec<TripSpec>) -> Option<Timetable> {
+    let mut b = TimetableBuilder::new(Period::DAY);
+    for (i, &tm) in transfer_min.iter().enumerate() {
+        b.add_named_station(format!("S{i}"), Dur::minutes(tm as u32));
+    }
+    let mut added = 0;
+    for t in trips {
+        let mut path: Vec<StationId> = Vec::new();
+        for &p in &t.path {
+            let s = StationId(p as u32);
+            if path.last() != Some(&s) {
+                path.push(s);
+            }
+        }
+        if path.len() < 2 {
+            continue;
+        }
+        let legs: Vec<Dur> =
+            t.leg_min.iter().take(path.len() - 1).map(|&m| Dur::minutes(m as u32)).collect();
+        if b.add_simple_trip(&path, Time(t.start_min * 60), &legs, Dur::minutes(t.dwell_min as u32))
+            .is_err()
+        {
+            return None;
+        }
+        added += 1;
+    }
+    if added == 0 {
+        return None;
+    }
+    b.build().ok()
+}
+
+/// One raw feed event; train ids are reduced modulo the train count at run
+/// time so overlapping (same-train) events occur often.
+#[derive(Debug, Clone)]
+enum RawEvent {
+    Delay { train: u32, hop: u16, delay_min: u16, recover_min: u8 },
+    Cancel { train: u32 },
+}
+
+fn event_strategy() -> impl Strategy<Value = RawEvent> {
+    prop_oneof![
+        3 => (0u32..1024, 0u16..4, 1u16..200, 0u8..30).prop_map(
+            |(train, hop, delay_min, recover_min)| RawEvent::Delay {
+                train, hop, delay_min, recover_min
+            }
+        ),
+        1 => (0u32..1024).prop_map(|train| RawEvent::Cancel { train }),
+    ]
+}
+
+/// One step of a scenario: apply a whole feed, or answer a cached query.
+#[derive(Debug, Clone)]
+enum Op {
+    Feed(Vec<RawEvent>),
+    Query { source: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => prop::collection::vec(event_strategy(), 1..=12).prop_map(Op::Feed),
+        1 => (0u32..1024).prop_map(|source| Op::Query { source }),
+    ]
+}
+
+fn to_events(raw: &[RawEvent], num_trains: u32) -> Vec<DelayEvent> {
+    raw.iter()
+        .map(|e| match *e {
+            RawEvent::Delay { train, hop, delay_min, recover_min } => DelayEvent::Delay {
+                train: TrainId(train % num_trains),
+                from_hop: hop,
+                delay: Dur::minutes(delay_min as u32),
+                recovery: if recover_min == 0 {
+                    Recovery::None
+                } else {
+                    Recovery::CatchUp { per_hop: Dur::minutes(recover_min as u32) }
+                },
+            },
+            RawEvent::Cancel { train } => DelayEvent::Cancel { train: TrainId(train % num_trains) },
+        })
+        .collect()
+}
+
+/// Runs one scenario; see the module docs for the invariants.
+fn run_scenario(tt: Timetable, ops: Vec<Op>, sources_per_feed: u32) -> Result<(), TestCaseError> {
+    let num_trains = tt.num_trains() as u32;
+    let n = tt.num_stations() as u32;
+    if num_trains == 0 || n == 0 {
+        return Ok(());
+    }
+    let mut rotate = 0u32;
+    let mut net = Network::new(tt);
+    let mut cached = ProfileEngine::new().threads(2).with_cache(16);
+    let mut warm = ProfileEngine::new();
+    for op in ops {
+        match op {
+            Op::Feed(raw) => {
+                let events = to_events(&raw, num_trains);
+                let gen_before = net.generation();
+                let summary = net.apply_feed(&events);
+                // One generation bump per feed, zero when the net effect
+                // was nil — never one per event.
+                let expected = u64::from(summary.changed());
+                prop_assert_eq!(
+                    net.generation(),
+                    gen_before + expected,
+                    "{} events must cost {} bumps",
+                    events.len(),
+                    expected
+                );
+                prop_assert_eq!(summary.events.len(), events.len());
+                // Each touched route is serviced at most once.
+                prop_assert!(
+                    summary.repatched_routes + summary.refit_routes <= summary.touched_routes,
+                    "summary {:?} rewrites a route twice",
+                    summary
+                );
+                if !summary.changed() {
+                    prop_assert!(summary.events.iter().all(|&u| u == DelayUpdate::Unchanged));
+                }
+
+                // The acceptance contract: bit-identical query results to a
+                // from-scratch build of the same (patched) timetable.
+                let rebuilt = Network::build(net.timetable());
+                let mut fresh = ProfileEngine::new().threads(2);
+                for k in 0..sources_per_feed.min(n) {
+                    let s = StationId((rotate + k) % n);
+                    let a = warm.one_to_all(&net, s);
+                    let b = fresh.one_to_all(&rebuilt, s);
+                    prop_assert_eq!(&a, &b, "source {} after feed {:?}", s, summary.events);
+                }
+                rotate = rotate.wrapping_add(sources_per_feed);
+            }
+            Op::Query { source } => {
+                let s = StationId(source % n);
+                let hit = cached.one_to_all(&net, s);
+                let truth = warm.one_to_all(&net, s);
+                prop_assert_eq!(&hit, &truth, "cached query from {}", s);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    // Random feeds on arbitrary small timetables: delays, cancellations,
+    // several events per train, mid-feed overtaking.
+    #[test]
+    fn fed_network_always_equals_rebuilt(
+        transfer_min in prop::collection::vec(0u8..=8, 3..=6),
+        trips in prop::collection::vec(trip_strategy(6), 2..=10),
+        ops in prop::collection::vec(op_strategy(), 8..=14),
+    ) {
+        let Some(tt) = build(&transfer_min, trips) else { return Ok(()) };
+        run_scenario(tt, ops, 6)?;
+    }
+
+    // The same contract on a structured city network, where routes carry
+    // many trains and the multi-route repatch actually coalesces work.
+    #[test]
+    fn fed_city_always_equals_rebuilt(
+        seed in 0u64..1000,
+        ops in prop::collection::vec(op_strategy(), 5..=8),
+    ) {
+        let tt = generate_city(&CityConfig::sized(12, 2, seed));
+        run_scenario(tt, ops, 3)?;
+    }
+}
+
+/// A three-train, two-route network for the deterministic companions.
+fn two_route_net() -> Timetable {
+    let mut b = TimetableBuilder::new(Period::DAY);
+    let s: Vec<_> = (0..4).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2))).collect();
+    for h in [8, 9] {
+        b.add_simple_trip(
+            &[s[0], s[1], s[2]],
+            Time::hm(h, 0),
+            &[Dur::minutes(10), Dur::minutes(10)],
+            Dur::ZERO,
+        )
+        .unwrap();
+    }
+    b.add_simple_trip(&[s[3], s[1]], Time::hm(8, 30), &[Dur::minutes(5)], Dur::ZERO).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn hundred_event_feed_costs_one_bump_and_one_repatch_per_route() {
+    // The acceptance criterion: a 100-event feed performs one generation
+    // bump and at most one repatch per touched route.
+    let mut net = Network::new(two_route_net());
+    let events: Vec<DelayEvent> = (0..100)
+        .map(|i| DelayEvent::Delay {
+            train: TrainId(i % 3),
+            from_hop: (i % 2) as u16,
+            delay: Dur::minutes(1), // 100 small delays pile up per train
+            recovery: Recovery::None,
+        })
+        .collect();
+    let g0 = net.generation();
+    let summary = net.apply_feed(&events);
+    assert!(summary.changed());
+    assert_eq!(net.generation(), g0 + 1, "100 events must cost exactly one bump");
+    assert_eq!(summary.events.len(), 100);
+    // Both routes are touched, and each was serviced exactly once.
+    assert_eq!(summary.touched_routes, 2);
+    assert_eq!(summary.repatched_routes + summary.refit_routes, summary.touched_routes);
+    // Query-identical to a rebuild of the patched timetable.
+    let rebuilt = Network::build(net.timetable());
+    let mut engine = ProfileEngine::new();
+    for s in net.station_ids().collect::<Vec<_>>() {
+        assert_eq!(
+            engine.one_to_all(&net, s),
+            ProfileEngine::new().one_to_all(&rebuilt, s),
+            "fed != rebuilt from {s}"
+        );
+    }
+}
+
+#[test]
+fn feed_equals_sequential_apply_delay_calls() {
+    let tt = two_route_net();
+    let mut batched = Network::new(tt.clone());
+    let mut sequential = Network::new(tt);
+    let events =
+        [(TrainId(0), 0u16, 5u32), (TrainId(2), 0, 12), (TrainId(0), 1, 3), (TrainId(1), 0, 7)];
+    let feed: Vec<DelayEvent> = events
+        .iter()
+        .map(|&(train, from_hop, min)| DelayEvent::Delay {
+            train,
+            from_hop,
+            delay: Dur::minutes(min),
+            recovery: Recovery::None,
+        })
+        .collect();
+    let summary = batched.apply_feed(&feed);
+    for &(train, from_hop, min) in &events {
+        sequential.apply_delay(train, from_hop, Dur::minutes(min), Recovery::None);
+    }
+    assert_eq!(batched.timetable().connections(), sequential.timetable().connections());
+    assert!(summary.events.iter().all(|&u| u == DelayUpdate::Patched));
+    // The batch spent one generation where the sequence spent four.
+    assert_eq!(batched.generation(), 1);
+    assert_eq!(sequential.generation(), 4);
+    let mut engine = ProfileEngine::new();
+    for s in batched.station_ids().collect::<Vec<_>>() {
+        assert_eq!(engine.one_to_all(&batched, s), ProfileEngine::new().one_to_all(&sequential, s));
+    }
+}
+
+#[test]
+fn mid_feed_overtaking_scopes_the_fallback_to_the_offending_route() {
+    let mut net = Network::new(two_route_net());
+    let route_b = net.routes().route_of(TrainId(2));
+    let trains_b = net.routes().route(route_b).trains.clone();
+    // Train 0 lands exactly on train 1's slot (equal departures break
+    // FIFO on their shared route); train 2's route stays FIFO.
+    let summary = net.apply_feed(&[
+        DelayEvent::Delay {
+            train: TrainId(0),
+            from_hop: 0,
+            delay: Dur::minutes(60),
+            recovery: Recovery::None,
+        },
+        DelayEvent::Delay {
+            train: TrainId(2),
+            from_hop: 0,
+            delay: Dur::minutes(4),
+            recovery: Recovery::None,
+        },
+    ]);
+    assert_eq!(summary.events, vec![DelayUpdate::Rebuilt, DelayUpdate::Patched]);
+    assert!(summary.rebuilt());
+    assert_eq!(summary.refit_routes, 1, "only the offending route is refit");
+    // The bystander route kept its id and trains through the fallback.
+    assert_eq!(net.routes().route(route_b).trains, trains_b);
+    // The offending route was split: its two trains no longer share one.
+    assert_ne!(net.routes().route_of(TrainId(0)), net.routes().route_of(TrainId(1)));
+    // And the result is still query-identical to a rebuild.
+    let rebuilt = Network::build(net.timetable());
+    let mut engine = ProfileEngine::new();
+    for s in net.station_ids().collect::<Vec<_>>() {
+        assert_eq!(engine.one_to_all(&net, s), ProfileEngine::new().one_to_all(&rebuilt, s));
+    }
+}
+
+#[test]
+fn touched_since_reports_the_union_and_detects_log_overflow() {
+    let mut net = Network::new(two_route_net());
+    let g0 = net.generation();
+    assert_eq!(net.touched_since(g0), Some(vec![]), "nothing changed yet");
+    net.apply_delay(TrainId(0), 0, Dur::minutes(3), Recovery::None);
+    net.apply_delay(TrainId(2), 0, Dur::minutes(3), Recovery::None);
+    let touched = net.touched_since(g0).expect("two feeds back is logged");
+    // Train 0 departs stations 0 and 1; train 2 departs station 3.
+    assert_eq!(touched, vec![StationId(0), StationId(1), StationId(3)]);
+    assert_eq!(net.touched_since(net.generation()), Some(vec![]));
+    // Push the first entries out of the bounded log: a consumer still on
+    // g0 must be told the history is gone (None), never a partial union.
+    for i in 0..70u32 {
+        net.apply_delay(TrainId(0), 0, Dur::minutes(1 + (i % 3)), Recovery::None);
+    }
+    assert_eq!(net.touched_since(g0), None, "overflowed log must not under-report");
+    assert!(net.touched_since(net.generation() - 1).is_some(), "recent history still covered");
+}
+
+#[test]
+fn refresh_survives_a_log_overflow_with_a_full_recompute() {
+    let mut net = Network::new(two_route_net());
+    let mut table = DistanceTable::build_for(&net, vec![StationId(0), StationId(1), StationId(2)]);
+    // 70 single-delay feeds: far more than the network's touched-station
+    // log retains, so the refresh cannot know which rows are safe and must
+    // recompute all of them — and still match a from-scratch build.
+    for i in 0..70u32 {
+        net.apply_delay(TrainId(i % 3), 0, Dur::minutes(1), Recovery::None);
+    }
+    let rows = table.refresh(&net).expect("same epoch");
+    assert_eq!(rows, table.len(), "history gap must recompute every row");
+    let rebuilt = DistanceTable::build_for(&net, table.stations().to_vec());
+    for &a in table.stations() {
+        for &b in table.stations() {
+            assert_eq!(table.profile(a, b), rebuilt.profile(a, b), "{a}→{b}");
+        }
+    }
+}
+
+#[test]
+fn accumulated_refit_splits_heal_on_a_later_fallback() {
+    // Routes only ever split under the scoped fallback; the heal re-runs a
+    // full partition once enough splits accumulate, re-merging trains whose
+    // overtaking delays were since cancelled.
+    let mut b = TimetableBuilder::new(Period::DAY);
+    let x = b.add_named_station("X", Dur::ZERO);
+    let y = b.add_named_station("Y", Dur::ZERO);
+    let c = b.add_named_station("C", Dur::ZERO);
+    let d = b.add_named_station("D", Dur::ZERO);
+    // Pair route: trains 0/1 on X→Y. Bulk route: trains 2..=19 on C→D.
+    for h in [8, 9] {
+        b.add_simple_trip(&[x, y], Time::hm(h, 0), &[Dur::minutes(10)], Dur::ZERO).unwrap();
+    }
+    for i in 0..18u32 {
+        b.add_simple_trip(
+            &[c, d],
+            Time::hm(9, 0) + Dur::minutes(10 * i),
+            &[Dur::minutes(5)],
+            Dur::ZERO,
+        )
+        .unwrap();
+    }
+    let mut net = Network::new(b.build().unwrap());
+
+    // Feed 1: overtake inside the pair route — split, too small to heal.
+    let s1 = net.apply_feed(&[DelayEvent::Delay {
+        train: TrainId(0),
+        from_hop: 0,
+        delay: Dur::minutes(60),
+        recovery: Recovery::None,
+    }]);
+    assert!(s1.rebuilt());
+    assert_ne!(net.routes().route_of(TrainId(0)), net.routes().route_of(TrainId(1)));
+
+    // Feed 2: cancel it — schedule restored, but the split persists (the
+    // patched path never re-partitions).
+    assert!(net.apply_feed(&[DelayEvent::Cancel { train: TrainId(0) }]).changed());
+    assert_ne!(
+        net.routes().route_of(TrainId(0)),
+        net.routes().route_of(TrainId(1)),
+        "cancel alone must not repartition"
+    );
+
+    // Feed 3: pile 16 bulk-route trains onto one slot — a mass split that
+    // crosses the heal threshold, so the fallback runs a full partition…
+    let events: Vec<DelayEvent> = (2..18u32)
+        .map(|t| {
+            let dep_min = 9 * 60 + 10 * (t - 2);
+            DelayEvent::Delay {
+                train: TrainId(t),
+                from_hop: 0,
+                delay: Dur::minutes(20 * 60 - dep_min),
+                recovery: Recovery::None,
+            }
+        })
+        .collect();
+    let s3 = net.apply_feed(&events);
+    assert!(s3.rebuilt());
+    // …which re-merges the long-since-recovered pair route.
+    assert_eq!(
+        net.routes().route_of(TrainId(0)),
+        net.routes().route_of(TrainId(1)),
+        "the heal must re-coalesce cancelled splits"
+    );
+    // And the healed network still answers like a from-scratch build.
+    let rebuilt = Network::build(net.timetable());
+    let mut engine = ProfileEngine::new();
+    for s in net.station_ids().collect::<Vec<_>>() {
+        assert_eq!(engine.one_to_all(&net, s), ProfileEngine::new().one_to_all(&rebuilt, s));
+    }
+}
+
+#[test]
+fn feed_invalidates_the_cache_once() {
+    let mut net = Network::new(two_route_net());
+    let mut engine = ProfileEngine::new().with_cache(8);
+    let s = StationId(0);
+    let _ = engine.one_to_all(&net, s);
+    let summary = net.apply_feed(&[
+        DelayEvent::Delay {
+            train: TrainId(0),
+            from_hop: 0,
+            delay: Dur::minutes(3),
+            recovery: Recovery::None,
+        },
+        DelayEvent::Delay {
+            train: TrainId(1),
+            from_hop: 0,
+            delay: Dur::minutes(3),
+            recovery: Recovery::None,
+        },
+    ]);
+    assert!(summary.changed());
+    // First post-feed query misses (one new generation), the second hits:
+    // the whole feed cost one invalidation.
+    let after = engine.one_to_all_with_stats(&net, s);
+    assert_eq!(after.stats.cache_misses, 1);
+    let again = engine.one_to_all_with_stats(&net, s);
+    assert_eq!(again.stats.cache_hits, 1);
+}
+
+#[test]
+fn workspaces_stay_warm_across_a_feed() {
+    let mut net = Network::new(two_route_net());
+    let mut engine = ProfileEngine::new().threads(2);
+    let sources: Vec<StationId> = net.station_ids().collect();
+    for &s in &sources {
+        let _ = engine.one_to_all(&net, s);
+    }
+    let warm = engine.workspace_grow_events();
+    // A FIFO-preserving feed keeps graph dimensions: zero further growth.
+    let summary = net.apply_feed(&[
+        DelayEvent::Delay {
+            train: TrainId(0),
+            from_hop: 1,
+            delay: Dur::minutes(3),
+            recovery: Recovery::None,
+        },
+        DelayEvent::Delay {
+            train: TrainId(2),
+            from_hop: 0,
+            delay: Dur::minutes(2),
+            recovery: Recovery::None,
+        },
+    ]);
+    assert!(!summary.rebuilt());
+    for &s in &sources {
+        let _ = engine.one_to_all(&net, s);
+    }
+    assert_eq!(engine.workspace_grow_events(), warm, "feed → query must not allocate");
+}
