@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Validate BENCH_spcs.json and gate perf regressions against a baseline.
+
+Two jobs, both exercised by CI after the `throughput` smoke run:
+
+1. **Structural validation** (always): the document written by
+   `cargo run --release -p pt-bench --bin throughput` must carry every
+   phase — per-network cold/warm/batch/cached/feed numbers with their
+   invariants (cache hits on a replay, at most one generation bump per
+   feed, one rewrite per touched route) and the shard phase (>= 2 shards,
+   routed queries, striped-cache hit rate, mixed-feed events/sec, at most
+   one bump per shard per feed).
+
+2. **Regression gate** (when a baseline file is given and its recorded
+   config matches): fail on a >30% drop in any `events_per_sec` metric or
+   any cached `hit_rate` against `BENCH_baseline.json`, printing a trend
+   table either way.
+
+The committed baseline stores *conservative floors*, not raw measurements:
+CI hardware varies run to run, so `--update-baseline` scales every
+throughput metric by `--headroom` (default 0.5) before writing. Hit rates
+are deterministic for a fixed workload and are stored as measured.
+
+Usage:
+    check_bench.py CURRENT.json [BASELINE.json]
+    check_bench.py --update-baseline CURRENT.json BASELINE.json [--headroom 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+# Fraction of the baseline a throughput metric may drop to before the gate
+# fails (the ISSUE's ">30% drop" criterion).
+DROP_TOLERANCE = 0.70
+
+# Metrics whose baseline entry is deflated by --headroom (machine-speed
+# dependent); everything else (hit rates) is stored exactly.
+THROUGHPUT_SUFFIXES = ("events_per_sec",)
+
+
+def fail(errors):
+    for e in errors:
+        print(f"FAIL: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(doc):
+    """Structural checks on one throughput document; returns error strings."""
+    errors = []
+
+    def check(cond, msg):
+        if not cond:
+            errors.append(msg)
+
+    networks = doc.get("networks", [])
+    check(networks, "no networks in document")
+    for net in networks:
+        name = net.get("name", "?")
+        cached = net["one_to_all"]["cached"]
+        check(cached["hits"] > 0, f"{name}: cached phase recorded no hits: {cached}")
+        check(cached["hit_rate"] > 0, f"{name}: cached hit rate is zero: {cached}")
+        feed = net["feed"]
+        check(feed["events"] > 0, f"{name}: feed phase ran no events: {feed}")
+        check(feed["events_per_sec"] > 0, f"{name}: feed events/sec is zero: {feed}")
+        check(
+            0 < feed["generation_bumps"] <= feed["feeds"],
+            f"{name}: {feed['generation_bumps']} bumps for {feed['feeds']} feeds",
+        )
+        check(
+            feed["routes_repatched"] + feed["routes_refit"] <= feed["routes_touched"],
+            f"{name}: a route was rewritten twice: {feed}",
+        )
+        check(
+            feed["post_feed_cache_hit_rate"] > 0,
+            f"{name}: post-feed replay never hit: {feed}",
+        )
+
+    shard = doc.get("shard")
+    check(shard is not None, "shard phase missing from document")
+    if shard is not None:
+        check(shard["shards"] >= 2, f"shard phase needs >= 2 shards: {shard}")
+        check(shard["queries"] > 0 and shard["qps"] > 0, f"no routed queries: {shard}")
+        check(
+            shard["hit_rate"] > 0 and shard["replay_qps"] > 0,
+            f"striped-cache replay never hit: {shard}",
+        )
+        check(shard["shard_balance"] >= 1.0, f"impossible shard balance: {shard}")
+        check(
+            shard["events"] > 0 and shard["events_per_sec"] > 0,
+            f"no mixed feed events: {shard}",
+        )
+        check(
+            shard["generation_bumps"] <= shard["feeds"] * shard["shards"],
+            f"more than one bump per shard per feed: {shard}",
+        )
+    return errors
+
+
+def config_of(doc):
+    return {
+        "scale": doc.get("scale"),
+        "queries": doc["networks"][0]["one_to_all"]["queries"] if doc.get("networks") else 0,
+        "networks": [n["name"] for n in doc.get("networks", [])],
+    }
+
+
+def metrics_of(doc):
+    """The gated metrics, flat `name -> value`."""
+    out = {}
+    for net in doc.get("networks", []):
+        name = net["name"]
+        out[f"{name}.feed.events_per_sec"] = net["feed"]["events_per_sec"]
+        out[f"{name}.cached.hit_rate"] = net["one_to_all"]["cached"]["hit_rate"]
+    shard = doc.get("shard")
+    if shard is not None:
+        out["shard.events_per_sec"] = shard["events_per_sec"]
+        out["shard.hit_rate"] = shard["hit_rate"]
+    return out
+
+
+def compare(current, baseline):
+    """Prints the trend table; returns error strings for gated drops."""
+    errors = []
+    base_metrics = baseline["metrics"]
+    cur_metrics = metrics_of(current)
+    print(f"\n{'metric':<32} {'baseline':>12} {'current':>12} {'ratio':>7}  status")
+    for key in sorted(set(base_metrics) | set(cur_metrics)):
+        base = base_metrics.get(key)
+        cur = cur_metrics.get(key)
+        if base is None:
+            print(f"{key:<32} {'—':>12} {cur:>12.3g} {'—':>7}  new (not gated)")
+            continue
+        if cur is None:
+            errors.append(f"metric {key} disappeared from the current run")
+            print(f"{key:<32} {base:>12.3g} {'—':>12} {'—':>7}  GONE")
+            continue
+        ratio = cur / base if base else float("inf")
+        ok = cur >= base * DROP_TOLERANCE
+        print(f"{key:<32} {base:>12.3g} {cur:>12.3g} {ratio:>7.2f}  {'ok' if ok else 'DROP'}")
+        if not ok:
+            errors.append(
+                f"{key} dropped more than {100 * (1 - DROP_TOLERANCE):.0f}%: "
+                f"baseline {base:.6g}, current {cur:.6g}"
+            )
+    print()
+    return errors
+
+
+def write_baseline(current, path, headroom):
+    metrics = metrics_of(current)
+    for key in metrics:
+        if key.endswith(THROUGHPUT_SUFFIXES):
+            metrics[key] = round(metrics[key] * headroom, 3)
+    doc = {
+        "note": (
+            "conservative floors for ci/check_bench.py — throughput metrics are "
+            "recorded at --headroom of the measured value; regenerate with "
+            "`python3 ci/check_bench.py --update-baseline BENCH_spcs.json "
+            "BENCH_baseline.json` after an intentional perf change"
+        ),
+        "headroom": headroom,
+        "config": config_of(current),
+        "metrics": metrics,
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote baseline {path} (headroom {headroom})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="BENCH_spcs.json from the throughput run")
+    ap.add_argument("baseline", nargs="?", help="committed BENCH_baseline.json")
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the baseline from the current run instead of gating",
+    )
+    ap.add_argument(
+        "--headroom",
+        type=float,
+        default=0.5,
+        help="fraction of measured throughput recorded as the baseline floor",
+    )
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        current = json.load(f)
+
+    errors = validate(current)
+    if errors:
+        fail(errors)
+    print(f"structure ok: {len(current['networks'])} network(s) + shard phase")
+    for name, value in metrics_of(current).items():
+        print(f"  {name} = {value:.6g}")
+
+    if args.update_baseline:
+        if not args.baseline:
+            ap.error("--update-baseline needs a BASELINE path")
+        write_baseline(current, args.baseline, args.headroom)
+        return
+
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        if baseline.get("config") != config_of(current):
+            print(
+                "baseline config differs from the current run "
+                f"({baseline.get('config')} vs {config_of(current)}) — "
+                "regression gate skipped; regenerate the baseline to re-arm it",
+                file=sys.stderr,
+            )
+            return
+        errors = compare(current, baseline)
+        if errors:
+            fail(errors)
+        print("regression gate ok: no metric dropped more than "
+              f"{100 * (1 - DROP_TOLERANCE):.0f}% below its baseline floor")
+
+
+if __name__ == "__main__":
+    main()

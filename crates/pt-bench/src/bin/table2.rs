@@ -18,17 +18,14 @@
 
 use std::time::Instant;
 
-use pt_bench::{fmt_mmss, mean, ms, random_pairs, BenchConfig};
+use pt_bench::{env_list, env_parse, fmt_mmss, mean, ms, random_pairs, BenchConfig};
 use pt_spcs::{DistanceTable, Network, S2sEngine, TransferSelection};
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    let fractions: Vec<f64> = std::env::var("BC_FRACTIONS")
-        .ok()
-        .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
-        .unwrap_or_else(|| vec![0.01, 0.025, 0.05, 0.10]);
-    let threads: usize =
-        std::env::var("BC_S2S_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let fractions: Vec<f64> =
+        env_list("BC_FRACTIONS").unwrap_or_else(|| vec![0.01, 0.025, 0.05, 0.10]);
+    let threads: usize = env_parse("BC_S2S_THREADS", 8);
 
     println!("# Table 2 — station-to-station queries with distance-table pruning");
     println!(

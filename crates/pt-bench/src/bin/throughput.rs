@@ -18,12 +18,21 @@
 //!   `DelayEvent`s (delays + cancellations) through
 //!   [`Network::apply_feed`], reporting events/sec, repatch-vs-rebuild
 //!   route counts, and the cache hit rate of a workload replayed across
-//!   the feeds (each feed costs exactly one invalidation).
+//!   the feeds (each feed costs exactly one invalidation),
+//! * **shard** — the multi-network serving phase: every preset becomes a
+//!   shard of one [`ShardedService`] (padded with staggered copies up to
+//!   three shards when a `BC_NETWORKS` filter leaves fewer), a mixed
+//!   global-id workload is demultiplexed through `many_to_all` (aggregate
+//!   queries/sec, per-shard balance, striped-cache hit rate on a replay)
+//!   and a shard-tagged event stream through the router's `apply_feed`
+//!   (aggregate events/sec, at most one generation bump per shard per
+//!   feed).
 //!
 //! Results are printed and written to `BENCH_spcs.json` (override with
 //! `BC_JSON_OUT`) so the perf trajectory is tracked across PRs: per-query
 //! median ns, queries/sec, thread balance, and workspace growth counters
-//! proving the hot path does not allocate.
+//! proving the hot path does not allocate. `ci/check_bench.py` validates
+//! the document and gates regressions against `BENCH_baseline.json`.
 //!
 //! ```text
 //! cargo run --release -p pt-bench --bin throughput
@@ -38,15 +47,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use pt_bench::report::{balance, json_out_path, median, write_json, Json};
-use pt_bench::{random_feed, random_pairs, random_stations, BenchConfig};
-use pt_spcs::{Network, ProfileEngine, S2sEngine};
+use pt_bench::{env_parse, random_feed, random_pairs, random_stations, BenchConfig};
+use pt_core::StationId;
+use pt_spcs::{Network, ProfileEngine, S2sEngine, ShardedService};
 
 fn main() {
     let cfg = BenchConfig::from_env();
     let queries = cfg.queries.max(1); // a throughput run needs at least one query
     let cpus = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    let threads: usize =
-        std::env::var("BC_TP_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(cpus.min(8));
+    let threads: usize = env_parse("BC_TP_THREADS", cpus.min(8));
 
     println!("# Throughput — sustained queries/sec, cold vs warm vs batch");
     println!(
@@ -287,16 +296,136 @@ fn main() {
         ]));
     }
 
+    // --- sharded serving --------------------------------------------------
+    // One router over several networks: every preset becomes a shard,
+    // padded with staggered copies of the existing shards up to three so
+    // the phase stays meaningful under a BC_NETWORKS filter. Tables are
+    // omitted here (their build cost would dwarf the routed work being
+    // measured); the per-feed scoped refresh is covered by the scenario
+    // tests and the conncheck feed mode.
+    let mut shard_nets: Vec<Network> =
+        cfg.networks().into_iter().map(|p| Network::new(p.timetable)).collect();
+    if shard_nets.is_empty() {
+        eprintln!("throughput: no network matches BC_NETWORKS filter — nothing to measure");
+        std::process::exit(2); // same convention as conncheck
+    }
+    let distinct = shard_nets.len();
+    while shard_nets.len() < 3 {
+        let copy = shard_nets[shard_nets.len() % distinct].clone();
+        shard_nets.push(copy);
+    }
+    let num_shards = shard_nets.len();
+    let stations_total: usize = shard_nets.iter().map(Network::num_stations).sum();
+    let shard_queries = queries * num_shards;
+    let mut svc = ShardedService::builder()
+        .threads(threads)
+        .cache(shard_queries) // every stripe can hold the whole replay
+        .build(shard_nets);
+
+    let sources: Vec<StationId> = random_stations(stations_total, shard_queries, cfg.seed ^ 0x5A);
+    let mut per_shard_queries = vec![0u64; num_shards];
+    for &s in &sources {
+        per_shard_queries[svc.owner(s).expect("workload stays in range").idx()] += 1;
+    }
+
+    // Cold pass: every shard engine warms up and fills its cache stripe.
+    let t0 = Instant::now();
+    let cold = svc.many_to_all(&sources);
+    let shard_cold_ns = t0.elapsed().as_nanos() as f64;
+    assert!(cold.iter().all(Result::is_ok), "uniform workload must route");
+    // Replay: all hits, answered from the per-shard stripes.
+    let before = svc.cache_stats().expect("cache enabled");
+    let t0 = Instant::now();
+    let replay = svc.many_to_all(&sources);
+    let shard_replay_ns = t0.elapsed().as_nanos() as f64;
+    assert!(replay.iter().all(Result::is_ok));
+    let after = svc.cache_stats().expect("cache enabled");
+    let (dh, dm) = (after.hits - before.hits, after.misses - before.misses);
+    let shard_hit_rate = if dh + dm > 0 { dh as f64 / (dh + dm) as f64 } else { 0.0 };
+
+    // Mixed feed: shard-tagged events, one apply_feed per shard per feed.
+    let shard_feeds = 5usize;
+    let events_per_shard_feed = 20usize;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5AF0);
+    let mut shard_events = 0usize;
+    let mut shard_feed_ns = 0f64;
+    let mut bumps = vec![0u64; num_shards];
+    for _ in 0..shard_feeds {
+        let mut feed = Vec::new();
+        for shard in svc.shard_ids() {
+            let trains = svc.network(shard).unwrap().timetable().num_trains() as u32;
+            for ev in random_feed(&mut rng, trains, events_per_shard_feed, 45) {
+                feed.push((shard, ev));
+            }
+        }
+        let gens: Vec<u64> =
+            svc.shard_ids().map(|sh| svc.network(sh).unwrap().generation()).collect();
+        shard_events += feed.len();
+        let t0 = Instant::now();
+        let summary = svc.apply_feed(&feed).expect("tagged shards exist");
+        shard_feed_ns += t0.elapsed().as_nanos() as f64;
+        for (i, (sh, &g)) in svc.shard_ids().zip(&gens).enumerate() {
+            let bumped = svc.network(sh).unwrap().generation() - g;
+            assert!(bumped <= 1, "{sh} bumped {bumped}x in one feed");
+            bumps[i] += bumped;
+        }
+        assert_eq!(summary.events.len(), feed.len());
+    }
+    let shard_eps =
+        if shard_feed_ns > 0.0 { shard_events as f64 / (shard_feed_ns * 1e-9) } else { 0.0 };
+    let total_bumps: u64 = bumps.iter().sum();
+    assert!(total_bumps as usize <= shard_feeds * num_shards);
+
+    println!("## shard ({num_shards} shards, {stations_total} stations total)");
+    println!(
+        "  {} routed queries: cold {:.1} q/s, replay {:.1} q/s (stripe hit rate {:.0}%); \
+         per-shard balance {:.2}",
+        shard_queries,
+        rate(shard_queries, shard_cold_ns),
+        rate(shard_queries, shard_replay_ns),
+        shard_hit_rate * 100.0,
+        balance(&per_shard_queries)
+    );
+    println!(
+        "  {shard_events} mixed feed events over {shard_feeds} feeds: {shard_eps:.0} events/s, \
+         {total_bumps} generation bumps (≤ one per shard per feed)"
+    );
+    println!();
+
+    let shard_json = Json::obj([
+        ("shards", Json::from(num_shards)),
+        ("stations_total", Json::from(stations_total)),
+        ("queries", Json::from(shard_queries)),
+        ("qps", Json::from(rate(shard_queries, shard_cold_ns))),
+        ("replay_qps", Json::from(rate(shard_queries, shard_replay_ns))),
+        ("hit_rate", Json::from(shard_hit_rate)),
+        ("shard_balance", Json::from(balance(&per_shard_queries))),
+        ("feeds", Json::from(shard_feeds)),
+        ("events", Json::from(shard_events)),
+        ("events_per_sec", Json::from(shard_eps)),
+        ("generation_bumps", Json::from(total_bumps)),
+    ]);
+
     let doc = Json::obj([
         ("bench", Json::from("spcs_throughput")),
         ("scale", Json::from(cfg.scale)),
         ("seed", Json::from(cfg.seed)),
         ("threads", Json::from(threads)),
         ("networks", Json::Arr(networks_json)),
+        ("shard", shard_json),
     ]);
     let path = json_out_path("BENCH_spcs.json");
     if let Err(e) = write_json(&path, &doc) {
         eprintln!("failed to write {}: {e}", path.display());
         std::process::exit(1);
+    }
+}
+
+/// `n` items over `total_ns` nanoseconds as a per-second rate.
+fn rate(n: usize, total_ns: f64) -> f64 {
+    if total_ns > 0.0 {
+        n as f64 / (total_ns * 1e-9)
+    } else {
+        0.0
     }
 }

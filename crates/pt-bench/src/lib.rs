@@ -39,20 +39,39 @@ pub struct BenchConfig {
     pub seed: u64,
 }
 
-fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+/// Reads and parses one `BC_*` environment knob, falling back to `default`
+/// when the variable is unset or unparsable. Every scalar knob — in this
+/// library *and* in the binaries (`BC_TP_THREADS`, `BC_S2S_THREADS`, …) —
+/// goes through here; don't hand-roll `std::env::var` parsing per binary.
+pub fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    parse_scalar(std::env::var(key).ok(), default)
+}
+
+/// Reads a comma-separated `BC_*` list knob (`BC_THREADS=1,2,4`),
+/// trimming each element and dropping unparsable ones; `None` when the
+/// variable is unset. The list-shaped sibling of [`env_parse`].
+pub fn env_list<T: std::str::FromStr>(key: &str) -> Option<Vec<T>> {
+    parse_list(std::env::var(key).ok())
+}
+
+/// Pure parsing seam behind [`env_parse`], testable without touching the
+/// process environment (`set_var` is unsound under the parallel test
+/// harness).
+fn parse_scalar<T: std::str::FromStr>(raw: Option<String>, default: T) -> T {
+    raw.and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Pure parsing seam behind [`env_list`].
+fn parse_list<T: std::str::FromStr>(raw: Option<String>) -> Option<Vec<T>> {
+    raw.map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
 }
 
 impl BenchConfig {
     /// Reads the `BC_*` environment variables.
     pub fn from_env() -> Self {
-        let threads = std::env::var("BC_THREADS")
-            .ok()
-            .map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
-            .unwrap_or_else(|| vec![1, 2, 4, 8]);
-        let networks = std::env::var("BC_NETWORKS")
-            .ok()
-            .map(|v| v.split(',').map(|s| s.trim().to_lowercase()).collect());
+        let threads = env_list("BC_THREADS").unwrap_or_else(|| vec![1, 2, 4, 8]);
+        let networks = env_list::<String>("BC_NETWORKS")
+            .map(|v| v.into_iter().map(|s| s.to_lowercase()).collect());
         BenchConfig {
             scale: env_parse("BC_SCALE", 0.5),
             queries: env_parse("BC_QUERIES", 15),
@@ -167,6 +186,19 @@ mod tests {
         let cfg = BenchConfig::from_env();
         assert!(cfg.scale > 0.0);
         assert!(!cfg.threads.is_empty());
+    }
+
+    #[test]
+    fn env_helpers_fall_back_and_parse_lists() {
+        // The public fns read unset probe names (no set_var: mutating the
+        // environment races the parallel test harness); the parsing goes
+        // through the pure seams.
+        assert_eq!(env_parse("BC_TEST_UNSET_SCALAR", 7usize), 7);
+        assert_eq!(env_list::<usize>("BC_TEST_UNSET_LIST"), None);
+        assert_eq!(parse_scalar(Some("42".into()), 0usize), 42);
+        assert_eq!(parse_scalar(Some("junk".into()), 3usize), 3);
+        assert_eq!(parse_list::<usize>(Some(" 1, 2 ,4,junk".into())), Some(vec![1, 2, 4]));
+        assert_eq!(parse_list::<usize>(None), None);
     }
 
     #[test]

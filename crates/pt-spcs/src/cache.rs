@@ -42,6 +42,18 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Accumulates another cache's counters into `self` — the aggregate
+    /// view over a *striped* cache (one stripe per shard, see
+    /// [`crate::shard::ShardedService::cache_stats`]): counters and
+    /// occupancy add, the capacity is the striped total.
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+        self.capacity += other.capacity;
+    }
+
     /// `hits / (hits + misses)`, 0.0 before any lookup.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

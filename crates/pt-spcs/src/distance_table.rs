@@ -216,6 +216,14 @@ impl DistanceTable {
         }
     }
 
+    /// The `(Network::epoch, Network::generation)` this table was built
+    /// for (or last [`DistanceTable::refresh`]ed to) — the stamp
+    /// [`DistanceTable::check_fresh`] compares against.
+    #[inline]
+    pub fn built_for(&self) -> (u64, u64) {
+        self.built_for
+    }
+
     /// Number of transfer stations.
     #[inline]
     pub fn len(&self) -> usize {

@@ -23,6 +23,12 @@
 //!   stations, kept fresh under live feeds by the row-scoped incremental
 //!   [`DistanceTable::refresh`] (stale tables surface as a typed
 //!   [`StaleTable`] from the fallible s2s entry points),
+//! * [`shard`] — the multi-network serving layer: a [`ShardedService`]
+//!   owns N `(Network, DistanceTable)` shards behind a station-to-shard
+//!   directory, routes queries/batches/feeds to the owning shard's
+//!   persistent engines (one `apply_feed` and one scoped table refresh per
+//!   shard per feed, per-shard cache stripes), and refuses cross-shard
+//!   queries with a typed redirect ([`RouterError`]),
 //! * [`transfer_selection`] / [`contraction`] — choosing the transfer
 //!   stations by station-graph contraction or by degree,
 //! * [`multicriteria`] — the paper's future-work extension: Pareto
@@ -40,6 +46,7 @@ pub mod parallel;
 pub mod partition;
 pub mod profile_set;
 pub mod s2s;
+pub mod shard;
 pub mod stats;
 pub mod time_query;
 pub mod transfer_selection;
@@ -54,6 +61,10 @@ pub use parallel::OneToAllResult;
 pub use partition::PartitionStrategy;
 pub use profile_set::ProfileSet;
 pub use s2s::{QueryKind, S2sEngine, S2sResult};
+pub use shard::{
+    Routed, RouterError, ShardFeedOutcome, ShardId, ShardedFeedSummary, ShardedService,
+    ShardedServiceBuilder,
+};
 pub use stats::QueryStats;
 pub use transfer_selection::TransferSelection;
 pub use workspace::SearchWorkspace;

@@ -179,6 +179,46 @@ impl<'a> S2sEngine<'a> {
         Ok(query_with(&cfg, self.threads, &mut self.workspaces, source, target))
     }
 
+    /// Like [`S2sEngine::try_query`], but with the distance table supplied
+    /// **per call** instead of configured at construction — the form the
+    /// shard router ([`crate::shard::ShardedService`]) uses, where each
+    /// shard owns its table alongside its network and the engine must stay
+    /// `'static`. `None` disables §4 pruning for this query; any table
+    /// configured via [`S2sEngine::with_table`] is ignored. The transfer
+    /// mask is rebuilt per call — callers with a long-lived table should
+    /// precompute it once ([`DistanceTable::transfer_mask`]) and use the
+    /// masked variant, as the shard router does.
+    pub fn try_query_on(
+        &mut self,
+        net: &Network,
+        table: Option<&DistanceTable>,
+        source: StationId,
+        target: StationId,
+    ) -> Result<S2sResult, StaleTable> {
+        let mask = table.map(DistanceTable::transfer_mask).unwrap_or_default();
+        self.try_query_masked(net, table, &mask, source, target)
+    }
+
+    /// [`S2sEngine::try_query_on`] with a caller-precomputed transfer mask
+    /// (must be `table.transfer_mask()` of the same table — invariant
+    /// under [`DistanceTable::refresh`], so a shard caches it once).
+    pub(crate) fn try_query_masked(
+        &mut self,
+        net: &Network,
+        table: Option<&DistanceTable>,
+        mask: &[bool],
+        source: StationId,
+        target: StationId,
+    ) -> Result<S2sResult, StaleTable> {
+        if let Some(table) = table {
+            table.check_fresh(net)?;
+        }
+        self.ensure_workers();
+        let cfg =
+            QueryConfig { net, table, mask, stopping: self.stopping, strategy: self.strategy };
+        Ok(query_with(&cfg, self.threads, &mut self.workspaces, source, target))
+    }
+
     /// Batch station-to-station queries.
     ///
     /// With `p` threads and at least `p` pairs this parallelizes *across*
@@ -213,18 +253,58 @@ impl<'a> S2sEngine<'a> {
             stopping: self.stopping,
             strategy: self.strategy,
         };
-        if self.threads > 1 && pairs.len() >= self.threads {
-            Ok(crate::parallel::run_batch(
-                &mut self.workspaces[..self.threads],
-                pairs.len(),
-                |i, ws| {
-                    let (s, t) = pairs[i];
-                    query_with(&cfg, 1, std::slice::from_mut(ws), s, t)
-                },
-            ))
-        } else {
-            pairs.iter().map(|&(s, t)| self.try_query(net, s, t)).collect()
+        Ok(batch_with(&cfg, self.threads, &mut self.workspaces, pairs))
+    }
+
+    /// Like [`S2sEngine::try_batch`], with the distance table supplied per
+    /// call (see [`S2sEngine::try_query_on`]) — checked once up front for
+    /// the whole batch.
+    pub fn try_batch_on(
+        &mut self,
+        net: &Network,
+        table: Option<&DistanceTable>,
+        pairs: &[(StationId, StationId)],
+    ) -> Result<Vec<S2sResult>, StaleTable> {
+        let mask = table.map(DistanceTable::transfer_mask).unwrap_or_default();
+        self.try_batch_masked(net, table, &mask, pairs)
+    }
+
+    /// [`S2sEngine::try_batch_on`] with a caller-precomputed transfer mask
+    /// (see [`S2sEngine::try_query_masked`]).
+    pub(crate) fn try_batch_masked(
+        &mut self,
+        net: &Network,
+        table: Option<&DistanceTable>,
+        mask: &[bool],
+        pairs: &[(StationId, StationId)],
+    ) -> Result<Vec<S2sResult>, StaleTable> {
+        if let Some(table) = table {
+            table.check_fresh(net)?;
         }
+        self.ensure_workers();
+        let cfg =
+            QueryConfig { net, table, mask, stopping: self.stopping, strategy: self.strategy };
+        Ok(batch_with(&cfg, self.threads, &mut self.workspaces, pairs))
+    }
+}
+
+/// The batch dispatch heuristic shared by every batch entry point:
+/// across-query parallelism (one claim loop per worker, each query
+/// answered sequentially on one workspace) when the batch can fill the
+/// workers, within-query parallelism one pair at a time otherwise.
+fn batch_with(
+    cfg: &QueryConfig<'_>,
+    threads: usize,
+    workspaces: &mut [SearchWorkspace],
+    pairs: &[(StationId, StationId)],
+) -> Vec<S2sResult> {
+    if threads > 1 && pairs.len() >= threads {
+        crate::parallel::run_batch(&mut workspaces[..threads], pairs.len(), |i, ws| {
+            let (s, t) = pairs[i];
+            query_with(cfg, 1, std::slice::from_mut(ws), s, t)
+        })
+    } else {
+        pairs.iter().map(|&(s, t)| query_with(cfg, threads, workspaces, s, t)).collect()
     }
 }
 
@@ -740,6 +820,44 @@ mod tests {
             .expect("refreshed table must answer");
         let want = ProfileEngine::new().one_to_all(&net, s);
         assert_eq!(&got.profile, want.profile(t));
+    }
+
+    #[test]
+    fn per_call_table_matches_the_configured_table() {
+        use pt_core::{Dur, TrainId};
+        use pt_timetable::Recovery;
+        let mut net = city();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        // One 'static engine (no configured table), the router's shape.
+        let mut engine: S2sEngine<'static> = S2sEngine::new();
+        let pairs: Vec<(StationId, StationId)> = [(0u32, 48u32), (1, 37), (9, 22), (30, 4)]
+            .map(|(s, t)| (StationId(s), StationId(t)))
+            .to_vec();
+        for &(s, t) in &pairs {
+            let per_call = engine.try_query_on(&net, Some(&table), s, t).unwrap();
+            let configured = S2sEngine::new().with_table(&table).query(&net, s, t);
+            assert_eq!(per_call.profile, configured.profile, "{s}→{t}");
+            assert_eq!(per_call.kind, configured.kind, "{s}→{t}");
+            // And with no table: plain stopping-criterion search.
+            let plain = engine.try_query_on(&net, None, s, t).unwrap();
+            assert_eq!(plain.profile, per_call.profile, "{s}→{t}");
+        }
+        let batch = engine.try_batch_on(&net, Some(&table), &pairs).unwrap();
+        for ((b, &(s, t)), want) in batch
+            .iter()
+            .zip(&pairs)
+            .zip(pairs.iter().map(|&(s, t)| S2sEngine::new().with_table(&table).query(&net, s, t)))
+        {
+            assert_eq!(b.profile, want.profile, "{s}→{t}");
+        }
+        // A stale table errors identically to the configured path.
+        net.apply_delay(TrainId(0), 0, Dur::minutes(20), Recovery::None);
+        let (s, t) = pairs[0];
+        let err = engine.try_query_on(&net, Some(&table), s, t).unwrap_err();
+        assert!(err.refreshable());
+        assert_eq!(engine.try_batch_on(&net, Some(&table), &pairs).unwrap_err(), err);
+        // Without a table the engine keeps answering on the fed network.
+        assert!(engine.try_query_on(&net, None, s, t).is_ok());
     }
 
     #[test]

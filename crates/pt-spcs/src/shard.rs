@@ -1,0 +1,890 @@
+//! Sharded multi-network serving: a query router over several engines.
+//!
+//! The paper parallelizes one profile search across the cores of a single
+//! machine; the serving goal is hosting *many* networks (or one huge
+//! network split by region) behind one process. A [`ShardedService`] owns
+//! `N` shards — each a [`Network`] with its own persistent
+//! [`ProfileEngine`], [`S2sEngine`] and optional [`DistanceTable`] — plus a
+//! station-to-shard **directory**, and routes every call to the owning
+//! shard:
+//!
+//! * **Queries.** Stations are addressed by *global* ids; the directory
+//!   assigns each shard a contiguous global range (shard `i` owns
+//!   `base[i]..base[i+1]`), so resolution is one binary search.
+//!   [`ShardedService::one_to_all`] / [`ShardedService::s2s`] dispatch to
+//!   the owning shard's engine; the batch forms demultiplex their inputs so
+//!   each shard's engine is entered **once** per batch with all of its
+//!   queries (keeping the two-level batch parallelism per shard).
+//! * **Cache striping.** Each shard's `ProfileEngine` carries its own LRU
+//!   stripe, so the effective cache key is
+//!   `(shard, source, epoch, generation)`: a feed to shard A bumps only A's
+//!   generation and only A's stripe sees invalidations or capacity
+//!   pressure — shard B's hits are untouchable by A's traffic.
+//! * **Feeds.** [`ShardedService::apply_feed`] demultiplexes a mixed
+//!   [`DelayEvent`] stream so each shard receives **one**
+//!   [`Network::apply_feed`] call (one generation bump at most) and — when
+//!   the feed changed anything and the shard has a table — **one** scoped
+//!   [`DistanceTable::refresh`]. A shard with no events (or a net-nil
+//!   batch) is not touched at all.
+//! * **Honest scoping.** A station-to-station query whose endpoints live in
+//!   different shards is *not* answered (no cross-shard journey search
+//!   exists yet); it returns a typed [`RouterError::CrossShard`] carrying
+//!   both owners, and a query explicitly directed at the wrong shard
+//!   returns [`RouterError::WrongShard`] naming the owner — the redirect
+//!   hook for a future gateway.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use pt_core::StationId;
+use pt_timetable::DelayEvent;
+
+use crate::cache::CacheStats;
+use crate::connection_setting::ProfileEngine;
+use crate::distance_table::DistanceTable;
+use crate::network::{DelayUpdate, FeedSummary, Network};
+use crate::partition::PartitionStrategy;
+use crate::profile_set::ProfileSet;
+use crate::s2s::{S2sEngine, S2sResult};
+use crate::transfer_selection::TransferSelection;
+
+/// Identifies one shard of a [`ShardedService`]; dense, `0..num_shards`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl ShardId {
+    /// The shard's index into the service's shard list.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {}", self.0)
+    }
+}
+
+/// Why the router could not (or deliberately did not) answer a call.
+///
+/// `WrongShard` and `CrossShard` carry the owning shard(s), so a caller —
+/// or a future gateway — can redirect instead of guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterError {
+    /// The global station id is outside every shard's range.
+    UnknownStation { station: StationId },
+    /// The shard id is outside `0..num_shards`.
+    UnknownShard { shard: ShardId },
+    /// A call directed at an explicit shard named a station another shard
+    /// owns; re-issue against `owner`.
+    WrongShard { station: StationId, queried: ShardId, owner: ShardId },
+    /// A station-to-station query whose endpoints live in different
+    /// shards — out of scope for the per-shard engines (the hook for a
+    /// cross-shard gateway).
+    CrossShard { source: ShardId, target: ShardId },
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RouterError::UnknownStation { station } => {
+                write!(f, "global station {station} is not in any shard's directory range")
+            }
+            RouterError::UnknownShard { shard } => write!(f, "{shard} does not exist"),
+            RouterError::WrongShard { station, queried, owner } => write!(
+                f,
+                "global station {station} was queried on {queried} but {owner} owns it — \
+                 redirect the call there"
+            ),
+            RouterError::CrossShard { source, target } => write!(
+                f,
+                "station-to-station query crosses shards ({source} → {target}); cross-shard \
+                 journeys need a gateway above the router"
+            ),
+        }
+    }
+}
+
+impl Error for RouterError {}
+
+/// A result routed to (and answered by) one shard. The payload is in the
+/// owning shard's *local* station-id space — resolve targets with
+/// [`ShardedService::locate`].
+#[derive(Debug, Clone)]
+pub struct Routed<T> {
+    /// The shard that answered.
+    pub shard: ShardId,
+    /// The shard-local answer.
+    pub value: T,
+}
+
+/// What one shard did with its slice of a mixed feed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFeedOutcome {
+    /// The shard the events were demultiplexed to.
+    pub shard: ShardId,
+    /// The shard's own [`Network::apply_feed`] summary (one call, so at
+    /// most one generation bump).
+    pub summary: FeedSummary,
+    /// Rows the shard's distance table recomputed in its one scoped
+    /// [`DistanceTable::refresh`]; `0` when the shard has no table or the
+    /// batch changed nothing.
+    pub table_rows_refreshed: usize,
+}
+
+/// What [`ShardedService::apply_feed`] did with one mixed event batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedFeedSummary {
+    /// Per event, in input order, how the owning shard serviced it.
+    pub events: Vec<DelayUpdate>,
+    /// One outcome per shard that received at least one event, ascending
+    /// by shard id. Shards absent here were not touched at all.
+    pub shards: Vec<ShardFeedOutcome>,
+}
+
+impl ShardedFeedSummary {
+    /// `true` iff at least one shard changed (bumped its generation).
+    pub fn changed(&self) -> bool {
+        self.shards.iter().any(|s| s.summary.changed())
+    }
+
+    /// The outcome of `shard`, if it received any events.
+    pub fn outcome(&self, shard: ShardId) -> Option<&ShardFeedOutcome> {
+        self.shards.iter().find(|o| o.shard == shard)
+    }
+}
+
+/// One shard: a network and its persistent serving machinery.
+#[derive(Debug)]
+struct Shard {
+    net: Network,
+    profile: ProfileEngine,
+    s2s: S2sEngine<'static>,
+    table: Option<DistanceTable>,
+    /// The table's transfer mask, computed once: the transfer set is
+    /// invariant under [`DistanceTable::refresh`], so routed s2s queries
+    /// never rebuild it.
+    mask: Vec<bool>,
+}
+
+impl Shard {
+    fn s2s(&mut self, source: StationId, target: StationId) -> S2sResult {
+        self.s2s
+            .try_query_masked(&self.net, self.table.as_ref(), &self.mask, source, target)
+            .expect("router refreshes its tables on every feed")
+    }
+
+    fn s2s_batch(&mut self, pairs: &[(StationId, StationId)]) -> Vec<S2sResult> {
+        self.s2s
+            .try_batch_masked(&self.net, self.table.as_ref(), &self.mask, pairs)
+            .expect("router refreshes its tables on every feed")
+    }
+}
+
+/// Configures and builds a [`ShardedService`];
+/// see [`ShardedService::builder`].
+#[derive(Debug, Clone)]
+pub struct ShardedServiceBuilder {
+    threads: usize,
+    strategy: PartitionStrategy,
+    cache_per_shard: usize,
+    tables: Option<TransferSelection>,
+}
+
+impl Default for ShardedServiceBuilder {
+    fn default() -> Self {
+        ShardedServiceBuilder {
+            threads: 1,
+            strategy: PartitionStrategy::EqualConnections,
+            cache_per_shard: 0,
+            tables: None,
+        }
+    }
+}
+
+impl ShardedServiceBuilder {
+    /// Worker threads per engine (all shards share the process-global
+    /// pool, so this bounds per-call concurrency, not thread count).
+    pub fn threads(mut self, p: usize) -> Self {
+        assert!(p >= 1, "need at least one thread");
+        self.threads = p;
+        self
+    }
+
+    /// The `conn(S)` partition strategy every shard engine uses.
+    pub fn strategy(mut self, s: PartitionStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Enables the profile cache with one stripe of `capacity` entries
+    /// **per shard** — the striping that keeps one shard's feed traffic
+    /// from evicting another shard's hits.
+    pub fn cache(mut self, capacity: usize) -> Self {
+        self.cache_per_shard = capacity;
+        self
+    }
+
+    /// Builds a distance table per shard with this selection; the router
+    /// keeps each table fresh with one scoped refresh per feed.
+    pub fn tables(mut self, selection: TransferSelection) -> Self {
+        self.tables = Some(selection);
+        self
+    }
+
+    /// Builds the service over the given shard networks (one shard per
+    /// network, [`ShardId`]s in input order).
+    ///
+    /// # Panics
+    ///
+    /// On an empty network list.
+    pub fn build(self, networks: Vec<Network>) -> ShardedService {
+        assert!(!networks.is_empty(), "a sharded service needs at least one network");
+        let mut base = Vec::with_capacity(networks.len() + 1);
+        let mut next = 0u32;
+        let shards = networks
+            .into_iter()
+            .map(|net| {
+                base.push(next);
+                next += net.num_stations() as u32;
+                let mut profile =
+                    ProfileEngine::new().threads(self.threads).strategy(self.strategy);
+                if self.cache_per_shard > 0 {
+                    profile = profile.with_cache(self.cache_per_shard);
+                }
+                let table = self.tables.as_ref().map(|sel| DistanceTable::build(&net, sel));
+                let mask = table.as_ref().map(DistanceTable::transfer_mask).unwrap_or_default();
+                Shard {
+                    s2s: S2sEngine::new().threads(self.threads).strategy(self.strategy),
+                    net,
+                    profile,
+                    table,
+                    mask,
+                }
+            })
+            .collect();
+        base.push(next);
+        ShardedService { shards, base }
+    }
+}
+
+/// A query router owning `N` sharded networks behind one API.
+///
+/// All stations are addressed by **global** ids; the service's directory
+/// maps every global station to its owning `(shard, local station)` pair
+/// ([`ShardedService::locate`]). Every query routes to the owning shard's
+/// persistent engine, batches are demultiplexed so each shard is entered
+/// once, mixed feeds cost each touched shard one generation bump and one
+/// scoped table refresh, and the per-shard cache stripes isolate one
+/// shard's invalidations from another's hits. See the [module
+/// docs](crate::shard) for the full contract.
+///
+/// ```
+/// use pt_core::{Dur, Period, StationId, Time};
+/// use pt_spcs::{Network, ShardedService};
+/// use pt_timetable::TimetableBuilder;
+///
+/// let city = |leg_min: u32| {
+///     let mut b = TimetableBuilder::new(Period::DAY);
+///     let a = b.add_named_station("A", Dur::minutes(2));
+///     let t = b.add_named_station("B", Dur::minutes(2));
+///     b.add_simple_trip(&[a, t], Time::hm(8, 0), &[Dur::minutes(leg_min)], Dur::ZERO).unwrap();
+///     Network::new(b.build().unwrap())
+/// };
+/// let mut svc = ShardedService::builder().cache(16).build(vec![city(30), city(60)]);
+///
+/// // Global station 2 is shard 1's local station 0.
+/// let routed = svc.one_to_all(StationId(2)).unwrap();
+/// assert_eq!(routed.shard.0, 1);
+/// let (shard, local_target) = svc.locate(StationId(3)).unwrap();
+/// assert_eq!(shard, routed.shard);
+/// let arr = routed.value.profile(local_target).eval_arr(Time::hm(7, 0), Period::DAY);
+/// assert_eq!(arr, Time::hm(9, 0));
+/// ```
+#[derive(Debug)]
+pub struct ShardedService {
+    shards: Vec<Shard>,
+    /// Global-id base per shard, plus a trailing sentinel holding the total
+    /// station count: shard `i` owns global ids `base[i]..base[i + 1]`.
+    base: Vec<u32>,
+}
+
+impl ShardedService {
+    /// Starts configuring a service
+    /// (threads, cache striping, distance tables).
+    pub fn builder() -> ShardedServiceBuilder {
+        ShardedServiceBuilder::default()
+    }
+
+    /// A service with default configuration (single-threaded engines, no
+    /// caches, no tables) over the given networks.
+    pub fn new(networks: Vec<Network>) -> ShardedService {
+        Self::builder().build(networks)
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All shard ids, ascending.
+    pub fn shard_ids(&self) -> impl Iterator<Item = ShardId> {
+        (0..self.shards.len() as u32).map(ShardId)
+    }
+
+    /// Total stations across all shards (= the size of the global id
+    /// space; every global id below this resolves).
+    #[inline]
+    pub fn num_stations(&self) -> usize {
+        *self.base.last().expect("base always has a sentinel") as usize
+    }
+
+    /// The contiguous global-id range `shard` owns.
+    pub fn station_range(&self, shard: ShardId) -> Result<Range<u32>, RouterError> {
+        self.check_shard(shard)?;
+        Ok(self.base[shard.idx()]..self.base[shard.idx() + 1])
+    }
+
+    /// Resolves a global station id to its owning shard and that shard's
+    /// local station id — the directory lookup behind every routed call.
+    pub fn locate(&self, station: StationId) -> Result<(ShardId, StationId), RouterError> {
+        // partition_point: first shard whose base exceeds the id; its
+        // predecessor owns the id iff the id is below the sentinel.
+        let i = self.base.partition_point(|&b| b <= station.0);
+        if i == 0 || station.0 >= *self.base.last().unwrap() {
+            return Err(RouterError::UnknownStation { station });
+        }
+        Ok((ShardId(i as u32 - 1), StationId(station.0 - self.base[i - 1])))
+    }
+
+    /// The owning shard of a global station id.
+    pub fn owner(&self, station: StationId) -> Result<ShardId, RouterError> {
+        self.locate(station).map(|(shard, _)| shard)
+    }
+
+    /// The global id of `shard`'s local station — the inverse of
+    /// [`ShardedService::locate`].
+    pub fn global_id(&self, shard: ShardId, local: StationId) -> Result<StationId, RouterError> {
+        let range = self.station_range(shard)?;
+        // Bound-check the *local* id: adding first could wrap a huge id
+        // into another shard's range. The error carries the rejected
+        // local id (it corresponds to no global station).
+        if local.0 >= range.end - range.start {
+            return Err(RouterError::UnknownStation { station: local });
+        }
+        Ok(StationId(range.start + local.0))
+    }
+
+    /// The shard's network (e.g. for timetable access or standalone
+    /// verification copies).
+    pub fn network(&self, shard: ShardId) -> Result<&Network, RouterError> {
+        self.check_shard(shard)?;
+        Ok(&self.shards[shard.idx()].net)
+    }
+
+    /// The shard's distance table, if the service was built with tables.
+    pub fn table(&self, shard: ShardId) -> Result<Option<&DistanceTable>, RouterError> {
+        self.check_shard(shard)?;
+        Ok(self.shards[shard.idx()].table.as_ref())
+    }
+
+    /// One shard's cache-stripe counters; `None` when built without
+    /// [`ShardedServiceBuilder::cache`].
+    pub fn shard_cache_stats(&self, shard: ShardId) -> Result<Option<CacheStats>, RouterError> {
+        self.check_shard(shard)?;
+        Ok(self.shards[shard.idx()].profile.cache_stats())
+    }
+
+    /// Aggregate cache counters over every stripe (counters and occupancy
+    /// sum; the capacity is the striped total).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        let mut agg: Option<CacheStats> = None;
+        for shard in &self.shards {
+            if let Some(stats) = shard.profile.cache_stats() {
+                agg.get_or_insert_with(CacheStats::default).absorb(stats);
+            }
+        }
+        agg
+    }
+
+    /// One-to-all profiles from a global station, answered by the owning
+    /// shard's engine (through its cache stripe when enabled). The returned
+    /// [`ProfileSet`] is in the owning shard's local id space.
+    pub fn one_to_all(
+        &mut self,
+        source: StationId,
+    ) -> Result<Routed<Arc<ProfileSet>>, RouterError> {
+        let (shard, local) = self.locate(source)?;
+        let s = &mut self.shards[shard.idx()];
+        Ok(Routed { shard, value: s.profile.one_to_all(&s.net, local) })
+    }
+
+    /// Like [`ShardedService::one_to_all`], but directed at an explicit
+    /// shard: a station another shard owns is **not** silently rerouted —
+    /// the typed [`RouterError::WrongShard`] names the owner so the caller
+    /// (or a gateway) can redirect deliberately.
+    pub fn one_to_all_on(
+        &mut self,
+        shard: ShardId,
+        source: StationId,
+    ) -> Result<Routed<Arc<ProfileSet>>, RouterError> {
+        self.check_shard(shard)?;
+        let (owner, local) = self.locate(source)?;
+        if owner != shard {
+            return Err(RouterError::WrongShard { station: source, queried: shard, owner });
+        }
+        let s = &mut self.shards[shard.idx()];
+        Ok(Routed { shard, value: s.profile.one_to_all(&s.net, local) })
+    }
+
+    /// Batch one-to-all over global sources. The batch is demultiplexed so
+    /// every owning shard's engine is entered **once** with all of its
+    /// sources (keeping [`ProfileEngine::many_to_all`]'s across-query
+    /// parallelism and cache-hit dedup per shard); results come back in
+    /// input order. Routing failures are per item — one unknown station
+    /// does not fail its neighbours.
+    pub fn many_to_all(
+        &mut self,
+        sources: &[StationId],
+    ) -> Vec<Result<Routed<Arc<ProfileSet>>, RouterError>> {
+        let located: Vec<Result<(ShardId, StationId), RouterError>> =
+            sources.iter().map(|&s| self.locate(s)).collect();
+        let mut grouped: Vec<Vec<(usize, StationId)>> = vec![Vec::new(); self.shards.len()];
+        for (i, loc) in located.iter().enumerate() {
+            if let Ok((shard, local)) = *loc {
+                grouped[shard.idx()].push((i, local));
+            }
+        }
+        let mut out: Vec<Option<Result<Routed<Arc<ProfileSet>>, RouterError>>> =
+            located.into_iter().map(|loc| loc.err().map(Err)).collect();
+        for (idx, group) in grouped.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &mut self.shards[idx];
+            let locals: Vec<StationId> = group.iter().map(|&(_, l)| l).collect();
+            let sets = shard.profile.many_to_all(&shard.net, &locals);
+            for (&(i, _), set) in group.iter().zip(sets) {
+                out[i] = Some(Ok(Routed { shard: ShardId(idx as u32), value: set }));
+            }
+        }
+        out.into_iter().map(|r| r.expect("every located source answered by its shard")).collect()
+    }
+
+    /// Station-to-station profile between two global stations, answered by
+    /// the owning shard's engine with its distance table (when present).
+    /// Endpoints in different shards are refused with the typed
+    /// [`RouterError::CrossShard`] carrying both owners.
+    pub fn s2s(
+        &mut self,
+        source: StationId,
+        target: StationId,
+    ) -> Result<Routed<S2sResult>, RouterError> {
+        let (s_shard, s_local) = self.locate(source)?;
+        let (t_shard, t_local) = self.locate(target)?;
+        if s_shard != t_shard {
+            return Err(RouterError::CrossShard { source: s_shard, target: t_shard });
+        }
+        Ok(Routed { shard: s_shard, value: self.shards[s_shard.idx()].s2s(s_local, t_local) })
+    }
+
+    /// Batch station-to-station over global pairs, demultiplexed so every
+    /// shard's engine is entered **once** with all of its same-shard pairs
+    /// ([`S2sEngine::batch`] semantics per shard). Results come back in
+    /// input order; unknown stations and cross-shard pairs fail per item.
+    pub fn s2s_batch(
+        &mut self,
+        pairs: &[(StationId, StationId)],
+    ) -> Vec<Result<Routed<S2sResult>, RouterError>> {
+        /// A located pair: `(owning shard, (local source, local target))`.
+        type LocatedPair = Result<(ShardId, (StationId, StationId)), RouterError>;
+        let located: Vec<LocatedPair> = pairs
+            .iter()
+            .map(|&(s, t)| {
+                let (s_shard, s_local) = self.locate(s)?;
+                let (t_shard, t_local) = self.locate(t)?;
+                if s_shard != t_shard {
+                    return Err(RouterError::CrossShard { source: s_shard, target: t_shard });
+                }
+                Ok((s_shard, (s_local, t_local)))
+            })
+            .collect();
+        let mut grouped: Vec<Vec<(usize, (StationId, StationId))>> =
+            vec![Vec::new(); self.shards.len()];
+        for (i, loc) in located.iter().enumerate() {
+            if let Ok((shard, pair)) = *loc {
+                grouped[shard.idx()].push((i, pair));
+            }
+        }
+        let mut out: Vec<Option<Result<Routed<S2sResult>, RouterError>>> =
+            located.into_iter().map(|loc| loc.err().map(Err)).collect();
+        for (idx, group) in grouped.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let local_pairs: Vec<(StationId, StationId)> = group.iter().map(|&(_, p)| p).collect();
+            let results = self.shards[idx].s2s_batch(&local_pairs);
+            for (&(i, _), r) in group.iter().zip(results) {
+                out[i] = Some(Ok(Routed { shard: ShardId(idx as u32), value: r }));
+            }
+        }
+        out.into_iter().map(|r| r.expect("every located pair answered by its shard")).collect()
+    }
+
+    /// Applies a mixed realtime feed — events tagged with their shard — in
+    /// one pass per shard: the events are demultiplexed (preserving their
+    /// relative order), each shard with at least one event gets exactly
+    /// **one** [`Network::apply_feed`] call (so at most one generation bump
+    /// and one cache invalidation per shard per feed), and each *changed*
+    /// shard with a distance table gets exactly **one** scoped
+    /// [`DistanceTable::refresh`]. Untouched shards — and shards whose
+    /// batch nets out to nil — keep their generation, so their cache
+    /// stripes keep hitting.
+    ///
+    /// An unknown shard id fails the whole call up front (no partial
+    /// application).
+    pub fn apply_feed(
+        &mut self,
+        events: &[(ShardId, DelayEvent)],
+    ) -> Result<ShardedFeedSummary, RouterError> {
+        for &(shard, _) in events {
+            self.check_shard(shard)?;
+        }
+        let mut grouped: Vec<Vec<(usize, DelayEvent)>> = vec![Vec::new(); self.shards.len()];
+        for (i, &(shard, event)) in events.iter().enumerate() {
+            grouped[shard.idx()].push((i, event));
+        }
+        let mut out_events = vec![DelayUpdate::Unchanged; events.len()];
+        let mut shards = Vec::new();
+        for (idx, group) in grouped.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = &mut self.shards[idx];
+            let batch: Vec<DelayEvent> = group.iter().map(|&(_, e)| e).collect();
+            let summary = shard.net.apply_feed(&batch);
+            for (&(i, _), &update) in group.iter().zip(&summary.events) {
+                out_events[i] = update;
+            }
+            let table_rows_refreshed = match &mut shard.table {
+                Some(table) if summary.changed() => table
+                    .refresh(&shard.net)
+                    .expect("a shard's table always shares its shard's network"),
+                _ => 0,
+            };
+            shards.push(ShardFeedOutcome {
+                shard: ShardId(idx as u32),
+                summary,
+                table_rows_refreshed,
+            });
+        }
+        Ok(ShardedFeedSummary { events: out_events, shards })
+    }
+
+    fn check_shard(&self, shard: ShardId) -> Result<(), RouterError> {
+        if shard.idx() < self.shards.len() {
+            Ok(())
+        } else {
+            Err(RouterError::UnknownShard { shard })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::{Dur, Period, Time, TrainId};
+    use pt_timetable::{Recovery, TimetableBuilder};
+
+    /// A tiny two-line network; `offset_min` staggers the schedule so
+    /// distinct shards give distinct answers.
+    fn city(offset_min: u32) -> Network {
+        let mut b = TimetableBuilder::new(Period::DAY);
+        let s: Vec<_> =
+            (0..3).map(|i| b.add_named_station(format!("{i}"), Dur::minutes(2))).collect();
+        for h in [8u32, 9, 10] {
+            b.add_simple_trip(
+                &[s[0], s[1], s[2]],
+                Time::hm(h, 0) + Dur::minutes(offset_min),
+                &[Dur::minutes(10), Dur::minutes(10)],
+                Dur::ZERO,
+            )
+            .unwrap();
+        }
+        b.add_simple_trip(
+            &[s[2], s[0]],
+            Time::hm(12, 0) + Dur::minutes(offset_min),
+            &[Dur::minutes(25)],
+            Dur::ZERO,
+        )
+        .unwrap();
+        Network::new(b.build().unwrap())
+    }
+
+    fn service() -> ShardedService {
+        ShardedService::builder().cache(8).build(vec![city(0), city(5), city(11)])
+    }
+
+    #[test]
+    fn directory_maps_every_station_and_rejects_the_rest() {
+        let svc = service();
+        assert_eq!(svc.num_shards(), 3);
+        assert_eq!(svc.num_stations(), 9);
+        for shard in svc.shard_ids() {
+            let range = svc.station_range(shard).unwrap();
+            for g in range {
+                let (owner, local) = svc.locate(StationId(g)).unwrap();
+                assert_eq!(owner, shard);
+                assert_eq!(svc.global_id(shard, local).unwrap(), StationId(g));
+            }
+        }
+        assert_eq!(
+            svc.locate(StationId(9)),
+            Err(RouterError::UnknownStation { station: StationId(9) })
+        );
+        assert_eq!(
+            svc.global_id(ShardId(0), StationId(3)),
+            Err(RouterError::UnknownStation { station: StationId(3) })
+        );
+        // A huge local id must not wrap into another shard's range.
+        assert!(svc.global_id(ShardId(1), StationId(u32::MAX - 2)).is_err());
+        assert_eq!(
+            svc.station_range(ShardId(3)),
+            Err(RouterError::UnknownShard { shard: ShardId(3) })
+        );
+    }
+
+    #[test]
+    fn routed_queries_match_the_owning_network() {
+        let mut svc = service();
+        for shard in [ShardId(0), ShardId(1), ShardId(2)] {
+            let standalone = Network::build(svc.network(shard).unwrap().timetable());
+            for local in 0..3u32 {
+                let global = svc.global_id(shard, StationId(local)).unwrap();
+                let routed = svc.one_to_all(global).unwrap();
+                assert_eq!(routed.shard, shard);
+                assert_eq!(
+                    routed.value,
+                    ProfileEngine::new().one_to_all(&standalone, StationId(local)),
+                    "{shard} local {local}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_shard_carries_the_owner_for_a_redirect() {
+        let mut svc = service();
+        let global = svc.global_id(ShardId(2), StationId(1)).unwrap();
+        let err = svc.one_to_all_on(ShardId(0), global).unwrap_err();
+        let RouterError::WrongShard { station, queried, owner } = err else {
+            panic!("expected WrongShard, got {err:?}");
+        };
+        assert_eq!((station, queried, owner), (global, ShardId(0), ShardId(2)));
+        // The redirect round-trip: re-issue on the named owner.
+        let redirected = svc.one_to_all_on(owner, global).unwrap();
+        assert_eq!(redirected.value, svc.one_to_all(global).unwrap().value);
+    }
+
+    #[test]
+    fn s2s_routes_within_and_refuses_across_shards() {
+        let mut svc = service();
+        let s = svc.global_id(ShardId(1), StationId(0)).unwrap();
+        let t = svc.global_id(ShardId(1), StationId(2)).unwrap();
+        let within = svc.s2s(s, t).unwrap();
+        assert_eq!(within.shard, ShardId(1));
+        let standalone = Network::build(svc.network(ShardId(1)).unwrap().timetable());
+        let want = ProfileEngine::new().one_to_all(&standalone, StationId(0));
+        assert_eq!(&within.value.profile, want.profile(StationId(2)));
+
+        let foreign = svc.global_id(ShardId(2), StationId(2)).unwrap();
+        assert_eq!(
+            svc.s2s(s, foreign).unwrap_err(),
+            RouterError::CrossShard { source: ShardId(1), target: ShardId(2) }
+        );
+    }
+
+    #[test]
+    fn batches_demultiplex_and_reassemble_in_input_order() {
+        let mut svc = service();
+        let sources = vec![
+            StationId(7), // shard 2
+            StationId(0), // shard 0
+            StationId(99),
+            StationId(4), // shard 1
+            StationId(0), // duplicate: shard 0's cache dedups in-batch
+        ];
+        let out = svc.many_to_all(&sources);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].as_ref().unwrap().shard, ShardId(2));
+        assert_eq!(out[1].as_ref().unwrap().shard, ShardId(0));
+        assert_eq!(
+            out[2].as_ref().unwrap_err(),
+            &RouterError::UnknownStation { station: StationId(99) }
+        );
+        assert_eq!(out[3].as_ref().unwrap().shard, ShardId(1));
+        for (i, src) in [(0usize, StationId(7)), (1, StationId(0)), (3, StationId(4))] {
+            assert_eq!(
+                out[i].as_ref().unwrap().value,
+                svc.one_to_all(src).unwrap().value,
+                "batch slot {i}"
+            );
+        }
+        assert!(Arc::ptr_eq(&out[1].as_ref().unwrap().value, &out[4].as_ref().unwrap().value));
+
+        let pairs = vec![
+            (StationId(0), StationId(2)), // within shard 0
+            (StationId(0), StationId(4)), // cross
+            (StationId(8), StationId(6)), // within shard 2
+        ];
+        let s2s_out = svc.s2s_batch(&pairs);
+        assert_eq!(s2s_out[0].as_ref().unwrap().shard, ShardId(0));
+        assert_eq!(
+            s2s_out[1].as_ref().unwrap_err(),
+            &RouterError::CrossShard { source: ShardId(0), target: ShardId(1) }
+        );
+        assert_eq!(s2s_out[2].as_ref().unwrap().shard, ShardId(2));
+        let direct = svc.s2s(StationId(8), StationId(6)).unwrap();
+        assert_eq!(s2s_out[2].as_ref().unwrap().value.profile, direct.value.profile);
+    }
+
+    #[test]
+    fn mixed_feed_bumps_each_touched_shard_once_and_refreshes_its_table() {
+        let mut svc = ShardedService::builder()
+            .cache(8)
+            .tables(TransferSelection::Explicit(vec![StationId(0), StationId(2)]))
+            .build(vec![city(0), city(5), city(11)]);
+        let gens: Vec<u64> =
+            svc.shard_ids().map(|sh| svc.network(sh).unwrap().generation()).collect();
+        // Three events for shard 0, one for shard 2, none for shard 1.
+        let feed = vec![
+            (
+                ShardId(0),
+                DelayEvent::Delay {
+                    train: TrainId(0),
+                    from_hop: 0,
+                    delay: Dur::minutes(5),
+                    recovery: Recovery::None,
+                },
+            ),
+            (
+                ShardId(2),
+                DelayEvent::Delay {
+                    train: TrainId(1),
+                    from_hop: 1,
+                    delay: Dur::minutes(9),
+                    recovery: Recovery::None,
+                },
+            ),
+            (
+                ShardId(0),
+                DelayEvent::Delay {
+                    train: TrainId(0),
+                    from_hop: 1,
+                    delay: Dur::minutes(3),
+                    recovery: Recovery::None,
+                },
+            ),
+            (ShardId(0), DelayEvent::Cancel { train: TrainId(3) }),
+        ];
+        let summary = svc.apply_feed(&feed).unwrap();
+        assert!(summary.changed());
+        assert_eq!(summary.events.len(), 4);
+        // Shards 0 and 2 bumped exactly once, shard 1 not at all.
+        let after: Vec<u64> =
+            svc.shard_ids().map(|sh| svc.network(sh).unwrap().generation()).collect();
+        assert_eq!(after[0], gens[0] + 1, "three events, one bump");
+        assert_eq!(after[1], gens[1], "untouched shard must not move");
+        assert_eq!(after[2], gens[2] + 1);
+        assert_eq!(summary.shards.len(), 2);
+        assert!(summary.outcome(ShardId(1)).is_none());
+        // Each changed shard's table was refreshed in the same call.
+        for sh in [ShardId(0), ShardId(2)] {
+            assert!(summary.outcome(sh).unwrap().table_rows_refreshed > 0, "{sh}");
+            assert!(svc.table(sh).unwrap().unwrap().check_fresh(svc.network(sh).unwrap()).is_ok());
+        }
+        // And s2s keeps answering without a stale-table panic.
+        let s = svc.global_id(ShardId(0), StationId(0)).unwrap();
+        let t = svc.global_id(ShardId(0), StationId(2)).unwrap();
+        let got = svc.s2s(s, t).unwrap();
+        let standalone = Network::build(svc.network(ShardId(0)).unwrap().timetable());
+        let want = ProfileEngine::new().one_to_all(&standalone, StationId(0));
+        assert_eq!(&got.value.profile, want.profile(StationId(2)));
+    }
+
+    #[test]
+    fn feed_to_one_shard_leaves_the_other_stripes_hot() {
+        let mut svc = service();
+        let a = svc.global_id(ShardId(0), StationId(0)).unwrap();
+        let b = svc.global_id(ShardId(1), StationId(0)).unwrap();
+        let _ = svc.one_to_all(a).unwrap();
+        let _ = svc.one_to_all(b).unwrap();
+        let feed = vec![(
+            ShardId(0),
+            DelayEvent::Delay {
+                train: TrainId(0),
+                from_hop: 0,
+                delay: Dur::minutes(10),
+                recovery: Recovery::None,
+            },
+        )];
+        assert!(svc.apply_feed(&feed).unwrap().changed());
+        // Shard B's stripe still hits; shard A's entry stopped matching.
+        let b_before = svc.shard_cache_stats(ShardId(1)).unwrap().unwrap();
+        let _ = svc.one_to_all(b).unwrap();
+        let b_after = svc.shard_cache_stats(ShardId(1)).unwrap().unwrap();
+        assert_eq!(b_after.hits, b_before.hits + 1, "foreign feed must not evict this stripe");
+        let a_before = svc.shard_cache_stats(ShardId(0)).unwrap().unwrap();
+        let _ = svc.one_to_all(a).unwrap();
+        let a_after = svc.shard_cache_stats(ShardId(0)).unwrap().unwrap();
+        assert_eq!(a_after.misses, a_before.misses + 1, "own feed must invalidate");
+        // The aggregate view sums the stripes.
+        let agg = svc.cache_stats().unwrap();
+        assert_eq!(
+            agg.hits,
+            b_after.hits + a_after.hits + {
+                let c = svc.shard_cache_stats(ShardId(2)).unwrap().unwrap();
+                c.hits
+            }
+        );
+        assert_eq!(agg.capacity, 24, "three stripes of eight");
+    }
+
+    #[test]
+    fn net_nil_feed_is_a_no_op_everywhere() {
+        let mut svc = service();
+        let gens: Vec<u64> =
+            svc.shard_ids().map(|sh| svc.network(sh).unwrap().generation()).collect();
+        // A cancellation of a never-delayed train nets out to nothing.
+        let summary =
+            svc.apply_feed(&[(ShardId(1), DelayEvent::Cancel { train: TrainId(0) })]).unwrap();
+        assert!(!summary.changed());
+        assert_eq!(summary.events, vec![DelayUpdate::Unchanged]);
+        assert_eq!(summary.outcome(ShardId(1)).unwrap().table_rows_refreshed, 0);
+        let after: Vec<u64> =
+            svc.shard_ids().map(|sh| svc.network(sh).unwrap().generation()).collect();
+        assert_eq!(after, gens, "net-nil feed must not bump any shard");
+        // An unknown shard id fails up front.
+        assert_eq!(
+            svc.apply_feed(&[(ShardId(9), DelayEvent::Cancel { train: TrainId(0) })]),
+            Err(RouterError::UnknownShard { shard: ShardId(9) })
+        );
+    }
+
+    #[test]
+    fn errors_display_the_redirect_information() {
+        let wrong = RouterError::WrongShard {
+            station: StationId(7),
+            queried: ShardId(0),
+            owner: ShardId(2),
+        };
+        let msg = wrong.to_string();
+        assert!(msg.contains("shard 2"), "{msg}");
+        let cross = RouterError::CrossShard { source: ShardId(1), target: ShardId(3) };
+        assert!(cross.to_string().contains("shard 1 → shard 3"), "{cross}");
+    }
+}

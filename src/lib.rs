@@ -14,7 +14,8 @@
 //! * [`spcs`] — the search algorithms: time-queries, the
 //!   label-correcting profile baseline, sequential and parallel self-pruning
 //!   connection-setting (SPCS), the station-to-station engine with
-//!   distance-table pruning, and the workspace/pool/batch execution layers.
+//!   distance-table pruning, the workspace/pool/batch execution layers, and
+//!   the sharded multi-network router (`ShardedService`).
 //!
 //! # Quickstart
 //!
@@ -60,7 +61,8 @@ pub mod prelude {
     pub use pt_graph::{StationGraph, TdGraph};
     pub use pt_spcs::{
         CacheStats, DelayUpdate, DistanceTable, FeedSummary, Network, PartitionStrategy,
-        ProfileEngine, QueryStats, S2sEngine, StaleTable, TransferSelection,
+        ProfileEngine, QueryStats, Routed, RouterError, S2sEngine, ShardFeedOutcome, ShardId,
+        ShardedFeedSummary, ShardedService, StaleTable, TransferSelection,
     };
     pub use pt_timetable::{DelayEvent, Recovery, Station, Timetable, TimetableBuilder, TripStop};
 }
