@@ -7,9 +7,11 @@ Two jobs, both exercised by CI after the `throughput` smoke run:
    `cargo run --release -p pt-bench --bin throughput` must carry every
    phase — per-network cold/warm/batch/cached/feed numbers with their
    invariants (cache hits on a replay, at most one generation bump per
-   feed, one rewrite per touched route) and the shard phase (>= 2 shards,
+   feed, one rewrite per touched route), the shard phase (>= 2 shards,
    routed queries, striped-cache hit rate, mixed-feed events/sec, at most
-   one bump per shard per feed).
+   one bump per shard per feed), the concurrent phase (>= 2 clients
+   against one shared service, snapshots actually published mid-flight)
+   and the work-stealing pool counters (stolen <= executed).
 
 2. **Regression gate** (when a baseline file is given and its recorded
    config matches): fail on a >30% drop in any `events_per_sec` metric or
@@ -36,7 +38,7 @@ DROP_TOLERANCE = 0.70
 
 # Metrics whose baseline entry is deflated by --headroom (machine-speed
 # dependent); everything else (hit rates) is stored exactly.
-THROUGHPUT_SUFFIXES = ("events_per_sec",)
+THROUGHPUT_SUFFIXES = ("events_per_sec", "queries_per_sec")
 
 
 def fail(errors):
@@ -94,6 +96,31 @@ def validate(doc):
             shard["generation_bumps"] <= shard["feeds"] * shard["shards"],
             f"more than one bump per shard per feed: {shard}",
         )
+
+    conc = doc.get("concurrent")
+    check(conc is not None, "concurrent phase missing from document")
+    if conc is not None:
+        check(conc["clients"] >= 2, f"concurrent phase needs >= 2 clients: {conc}")
+        check(
+            conc["queries"] > 0 and conc["queries_per_sec"] > 0,
+            f"concurrent phase ran no queries: {conc}",
+        )
+        check(
+            conc["single_thread_qps"] > 0 and conc["speedup_vs_single_thread"] > 0,
+            f"missing single-thread reference: {conc}",
+        )
+        check(
+            conc["feed_events"] > 0 and conc["publishes"] >= 1,
+            f"the writer never published mid-flight: {conc}",
+        )
+
+    pool = doc.get("pool")
+    check(pool is not None, "pool counters missing from document")
+    if pool is not None:
+        check(
+            0 <= pool["stolen"] <= pool["executed"],
+            f"impossible pool counters (stolen > executed): {pool}",
+        )
     return errors
 
 
@@ -116,6 +143,9 @@ def metrics_of(doc):
     if shard is not None:
         out["shard.events_per_sec"] = shard["events_per_sec"]
         out["shard.hit_rate"] = shard["hit_rate"]
+    conc = doc.get("concurrent")
+    if conc is not None:
+        out["concurrent.queries_per_sec"] = conc["queries_per_sec"]
     return out
 
 
@@ -192,7 +222,10 @@ def main():
     errors = validate(current)
     if errors:
         fail(errors)
-    print(f"structure ok: {len(current['networks'])} network(s) + shard phase")
+    print(
+        f"structure ok: {len(current['networks'])} network(s) + shard, "
+        "concurrent and pool phases"
+    )
     for name, value in metrics_of(current).items():
         print(f"  {name} = {value:.6g}")
 

@@ -13,7 +13,7 @@ fn s2s(c: &mut Criterion) {
     let mut group = c.benchmark_group("s2s/oahu");
     group.sample_size(10);
     group.bench_function("stopping_only", |b| {
-        let mut engine = S2sEngine::new().threads(2);
+        let engine = S2sEngine::new().threads(2);
         let mut i = 0;
         b.iter(|| {
             let (s, t) = pairs[i % pairs.len()];
@@ -22,7 +22,7 @@ fn s2s(c: &mut Criterion) {
         });
     });
     group.bench_function("table_5pct", |b| {
-        let mut engine = S2sEngine::new().threads(2).with_table(&table);
+        let engine = S2sEngine::new().threads(2).with_table(&table);
         let mut i = 0;
         b.iter(|| {
             let (s, t) = pairs[i % pairs.len()];
@@ -31,7 +31,7 @@ fn s2s(c: &mut Criterion) {
         });
     });
     group.bench_function("no_stopping", |b| {
-        let mut engine = S2sEngine::new().threads(2).stopping_criterion(false);
+        let engine = S2sEngine::new().threads(2).stopping_criterion(false);
         let mut i = 0;
         b.iter(|| {
             let (s, t) = pairs[i % pairs.len()];

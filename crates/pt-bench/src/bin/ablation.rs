@@ -45,7 +45,7 @@ fn partition(cfg: &BenchConfig) {
             "strategy", "time [ms]", "imbalance(settled)", "settled"
         );
         for (name, strat) in strategies {
-            let mut engine = ProfileEngine::new().threads(4).strategy(strat);
+            let engine = ProfileEngine::new().threads(4).strategy(strat);
             let mut times = Vec::new();
             let mut settled = Vec::new();
             let mut imb = Vec::new();
@@ -77,7 +77,7 @@ fn self_pruning(cfg: &BenchConfig) {
         println!("\n## {}", preset.name);
         println!("{:<10} {:>14} {:>12}", "pruning", "settled conns", "time [ms]");
         for on in [true, false] {
-            let mut engine = ProfileEngine::new().self_pruning(on);
+            let engine = ProfileEngine::new().self_pruning(on);
             let mut times = Vec::new();
             let mut settled = Vec::new();
             for &s in &sources {
@@ -104,7 +104,7 @@ fn stopping(cfg: &BenchConfig) {
         println!("\n## {}", preset.name);
         println!("{:<10} {:>14} {:>12}", "stopping", "settled conns", "time [ms]");
         for on in [true, false] {
-            let mut engine = S2sEngine::new().threads(8).stopping_criterion(on);
+            let engine = S2sEngine::new().threads(8).stopping_criterion(on);
             let mut times = Vec::new();
             let mut settled = Vec::new();
             for &(s, t) in &pairs {

@@ -51,7 +51,7 @@ fn main() {
         for &p in &cfg.threads {
             // One persistent engine per configuration: workspaces and the
             // worker pool are reused across the whole query stream.
-            let mut engine = ProfileEngine::new().threads(p);
+            let engine = ProfileEngine::new().threads(p);
             let mut settled = Vec::new();
             let mut times = Vec::new();
             for &s in &sources {

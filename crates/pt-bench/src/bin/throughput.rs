@@ -26,7 +26,15 @@
 //!   queries/sec, per-shard balance, striped-cache hit rate on a replay)
 //!   and a shard-tagged event stream through the router's `apply_feed`
 //!   (aggregate events/sec, at most one generation bump per shard per
-//!   feed).
+//!   feed),
+//! * **concurrent** — the snapshot-isolation phase: `BC_CONC_CLIENTS`
+//!   client threads (default 4) hammer one shared `&self`
+//!   [`ShardedService`] while a writer thread streams live feeds through
+//!   it; reports aggregate queries/sec against a single-thread reference
+//!   on the same service (speedup > 1 proves the concurrent serving core
+//!   scales), plus the feed events applied and snapshots published
+//!   mid-flight. Engines run single-threaded here so all parallelism
+//!   comes from the client threads.
 //!
 //! Results are printed and written to `BENCH_spcs.json` (override with
 //! `BC_JSON_OUT`) so the perf trajectory is tracked across PRs: per-query
@@ -83,7 +91,7 @@ fn main() {
         }
 
         // Warm: one persistent engine, within-query parallelism.
-        let mut engine = ProfileEngine::new().threads(threads);
+        let engine = ProfileEngine::new().threads(threads);
         let _ = engine.one_to_all(&net, sources[0]); // warm-up: size the workspaces
         let grows_before = engine.workspace_grow_events();
         let mut warm_ns = Vec::new();
@@ -106,8 +114,7 @@ fn main() {
         // first pass fills the cache (misses, full searches); the timed
         // second pass replays the identical workload and must be all hits —
         // the repeated-source regime of real query traffic.
-        let mut cached_engine =
-            ProfileEngine::new().threads(threads).with_cache(sources.len().max(1));
+        let cached_engine = ProfileEngine::new().threads(threads).with_cache(sources.len().max(1));
         for &s in &sources {
             let _ = cached_engine.one_to_all(&net, s);
         }
@@ -156,7 +163,7 @@ fn main() {
             let _ = S2sEngine::new().threads(threads).query(&net, s, t);
             s2s_cold_ns.push(t0.elapsed().as_nanos() as f64);
         }
-        let mut s2s_engine = S2sEngine::new().threads(threads);
+        let s2s_engine = S2sEngine::new().threads(threads);
         let t0 = Instant::now();
         let s2s_batch = s2s_engine.batch(&net, &pairs);
         let s2s_batch_ns = t0.elapsed().as_nanos() as f64;
@@ -316,8 +323,11 @@ fn main() {
     }
     let num_shards = shard_nets.len();
     let stations_total: usize = shard_nets.iter().map(Network::num_stations).sum();
+    // A copy of the shard networks for the concurrent phase below (cloned
+    // before the router takes ownership).
+    let conc_nets: Vec<Network> = shard_nets.clone();
     let shard_queries = queries * num_shards;
-    let mut svc = ShardedService::builder()
+    let svc = ShardedService::builder()
         .threads(threads)
         .cache(shard_queries) // every stripe can hold the whole replay
         .build(shard_nets);
@@ -406,6 +416,98 @@ fn main() {
         ("generation_bumps", Json::from(total_bumps)),
     ]);
 
+    // --- concurrent serving (snapshot isolation) --------------------------
+    // M client threads vs ONE shared service (`&self` queries) while a
+    // writer streams feeds through it. Engines are single-threaded so the
+    // aggregate throughput gain over the single-thread reference comes
+    // entirely from the concurrent serving core: snapshot pinning, shared
+    // cache stripes, per-query workspace checkout.
+    let conc_clients: usize = env_parse("BC_CONC_CLIENTS", 4);
+    let conc_svc = ShardedService::builder().threads(1).build(conc_nets);
+    let conc_sources: Vec<StationId> =
+        random_stations(stations_total, queries * num_shards, cfg.seed ^ 0xC0);
+
+    // Warm pass (sizes every shard's workspaces), then the single-thread
+    // reference: one client, no writer.
+    for &s in &conc_sources {
+        let _ = conc_svc.one_to_all(s).expect("workload stays in range");
+    }
+    let t0 = Instant::now();
+    for &s in &conc_sources {
+        let _ = conc_svc.one_to_all(s).expect("workload stays in range");
+    }
+    let single_ns = t0.elapsed().as_nanos() as f64;
+    let single_qps = rate(conc_sources.len(), single_ns);
+
+    // Concurrent pass: clients each replay the full workload; the writer
+    // streams shard-tagged feeds until the last client finishes. Elapsed
+    // is measured at client join (the writer is stopped after).
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let feed_events = std::sync::atomic::AtomicU64::new(0);
+    let t0 = Instant::now();
+    let conc_ns = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xCAFE);
+            let shards: Vec<_> = conc_svc.shard_ids().collect();
+            let mut tick = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                // Round-robin one shard per tick: a steady live stream, not
+                // a writer that monopolizes the machine.
+                let shard = shards[tick % shards.len()];
+                tick += 1;
+                let trains = conc_svc.network(shard).unwrap().timetable().num_trains() as u32;
+                let events: Vec<_> =
+                    random_feed(&mut rng, trains, 10, 45).into_iter().map(|e| (shard, e)).collect();
+                feed_events.fetch_add(events.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                let _ = conc_svc.apply_feed(&events).expect("tagged shards exist");
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        let clients: Vec<_> = (0..conc_clients)
+            .map(|_| {
+                let conc_svc = &conc_svc;
+                let conc_sources = &conc_sources;
+                scope.spawn(move || {
+                    for &s in conc_sources {
+                        let _ = conc_svc.one_to_all(s).expect("workload stays in range");
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().expect("client must not panic");
+        }
+        let elapsed = t0.elapsed().as_nanos() as f64;
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().expect("writer must not panic");
+        elapsed
+    });
+    let conc_queries = conc_sources.len() * conc_clients;
+    let conc_qps = rate(conc_queries, conc_ns);
+    let speedup = if single_qps > 0.0 { conc_qps / single_qps } else { 0.0 };
+    let feed_events = feed_events.into_inner();
+    let publishes: u64 = conc_svc.shard_ids().map(|sh| conc_svc.publishes(sh).unwrap()).sum();
+    assert!(publishes >= 1, "the writer must publish at least one snapshot mid-flight");
+
+    println!("## concurrent ({conc_clients} clients vs 1 service, live feed stream)");
+    println!(
+        "  {conc_queries} queries: {conc_qps:.1} q/s aggregate vs {single_qps:.1} q/s \
+         single-thread ({speedup:.2}x); {feed_events} feed events, {publishes} snapshots \
+         published mid-flight"
+    );
+    println!();
+
+    let concurrent_json = Json::obj([
+        ("clients", Json::from(conc_clients)),
+        ("queries", Json::from(conc_queries)),
+        ("queries_per_sec", Json::from(conc_qps)),
+        ("single_thread_qps", Json::from(single_qps)),
+        ("speedup_vs_single_thread", Json::from(speedup)),
+        ("feed_events", Json::from(feed_events)),
+        ("publishes", Json::from(publishes)),
+    ]);
+
+    let pool = rayon::global().stats();
     let doc = Json::obj([
         ("bench", Json::from("spcs_throughput")),
         ("scale", Json::from(cfg.scale)),
@@ -413,6 +515,14 @@ fn main() {
         ("threads", Json::from(threads)),
         ("networks", Json::Arr(networks_json)),
         ("shard", shard_json),
+        ("concurrent", concurrent_json),
+        (
+            "pool",
+            Json::obj([
+                ("executed", Json::from(pool.executed)),
+                ("stolen", Json::from(pool.stolen)),
+            ]),
+        ),
     ]);
     let path = json_out_path("BENCH_spcs.json");
     if let Err(e) = write_json(&path, &doc) {

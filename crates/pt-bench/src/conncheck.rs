@@ -386,7 +386,7 @@ pub fn cross_check_after_feed(
 
     // Table-pruned s2s queries through the refreshed table agree with the
     // sequential one-to-all profiles on the fed network.
-    let mut s2s = S2sEngine::new().with_table(&table);
+    let s2s = S2sEngine::new().with_table(&table);
     let ns = fed.num_stations() as u32;
     for (i, &s) in sources.iter().enumerate() {
         let t = StationId((i as u32 * 11 + 5) % ns);

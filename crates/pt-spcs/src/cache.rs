@@ -1,4 +1,4 @@
-//! Generation-keyed LRU cache over profile query results.
+//! Generation-keyed, concurrently readable LRU caches over query results.
 //!
 //! Real query traffic repeats heavily — the same `(source)` one-to-all
 //! requests arrive again and again (commuting-demand workloads). A
@@ -13,14 +13,26 @@
 //! legally serve several networks, and freshly built (or cloned) networks
 //! whose generations coincide must still never alias in the cache.
 //!
+//! Since the snapshot-isolation refactor every cache stripe is
+//! **concurrently readable**: the entry map sits behind an `RwLock`, the
+//! hit/miss/eviction counters and the per-entry LRU stamps are atomics, so
+//! `get` takes only the shared read lock and `&self` — many reader threads
+//! probe one stripe in parallel while `insert` briefly takes the write
+//! lock. Under a single thread the logical tick stream is identical to the
+//! old exclusive cache, so LRU order stays total and deterministic.
+//!
 //! The cache is opt-in per engine
 //! ([`ProfileEngine::with_cache`](crate::ProfileEngine::with_cache)) and
 //! fixed-capacity; eviction is least-recently-used, tracked by a logical
 //! tick. Hit/miss/eviction counts surface both per query (in
 //! [`QueryStats`](crate::QueryStats)) and cumulatively ([`CacheStats`]).
+//! The same core backs the station-to-station result cache
+//! ([`S2sCache`](crate::s2s::S2sCache)).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use pt_core::StationId;
 
@@ -65,125 +77,184 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Entry {
-    set: Arc<ProfileSet>,
-    /// Logical last-use time; unique per entry (every touch bumps the
-    /// cache-wide tick), so LRU order is total and deterministic.
-    last_used: u64,
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    /// Logical last-use stamp; every touch stores a freshly drawn
+    /// cache-wide tick, so single-threaded LRU order stays total and
+    /// deterministic (concurrent touches interleave but stay unique).
+    last_used: AtomicU64,
+}
+
+/// The shared interior-mutable LRU core behind [`ProfileCache`] and the
+/// station-to-station result cache: an `RwLock`-ed map with atomic
+/// counters. `get` needs only the read lock; `insert` takes the write
+/// lock and runs the `O(capacity)` victim scan.
+#[derive(Debug)]
+pub(crate) struct LruCore<K, V> {
+    capacity: usize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    entries: RwLock<HashMap<K, Entry<V>>>,
+}
+
+impl<K: Copy + Eq + Hash, V: Clone> LruCore<K, V> {
+    pub(crate) fn new(capacity: usize) -> LruCore<K, V> {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCore {
+            capacity,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: RwLock::new(HashMap::with_capacity(capacity)),
+        }
+    }
+
+    /// Shared-lock lookup, refreshing the entry's LRU stamp on a hit.
+    pub(crate) fn get(&self, key: K) -> Option<V> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let entries = self.entries.read().unwrap();
+        match entries.get(&key) {
+            Some(e) => {
+                e.last_used.store(tick, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Exclusive-lock store; returns `true` iff an eviction happened.
+    /// Re-inserting an existing key replaces the value in place.
+    pub(crate) fn insert(&self, key: K, value: V) -> bool {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut entries = self.entries.write().unwrap();
+        if let Some(e) = entries.get_mut(&key) {
+            e.value = value;
+            e.last_used.store(tick, Ordering::Relaxed);
+            return false;
+        }
+        let mut evicted = false;
+        if entries.len() >= self.capacity {
+            // O(capacity) scan — capacities are small and fixed, and the
+            // unique ticks make the minimum (the LRU victim) unambiguous.
+            let lru = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(&k, _)| k)
+                .expect("cache is non-empty when full");
+            entries.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            evicted = true;
+        }
+        entries.insert(key, Entry { value, last_used: AtomicU64::new(tick) });
+        evicted
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.read().unwrap().len()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.entries.write().unwrap().clear();
+    }
+}
+
+impl<K: Copy + Eq + Hash, V: Clone> Clone for LruCore<K, V> {
+    /// Snapshots entries, stamps and counters — a clone observes the same
+    /// state but shares nothing with the original.
+    fn clone(&self) -> Self {
+        let entries = self.entries.read().unwrap();
+        let copied: HashMap<K, Entry<V>> = entries
+            .iter()
+            .map(|(&k, e)| {
+                let stamp = e.last_used.load(Ordering::Relaxed);
+                (k, Entry { value: e.value.clone(), last_used: AtomicU64::new(stamp) })
+            })
+            .collect();
+        LruCore {
+            capacity: self.capacity,
+            tick: AtomicU64::new(self.tick.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            evictions: AtomicU64::new(self.evictions.load(Ordering::Relaxed)),
+            entries: RwLock::new(copied),
+        }
+    }
 }
 
 /// A cache key: `(source, network epoch, timetable generation)`.
 type Key = (StationId, u64, u64);
 
-/// A fixed-capacity LRU over `Arc<ProfileSet>` keyed by
-/// `(source, network epoch, timetable generation)`.
+/// A fixed-capacity, concurrently readable LRU over `Arc<ProfileSet>`
+/// keyed by `(source, network epoch, timetable generation)`. All methods
+/// take `&self`; see the module docs for the locking discipline.
 #[derive(Debug, Clone)]
 pub struct ProfileCache {
-    capacity: usize,
-    tick: u64,
-    entries: HashMap<Key, Entry>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    core: LruCore<Key, Arc<ProfileSet>>,
 }
 
 impl ProfileCache {
     /// An empty cache holding at most `capacity` profile sets.
     pub fn new(capacity: usize) -> ProfileCache {
-        assert!(capacity > 0, "cache capacity must be positive");
-        ProfileCache {
-            capacity,
-            tick: 0,
-            entries: HashMap::with_capacity(capacity),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-        }
+        ProfileCache { core: LruCore::new(capacity) }
     }
 
     /// Looks up the profiles of `source` on the network identified by
     /// `(epoch, generation)`, refreshing the entry's LRU position. Counts
-    /// a hit or a miss.
-    pub fn get(
-        &mut self,
-        source: StationId,
-        epoch: u64,
-        generation: u64,
-    ) -> Option<Arc<ProfileSet>> {
-        self.tick += 1;
-        match self.entries.get_mut(&(source, epoch, generation)) {
-            Some(e) => {
-                e.last_used = self.tick;
-                self.hits += 1;
-                Some(Arc::clone(&e.set))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+    /// a hit or a miss. Takes only the shared read lock — safe to call
+    /// from many reader threads at once.
+    pub fn get(&self, source: StationId, epoch: u64, generation: u64) -> Option<Arc<ProfileSet>> {
+        self.core.get((source, epoch, generation))
     }
 
     /// Stores a result, evicting the least-recently-used entry when full.
     /// Returns `true` iff an eviction happened. Re-inserting an existing
     /// key replaces the value in place (no eviction).
     pub fn insert(
-        &mut self,
+        &self,
         source: StationId,
         epoch: u64,
         generation: u64,
         set: Arc<ProfileSet>,
     ) -> bool {
-        self.tick += 1;
-        let key = (source, epoch, generation);
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.set = set;
-            e.last_used = self.tick;
-            return false;
-        }
-        let mut evicted = false;
-        if self.entries.len() >= self.capacity {
-            // O(capacity) scan — capacities are small and fixed, and the
-            // unique ticks make the minimum (the LRU victim) unambiguous.
-            let lru = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k)
-                .expect("cache is non-empty when full");
-            self.entries.remove(&lru);
-            self.evictions += 1;
-            evicted = true;
-        }
-        self.entries.insert(key, Entry { set, last_used: self.tick });
-        evicted
+        self.core.insert((source, epoch, generation), set)
     }
 
     /// Cumulative counters and occupancy.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
-            entries: self.entries.len(),
-            capacity: self.capacity,
-        }
+        self.core.stats()
     }
 
     /// Current number of cached entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.core.len()
     }
 
     /// `true` iff nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.core.len() == 0
     }
 
     /// Drops every entry (counters are kept).
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        self.core.clear()
     }
 }
 
@@ -202,7 +273,7 @@ mod tests {
 
     #[test]
     fn hit_returns_the_shared_set() {
-        let mut c = ProfileCache::new(2);
+        let c = ProfileCache::new(2);
         let s = set(0);
         c.insert(StationId(0), 7, 0, Arc::clone(&s));
         let hit = c.get(StationId(0), 7, 0).expect("hit");
@@ -213,7 +284,7 @@ mod tests {
 
     #[test]
     fn generation_bump_misses() {
-        let mut c = ProfileCache::new(4);
+        let c = ProfileCache::new(4);
         c.insert(StationId(0), 7, 0, set(0));
         assert!(c.get(StationId(0), 7, 0).is_some());
         // A delay bumped the generation: same source, different key.
@@ -227,7 +298,7 @@ mod tests {
 
     #[test]
     fn evicts_least_recently_used() {
-        let mut c = ProfileCache::new(2);
+        let c = ProfileCache::new(2);
         c.insert(StationId(0), 7, 0, set(0));
         c.insert(StationId(1), 7, 0, set(1));
         // Touch 0 so 1 becomes the LRU victim.
@@ -242,7 +313,7 @@ mod tests {
 
     #[test]
     fn reinsert_replaces_without_eviction() {
-        let mut c = ProfileCache::new(1);
+        let c = ProfileCache::new(1);
         c.insert(StationId(0), 7, 0, set(0));
         assert!(!c.insert(StationId(0), 7, 0, set(0)));
         assert_eq!(c.stats().evictions, 0);
@@ -251,7 +322,7 @@ mod tests {
 
     #[test]
     fn stats_and_hit_rate() {
-        let mut c = ProfileCache::new(2);
+        let c = ProfileCache::new(2);
         assert_eq!(c.stats().hit_rate(), 0.0);
         c.insert(StationId(0), 7, 0, set(0));
         let _ = c.get(StationId(0), 7, 0);
@@ -268,5 +339,37 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = ProfileCache::new(0);
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_stripe() {
+        // Many threads hammering `get` through `&self` while the entry is
+        // hot: every reader must see the identical shared set and the hit
+        // counter must account for every probe.
+        let c = ProfileCache::new(4);
+        let s = set(0);
+        c.insert(StationId(0), 7, 0, Arc::clone(&s));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        let hit = c.get(StationId(0), 7, 0).expect("hot entry");
+                        assert!(Arc::ptr_eq(&hit, &s));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().hits, 400);
+    }
+
+    #[test]
+    fn clone_shares_nothing() {
+        let a = ProfileCache::new(2);
+        a.insert(StationId(0), 7, 0, set(0));
+        let b = a.clone();
+        b.insert(StationId(1), 7, 0, set(1));
+        assert_eq!(a.len(), 1, "insert into the clone must not leak back");
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.stats().hits, b.stats().hits);
     }
 }

@@ -28,7 +28,7 @@ use crate::parallel::{self, OneToAllResult};
 use crate::partition::PartitionStrategy;
 use crate::profile_set::ProfileSet;
 use crate::stats::QueryStats;
-use crate::workspace::SearchWorkspace;
+use crate::workspace::{SearchWorkspace, WorkspacePool};
 
 /// Label value marking "connection pruned at this node" (`arr(v,i) := ∞`
 /// in the paper). Distinct from [`INFINITY`] = "not discovered", so a
@@ -37,20 +37,25 @@ pub(crate) const PRUNED: Time = Time(u32::MAX - 1);
 
 /// One-to-all profile search engine.
 ///
-/// The engine is **persistent** and **network-free**: it owns one
-/// [`SearchWorkspace`] per worker, created lazily on the first query and
-/// reused for the engine's lifetime, while every query takes the network by
-/// reference. Parallel work runs on the process-global persistent pool
-/// ([`rayon::global`]), so no threads are ever spawned per query. Build the
-/// engine once and stream queries through it — repeated queries run
-/// allocation-free once warm, and the workspaces survive
-/// [`Network::apply_delay`] updates between queries (the fully dynamic
-/// scenario: a `Patched` update keeps every workspace size).
+/// The engine is **persistent**, **network-free** and — since the
+/// snapshot-isolation refactor — **shareable**: every query entry point
+/// takes `&self`, so one engine can serve many reader threads at once.
+/// Per-query search state lives in [`SearchWorkspace`]s checked out of an
+/// internal [`WorkspacePool`] for the duration of a query and returned
+/// warm, so repeated queries still run allocation-free, while concurrent
+/// queries each hold private workspaces. Parallel work runs on the
+/// process-global persistent work-stealing pool ([`rayon::global`]), so no
+/// threads are ever spawned per query. Build the engine once and stream
+/// queries through it — the workspaces survive [`Network::apply_delay`]
+/// updates between queries (the fully dynamic scenario: a `Patched` update
+/// keeps every workspace size).
 ///
 /// With [`ProfileEngine::with_cache`], results are memoized behind `Arc`s
 /// keyed by `(source, network epoch, generation)`; a repeat query on an
 /// unchanged network returns the identical [`ProfileSet`] without running
-/// a search, and a delay update invalidates by bumping the generation.
+/// a search, and a delay update invalidates by bumping the generation. The
+/// cache is concurrently readable (see [`ProfileCache`]), so cached reads
+/// also need no exclusive access.
 ///
 /// Builder-style configuration:
 ///
@@ -64,7 +69,7 @@ pub(crate) const PRUNED: Time = Time(u32::MAX - 1);
 /// # b.add_simple_trip(&[a, t], Time::hm(8, 0), &[Dur::minutes(30)], Dur::ZERO).unwrap();
 /// # let net = Network::new(b.build().unwrap());
 /// # let source = a;
-/// let mut engine = ProfileEngine::new().threads(4).with_cache(128);
+/// let engine = ProfileEngine::new().threads(4).with_cache(128);
 /// let profiles = engine.one_to_all(&net, source);
 /// assert!(!profiles.profile(t).eval_arr(Time::hm(7, 0), Period::DAY).is_infinite());
 /// ```
@@ -73,8 +78,8 @@ pub struct ProfileEngine {
     threads: usize,
     strategy: PartitionStrategy,
     self_pruning: bool,
-    /// One workspace per worker, created lazily.
-    workspaces: Vec<SearchWorkspace>,
+    /// Idle workspaces, checked out per query.
+    pool: WorkspacePool,
     /// Opt-in generation-keyed result cache.
     cache: Option<ProfileCache>,
 }
@@ -93,7 +98,7 @@ impl ProfileEngine {
             threads: 1,
             strategy: PartitionStrategy::EqualConnections,
             self_pruning: true,
-            workspaces: Vec::new(),
+            pool: WorkspacePool::new(),
             cache: None,
         }
     }
@@ -132,39 +137,36 @@ impl ProfileEngine {
         self.cache.as_ref().map(ProfileCache::stats)
     }
 
-    /// Total backing-array growth events over all workspaces. Constant
-    /// across repeated queries once the engine is warm — the reuse
-    /// guarantee asserted by tests and the `throughput` bench.
+    /// Total backing-array growth events over all idle workspaces.
+    /// Constant across repeated queries once the engine is warm — the
+    /// reuse guarantee asserted by tests and the `throughput` bench. Read
+    /// between queries: workspaces of an in-flight query are checked out
+    /// of the pool along with their counters.
     pub fn workspace_grow_events(&self) -> u64 {
-        self.workspaces.iter().map(SearchWorkspace::grow_events).sum()
-    }
-
-    /// Creates the per-worker workspaces on first use (or after a
-    /// `threads` increase).
-    fn ensure_workers(&mut self) {
-        if self.workspaces.len() < self.threads {
-            self.workspaces.resize_with(self.threads, SearchWorkspace::new);
-        }
+        self.pool.grow_events()
     }
 
     /// Runs a one-to-all profile search from `source`.
-    pub fn one_to_all(&mut self, net: &Network, source: StationId) -> Arc<ProfileSet> {
+    ///
+    /// Takes `&self`: many reader threads may query one engine
+    /// concurrently, each against its own pinned network (snapshot).
+    pub fn one_to_all(&self, net: &Network, source: StationId) -> Arc<ProfileSet> {
         self.one_to_all_with_stats(net, source).profiles
     }
 
     /// Like [`ProfileEngine::one_to_all`], also returning operation counts
     /// and the per-thread balance. A cache hit reports `cache_hits = 1` and
     /// zero search work.
-    pub fn one_to_all_with_stats(&mut self, net: &Network, source: StationId) -> OneToAllResult {
+    pub fn one_to_all_with_stats(&self, net: &Network, source: StationId) -> OneToAllResult {
         let (epoch, generation) = (net.epoch(), net.generation());
-        if let Some(cache) = &mut self.cache {
+        if let Some(cache) = &self.cache {
             if let Some(profiles) = cache.get(source, epoch, generation) {
                 let stats = QueryStats { cache_hits: 1, ..QueryStats::default() };
                 return OneToAllResult { profiles, stats, thread_settled: Vec::new() };
             }
         }
         let mut r = self.search_one_to_all(net, source);
-        if let Some(cache) = &mut self.cache {
+        if let Some(cache) = &self.cache {
             r.stats.cache_misses = 1;
             if cache.insert(source, epoch, generation, Arc::clone(&r.profiles)) {
                 r.stats.cache_evictions = 1;
@@ -174,16 +176,18 @@ impl ProfileEngine {
     }
 
     /// The uncached search backend of the one-to-all paths.
-    fn search_one_to_all(&mut self, net: &Network, source: StationId) -> OneToAllResult {
-        self.ensure_workers();
-        parallel::one_to_all(
+    fn search_one_to_all(&self, net: &Network, source: StationId) -> OneToAllResult {
+        let mut workspaces = self.pool.checkout(self.threads);
+        let r = parallel::one_to_all(
             net,
             source,
             self.threads,
             self.strategy,
             self.self_pruning,
-            &mut self.workspaces,
-        )
+            &mut workspaces,
+        );
+        self.pool.checkin(workspaces);
+        r
     }
 
     /// Batch one-to-all: profiles from every source in `sources`.
@@ -201,18 +205,17 @@ impl ProfileEngine {
     /// sources than threads it falls back to within-query parallelism, one
     /// source at a time. When the cache is enabled, hits are resolved up
     /// front and only the misses are searched.
-    pub fn many_to_all(&mut self, net: &Network, sources: &[StationId]) -> Vec<Arc<ProfileSet>> {
+    pub fn many_to_all(&self, net: &Network, sources: &[StationId]) -> Vec<Arc<ProfileSet>> {
         self.many_to_all_with_stats(net, sources).into_iter().map(|r| r.profiles).collect()
     }
 
     /// Like [`ProfileEngine::many_to_all`], returning full per-query
     /// results.
     pub fn many_to_all_with_stats(
-        &mut self,
+        &self,
         net: &Network,
         sources: &[StationId],
     ) -> Vec<OneToAllResult> {
-        self.ensure_workers();
         let (epoch, generation) = (net.epoch(), net.generation());
 
         // Resolve cache hits up front; only the misses hit the pool. With
@@ -221,7 +224,7 @@ impl ProfileEngine {
         // and fanned out, its duplicates counting as hits.
         let mut out: Vec<Option<OneToAllResult>> = sources.iter().map(|_| None).collect();
         let mut miss: Vec<usize> = Vec::new();
-        if let Some(cache) = &mut self.cache {
+        if let Some(cache) = &self.cache {
             let mut searching: Vec<StationId> = Vec::new();
             for (i, &s) in sources.iter().enumerate() {
                 if searching.contains(&s) {
@@ -246,21 +249,24 @@ impl ProfileEngine {
         let miss_sources: Vec<StationId> = miss.iter().map(|&i| sources[i]).collect();
         let computed: Vec<OneToAllResult> =
             if self.threads > 1 && miss_sources.len() >= self.threads {
-                parallel::many_to_all_across(
+                let mut workspaces = self.pool.checkout(self.threads);
+                let r = parallel::many_to_all_across(
                     net,
                     &miss_sources,
                     self.threads,
                     self.strategy,
                     self.self_pruning,
-                    &mut self.workspaces[..self.threads],
-                )
+                    &mut workspaces,
+                );
+                self.pool.checkin(workspaces);
+                r
             } else {
                 miss_sources.iter().map(|&s| self.search_one_to_all(net, s)).collect()
             };
 
         let mut searched: Vec<(StationId, Arc<ProfileSet>)> = Vec::new();
         for (&i, mut r) in miss.iter().zip(computed) {
-            if let Some(cache) = &mut self.cache {
+            if let Some(cache) = &self.cache {
                 r.stats.cache_misses = 1;
                 if cache.insert(sources[i], epoch, generation, Arc::clone(&r.profiles)) {
                     r.stats.cache_evictions = 1;
@@ -269,7 +275,7 @@ impl ProfileEngine {
             }
             out[i] = Some(r);
         }
-        if let Some(cache) = &mut self.cache {
+        if let Some(cache) = &self.cache {
             // Duplicates skipped above: serve them from the cache (counting
             // a hit), or — if a smaller-than-batch cache already evicted the
             // entry — from the batch's own results.
@@ -453,7 +459,7 @@ mod tests {
     #[test]
     fn profile_has_one_point_per_useful_departure() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new();
+        let engine = ProfileEngine::new();
         let prof = engine.one_to_all(&net, s[0]);
         let to_b = prof.profile(s[1]);
         // Five line departures, each useful for reaching B.
@@ -464,7 +470,7 @@ mod tests {
     #[test]
     fn dominated_detour_is_reduced_away() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new();
+        let engine = ProfileEngine::new();
         let prof = engine.one_to_all(&net, s[0]);
         let to_c = prof.profile(s[2]);
         // The 07:45 detour arrives at C at 08:45; the 08:00 direct arrives
@@ -480,7 +486,7 @@ mod tests {
     #[test]
     fn profile_matches_time_queries_at_every_departure() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new();
+        let engine = ProfileEngine::new();
         let prof = engine.one_to_all(&net, s[0]);
         for tau in [Time::hm(7, 0), Time::hm(7, 45), Time::hm(8, 1), Time::hm(9, 55)] {
             for &target in &s[1..] {
@@ -515,7 +521,7 @@ mod tests {
     #[test]
     fn warm_engine_answers_queries_without_allocating() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new();
+        let engine = ProfileEngine::new();
         let first = engine.one_to_all(&net, s[0]);
         let warm_grows = engine.workspace_grow_events();
         assert!(warm_grows > 0, "the first query must have sized the workspace");
@@ -531,7 +537,7 @@ mod tests {
     #[test]
     fn engine_reuse_across_different_sources_is_consistent() {
         let (net, s) = net();
-        let mut reused = ProfileEngine::new().threads(2);
+        let reused = ProfileEngine::new().threads(2);
         // Interleave sources so stale labels of one query would corrupt the
         // next if the epoch clearing were wrong.
         for &src in &[s[0], s[3], s[0], s[1], s[0]] {
@@ -557,7 +563,7 @@ mod tests {
     #[test]
     fn cache_hits_skip_the_search_and_share_the_set() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new().with_cache(8);
+        let engine = ProfileEngine::new().with_cache(8);
         let first = engine.one_to_all_with_stats(&net, s[0]);
         assert_eq!((first.stats.cache_hits, first.stats.cache_misses), (0, 1));
         assert!(first.stats.settled > 0);
@@ -575,7 +581,7 @@ mod tests {
         use pt_core::TrainId;
         use pt_timetable::Recovery;
         let (mut net, s) = net();
-        let mut engine = ProfileEngine::new().with_cache(8);
+        let engine = ProfileEngine::new().with_cache(8);
         let before = engine.one_to_all(&net, s[0]);
         let g0 = net.generation();
         assert_ne!(
@@ -594,7 +600,7 @@ mod tests {
     #[test]
     fn many_to_all_resolves_hits_and_searches_misses() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new().with_cache(8);
+        let engine = ProfileEngine::new().with_cache(8);
         let _ = engine.one_to_all(&net, s[0]);
         let results = engine.many_to_all_with_stats(&net, &[s[0], s[1], s[0]]);
         assert_eq!(results[0].stats.cache_hits, 1);
@@ -622,7 +628,7 @@ mod tests {
         let (net2, _, _) = make(60);
         assert_ne!(net1.epoch(), net2.epoch());
         assert_ne!(net1.epoch(), net1.clone().epoch(), "clones get fresh epochs");
-        let mut engine = ProfileEngine::new().with_cache(8);
+        let engine = ProfileEngine::new().with_cache(8);
         let on1 = engine.one_to_all(&net1, a);
         let on2 = engine.one_to_all(&net2, a);
         assert_eq!(on1.profile(t).points()[0].arr, Time::hm(8, 30));
@@ -632,7 +638,7 @@ mod tests {
     #[test]
     fn many_to_all_dedupes_in_batch_duplicate_misses() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new().with_cache(8);
+        let engine = ProfileEngine::new().with_cache(8);
         // Cold cache, duplicated source: exactly one search may run.
         let results = engine.many_to_all_with_stats(&net, &[s[0], s[0], s[0]]);
         assert_eq!(results[0].stats.cache_misses, 1);
@@ -645,7 +651,7 @@ mod tests {
         let cs = engine.cache_stats().unwrap();
         assert_eq!(cs.entries, 1);
         // Tiny cache + duplicates: evicted in-batch entries still resolve.
-        let mut small = ProfileEngine::new().with_cache(1);
+        let small = ProfileEngine::new().with_cache(1);
         let many = small.many_to_all_with_stats(&net, &[s[0], s[1], s[0], s[1]]);
         for (r, &src) in many.iter().zip(&[s[0], s[1], s[0], s[1]]) {
             assert_eq!(r.profiles, ProfileEngine::new().one_to_all(&net, src));
@@ -655,7 +661,7 @@ mod tests {
     #[test]
     fn cache_eviction_is_reported_in_query_stats() {
         let (net, s) = net();
-        let mut engine = ProfileEngine::new().with_cache(1);
+        let engine = ProfileEngine::new().with_cache(1);
         let _ = engine.one_to_all(&net, s[0]);
         let r = engine.one_to_all_with_stats(&net, s[1]);
         assert_eq!(r.stats.cache_evictions, 1, "capacity-1 cache must evict");

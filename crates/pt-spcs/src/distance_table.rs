@@ -134,10 +134,17 @@ impl DistanceTable {
     /// station in the station graph — which is invariant under delays, so
     /// a reverse reachability search from the touched set (following
     /// incoming edges) finds exactly the rows to recompute; every other
-    /// row provably matches a from-scratch rebuild. Columns need no
-    /// narrowing: an unaffected row is unaffected in every column. When
-    /// the table is further behind than the network's bounded log, every
-    /// row is recomputed (still in one batched pass).
+    /// row provably matches a from-scratch rebuild.
+    ///
+    /// Columns are scoped symmetrically: a changed `D(a, b)` also needs the
+    /// changed journey to *continue* from the re-timed connection's
+    /// departure station to `b`, so only columns in the **forward** closure
+    /// of the touched set (following outgoing station-graph edges) can
+    /// differ — entries in other columns are overwritten with their own
+    /// old value by a full-row refresh, so skipping them is free and
+    /// provably entry-for-entry identical to a rebuild. When the table is
+    /// further behind than the network's bounded log, every row and column
+    /// is recomputed (still in one batched pass).
     ///
     /// Returns the number of rows recomputed (0 when the table is already
     /// fresh). Errors with a non-[`refreshable`](StaleTable::refreshable)
@@ -154,7 +161,9 @@ impl DistanceTable {
         }
         let start = std::time::Instant::now();
 
-        let affected: Vec<StationId> = match net.touched_since(self.built_for.1) {
+        // `fwd` empty means "keep every column" (log exhausted).
+        let (affected, fwd): (Vec<StationId>, Vec<bool>) = match net.touched_since(self.built_for.1)
+        {
             // Reverse reachability: every station with a path *into* the
             // touched set can route through a re-timed connection.
             Some(touched) => {
@@ -167,6 +176,24 @@ impl DistanceTable {
                         stack.push(s);
                     }
                 }
+                // Forward reachability for the columns, from the same
+                // touched seed.
+                let mut fwd = vec![false; net.num_stations()];
+                let mut fwd_stack: Vec<StationId> = Vec::with_capacity(touched.len());
+                for &s in &touched {
+                    if !fwd[s.idx()] {
+                        fwd[s.idx()] = true;
+                        fwd_stack.push(s);
+                    }
+                }
+                while let Some(v) = fwd_stack.pop() {
+                    for (u, _) in sg.out(v) {
+                        if !fwd[u.idx()] {
+                            fwd[u.idx()] = true;
+                            fwd_stack.push(u);
+                        }
+                    }
+                }
                 while let Some(v) = stack.pop() {
                     for &u in sg.incoming(v) {
                         if !reaches[u.idx()] {
@@ -175,17 +202,20 @@ impl DistanceTable {
                         }
                     }
                 }
-                self.stations.iter().copied().filter(|s| reaches[s.idx()]).collect()
+                (self.stations.iter().copied().filter(|s| reaches[s.idx()]).collect(), fwd)
             }
             // Too far behind the network's log: recompute everything.
-            None => self.stations.clone(),
+            None => (self.stations.clone(), Vec::new()),
         };
+        let keep_all_columns = fwd.is_empty();
         let sets = build_engine().many_to_all(net, &affected);
         let n = self.stations.len();
         for (&a, set) in affected.iter().zip(&sets) {
             let row = self.index[a.idx()] as usize * n;
             for (j, &b) in self.stations.iter().enumerate() {
-                self.profiles[row + j] = set.profile(b).clone();
+                if keep_all_columns || fwd[b.idx()] {
+                    self.profiles[row + j] = set.profile(b).clone();
+                }
             }
         }
         self.built_for = queried;

@@ -15,20 +15,25 @@
 //!   distance-table pruning via `via(T)`, target pruning,
 //! * [`workspace`] — persistent, epoch-stamped per-worker search state;
 //!   engines reuse it so the repeated-query hot path allocates nothing,
-//! * [`cache`] — the generation-keyed LRU over shared profile sets behind
-//!   [`ProfileEngine::with_cache`]; delay updates ([`Network::apply_delay`]
-//!   and batched feeds, [`Network::apply_feed`] — one bump per feed)
-//!   invalidate it by bumping the generation,
+//! * [`cache`] — the concurrently readable, generation-keyed LRU over
+//!   shared profile sets behind [`ProfileEngine::with_cache`]; delay
+//!   updates ([`Network::apply_delay`] and batched feeds,
+//!   [`Network::apply_feed`] — one bump per feed) invalidate it by bumping
+//!   the generation,
 //! * [`distance_table`] — precomputed full profile tables between transfer
-//!   stations, kept fresh under live feeds by the row-scoped incremental
-//!   [`DistanceTable::refresh`] (stale tables surface as a typed
-//!   [`StaleTable`] from the fallible s2s entry points),
+//!   stations, kept fresh under live feeds by the row- *and* column-scoped
+//!   incremental [`DistanceTable::refresh`] (stale tables surface as a
+//!   typed [`StaleTable`] from the fallible s2s entry points),
+//! * [`network`] also hosts [`ConcurrentNetwork`]: snapshot-isolated
+//!   serving, where readers pin immutable epoch-stamped
+//!   [`NetworkSnapshot`]s while one writer patches a private master and
+//!   publishes with an atomic swap,
 //! * [`shard`] — the multi-network serving layer: a [`ShardedService`]
-//!   owns N `(Network, DistanceTable)` shards behind a station-to-shard
-//!   directory, routes queries/batches/feeds to the owning shard's
-//!   persistent engines (one `apply_feed` and one scoped table refresh per
-//!   shard per feed, per-shard cache stripes), and refuses cross-shard
-//!   queries with a typed redirect ([`RouterError`]),
+//!   owns N snapshot-published shards behind a station-to-shard directory,
+//!   routes queries/batches/feeds to the owning shard's persistent engines
+//!   (all serving methods `&self`, one `apply_feed` with one scoped table
+//!   refresh per shard per feed, per-shard cache stripes), and refuses
+//!   cross-shard queries with a typed redirect ([`RouterError`]),
 //! * [`transfer_selection`] / [`contraction`] — choosing the transfer
 //!   stations by station-graph contraction or by degree,
 //! * [`multicriteria`] — the paper's future-work extension: Pareto
@@ -56,15 +61,17 @@ pub use cache::{CacheStats, ProfileCache};
 pub use connection_setting::ProfileEngine;
 pub use distance_table::{DistanceTable, StaleTable};
 pub use journey::{earliest_journey, Journey, Leg};
-pub use network::{DelayUpdate, FeedSummary, Network};
+pub use network::{
+    ConcurrentNetwork, DelayUpdate, FeedSummary, Network, NetworkSnapshot, PublishOutcome,
+};
 pub use parallel::OneToAllResult;
 pub use partition::PartitionStrategy;
 pub use profile_set::ProfileSet;
-pub use s2s::{QueryKind, S2sEngine, S2sResult};
+pub use s2s::{QueryKind, S2sCache, S2sEngine, S2sResult};
 pub use shard::{
     Routed, RouterError, ShardFeedOutcome, ShardId, ShardedFeedSummary, ShardedService,
     ShardedServiceBuilder,
 };
 pub use stats::QueryStats;
 pub use transfer_selection::TransferSelection;
-pub use workspace::SearchWorkspace;
+pub use workspace::{SearchWorkspace, WorkspacePool};

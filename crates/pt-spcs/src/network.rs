@@ -1,10 +1,17 @@
-//! Bundled search structures of one transportation network.
+//! Bundled search structures of one transportation network, plus the
+//! snapshot-isolated concurrent wrapper ([`ConcurrentNetwork`]) a live
+//! service queries while a feed stream mutates it.
 
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use pt_core::{Dur, RouteId, StationId, TrainId};
 use pt_graph::{StationGraph, TdGraph};
 use pt_timetable::{DelayEvent, Recovery, Routes, Timetable};
+
+use crate::distance_table::DistanceTable;
+use crate::transfer_selection::TransferSelection;
 
 /// Source of process-unique [`Network::epoch`] stamps.
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(0);
@@ -366,5 +373,245 @@ impl Network {
     /// Iterates over all stations.
     pub fn station_ids(&self) -> impl Iterator<Item = StationId> + '_ {
         self.timetable.station_ids()
+    }
+
+    /// Clones every structure but **keeps** the epoch — for publishing an
+    /// immutable [`NetworkSnapshot`] of this exact logical state. Sound
+    /// only because snapshots are never mutated: the `(epoch, generation)`
+    /// pair still identifies exactly one state, so cached results may be
+    /// shared between the master and its published snapshots. Never use
+    /// this for a copy that will be mutated independently (that is what
+    /// [`Clone`] is for — it stamps a fresh epoch).
+    pub(crate) fn clone_same_epoch(&self) -> Network {
+        Network {
+            timetable: self.timetable.clone(),
+            routes: self.routes.clone(),
+            graph: self.graph.clone(),
+            stations: self.stations.clone(),
+            epoch: self.epoch,
+            feed_log: self.feed_log.clone(),
+            refit_extra_routes: self.refit_extra_routes,
+        }
+    }
+}
+
+/// One immutable published state of a [`ConcurrentNetwork`]: the network
+/// plus the matching refreshed [`DistanceTable`] (if configured) and its
+/// precomputed transfer mask. Readers pin a snapshot (`Arc` clone) for the
+/// duration of one query; the `(epoch, generation)` pair identifies the
+/// state for generation-keyed caches, so answers computed on a pinned
+/// snapshot are exactly the answers of that state — never a torn mix.
+///
+/// Derefs to [`Network`], so a `&NetworkSnapshot` goes anywhere a
+/// `&Network` does.
+#[derive(Debug)]
+pub struct NetworkSnapshot {
+    net: Network,
+    table: Option<Arc<DistanceTable>>,
+    mask: Vec<bool>,
+}
+
+impl NetworkSnapshot {
+    /// The network of this state.
+    #[inline]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The distance table refreshed for this state, if one is configured.
+    #[inline]
+    pub fn table(&self) -> Option<&DistanceTable> {
+        self.table.as_deref()
+    }
+
+    /// The table behind a shared handle, for holding beyond the snapshot.
+    #[inline]
+    pub fn shared_table(&self) -> Option<Arc<DistanceTable>> {
+        self.table.clone()
+    }
+
+    /// The table's transfer mask (empty when no table is configured),
+    /// precomputed once per publish so per-query entry points can use the
+    /// masked fast paths.
+    #[inline]
+    pub fn transfer_mask(&self) -> &[bool] {
+        &self.mask
+    }
+}
+
+impl Deref for NetworkSnapshot {
+    type Target = Network;
+
+    fn deref(&self) -> &Network {
+        &self.net
+    }
+}
+
+/// What one [`ConcurrentNetwork::apply_feed`] call did.
+#[derive(Debug)]
+pub struct PublishOutcome {
+    /// The per-event outcomes and touched stations (see [`FeedSummary`]).
+    pub summary: FeedSummary,
+    /// Rows rewritten by the incremental table refresh (0 when no table is
+    /// configured or the feed was net-nil).
+    pub table_rows_refreshed: usize,
+    /// The snapshot published by this call, or `None` when the feed was
+    /// net-nil and the previous snapshot remained current.
+    pub published: Option<Arc<NetworkSnapshot>>,
+}
+
+/// The master state behind the publish lock: the only copy that mutates.
+#[derive(Debug)]
+struct Master {
+    net: Network,
+    table: Option<DistanceTable>,
+}
+
+/// A [`Network`] served concurrently under **snapshot isolation**: any
+/// number of reader threads pin immutable [`NetworkSnapshot`]s via
+/// [`ConcurrentNetwork::snapshot`] while one writer at a time applies
+/// feeds. A feed patches the private master copy, refreshes the master's
+/// distance table incrementally, then publishes the new state with a
+/// single atomic pointer swap — readers never observe a half-applied feed:
+/// every query's answer is exactly the pre-feed or post-feed state.
+///
+/// Writers are serialized on the master mutex; `snapshot()` takes a brief
+/// read lock on the published pointer only (never the master), so reads
+/// don't block behind a feed in progress.
+#[derive(Debug)]
+pub struct ConcurrentNetwork {
+    master: Mutex<Master>,
+    published: RwLock<Arc<NetworkSnapshot>>,
+    publishes: AtomicU64,
+}
+
+impl ConcurrentNetwork {
+    /// Wraps a network with no distance table.
+    pub fn new(net: Network) -> ConcurrentNetwork {
+        Self::with_optional_table(net, None)
+    }
+
+    /// Wraps a network and builds a [`DistanceTable`] for it; every
+    /// published snapshot carries the table refreshed to that state.
+    pub fn with_table(net: Network, selection: &TransferSelection) -> ConcurrentNetwork {
+        let table = DistanceTable::build(&net, selection);
+        Self::with_optional_table(net, Some(table))
+    }
+
+    fn with_optional_table(net: Network, table: Option<DistanceTable>) -> ConcurrentNetwork {
+        let snapshot = Arc::new(publish_snapshot(&net, table.as_ref()));
+        ConcurrentNetwork {
+            master: Mutex::new(Master { net, table }),
+            published: RwLock::new(snapshot),
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the current published state. The returned `Arc` keeps that
+    /// state alive for as long as the reader holds it, unaffected by any
+    /// concurrent [`ConcurrentNetwork::apply_feed`].
+    pub fn snapshot(&self) -> Arc<NetworkSnapshot> {
+        self.published.read().unwrap().clone()
+    }
+
+    /// How many snapshots have been published (excluding the initial one).
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+
+    /// Applies a feed under snapshot isolation: patches the master copy
+    /// ([`Network::apply_feed`]), refreshes the master's table
+    /// incrementally ([`DistanceTable::refresh`]), then publishes the new
+    /// state atomically. Concurrent writers are serialized; concurrent
+    /// readers keep their pinned snapshots and see the new state on their
+    /// next [`ConcurrentNetwork::snapshot`] call. A net-nil feed publishes
+    /// nothing.
+    pub fn apply_feed(&self, events: &[DelayEvent]) -> PublishOutcome {
+        let mut master = self.master.lock().unwrap();
+        let summary = master.net.apply_feed(events);
+        if !summary.changed() {
+            return PublishOutcome { summary, table_rows_refreshed: 0, published: None };
+        }
+        let mut rows = 0;
+        let Master { net, table } = &mut *master;
+        if let Some(table) = table {
+            rows = table.refresh(net).expect("master table refreshes in lock step");
+        }
+        let snapshot = Arc::new(publish_snapshot(&master.net, master.table.as_ref()));
+        *self.published.write().unwrap() = snapshot.clone();
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        PublishOutcome { summary, table_rows_refreshed: rows, published: Some(snapshot) }
+    }
+}
+
+/// Builds the immutable snapshot of one master state. Uses
+/// [`Network::clone_same_epoch`] so the snapshot carries the *same*
+/// `(epoch, generation)` identity as the master — sound because the
+/// snapshot is never mutated.
+fn publish_snapshot(net: &Network, table: Option<&DistanceTable>) -> NetworkSnapshot {
+    let mask = table.map(DistanceTable::transfer_mask).unwrap_or_default();
+    NetworkSnapshot { net: net.clone_same_epoch(), table: table.map(|t| Arc::new(t.clone())), mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_timetable::synthetic::city::{generate_city, CityConfig};
+
+    fn net() -> Network {
+        Network::new(generate_city(&CityConfig::sized(30, 4, 9)))
+    }
+
+    fn delay(train: u32, minutes: u32) -> DelayEvent {
+        DelayEvent::Delay {
+            train: TrainId(train),
+            from_hop: 0,
+            delay: Dur::minutes(minutes),
+            recovery: Recovery::None,
+        }
+    }
+
+    #[test]
+    fn publish_ordering_pins_the_pre_feed_state() {
+        let cnet = ConcurrentNetwork::new(net());
+        let pinned = cnet.snapshot();
+        let (epoch, gen0) = (pinned.epoch(), pinned.generation());
+
+        let outcome = cnet.apply_feed(&[delay(0, 15)]);
+        assert!(outcome.summary.changed());
+        let fresh = cnet.snapshot();
+
+        // The pinned snapshot is byte-for-byte the pre-feed state …
+        assert_eq!((pinned.epoch(), pinned.generation()), (epoch, gen0));
+        // … while the published one moved exactly one generation forward,
+        // same epoch (same logical network, new state).
+        assert_eq!((fresh.epoch(), fresh.generation()), (epoch, gen0 + 1));
+        assert!(Arc::ptr_eq(&fresh, outcome.published.as_ref().unwrap()));
+        assert!(!Arc::ptr_eq(&fresh, &pinned));
+        assert_eq!(cnet.publishes(), 1);
+    }
+
+    #[test]
+    fn net_nil_feed_publishes_nothing() {
+        let cnet = ConcurrentNetwork::new(net());
+        let before = cnet.snapshot();
+        // A delay followed by its cancellation nets out to no change.
+        let outcome = cnet.apply_feed(&[delay(0, 10), DelayEvent::Cancel { train: TrainId(0) }]);
+        assert!(!outcome.summary.changed());
+        assert!(outcome.published.is_none());
+        assert!(Arc::ptr_eq(&before, &cnet.snapshot()));
+        assert_eq!(cnet.publishes(), 0);
+    }
+
+    #[test]
+    fn published_table_is_refreshed_to_the_published_state() {
+        let cnet = ConcurrentNetwork::with_table(net(), &TransferSelection::Fraction(0.2));
+        let outcome = cnet.apply_feed(&[delay(1, 20)]);
+        assert!(outcome.summary.changed());
+        assert!(outcome.table_rows_refreshed > 0);
+        let snap = cnet.snapshot();
+        let table = snap.table().expect("table configured");
+        assert!(table.check_fresh(snap.network()).is_ok());
+        assert_eq!(snap.transfer_mask(), &table.transfer_mask()[..]);
     }
 }

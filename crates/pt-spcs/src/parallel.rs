@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn warm_parallel_engine_reuses_all_workspaces() {
         let net = small_city();
-        let mut engine = ProfileEngine::new().threads(4);
+        let engine = ProfileEngine::new().threads(4);
         let first = engine.one_to_all(&net, StationId(2));
         let warm = engine.workspace_grow_events();
         for _ in 0..5 {
@@ -292,7 +292,7 @@ mod tests {
     fn batch_across_queries_matches_sequential_ground_truth() {
         let net = small_city();
         let sources: Vec<StationId> = (0..12).map(|i| StationId(i * 3 % 36)).collect();
-        let mut engine = ProfileEngine::new().threads(4);
+        let engine = ProfileEngine::new().threads(4);
         let batch = engine.many_to_all_with_stats(&net, &sources);
         assert_eq!(batch.len(), sources.len());
         for (r, &s) in batch.iter().zip(&sources) {

@@ -22,22 +22,27 @@
 //! the answer; when the query is *local* (`S ∈ local(T)`) only the stopping
 //! criterion applies.
 //!
-//! Like [`ProfileEngine`](crate::ProfileEngine), the engine is persistent:
-//! per-worker [`SearchWorkspace`]s live for the engine's lifetime, parallel
-//! work runs on the process-global pool ([`rayon::global`]), and
-//! [`S2sEngine::batch`] distributes whole queries over that pool for
-//! stream throughput.
+//! Like [`ProfileEngine`](crate::ProfileEngine), the engine is persistent
+//! and — since the snapshot-isolation refactor — shareable: every query
+//! entry point takes `&self`, per-query [`SearchWorkspace`]s are checked
+//! out of an internal pool, parallel work runs on the process-global
+//! work-stealing pool ([`rayon::global`]), and [`S2sEngine::batch`]
+//! distributes whole queries over that pool for stream throughput. An
+//! opt-in [`S2sCache`] memoizes results keyed
+//! `(source, target, epoch, generation)`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pt_core::{ConnId, NodeId, Profile, StationId, Time, INFINITY};
 
+use crate::cache::{CacheStats, LruCore};
 use crate::connection_setting::{reduce_station_profile, PRUNED};
 use crate::distance_table::{DistanceTable, StaleTable};
 use crate::network::Network;
 use crate::partition::PartitionStrategy;
 use crate::stats::QueryStats;
-use crate::workspace::SearchWorkspace;
+use crate::workspace::{SearchWorkspace, WorkspacePool};
 
 /// How a station-to-station query was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,16 +70,75 @@ pub struct S2sResult {
     pub kind: QueryKind,
 }
 
-/// Station-to-station query engine. Owns persistent per-worker workspaces
-/// (parallel work runs on the process-global pool); repeated queries
-/// through one engine run allocation-free once warm. Queries take the
-/// network by reference, so the workspaces also survive
-/// [`Network::apply_delay`] / [`Network::apply_feed`] updates between
-/// queries. A configured distance table must match the queried network
-/// state: after a delay the engine refuses it — typed ([`StaleTable`])
-/// from [`S2sEngine::try_query`] / [`S2sEngine::try_batch`], panicking
-/// from the infallible forms — until it is
-/// [`refresh`](DistanceTable::refresh)ed or rebuilt.
+/// Key of one [`S2sCache`] entry: `(source, target, epoch, generation)`.
+type S2sKey = (StationId, StationId, u64, u64);
+
+/// A concurrently readable LRU over station-to-station results, keyed by
+/// `(source, target, network epoch, timetable generation)` — the s2s
+/// counterpart of [`crate::ProfileCache`], sharing its interior-mutable
+/// core (read-locked `get`, atomic counters, deterministic LRU under a
+/// single thread).
+///
+/// Values are stored as `Arc<Profile>` plus the answering [`QueryKind`]; a
+/// hit clones the profile out (the public [`S2sResult::profile`] is a
+/// plain [`Profile`]) and reports `cache_hits = 1` with zero search work.
+/// Because §4 pruning is answer-preserving, the cached profile is valid
+/// for any table configuration queried at the same `(epoch, generation)`;
+/// the stored `kind` reflects whichever configuration computed it first.
+#[derive(Debug, Clone)]
+pub struct S2sCache {
+    core: LruCore<S2sKey, (Arc<Profile>, QueryKind)>,
+}
+
+impl S2sCache {
+    /// An empty cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> S2sCache {
+        S2sCache { core: LruCore::new(capacity) }
+    }
+
+    /// Shared-lock lookup; see [`crate::ProfileCache::get`].
+    pub fn get(
+        &self,
+        source: StationId,
+        target: StationId,
+        epoch: u64,
+        generation: u64,
+    ) -> Option<(Arc<Profile>, QueryKind)> {
+        self.core.get((source, target, epoch, generation))
+    }
+
+    /// Stores a result; returns `true` iff an eviction happened.
+    pub fn insert(
+        &self,
+        source: StationId,
+        target: StationId,
+        epoch: u64,
+        generation: u64,
+        profile: Arc<Profile>,
+        kind: QueryKind,
+    ) -> bool {
+        self.core.insert((source, target, epoch, generation), (profile, kind))
+    }
+
+    /// Cumulative counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        self.core.stats()
+    }
+}
+
+/// Station-to-station query engine. Per-query workspaces come out of an
+/// internal pool (parallel work runs on the process-global pool), so every
+/// query entry point takes `&self` and one engine may serve many reader
+/// threads concurrently; repeated queries through one engine run
+/// allocation-free once warm. Queries take the network by reference, so
+/// the workspaces also survive [`Network::apply_delay`] /
+/// [`Network::apply_feed`] updates between queries. A configured distance
+/// table must match the queried network state: after a delay the engine
+/// refuses it — typed ([`StaleTable`]) from [`S2sEngine::try_query`] /
+/// [`S2sEngine::try_batch`], panicking from the infallible forms — until
+/// it is [`refresh`](DistanceTable::refresh)ed or rebuilt. With
+/// [`S2sEngine::with_cache`], results are memoized in an [`S2sCache`]
+/// keyed `(source, target, epoch, generation)`.
 #[derive(Debug, Clone)]
 pub struct S2sEngine<'a> {
     threads: usize,
@@ -82,8 +146,10 @@ pub struct S2sEngine<'a> {
     stopping: bool,
     table: Option<&'a DistanceTable>,
     mask: Vec<bool>,
-    /// One workspace per worker, created lazily.
-    workspaces: Vec<SearchWorkspace>,
+    /// Idle workspaces, checked out per query.
+    pool: WorkspacePool,
+    /// Opt-in generation-keyed result cache.
+    cache: Option<S2sCache>,
 }
 
 impl<'a> Default for S2sEngine<'a> {
@@ -101,7 +167,8 @@ impl<'a> S2sEngine<'a> {
             stopping: true,
             table: None,
             mask: Vec::new(),
-            workspaces: Vec::new(),
+            pool: WorkspacePool::new(),
+            cache: None,
         }
     }
 
@@ -131,23 +198,33 @@ impl<'a> S2sEngine<'a> {
         self
     }
 
-    /// Total backing-array growth events over all workspaces; constant
-    /// across repeated queries once the engine is warm.
-    pub fn workspace_grow_events(&self) -> u64 {
-        self.workspaces.iter().map(SearchWorkspace::grow_events).sum()
+    /// Enables the generation-keyed LRU result cache, holding at most
+    /// `capacity` station-to-station results. Keys include the network's
+    /// process-unique epoch and its timetable generation, so a feed
+    /// invalidates every stale entry for free.
+    pub fn with_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(S2sCache::new(capacity));
+        self
     }
 
-    fn ensure_workers(&mut self) {
-        if self.workspaces.len() < self.threads {
-            self.workspaces.resize_with(self.threads, SearchWorkspace::new);
-        }
+    /// Cumulative cache counters; `None` without [`S2sEngine::with_cache`].
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(S2sCache::stats)
+    }
+
+    /// Total backing-array growth events over all idle workspaces;
+    /// constant across repeated queries once the engine is warm. Read
+    /// between queries (in-flight queries hold their workspaces).
+    pub fn workspace_grow_events(&self) -> u64 {
+        self.pool.grow_events()
     }
 
     /// Computes the profile `dist(source, target, ·)`.
     ///
-    /// Panics when the configured distance table is stale (see
-    /// [`S2sEngine::try_query`] for the recoverable form).
-    pub fn query(&mut self, net: &Network, source: StationId, target: StationId) -> S2sResult {
+    /// Takes `&self`: many reader threads may query one engine
+    /// concurrently. Panics when the configured distance table is stale
+    /// (see [`S2sEngine::try_query`] for the recoverable form).
+    pub fn query(&self, net: &Network, source: StationId, target: StationId) -> S2sResult {
         match self.try_query(net, source, target) {
             Ok(r) => r,
             Err(e) => panic!("{e}"),
@@ -160,23 +237,12 @@ impl<'a> S2sEngine<'a> {
     /// server can [`DistanceTable::refresh`] (or rebuild) and retry instead
     /// of crashing. An engine without a table never errors.
     pub fn try_query(
-        &mut self,
+        &self,
         net: &Network,
         source: StationId,
         target: StationId,
     ) -> Result<S2sResult, StaleTable> {
-        if let Some(table) = self.table {
-            table.check_fresh(net)?;
-        }
-        self.ensure_workers();
-        let cfg = QueryConfig {
-            net,
-            table: self.table,
-            mask: &self.mask,
-            stopping: self.stopping,
-            strategy: self.strategy,
-        };
-        Ok(query_with(&cfg, self.threads, &mut self.workspaces, source, target))
+        self.try_query_masked(net, self.table, &self.mask, source, target)
     }
 
     /// Like [`S2sEngine::try_query`], but with the distance table supplied
@@ -189,7 +255,7 @@ impl<'a> S2sEngine<'a> {
     /// precompute it once ([`DistanceTable::transfer_mask`]) and use the
     /// masked variant, as the shard router does.
     pub fn try_query_on(
-        &mut self,
+        &self,
         net: &Network,
         table: Option<&DistanceTable>,
         source: StationId,
@@ -201,9 +267,11 @@ impl<'a> S2sEngine<'a> {
 
     /// [`S2sEngine::try_query_on`] with a caller-precomputed transfer mask
     /// (must be `table.transfer_mask()` of the same table — invariant
-    /// under [`DistanceTable::refresh`], so a shard caches it once).
+    /// under [`DistanceTable::refresh`], so a shard caches it once). The
+    /// common backend of every single-query entry point: freshness check,
+    /// cache probe, search, cache fill.
     pub(crate) fn try_query_masked(
-        &mut self,
+        &self,
         net: &Network,
         table: Option<&DistanceTable>,
         mask: &[bool],
@@ -213,10 +281,26 @@ impl<'a> S2sEngine<'a> {
         if let Some(table) = table {
             table.check_fresh(net)?;
         }
-        self.ensure_workers();
+        let (epoch, generation) = (net.epoch(), net.generation());
+        if let Some(cache) = &self.cache {
+            if let Some((profile, kind)) = cache.get(source, target, epoch, generation) {
+                let stats = QueryStats { cache_hits: 1, ..QueryStats::default() };
+                return Ok(S2sResult { profile: (*profile).clone(), stats, kind });
+            }
+        }
         let cfg =
             QueryConfig { net, table, mask, stopping: self.stopping, strategy: self.strategy };
-        Ok(query_with(&cfg, self.threads, &mut self.workspaces, source, target))
+        let mut workspaces = self.pool.checkout(self.threads);
+        let mut r = query_with(&cfg, self.threads, &mut workspaces, source, target);
+        self.pool.checkin(workspaces);
+        if let Some(cache) = &self.cache {
+            r.stats.cache_misses = 1;
+            let shared = Arc::new(r.profile.clone());
+            if cache.insert(source, target, epoch, generation, shared, r.kind) {
+                r.stats.cache_evictions = 1;
+            }
+        }
+        Ok(r)
     }
 
     /// Batch station-to-station queries.
@@ -228,7 +312,7 @@ impl<'a> S2sEngine<'a> {
     ///
     /// Panics when the configured distance table is stale (see
     /// [`S2sEngine::try_batch`] for the recoverable form).
-    pub fn batch(&mut self, net: &Network, pairs: &[(StationId, StationId)]) -> Vec<S2sResult> {
+    pub fn batch(&self, net: &Network, pairs: &[(StationId, StationId)]) -> Vec<S2sResult> {
         match self.try_batch(net, pairs) {
             Ok(r) => r,
             Err(e) => panic!("{e}"),
@@ -238,29 +322,18 @@ impl<'a> S2sEngine<'a> {
     /// Like [`S2sEngine::batch`], with the stale-table case as a typed
     /// [`StaleTable`] — checked once up front for the whole batch.
     pub fn try_batch(
-        &mut self,
+        &self,
         net: &Network,
         pairs: &[(StationId, StationId)],
     ) -> Result<Vec<S2sResult>, StaleTable> {
-        if let Some(table) = self.table {
-            table.check_fresh(net)?;
-        }
-        self.ensure_workers();
-        let cfg = QueryConfig {
-            net,
-            table: self.table,
-            mask: &self.mask,
-            stopping: self.stopping,
-            strategy: self.strategy,
-        };
-        Ok(batch_with(&cfg, self.threads, &mut self.workspaces, pairs))
+        self.try_batch_masked(net, self.table, &self.mask, pairs)
     }
 
     /// Like [`S2sEngine::try_batch`], with the distance table supplied per
     /// call (see [`S2sEngine::try_query_on`]) — checked once up front for
     /// the whole batch.
     pub fn try_batch_on(
-        &mut self,
+        &self,
         net: &Network,
         table: Option<&DistanceTable>,
         pairs: &[(StationId, StationId)],
@@ -270,9 +343,10 @@ impl<'a> S2sEngine<'a> {
     }
 
     /// [`S2sEngine::try_batch_on`] with a caller-precomputed transfer mask
-    /// (see [`S2sEngine::try_query_masked`]).
+    /// (see [`S2sEngine::try_query_masked`]). Cached pairs are answered
+    /// from the result cache; only the misses go through the search.
     pub(crate) fn try_batch_masked(
-        &mut self,
+        &self,
         net: &Network,
         table: Option<&DistanceTable>,
         mask: &[bool],
@@ -281,10 +355,48 @@ impl<'a> S2sEngine<'a> {
         if let Some(table) = table {
             table.check_fresh(net)?;
         }
-        self.ensure_workers();
-        let cfg =
-            QueryConfig { net, table, mask, stopping: self.stopping, strategy: self.strategy };
-        Ok(batch_with(&cfg, self.threads, &mut self.workspaces, pairs))
+        let (epoch, generation) = (net.epoch(), net.generation());
+        let mut out: Vec<Option<S2sResult>> = Vec::with_capacity(pairs.len());
+        let mut misses: Vec<(StationId, StationId)> = Vec::new();
+        if let Some(cache) = &self.cache {
+            for &(s, t) in pairs {
+                match cache.get(s, t, epoch, generation) {
+                    Some((profile, kind)) => {
+                        let stats = QueryStats { cache_hits: 1, ..QueryStats::default() };
+                        out.push(Some(S2sResult { profile: (*profile).clone(), stats, kind }));
+                    }
+                    None => {
+                        out.push(None);
+                        misses.push((s, t));
+                    }
+                }
+            }
+        } else {
+            out.resize_with(pairs.len(), || None);
+            misses.extend_from_slice(pairs);
+        }
+        if !misses.is_empty() {
+            let cfg =
+                QueryConfig { net, table, mask, stopping: self.stopping, strategy: self.strategy };
+            let mut workspaces = self.pool.checkout(self.threads);
+            let computed = batch_with(&cfg, self.threads, &mut workspaces, &misses);
+            self.pool.checkin(workspaces);
+            let mut computed = misses.iter().zip(computed);
+            for slot in out.iter_mut() {
+                if slot.is_none() {
+                    let (&(s, t), mut r) = computed.next().expect("one result per miss");
+                    if let Some(cache) = &self.cache {
+                        r.stats.cache_misses = 1;
+                        let shared = Arc::new(r.profile.clone());
+                        if cache.insert(s, t, epoch, generation, shared, r.kind) {
+                            r.stats.cache_evictions = 1;
+                        }
+                    }
+                    *slot = Some(r);
+                }
+            }
+        }
+        Ok(out.into_iter().map(|r| r.expect("every pair answered")).collect())
     }
 }
 
@@ -634,7 +746,7 @@ mod tests {
 
     /// Every (S, T) pair in `pairs`: the s2s profile must equal the
     /// corresponding one-to-all profile.
-    fn assert_matches_one_to_all(net: &Network, engine: &mut S2sEngine<'_>, pairs: &[(u32, u32)]) {
+    fn assert_matches_one_to_all(net: &Network, engine: &S2sEngine<'_>, pairs: &[(u32, u32)]) {
         for &(s, t) in pairs {
             let (s, t) = (StationId(s), StationId(t));
             let want = ProfileEngine::new().one_to_all(net, s);
@@ -646,8 +758,8 @@ mod tests {
     #[test]
     fn stopping_criterion_preserves_profiles() {
         let net = city();
-        let mut engine = S2sEngine::new();
-        assert_matches_one_to_all(&net, &mut engine, &[(0, 48), (5, 7), (13, 2), (20, 20)]);
+        let engine = S2sEngine::new();
+        assert_matches_one_to_all(&net, &engine, &[(0, 48), (5, 7), (13, 2), (20, 20)]);
     }
 
     #[test]
@@ -671,28 +783,28 @@ mod tests {
     fn table_pruned_queries_preserve_profiles_city() {
         let net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-        let mut engine = S2sEngine::new().with_table(&table);
+        let engine = S2sEngine::new().with_table(&table);
         let pairs: Vec<(u32, u32)> =
             vec![(0, 48), (1, 37), (9, 22), (30, 4), (11, 44), (48, 0), (17, 8)];
-        assert_matches_one_to_all(&net, &mut engine, &pairs);
+        assert_matches_one_to_all(&net, &engine, &pairs);
     }
 
     #[test]
     fn table_pruned_queries_preserve_profiles_rail() {
         let net = rail();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.2));
-        let mut engine = S2sEngine::new().with_table(&table);
+        let engine = S2sEngine::new().with_table(&table);
         let n = net.num_stations() as u32;
         let pairs: Vec<(u32, u32)> =
             (0..12).map(|i| ((i * 7) % n, (i * 13 + 3) % n)).filter(|(a, b)| a != b).collect();
-        assert_matches_one_to_all(&net, &mut engine, &pairs);
+        assert_matches_one_to_all(&net, &engine, &pairs);
     }
 
     #[test]
     fn all_query_kinds_appear() {
         let net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-        let mut engine = S2sEngine::new().with_table(&table);
+        let engine = S2sEngine::new().with_table(&table);
         let mut kinds = std::collections::BTreeSet::new();
         let n = net.num_stations() as u32;
         for s in 0..n {
@@ -728,7 +840,7 @@ mod tests {
     fn warm_s2s_engine_reuses_workspaces() {
         let net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-        let mut engine = S2sEngine::new().with_table(&table);
+        let engine = S2sEngine::new().with_table(&table);
         // Warm up with one query of every search kind (they size different
         // scratch arrays), then repeat: no further growth allowed.
         let warmup: &[(u32, u32)] = &[(0, 48), (1, 37), (9, 22), (30, 4), (11, 44), (17, 8)];
@@ -756,7 +868,7 @@ mod tests {
             .map(|&(s, t)| S2sEngine::new().with_table(&table).query(&net, s, t))
             .collect();
         // Across-query parallelism (pairs >= threads)...
-        let mut batch_engine = S2sEngine::new().with_table(&table).threads(3);
+        let batch_engine = S2sEngine::new().with_table(&table).threads(3);
         let batch = batch_engine.batch(&net, &pairs);
         assert_eq!(batch.len(), individual.len());
         for ((b, i), &(s, t)) in batch.iter().zip(&individual).zip(&pairs) {
@@ -791,7 +903,7 @@ mod tests {
         let (s, t) = (StationId(3), StationId(40));
         {
             // Fresh table: Ok path, identical to the infallible query.
-            let mut engine = S2sEngine::new().with_table(&table);
+            let engine = S2sEngine::new().with_table(&table);
             let ok = engine.try_query(&net, s, t).expect("fresh table must answer");
             assert_eq!(ok.profile, S2sEngine::new().with_table(&table).query(&net, s, t).profile);
         }
@@ -805,7 +917,7 @@ mod tests {
         {
             // Stale table: the typed error, carrying both stamps, and the
             // batch form errors identically.
-            let mut engine = S2sEngine::new().with_table(&table);
+            let engine = S2sEngine::new().with_table(&table);
             let err = engine.try_query(&net, s, t).expect_err("stale table must error");
             assert!(err.refreshable(), "same network instance is refreshable");
             assert_eq!(err.queried, (net.epoch(), net.generation()));
@@ -829,7 +941,7 @@ mod tests {
         let mut net = city();
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
         // One 'static engine (no configured table), the router's shape.
-        let mut engine: S2sEngine<'static> = S2sEngine::new();
+        let engine: S2sEngine<'static> = S2sEngine::new();
         let pairs: Vec<(StationId, StationId)> = [(0u32, 48u32), (1, 37), (9, 22), (30, 4)]
             .map(|(s, t)| (StationId(s), StationId(t)))
             .to_vec();
@@ -871,6 +983,63 @@ mod tests {
         assert_eq!(r.stats.settled, 0);
         let want = ProfileEngine::new().one_to_all(&net, a);
         assert_eq!(&r.profile, want.profile(b));
+    }
+
+    #[test]
+    fn result_cache_hits_return_the_computed_profile() {
+        let net = city();
+        let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
+        let engine = S2sEngine::new().with_table(&table).with_cache(32);
+        let (s, t) = (StationId(3), StationId(41));
+        let first = engine.query(&net, s, t);
+        assert_eq!(first.stats.cache_hits, 0);
+        assert_eq!(first.stats.cache_misses, 1);
+        let second = engine.query(&net, s, t);
+        assert_eq!(second.profile, first.profile);
+        assert_eq!(second.kind, first.kind);
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(second.stats.settled, 0, "hit does no search work");
+        let cs = engine.cache_stats().unwrap();
+        assert_eq!((cs.hits, cs.misses, cs.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn result_cache_is_invalidated_by_generation_bumps() {
+        use pt_core::{Dur, TrainId};
+        use pt_timetable::Recovery;
+        let mut net = city();
+        let engine: S2sEngine<'static> = S2sEngine::new().with_cache(32);
+        let (s, t) = (StationId(0), StationId(48));
+        let before = engine.try_query_on(&net, None, s, t).unwrap();
+        net.apply_delay(TrainId(0), 0, Dur::minutes(25), Recovery::None);
+        let after = engine.try_query_on(&net, None, s, t).unwrap();
+        assert_eq!(after.stats.cache_misses, 1, "new generation misses");
+        let fresh = S2sEngine::new().query(&net, s, t);
+        assert_eq!(after.profile, fresh.profile);
+        // Both generations stay resident and hit independently.
+        assert_eq!(engine.cache_stats().unwrap().entries, 2);
+        let _ = before;
+    }
+
+    #[test]
+    fn batch_mixes_cache_hits_and_misses() {
+        let net = city();
+        let engine: S2sEngine<'static> = S2sEngine::new().with_cache(32).threads(2);
+        let warm = [(StationId(0), StationId(48)), (StationId(5), StationId(7))];
+        for &(s, t) in &warm {
+            engine.try_query_on(&net, None, s, t).unwrap();
+        }
+        let pairs =
+            [warm[0], (StationId(13), StationId(2)), warm[1], (StationId(20), StationId(20))];
+        let got = engine.try_batch_on(&net, None, &pairs).unwrap();
+        assert_eq!(got[0].stats.cache_hits, 1);
+        assert_eq!(got[2].stats.cache_hits, 1);
+        assert_eq!(got[1].stats.cache_misses, 1);
+        assert_eq!(got[3].stats.cache_misses, 1);
+        for (r, &(s, t)) in got.iter().zip(&pairs) {
+            let want = S2sEngine::new().query(&net, s, t);
+            assert_eq!(r.profile, want.profile, "{s:?}→{t:?}");
+        }
     }
 
     #[test]

@@ -32,6 +32,14 @@
 //!   both owners, and a query explicitly directed at the wrong shard
 //!   returns [`RouterError::WrongShard`] naming the owner — the redirect
 //!   hook for a future gateway.
+//! * **Snapshot isolation.** Each shard's network lives in a
+//!   [`ConcurrentNetwork`]: every query pins the shard's current
+//!   [`NetworkSnapshot`] and runs entirely against it, while
+//!   [`ShardedService::apply_feed`] mutates a private master copy and
+//!   publishes atomically (writers serialized per shard). All serving
+//!   methods therefore take `&self` — one service value may be queried
+//!   from many threads while a feed stream applies concurrently, and every
+//!   answer is exactly a pre-feed or post-feed state, never a torn mix.
 
 use std::error::Error;
 use std::fmt;
@@ -44,7 +52,7 @@ use pt_timetable::DelayEvent;
 use crate::cache::CacheStats;
 use crate::connection_setting::ProfileEngine;
 use crate::distance_table::DistanceTable;
-use crate::network::{DelayUpdate, FeedSummary, Network};
+use crate::network::{ConcurrentNetwork, DelayUpdate, FeedSummary, Network, NetworkSnapshot};
 use crate::partition::PartitionStrategy;
 use crate::profile_set::ProfileSet;
 use crate::s2s::{S2sEngine, S2sResult};
@@ -157,30 +165,32 @@ impl ShardedFeedSummary {
     }
 }
 
-/// One shard: a network and its persistent serving machinery.
+/// One shard: a snapshot-published network and its persistent serving
+/// machinery. Queries pin `net.snapshot()` — the snapshot carries the
+/// shard's table and transfer mask refreshed to its state, so the engines
+/// never see a table/network mismatch.
 #[derive(Debug)]
 struct Shard {
-    net: Network,
+    net: ConcurrentNetwork,
     profile: ProfileEngine,
     s2s: S2sEngine<'static>,
-    table: Option<DistanceTable>,
-    /// The table's transfer mask, computed once: the transfer set is
-    /// invariant under [`DistanceTable::refresh`], so routed s2s queries
-    /// never rebuild it.
-    mask: Vec<bool>,
 }
 
 impl Shard {
-    fn s2s(&mut self, source: StationId, target: StationId) -> S2sResult {
+    fn s2s(&self, snap: &NetworkSnapshot, source: StationId, target: StationId) -> S2sResult {
         self.s2s
-            .try_query_masked(&self.net, self.table.as_ref(), &self.mask, source, target)
-            .expect("router refreshes its tables on every feed")
+            .try_query_masked(snap.network(), snap.table(), snap.transfer_mask(), source, target)
+            .expect("published snapshots carry tables refreshed to their state")
     }
 
-    fn s2s_batch(&mut self, pairs: &[(StationId, StationId)]) -> Vec<S2sResult> {
+    fn s2s_batch(
+        &self,
+        snap: &NetworkSnapshot,
+        pairs: &[(StationId, StationId)],
+    ) -> Vec<S2sResult> {
         self.s2s
-            .try_batch_masked(&self.net, self.table.as_ref(), &self.mask, pairs)
-            .expect("router refreshes its tables on every feed")
+            .try_batch_masked(snap.network(), snap.table(), snap.transfer_mask(), pairs)
+            .expect("published snapshots carry tables refreshed to their state")
     }
 }
 
@@ -191,6 +201,7 @@ pub struct ShardedServiceBuilder {
     threads: usize,
     strategy: PartitionStrategy,
     cache_per_shard: usize,
+    s2s_cache_per_shard: usize,
     tables: Option<TransferSelection>,
 }
 
@@ -200,6 +211,7 @@ impl Default for ShardedServiceBuilder {
             threads: 1,
             strategy: PartitionStrategy::EqualConnections,
             cache_per_shard: 0,
+            s2s_cache_per_shard: 0,
             tables: None,
         }
     }
@@ -225,6 +237,15 @@ impl ShardedServiceBuilder {
     /// from evicting another shard's hits.
     pub fn cache(mut self, capacity: usize) -> Self {
         self.cache_per_shard = capacity;
+        self
+    }
+
+    /// Enables the station-to-station result cache with one stripe of
+    /// `capacity` entries per shard (see [`crate::S2sCache`]); keyed by
+    /// `(source, target, epoch, generation)`, so a shard's feed invalidates
+    /// only its own stripe.
+    pub fn s2s_cache(mut self, capacity: usize) -> Self {
+        self.s2s_cache_per_shard = capacity;
         self
     }
 
@@ -255,15 +276,15 @@ impl ShardedServiceBuilder {
                 if self.cache_per_shard > 0 {
                     profile = profile.with_cache(self.cache_per_shard);
                 }
-                let table = self.tables.as_ref().map(|sel| DistanceTable::build(&net, sel));
-                let mask = table.as_ref().map(DistanceTable::transfer_mask).unwrap_or_default();
-                Shard {
-                    s2s: S2sEngine::new().threads(self.threads).strategy(self.strategy),
-                    net,
-                    profile,
-                    table,
-                    mask,
+                let mut s2s = S2sEngine::new().threads(self.threads).strategy(self.strategy);
+                if self.s2s_cache_per_shard > 0 {
+                    s2s = s2s.with_cache(self.s2s_cache_per_shard);
                 }
+                let net = match &self.tables {
+                    Some(sel) => ConcurrentNetwork::with_table(net, sel),
+                    None => ConcurrentNetwork::new(net),
+                };
+                Shard { net, profile, s2s }
             })
             .collect();
         base.push(next);
@@ -294,7 +315,7 @@ impl ShardedServiceBuilder {
 ///     b.add_simple_trip(&[a, t], Time::hm(8, 0), &[Dur::minutes(leg_min)], Dur::ZERO).unwrap();
 ///     Network::new(b.build().unwrap())
 /// };
-/// let mut svc = ShardedService::builder().cache(16).build(vec![city(30), city(60)]);
+/// let svc = ShardedService::builder().cache(16).build(vec![city(30), city(60)]);
 ///
 /// // Global station 2 is shard 1's local station 0.
 /// let routed = svc.one_to_all(StationId(2)).unwrap();
@@ -379,17 +400,25 @@ impl ShardedService {
         Ok(StationId(range.start + local.0))
     }
 
-    /// The shard's network (e.g. for timetable access or standalone
-    /// verification copies).
-    pub fn network(&self, shard: ShardId) -> Result<&Network, RouterError> {
+    /// Pins the shard's current published snapshot (e.g. for timetable
+    /// access, standalone verification copies, or running several queries
+    /// against one consistent state). Derefs to [`Network`].
+    pub fn network(&self, shard: ShardId) -> Result<Arc<NetworkSnapshot>, RouterError> {
         self.check_shard(shard)?;
-        Ok(&self.shards[shard.idx()].net)
+        Ok(self.shards[shard.idx()].net.snapshot())
     }
 
-    /// The shard's distance table, if the service was built with tables.
-    pub fn table(&self, shard: ShardId) -> Result<Option<&DistanceTable>, RouterError> {
+    /// The shard's distance table as published with its current snapshot,
+    /// if the service was built with tables.
+    pub fn table(&self, shard: ShardId) -> Result<Option<Arc<DistanceTable>>, RouterError> {
         self.check_shard(shard)?;
-        Ok(self.shards[shard.idx()].table.as_ref())
+        Ok(self.shards[shard.idx()].net.snapshot().shared_table())
+    }
+
+    /// How many snapshots `shard` has published (= feeds that changed it).
+    pub fn publishes(&self, shard: ShardId) -> Result<u64, RouterError> {
+        self.check_shard(shard)?;
+        Ok(self.shards[shard.idx()].net.publishes())
     }
 
     /// One shard's cache-stripe counters; `None` when built without
@@ -414,13 +443,11 @@ impl ShardedService {
     /// One-to-all profiles from a global station, answered by the owning
     /// shard's engine (through its cache stripe when enabled). The returned
     /// [`ProfileSet`] is in the owning shard's local id space.
-    pub fn one_to_all(
-        &mut self,
-        source: StationId,
-    ) -> Result<Routed<Arc<ProfileSet>>, RouterError> {
+    pub fn one_to_all(&self, source: StationId) -> Result<Routed<Arc<ProfileSet>>, RouterError> {
         let (shard, local) = self.locate(source)?;
-        let s = &mut self.shards[shard.idx()];
-        Ok(Routed { shard, value: s.profile.one_to_all(&s.net, local) })
+        let s = &self.shards[shard.idx()];
+        let snap = s.net.snapshot();
+        Ok(Routed { shard, value: s.profile.one_to_all(snap.network(), local) })
     }
 
     /// Like [`ShardedService::one_to_all`], but directed at an explicit
@@ -428,7 +455,7 @@ impl ShardedService {
     /// the typed [`RouterError::WrongShard`] names the owner so the caller
     /// (or a gateway) can redirect deliberately.
     pub fn one_to_all_on(
-        &mut self,
+        &self,
         shard: ShardId,
         source: StationId,
     ) -> Result<Routed<Arc<ProfileSet>>, RouterError> {
@@ -437,8 +464,9 @@ impl ShardedService {
         if owner != shard {
             return Err(RouterError::WrongShard { station: source, queried: shard, owner });
         }
-        let s = &mut self.shards[shard.idx()];
-        Ok(Routed { shard, value: s.profile.one_to_all(&s.net, local) })
+        let s = &self.shards[shard.idx()];
+        let snap = s.net.snapshot();
+        Ok(Routed { shard, value: s.profile.one_to_all(snap.network(), local) })
     }
 
     /// Batch one-to-all over global sources. The batch is demultiplexed so
@@ -448,7 +476,7 @@ impl ShardedService {
     /// input order. Routing failures are per item — one unknown station
     /// does not fail its neighbours.
     pub fn many_to_all(
-        &mut self,
+        &self,
         sources: &[StationId],
     ) -> Vec<Result<Routed<Arc<ProfileSet>>, RouterError>> {
         let located: Vec<Result<(ShardId, StationId), RouterError>> =
@@ -465,9 +493,10 @@ impl ShardedService {
             if group.is_empty() {
                 continue;
             }
-            let shard = &mut self.shards[idx];
+            let shard = &self.shards[idx];
+            let snap = shard.net.snapshot();
             let locals: Vec<StationId> = group.iter().map(|&(_, l)| l).collect();
-            let sets = shard.profile.many_to_all(&shard.net, &locals);
+            let sets = shard.profile.many_to_all(snap.network(), &locals);
             for (&(i, _), set) in group.iter().zip(sets) {
                 out[i] = Some(Ok(Routed { shard: ShardId(idx as u32), value: set }));
             }
@@ -480,7 +509,7 @@ impl ShardedService {
     /// Endpoints in different shards are refused with the typed
     /// [`RouterError::CrossShard`] carrying both owners.
     pub fn s2s(
-        &mut self,
+        &self,
         source: StationId,
         target: StationId,
     ) -> Result<Routed<S2sResult>, RouterError> {
@@ -489,7 +518,9 @@ impl ShardedService {
         if s_shard != t_shard {
             return Err(RouterError::CrossShard { source: s_shard, target: t_shard });
         }
-        Ok(Routed { shard: s_shard, value: self.shards[s_shard.idx()].s2s(s_local, t_local) })
+        let shard = &self.shards[s_shard.idx()];
+        let snap = shard.net.snapshot();
+        Ok(Routed { shard: s_shard, value: shard.s2s(&snap, s_local, t_local) })
     }
 
     /// Batch station-to-station over global pairs, demultiplexed so every
@@ -497,7 +528,7 @@ impl ShardedService {
     /// ([`S2sEngine::batch`] semantics per shard). Results come back in
     /// input order; unknown stations and cross-shard pairs fail per item.
     pub fn s2s_batch(
-        &mut self,
+        &self,
         pairs: &[(StationId, StationId)],
     ) -> Vec<Result<Routed<S2sResult>, RouterError>> {
         /// A located pair: `(owning shard, (local source, local target))`.
@@ -527,7 +558,9 @@ impl ShardedService {
                 continue;
             }
             let local_pairs: Vec<(StationId, StationId)> = group.iter().map(|&(_, p)| p).collect();
-            let results = self.shards[idx].s2s_batch(&local_pairs);
+            let shard = &self.shards[idx];
+            let snap = shard.net.snapshot();
+            let results = shard.s2s_batch(&snap, &local_pairs);
             for (&(i, _), r) in group.iter().zip(results) {
                 out[i] = Some(Ok(Routed { shard: ShardId(idx as u32), value: r }));
             }
@@ -547,8 +580,13 @@ impl ShardedService {
     ///
     /// An unknown shard id fails the whole call up front (no partial
     /// application).
+    ///
+    /// Takes `&self`: each touched shard's feed runs under that shard's
+    /// writer lock (writers serialize per shard) and publishes a new
+    /// snapshot atomically — concurrent readers keep answering on their
+    /// pinned pre-feed snapshots throughout.
     pub fn apply_feed(
-        &mut self,
+        &self,
         events: &[(ShardId, DelayEvent)],
     ) -> Result<ShardedFeedSummary, RouterError> {
         for &(shard, _) in events {
@@ -564,22 +602,16 @@ impl ShardedService {
             if group.is_empty() {
                 continue;
             }
-            let shard = &mut self.shards[idx];
+            let shard = &self.shards[idx];
             let batch: Vec<DelayEvent> = group.iter().map(|&(_, e)| e).collect();
-            let summary = shard.net.apply_feed(&batch);
-            for (&(i, _), &update) in group.iter().zip(&summary.events) {
+            let outcome = shard.net.apply_feed(&batch);
+            for (&(i, _), &update) in group.iter().zip(&outcome.summary.events) {
                 out_events[i] = update;
             }
-            let table_rows_refreshed = match &mut shard.table {
-                Some(table) if summary.changed() => table
-                    .refresh(&shard.net)
-                    .expect("a shard's table always shares its shard's network"),
-                _ => 0,
-            };
             shards.push(ShardFeedOutcome {
                 shard: ShardId(idx as u32),
-                summary,
-                table_rows_refreshed,
+                summary: outcome.summary,
+                table_rows_refreshed: outcome.table_rows_refreshed,
             });
         }
         Ok(ShardedFeedSummary { events: out_events, shards })
@@ -660,7 +692,7 @@ mod tests {
 
     #[test]
     fn routed_queries_match_the_owning_network() {
-        let mut svc = service();
+        let svc = service();
         for shard in [ShardId(0), ShardId(1), ShardId(2)] {
             let standalone = Network::build(svc.network(shard).unwrap().timetable());
             for local in 0..3u32 {
@@ -678,7 +710,7 @@ mod tests {
 
     #[test]
     fn wrong_shard_carries_the_owner_for_a_redirect() {
-        let mut svc = service();
+        let svc = service();
         let global = svc.global_id(ShardId(2), StationId(1)).unwrap();
         let err = svc.one_to_all_on(ShardId(0), global).unwrap_err();
         let RouterError::WrongShard { station, queried, owner } = err else {
@@ -692,7 +724,7 @@ mod tests {
 
     #[test]
     fn s2s_routes_within_and_refuses_across_shards() {
-        let mut svc = service();
+        let svc = service();
         let s = svc.global_id(ShardId(1), StationId(0)).unwrap();
         let t = svc.global_id(ShardId(1), StationId(2)).unwrap();
         let within = svc.s2s(s, t).unwrap();
@@ -710,7 +742,7 @@ mod tests {
 
     #[test]
     fn batches_demultiplex_and_reassemble_in_input_order() {
-        let mut svc = service();
+        let svc = service();
         let sources = vec![
             StationId(7), // shard 2
             StationId(0), // shard 0
@@ -754,7 +786,7 @@ mod tests {
 
     #[test]
     fn mixed_feed_bumps_each_touched_shard_once_and_refreshes_its_table() {
-        let mut svc = ShardedService::builder()
+        let svc = ShardedService::builder()
             .cache(8)
             .tables(TransferSelection::Explicit(vec![StationId(0), StationId(2)]))
             .build(vec![city(0), city(5), city(11)]);
@@ -805,7 +837,7 @@ mod tests {
         // Each changed shard's table was refreshed in the same call.
         for sh in [ShardId(0), ShardId(2)] {
             assert!(summary.outcome(sh).unwrap().table_rows_refreshed > 0, "{sh}");
-            assert!(svc.table(sh).unwrap().unwrap().check_fresh(svc.network(sh).unwrap()).is_ok());
+            assert!(svc.table(sh).unwrap().unwrap().check_fresh(&svc.network(sh).unwrap()).is_ok());
         }
         // And s2s keeps answering without a stale-table panic.
         let s = svc.global_id(ShardId(0), StationId(0)).unwrap();
@@ -818,7 +850,7 @@ mod tests {
 
     #[test]
     fn feed_to_one_shard_leaves_the_other_stripes_hot() {
-        let mut svc = service();
+        let svc = service();
         let a = svc.global_id(ShardId(0), StationId(0)).unwrap();
         let b = svc.global_id(ShardId(1), StationId(0)).unwrap();
         let _ = svc.one_to_all(a).unwrap();
@@ -856,7 +888,7 @@ mod tests {
 
     #[test]
     fn net_nil_feed_is_a_no_op_everywhere() {
-        let mut svc = service();
+        let svc = service();
         let gens: Vec<u64> =
             svc.shard_ids().map(|sh| svc.network(sh).unwrap().generation()).collect();
         // A cancellation of a never-delayed train nets out to nothing.

@@ -23,6 +23,8 @@
 //!
 //! [`grow_events`]: SearchWorkspace::grow_events
 
+use std::sync::Mutex;
+
 use pt_core::{Time, INFINITY};
 use pt_heap::BinaryHeap;
 
@@ -219,6 +221,60 @@ impl SearchWorkspace {
     }
 }
 
+/// A shared pool of [`SearchWorkspace`]s behind the engines' `&self` query
+/// entry points.
+///
+/// A query checks out as many workspaces as it needs (warm ones first, in
+/// stable order, so a repeated query of the same width reuses each
+/// workspace for the same partition class — preserving the
+/// zero-allocation warm path) and checks them back in when done. Under a
+/// single caller this is exactly the old embedded `Vec<SearchWorkspace>`;
+/// under concurrent callers each in-flight query holds its own private
+/// workspaces, so no search state is ever shared between threads.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    idle: Mutex<Vec<SearchWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool; workspaces are created on first checkout.
+    pub fn new() -> WorkspacePool {
+        WorkspacePool { idle: Mutex::new(Vec::new()) }
+    }
+
+    /// Takes `n` workspaces out of the pool, reusing idle ones from the
+    /// front (checkout order is stable) and creating fresh ones beyond.
+    pub(crate) fn checkout(&self, n: usize) -> Vec<SearchWorkspace> {
+        let mut idle = self.idle.lock().unwrap();
+        let take = idle.len().min(n);
+        let mut out: Vec<SearchWorkspace> = idle.drain(..take).collect();
+        out.resize_with(n, SearchWorkspace::new);
+        out
+    }
+
+    /// Returns checked-out workspaces, preserving their order so the next
+    /// same-width checkout reassigns each one to the same class.
+    pub(crate) fn checkin(&self, workspaces: Vec<SearchWorkspace>) {
+        self.idle.lock().unwrap().extend(workspaces);
+    }
+
+    /// Sum of [`SearchWorkspace::grow_events`] over the *idle* workspaces.
+    /// While a query is in flight its workspaces (and their counters) are
+    /// checked out, so read this between queries for exact warm-path
+    /// assertions.
+    pub fn grow_events(&self) -> u64 {
+        self.idle.lock().unwrap().iter().map(SearchWorkspace::grow_events).sum()
+    }
+}
+
+impl Clone for WorkspacePool {
+    /// Clones the idle workspaces; in-flight checkouts stay with the
+    /// original.
+    fn clone(&self) -> Self {
+        WorkspacePool { idle: Mutex::new(self.idle.lock().unwrap().clone()) }
+    }
+}
+
 /// Clears + resizes a per-connection scratch vector, counting real
 /// reallocations (capacity growth) only.
 fn fresh_vec<T: Clone>(vec: &mut Vec<T>, n: usize, fill: T, grow_events: &mut u64) {
@@ -290,6 +346,33 @@ mod tests {
         assert_eq!(ws.epoch, 1);
         assert!(ws.arr(1).is_infinite());
         assert!(ws.arr(2).is_infinite());
+    }
+
+    #[test]
+    fn pool_checkout_is_warm_and_order_stable() {
+        let pool = WorkspacePool::new();
+        let mut ws = pool.checkout(3);
+        assert_eq!(ws.len(), 3);
+        // Warm each workspace to a *different* size, as partition classes do.
+        for (i, w) in ws.iter_mut().enumerate() {
+            w.begin(10 * (i + 1), 5, false);
+        }
+        let grows = ws.iter().map(SearchWorkspace::grow_events).sum::<u64>();
+        pool.checkin(ws);
+        assert_eq!(pool.grow_events(), grows);
+        // The next same-width checkout must hand back the same workspaces
+        // in the same order, so the warm begin does not grow anything.
+        let mut ws = pool.checkout(3);
+        for (i, w) in ws.iter_mut().enumerate() {
+            w.begin(10 * (i + 1), 5, false);
+        }
+        assert_eq!(ws.iter().map(SearchWorkspace::grow_events).sum::<u64>(), grows);
+        pool.checkin(ws);
+        // A wider checkout reuses the warm ones and creates only the extras.
+        let ws = pool.checkout(5);
+        assert_eq!(ws.iter().map(SearchWorkspace::grow_events).sum::<u64>(), grows);
+        pool.checkin(ws);
+        assert_eq!(pool.checkout(5).len(), 5);
     }
 
     #[test]

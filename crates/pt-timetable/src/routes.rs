@@ -5,10 +5,20 @@
 //! (route, station) pair, and its route edges carry the travel-time PLFs of
 //! all trains on the route — which is only sound if no train *overtakes*
 //! another on any leg (otherwise the edge function would silently drop the
-//! overtaken train). We therefore split each stop-sequence equivalence
-//! class further, greedily, so that within one route all legs are FIFO:
-//! departures strictly increasing and arrivals strictly increasing on every
-//! hop.
+//! overtaken train) **and** no two trains of the route are ever catchably
+//! co-dwelling at an intermediate station: a rider chained along the route
+//! nodes arrives at station `i` at `arr_i(B)` and the hop PLF hands them
+//! the first departure at or after that instant — if an *earlier* train `A`
+//! of the route is still in the station (`dep_i(A) >= arr_i(B)`), the model
+//! would board `A` without paying the station's transfer time, fabricating
+//! a connection faster than the timetable allows. We therefore split each
+//! stop-sequence equivalence class further, greedily, so that within one
+//! route all legs are FIFO — departures strictly increasing and arrivals
+//! strictly increasing on every hop — and every train *leaves* each
+//! intermediate station strictly before its successor arrives there
+//! (`dep_i(k) < arr_i(k+1)`, linearly and across the period wrap).
+//! Schedules rarely violate the dwell condition, but a `from_hop >= 1`
+//! delay stretches exactly one dwell and can manufacture it.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -78,10 +88,12 @@ impl Routes {
 
         let mut routes = Vec::new();
         let mut train_route = vec![RouteId(u32::MAX); tt.num_trains()];
+        let pi = tt.period().len();
         for (stations, mut trains) in groups {
             trains.sort_unstable_by_key(|&t| (tt.connection(train_conns[t.idx()][0]).dep, t));
-            // Greedy first-fit split into overtaking-free subroutes.
-            // Per subroute: its trains, and per train the (dep, arr) legs.
+            // Greedy first-fit split into overtaking- and co-dwell-free
+            // subroutes. Per subroute: its trains, and per train the
+            // (dep, arr) legs.
             type Subroute = (Vec<TrainId>, Vec<Vec<(Time, Time)>>);
             let hops = stations.len() - 1;
             let mut subroutes: Vec<Subroute> = Vec::new();
@@ -94,10 +106,9 @@ impl Routes {
                     })
                     .collect();
                 for (members, hop_points) in &mut subroutes {
-                    if fits(hop_points, &legs) {
+                    if fits(hop_points, &legs, pi) {
                         for (h, &leg) in legs.iter().enumerate() {
-                            let p = hop_points[h].partition_point(|&(d, _)| d < leg.0);
-                            hop_points[h].insert(p, leg);
+                            hop_points[h].push(leg); // `fits` admits only appends
                         }
                         members.push(t);
                         continue 'train;
@@ -248,11 +259,12 @@ impl Routes {
     /// topology changed — but the partition work is proportional to the
     /// offending routes, not the whole timetable).
     ///
-    /// Any finer-than-maximal FIFO split is a *sound* partition for the
+    /// Any finer-than-maximal split is a *sound* partition for the
     /// realistic time-dependent model, so queries on the refit partition
     /// are identical to a from-scratch [`Routes::partition`]. Each
-    /// resulting route passes [`Routes::route_is_fifo`] by construction
-    /// (the fit check includes the cyclic condition).
+    /// resulting route passes [`Routes::route_is_fifo`] by construction —
+    /// refit and partition share the exact same fit check, which covers the
+    /// per-hop FIFO, cyclic, and co-dwell conditions.
     pub fn refit(&mut self, tt: &Timetable, stale: &[RouteId]) {
         let pi = tt.period().len();
         for &r in stale {
@@ -274,10 +286,9 @@ impl Routes {
                     })
                     .collect();
                 for (members, hop_points) in &mut subroutes {
-                    if fits(hop_points, &legs) && fits_cyclic(hop_points, &legs, pi) {
+                    if fits(hop_points, &legs, pi) {
                         for (h, &leg) in legs.iter().enumerate() {
-                            let p = hop_points[h].partition_point(|&(d, _)| d < leg.0);
-                            hop_points[h].insert(p, leg);
+                            hop_points[h].push(leg); // `fits` admits only appends
                         }
                         members.push(t);
                         continue 'train;
@@ -303,64 +314,89 @@ impl Routes {
         }
     }
 
-    /// `true` iff route `r` still satisfies, per hop, the strict FIFO
-    /// property the realistic time-dependent model requires of a route:
-    /// departures strictly increasing, arrivals strictly increasing, and no
-    /// leg dominated by the next period's first leg (the cyclic condition of
-    /// [`pt_core::Plf::is_fifo`]). [`Routes::partition`] guarantees the
-    /// first two by construction; a delay can break any of them, at which
-    /// point the partition must be recomputed.
+    /// `true` iff route `r` still satisfies everything the realistic
+    /// time-dependent model requires of a route (see the module docs): in
+    /// train order, per hop, departures strictly increasing and arrivals
+    /// strictly increasing; no arrival a full period (or more) after the
+    /// hop's earliest (the cyclic condition of [`pt_core::Plf::is_fifo`]);
+    /// and at every intermediate station each train departs strictly before
+    /// its successor arrives — linearly and across the period wrap.
+    /// [`Routes::partition`] and [`Routes::refit`] guarantee all of this by
+    /// construction; a delay can break any of it, at which point the
+    /// offending routes must be refit.
     pub fn route_is_fifo(&self, tt: &Timetable, r: RouteId) -> bool {
         let info = &self.routes[r.idx()];
-        let pi = tt.period().len();
+        let pi = tt.period().len() as u64;
         let mut legs: Vec<(Time, Time)> = Vec::with_capacity(info.trains.len());
+        let mut prev_legs: Vec<(Time, Time)> = Vec::new();
         for hop in 0..info.num_hops() {
             legs.clear();
             legs.extend(info.trains.iter().map(|&t| {
                 let c = tt.connection(self.connection_at(t, hop));
                 (c.dep, c.arr)
             }));
-            legs.sort_unstable();
+            // Checked in *train order*, not sorted: sorting per hop would
+            // hide trains swapping places between hops.
             if !legs.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1) {
                 return false;
             }
             if let (Some(f), Some(l)) = (legs.first(), legs.last()) {
-                if l.1.secs() >= f.1.secs().saturating_add(pi) {
+                if l.1.secs() as u64 >= f.1.secs() as u64 + pi {
                     return false;
                 }
             }
+            if hop > 0 {
+                // At the station between hop-1 and hop: train k must leave
+                // before train k+1 arrives (consecutive pairs suffice —
+                // departures increase), and the last train must leave before
+                // the first train's next-period arrival.
+                if !legs.iter().zip(prev_legs.iter().skip(1)).all(|(cur, nxt)| cur.0 < nxt.1) {
+                    return false;
+                }
+                if let (Some(l), Some(f)) = (legs.last(), prev_legs.first()) {
+                    if l.0.secs() as u64 >= f.1.secs() as u64 + pi {
+                        return false;
+                    }
+                }
+            }
+            std::mem::swap(&mut prev_legs, &mut legs);
         }
         true
     }
 }
 
-/// Can `legs` be inserted into every hop of the subroute without breaking
-/// the per-hop FIFO order (strictly increasing departures *and* arrivals)?
-fn fits(hop_points: &[Vec<(Time, Time)>], legs: &[(Time, Time)]) -> bool {
+/// Can `legs` join the subroute as its new *last* train? Candidates are
+/// scanned in order of first-hop departure, so a train that joins always
+/// appends, on every hop. Enforces, per hop, everything
+/// [`Routes::route_is_fifo`] later checks: the newcomer departs and arrives
+/// strictly after the current last train; its arrival stays within one
+/// period of the hop's earliest; and at the station the hop departs from
+/// (intermediate stations only) the current last train leaves strictly
+/// before the newcomer arrives, while the newcomer leaves strictly before
+/// the first train's next-period arrival.
+fn fits(hop_points: &[Vec<(Time, Time)>], legs: &[(Time, Time)], pi: u32) -> bool {
+    let pi = pi as u64;
     legs.iter().enumerate().all(|(h, &(dep, arr))| {
         let points = &hop_points[h];
-        let p = points.partition_point(|&(d, _)| d < dep);
-        if points.get(p).is_some_and(|&(d, _)| d == dep) {
-            return false; // duplicate departure on this hop
+        let (Some(&first), Some(&last)) = (points.first(), points.last()) else {
+            return true;
+        };
+        if dep <= last.0 || arr <= last.1 {
+            return false; // would not extend the hop's strict FIFO order
         }
-        let prev_ok = p == 0 || points[p - 1].1 < arr;
-        let next_ok = p == points.len() || arr < points[p].1;
-        prev_ok && next_ok
-    })
-}
-
-/// Does every hop also satisfy the *cyclic* FIFO condition once `legs` is
-/// inserted — no arrival a full period (or more) after the hop's earliest
-/// arrival? [`Routes::route_is_fifo`] checks it on live routes;
-/// [`Routes::refit`] must enforce it during the split so the subroutes it
-/// produces are valid without a second pass.
-fn fits_cyclic(hop_points: &[Vec<(Time, Time)>], legs: &[(Time, Time)], pi: u32) -> bool {
-    legs.iter().enumerate().all(|(h, &(_, arr))| {
-        let (lo, hi) = hop_points[h]
-            .iter()
-            .map(|&(_, a)| a)
-            .fold((arr, arr), |(lo, hi), a| (lo.min(a), hi.max(a)));
-        (hi.secs() as u64) < lo.secs() as u64 + pi as u64
+        if arr.secs() as u64 >= first.1.secs() as u64 + pi {
+            return false; // cyclic: arrival a full period after the earliest
+        }
+        if h > 0 {
+            // No catchable co-dwell at the station this hop departs from.
+            if last.0 >= legs[h - 1].1 {
+                return false; // current last train still there when we arrive
+            }
+            if dep.secs() as u64 >= hop_points[h - 1][0].1.secs() as u64 + pi {
+                return false; // we'd still be there when the first train wraps
+            }
+        }
+        true
     })
 }
 

@@ -50,7 +50,7 @@ fn main() {
     // answered on a reused workspace.
     let sources: Vec<StationId> =
         (0..net.num_stations() as u32).step_by(7).map(StationId).collect();
-    let mut engine = ProfileEngine::new().threads(4);
+    let engine = ProfileEngine::new().threads(4);
     let t0 = Instant::now();
     let sets = engine.many_to_all(&net, &sources);
     let elapsed = t0.elapsed().as_secs_f64();

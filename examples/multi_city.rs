@@ -19,7 +19,7 @@ fn main() {
         .into_iter()
         .map(|(n, lines, seed)| Network::new(generate_city(&CityConfig::sized(n, lines, seed))))
         .collect();
-    let mut svc = ShardedService::builder()
+    let svc = ShardedService::builder()
         .threads(4)
         .cache(128) // per-shard stripe: one city's feed cannot evict another's hits
         .tables(TransferSelection::Fraction(0.15))

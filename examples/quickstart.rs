@@ -39,7 +39,7 @@ fn main() {
 
     // One-to-all profile search (the paper's SPCS), on two threads.
     let mut net = Network::new(tt);
-    let mut engine = ProfileEngine::new().threads(2).with_cache(32);
+    let engine = ProfileEngine::new().threads(2).with_cache(32);
     let result = engine.one_to_all_with_stats(&net, airport);
     println!(
         "one-to-all from Airport: settled {} queue elements ({} self-pruned)",

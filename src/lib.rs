@@ -31,11 +31,12 @@
 //! b.add_simple_trip(&[a, t], Time::hm(8, 0), &[Dur::minutes(30)], Dur::ZERO).unwrap();
 //! let tt = b.build().unwrap();
 //!
-//! // One-to-all profile search from A (the engine is network-free: it
-//! // keeps its workspaces — and optional result cache — across queries
-//! // and across delay updates).
+//! // One-to-all profile search from A (the engine is network-free and
+//! // shareable: queries take `&self`, workspaces come from an internal
+//! // pool, and the optional result cache persists across queries and
+//! // across delay updates).
 //! let mut network = Network::build(&tt);
-//! let mut engine = ProfileEngine::new().with_cache(64);
+//! let engine = ProfileEngine::new().with_cache(64);
 //! let profiles = engine.one_to_all(&network, a);
 //! let arr = profiles.profile(t).eval_arr(Time::hm(7, 0), Period::DAY);
 //! assert_eq!(arr, Time::hm(8, 30));
@@ -60,9 +61,10 @@ pub mod prelude {
     };
     pub use pt_graph::{StationGraph, TdGraph};
     pub use pt_spcs::{
-        CacheStats, DelayUpdate, DistanceTable, FeedSummary, Network, PartitionStrategy,
-        ProfileEngine, QueryStats, Routed, RouterError, S2sEngine, ShardFeedOutcome, ShardId,
-        ShardedFeedSummary, ShardedService, StaleTable, TransferSelection,
+        CacheStats, ConcurrentNetwork, DelayUpdate, DistanceTable, FeedSummary, Network,
+        NetworkSnapshot, PartitionStrategy, ProfileEngine, PublishOutcome, QueryStats, Routed,
+        RouterError, S2sCache, S2sEngine, ShardFeedOutcome, ShardId, ShardedFeedSummary,
+        ShardedService, StaleTable, TransferSelection,
     };
     pub use pt_timetable::{DelayEvent, Recovery, Station, Timetable, TimetableBuilder, TripStop};
 }

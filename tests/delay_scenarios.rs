@@ -108,8 +108,8 @@ fn run_scenario(tt: Timetable, ops: Vec<Op>, sources_per_delay: u32) -> Result<(
     }
     let mut rotate = 0u32;
     let mut net = Network::new(tt);
-    let mut cached = ProfileEngine::new().threads(2).with_cache(16);
-    let mut warm = ProfileEngine::new();
+    let cached = ProfileEngine::new().threads(2).with_cache(16);
+    let warm = ProfileEngine::new();
     let mut last_gen = net.generation();
     for op in ops {
         match op {
@@ -131,7 +131,7 @@ fn run_scenario(tt: Timetable, ops: Vec<Op>, sources_per_delay: u32) -> Result<(
                 // The acceptance contract: bit-identical query results to a
                 // from-scratch build of the same (patched) timetable.
                 let rebuilt = Network::build(net.timetable());
-                let mut fresh = ProfileEngine::new().threads(2);
+                let fresh = ProfileEngine::new().threads(2);
                 for k in 0..sources_per_delay.min(n) {
                     let s = StationId((rotate + k) % n);
                     let a = warm.one_to_all(&net, s);
@@ -271,7 +271,7 @@ fn cancel_then_redelay_round_trips() {
     assert_ne!(net.apply_cancel(TrainId(0)), DelayUpdate::Unchanged);
     assert_eq!(net.timetable().connections(), schedule.as_slice());
     let rebuilt = Network::build(net.timetable());
-    let mut engine = ProfileEngine::new();
+    let engine = ProfileEngine::new();
     for s in net.station_ids().collect::<Vec<_>>() {
         assert_eq!(engine.one_to_all(&net, s), ProfileEngine::new().one_to_all(&rebuilt, s));
     }
@@ -305,7 +305,7 @@ fn cancellation_past_midnight_stays_periodic() {
 #[test]
 fn workspaces_stay_warm_across_a_patch_query_cycle() {
     let mut net = Network::new(two_train_line());
-    let mut engine = ProfileEngine::new().threads(2);
+    let engine = ProfileEngine::new().threads(2);
     let sources: Vec<StationId> = net.station_ids().collect();
     for &s in &sources {
         let _ = engine.one_to_all(&net, s);
@@ -326,7 +326,7 @@ fn workspaces_stay_warm_across_a_patch_query_cycle() {
 #[test]
 fn cached_repeat_is_identical_and_searchless_until_a_delay() {
     let mut net = Network::new(two_train_line());
-    let mut engine = ProfileEngine::new().with_cache(8);
+    let engine = ProfileEngine::new().with_cache(8);
     let s = StationId(0);
     let first = engine.one_to_all_with_stats(&net, s);
     let repeat = engine.one_to_all_with_stats(&net, s);

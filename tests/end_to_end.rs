@@ -92,7 +92,7 @@ fn every_thread_count_and_strategy_is_equivalent() {
 fn s2s_equals_one_to_all_for_every_kind() {
     let net = city_net(31);
     let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-    let mut engine = S2sEngine::new().threads(2).with_table(&table);
+    let engine = S2sEngine::new().threads(2).with_table(&table);
     let n = net.num_stations() as u32;
     let mut seen = std::collections::BTreeMap::<String, u32>::new();
     for i in 0..30u32 {
@@ -121,7 +121,7 @@ fn transfer_selections_all_yield_correct_pruning() {
         if table.is_empty() {
             continue;
         }
-        let mut engine = S2sEngine::new().with_table(&table);
+        let engine = S2sEngine::new().with_table(&table);
         for (s, t) in [(0u32, 9u32), (4, 30), (22, 1)] {
             let (s, t) = (StationId(s), StationId(t));
             let want = ProfileEngine::new().one_to_all(&net, s);

@@ -143,8 +143,8 @@ fn run_scenario(tt: Timetable, ops: Vec<Op>, sources_per_feed: u32) -> Result<()
     }
     let mut rotate = 0u32;
     let mut net = Network::new(tt);
-    let mut cached = ProfileEngine::new().threads(2).with_cache(16);
-    let mut warm = ProfileEngine::new();
+    let cached = ProfileEngine::new().threads(2).with_cache(16);
+    let warm = ProfileEngine::new();
     for op in ops {
         match op {
             Op::Feed(raw) => {
@@ -175,7 +175,7 @@ fn run_scenario(tt: Timetable, ops: Vec<Op>, sources_per_feed: u32) -> Result<()
                 // The acceptance contract: bit-identical query results to a
                 // from-scratch build of the same (patched) timetable.
                 let rebuilt = Network::build(net.timetable());
-                let mut fresh = ProfileEngine::new().threads(2);
+                let fresh = ProfileEngine::new().threads(2);
                 for k in 0..sources_per_feed.min(n) {
                     let s = StationId((rotate + k) % n);
                     let a = warm.one_to_all(&net, s);
@@ -220,6 +220,40 @@ proptest! {
         let tt = generate_city(&CityConfig::sized(12, 2, seed));
         run_scenario(tt, ops, 3)?;
     }
+
+    // The column-scoped incremental refresh is entry-for-entry identical
+    // to rebuilding the table from scratch, across arbitrary feed streams
+    // (including net-nil batches and overtaking rebuilds).
+    #[test]
+    fn column_scoped_refresh_equals_rebuild(
+        transfer_min in prop::collection::vec(0u8..=8, 4..=6),
+        trips in prop::collection::vec(trip_strategy(6), 3..=10),
+        feeds in prop::collection::vec(
+            prop::collection::vec(event_strategy(), 1..=8), 1..=4),
+    ) {
+        let Some(tt) = build(&transfer_min, trips) else { return Ok(()) };
+        let num_trains = tt.num_trains() as u32;
+        let mut net = Network::new(tt);
+        let mut table = DistanceTable::build(&net, &TransferSelection::Fraction(0.6));
+        if table.is_empty() { return Ok(()) }
+        for raw in feeds {
+            let events = to_events(&raw, num_trains);
+            net.apply_feed(&events);
+            table.refresh(&net).expect("same epoch, always refreshable");
+            let rebuilt = DistanceTable::build_for(&net, table.stations().to_vec());
+            for &a in table.stations() {
+                for &b in table.stations() {
+                    prop_assert_eq!(
+                        table.profile(a, b),
+                        rebuilt.profile(a, b),
+                        "D({}, {}) diverged from a rebuild",
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// A three-train, two-route network for the deterministic companions.
@@ -262,7 +296,7 @@ fn hundred_event_feed_costs_one_bump_and_one_repatch_per_route() {
     assert_eq!(summary.repatched_routes + summary.refit_routes, summary.touched_routes);
     // Query-identical to a rebuild of the patched timetable.
     let rebuilt = Network::build(net.timetable());
-    let mut engine = ProfileEngine::new();
+    let engine = ProfileEngine::new();
     for s in net.station_ids().collect::<Vec<_>>() {
         assert_eq!(
             engine.one_to_all(&net, s),
@@ -297,7 +331,7 @@ fn feed_equals_sequential_apply_delay_calls() {
     // The batch spent one generation where the sequence spent four.
     assert_eq!(batched.generation(), 1);
     assert_eq!(sequential.generation(), 4);
-    let mut engine = ProfileEngine::new();
+    let engine = ProfileEngine::new();
     for s in batched.station_ids().collect::<Vec<_>>() {
         assert_eq!(engine.one_to_all(&batched, s), ProfileEngine::new().one_to_all(&sequential, s));
     }
@@ -333,7 +367,7 @@ fn mid_feed_overtaking_scopes_the_fallback_to_the_offending_route() {
     assert_ne!(net.routes().route_of(TrainId(0)), net.routes().route_of(TrainId(1)));
     // And the result is still query-identical to a rebuild.
     let rebuilt = Network::build(net.timetable());
-    let mut engine = ProfileEngine::new();
+    let engine = ProfileEngine::new();
     for s in net.station_ids().collect::<Vec<_>>() {
         assert_eq!(engine.one_to_all(&net, s), ProfileEngine::new().one_to_all(&rebuilt, s));
     }
@@ -446,7 +480,7 @@ fn accumulated_refit_splits_heal_on_a_later_fallback() {
     );
     // And the healed network still answers like a from-scratch build.
     let rebuilt = Network::build(net.timetable());
-    let mut engine = ProfileEngine::new();
+    let engine = ProfileEngine::new();
     for s in net.station_ids().collect::<Vec<_>>() {
         assert_eq!(engine.one_to_all(&net, s), ProfileEngine::new().one_to_all(&rebuilt, s));
     }
@@ -455,7 +489,7 @@ fn accumulated_refit_splits_heal_on_a_later_fallback() {
 #[test]
 fn feed_invalidates_the_cache_once() {
     let mut net = Network::new(two_route_net());
-    let mut engine = ProfileEngine::new().with_cache(8);
+    let engine = ProfileEngine::new().with_cache(8);
     let s = StationId(0);
     let _ = engine.one_to_all(&net, s);
     let summary = net.apply_feed(&[
@@ -484,7 +518,7 @@ fn feed_invalidates_the_cache_once() {
 #[test]
 fn workspaces_stay_warm_across_a_feed() {
     let mut net = Network::new(two_route_net());
-    let mut engine = ProfileEngine::new().threads(2);
+    let engine = ProfileEngine::new().threads(2);
     let sources: Vec<StationId> = net.station_ids().collect();
     for &s in &sources {
         let _ = engine.one_to_all(&net, s);

@@ -89,7 +89,7 @@ fn wraparound_express_appears_in_the_profile() {
 fn s2s_with_table_works_under_custom_period() {
     let (net, s) = two_hour_net();
     let table = DistanceTable::build(&net, &TransferSelection::Fraction(0.5));
-    let mut engine = S2sEngine::new().threads(2).with_table(&table);
+    let engine = S2sEngine::new().threads(2).with_table(&table);
     for &src in &s {
         let want = ProfileEngine::new().one_to_all(&net, src);
         for &t in &s {

@@ -126,8 +126,8 @@ proptest! {
         let Some(tt) = build(n, transfer_min, trips) else { return Ok(()) };
         let net = Network::new(tt);
         let table = DistanceTable::build(&net, &TransferSelection::Fraction(frac));
-        let mut engine = S2sEngine::new().threads(2).with_table(&table);
-        let mut plain = S2sEngine::new();
+        let engine = S2sEngine::new().threads(2).with_table(&table);
+        let plain = S2sEngine::new();
         for s in net.station_ids() {
             let want = ProfileEngine::new().one_to_all(&net, s);
             for t in net.station_ids() {

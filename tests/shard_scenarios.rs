@@ -235,7 +235,7 @@ fn run_scenario(specs: &[ShardSpec], ops: Vec<Op>) -> Result<(), TestCaseError> 
                     // row count may legitimately be zero: no transfer
                     // station needs to reach the touched set).
                     let table = svc.table(shard).unwrap().expect("tables enabled");
-                    prop_assert!(table.check_fresh(svc.network(shard).unwrap()).is_ok());
+                    prop_assert!(table.check_fresh(&svc.network(shard).unwrap()).is_ok());
                 }
                 // Post-feed: every shard still answers like its mirror.
                 for shard in svc.shard_ids() {
@@ -342,7 +342,7 @@ fn directory_maps_every_station_both_ways() {
 
 #[test]
 fn wrong_shard_error_redirects_to_the_owner() {
-    let mut svc = two_city_service(4);
+    let svc = two_city_service(4);
     let global = svc.global_id(ShardId(1), StationId(2)).unwrap();
     let err = svc.one_to_all_on(ShardId(0), global).unwrap_err();
     let RouterError::WrongShard { owner, queried, station } = err else {
@@ -357,7 +357,7 @@ fn wrong_shard_error_redirects_to_the_owner() {
 
 #[test]
 fn empty_shard_feed_bumps_nothing() {
-    let mut svc = two_city_service(4);
+    let svc = two_city_service(4);
     let gens: Vec<u64> = svc.shard_ids().map(|sh| svc.network(sh).unwrap().generation()).collect();
     // A cancellation of a never-delayed train nets out: no bump anywhere,
     // and shard 1 received no events at all.
@@ -372,7 +372,7 @@ fn empty_shard_feed_bumps_nothing() {
 
 #[test]
 fn feed_to_one_shard_cannot_evict_anothers_hits() {
-    let mut svc = two_city_service(4);
+    let svc = two_city_service(4);
     let a = svc.global_id(ShardId(0), StationId(0)).unwrap();
     let b = svc.global_id(ShardId(1), StationId(0)).unwrap();
     let _ = svc.one_to_all(a).unwrap();

@@ -3,12 +3,17 @@
 //!
 //! Two layers:
 //!
-//! * [`ThreadPool`] — a **persistent, reusable scoped worker pool**. Workers
-//!   are spawned once and live for the pool's lifetime; every
-//!   [`ThreadPool::scope`] call dispatches borrowed closures onto them
+//! * [`ThreadPool`] — a **persistent, reusable scoped worker pool with work
+//!   stealing**. Workers are spawned once and live for the pool's lifetime;
+//!   every [`ThreadPool::scope`] call dispatches borrowed closures onto them
 //!   (rayon's `scope`/`spawn` pattern) without per-call thread spawning.
-//!   Waiting threads *help* drain the job queue, so nested scopes cannot
-//!   deadlock on a saturated pool.
+//!   Each worker owns a deque: the owner pushes and pops at the back (LIFO,
+//!   cache-warm), idle peers steal from the front (FIFO, oldest first).
+//!   Threads that are not workers submit through a shared injector queue.
+//!   Waiting threads *help* drain jobs, so nested scopes cannot deadlock on
+//!   a saturated pool. [`ThreadPool::stats`] exposes cumulative
+//!   executed/stolen counters ([`PoolStats`]) in the same spirit as the
+//!   engines' `grow_events` observability.
 //! * `par_iter()` over a slice (or anything that derefs to one), `.map(...)`,
 //!   `.collect()` — executed on the [`global`] pool with one chunk per
 //!   worker, preserving input order.
@@ -18,13 +23,12 @@
 //! let squares: Vec<u64> = [1u64, 2, 3].par_iter().map(|&x| x * x).collect();
 //! assert_eq!(squares, vec![1, 4, 9]);
 //! ```
-//!
-//! This is genuine parallelism, just without rayon's work stealing.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -37,15 +41,94 @@ pub mod prelude {
 /// (even on unwind) before every job spawned in it has finished.
 type Job = Box<dyn FnOnce() + Send>;
 
-/// State shared between a pool's workers and every thread using the pool.
-struct Shared {
-    /// FIFO job queue plus the shutdown flag.
-    queue: Mutex<(VecDeque<Job>, bool)>,
-    /// Signalled when a job is queued, a job completes, or shutdown starts.
-    cond: Condvar,
+/// Cumulative execution counters of a pool; see [`ThreadPool::stats`].
+///
+/// `stolen` counts jobs taken from *another worker's* deque (injector
+/// submissions are plain executions, not steals), so `stolen <= executed`
+/// always holds — benches report the pair as a steal-rate sanity check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Jobs run to completion on this pool (by workers or helping waiters).
+    pub executed: u64,
+    /// Jobs that were stolen from a peer worker's deque before running.
+    pub stolen: u64,
 }
 
-/// A persistent worker pool with a scoped spawn API.
+/// State shared between a pool's workers and every thread using the pool.
+struct Shared {
+    /// Jobs submitted by threads that are not workers of this pool.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker. The owning worker pushes/pops at the back;
+    /// thieves (peers and helping waiters) steal from the front.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Shutdown flag; the mutex the condvar pairs with.
+    sync: Mutex<bool>,
+    /// Signalled when a job is queued, a job completes, or shutdown starts.
+    cond: Condvar,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+}
+
+thread_local! {
+    /// `(Shared address, worker index)` of the pool this thread works for;
+    /// `usize::MAX` marks "not a pool worker".
+    static WORKER: Cell<(usize, usize)> = const { Cell::new((0, usize::MAX)) };
+}
+
+/// This thread's worker index in `shared`'s pool, if it is one of its
+/// workers (a worker of a *different* pool routes through the injector).
+fn worker_index(shared: &Shared) -> Option<usize> {
+    let (addr, ix) = WORKER.with(Cell::get);
+    (ix != usize::MAX && addr == shared as *const Shared as usize).then_some(ix)
+}
+
+impl Shared {
+    /// Next job for a thread with worker index `ix` (or an outside helper):
+    /// own deque back first (LIFO), then the injector, then steal from peer
+    /// deques front (FIFO), scanning round-robin from the next index.
+    fn find_job(&self, ix: Option<usize>) -> Option<Job> {
+        if let Some(ix) = ix {
+            if let Some(job) = self.deques[ix].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = ix.map_or(0, |i| i + 1);
+        for off in 0..n {
+            let victim = (start + off) % n;
+            if Some(victim) == ix {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                self.stolen.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Runs a job, counting it.
+    fn run(&self, job: Job) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        job();
+    }
+
+    /// Queues a job: a worker of this pool pushes onto its own deque, any
+    /// other thread goes through the injector.
+    fn push(&self, job: Job) {
+        match worker_index(self) {
+            Some(ix) => self.deques[ix].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.cond.notify_one();
+    }
+}
+
+/// A persistent worker pool with a scoped spawn API and per-worker
+/// work-stealing deques.
 ///
 /// Workers are OS threads spawned once in [`ThreadPool::new`] and reused by
 /// every subsequent [`ThreadPool::scope`] call — the pool amortizes thread
@@ -66,14 +149,20 @@ impl ThreadPool {
     /// Spawns a pool with `threads` persistent workers (at least one).
     pub fn new(threads: usize) -> ThreadPool {
         let threads = threads.max(1);
-        let shared =
-            Arc::new(Shared { queue: Mutex::new((VecDeque::new(), false)), cond: Condvar::new() });
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sync: Mutex::new(false),
+            cond: Condvar::new(),
+            executed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        });
         let handles = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("rayon-shim-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -85,12 +174,20 @@ impl ThreadPool {
         self.handles.len()
     }
 
+    /// Cumulative executed/stolen job counters since pool creation.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            stolen: self.shared.stolen.load(Ordering::Relaxed),
+        }
+    }
+
     /// Runs `f` with a [`Scope`] on which borrowed closures can be spawned
     /// onto the pool. Blocks until every spawned closure has finished; the
     /// calling thread helps execute queued jobs while it waits, so scopes
-    /// may nest freely (a worker waiting on an inner scope drains the queue
-    /// instead of deadlocking). The first panic of any spawned closure is
-    /// resumed on the caller after all jobs completed.
+    /// may nest freely (a worker waiting on an inner scope drains its deque
+    /// and steals instead of deadlocking). The first panic of any spawned
+    /// closure is resumed on the caller after all jobs completed.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&Scope<'env>) -> R,
@@ -127,7 +224,7 @@ impl ThreadPool {
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        self.shared.queue.lock().unwrap().1 = true;
+        *self.shared.sync.lock().unwrap() = true;
         self.shared.cond.notify_all();
         for h in self.handles.drain(..) {
             let _ = h.join();
@@ -155,7 +252,9 @@ pub struct Scope<'env> {
 
 impl<'env> Scope<'env> {
     /// Queues `f` for execution on the pool. `f` may borrow anything that
-    /// outlives the enclosing [`ThreadPool::scope`] call.
+    /// outlives the enclosing [`ThreadPool::scope`] call. Spawns from a
+    /// worker thread land on that worker's own deque (stolen by idle
+    /// peers); spawns from outside the pool go through the injector.
     pub fn spawn<F>(&self, f: F)
     where
         F: FnOnce() + Send + 'env,
@@ -171,9 +270,9 @@ impl<'env> Scope<'env> {
                 }
             }
             state.pending.fetch_sub(1, Ordering::SeqCst);
-            // Take the queue lock before notifying so a waiter cannot check
+            // Take the sync lock before notifying so a waiter cannot check
             // `pending` and block between our decrement and our notify.
-            let _queue = shared.queue.lock().unwrap();
+            let _sync = shared.sync.lock().unwrap();
             shared.cond.notify_all();
         });
         // SAFETY: `ThreadPool::scope` does not return — even on unwind, via
@@ -185,31 +284,27 @@ impl<'env> Scope<'env> {
         let job: Job = unsafe {
             std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
         };
-        let mut queue = self.shared.queue.lock().unwrap();
-        queue.0.push_back(job);
-        drop(queue);
-        self.shared.cond.notify_one();
+        self.shared.push(job);
     }
 }
 
-/// Worker main loop: pop a job or sleep; exit on shutdown with empty queue.
-fn worker_loop(shared: &Shared) {
+/// Worker main loop: run own/injected/stolen jobs or sleep; exit on
+/// shutdown (scopes drain their jobs before the pool can be dropped, so no
+/// work is abandoned).
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    WORKER.with(|w| w.set((Arc::as_ptr(shared) as usize, index)));
     loop {
-        let job = {
-            let mut guard = shared.queue.lock().unwrap();
-            loop {
-                if let Some(job) = guard.0.pop_front() {
-                    break Some(job);
+        match shared.find_job(Some(index)) {
+            Some(job) => shared.run(job),
+            None => {
+                let guard = shared.sync.lock().unwrap();
+                if *guard {
+                    return;
                 }
-                if guard.1 {
-                    break None;
-                }
-                guard = shared.cond.wait(guard).unwrap();
+                // Timeout is belt-and-braces against the unsynchronized gap
+                // between scanning the deques and blocking here.
+                let _ = shared.cond.wait_timeout(guard, Duration::from_millis(1)).unwrap();
             }
-        };
-        match job {
-            Some(job) => job(),
-            None => return,
         }
     }
 }
@@ -217,17 +312,17 @@ fn worker_loop(shared: &Shared) {
 /// Blocks until `state.pending` reaches zero, executing queued jobs (from
 /// any scope of the same pool) while waiting.
 fn help_until_done(shared: &Shared, state: &ScopeState) {
+    let ix = worker_index(shared);
     loop {
         if state.pending.load(Ordering::SeqCst) == 0 {
             return;
         }
-        let job = shared.queue.lock().unwrap().0.pop_front();
-        match job {
-            Some(job) => job(),
+        match shared.find_job(ix) {
+            Some(job) => shared.run(job),
             None => {
-                let guard = shared.queue.lock().unwrap();
-                if state.pending.load(Ordering::SeqCst) == 0 || !guard.0.is_empty() {
-                    continue;
+                let guard = shared.sync.lock().unwrap();
+                if state.pending.load(Ordering::SeqCst) == 0 {
+                    return;
                 }
                 // Timeout is belt-and-braces against a missed wakeup.
                 let _ = shared.cond.wait_timeout(guard, Duration::from_millis(1)).unwrap();
@@ -431,5 +526,60 @@ mod tests {
         let pool = ThreadPool::new(1);
         let x = pool.scope(|_| 42);
         assert_eq!(x, 42);
+    }
+
+    #[test]
+    fn stats_count_every_job_and_steals_stay_sane() {
+        let pool = ThreadPool::new(4);
+        let before = pool.stats();
+        let total = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                let total = &total;
+                s.spawn(move || {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+        let after = pool.stats();
+        assert!(after.executed >= before.executed + 64);
+        assert!(after.stolen <= after.executed, "a steal is always also an execution");
+    }
+
+    #[test]
+    fn peers_steal_from_a_flooded_worker_deque() {
+        // One outer job (via the injector) lands on some worker; the jobs it
+        // spawns go onto that worker's own deque. With 3 idle peers polling
+        // and every inner job sleeping, peers must steal to finish. The
+        // spin-wait pins the main thread in the scope body until a *worker*
+        // has the outer job — if main helped first and grabbed it, the inner
+        // spawns would route through the injector and need no stealing.
+        let pool = ThreadPool::new(4);
+        let before = pool.stats();
+        let total = AtomicU64::new(0);
+        let started = std::sync::atomic::AtomicBool::new(false);
+        pool.scope(|s| {
+            let pool = &pool;
+            let total = &total;
+            let started = &started;
+            s.spawn(move || {
+                started.store(true, Ordering::Relaxed);
+                pool.scope(|inner| {
+                    for _ in 0..32 {
+                        inner.spawn(move || {
+                            std::thread::sleep(Duration::from_millis(2));
+                            total.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+            while !started.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+        let after = pool.stats();
+        assert!(after.stolen > before.stolen, "idle peers must have stolen work");
     }
 }
