@@ -7,7 +7,12 @@ Two jobs, both exercised by CI after the `throughput` smoke run:
    `cargo run --release -p pt-bench --bin throughput` must carry every
    phase — per-network cold/warm/batch/cached/feed numbers with their
    invariants (cache hits on a replay, at most one generation bump per
-   feed, one rewrite per touched route), the shard phase (>= 2 shards,
+   feed, one rewrite per touched route), the kernel ablation (the SoA
+   bucket-ring kernel actually ran — live bucket/lane counters — and on
+   large networks, >= MIN_KERNEL_STATIONS stations, keeps pace with the
+   scalar heap: soa_speedup >= 0.95 and merge_ratio <= 1.10), the s2s
+   batch path at least breaking even with cold queries
+   (batch_speedup_vs_cold >= 0.95), the shard phase (>= 2 shards,
    routed queries, striped-cache hit rate, mixed-feed events/sec, at most
    one bump per shard per feed), the concurrent phase (>= 2 clients
    against one shared service, snapshots actually published mid-flight)
@@ -39,6 +44,11 @@ DROP_TOLERANCE = 0.70
 # Metrics whose baseline entry is deflated by --headroom (machine-speed
 # dependent); everything else (hit rates) is stored exactly.
 THROUGHPUT_SUFFIXES = ("events_per_sec", "queries_per_sec")
+
+# Networks at least this large must show the SoA kernel keeping pace with
+# the scalar heap (the small paper presets resolve below the kernel's
+# intended slot regime and are not held to the speedup floor).
+MIN_KERNEL_STATIONS = 200
 
 
 def fail(errors):
@@ -77,6 +87,34 @@ def validate(doc):
             feed["post_feed_cache_hit_rate"] > 0,
             f"{name}: post-feed replay never hit: {feed}",
         )
+        s2s = net["s2s"]
+        check(
+            s2s["batch_speedup_vs_cold"] >= 0.95,
+            f"{name}: s2s batch slower than cold queries: "
+            f"speedup {s2s['batch_speedup_vs_cold']:.3f} < 0.95",
+        )
+        kernel = net["kernel"]
+        check(kernel["queries"] > 0, f"{name}: kernel phase ran no queries: {kernel}")
+        check(
+            kernel["scalar_qps"] > 0 and kernel["soa_qps"] > 0,
+            f"{name}: kernel phase recorded no throughput: {kernel}",
+        )
+        check(
+            kernel["bucket_phases"] > 0 and kernel["lane_chunks"] > 0,
+            f"{name}: SoA kernel counters are dead (did the forced-Soa "
+            f"path really run?): {kernel}",
+        )
+        if net["stations"] >= MIN_KERNEL_STATIONS:
+            check(
+                kernel["soa_speedup"] >= 0.95,
+                f"{name}: SoA kernel slower than scalar on a large network: "
+                f"speedup {kernel['soa_speedup']:.3f} < 0.95",
+            )
+            check(
+                0 < kernel["merge_ratio"] <= 1.10,
+                f"{name}: SoA master-merge did not hold its ground: "
+                f"merge_ratio {kernel['merge_ratio']:.3f}",
+            )
 
     shard = doc.get("shard")
     check(shard is not None, "shard phase missing from document")
@@ -128,6 +166,7 @@ def config_of(doc):
     return {
         "scale": doc.get("scale"),
         "queries": doc["networks"][0]["one_to_all"]["queries"] if doc.get("networks") else 0,
+        "threads": doc.get("threads"),
         "networks": [n["name"] for n in doc.get("networks", [])],
     }
 
@@ -139,6 +178,7 @@ def metrics_of(doc):
         name = net["name"]
         out[f"{name}.feed.events_per_sec"] = net["feed"]["events_per_sec"]
         out[f"{name}.cached.hit_rate"] = net["one_to_all"]["cached"]["hit_rate"]
+        out[f"{name}.kernel.soa_queries_per_sec"] = net["kernel"]["soa_qps"]
     shard = doc.get("shard")
     if shard is not None:
         out["shard.events_per_sec"] = shard["events_per_sec"]

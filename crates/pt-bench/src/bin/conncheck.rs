@@ -16,8 +16,14 @@
 //! a from-scratch build). Any disagreement is printed and the process
 //! exits non-zero.
 //!
+//! With `--kernel` the binary switches to the kernel ablation battery
+//! instead: the scalar heap kernel and the SoA bucket-ring kernel are
+//! forced explicitly and both cross-validated against the time-query
+//! ground truth — on the pristine networks, after the same delay burst as
+//! delay mode, and after the same batched feeds as feed mode.
+//!
 //! ```text
-//! cargo run --release --bin conncheck
+//! cargo run --release --bin conncheck [-- --kernel]
 //! ```
 //!
 //! Knobs: `BC_SCALE` (default 0.5), `BC_QUERIES` sources per network
@@ -25,7 +31,8 @@
 //! `BC_NETWORKS` name filter, `BC_SEED`.
 
 use pt_bench::conncheck::{
-    cross_check, cross_check_after_delays, cross_check_after_feed, standard_departures,
+    apply_random_delays, apply_random_feeds, cross_check, cross_check_after_delays,
+    cross_check_after_feed, kernel_check, standard_departures,
 };
 use pt_bench::BenchConfig;
 use pt_core::StationId;
@@ -87,11 +94,64 @@ fn main() {
         std::process::exit(2);
     }
 
-    println!();
-    println!("cross-check: sequential SPCS vs LC vs parallel SPCS vs time-query");
     let departures = standard_departures();
     let sources_per_net = cfg.queries.clamp(1, 64);
     let mut total_mismatches = 0usize;
+
+    // --kernel: the kernel ablation battery (scalar vs SoA vs time-query)
+    // on pristine, delayed and fed networks, instead of the full
+    // cross-algorithm battery.
+    if std::env::args().skip(1).any(|a| a == "--kernel") {
+        println!();
+        println!("kernel ablation: scalar heap vs SoA bucket ring vs time-query");
+        for (name, tt) in networks {
+            let net = Network::new(tt);
+            let sources = pt_bench::random_stations(net.num_stations(), sources_per_net, cfg.seed);
+            let pristine = kernel_check(name, &net, &sources, &cfg.threads, &departures);
+            let (delayed_net, patched, rebuilt) = apply_random_delays(&net, 8, cfg.seed);
+            let delayed = kernel_check(
+                &format!("{name}+delays"),
+                &delayed_net,
+                &sources,
+                &cfg.threads,
+                &departures,
+            );
+            let (fed_net, events) = apply_random_feeds(&net, 3, 12, cfg.seed);
+            let fed = kernel_check(
+                &format!("{name}+feed"),
+                &fed_net,
+                &sources,
+                &cfg.threads,
+                &departures,
+            );
+            for outcome in [&pristine, &delayed, &fed] {
+                println!(
+                    "{:<16} sources={:<3} comparisons={:<8} mismatches={}",
+                    outcome.network,
+                    outcome.sources,
+                    outcome.comparisons,
+                    outcome.mismatches.len()
+                );
+                for m in &outcome.mismatches {
+                    eprintln!("  MISMATCH: {m}");
+                }
+                total_mismatches += outcome.mismatches.len();
+            }
+            println!(
+                "{:<16} (disruptions: {patched} patched, {rebuilt} rebuilt, {events} feed events)",
+                name
+            );
+        }
+        if total_mismatches > 0 {
+            eprintln!("conncheck --kernel FAILED: {total_mismatches} mismatch(es)");
+            std::process::exit(1);
+        }
+        println!("conncheck --kernel OK: zero mismatches");
+        return;
+    }
+
+    println!();
+    println!("cross-check: sequential SPCS vs LC vs parallel SPCS vs time-query");
     for (name, tt) in networks {
         let net = Network::new(tt);
         let sources = pt_bench::random_stations(net.num_stations(), sources_per_net, cfg.seed);

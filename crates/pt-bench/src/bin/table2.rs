@@ -13,23 +13,28 @@
 //! cargo run --release -p pt-bench --bin table2
 //! ```
 //!
-//! Extra knobs: `BC_FRACTIONS` (default `0.01,0.025,0.05,0.10`) and
-//! `BC_S2S_THREADS` (default `8`, the paper's Table 2 core count).
+//! Extra knobs: `BC_FRACTIONS` (default `0.01,0.025,0.05,0.10`),
+//! `BC_S2S_THREADS` (default `8`, the paper's Table 2 core count) and
+//! `BC_KERNEL` (`scalar`/`soa`/`auto`, default `auto`) selecting the label
+//! kernel; the `buckets` column (mean bucket phases swept by the SoA ring)
+//! shows which kernel actually answered each row — it is zero whenever the
+//! scalar heap ran.
 
 use std::time::Instant;
 
 use pt_bench::{env_list, env_parse, fmt_mmss, mean, ms, random_pairs, BenchConfig};
-use pt_spcs::{DistanceTable, Network, S2sEngine, TransferSelection};
+use pt_spcs::{DistanceTable, KernelMode, Network, S2sEngine, TransferSelection};
 
 fn main() {
     let cfg = BenchConfig::from_env();
     let fractions: Vec<f64> =
         env_list("BC_FRACTIONS").unwrap_or_else(|| vec![0.01, 0.025, 0.05, 0.10]);
     let threads: usize = env_parse("BC_S2S_THREADS", 8);
+    let kernel: KernelMode = env_parse("BC_KERNEL", KernelMode::Auto);
 
     println!("# Table 2 — station-to-station queries with distance-table pruning");
     println!(
-        "# scale={} queries={} threads={} seed={} fractions={:?} + deg>2",
+        "# scale={} queries={} threads={} kernel={kernel} seed={} fractions={:?} + deg>2",
         cfg.scale, cfg.queries, threads, cfg.seed, fractions
     );
     println!();
@@ -39,8 +44,15 @@ fn main() {
         let net = Network::new(preset.timetable);
         println!("## {}  ({} stations, {} conns)", preset.name, stats.stations, stats.connections);
         println!(
-            "{:<8} {:>8} {:>10} {:>14} {:>11} {:>11} {:>7}",
-            "trans", "prepro", "size[MiB]", "settled conns", "time [ms]", "merge [ms]", "spd-up"
+            "{:<8} {:>8} {:>10} {:>14} {:>11} {:>11} {:>9} {:>7}",
+            "trans",
+            "prepro",
+            "size[MiB]",
+            "settled conns",
+            "time [ms]",
+            "merge [ms]",
+            "buckets",
+            "spd-up"
         );
         let pairs = random_pairs(net.num_stations(), cfg.queries, cfg.seed);
 
@@ -48,25 +60,27 @@ fn main() {
         // engine persists across the query stream (workspace + pool reuse);
         // the master-merge share of each query is reported separately — the
         // §3.2 merge-overhead number the paper discusses but never gives.
-        let run = |engine: &mut S2sEngine<'_>, net: &Network| -> (f64, f64, f64) {
+        let run = |engine: &mut S2sEngine<'_>, net: &Network| -> (f64, f64, f64, f64) {
             let mut settled = Vec::new();
             let mut times = Vec::new();
             let mut merge_ms = Vec::new();
+            let mut buckets = Vec::new();
             for &(s, t) in &pairs {
                 let t0 = Instant::now();
                 let r = engine.query(net, s, t);
                 times.push(ms(t0.elapsed()));
                 settled.push(r.stats.settled as f64);
                 merge_ms.push(r.stats.merge_ns as f64 / 1e6);
+                buckets.push(r.stats.bucket_phases as f64);
             }
-            (mean(&settled), mean(&times), mean(&merge_ms))
+            (mean(&settled), mean(&times), mean(&merge_ms), mean(&buckets))
         };
 
-        let mut engine = S2sEngine::new().threads(threads);
-        let (settled0, time0, merge0) = run(&mut engine, &net);
+        let mut engine = S2sEngine::new().threads(threads).kernel(kernel);
+        let (settled0, time0, merge0, buckets0) = run(&mut engine, &net);
         println!(
-            "{:<8} {:>8} {:>10} {:>14.0} {:>11.1} {:>11.2} {:>7.1}",
-            "0.0%", "—", "—", settled0, time0, merge0, 1.0
+            "{:<8} {:>8} {:>10} {:>14.0} {:>11.1} {:>11.2} {:>9.0} {:>7.1}",
+            "0.0%", "—", "—", settled0, time0, merge0, buckets0, 1.0
         );
 
         let mut selections: Vec<(String, TransferSelection)> = fractions
@@ -81,16 +95,17 @@ fn main() {
                 println!("{label:<8} (no transfer stations selected — skipped)");
                 continue;
             }
-            let mut engine = S2sEngine::new().threads(threads).with_table(&table);
-            let (settled, time, merge) = run(&mut engine, &net);
+            let mut engine = S2sEngine::new().threads(threads).kernel(kernel).with_table(&table);
+            let (settled, time, merge, buckets) = run(&mut engine, &net);
             println!(
-                "{:<8} {:>8} {:>10.1} {:>14.0} {:>11.1} {:>11.2} {:>7.1}",
+                "{:<8} {:>8} {:>10.1} {:>14.0} {:>11.1} {:>11.2} {:>9.0} {:>7.1}",
                 label,
                 fmt_mmss(table.build_time()),
                 table.size_mib(),
                 settled,
                 time,
                 merge,
+                buckets,
                 if time > 0.0 { time0 / time } else { 0.0 }
             );
         }

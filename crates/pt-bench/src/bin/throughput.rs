@@ -57,23 +57,35 @@ use rand::SeedableRng;
 use pt_bench::report::{balance, json_out_path, median, write_json, Json};
 use pt_bench::{env_parse, random_feed, random_pairs, random_stations, BenchConfig};
 use pt_core::StationId;
-use pt_spcs::{Network, ProfileEngine, S2sEngine, ShardedService};
+use pt_spcs::{KernelMode, Network, ProfileEngine, QueryStats, S2sEngine, ShardedService};
+use pt_timetable::synthetic::presets;
 
 fn main() {
     let cfg = BenchConfig::from_env();
     let queries = cfg.queries.max(1); // a throughput run needs at least one query
     let cpus = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let threads: usize = env_parse("BC_TP_THREADS", cpus.min(8));
+    // Kernel for the cold/warm/batch/cached phases; the dedicated kernel
+    // phase below always measures Scalar and Soa explicitly.
+    let kernel: KernelMode = env_parse("BC_KERNEL", KernelMode::Auto);
 
     println!("# Throughput — sustained queries/sec, cold vs warm vs batch");
     println!(
-        "# scale={} queries={queries} threads={} seed={} (host: {cpus} cpus)",
+        "# scale={} queries={queries} threads={} kernel={kernel} seed={} (host: {cpus} cpus)",
         cfg.scale, threads, cfg.seed
     );
     println!();
 
+    // The five paper networks plus the large Metro preset — the ≥200-station
+    // input (at the CI scale 0.05) whose slot counts put the SoA kernels in
+    // their intended regime.
+    let mut presets = cfg.networks();
+    if cfg.matches("Metro") {
+        presets.push(presets::metro_like(cfg.scale));
+    }
+
     let mut networks_json = Vec::new();
-    for preset in cfg.networks() {
+    for preset in presets {
         let stats = preset.timetable.stats();
         let mut net = Network::new(preset.timetable);
         println!("## {}  ({} stations, {} conns)", preset.name, stats.stations, stats.connections);
@@ -86,12 +98,12 @@ fn main() {
         let mut cold_ns = Vec::new();
         for &s in &sources {
             let t0 = Instant::now();
-            let _ = ProfileEngine::new().threads(threads).one_to_all(&net, s);
+            let _ = ProfileEngine::new().threads(threads).kernel(kernel).one_to_all(&net, s);
             cold_ns.push(t0.elapsed().as_nanos() as f64);
         }
 
         // Warm: one persistent engine, within-query parallelism.
-        let engine = ProfileEngine::new().threads(threads);
+        let engine = ProfileEngine::new().threads(threads).kernel(kernel);
         let _ = engine.one_to_all(&net, sources[0]); // warm-up: size the workspaces
         let grows_before = engine.workspace_grow_events();
         let mut warm_ns = Vec::new();
@@ -114,7 +126,8 @@ fn main() {
         // first pass fills the cache (misses, full searches); the timed
         // second pass replays the identical workload and must be all hits —
         // the repeated-source regime of real query traffic.
-        let cached_engine = ProfileEngine::new().threads(threads).with_cache(sources.len().max(1));
+        let cached_engine =
+            ProfileEngine::new().threads(threads).kernel(kernel).with_cache(sources.len().max(1));
         for &s in &sources {
             let _ = cached_engine.one_to_all(&net, s);
         }
@@ -160,10 +173,10 @@ fn main() {
         let mut s2s_cold_ns = Vec::new();
         for &(s, t) in &pairs {
             let t0 = Instant::now();
-            let _ = S2sEngine::new().threads(threads).query(&net, s, t);
+            let _ = S2sEngine::new().threads(threads).kernel(kernel).query(&net, s, t);
             s2s_cold_ns.push(t0.elapsed().as_nanos() as f64);
         }
-        let s2s_engine = S2sEngine::new().threads(threads);
+        let s2s_engine = S2sEngine::new().threads(threads).kernel(kernel);
         let t0 = Instant::now();
         let s2s_batch = s2s_engine.batch(&net, &pairs);
         let s2s_batch_ns = t0.elapsed().as_nanos() as f64;
@@ -175,6 +188,51 @@ fn main() {
             qps(s2s_cold_total),
             qps(s2s_batch_ns),
             if s2s_batch_ns > 0.0 { s2s_cold_total / s2s_batch_ns } else { 0.0 }
+        );
+
+        // --- kernel ablation (scalar heap vs SoA bucket ring) -------------
+        // Both kernels answer the identical warm one-to-all workload on one
+        // persistent engine each, with the first result pair cross-checked
+        // so the A/B can never silently compare different answers. Runs
+        // before the feed phase (which mutates the network).
+        let mut kernel_qps = [0.0f64; 2];
+        let mut kernel_merge = [0u64; 2];
+        let mut soa_stats = QueryStats::default();
+        let mut reference = None;
+        for (slot, mode) in [KernelMode::Scalar, KernelMode::Soa].into_iter().enumerate() {
+            let eng = ProfileEngine::new().threads(threads).kernel(mode);
+            let first = eng.one_to_all(&net, sources[0]); // warm-up: size the workspaces
+            match &reference {
+                None => reference = Some(first),
+                Some(want) => assert_eq!(&first, want, "kernel results diverge"),
+            }
+            let mut stats = QueryStats::default();
+            let t0 = Instant::now();
+            for &s in &sources {
+                stats += eng.one_to_all_with_stats(&net, s).stats;
+            }
+            let total = t0.elapsed().as_nanos() as f64;
+            kernel_qps[slot] = qps(total);
+            kernel_merge[slot] = stats.merge_ns;
+            if slot == 1 {
+                soa_stats = stats;
+            }
+        }
+        let soa_speedup = if kernel_qps[0] > 0.0 { kernel_qps[1] / kernel_qps[0] } else { 0.0 };
+        let merge_ratio =
+            if kernel_merge[0] > 0 { kernel_merge[1] as f64 / kernel_merge[0] as f64 } else { 0.0 };
+        println!("kernel ({} queries, p={threads}):", sources.len());
+        println!(
+            "  scalar {:.1} q/s (merge {:.2} ms), soa {:.1} q/s (merge {:.2} ms) — \
+             {soa_speedup:.2}x qps, {merge_ratio:.2}x merge",
+            kernel_qps[0],
+            kernel_merge[0] as f64 / 1e6,
+            kernel_qps[1],
+            kernel_merge[1] as f64 / 1e6,
+        );
+        println!(
+            "  soa counters: {} bucket phases, {} lane chunks, {} masked prunes",
+            soa_stats.bucket_phases, soa_stats.lane_chunks, soa_stats.masked_prunes
         );
 
         // --- live feed (runs last: it mutates the network) ----------------
@@ -285,6 +343,21 @@ fn main() {
                             0.0
                         }),
                     ),
+                ]),
+            ),
+            (
+                "kernel",
+                Json::obj([
+                    ("queries", Json::from(sources.len())),
+                    ("scalar_qps", Json::from(kernel_qps[0])),
+                    ("soa_qps", Json::from(kernel_qps[1])),
+                    ("soa_speedup", Json::from(soa_speedup)),
+                    ("scalar_merge_ns", Json::from(kernel_merge[0])),
+                    ("soa_merge_ns", Json::from(kernel_merge[1])),
+                    ("merge_ratio", Json::from(merge_ratio)),
+                    ("bucket_phases", Json::from(soa_stats.bucket_phases)),
+                    ("lane_chunks", Json::from(soa_stats.lane_chunks)),
+                    ("masked_prunes", Json::from(soa_stats.masked_prunes)),
                 ]),
             ),
             (

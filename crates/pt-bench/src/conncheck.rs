@@ -26,8 +26,8 @@ use std::sync::Arc;
 
 use pt_core::{Dur, StationId, Time, TrainId};
 use pt_spcs::{
-    label_correcting, time_query, DelayUpdate, DistanceTable, Network, PartitionStrategy,
-    ProfileEngine, ProfileSet, S2sEngine, TransferSelection,
+    label_correcting, time_query, DelayUpdate, DistanceTable, KernelMode, Network,
+    PartitionStrategy, ProfileEngine, ProfileSet, S2sEngine, TransferSelection,
 };
 use pt_timetable::Recovery;
 
@@ -200,24 +200,96 @@ pub fn standard_departures() -> Vec<Time> {
     vec![Time::hm(0, 30), Time::hm(7, 45), Time::hm(12, 0), Time::hm(23, 30)]
 }
 
-/// The fully dynamic scenario (§5.1): applies `num_delays` deterministic
-/// delays to a copy of `net` through the incremental path
-/// ([`Network::apply_delay`]), asserts the patched network is
-/// query-equivalent to a from-scratch rebuild of its timetable, and then
-/// runs the whole [`cross_check`] battery on the patched network — so the
-/// dynamic path inherits the zero-mismatch guarantee of the static one.
-///
-/// Returns the outcome plus the patched network's update counts
-/// (`patched`, `rebuilt`) for reporting.
-pub fn cross_check_after_delays(
+/// The `--kernel` ablation battery: forces the scalar heap kernel and the
+/// SoA bucket-ring kernel explicitly (never `Auto`, which would pick one)
+/// and cross-validates **both** against the label-setting time-query
+/// ground truth — not just against each other, so a bug shared by the
+/// profile reduction cannot survive the A/B. Covers sequential and
+/// parallel one-to-all plus station-to-station with and without the
+/// stopping criterion.
+pub fn kernel_check(
     name: &str,
     net: &Network,
     sources: &[StationId],
     threads: &[usize],
     departures: &[Time],
-    num_delays: usize,
-    seed: u64,
-) -> (CheckOutcome, usize, usize) {
+) -> CheckOutcome {
+    let period = net.timetable().period();
+    let mut comparisons = 0usize;
+    let mut mismatches = Vec::new();
+
+    let scalar = ProfileEngine::new().kernel(KernelMode::Scalar);
+    let soa = ProfileEngine::new().kernel(KernelMode::Soa);
+    for &s in sources {
+        let want = scalar.one_to_all(net, s);
+        let got = soa.one_to_all(net, s);
+        comparisons += 1;
+        if got != want {
+            record(&mut mismatches, format!("{name}: SoA kernel != scalar kernel from {s}"));
+        }
+        for &p in threads {
+            let par = ProfileEngine::new().kernel(KernelMode::Soa).threads(p).one_to_all(net, s);
+            comparisons += 1;
+            if par != want {
+                record(
+                    &mut mismatches,
+                    format!("{name}: parallel SoA kernel (p={p}) != scalar from {s}"),
+                );
+            }
+        }
+        for &dep in departures {
+            let truth = time_query::earliest_arrivals(net, s, dep);
+            for t in net.station_ids() {
+                if t == s {
+                    continue; // source-profile convention, see ProfileSet::profile
+                }
+                comparisons += 2;
+                let w = truth.arrival_at(t);
+                if want.profile(t).eval_arr(dep, period) != w {
+                    record(
+                        &mut mismatches,
+                        format!("{name}: scalar kernel {s} -> {t} at {dep} != time-query"),
+                    );
+                }
+                if got.profile(t).eval_arr(dep, period) != w {
+                    record(
+                        &mut mismatches,
+                        format!("{name}: SoA kernel {s} -> {t} at {dep} != time-query"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Station-to-station: the SoA s2s kernel (with and without the
+    // stopping criterion) against the scalar s2s kernel.
+    let s2s_scalar = S2sEngine::new().kernel(KernelMode::Scalar);
+    let s2s_soa = S2sEngine::new().kernel(KernelMode::Soa);
+    let s2s_nostop = S2sEngine::new().kernel(KernelMode::Soa).stopping_criterion(false);
+    let ns = net.num_stations() as u32;
+    for (i, &s) in sources.iter().enumerate() {
+        let t = StationId((i as u32 * 7 + 1) % ns);
+        if s == t {
+            continue;
+        }
+        let want = s2s_scalar.query(net, s, t);
+        comparisons += 2;
+        if s2s_soa.query(net, s, t).profile != want.profile {
+            record(&mut mismatches, format!("{name}: SoA s2s {s} -> {t} != scalar s2s"));
+        }
+        if s2s_nostop.query(net, s, t).profile != want.profile {
+            record(&mut mismatches, format!("{name}: SoA s2s (no stop) {s} -> {t} != scalar"));
+        }
+    }
+
+    CheckOutcome { network: name.to_string(), sources: sources.len(), comparisons, mismatches }
+}
+
+/// Applies `num_delays` deterministic random delays to a copy of `net`
+/// through the incremental patch path; returns the patched copy plus
+/// (`patched`, `rebuilt`) update counts. Shared by the delay-mode battery
+/// and the `--kernel` ablation so both disrupt the network identically.
+pub fn apply_random_delays(net: &Network, num_delays: usize, seed: u64) -> (Network, usize, usize) {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -240,6 +312,54 @@ pub fn cross_check_after_delays(
             DelayUpdate::Rebuilt => rebuilt += 1,
         }
     }
+    (patched_net, patched, rebuilt)
+}
+
+/// Drives `num_feeds` random batched feeds through [`Network::apply_feed`]
+/// on a copy of `net`; returns the fed copy and the event count. The
+/// lightweight sibling of [`cross_check_after_feed`] for batteries (like
+/// the `--kernel` ablation) that only need a feed-disrupted network, not
+/// the per-feed table checks.
+pub fn apply_random_feeds(
+    net: &Network,
+    num_feeds: usize,
+    events_per_feed: usize,
+    seed: u64,
+) -> (Network, usize) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    let mut fed = net.clone();
+    let trains = fed.timetable().num_trains() as u32;
+    let mut events = 0usize;
+    for _ in 0..num_feeds {
+        let feed = crate::random_feed(&mut rng, trains, events_per_feed, 90);
+        events += feed.len();
+        fed.apply_feed(&feed);
+    }
+    (fed, events)
+}
+
+/// The fully dynamic scenario (§5.1): applies `num_delays` deterministic
+/// delays to a copy of `net` through the incremental path
+/// ([`Network::apply_delay`]), asserts the patched network is
+/// query-equivalent to a from-scratch rebuild of its timetable, and then
+/// runs the whole [`cross_check`] battery on the patched network — so the
+/// dynamic path inherits the zero-mismatch guarantee of the static one.
+///
+/// Returns the outcome plus the patched network's update counts
+/// (`patched`, `rebuilt`) for reporting.
+pub fn cross_check_after_delays(
+    name: &str,
+    net: &Network,
+    sources: &[StationId],
+    threads: &[usize],
+    departures: &[Time],
+    num_delays: usize,
+    seed: u64,
+) -> (CheckOutcome, usize, usize) {
+    let (patched_net, patched, rebuilt) = apply_random_delays(net, num_delays, seed);
 
     let mut outcome = {
         // The patched network must answer exactly like a fresh build of the

@@ -85,16 +85,21 @@ impl BenchConfig {
     /// Instantiates the five evaluation networks, filtered by
     /// `BC_NETWORKS`.
     pub fn networks(&self) -> Vec<Preset> {
-        presets::all_presets(self.scale)
-            .into_iter()
-            .filter(|p| match &self.networks {
-                None => true,
-                Some(filter) => {
-                    let name = p.name.to_lowercase();
-                    filter.iter().any(|f| name.contains(f))
-                }
-            })
-            .collect()
+        presets::all_presets(self.scale).into_iter().filter(|p| self.matches(p.name)).collect()
+    }
+
+    /// `true` iff the `BC_NETWORKS` filter admits a network of this name
+    /// (always true without a filter). Lets benches that instantiate extra
+    /// presets outside [`BenchConfig::networks`] — e.g. `throughput`'s
+    /// large Metro network — honor the same filter.
+    pub fn matches(&self, name: &str) -> bool {
+        match &self.networks {
+            None => true,
+            Some(filter) => {
+                let name = name.to_lowercase();
+                filter.iter().any(|f| name.contains(f))
+            }
+        }
     }
 }
 

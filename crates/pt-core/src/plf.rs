@@ -183,6 +183,20 @@ impl Plf {
         self.points.iter().map(|p| p.dur).min().unwrap_or(Dur::INFINITE)
     }
 
+    /// The maximum duration over all connection points (`Dur::ZERO` on an
+    /// empty function) — an upper bound on the travel component of a single
+    /// relaxation, used to size the kernel's bucket ring.
+    pub fn max_dur(&self) -> Dur {
+        self.points.iter().map(|p| p.dur).max().unwrap_or(Dur::ZERO)
+    }
+
+    /// [`Plf::eval_arr`] on raw seconds for the SoA kernel lanes: absolute
+    /// arrival seconds, `u32::MAX` if the edge is never served.
+    #[inline]
+    pub fn eval_arr_secs(&self, t_secs: u32, period: Period) -> u32 {
+        self.eval_arr(Time(t_secs), period).secs()
+    }
+
     /// Heap + inline memory footprint in bytes (for the space columns of
     /// Table 2).
     pub fn size_bytes(&self) -> usize {

@@ -90,6 +90,44 @@ impl Profile {
         Profile { points: reduced }
     }
 
+    /// Scratch-reusing variant of [`Profile::from_unreduced`] for the merge
+    /// kernels: reduces the points accumulated in `scratch` (clearing it but
+    /// keeping its capacity for the next station) and allocates only the
+    /// reduced result. Semantically identical to
+    /// `Profile::from_unreduced(scratch.clone(), period)`.
+    pub fn from_unreduced_in(scratch: &mut Vec<ProfilePoint>, period: Period) -> Self {
+        scratch.retain(|p| !p.arr.is_infinite());
+        for p in scratch.iter() {
+            assert!(period.contains(p.dep), "profile departure {} not period-local", p.dep);
+            debug_assert!(p.arr >= p.dep);
+        }
+        scratch.sort_unstable_by_key(|p| (p.dep, p.arr));
+        scratch.dedup_by_key(|p| p.dep); // earliest arrival per departure
+                                         // Backward dominance scan, compacting survivors to the tail of the
+                                         // scratch buffer in place (they come out sorted, like the forward
+                                         // `reverse()` of `from_unreduced`).
+        let mut min_arr = INFINITY;
+        let mut keep = scratch.len();
+        for i in (0..scratch.len()).rev() {
+            if scratch[i].arr < min_arr {
+                min_arr = scratch[i].arr;
+                keep -= 1;
+                scratch[keep] = scratch[i];
+            }
+        }
+        let kept = &scratch[keep..];
+        let points = match kept.first() {
+            Some(first) => {
+                // Cyclic fixup (see `from_unreduced`).
+                let threshold = first.arr + Dur(period.len());
+                kept.iter().copied().filter(|p| p.arr < threshold).collect()
+            }
+            None => Vec::new(),
+        };
+        scratch.clear();
+        Profile { points }
+    }
+
     /// Builds a profile from points already reduced (debug-asserted).
     pub fn from_reduced(points: Vec<ProfilePoint>, period: Period) -> Self {
         let prof = Profile { points };
@@ -259,6 +297,24 @@ mod tests {
             P,
         );
         assert_eq!(prof.points(), &[pt(10, 40)]);
+    }
+
+    #[test]
+    fn scratch_reduction_matches_owned_reduction() {
+        let cases: &[Vec<ProfilePoint>] = &[
+            vec![],
+            vec![pt(10, 60), pt(20, 50)],
+            vec![pt(10, 50), pt(20, 50)],
+            vec![pt(10, 40), ProfilePoint { dep: Time::hm(0, 20), arr: INFINITY }],
+            vec![pt(30, 45), pt(10, 20), pt(20, 35), pt(40, 41)],
+        ];
+        let mut scratch = Vec::new();
+        for case in cases {
+            scratch.extend_from_slice(case);
+            let got = Profile::from_unreduced_in(&mut scratch, P);
+            assert_eq!(got, Profile::from_unreduced(case.clone(), P));
+            assert!(scratch.is_empty(), "scratch not cleared");
+        }
     }
 
     #[test]

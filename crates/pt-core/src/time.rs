@@ -68,6 +68,15 @@ impl Time {
             Time(self.0.saturating_add(d.0))
         }
     }
+
+    /// Branch-light lane arithmetic on raw seconds for the SoA kernels:
+    /// a saturating add where `u32::MAX` (the [`INFINITY`] sentinel) is
+    /// absorbing, because saturation lands exactly on the sentinel. Lets
+    /// the hot chunk loop add edge weights without testing for infinity.
+    #[inline]
+    pub const fn lane_add(a_secs: u32, d_secs: u32) -> u32 {
+        a_secs.saturating_add(d_secs)
+    }
 }
 
 impl Dur {

@@ -13,4 +13,4 @@ pub mod station_graph;
 pub mod tdgraph;
 
 pub use station_graph::{StationGraph, ViaLocal};
-pub use tdgraph::{EdgeWeight, TdGraph};
+pub use tdgraph::{EdgeKindCsr, EdgeWeight, TdGraph};

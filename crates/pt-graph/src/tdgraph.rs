@@ -32,6 +32,91 @@ pub struct Edge {
     pub weight: EdgeWeight,
 }
 
+/// Edge-kind-grouped CSR view for the SoA kernels: the same adjacency as
+/// [`TdGraph::edges`], but with each node's constant and time-dependent
+/// edges split into parallel `u32` arrays, so a relax sweep over one kind
+/// walks homogeneous lanes (head index + raw weight seconds, or head index
+/// + PLF index) with no per-edge enum dispatch.
+///
+/// The view is topology-shaped: [`TdGraph::repatch_routes`] rewrites PLF
+/// *contents* only, never heads, weights or PLF indices, so the view stays
+/// valid across delay/feed patches. Only `max_td_secs` must track patches,
+/// and it does so monotonically (a ring sized from a stale maximum is
+/// merely oversized, never wrong).
+#[derive(Debug, Clone)]
+pub struct EdgeKindCsr {
+    const_first: Vec<u32>,
+    const_head: Vec<u32>,
+    const_secs: Vec<u32>,
+    td_first: Vec<u32>,
+    td_head: Vec<u32>,
+    td_plf: Vec<u32>,
+    max_const_secs: u32,
+    max_td_secs: u32,
+}
+
+impl EdgeKindCsr {
+    fn build(first_edge: &[u32], edges: &[Edge], plfs: &[Plf]) -> EdgeKindCsr {
+        let n = first_edge.len() - 1;
+        let mut k = EdgeKindCsr {
+            const_first: Vec::with_capacity(n + 1),
+            const_head: Vec::new(),
+            const_secs: Vec::new(),
+            td_first: Vec::with_capacity(n + 1),
+            td_head: Vec::new(),
+            td_plf: Vec::new(),
+            max_const_secs: 0,
+            max_td_secs: 0,
+        };
+        k.const_first.push(0);
+        k.td_first.push(0);
+        for v in 0..n {
+            for e in &edges[first_edge[v] as usize..first_edge[v + 1] as usize] {
+                match e.weight {
+                    EdgeWeight::Const(d) => {
+                        k.const_head.push(e.head.0);
+                        k.const_secs.push(d.secs());
+                    }
+                    EdgeWeight::Td(idx) => {
+                        k.td_head.push(e.head.0);
+                        k.td_plf.push(idx);
+                    }
+                }
+            }
+            k.const_first.push(k.const_head.len() as u32);
+            k.td_first.push(k.td_head.len() as u32);
+        }
+        k.max_const_secs = k.const_secs.iter().copied().max().unwrap_or(0);
+        k.max_td_secs = plfs.iter().map(|p| p.max_dur().secs()).max().unwrap_or(0);
+        k
+    }
+
+    /// Constant edges of `v` as `(heads, weight_secs)` lanes.
+    #[inline]
+    pub fn const_edges(&self, v: usize) -> (&[u32], &[u32]) {
+        let lo = self.const_first[v] as usize;
+        let hi = self.const_first[v + 1] as usize;
+        (&self.const_head[lo..hi], &self.const_secs[lo..hi])
+    }
+
+    /// Time-dependent edges of `v` as `(heads, plf_indices)` lanes.
+    #[inline]
+    pub fn td_edges(&self, v: usize) -> (&[u32], &[u32]) {
+        let lo = self.td_first[v] as usize;
+        let hi = self.td_first[v + 1] as usize;
+        (&self.td_head[lo..hi], &self.td_plf[lo..hi])
+    }
+
+    /// Upper bound on how far (in seconds) a single relaxation can move a
+    /// label forward in time: constant edges advance at most their weight;
+    /// time-dependent edges wait at most `π − 1` and then travel at most the
+    /// longest PLF duration. Sizes the kernel's bucket ring.
+    #[inline]
+    pub fn max_edge_span_secs(&self, period: Period) -> u32 {
+        self.max_const_secs.max((period.len() - 1).saturating_add(self.max_td_secs))
+    }
+}
+
 /// The realistic time-dependent graph of a timetable.
 #[derive(Debug, Clone)]
 pub struct TdGraph {
@@ -52,6 +137,8 @@ pub struct TdGraph {
     conn_start: Vec<NodeId>,
     /// `T(S)` per station (copied out of the timetable for cache locality).
     transfer: Vec<Dur>,
+    /// Edge-kind-grouped lanes for the SoA kernels.
+    kinds: EdgeKindCsr,
 }
 
 impl TdGraph {
@@ -126,6 +213,7 @@ impl TdGraph {
             .collect();
 
         let transfer = (0..ns).map(|s| tt.transfer_time(StationId(s as u32))).collect();
+        let kinds = EdgeKindCsr::build(&first_edge, &edges, &plfs);
 
         TdGraph {
             period,
@@ -138,6 +226,7 @@ impl TdGraph {
             route_first_node,
             conn_start,
             transfer,
+            kinds,
         }
     }
 
@@ -206,9 +295,19 @@ impl TdGraph {
                         EdgeWeight::Const(_) => None,
                     })
                     .expect("route node has a time-dependent hop edge");
+                // Keep the kind view's ring bound valid: the maximum only
+                // ever grows (shrinking would require a full rescan for no
+                // correctness gain — an oversized ring is still correct).
+                self.kinds.max_td_secs = self.kinds.max_td_secs.max(plf.max_dur().secs());
                 self.plfs[idx as usize] = plf;
             }
         }
+    }
+
+    /// The edge-kind-grouped CSR view for the SoA kernels.
+    #[inline]
+    pub fn kind_csr(&self) -> &EdgeKindCsr {
+        &self.kinds
     }
 
     /// For a route node: its `(route, stop index)`; `None` on station nodes.
@@ -536,6 +635,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn kind_view_partitions_the_adjacency() {
+        let (_, _, g) = two_station_graph();
+        let k = g.kind_csr();
+        for v in g.node_ids() {
+            let (ch, cw) = k.const_edges(v.idx());
+            let (th, tp) = k.td_edges(v.idx());
+            let consts: Vec<(u32, u32)> = g
+                .edges(v)
+                .iter()
+                .filter_map(|e| match e.weight {
+                    EdgeWeight::Const(d) => Some((e.head.0, d.secs())),
+                    EdgeWeight::Td(_) => None,
+                })
+                .collect();
+            let tds: Vec<(u32, u32)> = g
+                .edges(v)
+                .iter()
+                .filter_map(|e| match e.weight {
+                    EdgeWeight::Td(idx) => Some((e.head.0, idx)),
+                    EdgeWeight::Const(_) => None,
+                })
+                .collect();
+            assert_eq!(ch.iter().copied().zip(cw.iter().copied()).collect::<Vec<_>>(), consts);
+            assert_eq!(th.iter().copied().zip(tp.iter().copied()).collect::<Vec<_>>(), tds);
+        }
+        // Span covers the longest transfer plus a full-period wait + ride.
+        let span = k.max_edge_span_secs(g.period());
+        assert!(span >= g.period().len() - 1);
+    }
+
+    #[test]
+    fn repatch_keeps_span_bound_valid() {
+        use pt_timetable::Recovery;
+        let (mut tt, mut routes, mut g) = two_station_graph();
+        let before = g.kind_csr().max_edge_span_secs(g.period());
+        // Delays preserve hop durations, so the bound may not shrink and
+        // must still dominate every PLF duration after the repatch.
+        let patch = tt.patch_delay(pt_core::TrainId(0), 0, Dur::minutes(70), Recovery::None);
+        assert!(patch.changed);
+        routes.repatch(&tt, &patch);
+        g.repatch(&tt, &routes, pt_core::TrainId(0), &patch);
+        let after = g.kind_csr().max_edge_span_secs(g.period());
+        assert!(after >= before);
+        let true_max = g
+            .node_ids()
+            .flat_map(|v| g.edges(v))
+            .filter_map(|e| match e.weight {
+                EdgeWeight::Td(idx) => Some(g.plf(idx).max_dur().secs()),
+                EdgeWeight::Const(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(after >= g.period().len() - 1 + true_max);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use pt_core::{NodeId, Period, Profile, ProfilePoint, StationId, Time, INFINITY};
 
 use crate::cache::{CacheStats, ProfileCache};
+use crate::kernel::{self, KernelMode};
 use crate::network::Network;
 use crate::parallel::{self, OneToAllResult};
 use crate::partition::PartitionStrategy;
@@ -78,6 +79,7 @@ pub struct ProfileEngine {
     threads: usize,
     strategy: PartitionStrategy,
     self_pruning: bool,
+    kernel: KernelMode,
     /// Idle workspaces, checked out per query.
     pool: WorkspacePool,
     /// Opt-in generation-keyed result cache.
@@ -98,6 +100,7 @@ impl ProfileEngine {
             threads: 1,
             strategy: PartitionStrategy::EqualConnections,
             self_pruning: true,
+            kernel: KernelMode::Auto,
             pool: WorkspacePool::new(),
             cache: None,
         }
@@ -119,6 +122,14 @@ impl ProfileEngine {
     /// Enables/disables self-pruning (ablation; the paper always prunes).
     pub fn self_pruning(mut self, on: bool) -> Self {
         self.self_pruning = on;
+        self
+    }
+
+    /// Selects the label kernel: the scalar binary-heap reference, the
+    /// bucketed SoA kernel, or (default) automatic per-query selection.
+    /// Results are identical either way; see [`KernelMode`].
+    pub fn kernel(mut self, mode: KernelMode) -> Self {
+        self.kernel = mode;
         self
     }
 
@@ -184,6 +195,7 @@ impl ProfileEngine {
             self.threads,
             self.strategy,
             self.self_pruning,
+            self.kernel,
             &mut workspaces,
         );
         self.pool.checkin(workspaces);
@@ -256,6 +268,7 @@ impl ProfileEngine {
                     self.threads,
                     self.strategy,
                     self.self_pruning,
+                    self.kernel,
                     &mut workspaces,
                 );
                 self.pool.checkin(workspaces);
@@ -310,18 +323,39 @@ pub(crate) fn run_range(
     lo: u32,
     hi: u32,
     self_pruning: bool,
+    kernel_mode: KernelMode,
     ws: &mut SearchWorkspace,
 ) -> QueryStats {
     let ns = net.graph().num_stations();
     ws.fresh_station_arr((hi - lo) as usize * ns);
-    run_range_into(net, lo, hi, self_pruning, ws, 0)
+    run_range_into(net, lo, hi, self_pruning, kernel_mode, ws, 0)
 }
 
 /// [`run_range`] writing its station labels at `out_base` of an already
 /// prepared `ws.station_arr` — lets one worker run several partition
 /// classes of a query back to back into a single query-level buffer
-/// (*blocked* execution, used by the batch layer).
+/// (*blocked* execution, used by the batch layer). Dispatches between the
+/// scalar heap path and the bucketed SoA kernel per [`KernelMode`].
 pub(crate) fn run_range_into(
+    net: &Network,
+    lo: u32,
+    hi: u32,
+    self_pruning: bool,
+    kernel_mode: KernelMode,
+    ws: &mut SearchWorkspace,
+    out_base: usize,
+) -> QueryStats {
+    let slots = (hi - lo) as usize * net.graph().num_nodes();
+    if kernel_mode.use_soa(slots, kernel::ring_size(net)) {
+        kernel::run_range_soa(net, lo, hi, self_pruning, ws, out_base)
+    } else {
+        run_range_into_scalar(net, lo, hi, self_pruning, ws, out_base)
+    }
+}
+
+/// The binary-heap reference implementation of [`run_range_into`] — the
+/// arbiter of correctness for the SoA kernel.
+fn run_range_into_scalar(
     net: &Network,
     lo: u32,
     hi: u32,

@@ -1,0 +1,527 @@
+//! Branch-light structure-of-arrays label kernels (ROADMAP item 3).
+//!
+//! The scalar searches in [`connection_setting`](crate::connection_setting)
+//! and [`s2s`](crate::s2s) pop one `(connection, node)` slot at a time from
+//! a binary heap and dispatch on the edge kind per relaxation — correct,
+//! but every step is a data-dependent branch chasing pointers through the
+//! heap. This module replaces the heap with a **time-bucketed frontier**
+//! (a Dial-style ring of width-1-second buckets over the key space) and
+//! restructures each bucket's work into three wide sweeps over contiguous
+//! `u32` lanes:
+//!
+//! 1. **Settle sweep** — every live slot in the current bucket is settled
+//!    at once; self-pruning becomes a masked select on the dense
+//!    `arr`/`maxconn` arrays (`arr ← prune ? PRUNED : key`) instead of a
+//!    taken/not-taken branch per pop.
+//! 2. **Relax sweep** — outgoing edges are walked grouped by kind via
+//!    [`EdgeKindCsr`](pt_graph::EdgeKindCsr): all constant edges of the
+//!    frontier share the settle key, so their lane is a pure gather +
+//!    saturating add ([`Time::lane_add`]) the compiler can vectorize; the
+//!    time-dependent lane follows with one PLF evaluation per edge.
+//!    Candidates accumulate as `(slot, key)` pairs in chunked lanes.
+//! 3. **Commit sweep** — one comparison per candidate (`key < tent[slot]`)
+//!    folds together "candidate unreachable" (`key = u32::MAX` from the
+//!    saturating add), "slot already settled or pruned" (a settled slot's
+//!    tentative key is ≤ the current bucket, hence ≤ every candidate) and
+//!    "no improvement", with no other branches in the loop.
+//!
+//! Correctness relies on the keys being monotone: every candidate key is
+//! `≥` the current bucket key, so buckets are settled in Dijkstra order and
+//! the ring never needs more than `ring_size` buckets (the maximum edge
+//! span plus the one-period spread of the initial departures). Within one
+//! bucket the settle order differs from the heap's tie order; the per-slot
+//! labels may differ on ties, but the *reduced profiles* are identical —
+//! `conn(S)` is departure-ordered, so among equal-key ties the reduction
+//! keeps the latest departure either way. The scalar path remains the
+//! arbiter of correctness: `tests/kernel_identity.rs` and the conncheck
+//! `--kernel` ablation assert equality on random and patched timetables.
+
+use std::str::FromStr;
+
+use pt_core::{Time, INFINITY};
+
+use crate::connection_setting::PRUNED;
+use crate::network::Network;
+use crate::stats::QueryStats;
+use crate::workspace::SearchWorkspace;
+
+/// Which label kernel an engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// The binary-heap reference path.
+    Scalar,
+    /// The bucketed structure-of-arrays path.
+    Soa,
+    /// Per query class: SoA when the slot space is large enough to amortize
+    /// the ring scan, scalar otherwise.
+    #[default]
+    Auto,
+}
+
+impl KernelMode {
+    /// Resolves the mode for one query class of `slots = k·|V|` label slots
+    /// against a bucket ring of `ring` buckets. The SoA kernel's fixed
+    /// overhead is the occupancy-bitmap scan (`ring/64` words); `Auto`
+    /// takes the kernel only when the touched slots can amortize it.
+    pub(crate) fn use_soa(self, slots: usize, ring: usize) -> bool {
+        match self {
+            KernelMode::Scalar => false,
+            KernelMode::Soa => true,
+            KernelMode::Auto => slots >= ring,
+        }
+    }
+
+    /// `true` unless the scalar path is forced — the SoA master-merge has
+    /// no ring overhead, so `Auto` always takes it.
+    pub(crate) fn soa_merge(self) -> bool {
+        self != KernelMode::Scalar
+    }
+}
+
+impl FromStr for KernelMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Ok(KernelMode::Scalar),
+            "soa" => Ok(KernelMode::Soa),
+            "auto" => Ok(KernelMode::Auto),
+            other => Err(format!("unknown kernel mode {other:?} (scalar|soa|auto)")),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            KernelMode::Scalar => "scalar",
+            KernelMode::Soa => "soa",
+            KernelMode::Auto => "auto",
+        })
+    }
+}
+
+/// Number of buckets the ring needs for `net`: strictly more than the
+/// widest spread of pending keys, which is bounded by the maximum edge
+/// span ([`EdgeKindCsr::max_edge_span_secs`](pt_graph::EdgeKindCsr)) and —
+/// because all initial departures are injected up front — by the
+/// one-period spread of `conn(S)`. Rounded up to a power of two so the
+/// bucket index is a mask.
+pub(crate) fn ring_size(net: &Network) -> usize {
+    let g = net.graph();
+    let span = g.kind_csr().max_edge_span_secs(g.period()) as usize;
+    (span.max(g.period().len() as usize - 1) + 1).next_power_of_two()
+}
+
+/// The SoA counterpart of
+/// [`run_range_into`](crate::connection_setting::run_range_into): the
+/// (self-pruning) connection-setting search over the global connection-id
+/// range `lo..hi`, writing station labels at `out_base` of an already
+/// prepared `ws.station_arr`. Label-for-label identical to the scalar path
+/// up to tie order (see the module docs).
+pub(crate) fn run_range_soa(
+    net: &Network,
+    lo: u32,
+    hi: u32,
+    self_pruning: bool,
+    ws: &mut SearchWorkspace,
+    out_base: usize,
+) -> QueryStats {
+    let g = net.graph();
+    let nv = g.num_nodes();
+    let ns = g.num_stations();
+    let k = (hi - lo) as usize;
+    let mut stats = QueryStats::default();
+
+    ws.begin(k * nv, nv, false);
+    if k == 0 {
+        return stats;
+    }
+    let ring = ring_size(net);
+    ws.ensure_kernel(ring);
+
+    let mut state = RingState::init(net, lo, k, ws, ring, &mut stats);
+    while state.pending > 0 {
+        let b = (state.cur & state.mask) as usize;
+        // Drain bucket b completely: zero-weight (alight) edges commit
+        // back into the current bucket.
+        while !ws.buckets[b].is_empty() {
+            stats.bucket_phases += 1;
+
+            // Phase 1a — pruning pre-sweep: raise `maxconn(v)` to the
+            // highest live connection of this bucket, so equal-key ties
+            // prune maximally. (The heap's tie order is arbitrary and may
+            // settle a low connection before the high one that would have
+            // pruned it; the bucket sweep sees all ties at once and always
+            // picks the best order.)
+            let mut bvec = std::mem::take(&mut ws.buckets[b]);
+            if self_pruning {
+                for &s32 in &bvec {
+                    let slot = s32 as usize;
+                    if ws.arr(slot) == INFINITY {
+                        let i = (slot / nv) as u32;
+                        let mc = ws.maxconn(slot % nv);
+                        if (mc == u32::MAX) | (i > mc) {
+                            ws.set_maxconn(slot % nv, i);
+                        }
+                    }
+                }
+            }
+            // Phase 1b — settle sweep with the masked self-pruning select.
+            state.frontier.clear();
+            for &s32 in &bvec {
+                let slot = s32 as usize;
+                if ws.arr(slot) != INFINITY {
+                    continue; // superseded entry: slot settled at an earlier key
+                }
+                debug_assert_eq!(ws.tent(slot), state.cur);
+                stats.settled += 1;
+                let i = (slot / nv) as u32;
+                let v = slot % nv;
+                if self_pruning {
+                    // After the pre-sweep `maxconn(v) ≥ i`; only the
+                    // maximum survives.
+                    if i < ws.maxconn(v) {
+                        stats.self_pruned += 1;
+                        stats.masked_prunes += 1;
+                        ws.set_arr(slot, PRUNED);
+                        continue;
+                    }
+                }
+                ws.set_arr(slot, Time(state.cur));
+                state.frontier.push(s32);
+            }
+            state.pending -= bvec.len();
+            bvec.clear();
+            ws.buckets[b] = bvec;
+
+            // Phases 2 + 3 — relax by edge kind, then commit.
+            state.relax_and_commit(net, nv, ws, &mut stats);
+        }
+        if !state.advance(ws, b) {
+            break;
+        }
+    }
+    state.finish(ws);
+
+    // Extract labels at station nodes (station nodes are 0..ns).
+    for i in 0..k {
+        let src = i * nv;
+        let dst = out_base + i * ns;
+        for s in 0..ns {
+            let a = ws.arr(src + s);
+            if a < PRUNED {
+                ws.station_arr[dst + s] = a;
+            }
+        }
+    }
+    stats
+}
+
+/// The SoA counterpart of the plain-mode `s2s_range`: SPCS over `lo..hi`
+/// specialized to `target`, with the stopping criterion and (always-on)
+/// self-pruning. On return `ws.arr_t[i]` holds the best arrival at the
+/// target per local connection. Via/target table pruning stays scalar —
+/// its per-pop table probes are inherently branchy, so those query kinds
+/// never dispatch here.
+pub(crate) fn s2s_range_soa(
+    net: &Network,
+    lo: u32,
+    hi: u32,
+    target: pt_core::StationId,
+    stopping: bool,
+    ws: &mut SearchWorkspace,
+) -> QueryStats {
+    let g = net.graph();
+    let nv = g.num_nodes();
+    let k = (hi - lo) as usize;
+    let target_v = g.station_node(target).idx();
+    let mut stats = QueryStats::default();
+
+    ws.begin(k * nv, nv, false);
+    ws.fresh_arr_t(k);
+    if k == 0 {
+        return stats;
+    }
+    let ring = ring_size(net);
+    ws.ensure_kernel(ring);
+
+    // Highest local connection settled at the target (stopping criterion).
+    let mut tm: i64 = -1;
+
+    let mut state = RingState::init(net, lo, k, ws, ring, &mut stats);
+    while state.pending > 0 {
+        let b = (state.cur & state.mask) as usize;
+        while !ws.buckets[b].is_empty() {
+            stats.bucket_phases += 1;
+
+            // Pruning pre-sweep, as in the one-to-all kernel: raise
+            // `maxconn(v)` to the bucket's highest live connection so ties
+            // prune maximally. A boosted bound stays sound even if its own
+            // entry is stop-pruned below — any `j < i ≤ tm` it prunes was
+            // covered by the stopping criterion anyway.
+            let mut bvec = std::mem::take(&mut ws.buckets[b]);
+            for &s32 in &bvec {
+                let slot = s32 as usize;
+                if ws.arr(slot) == INFINITY {
+                    let i = (slot / nv) as u32;
+                    let mc = ws.maxconn(slot % nv);
+                    if (mc == u32::MAX) | (i > mc) {
+                        ws.set_maxconn(slot % nv, i);
+                    }
+                }
+            }
+            state.frontier.clear();
+            for &s32 in &bvec {
+                let slot = s32 as usize;
+                if ws.arr(slot) != INFINITY {
+                    continue;
+                }
+                debug_assert_eq!(ws.tent(slot), state.cur);
+                stats.settled += 1;
+                let i = (slot / nv) as u32;
+                let v = slot % nv;
+                // Stopping criterion (Thm 2), as a masked select like
+                // self-pruning below. Ties inside one bucket settle in
+                // bucket order rather than heap order; the reduced profile
+                // is invariant under that reordering (module docs).
+                if stopping & ((i as i64) <= tm) {
+                    stats.stop_pruned += 1;
+                    stats.masked_prunes += 1;
+                    ws.set_arr(slot, PRUNED);
+                    continue;
+                }
+                if i < ws.maxconn(v) {
+                    stats.self_pruned += 1;
+                    stats.masked_prunes += 1;
+                    ws.set_arr(slot, PRUNED);
+                    continue;
+                }
+                ws.set_arr(slot, Time(state.cur));
+                // Settling the target finishes connection i: record the
+                // arrival and do not relax its edges.
+                if v == target_v {
+                    let iu = i as usize;
+                    ws.arr_t[iu] = ws.arr_t[iu].min(Time(state.cur));
+                    tm = tm.max(i as i64);
+                    continue;
+                }
+                state.frontier.push(s32);
+            }
+            state.pending -= bvec.len();
+            bvec.clear();
+            ws.buckets[b] = bvec;
+
+            state.relax_and_commit(net, nv, ws, &mut stats);
+        }
+        if !state.advance(ws, b) {
+            break;
+        }
+    }
+    state.finish(ws);
+    stats
+}
+
+/// Shared bucket-ring driver state of the two kernels.
+struct RingState {
+    cur: u32,
+    mask: u32,
+    ring: usize,
+    pending: usize,
+    frontier: Vec<u32>,
+    lane_slots: Vec<u32>,
+    lane_keys: Vec<u32>,
+}
+
+impl RingState {
+    /// Injects every outgoing connection of `lo..lo+k` up front (their
+    /// departure keys all lie within one period of the earliest, which the
+    /// ring covers) and positions the cursor on the earliest key.
+    fn init(
+        net: &Network,
+        lo: u32,
+        k: usize,
+        ws: &mut SearchWorkspace,
+        ring: usize,
+        stats: &mut QueryStats,
+    ) -> RingState {
+        let g = net.graph();
+        let tt = net.timetable();
+        let nv = g.num_nodes();
+        let mask = (ring - 1) as u32;
+        let mut cur = u32::MAX;
+        for i in 0..k {
+            let c = pt_core::ConnId(lo + i as u32);
+            let r = g.conn_start_node(c);
+            let dep = tt.connection(c).dep.secs();
+            let slot = i * nv + r.idx();
+            ws.set_tent(slot, dep);
+            let b = (dep & mask) as usize;
+            ws.buckets[b].push(slot as u32);
+            ws.occ[b >> 6] |= 1 << (b & 63);
+            stats.pushes += 1;
+            cur = cur.min(dep);
+        }
+        RingState {
+            cur,
+            mask,
+            ring,
+            pending: k,
+            frontier: std::mem::take(&mut ws.frontier),
+            lane_slots: std::mem::take(&mut ws.lane_slots),
+            lane_keys: std::mem::take(&mut ws.lane_keys),
+        }
+    }
+
+    /// Relax sweep grouped by edge kind + commit sweep, for the slots in
+    /// `self.frontier` (all settled at key `self.cur`).
+    fn relax_and_commit(
+        &mut self,
+        net: &Network,
+        nv: usize,
+        ws: &mut SearchWorkspace,
+        stats: &mut QueryStats,
+    ) {
+        let g = net.graph();
+        let kinds = g.kind_csr();
+        let period = g.period();
+        let cur = self.cur;
+
+        self.lane_slots.clear();
+        self.lane_keys.clear();
+        // Constant lane: every candidate shares the settle key, so this is
+        // a gather + saturating add with no data-dependent branches.
+        for &s32 in &self.frontier {
+            let slot = s32 as usize;
+            let v = slot % nv;
+            let base = (slot - v) as u32;
+            let (heads, secs) = kinds.const_edges(v);
+            for j in 0..heads.len() {
+                self.lane_slots.push(base + heads[j]);
+                self.lane_keys.push(Time::lane_add(cur, secs[j]));
+            }
+        }
+        // Time-dependent lane: one PLF evaluation per edge; an unserved
+        // edge yields `u32::MAX`, which the commit comparison absorbs.
+        for &s32 in &self.frontier {
+            let slot = s32 as usize;
+            let v = slot % nv;
+            let base = (slot - v) as u32;
+            let (heads, plf_idx) = kinds.td_edges(v);
+            for j in 0..heads.len() {
+                self.lane_slots.push(base + heads[j]);
+                self.lane_keys.push(g.plf(plf_idx[j]).eval_arr_secs(cur, period));
+            }
+        }
+        stats.lane_chunks += (self.lane_slots.len() as u64).div_ceil(64);
+
+        // Commit: one comparison folds unreachable, settled/pruned and
+        // non-improving candidates (tent of a settled slot is ≤ cur ≤ key).
+        for idx in 0..self.lane_slots.len() {
+            let key = self.lane_keys[idx];
+            let wslot = self.lane_slots[idx] as usize;
+            let t0 = ws.tent(wslot);
+            if key < t0 {
+                ws.set_tent(wslot, key);
+                let bb = (key & self.mask) as usize;
+                ws.buckets[bb].push(wslot as u32);
+                ws.occ[bb >> 6] |= 1 << (bb & 63);
+                self.pending += 1;
+                stats.relaxed += 1;
+                if t0 == u32::MAX {
+                    stats.pushes += 1;
+                } else {
+                    stats.decreases += 1;
+                }
+            }
+        }
+    }
+
+    /// Retires the drained bucket `b` and hops the cursor to the next
+    /// occupied bucket; `false` ends the search (ring empty).
+    fn advance(&mut self, ws: &mut SearchWorkspace, b: usize) -> bool {
+        ws.occ[b >> 6] &= !(1u64 << (b & 63));
+        if self.pending == 0 {
+            return false;
+        }
+        self.cur = self.cur.wrapping_add(next_occupied_step(&ws.occ, self.ring, b) as u32);
+        true
+    }
+
+    /// Returns the taken scratch vectors to the workspace.
+    fn finish(self, ws: &mut SearchWorkspace) {
+        debug_assert_eq!(self.pending, 0);
+        debug_assert!(ws.occ.iter().all(|&w| w == 0), "ring not drained");
+        ws.frontier = self.frontier;
+        ws.lane_slots = self.lane_slots;
+        ws.lane_keys = self.lane_keys;
+    }
+}
+
+/// Steps (≥ 1) from bucket `b` to the next occupied bucket, cyclically,
+/// by scanning the occupancy bitmap a word at a time. The caller
+/// guarantees at least one bucket is occupied and bucket `b` is not.
+fn next_occupied_step(occ: &[u64], ring: usize, b: usize) -> usize {
+    let words = ring.div_ceil(64);
+    let w0 = b / 64;
+    let bit0 = b % 64;
+    // Bits strictly above b in its word (bits ≥ ring are never set, so a
+    // sub-word ring falls through to the wrap loop correctly).
+    let above = (occ[w0] >> bit0) >> 1;
+    if above != 0 {
+        return 1 + above.trailing_zeros() as usize;
+    }
+    for dw in 1..=words {
+        let w = (w0 + dw) % words;
+        if occ[w] != 0 {
+            let pos = w * 64 + occ[w].trailing_zeros() as usize;
+            return (pos + ring - b) & (ring - 1);
+        }
+    }
+    unreachable!("next_occupied_step on an empty ring");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_mode_parses_and_displays() {
+        for (s, m) in
+            [("scalar", KernelMode::Scalar), ("SoA", KernelMode::Soa), ("AUTO", KernelMode::Auto)]
+        {
+            assert_eq!(s.parse::<KernelMode>().unwrap(), m);
+        }
+        assert!("vector".parse::<KernelMode>().is_err());
+        assert_eq!(KernelMode::Soa.to_string(), "soa");
+        assert_eq!(KernelMode::default(), KernelMode::Auto);
+    }
+
+    #[test]
+    fn auto_mode_gates_on_slot_count() {
+        assert!(!KernelMode::Auto.use_soa(100, 1024));
+        assert!(KernelMode::Auto.use_soa(2048, 1024));
+        assert!(KernelMode::Soa.use_soa(1, 1 << 20));
+        assert!(!KernelMode::Scalar.use_soa(1 << 30, 64));
+        assert!(KernelMode::Auto.soa_merge());
+        assert!(!KernelMode::Scalar.soa_merge());
+    }
+
+    #[test]
+    fn bitmap_step_scans_cyclically() {
+        // Ring of 128 buckets, occupancy in two words.
+        let ring = 128;
+        let mut occ = vec![0u64; 2];
+        let set = |occ: &mut Vec<u64>, b: usize| occ[b >> 6] |= 1 << (b & 63);
+        set(&mut occ, 5);
+        set(&mut occ, 70);
+        assert_eq!(next_occupied_step(&occ, ring, 3), 2);
+        assert_eq!(next_occupied_step(&occ, ring, 5), 65);
+        assert_eq!(next_occupied_step(&occ, ring, 70), 63); // wraps to 5
+                                                            // Sub-word ring: 16 buckets in one word.
+        let mut small = vec![0u64; 1];
+        small[0] |= 1 << 2;
+        assert_eq!(next_occupied_step(&small, 16, 9), 9); // 9 → 2 cyclically
+        assert_eq!(next_occupied_step(&small, 16, 0), 2);
+    }
+}

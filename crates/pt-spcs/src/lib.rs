@@ -11,6 +11,12 @@
 //!   1-D k-means,
 //! * [`parallel`] — the multi-threaded driver: one SPCS per thread on its
 //!   connection subset, merge + connection reduction at the master (§3.2),
+//! * [`kernel`] — the branch-light structure-of-arrays label kernels: a
+//!   time-bucketed frontier replaces the binary heap, relaxations sweep
+//!   edges grouped by kind into contiguous `u32` lanes, and a single
+//!   masked comparison commits improvements
+//!   ([`KernelMode::{Scalar, Soa, Auto}`](KernelMode) on both engines;
+//!   the scalar path stays the arbiter of correctness),
 //! * [`s2s`] — station-to-station queries (§4): stopping criterion,
 //!   distance-table pruning via `via(T)`, target pruning,
 //! * [`workspace`] — persistent, epoch-stamped per-worker search state;
@@ -44,6 +50,7 @@ pub mod connection_setting;
 pub mod contraction;
 pub mod distance_table;
 pub mod journey;
+pub mod kernel;
 pub mod label_correcting;
 pub mod multicriteria;
 pub mod network;
@@ -61,6 +68,7 @@ pub use cache::{CacheStats, ProfileCache};
 pub use connection_setting::ProfileEngine;
 pub use distance_table::{DistanceTable, StaleTable};
 pub use journey::{earliest_journey, Journey, Leg};
+pub use kernel::KernelMode;
 pub use network::{
     ConcurrentNetwork, DelayUpdate, FeedSummary, Network, NetworkSnapshot, PublishOutcome,
 };

@@ -17,13 +17,16 @@
 //! whole queries are distributed over the pool, each answered by a blocked
 //! single-worker search (`one_to_all_blocked`).
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use pt_core::StationId;
+use pt_core::{Period, Profile, ProfilePoint, StationId};
+use pt_timetable::Connection;
 
 use crate::connection_setting;
+use crate::kernel::KernelMode;
 use crate::network::Network;
 use crate::partition::PartitionStrategy;
 use crate::profile_set::ProfileSet;
@@ -52,18 +55,27 @@ where
     T: Send,
     F: Fn(usize, &mut SearchWorkspace) -> T + Sync,
 {
+    // Claim contiguous chunks rather than single items: one atomic RMW per
+    // chunk instead of per item, and consecutive indices stay on one worker
+    // (warm per-source state for batches that repeat or sort their inputs).
+    // ~4 chunks per worker keeps the tail balanced under skewed item cost.
+    let workers = workspaces.len().max(1);
+    let chunk = (n / (workers * 4)).max(1);
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     rayon::global().scope(|scope| {
         for ws in workspaces.iter_mut() {
             let (next, slots, job) = (&next, &slots, &job);
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                let result = job(i, ws);
-                *slots[i].lock().unwrap() = Some(result);
+                let end = n.min(start + chunk);
+                for (i, slot) in slots[start..end].iter().enumerate() {
+                    let result = job(start + i, ws);
+                    *slot.lock().unwrap() = Some(result);
+                }
             });
         }
     });
@@ -82,6 +94,7 @@ pub(crate) fn one_to_all(
     p: usize,
     strategy: PartitionStrategy,
     self_pruning: bool,
+    kernel: KernelMode,
     workspaces: &mut [SearchWorkspace],
 ) -> OneToAllResult {
     let tt = net.timetable();
@@ -100,6 +113,7 @@ pub(crate) fn one_to_all(
             conn_range.start,
             conn_range.end,
             self_pruning,
+            kernel,
             &mut workspaces[0],
         );
     } else {
@@ -109,7 +123,7 @@ pub(crate) fn one_to_all(
             {
                 let (lo, hi) = (conn_range.start + r.start, conn_range.start + r.end);
                 scope.spawn(move || {
-                    *st = connection_setting::run_range(net, lo, hi, self_pruning, ws);
+                    *st = connection_setting::run_range(net, lo, hi, self_pruning, kernel, ws);
                 });
             }
         });
@@ -123,23 +137,84 @@ pub(crate) fn one_to_all(
     // (threads do not prune each other), the reduction restores it.
     let merge_start = Instant::now();
     let used = &workspaces[..ranges.len()];
-    let mut profiles = Vec::with_capacity(ns);
-    for s in 0..ns {
-        let points = used.iter().zip(&ranges).flat_map(|(ws, r)| {
-            let k = r.len();
-            (0..k).map(move |i| {
-                let dep = conns[r.start as usize + i].dep;
-                let arr = ws.station_arr[i * ns + s];
-                (dep, arr)
-            })
-        });
-        profiles.push(connection_setting::reduce_station_profile(points, period));
-    }
+    let profiles = if kernel.soa_merge() {
+        master_merge(used, &ranges, conns, ns, period, p)
+    } else {
+        let mut profiles = Vec::with_capacity(ns);
+        for s in 0..ns {
+            let points = used.iter().zip(&ranges).flat_map(|(ws, r)| {
+                let k = r.len();
+                (0..k).map(move |i| {
+                    let dep = conns[r.start as usize + i].dep;
+                    let arr = ws.station_arr[i * ns + s];
+                    (dep, arr)
+                })
+            });
+            profiles.push(connection_setting::reduce_station_profile(points, period));
+        }
+        profiles
+    };
     stats.merge_ns = merge_start.elapsed().as_nanos() as u64;
     OneToAllResult {
         profiles: Arc::new(ProfileSet::new(source, period, profiles)),
         stats,
         thread_settled,
+    }
+}
+
+/// The SoA master merge: reduces the per-class station labels into profiles
+/// through one reusable scratch buffer per merge job
+/// ([`Profile::from_unreduced_in`] — one allocation per job instead of one
+/// per station), and splits the stations into contiguous chunks on the
+/// global pool when the query ran parallel anyway (`jobs > 1`). Stations
+/// are independent, so the chunked merge is trivially order-preserving.
+fn master_merge(
+    used: &[SearchWorkspace],
+    ranges: &[Range<u32>],
+    conns: &[Connection],
+    ns: usize,
+    period: Period,
+    jobs: usize,
+) -> Vec<Profile> {
+    // Gather + reduce stations `lo..hi` of one chunk.
+    let merge_chunk = |lo: usize, hi: usize, out: &mut Vec<Profile>| {
+        let mut scratch: Vec<ProfilePoint> = Vec::new();
+        for s in lo..hi {
+            for (ws, r) in used.iter().zip(ranges) {
+                for i in 0..r.len() {
+                    let arr = ws.station_arr[i * ns + s];
+                    if !arr.is_infinite() {
+                        scratch.push(ProfilePoint::new(conns[r.start as usize + i].dep, arr));
+                    }
+                }
+            }
+            out.push(Profile::from_unreduced_in(&mut scratch, period));
+        }
+    };
+    // More chunks than pool workers is pure scheduling overhead (on a
+    // single-core host the whole parallel branch is), and below ~64
+    // stations the spawn overhead beats the merge itself.
+    let jobs = jobs.min(rayon::global().threads());
+    if jobs > 1 && ns >= 64 {
+        let chunk = ns.div_ceil(jobs);
+        let slots: Vec<Mutex<Option<Vec<Profile>>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        rayon::global().scope(|scope| {
+            for (j, slot) in slots.iter().enumerate() {
+                let merge_chunk = &merge_chunk;
+                scope.spawn(move || {
+                    let lo = (j * chunk).min(ns);
+                    let hi = (lo + chunk).min(ns);
+                    let mut out = Vec::with_capacity(hi - lo);
+                    merge_chunk(lo, hi, &mut out);
+                    *slot.lock().unwrap() = Some(out);
+                });
+            }
+        });
+        slots.into_iter().flat_map(|m| m.into_inner().unwrap().expect("chunk merged")).collect()
+    } else {
+        let mut out = Vec::with_capacity(ns);
+        merge_chunk(0, ns, &mut out);
+        out
     }
 }
 
@@ -158,6 +233,7 @@ pub(crate) fn one_to_all_blocked(
     blocks: usize,
     strategy: PartitionStrategy,
     self_pruning: bool,
+    kernel: KernelMode,
     ws: &mut SearchWorkspace,
 ) -> OneToAllResult {
     let tt = net.timetable();
@@ -177,6 +253,7 @@ pub(crate) fn one_to_all_blocked(
             lo,
             hi,
             self_pruning,
+            kernel,
             ws,
             r.start as usize * ns,
         ));
@@ -184,12 +261,28 @@ pub(crate) fn one_to_all_blocked(
     let thread_settled: Vec<u64> = per_stats.iter().map(|r| r.settled).collect();
     let mut stats = QueryStats::sum(per_stats);
 
+    // The query-level buffer is one contiguous k×ns block, i.e. a single
+    // "class" covering 0..k — the SoA merge runs sequentially here (jobs=1):
+    // blocked searches already execute inside a batch worker.
     let merge_start = Instant::now();
-    let mut profiles = Vec::with_capacity(ns);
-    for s in 0..ns {
-        let points = (0..k).map(|i| (conns[i].dep, ws.station_arr[i * ns + s]));
-        profiles.push(connection_setting::reduce_station_profile(points, period));
-    }
+    let profiles = if kernel.soa_merge() {
+        let full_range = 0..k as u32;
+        master_merge(
+            std::slice::from_ref(ws),
+            std::slice::from_ref(&full_range),
+            conns,
+            ns,
+            period,
+            1,
+        )
+    } else {
+        let mut profiles = Vec::with_capacity(ns);
+        for s in 0..ns {
+            let points = (0..k).map(|i| (conns[i].dep, ws.station_arr[i * ns + s]));
+            profiles.push(connection_setting::reduce_station_profile(points, period));
+        }
+        profiles
+    };
     stats.merge_ns = merge_start.elapsed().as_nanos() as u64;
     OneToAllResult {
         profiles: Arc::new(ProfileSet::new(source, period, profiles)),
@@ -210,10 +303,11 @@ pub(crate) fn many_to_all_across(
     blocks: usize,
     strategy: PartitionStrategy,
     self_pruning: bool,
+    kernel: KernelMode,
     workspaces: &mut [SearchWorkspace],
 ) -> Vec<OneToAllResult> {
     run_batch(workspaces, sources.len(), |i, ws| {
-        one_to_all_blocked(net, sources[i], blocks, strategy, self_pruning, ws)
+        one_to_all_blocked(net, sources[i], blocks, strategy, self_pruning, kernel, ws)
     })
 }
 

@@ -39,6 +39,7 @@ use pt_core::{ConnId, NodeId, Profile, StationId, Time, INFINITY};
 use crate::cache::{CacheStats, LruCore};
 use crate::connection_setting::{reduce_station_profile, PRUNED};
 use crate::distance_table::{DistanceTable, StaleTable};
+use crate::kernel::{self, KernelMode};
 use crate::network::Network;
 use crate::partition::PartitionStrategy;
 use crate::stats::QueryStats;
@@ -144,6 +145,7 @@ pub struct S2sEngine<'a> {
     threads: usize,
     strategy: PartitionStrategy,
     stopping: bool,
+    kernel: KernelMode,
     table: Option<&'a DistanceTable>,
     mask: Vec<bool>,
     /// Idle workspaces, checked out per query.
@@ -165,6 +167,7 @@ impl<'a> S2sEngine<'a> {
             threads: 1,
             strategy: PartitionStrategy::EqualConnections,
             stopping: true,
+            kernel: KernelMode::Auto,
             table: None,
             mask: Vec::new(),
             pool: WorkspacePool::new(),
@@ -188,6 +191,14 @@ impl<'a> S2sEngine<'a> {
     /// Enables/disables the stopping criterion (ablation).
     pub fn stopping_criterion(mut self, on: bool) -> Self {
         self.stopping = on;
+        self
+    }
+
+    /// Selects the label kernel (see [`KernelMode`]). Only plain/local
+    /// searches — no distance-table pruning inside the search — have an
+    /// SoA path; via/target-pruned searches always run scalar.
+    pub fn kernel(mut self, mode: KernelMode) -> Self {
+        self.kernel = mode;
         self
     }
 
@@ -288,8 +299,14 @@ impl<'a> S2sEngine<'a> {
                 return Ok(S2sResult { profile: (*profile).clone(), stats, kind });
             }
         }
-        let cfg =
-            QueryConfig { net, table, mask, stopping: self.stopping, strategy: self.strategy };
+        let cfg = QueryConfig {
+            net,
+            table,
+            mask,
+            stopping: self.stopping,
+            strategy: self.strategy,
+            kernel: self.kernel,
+        };
         let mut workspaces = self.pool.checkout(self.threads);
         let mut r = query_with(&cfg, self.threads, &mut workspaces, source, target);
         self.pool.checkin(workspaces);
@@ -376,8 +393,14 @@ impl<'a> S2sEngine<'a> {
             misses.extend_from_slice(pairs);
         }
         if !misses.is_empty() {
-            let cfg =
-                QueryConfig { net, table, mask, stopping: self.stopping, strategy: self.strategy };
+            let cfg = QueryConfig {
+                net,
+                table,
+                mask,
+                stopping: self.stopping,
+                strategy: self.strategy,
+                kernel: self.kernel,
+            };
             let mut workspaces = self.pool.checkout(self.threads);
             let computed = batch_with(&cfg, self.threads, &mut workspaces, &misses);
             self.pool.checkin(workspaces);
@@ -428,6 +451,7 @@ struct QueryConfig<'a> {
     mask: &'a [bool],
     stopping: bool,
     strategy: PartitionStrategy,
+    kernel: KernelMode,
 }
 
 /// Answers one query on the given workers; the common backend of
@@ -492,7 +516,7 @@ fn query_with(
 
     let mut per_stats = vec![QueryStats::default(); ranges.len()];
     if threads == 1 {
-        per_stats[0] = s2s_range(
+        per_stats[0] = s2s_range_dispatch(
             cfg.net,
             conn_range.start,
             conn_range.end,
@@ -500,6 +524,7 @@ fn query_with(
             cfg.stopping,
             cfg.mask,
             mode,
+            cfg.kernel,
             &mut workspaces[0],
         );
     } else {
@@ -508,9 +533,9 @@ fn query_with(
                 workspaces[..ranges.len()].iter_mut().zip(per_stats.iter_mut()).zip(&ranges)
             {
                 let (lo, hi) = (conn_range.start + r.start, conn_range.start + r.end);
-                let (net, mask, stopping) = (cfg.net, cfg.mask, cfg.stopping);
+                let (net, mask, stopping, km) = (cfg.net, cfg.mask, cfg.stopping, cfg.kernel);
                 scope.spawn(move || {
-                    *st = s2s_range(net, lo, hi, target, stopping, mask, mode, ws);
+                    *st = s2s_range_dispatch(net, lo, hi, target, stopping, mask, mode, km, ws);
                 });
             }
         });
@@ -533,6 +558,30 @@ enum Mode<'t> {
     Plain,
     Via { table: &'t DistanceTable, via: &'t [StationId] },
     Target { table: &'t DistanceTable },
+}
+
+/// Routes one partition class to the scalar search or the SoA kernel.
+/// Only plain-mode searches (stopping criterion + self-pruning, no table
+/// probes inside the loop) have a kernel path; via/target pruning is
+/// inherently branchy and always runs scalar.
+#[allow(clippy::too_many_arguments)]
+fn s2s_range_dispatch(
+    net: &Network,
+    lo: u32,
+    hi: u32,
+    target: StationId,
+    stopping: bool,
+    transfer_mask: &[bool],
+    mode: Mode<'_>,
+    kernel_mode: KernelMode,
+    ws: &mut SearchWorkspace,
+) -> QueryStats {
+    let slots = (hi - lo) as usize * net.graph().num_nodes();
+    if matches!(mode, Mode::Plain) && kernel_mode.use_soa(slots, kernel::ring_size(net)) {
+        kernel::s2s_range_soa(net, lo, hi, target, stopping, ws)
+    } else {
+        s2s_range(net, lo, hi, target, stopping, transfer_mask, mode, ws)
+    }
 }
 
 /// One worker: SPCS over the connection range `lo..hi` specialized to

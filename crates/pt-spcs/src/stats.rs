@@ -34,6 +34,14 @@ pub struct QueryStats {
     pub cache_misses: u64,
     /// Cache entries evicted while storing this query's result.
     pub cache_evictions: u64,
+    /// Bucket phases swept by the SoA kernel (one settle + relax + commit
+    /// round per non-empty time bucket). Always 0 on the scalar path.
+    pub bucket_phases: u64,
+    /// 64-wide candidate chunks pushed through the SoA commit loop.
+    pub lane_chunks: u64,
+    /// Labels discarded by the kernel's masked select (the branch-light
+    /// form of self-pruning; also counted in `self_pruned`/`stop_pruned`).
+    pub masked_prunes: u64,
 }
 
 impl AddAssign for QueryStats {
@@ -49,6 +57,9 @@ impl AddAssign for QueryStats {
         self.cache_hits += rhs.cache_hits;
         self.cache_misses += rhs.cache_misses;
         self.cache_evictions += rhs.cache_evictions;
+        self.bucket_phases += rhs.bucket_phases;
+        self.lane_chunks += rhs.lane_chunks;
+        self.masked_prunes += rhs.masked_prunes;
     }
 }
 

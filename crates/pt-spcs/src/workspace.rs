@@ -65,6 +65,19 @@ pub struct SearchWorkspace {
     pub(crate) done: Vec<bool>,
     /// Queue entries per connection whose path lacks a transfer ancestor.
     pub(crate) noanc: Vec<u32>,
+    /// SoA kernel: tentative key per slot, stamped with `slot_epoch`.
+    tent: Vec<u32>,
+    /// SoA kernel: bucket ring of slot queues, indexed `key & (ring − 1)`.
+    /// Invariant between queries: every bucket is drained empty.
+    pub(crate) buckets: Vec<Vec<u32>>,
+    /// SoA kernel: bucket-ring occupancy bitmap (one bit per bucket).
+    /// Invariant between queries: all zero.
+    pub(crate) occ: Vec<u64>,
+    /// SoA kernel: slots settled by the current bucket phase.
+    pub(crate) frontier: Vec<u32>,
+    /// SoA kernel: candidate lanes `(slot, key)` from the relax sweep.
+    pub(crate) lane_slots: Vec<u32>,
+    pub(crate) lane_keys: Vec<u32>,
     /// Number of backing-array growth events since construction.
     grow_events: u64,
 }
@@ -92,6 +105,12 @@ impl SearchWorkspace {
             gamma: Vec::new(),
             done: Vec::new(),
             noanc: Vec::new(),
+            tent: Vec::new(),
+            buckets: Vec::new(),
+            occ: Vec::new(),
+            frontier: Vec::new(),
+            lane_slots: Vec::new(),
+            lane_keys: Vec::new(),
             grow_events: 0,
         }
     }
@@ -157,6 +176,11 @@ impl SearchWorkspace {
             if slot < self.anc.len() {
                 self.anc[slot] = false;
             }
+            // `tent` is only sized once a SoA kernel query has run; same
+            // deal as `anc` for queries wider than the last kernel one.
+            if slot < self.tent.len() {
+                self.tent[slot] = u32::MAX;
+            }
         }
     }
 
@@ -218,6 +242,44 @@ impl SearchWorkspace {
         fresh_vec(&mut self.gamma, k, INFINITY, &mut self.grow_events);
         fresh_vec(&mut self.done, k, false, &mut self.grow_events);
         fresh_vec(&mut self.noanc, k, 0, &mut self.grow_events);
+    }
+
+    /// Sizes the SoA kernel scratch: `tent` to the slot space of the last
+    /// [`SearchWorkspace::begin`], the bucket ring to `ring` buckets (a
+    /// power of two). Call right after `begin`, before any label writes
+    /// (so `stamp_slot` knows to reset `tent` stamps). O(1) when warm.
+    pub(crate) fn ensure_kernel(&mut self, ring: usize) {
+        debug_assert!(ring.is_power_of_two());
+        if self.slot_epoch.len() > self.tent.len() {
+            self.grow_events += 1;
+            self.tent.resize(self.slot_epoch.len(), u32::MAX);
+        }
+        // A previously grown, larger ring stays usable for a smaller mask:
+        // the kernel only ever touches buckets `0..ring`.
+        if ring > self.buckets.len() {
+            self.grow_events += 1;
+            self.buckets.resize_with(ring, Vec::new);
+        }
+        if ring.div_ceil(64) > self.occ.len() {
+            self.occ.resize(ring.div_ceil(64), 0);
+        }
+    }
+
+    /// Tentative kernel key of `slot`, `u32::MAX` if untouched this query.
+    #[inline]
+    pub(crate) fn tent(&self, slot: usize) -> u32 {
+        if self.slot_epoch[slot] == self.epoch {
+            self.tent[slot]
+        } else {
+            u32::MAX
+        }
+    }
+
+    /// Sets the tentative kernel key of `slot`.
+    #[inline]
+    pub(crate) fn set_tent(&mut self, slot: usize, key: u32) {
+        self.stamp_slot(slot);
+        self.tent[slot] = key;
     }
 }
 
@@ -373,6 +435,27 @@ mod tests {
         assert_eq!(ws.iter().map(SearchWorkspace::grow_events).sum::<u64>(), grows);
         pool.checkin(ws);
         assert_eq!(pool.checkout(5).len(), 5);
+    }
+
+    #[test]
+    fn kernel_scratch_is_epoch_stamped_and_warm() {
+        let mut ws = SearchWorkspace::new();
+        ws.begin(16, 4, false);
+        ws.ensure_kernel(64);
+        let g = ws.grow_events();
+        ws.set_tent(5, 123);
+        assert_eq!(ws.tent(5), 123);
+        assert!(ws.arr(5).is_infinite(), "a tent write must not settle the slot");
+        ws.set_arr(5, Time(9));
+        assert_eq!(ws.tent(5), 123, "settling must keep the key");
+        ws.begin(16, 4, false);
+        ws.ensure_kernel(64);
+        assert_eq!(ws.grow_events(), g, "warm kernel begin must not allocate");
+        assert_eq!(ws.tent(5), u32::MAX);
+        // A smaller ring reuses the larger ring's buckets.
+        ws.begin(16, 4, false);
+        ws.ensure_kernel(32);
+        assert_eq!(ws.grow_events(), g);
     }
 
     #[test]

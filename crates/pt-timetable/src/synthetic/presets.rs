@@ -93,6 +93,16 @@ pub fn europe_like(scale: f64) -> Preset {
     Preset { name: "Europe", timetable: generate_rail(&RailConfig::continental(cities, 0xE0B0)) }
 }
 
+/// Metro-like megacity network: an order of magnitude more stations than
+/// [`oahu_like`] at the same scale (≥ 200 stations at `scale = 0.05`),
+/// sized so throughput benchmarks exercise the large-slot regime where the
+/// SoA kernels and the parallel master-merge pay off. Not part of
+/// [`all_presets`] — the paper-table binaries and the cross-check keep the
+/// five paper inputs; the `throughput` bench adds this one explicitly.
+pub fn metro_like(scale: f64) -> Preset {
+    city_preset("Metro", 4000, 260, (14, 34), 0x3E78, scale)
+}
+
 /// All five presets at the given scale, in the paper's table order.
 pub fn all_presets(scale: f64) -> Vec<Preset> {
     vec![
@@ -123,6 +133,16 @@ mod tests {
         let a = washington_like(0.1);
         let b = washington_like(0.1);
         assert_eq!(a.timetable.connections(), b.timetable.connections());
+    }
+
+    #[test]
+    fn metro_preset_is_large_even_at_bench_scale() {
+        let m = metro_like(0.05);
+        assert!(
+            m.timetable.num_stations() >= 200,
+            "Metro at 0.05 has {} stations",
+            m.timetable.num_stations()
+        );
     }
 
     #[test]

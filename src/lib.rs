@@ -61,9 +61,9 @@ pub mod prelude {
     };
     pub use pt_graph::{StationGraph, TdGraph};
     pub use pt_spcs::{
-        CacheStats, ConcurrentNetwork, DelayUpdate, DistanceTable, FeedSummary, Network,
-        NetworkSnapshot, PartitionStrategy, ProfileEngine, PublishOutcome, QueryStats, Routed,
-        RouterError, S2sCache, S2sEngine, ShardFeedOutcome, ShardId, ShardedFeedSummary,
+        CacheStats, ConcurrentNetwork, DelayUpdate, DistanceTable, FeedSummary, KernelMode,
+        Network, NetworkSnapshot, PartitionStrategy, ProfileEngine, PublishOutcome, QueryStats,
+        Routed, RouterError, S2sCache, S2sEngine, ShardFeedOutcome, ShardId, ShardedFeedSummary,
         ShardedService, StaleTable, TransferSelection,
     };
     pub use pt_timetable::{DelayEvent, Recovery, Station, Timetable, TimetableBuilder, TripStop};

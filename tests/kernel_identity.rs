@@ -1,0 +1,163 @@
+//! Kernel identity: the bucketed SoA kernel and the scalar binary-heap
+//! reference must produce exactly equal reduced profiles — one-to-all and
+//! station-to-station, sequential and parallel, before and after live
+//! delay updates. The scalar path is the arbiter of correctness; these
+//! tests force both kernels explicitly (`Auto` would route the tiny
+//! random networks to the scalar path and test nothing).
+
+use proptest::prelude::*;
+
+use best_connections::prelude::*;
+
+/// A random trip: station path (indices into 0..n), start minute, leg
+/// durations in minutes, dwell minutes.
+#[derive(Debug, Clone)]
+struct TripSpec {
+    path: Vec<u8>,
+    start_min: u32,
+    leg_min: Vec<u16>,
+    dwell_min: u8,
+}
+
+fn trip_strategy(n: u8) -> impl Strategy<Value = TripSpec> {
+    (2usize..=5)
+        .prop_flat_map(move |len| {
+            (
+                prop::collection::vec(0..n, len),
+                0u32..(24 * 60),
+                prop::collection::vec(1u16..=130, len - 1),
+                0u8..=5,
+            )
+        })
+        .prop_map(|(path, start_min, leg_min, dwell_min)| TripSpec {
+            path,
+            start_min,
+            leg_min,
+            dwell_min,
+        })
+}
+
+/// Builds a timetable from specs; consecutive duplicate stations in a path
+/// are skipped (the builder rejects self-loops).
+fn build(transfer_min: &[u8], trips: Vec<TripSpec>) -> Option<Timetable> {
+    let mut b = TimetableBuilder::new(Period::DAY);
+    for (i, &tm) in transfer_min.iter().enumerate() {
+        b.add_named_station(format!("S{i}"), Dur::minutes(tm as u32));
+    }
+    let mut added = 0;
+    for t in trips {
+        let mut path: Vec<StationId> = Vec::new();
+        for &p in &t.path {
+            let s = StationId(p as u32);
+            if path.last() != Some(&s) {
+                path.push(s);
+            }
+        }
+        if path.len() < 2 {
+            continue;
+        }
+        let legs: Vec<Dur> =
+            t.leg_min.iter().take(path.len() - 1).map(|&m| Dur::minutes(m as u32)).collect();
+        b.add_simple_trip(&path, Time(t.start_min * 60), &legs, Dur::minutes(t.dwell_min as u32))
+            .ok()?;
+        added += 1;
+    }
+    if added == 0 {
+        return None;
+    }
+    b.build().ok()
+}
+
+fn one_to_all_engines() -> (ProfileEngine, ProfileEngine) {
+    (ProfileEngine::new().kernel(KernelMode::Scalar), ProfileEngine::new().kernel(KernelMode::Soa))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn soa_equals_scalar_on_random_timetables(
+        transfer_min in prop::collection::vec(0u8..=8, 3..=6),
+        trips in prop::collection::vec(trip_strategy(6), 1..=10),
+    ) {
+        let Some(tt) = build(&transfer_min, trips) else { return Ok(()) };
+        let net = Network::new(tt);
+        let (scalar, soa) = one_to_all_engines();
+        let par = ProfileEngine::new().kernel(KernelMode::Soa).threads(3);
+        for s in net.station_ids() {
+            let want = scalar.one_to_all(&net, s);
+            prop_assert_eq!(&soa.one_to_all(&net, s), &want, "source {}", s);
+            // The parallel master-merge runs its SoA form here.
+            prop_assert_eq!(&par.one_to_all(&net, s), &want, "parallel from {}", s);
+        }
+    }
+
+    #[test]
+    fn s2s_soa_equals_scalar_incl_after_delay(
+        transfer_min in prop::collection::vec(0u8..=8, 3..=6),
+        trips in prop::collection::vec(trip_strategy(6), 2..=10),
+        delay_min in 1u32..=90,
+    ) {
+        let Some(tt) = build(&transfer_min, trips) else { return Ok(()) };
+        let mut net = Network::new(tt);
+        let scalar = S2sEngine::new().kernel(KernelMode::Scalar);
+        let soa = S2sEngine::new().kernel(KernelMode::Soa);
+        // Before and after a live delay patch: the kernel's edge-span bound
+        // must stay valid under repatched travel-time functions.
+        for round in 0..2 {
+            for s in net.station_ids() {
+                for t in net.station_ids() {
+                    if s == t { continue; }
+                    let want = scalar.query(&net, s, t);
+                    let got = soa.query(&net, s, t);
+                    prop_assert_eq!(
+                        &got.profile, &want.profile,
+                        "{} → {} round {}", s, t, round
+                    );
+                }
+            }
+            net.apply_delay(TrainId(0), 0, Dur::minutes(delay_min), Recovery::None);
+        }
+    }
+}
+
+/// Deterministic fast check on a generated city: forced-SoA results equal
+/// forced-scalar results, the kernel actually ran (its counters are live),
+/// and `Auto` resolves to the same profiles either way.
+#[test]
+fn kernel_identity_on_generated_city() {
+    let net =
+        Network::new(best_connections::timetable::synthetic::presets::oahu_like(0.05).timetable);
+    let (scalar, soa) = one_to_all_engines();
+    let auto = ProfileEngine::new();
+    let sources: Vec<StationId> = net.station_ids().step_by(7).collect();
+    for &s in &sources {
+        let want = scalar.one_to_all_with_stats(&net, s);
+        let got = soa.one_to_all_with_stats(&net, s);
+        assert_eq!(got.profiles, want.profiles, "source {s}");
+        assert_eq!(auto.one_to_all(&net, s), want.profiles, "auto, source {s}");
+        assert!(got.stats.bucket_phases > 0, "SoA kernel must have swept buckets");
+        assert!(got.stats.lane_chunks > 0, "SoA kernel must have filled lanes");
+        assert_eq!(want.stats.bucket_phases, 0, "scalar path must not touch the ring");
+        // The bucket pre-sweep prunes equal-key ties maximally, so the
+        // kernel never settles more than the heap's arbitrary tie order.
+        assert!(
+            got.stats.settled <= want.stats.settled,
+            "source {s}: SoA settled {} > scalar {}",
+            got.stats.settled,
+            want.stats.settled
+        );
+    }
+    // Station-to-station, with and without the stopping criterion.
+    let s2s_scalar = S2sEngine::new().kernel(KernelMode::Scalar);
+    let s2s_soa = S2sEngine::new().kernel(KernelMode::Soa);
+    let nostop = S2sEngine::new().kernel(KernelMode::Soa).stopping_criterion(false);
+    for (&s, &t) in sources.iter().zip(sources.iter().rev()) {
+        if s == t {
+            continue;
+        }
+        let want = s2s_scalar.query(&net, s, t);
+        assert_eq!(s2s_soa.query(&net, s, t).profile, want.profile, "{s} → {t}");
+        assert_eq!(nostop.query(&net, s, t).profile, want.profile, "{s} → {t} no-stop");
+    }
+}
