@@ -19,6 +19,11 @@
 //!   [`Network::apply_feed`], reporting events/sec, repatch-vs-rebuild
 //!   route counts, and the cache hit rate of a workload replayed across
 //!   the feeds (each feed costs exactly one invalidation),
+//! * **publish** — the copy-on-write snapshot cost: single-train-delay
+//!   feeds through a [`ConcurrentNetwork`] with a small distance table,
+//!   reporting per-publish p50/p99 ns, the copied-vs-shared bucket /
+//!   route / table-row counts, and the speedup over the pre-CoW
+//!   behaviour (a full deep clone of network + table per publish),
 //! * **shard** — the multi-network serving phase: every preset becomes a
 //!   shard of one [`ShardedService`] (padded with staggered copies up to
 //!   three shards when a `BC_NETWORKS` filter leaves fewer), a mixed
@@ -54,11 +59,15 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use pt_bench::report::{balance, json_out_path, median, write_json, Json};
+use pt_bench::report::{balance, json_out_path, median, percentile, write_json, Json};
 use pt_bench::{env_parse, random_feed, random_pairs, random_stations, BenchConfig};
-use pt_core::StationId;
-use pt_spcs::{KernelMode, Network, ProfileEngine, QueryStats, S2sEngine, ShardedService};
+use pt_core::{Dur, StationId, TrainId};
+use pt_spcs::{
+    ConcurrentNetwork, KernelMode, Network, ProfileEngine, QueryStats, S2sEngine, ShardedService,
+    TransferSelection,
+};
 use pt_timetable::synthetic::presets;
+use pt_timetable::{DelayEvent, Recovery};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -281,6 +290,79 @@ fn main() {
              {refit} refit; post-feed cache hit rate {:.0}%",
             post_feed_hit_rate * 100.0
         );
+
+        // --- publish (copy-on-write snapshot cost) ------------------------
+        // Single-train-delay feeds through a ConcurrentNetwork with a small
+        // distance table: per publish, what got copied vs what stayed
+        // `Arc`-shared with the previous snapshot, and the p50/p99 cost of
+        // building + swapping in the snapshot. The reference is the pre-CoW
+        // behaviour — a full deep clone of network and table per publish.
+        let publish_rounds = 8usize;
+        let cnet = ConcurrentNetwork::with_table(net.clone(), &TransferSelection::Fraction(0.1));
+        let mut prev = cnet.snapshot();
+        let stations_n = prev.num_stations();
+        let table_rows = prev.table().map(|t| t.len()).unwrap_or(0);
+        let mut publish_ns: Vec<f64> = Vec::new();
+        let (mut buckets_shared, mut buckets_copied) = (0usize, 0usize);
+        let (mut routes_shared, mut routes_copied) = (0usize, 0usize);
+        let (mut rows_shared, mut rows_copied) = (0usize, 0usize);
+        let mut tried = 0u32;
+        while publish_ns.len() < publish_rounds && tried < publish_rounds as u32 * 4 {
+            let ev = DelayEvent::Delay {
+                train: TrainId(tried * 3 % num_trains.max(1)),
+                from_hop: 0,
+                delay: Dur::minutes(3 + tried % 9),
+                recovery: Recovery::None,
+            };
+            tried += 1;
+            let outcome = cnet.apply_feed(&[ev]);
+            if !outcome.summary.changed() {
+                continue;
+            }
+            let snap = outcome.published.clone().expect("changed feeds publish");
+            publish_ns.push(outcome.publish_ns as f64);
+            let sb = snap.timetable().shared_buckets_with(prev.timetable());
+            buckets_shared += sb;
+            buckets_copied += stations_n - sb;
+            let sr = snap.routes().shared_routes_with(prev.routes());
+            routes_shared += sr;
+            routes_copied += snap.routes().len().saturating_sub(sr);
+            if let (Some(new), Some(old)) = (snap.shared_table(), prev.shared_table()) {
+                let shared = new.shared_rows_with(&old);
+                rows_shared += shared;
+                rows_copied += new.len() - shared;
+            }
+            prev = snap;
+        }
+        assert!(!publish_ns.is_empty(), "single-train delays must publish");
+
+        // Pre-CoW reference: every publish deep-cloned the whole network
+        // and table, and deep-dropped the snapshot it displaced. Time a
+        // clone + drop cycle (the CoW p50 likewise includes dropping the
+        // displaced snapshot inside the slot swap); median of 3 rounds.
+        let snap = cnet.snapshot();
+        let mut full_rounds: Vec<f64> = Vec::new();
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let full_net = snap.network().deep_clone_same_epoch();
+            let full_table = snap.table().map(|t| t.deep_clone());
+            drop(std::hint::black_box((full_net, full_table)));
+            full_rounds.push(t0.elapsed().as_nanos() as f64);
+        }
+        let full_clone_ns = median(&full_rounds);
+
+        let publish_p50 = median(&publish_ns);
+        let publish_p99 = percentile(&publish_ns, 99.0);
+        let publish_speedup = if publish_p50 > 0.0 { full_clone_ns / publish_p50 } else { 0.0 };
+        println!("publish ({} single-train publishes, {table_rows} table rows):", publish_ns.len());
+        println!(
+            "  p50 {:.1} us, p99 {:.1} us vs full clone {:.1} us ({publish_speedup:.1}x); \
+             copied/shared per publish: buckets {buckets_copied}/{buckets_shared}, \
+             routes {routes_copied}/{routes_shared}, rows {rows_copied}/{rows_shared}",
+            publish_p50 / 1e3,
+            publish_p99 / 1e3,
+            full_clone_ns / 1e3,
+        );
         println!();
 
         networks_json.push(Json::obj([
@@ -371,6 +453,23 @@ fn main() {
                     ("routes_repatched", Json::from(repatched)),
                     ("routes_refit", Json::from(refit)),
                     ("post_feed_cache_hit_rate", Json::from(post_feed_hit_rate)),
+                ]),
+            ),
+            (
+                "publish",
+                Json::obj([
+                    ("publishes", Json::from(publish_ns.len())),
+                    ("p50_ns", Json::from(publish_p50 as u64)),
+                    ("p99_ns", Json::from(publish_p99 as u64)),
+                    ("full_clone_ns", Json::from(full_clone_ns as u64)),
+                    ("speedup_vs_full_clone", Json::from(publish_speedup)),
+                    ("table_rows", Json::from(table_rows)),
+                    ("buckets_copied", Json::from(buckets_copied)),
+                    ("buckets_shared", Json::from(buckets_shared)),
+                    ("routes_copied", Json::from(routes_copied)),
+                    ("routes_shared", Json::from(routes_shared)),
+                    ("rows_copied", Json::from(rows_copied)),
+                    ("rows_shared", Json::from(rows_shared)),
                 ]),
             ),
         ]));
@@ -570,8 +669,13 @@ fn main() {
     );
     println!();
 
+    // `host_cpus` travels with the phase: on a 1-cpu host the clients
+    // time-slice one core, so aggregate q/s *below* the single-thread
+    // reference is expected — the regression gate must then hold the
+    // absolute q/s floor instead of the speedup (see ci/check_bench.py).
     let concurrent_json = Json::obj([
         ("clients", Json::from(conc_clients)),
+        ("host_cpus", Json::from(cpus)),
         ("queries", Json::from(conc_queries)),
         ("queries_per_sec", Json::from(conc_qps)),
         ("single_thread_qps", Json::from(single_qps)),

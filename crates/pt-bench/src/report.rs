@@ -185,6 +185,19 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
+/// The `p`-th percentile (0 ≤ `p` ≤ 100) by linear rank over the sorted
+/// sample, `0.0` on empty input. `percentile(xs, 50.0)` is the lower
+/// median; benches report `p50`/`p99` of per-publish costs with it.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
 /// Thread balance: max settled over average settled (`1.0` = perfectly
 /// balanced, `p` = one thread did everything).
 pub fn balance(thread_settled: &[u64]) -> f64 {

@@ -11,6 +11,8 @@
 //!   PLF whose connection points are the departures of all trains of `ρ`
 //!   on that hop.
 
+use std::sync::Arc;
+
 use pt_core::{ConnId, Dur, NodeId, Period, Plf, PlfPoint, StationId, Time, TrainId};
 use pt_timetable::{DelayPatch, Routes, Timetable};
 
@@ -40,9 +42,10 @@ pub struct Edge {
 ///
 /// The view is topology-shaped: [`TdGraph::repatch_routes`] rewrites PLF
 /// *contents* only, never heads, weights or PLF indices, so the view stays
-/// valid across delay/feed patches. Only `max_td_secs` must track patches,
-/// and it does so monotonically (a ring sized from a stale maximum is
-/// merely oversized, never wrong).
+/// valid across delay/feed patches and lives inside the refcount-shared
+/// `Topology`. The one patch-tracking scalar — the maximum PLF duration —
+/// lives on [`TdGraph`] itself (see [`TdGraph::max_edge_span_secs`]), where
+/// it can grow monotonically without unsharing the topology.
 #[derive(Debug, Clone)]
 pub struct EdgeKindCsr {
     const_first: Vec<u32>,
@@ -52,11 +55,10 @@ pub struct EdgeKindCsr {
     td_head: Vec<u32>,
     td_plf: Vec<u32>,
     max_const_secs: u32,
-    max_td_secs: u32,
 }
 
 impl EdgeKindCsr {
-    fn build(first_edge: &[u32], edges: &[Edge], plfs: &[Plf]) -> EdgeKindCsr {
+    fn build(first_edge: &[u32], edges: &[Edge]) -> EdgeKindCsr {
         let n = first_edge.len() - 1;
         let mut k = EdgeKindCsr {
             const_first: Vec::with_capacity(n + 1),
@@ -66,7 +68,6 @@ impl EdgeKindCsr {
             td_head: Vec::new(),
             td_plf: Vec::new(),
             max_const_secs: 0,
-            max_td_secs: 0,
         };
         k.const_first.push(0);
         k.td_first.push(0);
@@ -87,7 +88,6 @@ impl EdgeKindCsr {
             k.td_first.push(k.td_head.len() as u32);
         }
         k.max_const_secs = k.const_secs.iter().copied().max().unwrap_or(0);
-        k.max_td_secs = plfs.iter().map(|p| p.max_dur().secs()).max().unwrap_or(0);
         k
     }
 
@@ -106,25 +106,16 @@ impl EdgeKindCsr {
         let hi = self.td_first[v + 1] as usize;
         (&self.td_head[lo..hi], &self.td_plf[lo..hi])
     }
-
-    /// Upper bound on how far (in seconds) a single relaxation can move a
-    /// label forward in time: constant edges advance at most their weight;
-    /// time-dependent edges wait at most `π − 1` and then travel at most the
-    /// longest PLF duration. Sizes the kernel's bucket ring.
-    #[inline]
-    pub fn max_edge_span_secs(&self, period: Period) -> u32 {
-        self.max_const_secs.max((period.len() - 1).saturating_add(self.max_td_secs))
-    }
 }
 
-/// The realistic time-dependent graph of a timetable.
+/// Everything about the graph a delay/feed patch can never change: nodes,
+/// edge topology, transfer weights, the kind-grouped CSR view. One `Arc`
+/// of this is shared by refcount across every snapshot of the graph —
+/// cloning a [`TdGraph`] never copies it.
 #[derive(Debug, Clone)]
-pub struct TdGraph {
-    period: Period,
-    num_stations: u32,
+struct Topology {
     first_edge: Vec<u32>,
     edges: Vec<Edge>,
-    plfs: Vec<Plf>,
     /// `st(v)` — the station every node belongs to.
     node_station: Vec<StationId>,
     /// For route nodes (offset by `num_stations`): `(route, stop index)`.
@@ -133,12 +124,33 @@ pub struct TdGraph {
     /// route) — the anchor [`TdGraph::repatch`] needs to find a route's
     /// hop edges without a search.
     route_first_node: Vec<NodeId>,
-    /// For every elementary connection: the route node where it departs.
-    conn_start: Vec<NodeId>,
     /// `T(S)` per station (copied out of the timetable for cache locality).
     transfer: Vec<Dur>,
     /// Edge-kind-grouped lanes for the SoA kernels.
     kinds: EdgeKindCsr,
+}
+
+/// The realistic time-dependent graph of a timetable.
+///
+/// Split for copy-on-write publishing: the immutable `Topology` is one
+/// shared `Arc`; the hop PLFs are individually `Arc`-shared and a
+/// [`TdGraph::repatch_routes`] *replaces* exactly the touched routes' hop
+/// PLFs (every other PLF stays physically shared with older snapshots);
+/// `conn_start` copies-on-first-touch after a clone. A clone is therefore
+/// O(#PLFs) refcount bumps, never a copy of the adjacency.
+#[derive(Debug, Clone)]
+pub struct TdGraph {
+    period: Period,
+    num_stations: u32,
+    topo: Arc<Topology>,
+    /// The PLF arena, one entry per (route, hop) in build order.
+    plfs: Vec<Arc<Plf>>,
+    /// For every elementary connection: the route node where it departs.
+    conn_start: Arc<Vec<NodeId>>,
+    /// Longest PLF duration over the arena, tracked monotonically across
+    /// patches (a ring sized from a stale maximum is merely oversized,
+    /// never wrong); see [`TdGraph::max_edge_span_secs`].
+    max_td_secs: u32,
 }
 
 impl TdGraph {
@@ -151,7 +163,7 @@ impl TdGraph {
         // Route nodes, contiguous per route.
         let mut route_first_node: Vec<NodeId> = Vec::with_capacity(routes.len());
         let mut route_node_info: Vec<(pt_core::RouteId, u16)> = Vec::new();
-        for (ri, r) in routes.routes().iter().enumerate() {
+        for (ri, r) in routes.iter_routes().enumerate() {
             route_first_node.push(NodeId::from_idx(node_station.len()));
             node_station.extend(r.stations.iter().copied());
             route_node_info
@@ -161,7 +173,7 @@ impl TdGraph {
 
         let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); num_nodes];
         let mut plfs: Vec<Plf> = Vec::new();
-        for (ri, r) in routes.routes().iter().enumerate() {
+        for (ri, r) in routes.iter_routes().enumerate() {
             let base = route_first_node[ri].idx();
             for (j, &s) in r.stations.iter().enumerate() {
                 let rn = NodeId::from_idx(base + j);
@@ -213,20 +225,24 @@ impl TdGraph {
             .collect();
 
         let transfer = (0..ns).map(|s| tt.transfer_time(StationId(s as u32))).collect();
-        let kinds = EdgeKindCsr::build(&first_edge, &edges, &plfs);
+        let kinds = EdgeKindCsr::build(&first_edge, &edges);
+        let max_td_secs = plfs.iter().map(|p| p.max_dur().secs()).max().unwrap_or(0);
 
         TdGraph {
             period,
             num_stations: ns as u32,
-            first_edge,
-            edges,
-            plfs,
-            node_station,
-            route_node_info,
-            route_first_node,
-            conn_start,
-            transfer,
-            kinds,
+            topo: Arc::new(Topology {
+                first_edge,
+                edges,
+                node_station,
+                route_node_info,
+                route_first_node,
+                transfer,
+                kinds,
+            }),
+            plfs: plfs.into_iter().map(Arc::new).collect(),
+            conn_start: Arc::new(conn_start),
+            max_td_secs,
         }
     }
 
@@ -263,17 +279,22 @@ impl TdGraph {
         remapped: &[(ConnId, ConnId)],
     ) {
         // conn_start entries move with their connections (the start node
-        // depends only on the connection's train and hop).
-        let saved: Vec<NodeId> =
-            remapped.iter().map(|&(old, _)| self.conn_start[old.idx()]).collect();
-        for (&(_, new), node) in remapped.iter().zip(saved) {
-            self.conn_start[new.idx()] = node;
+        // depends only on the connection's train and hop). Copy-on-touch:
+        // the first write after a clone unshares the vector.
+        if !remapped.is_empty() {
+            let saved: Vec<NodeId> =
+                remapped.iter().map(|&(old, _)| self.conn_start[old.idx()]).collect();
+            let conn_start = Arc::make_mut(&mut self.conn_start);
+            for (&(_, new), node) in remapped.iter().zip(saved) {
+                conn_start[new.idx()] = node;
+            }
         }
 
-        // Rebuild the PLF of every hop of each touched route.
+        // Rebuild the PLF of every hop of each touched route, *replacing*
+        // the arena entry so snapshots sharing the old PLF are untouched.
         for &r in touched {
             let info = routes.route(r);
-            let base = self.route_first_node[r.idx()].idx();
+            let base = self.topo.route_first_node[r.idx()].idx();
             for hop in 0..info.num_hops() {
                 let points: Vec<PlfPoint> = info
                     .trains
@@ -286,20 +307,20 @@ impl TdGraph {
                 let expected = points.len();
                 let plf = Plf::from_points(points, self.period);
                 debug_assert_eq!(plf.len(), expected, "repatch on a non-FIFO route");
-                let lo = self.first_edge[base + hop] as usize;
-                let hi = self.first_edge[base + hop + 1] as usize;
-                let idx = self.edges[lo..hi]
+                let lo = self.topo.first_edge[base + hop] as usize;
+                let hi = self.topo.first_edge[base + hop + 1] as usize;
+                let idx = self.topo.edges[lo..hi]
                     .iter()
                     .find_map(|e| match e.weight {
                         EdgeWeight::Td(idx) => Some(idx),
                         EdgeWeight::Const(_) => None,
                     })
                     .expect("route node has a time-dependent hop edge");
-                // Keep the kind view's ring bound valid: the maximum only
-                // ever grows (shrinking would require a full rescan for no
+                // Keep the ring bound valid: the maximum only ever grows
+                // (shrinking would require a full rescan for no
                 // correctness gain — an oversized ring is still correct).
-                self.kinds.max_td_secs = self.kinds.max_td_secs.max(plf.max_dur().secs());
-                self.plfs[idx as usize] = plf;
+                self.max_td_secs = self.max_td_secs.max(plf.max_dur().secs());
+                self.plfs[idx as usize] = Arc::new(plf);
             }
         }
     }
@@ -307,14 +328,24 @@ impl TdGraph {
     /// The edge-kind-grouped CSR view for the SoA kernels.
     #[inline]
     pub fn kind_csr(&self) -> &EdgeKindCsr {
-        &self.kinds
+        &self.topo.kinds
+    }
+
+    /// Upper bound on how far (in seconds) a single relaxation can move a
+    /// label forward in time: constant edges advance at most their weight;
+    /// time-dependent edges wait at most `π − 1` and then travel at most the
+    /// longest PLF duration (tracked monotonically across patches). Sizes
+    /// the kernel's bucket ring.
+    #[inline]
+    pub fn max_edge_span_secs(&self) -> u32 {
+        self.topo.kinds.max_const_secs.max((self.period.len() - 1).saturating_add(self.max_td_secs))
     }
 
     /// For a route node: its `(route, stop index)`; `None` on station nodes.
     #[inline]
     pub fn route_node_info(&self, v: NodeId) -> Option<(pt_core::RouteId, u16)> {
         let i = v.idx().checked_sub(self.num_stations as usize)?;
-        self.route_node_info.get(i).copied()
+        self.topo.route_node_info.get(i).copied()
     }
 
     /// The timetable period.
@@ -326,7 +357,7 @@ impl TdGraph {
     /// Total number of nodes (stations + route nodes).
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.node_station.len()
+        self.topo.node_station.len()
     }
 
     /// Number of stations; station nodes are `0..num_stations`.
@@ -338,7 +369,7 @@ impl TdGraph {
     /// Number of edges.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.topo.edges.len()
     }
 
     /// The station node of a station (identity mapping by construction).
@@ -351,7 +382,7 @@ impl TdGraph {
     /// `st(v)`: the station a node belongs to.
     #[inline]
     pub fn station_of(&self, v: NodeId) -> StationId {
-        self.node_station[v.idx()]
+        self.topo.node_station[v.idx()]
     }
 
     /// `true` iff `v` is a station node.
@@ -363,15 +394,38 @@ impl TdGraph {
     /// Outgoing edges of `v`.
     #[inline]
     pub fn edges(&self, v: NodeId) -> &[Edge] {
-        let lo = self.first_edge[v.idx()] as usize;
-        let hi = self.first_edge[v.idx() + 1] as usize;
-        &self.edges[lo..hi]
+        let lo = self.topo.first_edge[v.idx()] as usize;
+        let hi = self.topo.first_edge[v.idx() + 1] as usize;
+        &self.topo.edges[lo..hi]
     }
 
     /// The PLF arena entry of a time-dependent edge.
     #[inline]
     pub fn plf(&self, idx: u32) -> &Plf {
         &self.plfs[idx as usize]
+    }
+
+    /// How many hop PLFs of `self` are *physically shared* (same
+    /// allocation, by refcount) with `other`, plus whether the topology
+    /// `Arc` itself is shared. Diagnostics for the copy-on-write publish
+    /// path.
+    pub fn shared_plfs_with(&self, other: &TdGraph) -> (usize, bool) {
+        let plfs = self.plfs.iter().zip(&other.plfs).filter(|(a, b)| Arc::ptr_eq(a, b)).count();
+        (plfs, Arc::ptr_eq(&self.topo, &other.topo))
+    }
+
+    /// A fully unshared copy: topology, every PLF and `conn_start` are
+    /// reallocated. The pre-copy-on-write publish cost, kept as the bench
+    /// reference for the O(touched) clone.
+    pub fn deep_clone(&self) -> TdGraph {
+        TdGraph {
+            period: self.period,
+            num_stations: self.num_stations,
+            topo: Arc::new((*self.topo).clone()),
+            plfs: self.plfs.iter().map(|p| Arc::new((**p).clone())).collect(),
+            conn_start: Arc::new((*self.conn_start).clone()),
+            max_td_secs: self.max_td_secs,
+        }
     }
 
     /// Arrival time over `edge` when leaving its tail at absolute time `t`;
@@ -406,7 +460,7 @@ impl TdGraph {
     /// `T(S)` of a station.
     #[inline]
     pub fn transfer_time(&self, s: StationId) -> Dur {
-        self.transfer[s.idx()]
+        self.topo.transfer[s.idx()]
     }
 
     /// Iterates over all node ids.
@@ -416,7 +470,7 @@ impl TdGraph {
 
     /// Total number of connection points over all route-edge PLFs.
     pub fn num_plf_points(&self) -> usize {
-        self.plfs.iter().map(Plf::len).sum()
+        self.plfs.iter().map(|p| p.len()).sum()
     }
 }
 
@@ -664,7 +718,7 @@ mod tests {
             assert_eq!(th.iter().copied().zip(tp.iter().copied()).collect::<Vec<_>>(), tds);
         }
         // Span covers the longest transfer plus a full-period wait + ride.
-        let span = k.max_edge_span_secs(g.period());
+        let span = g.max_edge_span_secs();
         assert!(span >= g.period().len() - 1);
     }
 
@@ -672,14 +726,14 @@ mod tests {
     fn repatch_keeps_span_bound_valid() {
         use pt_timetable::Recovery;
         let (mut tt, mut routes, mut g) = two_station_graph();
-        let before = g.kind_csr().max_edge_span_secs(g.period());
+        let before = g.max_edge_span_secs();
         // Delays preserve hop durations, so the bound may not shrink and
         // must still dominate every PLF duration after the repatch.
         let patch = tt.patch_delay(pt_core::TrainId(0), 0, Dur::minutes(70), Recovery::None);
         assert!(patch.changed);
         routes.repatch(&tt, &patch);
         g.repatch(&tt, &routes, pt_core::TrainId(0), &patch);
-        let after = g.kind_csr().max_edge_span_secs(g.period());
+        let after = g.max_edge_span_secs();
         assert!(after >= before);
         let true_max = g
             .node_ids()

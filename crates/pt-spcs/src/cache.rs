@@ -115,8 +115,13 @@ impl<K: Copy + Eq + Hash, V: Clone> LruCore<K, V> {
 
     /// Shared-lock lookup, refreshing the entry's LRU stamp on a hit.
     pub(crate) fn get(&self, key: K) -> Option<V> {
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let entries = self.entries.read().unwrap();
+        // The tick must be drawn *under* the lock: drawn before it, a hit
+        // could stall between `fetch_add` and the read lock while other
+        // probes and an insert's victim scan run — the hit's stale stamp
+        // then marks the entry it is about to touch as the LRU victim, and
+        // the hottest entry gets evicted.
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         match entries.get(&key) {
             Some(e) => {
                 e.last_used.store(tick, Ordering::Relaxed);
@@ -133,8 +138,11 @@ impl<K: Copy + Eq + Hash, V: Clone> LruCore<K, V> {
     /// Exclusive-lock store; returns `true` iff an eviction happened.
     /// Re-inserting an existing key replaces the value in place.
     pub(crate) fn insert(&self, key: K, value: V) -> bool {
-        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let mut entries = self.entries.write().unwrap();
+        // Under the lock for the same reason as in `get`: a tick drawn
+        // before it can stamp this entry older than touches that really
+        // happened earlier, misordering the next victim scan.
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(e) = entries.get_mut(&key) {
             e.value = value;
             e.last_used.store(tick, Ordering::Relaxed);
@@ -360,6 +368,39 @@ mod tests {
             }
         });
         assert_eq!(c.stats().hits, 400);
+    }
+
+    #[test]
+    fn a_hit_cannot_be_stamped_older_than_earlier_touches() {
+        // Regression: the tick for a hit used to be drawn *before* taking
+        // the read lock. A hit that blocked behind a writer then stamped
+        // its entry with a tick older than touches that happened while it
+        // waited — so the entry hit *last* in wall-clock order scanned as
+        // the LRU victim and the hottest entry got evicted. Ticks are now
+        // drawn under the lock: the blocked hit below must end up newer
+        // than the touch performed while it was blocked.
+        let c = LruCore::<u32, u32>::new(2);
+        c.insert(0, 10); // the entry we will hit last
+        c.insert(1, 11);
+        // Pin the map so the hit blocks mid-`get`.
+        let blocker = c.entries.write().unwrap();
+        std::thread::scope(|scope| {
+            let reader = scope.spawn(|| {
+                assert_eq!(c.get(0), Some(10)); // blocks behind `blocker`
+            });
+            // Let the reader reach the lock (and, pre-fix, draw its
+            // too-early tick).
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            // A touch of entry 1 that wall-clock-precedes the blocked hit.
+            let t = c.tick.fetch_add(1, Ordering::Relaxed) + 1;
+            blocker.get(&1).unwrap().last_used.store(t, Ordering::Relaxed);
+            drop(blocker);
+            reader.join().unwrap();
+        });
+        // The hit on 0 completed last, so 1 must be the victim now.
+        assert!(c.insert(2, 12), "full cache evicts");
+        assert_eq!(c.get(0), Some(10), "the last-hit entry must survive");
+        assert_eq!(c.get(1), None, "the earlier touch is the victim");
     }
 
     #[test]

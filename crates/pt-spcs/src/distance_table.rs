@@ -14,6 +14,8 @@
 //! scheduling and no per-source allocation.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use pt_core::{Period, Profile, StationId, Time, INFINITY};
 
@@ -70,20 +72,55 @@ impl std::error::Error for StaleTable {}
 /// table after a feed by recomputing only the rows whose profiles can have
 /// changed; rebuilding (or dropping — queries then fall back to the
 /// stopping criterion, staying correct) always works too.
-#[derive(Debug, Clone)]
+/// Internally the table is copy-on-write: rows are individually
+/// `Arc`-shared, so cloning the table (for a snapshot publish) is
+/// O(|S_trans|) refcount bumps and a refresh copies exactly the rows it
+/// recomputes. Freshness is a *generation range* `[valid_lo, valid_hi]`:
+/// when a refresh finds zero affected rows, the table's contents are
+/// provably identical at the old and new generation, so the range is
+/// extended in place (an atomic store through `&self`) and the very same
+/// allocation stays fresh for both a snapshot pinned at the old
+/// generation and a publish at the new one.
+#[derive(Debug)]
 pub struct DistanceTable {
     period: Period,
     /// Sorted transfer stations.
-    stations: Vec<StationId>,
+    stations: Arc<Vec<StationId>>,
     /// Station → table index (`u32::MAX` = not a transfer station).
-    index: Vec<u32>,
-    /// Row-major `|S_trans|²` profiles.
-    profiles: Vec<Profile>,
+    index: Arc<Vec<u32>>,
+    /// One row per transfer station, each holding `|S_trans|` profiles.
+    rows: Vec<Arc<Vec<Profile>>>,
     /// Wall-clock preprocessing time.
     build_time: std::time::Duration,
-    /// `(Network::epoch, Network::generation)` at build time.
-    built_for: (u64, u64),
+    /// `Network::epoch` at build time.
+    built_epoch: u64,
+    /// Lowest generation the stored profiles are known to be exact for.
+    valid_lo: u64,
+    /// Highest generation the stored profiles are known to be exact for
+    /// (`>= valid_lo`). Atomic so a zero-row refresh can extend the range
+    /// through a shared `Arc` without unsharing it; extending never
+    /// invalidates a pinned reader (the range only grows).
+    valid_hi: AtomicU64,
 }
+
+impl Clone for DistanceTable {
+    fn clone(&self) -> Self {
+        DistanceTable {
+            period: self.period,
+            stations: Arc::clone(&self.stations),
+            index: Arc::clone(&self.index),
+            rows: self.rows.clone(),
+            build_time: self.build_time,
+            built_epoch: self.built_epoch,
+            valid_lo: self.valid_lo,
+            valid_hi: AtomicU64::new(self.valid_hi.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// What a refresh must rewrite: the affected rows plus the forward
+/// column mask (empty mask = keep every column; the log was exhausted).
+type RefreshPlan = (Vec<StationId>, Vec<bool>);
 
 impl DistanceTable {
     /// Precomputes the table for the given selection strategy.
@@ -105,17 +142,24 @@ impl DistanceTable {
         // One sequential SPCS per source, sources batched over the pool.
         let sets = build_engine().many_to_all(net, &stations);
 
-        let mut profiles = Vec::with_capacity(n * n);
-        for set in &sets {
-            profiles.extend(stations.iter().map(|&dst| set.profile(dst).clone()));
-        }
+        let rows: Vec<Arc<Vec<Profile>>> = sets
+            .iter()
+            .map(|set| {
+                let row: Vec<Profile> =
+                    stations.iter().map(|&dst| set.profile(dst).clone()).collect();
+                debug_assert_eq!(row.len(), n);
+                Arc::new(row)
+            })
+            .collect();
         DistanceTable {
             period,
-            stations,
-            index,
-            profiles,
+            stations: Arc::new(stations),
+            index: Arc::new(index),
+            rows,
             build_time: start.elapsed(),
-            built_for: (net.epoch(), net.generation()),
+            built_epoch: net.epoch(),
+            valid_lo: net.generation(),
+            valid_hi: AtomicU64::new(net.generation()),
         }
     }
 
@@ -152,18 +196,59 @@ impl DistanceTable {
     /// epoch) — refresh can only follow mutations of the network the table
     /// was built from.
     pub fn refresh(&mut self, net: &Network) -> Result<usize, StaleTable> {
-        let queried = (net.epoch(), net.generation());
-        if self.built_for.0 != net.epoch() {
-            return Err(StaleTable { built_for: self.built_for, queried });
+        match self.refresh_plan(net)? {
+            None => Ok(0),
+            Some((affected, fwd)) => {
+                if affected.is_empty() {
+                    // Contents provably identical at the new generation:
+                    // extend the validity range instead of copying anything.
+                    self.extend_valid_to(net.generation());
+                } else {
+                    self.apply_refresh(net, &affected, &fwd);
+                }
+                Ok(affected.len())
+            }
         }
-        if self.built_for.1 == net.generation() {
-            return Ok(0); // already fresh
-        }
-        let start = std::time::Instant::now();
+    }
 
+    /// The shared-`Arc` form of [`DistanceTable::refresh`], for publishers
+    /// that hand the same allocation to concurrent readers: when the
+    /// refresh touches zero rows the `Arc` is **not** unshared — the
+    /// validity range is extended in place, so `Arc::ptr_eq` holds across
+    /// the refresh and a snapshot pinned at the old generation keeps
+    /// sharing the table with the new publish. Rows are copied only when
+    /// some row actually changed.
+    pub fn refresh_shared(
+        table: &mut Arc<DistanceTable>,
+        net: &Network,
+    ) -> Result<usize, StaleTable> {
+        match table.refresh_plan(net)? {
+            None => Ok(0),
+            Some((affected, fwd)) => {
+                if affected.is_empty() {
+                    table.extend_valid_to(net.generation());
+                } else {
+                    Arc::make_mut(table).apply_refresh(net, &affected, &fwd);
+                }
+                Ok(affected.len())
+            }
+        }
+    }
+
+    /// Computes which rows a refresh must recompute: `None` when the table
+    /// is already fresh, otherwise the affected rows plus the forward
+    /// column mask (empty mask = keep every column; the log was exhausted).
+    fn refresh_plan(&self, net: &Network) -> Result<Option<RefreshPlan>, StaleTable> {
+        let queried = (net.epoch(), net.generation());
+        if self.built_epoch != net.epoch() {
+            return Err(StaleTable { built_for: self.built_for(), queried });
+        }
+        let hi = self.valid_hi.load(Ordering::Relaxed);
+        if self.valid_lo <= queried.1 && queried.1 <= hi {
+            return Ok(None); // already fresh
+        }
         // `fwd` empty means "keep every column" (log exhausted).
-        let (affected, fwd): (Vec<StationId>, Vec<bool>) = match net.touched_since(self.built_for.1)
-        {
+        let plan: RefreshPlan = match net.touched_since(hi) {
             // Reverse reachability: every station with a path *into* the
             // touched set can route through a re-timed connection.
             Some(touched) => {
@@ -205,22 +290,38 @@ impl DistanceTable {
                 (self.stations.iter().copied().filter(|s| reaches[s.idx()]).collect(), fwd)
             }
             // Too far behind the network's log: recompute everything.
-            None => (self.stations.clone(), Vec::new()),
+            None => ((*self.stations).clone(), Vec::new()),
         };
+        Ok(Some(plan))
+    }
+
+    /// Recomputes the affected rows (copy-on-write: only these rows are
+    /// unshared) and stamps the table fresh for exactly `net.generation()`.
+    fn apply_refresh(&mut self, net: &Network, affected: &[StationId], fwd: &[bool]) {
+        let start = std::time::Instant::now();
         let keep_all_columns = fwd.is_empty();
-        let sets = build_engine().many_to_all(net, &affected);
-        let n = self.stations.len();
+        let sets = build_engine().many_to_all(net, affected);
         for (&a, set) in affected.iter().zip(&sets) {
-            let row = self.index[a.idx()] as usize * n;
+            let ia = self.index[a.idx()] as usize;
+            let row = Arc::make_mut(&mut self.rows[ia]);
             for (j, &b) in self.stations.iter().enumerate() {
                 if keep_all_columns || fwd[b.idx()] {
-                    self.profiles[row + j] = set.profile(b).clone();
+                    row[j] = set.profile(b).clone();
                 }
             }
         }
-        self.built_for = queried;
+        let gen = net.generation();
+        self.valid_lo = gen;
+        self.valid_hi.store(gen, Ordering::Relaxed);
         self.build_time += start.elapsed();
-        Ok(affected.len())
+    }
+
+    /// Extends the validity range to cover `gen` (a zero-row refresh: the
+    /// contents are provably unchanged). Works through `&self`, so a shared
+    /// `Arc<DistanceTable>` stays shared.
+    fn extend_valid_to(&self, gen: u64) {
+        // Monotone max: the range only ever grows.
+        self.valid_hi.fetch_max(gen, Ordering::Relaxed);
     }
 
     /// `Ok` iff this table was built (or last [`DistanceTable::refresh`]ed)
@@ -230,10 +331,13 @@ impl DistanceTable {
     /// table-pruned query.
     pub fn check_fresh(&self, net: &Network) -> Result<(), StaleTable> {
         let queried = (net.epoch(), net.generation());
-        if self.built_for == queried {
+        if self.built_epoch == queried.0
+            && self.valid_lo <= queried.1
+            && queried.1 <= self.valid_hi.load(Ordering::Relaxed)
+        {
             Ok(())
         } else {
-            Err(StaleTable { built_for: self.built_for, queried })
+            Err(StaleTable { built_for: self.built_for(), queried })
         }
     }
 
@@ -247,11 +351,35 @@ impl DistanceTable {
     }
 
     /// The `(Network::epoch, Network::generation)` this table was built
-    /// for (or last [`DistanceTable::refresh`]ed to) — the stamp
-    /// [`DistanceTable::check_fresh`] compares against.
+    /// for (or last [`DistanceTable::refresh`]ed to) — the *newest* stamp
+    /// [`DistanceTable::check_fresh`] accepts (freshness is a generation
+    /// range; this reports its upper end).
     #[inline]
     pub fn built_for(&self) -> (u64, u64) {
-        self.built_for
+        (self.built_epoch, self.valid_hi.load(Ordering::Relaxed))
+    }
+
+    /// How many of this table's rows are `Arc`-shared with `other`'s
+    /// (same allocation). Diagnostic for the copy-on-write bookkeeping:
+    /// after a publish whose refresh touched `k` rows, the previous
+    /// snapshot shares `len() − k` rows with the new one.
+    /// A fully unshared copy: every row is reallocated. The
+    /// pre-copy-on-write publish cost, kept as a bench reference.
+    pub fn deep_clone(&self) -> DistanceTable {
+        DistanceTable {
+            period: self.period,
+            stations: Arc::new((*self.stations).clone()),
+            index: Arc::new((*self.index).clone()),
+            rows: self.rows.iter().map(|r| Arc::new((**r).clone())).collect(),
+            build_time: self.build_time,
+            built_epoch: self.built_epoch,
+            valid_lo: self.valid_lo,
+            valid_hi: AtomicU64::new(self.valid_hi.load(Ordering::Relaxed)),
+        }
+    }
+
+    pub fn shared_rows_with(&self, other: &DistanceTable) -> usize {
+        self.rows.iter().zip(&other.rows).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
     }
 
     /// Number of transfer stations.
@@ -289,7 +417,7 @@ impl DistanceTable {
         let ia = self.index[a.idx()];
         let ib = self.index[b.idx()];
         debug_assert!(ia != u32::MAX && ib != u32::MAX, "not transfer stations");
-        &self.profiles[ia as usize * self.stations.len() + ib as usize]
+        &self.rows[ia as usize][ib as usize]
     }
 
     /// `D(a, b, t)`: earliest arrival at `b` when departing `a` at absolute
@@ -315,7 +443,7 @@ impl DistanceTable {
     /// Memory footprint of the stored profiles in bytes (the space column
     /// of Table 2).
     pub fn size_bytes(&self) -> usize {
-        self.profiles.iter().map(Profile::size_bytes).sum::<usize>()
+        self.rows.iter().flat_map(|row| row.iter()).map(Profile::size_bytes).sum::<usize>()
             + self.index.len() * std::mem::size_of::<u32>()
             + self.stations.len() * std::mem::size_of::<StationId>()
     }

@@ -109,7 +109,7 @@ impl std::fmt::Display for KernelMode {
 /// bucket index is a mask.
 pub(crate) fn ring_size(net: &Network) -> usize {
     let g = net.graph();
-    let span = g.kind_csr().max_edge_span_secs(g.period()) as usize;
+    let span = g.max_edge_span_secs() as usize;
     (span.max(g.period().len() as usize - 1) + 1).next_power_of_two()
 }
 

@@ -4,7 +4,9 @@
 
 use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
+
+use arc_swap::ArcSwap;
 
 use pt_core::{Dur, RouteId, StationId, TrainId};
 use pt_graph::{StationGraph, TdGraph};
@@ -106,7 +108,10 @@ pub struct Network {
     timetable: Timetable,
     routes: Routes,
     graph: TdGraph,
-    stations: StationGraph,
+    /// Shared: the station graph is invariant under delays (durations and
+    /// the edge set never change), so every clone of this network — and
+    /// every published snapshot — aliases the same allocation forever.
+    stations: Arc<StationGraph>,
     /// Process-unique instance stamp (fresh on construction *and* on
     /// clone): two distinct `Network` values never share an epoch, even
     /// when their timetable generations coincide. Caches key on
@@ -117,8 +122,9 @@ pub struct Network {
     /// mutation, its touched stations)` — consecutive generations, since
     /// every mutation flows through [`Network::apply_feed`] and bumps
     /// exactly once. Backs [`Network::touched_since`], the source of truth
-    /// for incremental distance-table refreshes.
-    feed_log: Vec<(u64, Vec<StationId>)>,
+    /// for incremental distance-table refreshes. Entries are immutable
+    /// once recorded, so clones share them by refcount.
+    feed_log: Vec<(u64, Arc<[StationId]>)>,
     /// Routes added by scoped [`Routes::refit`]s since the last full
     /// partition; drives the fragmentation heal (see [`REFIT_HEAL_FLOOR`]).
     refit_extra_routes: usize,
@@ -127,7 +133,9 @@ pub struct Network {
 impl Clone for Network {
     /// Clones every structure but stamps a fresh [`Network::epoch`]: the
     /// clone can be mutated independently, so cached results must not
-    /// alias between original and copy.
+    /// alias between original and copy. The copy is copy-on-write —
+    /// cloning shares the inner allocations by refcount; either side
+    /// unshares exactly the pieces it later mutates.
     fn clone(&self) -> Network {
         Network {
             timetable: self.timetable.clone(),
@@ -152,7 +160,7 @@ impl Network {
             timetable,
             routes,
             graph,
-            stations,
+            stations: Arc::new(stations),
             epoch,
             feed_log: Vec::new(),
             refit_extra_routes: 0,
@@ -273,7 +281,7 @@ impl Network {
             }
             self.graph = TdGraph::build(&self.timetable, &self.routes);
         }
-        self.feed_log.push((self.generation(), patch.touched_stations.clone()));
+        self.feed_log.push((self.generation(), patch.touched_stations.clone().into()));
         if self.feed_log.len() > FEED_LOG_CAP {
             self.feed_log.remove(0);
         }
@@ -382,6 +390,11 @@ impl Network {
     /// shared between the master and its published snapshots. Never use
     /// this for a copy that will be mutated independently (that is what
     /// [`Clone`] is for — it stamps a fresh epoch).
+    ///
+    /// This is a *spine* clone: O(stations + routes + trains) refcount
+    /// bumps, no payload copies. The master unshares only the buckets,
+    /// route blocks and PLFs it rewrites on later feeds, so successive
+    /// snapshots share everything a feed did not touch.
     pub(crate) fn clone_same_epoch(&self) -> Network {
         Network {
             timetable: self.timetable.clone(),
@@ -390,6 +403,27 @@ impl Network {
             stations: self.stations.clone(),
             epoch: self.epoch,
             feed_log: self.feed_log.clone(),
+            refit_extra_routes: self.refit_extra_routes,
+        }
+    }
+
+    /// A fully *unshared* copy (same epoch): every bucket, route block,
+    /// PLF and log entry is reallocated, nothing aliases `self`. This is
+    /// exactly what a snapshot publish cost before the copy-on-write
+    /// refactor; the `throughput` bench clones it per publish as the
+    /// reference the O(touched) path is compared against.
+    pub fn deep_clone_same_epoch(&self) -> Network {
+        Network {
+            timetable: self.timetable.deep_clone(),
+            routes: self.routes.deep_clone(),
+            graph: self.graph.deep_clone(),
+            stations: Arc::new((*self.stations).clone()),
+            epoch: self.epoch,
+            feed_log: self
+                .feed_log
+                .iter()
+                .map(|(g, s)| (*g, Arc::from(s.iter().copied().collect::<Vec<_>>())))
+                .collect(),
             refit_extra_routes: self.refit_extra_routes,
         }
     }
@@ -455,16 +489,25 @@ pub struct PublishOutcome {
     /// Rows rewritten by the incremental table refresh (0 when no table is
     /// configured or the feed was net-nil).
     pub table_rows_refreshed: usize,
+    /// Wall-clock nanoseconds to build and install the new snapshot: the
+    /// spine clone plus the pointer swap (the incremental table refresh
+    /// is *not* included — it is its own, already O(affected), phase).
+    /// Copy-on-write sharing makes this O(touched), not O(network).
+    /// `0` when the feed was net-nil (nothing was published).
+    pub publish_ns: u64,
     /// The snapshot published by this call, or `None` when the feed was
     /// net-nil and the previous snapshot remained current.
     pub published: Option<Arc<NetworkSnapshot>>,
 }
 
 /// The master state behind the publish lock: the only copy that mutates.
+/// The table sits behind an `Arc` shared with the published snapshots;
+/// [`DistanceTable::refresh_shared`] unshares it only when a refresh
+/// actually rewrites rows.
 #[derive(Debug)]
 struct Master {
     net: Network,
-    table: Option<DistanceTable>,
+    table: Option<Arc<DistanceTable>>,
 }
 
 /// A [`Network`] served concurrently under **snapshot isolation**: any
@@ -475,13 +518,14 @@ struct Master {
 /// single atomic pointer swap — readers never observe a half-applied feed:
 /// every query's answer is exactly the pre-feed or post-feed state.
 ///
-/// Writers are serialized on the master mutex; `snapshot()` takes a brief
-/// read lock on the published pointer only (never the master), so reads
-/// don't block behind a feed in progress.
+/// Writers are serialized on the master mutex; `snapshot()` is **wait-free
+/// and lock-free** — a pin is three atomic operations on the publish slot
+/// ([`ArcSwap`]), so a burst of publishes can never block or starve
+/// readers (and a descheduled reader can never block a publish).
 #[derive(Debug)]
 pub struct ConcurrentNetwork {
     master: Mutex<Master>,
-    published: RwLock<Arc<NetworkSnapshot>>,
+    published: ArcSwap<NetworkSnapshot>,
     publishes: AtomicU64,
 }
 
@@ -495,23 +539,24 @@ impl ConcurrentNetwork {
     /// published snapshot carries the table refreshed to that state.
     pub fn with_table(net: Network, selection: &TransferSelection) -> ConcurrentNetwork {
         let table = DistanceTable::build(&net, selection);
-        Self::with_optional_table(net, Some(table))
+        Self::with_optional_table(net, Some(Arc::new(table)))
     }
 
-    fn with_optional_table(net: Network, table: Option<DistanceTable>) -> ConcurrentNetwork {
+    fn with_optional_table(net: Network, table: Option<Arc<DistanceTable>>) -> ConcurrentNetwork {
         let snapshot = Arc::new(publish_snapshot(&net, table.as_ref()));
         ConcurrentNetwork {
             master: Mutex::new(Master { net, table }),
-            published: RwLock::new(snapshot),
+            published: ArcSwap::new(snapshot),
             publishes: AtomicU64::new(0),
         }
     }
 
     /// Pins the current published state. The returned `Arc` keeps that
     /// state alive for as long as the reader holds it, unaffected by any
-    /// concurrent [`ConcurrentNetwork::apply_feed`].
+    /// concurrent [`ConcurrentNetwork::apply_feed`]. Wait-free: never
+    /// takes a lock, never spins — a publish storm cannot delay a pin.
     pub fn snapshot(&self) -> Arc<NetworkSnapshot> {
-        self.published.read().unwrap().clone()
+        self.published.load_full()
     }
 
     /// How many snapshots have been published (excluding the initial one).
@@ -521,36 +566,55 @@ impl ConcurrentNetwork {
 
     /// Applies a feed under snapshot isolation: patches the master copy
     /// ([`Network::apply_feed`]), refreshes the master's table
-    /// incrementally ([`DistanceTable::refresh`]), then publishes the new
-    /// state atomically. Concurrent writers are serialized; concurrent
-    /// readers keep their pinned snapshots and see the new state on their
-    /// next [`ConcurrentNetwork::snapshot`] call. A net-nil feed publishes
-    /// nothing.
+    /// incrementally ([`DistanceTable::refresh_shared`] — the shared
+    /// `Arc` is kept when zero rows change), then publishes the new state
+    /// atomically. The publish itself is O(touched): a spine clone of the
+    /// master shares every untouched bucket, route block, PLF and table
+    /// row with the previous snapshot by refcount. Concurrent writers are
+    /// serialized; concurrent readers keep their pinned snapshots and see
+    /// the new state on their next [`ConcurrentNetwork::snapshot`] call.
+    /// A net-nil feed publishes nothing.
     pub fn apply_feed(&self, events: &[DelayEvent]) -> PublishOutcome {
         let mut master = self.master.lock().unwrap();
         let summary = master.net.apply_feed(events);
         if !summary.changed() {
-            return PublishOutcome { summary, table_rows_refreshed: 0, published: None };
+            return PublishOutcome {
+                summary,
+                table_rows_refreshed: 0,
+                publish_ns: 0,
+                published: None,
+            };
         }
         let mut rows = 0;
         let Master { net, table } = &mut *master;
         if let Some(table) = table {
-            rows = table.refresh(net).expect("master table refreshes in lock step");
+            rows = DistanceTable::refresh_shared(table, net)
+                .expect("master table refreshes in lock step");
         }
+        let start = std::time::Instant::now();
         let snapshot = Arc::new(publish_snapshot(&master.net, master.table.as_ref()));
-        *self.published.write().unwrap() = snapshot.clone();
+        self.published.store(snapshot.clone());
+        let publish_ns = start.elapsed().as_nanos() as u64;
         self.publishes.fetch_add(1, Ordering::Relaxed);
-        PublishOutcome { summary, table_rows_refreshed: rows, published: Some(snapshot) }
+        PublishOutcome {
+            summary,
+            table_rows_refreshed: rows,
+            publish_ns,
+            published: Some(snapshot),
+        }
     }
 }
 
 /// Builds the immutable snapshot of one master state. Uses
 /// [`Network::clone_same_epoch`] so the snapshot carries the *same*
 /// `(epoch, generation)` identity as the master — sound because the
-/// snapshot is never mutated.
-fn publish_snapshot(net: &Network, table: Option<&DistanceTable>) -> NetworkSnapshot {
-    let mask = table.map(DistanceTable::transfer_mask).unwrap_or_default();
-    NetworkSnapshot { net: net.clone_same_epoch(), table: table.map(|t| Arc::new(t.clone())), mask }
+/// snapshot is never mutated. The table `Arc` is shared outright (the
+/// master unshares it itself when a refresh rewrites rows), so a publish
+/// whose refresh touched zero rows keeps `Arc::ptr_eq` with the previous
+/// snapshot's table.
+fn publish_snapshot(net: &Network, table: Option<&Arc<DistanceTable>>) -> NetworkSnapshot {
+    let mask = table.map(|t| t.transfer_mask()).unwrap_or_default();
+    NetworkSnapshot { net: net.clone_same_epoch(), table: table.cloned(), mask }
 }
 
 #[cfg(test)]
@@ -601,6 +665,58 @@ mod tests {
         assert!(outcome.published.is_none());
         assert!(Arc::ptr_eq(&before, &cnet.snapshot()));
         assert_eq!(cnet.publishes(), 0);
+    }
+
+    #[test]
+    fn zero_row_refresh_shares_the_table_allocation() {
+        use pt_core::Time;
+        use pt_timetable::{TimetableBuilder, TripStop};
+        // Two disconnected components: a delay in B can never change any
+        // profile between stations of A, so a publish after it refreshes
+        // zero table rows — and must then share the table `Arc` with the
+        // previous snapshot instead of cloning it (the old code deep-cloned
+        // the whole table on every publish).
+        let mut b = TimetableBuilder::new(pt_core::Period::DAY);
+        let a: Vec<_> =
+            (0..3).map(|i| b.add_named_station(format!("A{i}"), Dur::minutes(2))).collect();
+        let c: Vec<_> =
+            (0..3).map(|i| b.add_named_station(format!("B{i}"), Dur::minutes(2))).collect();
+        for h in [7u32, 9, 11] {
+            b.add_trip(&[
+                TripStop::passing(a[0], Time::hm(h, 0)),
+                TripStop::passing(a[1], Time::hm(h, 20)),
+                TripStop::passing(a[2], Time::hm(h, 40)),
+            ])
+            .unwrap();
+            b.add_trip(&[
+                TripStop::passing(c[0], Time::hm(h, 5)),
+                TripStop::passing(c[1], Time::hm(h, 25)),
+                TripStop::passing(c[2], Time::hm(h, 45)),
+            ])
+            .unwrap();
+        }
+        let net = Network::new(b.build().unwrap());
+        let cnet = ConcurrentNetwork::with_table(net, &TransferSelection::Explicit(a.clone()));
+        let before = cnet.snapshot();
+
+        // Delay a component-B train (trains alternate A, B, A, B, …).
+        let outcome = cnet.apply_feed(&[delay(1, 30)]);
+        assert!(outcome.summary.changed(), "the delay must take effect");
+        assert_eq!(outcome.table_rows_refreshed, 0, "no A-row can be affected");
+
+        let after = cnet.snapshot();
+        let (t0, t1) = (before.shared_table().unwrap(), after.shared_table().unwrap());
+        assert!(Arc::ptr_eq(&t0, &t1), "a zero-row refresh must share, not clone");
+        // The one allocation is fresh for both pinned generations.
+        assert!(t0.check_fresh(before.network()).is_ok());
+        assert!(t1.check_fresh(after.network()).is_ok());
+
+        // A component-A delay rewrites rows — the snapshots then unshare.
+        let outcome = cnet.apply_feed(&[delay(0, 30)]);
+        assert!(outcome.table_rows_refreshed > 0);
+        let third = cnet.snapshot();
+        assert!(!Arc::ptr_eq(&t1, &third.shared_table().unwrap()));
+        assert!(third.table().unwrap().check_fresh(third.network()).is_ok());
     }
 
     #[test]

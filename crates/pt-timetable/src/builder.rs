@@ -176,7 +176,8 @@ mod tests {
         ])
         .unwrap();
         let tt = b.build().unwrap();
-        let c12 = tt.connections().iter().find(|c| c.from == s[1]).unwrap();
+        let legs = tt.connections();
+        let c12 = legs.iter().find(|c| c.from == s[1]).unwrap();
         // Second leg departs 00:10 local time.
         assert_eq!(c12.dep, Time::hm(0, 10));
         assert_eq!(c12.arr, Time::hm(0, 30));
@@ -212,8 +213,9 @@ mod tests {
         )
         .unwrap();
         let tt = b.build().unwrap();
-        let c01 = tt.connections().iter().find(|c| c.from == s[0]).unwrap();
-        let c12 = tt.connections().iter().find(|c| c.from == s[1]).unwrap();
+        let legs = tt.connections();
+        let c01 = legs.iter().find(|c| c.from == s[0]).unwrap();
+        let c12 = legs.iter().find(|c| c.from == s[1]).unwrap();
         assert_eq!((c01.dep, c01.arr), (Time::hm(7, 0), Time::hm(7, 10)));
         // One minute dwell at S1.
         assert_eq!((c12.dep, c12.arr), (Time::hm(7, 11), Time::hm(7, 26)));

@@ -1,6 +1,7 @@
 //! The validated periodic-timetable model `(C, S, Z, Π, T)`.
 
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -115,24 +116,46 @@ pub struct TimetableStats {
     pub conns_per_station: f64,
 }
 
+/// One station's `conn(S)` slice together with the published (schedule)
+/// departure time of each of its connections — the unit of copy-on-write:
+/// a feed that delays a train copies exactly the buckets of the stations
+/// the train departs from and leaves every other bucket shared by
+/// refcount with any snapshot cloned earlier.
+#[derive(Debug, Clone, PartialEq)]
+struct Bucket {
+    /// Outgoing connections, ordered non-decreasingly by departure time.
+    conns: Vec<Connection>,
+    /// Schedule departure times, aligned with `conns` and permuted along
+    /// with it on every re-sort. Delay *cancellations* restore these.
+    sched: Vec<Time>,
+}
+
 /// A validated periodic timetable.
 ///
-/// Connections are stored sorted by `(from, dep, train)`, so `conn(S)` —
-/// the set of outgoing connections of `S` ordered non-decreasingly by
-/// departure time (paper, §3.1) — is the contiguous slice
-/// [`Timetable::conn`].
+/// Connections are stored sorted by `(from, dep, train)` in per-station
+/// buckets, so `conn(S)` — the set of outgoing connections of `S` ordered
+/// non-decreasingly by departure time (paper, §3.1) — is the contiguous
+/// slice [`Timetable::conn`]. [`ConnId`]s are global: id `i` lives in the
+/// bucket of station `conn_station[i]` at offset `i - first_out[s]`, and
+/// the bucket boundaries (`first_out`) are **fixed for the lifetime of the
+/// timetable** — patches permute connections *within* a bucket only (a
+/// connection's departure station never changes), which is what makes the
+/// per-bucket copy-on-write sound.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Timetable {
     period: Period,
-    stations: Vec<Station>,
+    stations: Arc<Vec<Station>>,
     num_trains: u32,
-    conns: Vec<Connection>,
-    /// Published (schedule) departure time of each connection, aligned with
-    /// `conns` and permuted along with it whenever a touched bucket is
-    /// re-sorted. Delay *cancellations* restore these times.
-    sched: Vec<Time>,
-    /// `first_out[s] .. first_out[s+1]` indexes `conns` for station `s`.
-    first_out: Vec<u32>,
+    /// `conn(S)` buckets, one per station, individually shared (`Arc`) so
+    /// a clone is O(|S|) refcount bumps and a patch copies only the
+    /// buckets it rewrites ([`Arc::make_mut`]).
+    buckets: Vec<Arc<Bucket>>,
+    /// `first_out[s] .. first_out[s+1]` is the global [`ConnId`] range of
+    /// station `s`'s bucket. Immutable after validation.
+    first_out: Arc<Vec<u32>>,
+    /// Departure station of each global [`ConnId`] (the inverse of
+    /// `first_out`'s ranges). Immutable after validation.
+    conn_station: Arc<Vec<StationId>>,
     /// Monotonically-increasing update stamp, bumped by every in-place
     /// mutation ([`Timetable::patch_delay`], [`Timetable::patch_feed`]) that
     /// changes at least one connection time. Query caches key on it: a
@@ -177,8 +200,24 @@ impl Timetable {
         for i in 1..first_out.len() {
             first_out[i] += first_out[i - 1];
         }
-        let sched = conns.iter().map(|c| c.dep).collect();
-        Ok(Timetable { period, stations, num_trains, conns, sched, first_out, generation: 0 })
+        let conn_station: Vec<StationId> = conns.iter().map(|c| c.from).collect();
+        let buckets = (0..stations.len())
+            .map(|s| {
+                let (lo, hi) = (first_out[s] as usize, first_out[s + 1] as usize);
+                let conns = conns[lo..hi].to_vec();
+                let sched = conns.iter().map(|c| c.dep).collect();
+                Arc::new(Bucket { conns, sched })
+            })
+            .collect();
+        Ok(Timetable {
+            period,
+            stations: Arc::new(stations),
+            num_trains,
+            buckets,
+            first_out: Arc::new(first_out),
+            conn_station: Arc::new(conn_station),
+            generation: 0,
+        })
     }
 
     /// The periodicity `Π`.
@@ -256,9 +295,12 @@ impl Timetable {
 
         // Connection indices of every train the feed mentions (one scan).
         let mut train_conns: Vec<Vec<usize>> = vec![Vec::new(); feed_trains.len()];
-        for (i, c) in self.conns.iter().enumerate() {
-            if let Some(s) = slot_of(c.train) {
-                train_conns[s].push(i);
+        for (st, b) in self.buckets.iter().enumerate() {
+            let lo = self.first_out[st] as usize;
+            for (k, c) in b.conns.iter().enumerate() {
+                if let Some(s) = slot_of(c.train) {
+                    train_conns[s].push(lo + k);
+                }
             }
         }
 
@@ -266,7 +308,7 @@ impl Timetable {
         let pi = self.period.len() as u64;
         let mut deps: Vec<Vec<Time>> = train_conns
             .iter()
-            .map(|ixs| ixs.iter().map(|&i| self.conns[i].dep).collect())
+            .map(|ixs| ixs.iter().map(|&i| self.conn_at(i).dep).collect())
             .collect();
         let mut event_changed = vec![false; events.len()];
         for (ei, ev) in events.iter().enumerate() {
@@ -274,7 +316,7 @@ impl Timetable {
             match *ev {
                 DelayEvent::Delay { from_hop, delay, recovery, .. } => {
                     for (k, &ci) in train_conns[s].iter().enumerate() {
-                        let seq = self.conns[ci].seq;
+                        let seq = self.conn_at(ci).seq;
                         if seq < from_hop {
                             continue;
                         }
@@ -296,7 +338,7 @@ impl Timetable {
                 }
                 DelayEvent::Cancel { .. } => {
                     for (k, &ci) in train_conns[s].iter().enumerate() {
-                        let published = self.sched[ci];
+                        let published = self.sched_at(ci);
                         if deps[s][k] != published {
                             deps[s][k] = published;
                             event_changed[ei] = true;
@@ -313,8 +355,12 @@ impl Timetable {
             let mut train_changed = false;
             for (k, &ci) in ixs.iter().enumerate() {
                 let new_dep = deps[s][k];
-                let c = &mut self.conns[ci];
-                if c.dep != new_dep {
+                if self.conn_at(ci).dep != new_dep {
+                    let st = self.conn_station[ci].idx();
+                    let lo = self.first_out[st] as usize;
+                    // Copy-on-touch: the first write to a shared bucket
+                    // clones it; every untouched bucket stays shared.
+                    let c = &mut Arc::make_mut(&mut self.buckets[st]).conns[ci - lo];
                     let dur = c.dur();
                     c.dep = new_dep;
                     c.arr = new_dep + dur;
@@ -343,19 +389,22 @@ impl Timetable {
         let mut remapped: Vec<(ConnId, ConnId)> = Vec::new();
         for &s in touched {
             let lo = self.first_out[s.idx()] as usize;
-            let hi = self.first_out[s.idx() + 1] as usize;
-            let mut tagged: Vec<(Connection, Time, u32)> = self.conns[lo..hi]
+            // The bucket was already unshared by the write-back above, so
+            // this `make_mut` is a plain `&mut` in the common case.
+            let b = Arc::make_mut(&mut self.buckets[s.idx()]);
+            let mut tagged: Vec<(Connection, Time, u32)> = b
+                .conns
                 .iter()
                 .copied()
-                .zip(self.sched[lo..hi].iter().copied())
+                .zip(b.sched.iter().copied())
                 .zip(lo as u32..)
                 .map(|((c, sd), i)| (c, sd, i))
                 .collect();
             tagged.sort_unstable_by_key(|&(c, _, _)| (c.dep, c.train, c.seq));
             for (offset, &(c, sd, old)) in tagged.iter().enumerate() {
                 let new = (lo + offset) as u32;
-                self.conns[new as usize] = c;
-                self.sched[new as usize] = sd;
+                b.conns[offset] = c;
+                b.sched[offset] = sd;
                 if old != new {
                     remapped.push((ConnId(old), ConnId(new)));
                 }
@@ -364,12 +413,26 @@ impl Timetable {
         remapped
     }
 
+    /// A connection by global index (bucket-indirected).
+    #[inline]
+    fn conn_at(&self, i: usize) -> &Connection {
+        let s = self.conn_station[i].idx();
+        &self.buckets[s].conns[i - self.first_out[s] as usize]
+    }
+
+    /// A schedule departure time by global index (bucket-indirected).
+    #[inline]
+    fn sched_at(&self, i: usize) -> Time {
+        let s = self.conn_station[i].idx();
+        self.buckets[s].sched[i - self.first_out[s] as usize]
+    }
+
     /// The published (schedule) departure time of a connection — what a
     /// [`DelayEvent::Cancel`] restores. Equals [`Connection::dep`] unless
     /// the connection currently carries a delay.
     #[inline]
     pub fn scheduled_dep(&self, c: ConnId) -> Time {
-        self.sched[c.idx()]
+        self.sched_at(c.idx())
     }
 
     /// Number of stations `|S|`.
@@ -387,7 +450,7 @@ impl Timetable {
     /// Number of elementary connections `|C|`.
     #[inline]
     pub fn num_connections(&self) -> usize {
-        self.conns.len()
+        *self.first_out.last().expect("first_out has S+1 entries") as usize
     }
 
     /// All stations, indexed by [`StationId`].
@@ -408,26 +471,29 @@ impl Timetable {
         self.stations[s.idx()].transfer_time
     }
 
-    /// All connections, sorted by `(from, dep)`; [`ConnId`] indexes this
-    /// slice.
-    #[inline]
-    pub fn connections(&self) -> &[Connection] {
-        &self.conns
+    /// All connections, sorted by `(from, dep)`, materialized from the
+    /// per-station buckets; [`ConnId`] indexes the result. O(|C|) — build
+    /// and validation paths only; queries go through [`Timetable::conn`] /
+    /// [`Timetable::connection`], which borrow straight from a bucket.
+    pub fn connections(&self) -> Vec<Connection> {
+        let mut out = Vec::with_capacity(self.num_connections());
+        for b in &self.buckets {
+            out.extend_from_slice(&b.conns);
+        }
+        out
     }
 
     /// A single connection.
     #[inline]
     pub fn connection(&self, c: ConnId) -> &Connection {
-        &self.conns[c.idx()]
+        self.conn_at(c.idx())
     }
 
     /// `conn(S)`: the outgoing connections of `s`, ordered non-decreasingly
     /// by departure time.
     #[inline]
     pub fn conn(&self, s: StationId) -> &[Connection] {
-        let lo = self.first_out[s.idx()] as usize;
-        let hi = self.first_out[s.idx() + 1] as usize;
-        &self.conns[lo..hi]
+        &self.buckets[s.idx()].conns
     }
 
     /// The [`ConnId`] range of `conn(S)`.
@@ -439,6 +505,29 @@ impl Timetable {
     /// Iterates over station ids.
     pub fn station_ids(&self) -> impl Iterator<Item = StationId> + '_ {
         (0..self.stations.len() as u32).map(StationId)
+    }
+
+    /// How many `conn(S)` buckets of `self` are *physically shared* (same
+    /// allocation, by refcount) with `other`. Diagnostics for the
+    /// copy-on-write publish path: after a clone this is `|S|`; after a
+    /// feed it drops by exactly the number of touched buckets.
+    pub fn shared_buckets_with(&self, other: &Timetable) -> usize {
+        self.buckets.iter().zip(&other.buckets).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
+    }
+
+    /// A fully unshared copy: every bucket and index vector is
+    /// reallocated, nothing aliases `self`. The pre-copy-on-write clone
+    /// cost, kept as a bench reference for the O(touched) path.
+    pub fn deep_clone(&self) -> Timetable {
+        Timetable {
+            period: self.period,
+            stations: Arc::new((*self.stations).clone()),
+            num_trains: self.num_trains,
+            buckets: self.buckets.iter().map(|b| Arc::new((**b).clone())).collect(),
+            first_out: Arc::new((*self.first_out).clone()),
+            conn_station: Arc::new((*self.conn_station).clone()),
+            generation: self.generation,
+        }
     }
 
     /// Summary statistics.

@@ -21,6 +21,7 @@
 //! delay stretches exactly one dwell and can manufacture it.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use pt_core::{ConnId, RouteId, StationId, Time, TrainId};
 
@@ -46,13 +47,20 @@ impl RouteInfo {
 }
 
 /// The route partition of a timetable.
+///
+/// Every aggregate is individually `Arc`-shared so a clone is O(routes +
+/// trains) refcount bumps and the incremental followers
+/// ([`Routes::repatch_feed`], [`Routes::refit`]) copy-on-write only the
+/// routes and per-train lists they actually rewrite — the rest stays
+/// physically shared with any snapshot cloned earlier.
 #[derive(Debug, Clone)]
 pub struct Routes {
-    routes: Vec<RouteInfo>,
-    /// Route of each train, indexed by [`TrainId`].
-    train_route: Vec<RouteId>,
+    routes: Vec<Arc<RouteInfo>>,
+    /// Route of each train, indexed by [`TrainId`]. Rewritten only by
+    /// [`Routes::refit`] (topology change), never by a plain repatch.
+    train_route: Arc<Vec<RouteId>>,
     /// Connections of each train ordered by hop index, indexed by [`TrainId`].
-    train_conns: Vec<Vec<ConnId>>,
+    train_conns: Vec<Arc<Vec<ConnId>>>,
 }
 
 impl Routes {
@@ -125,16 +133,20 @@ impl Routes {
                 for &t in &members {
                     train_route[t.idx()] = id;
                 }
-                routes.push(RouteInfo { stations: stations.clone(), trains: members });
+                routes.push(Arc::new(RouteInfo { stations: stations.clone(), trains: members }));
             }
         }
-        Routes { routes, train_route, train_conns }
+        Routes {
+            routes,
+            train_route: Arc::new(train_route),
+            train_conns: train_conns.into_iter().map(Arc::new).collect(),
+        }
     }
 
-    /// All routes, indexed by [`RouteId`].
+    /// Iterates over all routes in [`RouteId`] order.
     #[inline]
-    pub fn routes(&self) -> &[RouteInfo] {
-        &self.routes
+    pub fn iter_routes(&self) -> impl Iterator<Item = &RouteInfo> {
+        self.routes.iter().map(|r| &**r)
     }
 
     /// A single route.
@@ -171,6 +183,24 @@ impl Routes {
     #[inline]
     pub fn connection_at(&self, t: TrainId, hop: usize) -> ConnId {
         self.train_conns[t.idx()][hop]
+    }
+
+    /// How many routes of `self` are *physically shared* (same allocation,
+    /// by refcount) with `other`. Diagnostics for the copy-on-write publish
+    /// path, the route-level analogue of
+    /// [`Timetable::shared_buckets_with`].
+    pub fn shared_routes_with(&self, other: &Routes) -> usize {
+        self.routes.iter().zip(&other.routes).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
+    }
+
+    /// A fully unshared copy: every route block and train list is
+    /// reallocated (see [`Timetable::deep_clone`]).
+    pub fn deep_clone(&self) -> Routes {
+        Routes {
+            routes: self.routes.iter().map(|r| Arc::new((**r).clone())).collect(),
+            train_route: Arc::new((*self.train_route).clone()),
+            train_conns: self.train_conns.iter().map(|c| Arc::new((**c).clone())).collect(),
+        }
     }
 
     /// Follows a [`Timetable::patch_delay`]: rewrites every remapped
@@ -233,7 +263,9 @@ impl Routes {
         trains.sort_unstable();
         trains.dedup();
         for t in trains {
-            for c in &mut self.train_conns[t.idx()] {
+            // Copy-on-touch: only the lists of trains that actually own a
+            // moved connection are cloned out of sharing.
+            for c in Arc::make_mut(&mut self.train_conns[t.idx()]).iter_mut() {
                 if let Some(&n) = map.get(c) {
                     *c = n;
                 }
@@ -245,7 +277,7 @@ impl Routes {
     /// one route.
     fn resort_route_trains(&mut self, tt: &Timetable, r: RouteId) {
         let train_conns = &self.train_conns;
-        self.routes[r.idx()]
+        Arc::make_mut(&mut self.routes[r.idx()])
             .trains
             .sort_unstable_by_key(|&t| (tt.connection(train_conns[t.idx()][0]).dep, t));
     }
@@ -302,13 +334,14 @@ impl Routes {
             }
             let mut subroutes = subroutes.into_iter();
             let (first, _) = subroutes.next().expect("a non-empty route splits non-trivially");
-            self.routes[r.idx()].trains = first;
+            Arc::make_mut(&mut self.routes[r.idx()]).trains = first;
             for (members, _) in subroutes {
                 let id = RouteId::from_idx(self.routes.len());
                 for &t in &members {
-                    self.train_route[t.idx()] = id;
+                    Arc::make_mut(&mut self.train_route)[t.idx()] = id;
                 }
-                self.routes.push(RouteInfo { stations: stations.clone(), trains: members });
+                self.routes
+                    .push(Arc::new(RouteInfo { stations: stations.clone(), trains: members }));
             }
             debug_assert!(self.route_is_fifo(tt, r), "refit left route {r:?} non-FIFO");
         }

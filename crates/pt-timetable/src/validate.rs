@@ -70,7 +70,7 @@ pub fn check(tt: &Timetable) -> Report {
     // Route partition pressure.
     let routes = Routes::partition(tt);
     let mut sequences: Vec<&[StationId]> =
-        routes.routes().iter().map(|r| r.stations.as_slice()).collect();
+        routes.iter_routes().map(|r| r.stations.as_slice()).collect();
     sequences.sort_unstable();
     sequences.dedup();
 

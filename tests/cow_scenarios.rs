@@ -1,0 +1,208 @@
+//! Copy-on-write correctness scenarios for the snapshot publish path.
+//!
+//! Since the O(touched) publish refactor, a published [`NetworkSnapshot`]
+//! *shares* every untouched `conn(S)` bucket, route block, hop PLF and
+//! distance-table row with the master (and with neighbouring snapshots)
+//! by refcount. Sharing is only sound if it is never observable: these
+//! scenarios pin a snapshot, hammer the master with K mixed feeds, and
+//! assert the pinned state stays bitwise-identical to a from-scratch
+//! rebuild of its own generation — any shared-mutable leak through the
+//! new `Arc`s (a patch mutating a bucket in place instead of unsharing
+//! it first) shows up as a diverged connection or profile.
+
+use proptest::prelude::*;
+
+use best_connections::prelude::*;
+use best_connections::timetable::synthetic::city::{generate_city, CityConfig};
+
+/// A deterministic mixed feed (delays + cancellations), varying with
+/// `step` so successive feeds hit different trains and routes.
+fn feed(step: u64, num_trains: u32) -> Vec<DelayEvent> {
+    let k = 1 + (step % 4) as u32;
+    (0..k)
+        .map(|i| {
+            let train = TrainId((step as u32).wrapping_mul(13).wrapping_add(i * 5) % num_trains);
+            if (step + u64::from(i)) % 6 == 5 {
+                DelayEvent::Cancel { train }
+            } else {
+                DelayEvent::Delay {
+                    train,
+                    from_hop: ((step + u64::from(i)) % 3) as u16,
+                    delay: Dur::minutes(1 + (step as u32 * 3 + i) % 55),
+                    recovery: if step.is_multiple_of(4) {
+                        Recovery::CatchUp { per_hop: Dur::minutes(2) }
+                    } else {
+                        Recovery::None
+                    },
+                }
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+    // A reader pinned across K mixed feeds sees answers bitwise-identical
+    // to a from-scratch rebuild of its pinned generation, and mutating
+    // the master never observably changes the pinned snapshot.
+    #[test]
+    fn pinned_snapshot_is_immutable_across_feeds(
+        seed in 0u64..1000,
+        num_feeds in 2usize..=6,
+        pin_after in 0usize..=2,
+    ) {
+        let net = Network::new(generate_city(&CityConfig::sized(16, 3, seed)));
+        let num_trains = net.timetable().num_trains() as u32;
+        let n = net.num_stations() as u32;
+        if num_trains == 0 || n == 0 {
+            return Ok(());
+        }
+        let cnet = ConcurrentNetwork::with_table(net, &TransferSelection::Fraction(0.4));
+
+        // Advance the master a little before pinning, so the pin is not
+        // always the pristine initial state.
+        for step in 0..pin_after {
+            cnet.apply_feed(&feed(step as u64, num_trains));
+        }
+
+        let pinned = cnet.snapshot();
+        let pinned_gen = pinned.generation();
+        // Capture the pinned state *by value* at pin time: a materialized
+        // copy of every connection, and a from-scratch rebuild (fresh
+        // epoch, no shared derived structures) of the same timetable.
+        let conns_at_pin = pinned.timetable().connections();
+        let rebuilt = Network::build(pinned.timetable());
+        let table_at_pin = pinned.shared_table().expect("table configured");
+
+        // K mixed feeds mutate the master; the pinned snapshot must not
+        // observe any of them.
+        for step in 0..num_feeds {
+            cnet.apply_feed(&feed(100 + step as u64, num_trains));
+        }
+
+        prop_assert_eq!(pinned.generation(), pinned_gen, "pinned generation moved");
+        prop_assert_eq!(
+            pinned.timetable().connections(),
+            conns_at_pin,
+            "a feed on the master leaked into the pinned timetable"
+        );
+        // The pinned table still serves the pinned state (its validity
+        // range may have grown, never shrunk) and its entries still match
+        // a from-scratch table of the pinned generation.
+        prop_assert!(table_at_pin.check_fresh(pinned.network()).is_ok());
+        let table_rebuilt = DistanceTable::build_for(&rebuilt, table_at_pin.stations().to_vec());
+        for &a in table_at_pin.stations() {
+            for &b in table_at_pin.stations() {
+                prop_assert_eq!(
+                    table_at_pin.profile(a, b),
+                    table_rebuilt.profile(a, b),
+                    "pinned D({}, {}) diverged from a rebuild of the pinned generation",
+                    a,
+                    b
+                );
+            }
+        }
+        // Query answers on the pinned snapshot are bitwise the answers of
+        // the rebuilt network.
+        let engine = ProfileEngine::new();
+        for k in 0..4u32.min(n) {
+            let s = StationId(k * n / 4);
+            let on_pinned = engine.one_to_all(&pinned, s);
+            let on_rebuilt = engine.one_to_all(&rebuilt, s);
+            prop_assert_eq!(&on_pinned, &on_rebuilt, "source {} diverged on the pin", s);
+        }
+        // And the *current* snapshot answers like a rebuild of the
+        // current state — sharing corrupted neither side.
+        let fresh = cnet.snapshot();
+        let fresh_rebuilt = Network::build(fresh.timetable());
+        for k in 0..3u32.min(n) {
+            let s = StationId(k * n / 3);
+            let a = engine.one_to_all(&fresh, s);
+            let b = engine.one_to_all(&fresh_rebuilt, s);
+            prop_assert_eq!(&a, &b, "source {} diverged on the fresh snapshot", s);
+        }
+    }
+}
+
+/// A single-train delay unshares only what it touches: successive
+/// snapshots share the bulk of their buckets, route blocks and PLFs, and
+/// the graph topology allocation outright (no overtaking rebuild).
+#[test]
+fn single_delay_publish_shares_the_untouched_bulk() {
+    let net = Network::new(generate_city(&CityConfig::sized(40, 5, 7)));
+    let stations = net.num_stations();
+    let cnet = ConcurrentNetwork::new(net);
+    let before = cnet.snapshot();
+    let outcome = cnet.apply_feed(&[DelayEvent::Delay {
+        train: TrainId(0),
+        from_hop: 0,
+        delay: Dur::minutes(7),
+        recovery: Recovery::None,
+    }]);
+    assert!(outcome.summary.changed());
+    assert!(!outcome.summary.rebuilt(), "a small delay must stay on the repatch fast path");
+    let after = cnet.snapshot();
+
+    let touched = outcome.summary.touched_stations.len();
+    let shared_buckets = after.timetable().shared_buckets_with(before.timetable());
+    assert!(
+        shared_buckets >= stations - touched,
+        "only the {touched} touched buckets may be unshared, \
+         but {shared_buckets}/{stations} are shared"
+    );
+    assert!(shared_buckets < stations, "the touched buckets must be unshared");
+
+    let shared_routes = after.routes().shared_routes_with(before.routes());
+    assert!(
+        shared_routes >= after.routes().len() - outcome.summary.touched_routes,
+        "only touched routes may be unshared"
+    );
+
+    let (shared_plfs, topo_shared) = after.graph().shared_plfs_with(before.graph());
+    assert!(topo_shared, "a repatch never rebuilds the topology");
+    assert!(shared_plfs > 0, "untouched PLFs must stay shared");
+
+    // The publish outcome reports the copy-on-write cost.
+    assert!(outcome.publish_ns > 0);
+}
+
+/// The master and a pinned snapshot may share a distance-table `Arc`; a
+/// refresh that rewrites rows must unshare before writing (the pinned
+/// reader keeps its old rows), while a refresh that rewrites nothing
+/// keeps the very same allocation published.
+#[test]
+fn table_rows_unshare_exactly_when_rewritten() {
+    let net = Network::new(generate_city(&CityConfig::sized(30, 4, 3)));
+    let num_trains = net.timetable().num_trains() as u32;
+    let cnet = ConcurrentNetwork::with_table(net, &TransferSelection::Fraction(0.3));
+    let pinned = cnet.snapshot();
+    let pinned_table = pinned.shared_table().unwrap();
+    let rebuilt_at_pin = Network::build(pinned.timetable());
+
+    let outcome = cnet.apply_feed(&feed(1, num_trains));
+    assert!(outcome.summary.changed());
+    let after = cnet.snapshot();
+    let after_table = after.shared_table().unwrap();
+
+    if outcome.table_rows_refreshed == 0 {
+        assert!(std::sync::Arc::ptr_eq(&pinned_table, &after_table));
+    } else {
+        assert!(!std::sync::Arc::ptr_eq(&pinned_table, &after_table));
+        let n = pinned_table.len();
+        let shared = after_table.shared_rows_with(&pinned_table);
+        assert_eq!(
+            shared,
+            n - outcome.table_rows_refreshed,
+            "exactly the refreshed rows must be unshared"
+        );
+    }
+    // Either way the pinned reader still sees its own generation's rows.
+    assert!(pinned_table.check_fresh(pinned.network()).is_ok());
+    let reference = DistanceTable::build_for(&rebuilt_at_pin, pinned_table.stations().to_vec());
+    for &a in pinned_table.stations() {
+        for &b in pinned_table.stations() {
+            assert_eq!(pinned_table.profile(a, b), reference.profile(a, b), "D({a}, {b})");
+        }
+    }
+}

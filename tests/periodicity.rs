@@ -111,7 +111,8 @@ fn delays_wrap_correctly_in_short_periods() {
     let express_train =
         tt.conn(s[0]).iter().find(|c| c.dep == Time(115 * 60)).expect("express exists").train;
     let delayed = apply_delay(tt, express_train, 0, Dur::minutes(10), Recovery::None);
-    let c = delayed.connections().iter().find(|c| c.train == express_train).unwrap();
+    let conns = delayed.connections();
+    let c = conns.iter().find(|c| c.train == express_train).unwrap();
     // 1:55 + 10 min wraps to 0:05 of the next period.
     assert_eq!(c.dep, Time(5 * 60));
     // And the delayed network still satisfies CS == LC.

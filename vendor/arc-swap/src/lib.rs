@@ -1,0 +1,256 @@
+//! Offline stand-in for the `arc-swap` crate: an atomic slot holding an
+//! `Arc<T>` whose **read path is wait-free** — `load_full` is one
+//! `fetch_add`, one `Arc::clone`, one `fetch_add`, and never loops, locks,
+//! or waits on writers, no matter how fast publishes arrive.
+//!
+//! The real crate uses hazard-pointer-style debt tracking; this subset
+//! uses a two-slot generation-counting scheme that needs no thread-local
+//! state and no epoch GC, at the cost of making *writers* wait for the
+//! readers that entered the slot being overwritten (writers already
+//! serialize among themselves, so that is the cheap side here):
+//!
+//! * `state` packs the active slot index (bit 63) with a count of reader
+//!   entries into that slot during its current tenure (low 63 bits). A
+//!   reader's single `fetch_add(1)` both picks the slot and registers the
+//!   entry, atomically — there is no window where a writer can miss it.
+//! * `exits[s]` counts readers that finished cloning out of slot `s`,
+//!   cumulative over all tenures.
+//! * A writer (serialized by the internal mutex) targets the *inactive*
+//!   slot: it waits until every reader that ever entered that slot has
+//!   exited (`exits == entries_total`, both cumulative), overwrites the
+//!   slot — now provably unreferenced — and flips `state` to it in one
+//!   `swap`, folding the displaced tenure's entry count into the totals.
+//!
+//! Orderings: the reader's entry `fetch_add(Acquire)` pairs with the
+//! writer's `swap(Release)` so the slot write is visible before the slot
+//! becomes active; the reader's exit `fetch_add(Release)` pairs with the
+//! writer's drain `load(Acquire)` so the overwrite happens strictly after
+//! every drained reader's clone.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+use std::cell::UnsafeCell;
+use std::hint;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const SLOT_BIT: u64 = 1 << 63;
+const COUNT_MASK: u64 = SLOT_BIT - 1;
+
+/// An atomic `Arc<T>` slot: readers `load_full` without ever blocking,
+/// writers `store`/`swap` serialized among themselves.
+pub struct ArcSwap<T> {
+    /// bit 63: index of the active slot; low 63 bits: reader entries into
+    /// the active slot during its current tenure.
+    state: AtomicU64,
+    /// Cumulative reader exits per slot (over all tenures).
+    exits: [AtomicU64; 2],
+    slots: [UnsafeCell<Arc<T>>; 2],
+    /// Serializes writers; holds the cumulative reader *entries* per slot
+    /// (folded in from displaced tenure counts at each swap).
+    writer: Mutex<[u64; 2]>,
+}
+
+// Readers clone `Arc<T>` (handing `T` across threads by reference) and the
+// writer moves `Arc<T>` values in and out, so both bounds are required —
+// the same bounds under which `Arc<T>` itself is `Send + Sync`.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T> ArcSwap<T> {
+    /// Creates a slot holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            state: AtomicU64::new(0),
+            exits: [AtomicU64::new(0), AtomicU64::new(0)],
+            slots: [UnsafeCell::new(value.clone()), UnsafeCell::new(value)],
+            writer: Mutex::new([0, 0]),
+        }
+    }
+
+    /// Returns a clone of the current value. Wait-free: a bounded number
+    /// of atomic ops, no locks, no retry loop.
+    pub fn load_full(&self) -> Arc<T> {
+        let entered = self.state.fetch_add(1, Ordering::Acquire);
+        let slot = (entered >> 63) as usize;
+        // Safety: `fetch_add` registered this reader in `slot`'s tenure
+        // count before this dereference; any writer targeting `slot` first
+        // drains `exits[slot]` up to the cumulative entry total (which
+        // includes us) and we only bump `exits` after the clone completes,
+        // so no `&mut` aliases the slot while we read it.
+        let value = unsafe { (*self.slots[slot].get()).clone() };
+        self.exits[slot].fetch_add(1, Ordering::Release);
+        value
+    }
+
+    /// Alias for [`load_full`](Self::load_full) (the real crate returns a
+    /// guard here; this subset always materializes the `Arc`).
+    pub fn load(&self) -> Arc<T> {
+        self.load_full()
+    }
+
+    /// Replaces the value, returning the previous one.
+    pub fn swap(&self, new: Arc<T>) -> Arc<T> {
+        let mut entries_total = self.writer.lock().unwrap();
+        let active = (self.state.load(Ordering::Acquire) >> 63) as usize;
+        let target = active ^ 1;
+        // Drain: wait for every reader that ever entered `target` to exit.
+        // No new reader can enter it (`state` points at `active`, and we
+        // hold the writer lock so nobody flips it under us).
+        let mut spins = 0u32;
+        while self.exits[target].load(Ordering::Acquire) != entries_total[target] {
+            spins += 1;
+            if spins < 64 {
+                hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // The value being displaced is the *active* slot's; what sits in
+        // `target` is the stale value from the publish before last (the
+        // two-slot scheme keeps exactly one superseded value alive until
+        // the next swap reclaims it here).
+        // Safety: readers only clone out of slots through `&Arc` (atomic
+        // refcount), never mutate, so a shared read of the active slot is
+        // fine; and `target` is drained + unreachable, so this writer
+        // holds the only reference to it for the overwrite.
+        let previous = unsafe { (*self.slots[active].get()).clone() };
+        unsafe { *self.slots[target].get() = new };
+        let displaced = self.state.swap((target as u64) << 63, Ordering::AcqRel);
+        entries_total[active] += displaced & COUNT_MASK;
+        debug_assert_eq!(displaced >> 63, active as u64);
+        previous
+    }
+
+    /// Replaces the value, dropping the previous one.
+    pub fn store(&self, new: Arc<T>) {
+        drop(self.swap(new));
+    }
+
+    /// Consumes the slot, returning the current value.
+    pub fn into_inner(self) -> Arc<T> {
+        let [a, b] = self.slots;
+        let active = (self.state.into_inner() >> 63) as usize;
+        let (a, b) = (a.into_inner(), b.into_inner());
+        if active == 0 {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ArcSwap").field(&self.load_full()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let slot = ArcSwap::new(Arc::new(1u32));
+        assert_eq!(*slot.load_full(), 1);
+        slot.store(Arc::new(2));
+        assert_eq!(*slot.load_full(), 2);
+        let prev = slot.swap(Arc::new(3));
+        assert_eq!(*prev, 2);
+        assert_eq!(*slot.load(), 3);
+        assert_eq!(*slot.into_inner(), 3);
+    }
+
+    #[test]
+    fn dropped_values_release_their_refcount() {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let slot = ArcSwap::new(Arc::new(Counted::new()));
+        for _ in 0..10 {
+            slot.store(Arc::new(Counted::new()));
+        }
+        // Bounded retention: the active value plus the one superseded
+        // value parked in the inactive slot until the next publish.
+        assert_eq!(LIVE.load(Ordering::SeqCst), 2, "unbounded value retention");
+        drop(slot);
+        assert_eq!(LIVE.load(Ordering::SeqCst), 0);
+    }
+
+    /// Readers under a publish storm always observe some published value,
+    /// and never a torn or stale-beyond-the-swap one: values are published
+    /// in increasing order and each reader's sequence must be monotone.
+    #[test]
+    fn concurrent_loads_see_monotone_published_values() {
+        let slot = Arc::new(ArcSwap::new(Arc::new(0u64)));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..2000 {
+                        let v = *slot.load_full();
+                        assert!(v >= last, "went backwards: {v} after {last}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=2000u64 {
+            slot.store(Arc::new(i));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*slot.load_full(), 2000);
+    }
+
+    /// Writer drain terminates even when readers enter continuously — the
+    /// classic RwLock writer-starvation shape this slot exists to avoid on
+    /// the *read* side must not deadlock the write side either.
+    #[test]
+    fn publish_storm_with_constant_readers_makes_progress() {
+        let slot = Arc::new(ArcSwap::new(Arc::new(0u64)));
+        let stop = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let _ = slot.load_full();
+                    }
+                })
+            })
+            .collect();
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        slot.store(Arc::new(w * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+}
