@@ -24,13 +24,18 @@ Two jobs, both exercised by CI after the `throughput` smoke run:
    mid-flight; the speedup-over-single-thread floor applies only when the
    host has >= 2 cpus — on a 1-cpu host the clients time-slice one core,
    aggregate q/s below the single-thread reference is expected, and the
-   absolute q/s floor in the baseline is the gate instead) and the
+   absolute q/s floor in the baseline is the gate instead), the gateway
+   phase (>= 2 shards stitched at >= 1 border group: cross-shard q/s, the
+   merged-monolith reference q/s and their ratio — the stitch overhead —
+   plus the border rows the mid-phase feed refreshed) and the
    work-stealing pool counters (stolen <= executed).
 
-2. **Regression gate** (when a baseline file is given and its recorded
-   config matches): fail on a >30% drop in any `events_per_sec` metric or
-   any cached `hit_rate` against `BENCH_baseline.json`, printing a trend
-   table either way.
+2. **Regression gate** (when a baseline file is given): fail on a >30%
+   drop in any `events_per_sec` metric or any cached `hit_rate` against
+   `BENCH_baseline.json`, printing a trend table either way. A baseline
+   whose recorded config differs from the current run is itself a
+   failure — a gate that silently skips is a gate that is off — unless
+   `BC_ALLOW_CONFIG_DRIFT=1` deliberately waives it for the run.
 
 The committed baseline stores *conservative floors*, not raw measurements:
 CI hardware varies run to run, so `--update-baseline` scales every
@@ -44,6 +49,7 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
 # Fraction of the baseline a throughput metric may drop to before the gate
@@ -247,6 +253,28 @@ def validate(doc):
                 f"with {conc['host_cpus']} cpus",
             )
 
+    gw = doc.get("gateway")
+    check(gw is not None, "gateway phase missing from document")
+    if gw is not None:
+        check(gw["shards"] >= 2, f"gateway phase needs >= 2 shards: {gw}")
+        check(gw["border_groups"] >= 1, f"gateway phase found no borders: {gw}")
+        check(
+            gw["queries"] > 0 and gw["cross_queries_per_sec"] > 0,
+            f"gateway phase ran no cross-shard queries: {gw}",
+        )
+        check(
+            gw["mono_queries_per_sec"] > 0,
+            f"missing monolithic reference throughput: {gw}",
+        )
+        check(
+            gw["stitch_overhead"] > 0,
+            f"impossible stitch overhead (mono/cross qps ratio): {gw}",
+        )
+        check(
+            gw["feed_rows_refreshed"] >= 1,
+            f"the feed between rounds never refreshed a border row: {gw}",
+        )
+
     pool = doc.get("pool")
     check(pool is not None, "pool counters missing from document")
     if pool is not None:
@@ -283,7 +311,43 @@ def metrics_of(doc):
     conc = doc.get("concurrent")
     if conc is not None:
         out["concurrent.queries_per_sec"] = conc["queries_per_sec"]
+    gw = doc.get("gateway")
+    if gw is not None:
+        out["gateway.cross_queries_per_sec"] = gw["cross_queries_per_sec"]
     return out
+
+
+def gate(current, baseline, allow_drift=False):
+    """The full regression gate; returns error strings, or `None` when the
+    gate was deliberately skipped.
+
+    A baseline recorded under a *different* configuration cannot gate this
+    run — and silently skipping the gate is how regressions ship: every
+    mis-set knob (or a knob list with a typo) would turn the gate off.
+    A config mismatch is therefore an error unless `allow_drift` (the
+    `BC_ALLOW_CONFIG_DRIFT=1` escape hatch for deliberate local
+    experiments) is set, in which case the gate is skipped *loudly*.
+    """
+    base_config = baseline.get("config")
+    cur_config = config_of(current)
+    if base_config != cur_config:
+        msg = (
+            "baseline config differs from the current run "
+            f"({base_config} vs {cur_config})"
+        )
+        if allow_drift:
+            print(
+                f"{msg} — regression gate skipped (BC_ALLOW_CONFIG_DRIFT=1); "
+                "regenerate the baseline to re-arm it",
+                file=sys.stderr,
+            )
+            return None
+        return [
+            f"{msg} — run with the baseline's configuration, regenerate the "
+            "baseline (--update-baseline), or set BC_ALLOW_CONFIG_DRIFT=1 to "
+            "skip the gate deliberately"
+        ]
+    return compare(current, baseline)
 
 
 def compare(current, baseline):
@@ -361,7 +425,7 @@ def main():
         fail(errors)
     print(
         f"structure ok: {len(current['networks'])} network(s) + shard, "
-        "concurrent and pool phases"
+        "concurrent, gateway and pool phases"
     )
     for name, value in metrics_of(current).items():
         print(f"  {name} = {value:.6g}")
@@ -375,15 +439,10 @@ def main():
     if args.baseline:
         with open(args.baseline) as f:
             baseline = json.load(f)
-        if baseline.get("config") != config_of(current):
-            print(
-                "baseline config differs from the current run "
-                f"({baseline.get('config')} vs {config_of(current)}) — "
-                "regression gate skipped; regenerate the baseline to re-arm it",
-                file=sys.stderr,
-            )
+        allow_drift = os.environ.get("BC_ALLOW_CONFIG_DRIFT") == "1"
+        errors = gate(current, baseline, allow_drift)
+        if errors is None:
             return
-        errors = compare(current, baseline)
         if errors:
             fail(errors)
         print("regression gate ok: no metric dropped more than "

@@ -1,0 +1,93 @@
+"""Unit tests for the check_bench.py gate (run by CI: `python3 -m unittest
+discover ci`). They pin the behavior the bench pipeline leans on: a config
+mismatch *fails* the gate (it does not silently skip), the drop tolerance
+fires at the documented threshold, and disappearing metrics are caught.
+"""
+
+import unittest
+
+import check_bench
+
+
+def doc(qps=100.0, hit_rate=0.5, queries=4, scale=0.05):
+    """A minimal throughput document exercising config_of/metrics_of."""
+    return {
+        "scale": scale,
+        "threads": 4,
+        "networks": [
+            {
+                "name": "Oahu",
+                "stations": 100,
+                "one_to_all": {"queries": queries, "cached": {"hit_rate": hit_rate}},
+                "feed": {"events_per_sec": qps},
+                "kernel": {"soa_qps": qps},
+            }
+        ],
+        "shard": {"events_per_sec": qps, "hit_rate": hit_rate},
+        "concurrent": {"queries_per_sec": qps, "clients": 4},
+        "gateway": {"cross_queries_per_sec": qps},
+    }
+
+
+def baseline_for(document, headroom=1.0):
+    metrics = check_bench.metrics_of(document)
+    for key in metrics:
+        if key.endswith(check_bench.THROUGHPUT_SUFFIXES):
+            metrics[key] = round(metrics[key] * headroom, 3)
+    return {"config": check_bench.config_of(document), "metrics": metrics}
+
+
+class GateTest(unittest.TestCase):
+    def test_matching_config_and_steady_metrics_pass(self):
+        current = doc()
+        self.assertEqual(check_bench.gate(current, baseline_for(current)), [])
+
+    def test_config_mismatch_is_an_error_not_a_skip(self):
+        current = doc()
+        drifted = baseline_for(doc(queries=99))
+        errors = check_bench.gate(current, drifted)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("baseline config differs", errors[0])
+        self.assertIn("BC_ALLOW_CONFIG_DRIFT=1", errors[0])
+
+    def test_config_drift_opt_out_skips_loudly(self):
+        current = doc()
+        drifted = baseline_for(doc(queries=99))
+        self.assertIsNone(check_bench.gate(current, drifted, allow_drift=True))
+
+    def test_drift_opt_out_does_not_waive_real_drops(self):
+        # The opt-out skips only the config check; with matching configs a
+        # dropped metric still fails.
+        current = doc(qps=50.0)
+        baseline = baseline_for(doc(qps=100.0))
+        errors = check_bench.gate(current, baseline, allow_drift=True)
+        self.assertTrue(errors)
+
+    def test_drop_tolerance_boundary(self):
+        baseline = baseline_for(doc(qps=100.0))
+        at_floor = doc(qps=100.0 * check_bench.DROP_TOLERANCE)
+        self.assertEqual(check_bench.gate(at_floor, baseline), [])
+        below = doc(qps=100.0 * check_bench.DROP_TOLERANCE - 1.0)
+        errors = check_bench.gate(below, baseline)
+        self.assertTrue(any("dropped more than" in e for e in errors))
+
+    def test_gateway_metric_is_gated(self):
+        current = doc()
+        current["gateway"]["cross_queries_per_sec"] = 1.0
+        errors = check_bench.gate(current, baseline_for(doc()))
+        self.assertTrue(any("gateway.cross_queries_per_sec" in e for e in errors))
+
+    def test_disappearing_metric_fails(self):
+        current = doc()
+        del current["gateway"]
+        errors = check_bench.gate(current, baseline_for(doc()))
+        self.assertTrue(any("disappeared" in e for e in errors))
+
+    def test_hit_rates_are_stored_exactly_but_throughputs_floored(self):
+        halved = baseline_for(doc(qps=100.0), headroom=0.5)
+        self.assertEqual(halved["metrics"]["Oahu.feed.events_per_sec"], 50.0)
+        self.assertEqual(halved["metrics"]["Oahu.cached.hit_rate"], 0.5)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -22,8 +22,16 @@
 //! ground truth — on the pristine networks, after the same delay burst as
 //! delay mode, and after the same batched feeds as feed mode.
 //!
+//! With `--gateway` it runs the cross-shard gateway battery instead:
+//! generated region shards sharing border stations are served through a
+//! `ShardedService` with a by-name gateway, and every sampled cross-shard
+//! pair's stitched profile is held byte-equal to the merged monolithic
+//! network's sequential profile — pristine, after a delay burst, and
+//! across live mixed feeds applied through the service (exercising the
+//! scoped border-set refresh).
+//!
 //! ```text
-//! cargo run --release --bin conncheck [-- --kernel]
+//! cargo run --release --bin conncheck [-- --kernel | --gateway]
 //! ```
 //!
 //! Knobs: `BC_SCALE` (default 0.5), `BC_QUERIES` sources per network
@@ -32,7 +40,8 @@
 
 use pt_bench::conncheck::{
     apply_random_delays, apply_random_feeds, cross_check, cross_check_after_delays,
-    cross_check_after_feed, kernel_check, standard_departures,
+    cross_check_after_feed, disrupt_scenario, gateway_check, gateway_scenario, kernel_check,
+    standard_departures,
 };
 use pt_bench::BenchConfig;
 use pt_core::StationId;
@@ -97,6 +106,48 @@ fn main() {
     let departures = standard_departures();
     let sources_per_net = cfg.queries.clamp(1, 64);
     let mut total_mismatches = 0usize;
+
+    // --gateway: the cross-shard gateway battery (stitched vs monolithic)
+    // on generated region scenarios, instead of the full cross-algorithm
+    // battery over the presets.
+    if std::env::args().skip(1).any(|a| a == "--gateway") {
+        println!();
+        println!("gateway: stitched cross-shard profiles vs the merged monolith");
+        let pairs = sources_per_net.clamp(1, 16);
+        // (shards, borders, locals, trips): a two-region cut with one
+        // border, and a three-region cut with two borders (multi-alias
+        // groups and border-chain journeys).
+        for (shards, borders, locals, trips) in [(2usize, 1usize, 5usize, 14usize), (3, 2, 4, 12)] {
+            let name = format!("gw{shards}x{borders}");
+            let sc = gateway_scenario(shards, borders, locals, trips, cfg.seed);
+            let pristine = gateway_check(&name, &sc, pairs, 0, 0, cfg.seed);
+            let delayed_sc = disrupt_scenario(&sc, 6, cfg.seed);
+            let delayed =
+                gateway_check(&format!("{name}+delays"), &delayed_sc, pairs, 0, 0, cfg.seed);
+            // Live feeds through the service: 3 rounds of 8 mixed events,
+            // re-checked after every round.
+            let fed = gateway_check(&format!("{name}+feed"), &sc, pairs, 3, 8, cfg.seed);
+            for outcome in [&pristine, &delayed, &fed] {
+                println!(
+                    "{:<16} pairs={:<4} comparisons={:<8} mismatches={}",
+                    outcome.network,
+                    outcome.sources,
+                    outcome.comparisons,
+                    outcome.mismatches.len()
+                );
+                for m in &outcome.mismatches {
+                    eprintln!("  MISMATCH: {m}");
+                }
+                total_mismatches += outcome.mismatches.len();
+            }
+        }
+        if total_mismatches > 0 {
+            eprintln!("conncheck --gateway FAILED: {total_mismatches} mismatch(es)");
+            std::process::exit(1);
+        }
+        println!("conncheck --gateway OK: zero mismatches");
+        return;
+    }
 
     // --kernel: the kernel ablation battery (scalar vs SoA vs time-query)
     // on pristine, delayed and fed networks, instead of the full

@@ -32,6 +32,14 @@
 //!   and a shard-tagged event stream through the router's `apply_feed`
 //!   (aggregate events/sec, at most one generation bump per shard per
 //!   feed),
+//! * **gateway** — the cross-shard stitching phase: a generated
+//!   three-region scenario sharing border stations is served through a
+//!   gateway-enabled [`ShardedService`]; sampled cross-shard pairs are
+//!   answered by stitching source→border ⊕ border→target profiles and
+//!   timed against the merged monolithic network answering the mapped
+//!   pairs directly (the stitch-overhead ratio is the honest price of
+//!   the cut), then a mixed live feed proves the border tables refresh
+//!   only touched rows — and at least one,
 //! * **concurrent** — the snapshot-isolation phase: `BC_CONC_CLIENTS`
 //!   client threads (default 4) hammer one shared `&self`
 //!   [`ShardedService`] while a writer thread streams live feeds through
@@ -57,14 +65,15 @@
 use std::time::Instant;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
+use pt_bench::conncheck::gateway_scenario;
 use pt_bench::report::{balance, json_out_path, median, percentile, write_json, Json};
 use pt_bench::{env_parse, random_feed, random_pairs, random_stations, BenchConfig};
 use pt_core::{Dur, StationId, TrainId};
 use pt_spcs::{
-    ConcurrentNetwork, KernelMode, Network, ProfileEngine, QueryStats, S2sEngine, ShardedService,
-    TransferSelection,
+    BorderSpec, ConcurrentNetwork, KernelMode, Network, ProfileEngine, QueryStats, S2sEngine,
+    ShardId, ShardedService, TransferSelection,
 };
 use pt_timetable::synthetic::presets;
 use pt_timetable::{DelayEvent, Recovery};
@@ -684,6 +693,115 @@ fn main() {
         ("publishes", Json::from(publishes)),
     ]);
 
+    // --- gateway (cross-shard stitching vs the merged monolith) -----------
+    // A generated three-region scenario sharing two border stations. The
+    // gateway-enabled service answers cross-shard pairs by stitching
+    // border profile sets; the monolith answers the mapped pairs directly
+    // through the batch s2s engine. Scenario size is fixed (not scaled by
+    // BC_SCALE): the phase measures the stitch machinery, not network
+    // size, and a fixed shape keeps the baseline config stable.
+    let (gw_shards, gw_borders, gw_locals, gw_trips) = (3usize, 2usize, 6usize, 16usize);
+    let sc = gateway_scenario(gw_shards, gw_borders, gw_locals, gw_trips, cfg.seed ^ 0x6A7E);
+    let gw_svc = ShardedService::builder()
+        .threads(threads)
+        .gateway(BorderSpec::ByName)
+        .build(sc.shards.clone());
+    let gw_queries = (queries * 4).max(8);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6A);
+    let mut gw_pairs = Vec::with_capacity(gw_queries);
+    let mut mono_pairs = Vec::with_capacity(gw_queries);
+    while gw_pairs.len() < gw_queries {
+        let a = rng.gen_range(0..gw_shards);
+        let b = loop {
+            let b = rng.gen_range(0..gw_shards);
+            if b != a {
+                break b;
+            }
+        };
+        let s = rng.gen_range(0..sc.to_mono[a].len());
+        let t = rng.gen_range(0..sc.to_mono[b].len());
+        if sc.to_mono[a][s] == sc.to_mono[b][t] {
+            continue; // the same physical border seen from both shards
+        }
+        gw_pairs.push((
+            gw_svc.global_id(ShardId(a as u32), StationId(s as u32)).expect("sampled local"),
+            gw_svc.global_id(ShardId(b as u32), StationId(t as u32)).expect("sampled local"),
+        ));
+        mono_pairs.push((sc.to_mono[a][s], sc.to_mono[b][t]));
+    }
+
+    // Warm pass builds the border tables and sizes every shard's
+    // workspaces; the timed pass measures steady-state stitching.
+    let warm = gw_svc.s2s_batch(&gw_pairs);
+    assert!(warm.iter().all(Result::is_ok), "cross-shard pairs must stitch");
+    let t0 = Instant::now();
+    let stitched = gw_svc.s2s_batch(&gw_pairs);
+    let cross_qps = rate(gw_pairs.len(), t0.elapsed().as_nanos() as f64);
+
+    let mono_engine = S2sEngine::new().threads(threads).kernel(kernel);
+    let _ = mono_engine.batch(&sc.mono, &mono_pairs); // warm-up
+    let t0 = Instant::now();
+    let mono_res = mono_engine.batch(&sc.mono, &mono_pairs);
+    let mono_qps = rate(mono_pairs.len(), t0.elapsed().as_nanos() as f64);
+    // Spot-check the timed workload itself; the full battery (pristine /
+    // delayed / live-fed) is `conncheck --gateway`.
+    for (r, m) in stitched.iter().zip(&mono_res) {
+        let r = r.as_ref().expect("warmed pairs keep stitching");
+        assert_eq!(r.value.profile, m.profile, "stitch diverges from monolith");
+    }
+    let stitch_overhead = if cross_qps > 0.0 { mono_qps / cross_qps } else { 0.0 };
+
+    // Live feed: events through the service invalidate touched border
+    // rows; the next batch refreshes them scoped. A feed can legally net
+    // out to nothing, so feed until at least one row refreshed.
+    let rows_before: u64 =
+        gw_svc.gateway_stats().expect("gateway enabled").rows_refreshed.iter().sum();
+    let mut gw_feed_rows = 0u64;
+    let mut gw_feed_events = 0usize;
+    let mut gw_feed_rounds = 0u32;
+    while gw_feed_rows == 0 {
+        gw_feed_rounds += 1;
+        assert!(gw_feed_rounds <= 8, "eight mixed feeds must touch a border row");
+        let mut events = Vec::new();
+        for sh in 0..gw_shards {
+            let shard = ShardId(sh as u32);
+            let trains = gw_svc.network(shard).unwrap().timetable().num_trains() as u32;
+            for ev in random_feed(&mut rng, trains, 4, 45) {
+                events.push((shard, ev));
+            }
+        }
+        gw_feed_events += events.len();
+        gw_svc.apply_feed(&events).expect("tagged shards exist");
+        let refreshed = gw_svc.s2s_batch(&gw_pairs);
+        assert!(refreshed.iter().all(Result::is_ok));
+        let rows_now: u64 =
+            gw_svc.gateway_stats().expect("gateway enabled").rows_refreshed.iter().sum();
+        gw_feed_rows = rows_now - rows_before;
+    }
+    let gw_stats = gw_svc.gateway_stats().expect("gateway enabled");
+
+    println!("## gateway ({gw_shards} shards, {} border groups)", gw_stats.groups);
+    println!(
+        "  {} cross-shard queries: stitched {cross_qps:.1} q/s vs monolithic {mono_qps:.1} q/s \
+         ({stitch_overhead:.2}x overhead)",
+        gw_pairs.len()
+    );
+    println!(
+        "  {gw_feed_events} mixed feed events over {gw_feed_rounds} feeds refreshed \
+         {gw_feed_rows} border rows (scoped, not a rebuild)"
+    );
+    println!();
+
+    let gateway_json = Json::obj([
+        ("shards", Json::from(gw_shards)),
+        ("border_groups", Json::from(gw_stats.groups)),
+        ("queries", Json::from(gw_pairs.len())),
+        ("cross_queries_per_sec", Json::from(cross_qps)),
+        ("mono_queries_per_sec", Json::from(mono_qps)),
+        ("stitch_overhead", Json::from(stitch_overhead)),
+        ("feed_rows_refreshed", Json::from(gw_feed_rows)),
+    ]);
+
     let pool = rayon::global().stats();
     let doc = Json::obj([
         ("bench", Json::from("spcs_throughput")),
@@ -693,6 +811,7 @@ fn main() {
         ("networks", Json::Arr(networks_json)),
         ("shard", shard_json),
         ("concurrent", concurrent_json),
+        ("gateway", gateway_json),
         (
             "pool",
             Json::obj([

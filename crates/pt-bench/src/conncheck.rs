@@ -26,10 +26,11 @@ use std::sync::Arc;
 
 use pt_core::{Dur, StationId, Time, TrainId};
 use pt_spcs::{
-    label_correcting, time_query, DelayUpdate, DistanceTable, KernelMode, Network,
-    PartitionStrategy, ProfileEngine, ProfileSet, S2sEngine, TransferSelection,
+    label_correcting, time_query, BorderSpec, DelayUpdate, DistanceTable, KernelMode, Network,
+    PartitionStrategy, ProfileEngine, ProfileSet, S2sEngine, ShardId, ShardedService,
+    TransferSelection,
 };
-use pt_timetable::Recovery;
+use pt_timetable::{DelayEvent, Recovery, TimetableBuilder};
 
 /// The three partition strategies of §3.2, with display names.
 pub const STRATEGIES: [(&str, PartitionStrategy); 3] = [
@@ -283,6 +284,250 @@ pub fn kernel_check(
     }
 
     CheckOutcome { network: name.to_string(), sources: sources.len(), comparisons, mismatches }
+}
+
+/// A sharded region network **and** the merged monolithic network it was
+/// cut from — the ground truth for the cross-shard gateway: a stitched
+/// profile must equal, byte for byte, the profile the monolith computes
+/// (reduced profiles are canonical per arrival function).
+///
+/// Built constructively by [`gateway_scenario`]: `borders` physical border
+/// stations (same name, same transfer time) are present in **every**
+/// shard, each shard adds its own local stations and random within-shard
+/// trips, and the monolith carries one copy of each border plus all
+/// shards' locals and all trips.
+#[derive(Debug, Clone)]
+pub struct GatewayScenario {
+    /// One region network per shard; borders occupy local ids
+    /// `0..borders`, locals follow.
+    pub shards: Vec<Network>,
+    /// The merged single network.
+    pub mono: Network,
+    /// Per shard: local station id → monolith station id.
+    pub to_mono: Vec<Vec<StationId>>,
+    /// Per shard: the monolith [`TrainId`] offset of its first trip (the
+    /// monolith replays each shard's trips in shard order).
+    pub mono_train_base: Vec<u32>,
+}
+
+/// Generates a deterministic random [`GatewayScenario`]: `num_shards`
+/// regions sharing `borders` border stations (named `b0..`, 3-minute
+/// transfers), each with `locals` region-local stations (`s{shard}_{i}`,
+/// 2-minute transfers) and `trips` random trips over 2–4 of its stations.
+pub fn gateway_scenario(
+    num_shards: usize,
+    borders: usize,
+    locals: usize,
+    trips: usize,
+    seed: u64,
+) -> GatewayScenario {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    assert!(num_shards >= 2 && borders >= 1, "a gateway scenario needs shards meeting somewhere");
+    let period = pt_core::Period::DAY;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6A7E);
+
+    let mut mono_b = TimetableBuilder::new(period);
+    for k in 0..borders {
+        mono_b.add_named_station(format!("b{k}"), Dur::minutes(3));
+    }
+    let mut shard_builders = Vec::new();
+    let mut to_mono = Vec::new();
+    for sh in 0..num_shards {
+        let mut b = TimetableBuilder::new(period);
+        let mut map = Vec::with_capacity(borders + locals);
+        for k in 0..borders {
+            b.add_named_station(format!("b{k}"), Dur::minutes(3));
+            map.push(StationId(k as u32));
+        }
+        for i in 0..locals {
+            b.add_named_station(format!("s{sh}_{i}"), Dur::minutes(2));
+            map.push(mono_b.add_named_station(format!("s{sh}_{i}"), Dur::minutes(2)));
+        }
+        shard_builders.push(b);
+        to_mono.push(map);
+    }
+
+    let mut mono_train_base = Vec::with_capacity(num_shards);
+    let mut trains = 0u32;
+    let per_shard_stations = (borders + locals) as u32;
+    for (sh, b) in shard_builders.iter_mut().enumerate() {
+        mono_train_base.push(trains);
+        for _ in 0..trips {
+            let num_stops = rng.gen_range(2..=4usize);
+            let mut stops = Vec::with_capacity(num_stops);
+            let mut last = u32::MAX;
+            for _ in 0..num_stops {
+                let s = loop {
+                    let s = rng.gen_range(0..per_shard_stations);
+                    if s != last {
+                        break s;
+                    }
+                };
+                last = s;
+                stops.push(StationId(s));
+            }
+            let start = Time::hm(rng.gen_range(5..22u32), rng.gen_range(0..60u32));
+            let legs: Vec<Dur> =
+                (1..num_stops).map(|_| Dur::minutes(rng.gen_range(5..40u32))).collect();
+            b.add_simple_trip(&stops, start, &legs, Dur::ZERO).expect("generated trip is valid");
+            let mono_stops: Vec<StationId> =
+                stops.iter().map(|&s| to_mono[sh][s.0 as usize]).collect();
+            mono_b
+                .add_simple_trip(&mono_stops, start, &legs, Dur::ZERO)
+                .expect("mapped trip is valid");
+            trains += 1;
+        }
+    }
+
+    GatewayScenario {
+        shards: shard_builders
+            .into_iter()
+            .map(|b| Network::new(b.build().expect("generated shard timetable is valid")))
+            .collect(),
+        mono: Network::new(mono_b.build().expect("merged timetable is valid")),
+        to_mono,
+        mono_train_base,
+    }
+}
+
+/// Applies the same deterministic random delays to every shard **and** to
+/// the monolith (per-train patches are train-local, so disrupting the two
+/// representations with mapped events keeps them equivalent). Returns the
+/// disrupted copy — the "+delays" input for [`gateway_check`].
+pub fn disrupt_scenario(
+    sc: &GatewayScenario,
+    events_per_shard: usize,
+    seed: u64,
+) -> GatewayScenario {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15);
+    let mut out = sc.clone();
+    for sh in 0..out.shards.len() {
+        let trains = out.shards[sh].timetable().num_trains() as u32;
+        let events = crate::random_feed(&mut rng, trains, events_per_shard, 60);
+        out.shards[sh].apply_feed(&events);
+        let mapped: Vec<DelayEvent> =
+            events.iter().map(|&e| remap_train(e, sc.mono_train_base[sh])).collect();
+        out.mono.apply_feed(&mapped);
+    }
+    out
+}
+
+/// Shifts an event's train id into the monolith's id space.
+fn remap_train(e: DelayEvent, base: u32) -> DelayEvent {
+    match e {
+        DelayEvent::Delay { train, from_hop, delay, recovery } => {
+            DelayEvent::Delay { train: TrainId(train.0 + base), from_hop, delay, recovery }
+        }
+        DelayEvent::Cancel { train } => DelayEvent::Cancel { train: TrainId(train.0 + base) },
+    }
+}
+
+/// The `--gateway` battery: builds a [`ShardedService`] with a
+/// [`BorderSpec::ByName`] gateway over the scenario's shards and holds
+/// every sampled **cross-shard** pair's stitched profile byte-equal to the
+/// merged monolith's sequential profile — on the scenario as given, and
+/// again after each of `feeds` mixed feed rounds applied through
+/// [`ShardedService::apply_feed`] (with the mapped events applied to the
+/// monolith), so the border-set refresh path is exercised live. Pairs are
+/// answered through [`ShardedService::s2s_batch`], covering the batch
+/// demux and the all-shards-pinned-up-front cut.
+pub fn gateway_check(
+    name: &str,
+    sc: &GatewayScenario,
+    pairs_per_shard_pair: usize,
+    feeds: usize,
+    events_per_feed: usize,
+    seed: u64,
+) -> CheckOutcome {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6A7E);
+    let svc = ShardedService::builder().gateway(BorderSpec::ByName).build(sc.shards.clone());
+    let mut mono = sc.mono.clone();
+    let mut comparisons = 0usize;
+    let mut mismatches = Vec::new();
+
+    // Sampled cross-shard pairs, fixed for all rounds: every ordered shard
+    // pair contributes `pairs_per_shard_pair` random pairs plus, where the
+    // sample misses them, border endpoints are naturally included since
+    // borders share the local id range.
+    let mut pairs: Vec<(StationId, StationId)> = Vec::new();
+    let mut mono_pairs: Vec<(StationId, StationId)> = Vec::new();
+    for a in 0..sc.shards.len() {
+        for b in 0..sc.shards.len() {
+            if a == b {
+                continue;
+            }
+            for _ in 0..pairs_per_shard_pair {
+                let (s, t) = loop {
+                    let s = rng.gen_range(0..sc.to_mono[a].len());
+                    let t = rng.gen_range(0..sc.to_mono[b].len());
+                    // The same physical border on both sides is the same
+                    // mono station — the self-profile convention differs
+                    // by design, so resample.
+                    if sc.to_mono[a][s] != sc.to_mono[b][t] {
+                        break (s, t);
+                    }
+                };
+                pairs.push((
+                    svc.global_id(ShardId(a as u32), StationId(s as u32)).expect("sampled local"),
+                    svc.global_id(ShardId(b as u32), StationId(t as u32)).expect("sampled local"),
+                ));
+                mono_pairs.push((sc.to_mono[a][s], sc.to_mono[b][t]));
+            }
+        }
+    }
+
+    let check_round =
+        |round: &str, mono: &Network, comparisons: &mut usize, mismatches: &mut Vec<String>| {
+            let results = svc.s2s_batch(&pairs);
+            for ((routed, &(gs, gt)), &(ms, mt)) in results.iter().zip(&pairs).zip(&mono_pairs) {
+                *comparisons += 1;
+                let routed = match routed {
+                    Ok(r) => r,
+                    Err(e) => {
+                        record(mismatches, format!("{name}{round}: {gs}->{gt} refused: {e}"));
+                        continue;
+                    }
+                };
+                let want = ProfileEngine::new().one_to_all(mono, ms);
+                if &routed.value.profile != want.profile(mt) {
+                    record(
+                        mismatches,
+                        format!(
+                            "{name}{round}: stitched {gs}->{gt} != monolithic {ms}->{mt} \
+                         ({} vs {} points)",
+                            routed.value.profile.points().len(),
+                            want.profile(mt).points().len()
+                        ),
+                    );
+                }
+            }
+        };
+
+    check_round("", &mono, &mut comparisons, &mut mismatches);
+    for round in 0..feeds {
+        let mut svc_events = Vec::with_capacity(events_per_feed);
+        let mut mono_events = Vec::with_capacity(events_per_feed);
+        for _ in 0..events_per_feed {
+            let sh = rng.gen_range(0..sc.shards.len());
+            let trains = sc.shards[sh].timetable().num_trains() as u32;
+            let event = crate::random_feed(&mut rng, trains, 1, 60)[0];
+            svc_events.push((ShardId(sh as u32), event));
+            mono_events.push(remap_train(event, sc.mono_train_base[sh]));
+        }
+        svc.apply_feed(&svc_events).expect("shard ids are in range");
+        mono.apply_feed(&mono_events);
+        check_round(&format!("+feed{round}"), &mono, &mut comparisons, &mut mismatches);
+    }
+
+    CheckOutcome { network: name.to_string(), sources: pairs.len(), comparisons, mismatches }
 }
 
 /// Applies `num_delays` deterministic random delays to a copy of `net`

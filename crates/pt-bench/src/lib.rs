@@ -48,10 +48,17 @@ pub fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
 }
 
 /// Reads a comma-separated `BC_*` list knob (`BC_THREADS=1,2,4`),
-/// trimming each element and dropping unparsable ones; `None` when the
-/// variable is unset. The list-shaped sibling of [`env_parse`].
+/// trimming each element; `None` when the variable is unset. The
+/// list-shaped sibling of [`env_parse`].
+///
+/// # Panics
+///
+/// On any unparsable element, naming the knob and the offending token. A
+/// silently dropped element would run the bench with a *different*
+/// configuration than the one asked for — and the baseline gate compares
+/// runs by configuration, so a typo must stop the run, not skew it.
 pub fn env_list<T: std::str::FromStr>(key: &str) -> Option<Vec<T>> {
-    parse_list(std::env::var(key).ok())
+    parse_list(key, std::env::var(key).ok())
 }
 
 /// Pure parsing seam behind [`env_parse`], testable without touching the
@@ -61,9 +68,18 @@ fn parse_scalar<T: std::str::FromStr>(raw: Option<String>, default: T) -> T {
     raw.and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
-/// Pure parsing seam behind [`env_list`].
-fn parse_list<T: std::str::FromStr>(raw: Option<String>) -> Option<Vec<T>> {
-    raw.map(|v| v.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+/// Pure parsing seam behind [`env_list`]; fails fast on bad elements.
+fn parse_list<T: std::str::FromStr>(key: &str, raw: Option<String>) -> Option<Vec<T>> {
+    raw.map(|v| {
+        v.split(',')
+            .map(|t| {
+                let t = t.trim();
+                t.parse().unwrap_or_else(|_| {
+                    panic!("{key}: cannot parse list element {t:?} (full value {v:?})")
+                })
+            })
+            .collect()
+    })
 }
 
 impl BenchConfig {
@@ -202,8 +218,26 @@ mod tests {
         assert_eq!(env_list::<usize>("BC_TEST_UNSET_LIST"), None);
         assert_eq!(parse_scalar(Some("42".into()), 0usize), 42);
         assert_eq!(parse_scalar(Some("junk".into()), 3usize), 3);
-        assert_eq!(parse_list::<usize>(Some(" 1, 2 ,4,junk".into())), Some(vec![1, 2, 4]));
-        assert_eq!(parse_list::<usize>(None), None);
+        assert_eq!(parse_list::<usize>("BC_THREADS", Some(" 1, 2 ,4".into())), Some(vec![1, 2, 4]));
+        assert_eq!(parse_list::<usize>("BC_THREADS", None), None);
+        assert_eq!(
+            parse_list::<String>("BC_NETWORKS", Some("oahu, metro".into())),
+            Some(vec!["oahu".to_string(), "metro".to_string()])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "BC_THREADS: cannot parse list element \"junk\"")]
+    fn a_bad_list_element_fails_fast_naming_knob_and_token() {
+        parse_list::<usize>("BC_THREADS", Some(" 1, 2 ,4,junk".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "BC_TP_THREADS: cannot parse list element \"\"")]
+    fn an_empty_list_element_is_rejected_too() {
+        // `BC_TP_THREADS=1,,4` asks for something; silently running `1,4`
+        // would gate against the wrong baseline configuration.
+        parse_list::<usize>("BC_TP_THREADS", Some("1,,4".into()));
     }
 
     #[test]

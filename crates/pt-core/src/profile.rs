@@ -200,7 +200,7 @@ impl Profile {
             return true;
         }
         // Fast path: nothing in `other` can improve `self`.
-        if other.points.iter().all(|p| self.eval_arr_local(p.dep, period) <= p.arr) {
+        if self.dominates(other, period) {
             return false;
         }
         let mut union = Vec::with_capacity(self.points.len() + other.points.len());
@@ -244,6 +244,40 @@ impl Profile {
         Profile {
             points: self.points.iter().map(|p| ProfilePoint::new(p.dep, p.arr + d)).collect(),
         }
+    }
+
+    /// Composes two legs of a journey through an intermediate station:
+    /// `self` is the profile *to* the junction, `next` the profile *onward*
+    /// from it, and `buffer` the junction's transfer time (the continuation
+    /// always changes vehicles there). Each point `(dep, arr)` becomes
+    /// `(dep, next(arr + buffer))` — evaluated on absolute arrivals, so
+    /// overnight first legs wrap correctly — and the result is reduced.
+    ///
+    /// This is the stitch primitive of the cross-shard gateway: with
+    /// `self = dist(S, B, ·)` and `next = dist(B, T, ·)` the result is the
+    /// exact profile of all `S → B → T` journeys changing trains at `B`.
+    pub fn link_profile(&self, next: &Profile, buffer: Dur, period: Period) -> Profile {
+        let linked: Vec<ProfilePoint> = self
+            .points
+            .iter()
+            .map(|p| (p.dep, next.eval_arr(p.arr + buffer, period)))
+            .filter(|&(_, arr)| !arr.is_infinite())
+            .map(|(dep, arr)| ProfilePoint::new(dep, arr))
+            .collect();
+        Profile::from_unreduced(linked, period)
+    }
+
+    /// `true` iff `self` is everywhere at least as good as `other`: for
+    /// every departure time the arrival via `self` is `≤` the arrival via
+    /// `other`. Checking at `other`'s connection points is exact: both
+    /// functions are step functions whose arrivals increase with the
+    /// departure, and the cyclic-fixup invariant
+    /// (`last.arr < first.arr + period`) bounds the wrap-around, so the
+    /// maximum of `self` over each constant piece of `other` lands on one
+    /// of `other`'s points. The dominance test behind the gateway's
+    /// candidate pruning (and [`Profile::merge`]'s fast path).
+    pub fn dominates(&self, other: &Profile, period: Period) -> bool {
+        other.points.iter().all(|p| self.eval_arr_local(p.dep, period) <= p.arr)
     }
 
     /// Minimum arrival over all points ([`INFINITY`] if empty) — the queue
@@ -372,6 +406,72 @@ mod tests {
         let f = Plf::from_points(vec![PlfPoint::new(Time::hm(0, 35), Dur::minutes(10))], P);
         let b = a.link_plf(&f, P);
         assert_eq!(b.points(), &[pt(10, 45)]);
+    }
+
+    #[test]
+    fn link_profile_composes_legs_through_a_junction() {
+        // Leg 1 arrives at the junction at 00:30 / 01:00; onward trains
+        // leave at 00:40 and 01:20 (5 min transfer at the junction).
+        let first = Profile::from_unreduced(vec![pt(10, 30), pt(50, 60)], P);
+        let onward = Profile::from_unreduced(vec![pt(40, 55), pt(80, 100)], P);
+        let stitched = first.link_profile(&onward, Dur::minutes(5), P);
+        // dep 00:10: at junction 00:30, ready 00:35 → 00:40 train → 00:55.
+        // dep 00:50: at junction 01:00, ready 01:05 → 01:20 train → 01:40.
+        assert_eq!(stitched.points(), &[pt(10, 55), pt(50, 100)]);
+        assert!(stitched.is_reduced(P));
+    }
+
+    #[test]
+    fn link_profile_wraps_to_the_next_period() {
+        // Arriving after the last onward departure waits for tomorrow's.
+        let first = Profile::from_unreduced(vec![pt(10, 90)], P);
+        let onward = Profile::from_unreduced(vec![pt(40, 55)], P);
+        let stitched = first.link_profile(&onward, Dur::minutes(5), P);
+        assert_eq!(stitched.points(), &[ProfilePoint::new(Time::hm(0, 10), Time::hm(24, 55))]);
+    }
+
+    #[test]
+    fn link_profile_with_empty_leg_is_unreachable() {
+        let first = Profile::from_unreduced(vec![pt(10, 30)], P);
+        assert!(first.link_profile(&Profile::EMPTY, Dur::ZERO, P).is_empty());
+        assert!(Profile::EMPTY.link_profile(&first, Dur::ZERO, P).is_empty());
+    }
+
+    #[test]
+    fn dominates_is_a_pointwise_comparison() {
+        let fast = Profile::from_unreduced(vec![pt(10, 20), pt(40, 50)], P);
+        let slow = Profile::from_unreduced(vec![pt(10, 25), pt(40, 55)], P);
+        assert!(fast.dominates(&slow, P));
+        assert!(!slow.dominates(&fast, P));
+        assert!(fast.dominates(&fast, P), "dominance is reflexive");
+        // Incomparable: each is better somewhere. `few` wins for late
+        // departures (00:30 → 00:35 vs waiting for tomorrow's 00:20 train).
+        let few = Profile::from_unreduced(vec![pt(30, 35)], P);
+        assert!(!fast.dominates(&few, P));
+        assert!(!few.dominates(&fast, P));
+        // Everything dominates the unreachable profile; nothing non-empty
+        // is dominated by it.
+        assert!(fast.dominates(&Profile::EMPTY, P));
+        assert!(!Profile::EMPTY.dominates(&fast, P));
+        assert!(Profile::EMPTY.dominates(&Profile::EMPTY, P));
+    }
+
+    #[test]
+    fn dominates_agrees_with_pointwise_evaluation() {
+        // Extra points can only help: `a` adds a useful mid-day train to
+        // `b`'s single connection, so `a` dominates `b` but not vice versa
+        // (at τ = 00:11, `a` arrives 15:00 while `b` waits for tomorrow's
+        // 00:20 — a violation at a point of `a`, not of `b`).
+        let a = Profile::from_unreduced(vec![pt(10, 20), pt(200, 900)], P);
+        let b = Profile::from_unreduced(vec![pt(10, 20)], P);
+        assert!(a.dominates(&b, P));
+        assert!(!b.dominates(&a, P));
+        // Exhaustive agreement with minute-by-minute evaluation.
+        for (f, g) in [(&a, &b), (&b, &a)] {
+            let want = (0..24 * 60)
+                .all(|m| f.eval_arr(Time::hm(0, m), P) <= g.eval_arr(Time::hm(0, m), P));
+            assert_eq!(f.dominates(g, P), want);
+        }
     }
 
     #[test]

@@ -120,7 +120,71 @@ impl Clone for DistanceTable {
 
 /// What a refresh must rewrite: the affected rows plus the forward
 /// column mask (empty mask = keep every column; the log was exhausted).
-type RefreshPlan = (Vec<StationId>, Vec<bool>);
+pub(crate) type RefreshPlan = (Vec<StationId>, Vec<bool>);
+
+/// Scopes an incremental refresh of any per-station profile table (the
+/// distance table's rows, the gateway's border sets): given the stations
+/// the table stores profiles **from** (`rows`) and the generation its
+/// contents are valid to (`since`), returns the rows a refresh must
+/// recompute plus the forward column mask of stations whose profiles can
+/// have changed (empty mask = recompute every column; the network's
+/// bounded feed log was exhausted).
+///
+/// The affected rows come from the network itself: it records, per
+/// generation, the departure stations of every re-timed connection
+/// ([`Network::touched_since`]), so a table any number of feeds behind
+/// still sees the **complete** union. A profile from `a` can only change
+/// if some journey from `a` rides a re-timed connection, i.e. if `a`
+/// reaches a touched station in the station graph — which is invariant
+/// under delays, so a reverse reachability search from the touched set
+/// (following incoming edges) finds exactly the rows to recompute; the
+/// forward closure (outgoing edges) bounds the columns symmetrically.
+pub(crate) fn refresh_scope(net: &Network, rows: &[StationId], since: u64) -> RefreshPlan {
+    match net.touched_since(since) {
+        // Reverse reachability: every station with a path *into* the
+        // touched set can route through a re-timed connection.
+        Some(touched) => {
+            let sg = net.station_graph();
+            let mut reaches = vec![false; net.num_stations()];
+            let mut stack: Vec<StationId> = Vec::with_capacity(touched.len());
+            for &s in &touched {
+                if !reaches[s.idx()] {
+                    reaches[s.idx()] = true;
+                    stack.push(s);
+                }
+            }
+            // Forward reachability for the columns, from the same
+            // touched seed.
+            let mut fwd = vec![false; net.num_stations()];
+            let mut fwd_stack: Vec<StationId> = Vec::with_capacity(touched.len());
+            for &s in &touched {
+                if !fwd[s.idx()] {
+                    fwd[s.idx()] = true;
+                    fwd_stack.push(s);
+                }
+            }
+            while let Some(v) = fwd_stack.pop() {
+                for (u, _) in sg.out(v) {
+                    if !fwd[u.idx()] {
+                        fwd[u.idx()] = true;
+                        fwd_stack.push(u);
+                    }
+                }
+            }
+            while let Some(v) = stack.pop() {
+                for &u in sg.incoming(v) {
+                    if !reaches[u.idx()] {
+                        reaches[u.idx()] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+            (rows.iter().copied().filter(|s| reaches[s.idx()]).collect(), fwd)
+        }
+        // Too far behind the network's log: recompute everything.
+        None => (rows.to_vec(), Vec::new()),
+    }
+}
 
 impl DistanceTable {
     /// Precomputes the table for the given selection strategy.
@@ -237,7 +301,7 @@ impl DistanceTable {
 
     /// Computes which rows a refresh must recompute: `None` when the table
     /// is already fresh, otherwise the affected rows plus the forward
-    /// column mask (empty mask = keep every column; the log was exhausted).
+    /// column mask from the shared [`refresh_scope`] machinery.
     fn refresh_plan(&self, net: &Network) -> Result<Option<RefreshPlan>, StaleTable> {
         let queried = (net.epoch(), net.generation());
         if self.built_epoch != net.epoch() {
@@ -247,52 +311,7 @@ impl DistanceTable {
         if self.valid_lo <= queried.1 && queried.1 <= hi {
             return Ok(None); // already fresh
         }
-        // `fwd` empty means "keep every column" (log exhausted).
-        let plan: RefreshPlan = match net.touched_since(hi) {
-            // Reverse reachability: every station with a path *into* the
-            // touched set can route through a re-timed connection.
-            Some(touched) => {
-                let sg = net.station_graph();
-                let mut reaches = vec![false; net.num_stations()];
-                let mut stack: Vec<StationId> = Vec::with_capacity(touched.len());
-                for &s in &touched {
-                    if !reaches[s.idx()] {
-                        reaches[s.idx()] = true;
-                        stack.push(s);
-                    }
-                }
-                // Forward reachability for the columns, from the same
-                // touched seed.
-                let mut fwd = vec![false; net.num_stations()];
-                let mut fwd_stack: Vec<StationId> = Vec::with_capacity(touched.len());
-                for &s in &touched {
-                    if !fwd[s.idx()] {
-                        fwd[s.idx()] = true;
-                        fwd_stack.push(s);
-                    }
-                }
-                while let Some(v) = fwd_stack.pop() {
-                    for (u, _) in sg.out(v) {
-                        if !fwd[u.idx()] {
-                            fwd[u.idx()] = true;
-                            fwd_stack.push(u);
-                        }
-                    }
-                }
-                while let Some(v) = stack.pop() {
-                    for &u in sg.incoming(v) {
-                        if !reaches[u.idx()] {
-                            reaches[u.idx()] = true;
-                            stack.push(u);
-                        }
-                    }
-                }
-                (self.stations.iter().copied().filter(|s| reaches[s.idx()]).collect(), fwd)
-            }
-            // Too far behind the network's log: recompute everything.
-            None => ((*self.stations).clone(), Vec::new()),
-        };
-        Ok(Some(plan))
+        Ok(Some(refresh_scope(net, &self.stations, hi)))
     }
 
     /// Recomputes the affected rows (copy-on-write: only these rows are
@@ -454,8 +473,9 @@ impl DistanceTable {
     }
 }
 
-/// The engine `build`/`refresh` distribute their one-to-all searches on.
-fn build_engine() -> ProfileEngine {
+/// The engine `build`/`refresh` distribute their one-to-all searches on
+/// (shared with the gateway's border-set builds).
+pub(crate) fn build_engine() -> ProfileEngine {
     let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     ProfileEngine::new().threads(workers)
 }

@@ -38,8 +38,14 @@
 //!   owns N snapshot-published shards behind a station-to-shard directory,
 //!   routes queries/batches/feeds to the owning shard's persistent engines
 //!   (all serving methods `&self`, one `apply_feed` with one scoped table
-//!   refresh per shard per feed, per-shard cache stripes), and refuses
-//!   cross-shard queries with a typed redirect ([`RouterError`]),
+//!   refresh per shard per feed, per-shard cache stripes, batches pin all
+//!   touched shards' snapshots up front); cross-shard pairs are refused
+//!   with a typed redirect ([`RouterError`]) unless a gateway is built,
+//! * [`gateway`] — the cross-shard gateway: border-station alias groups
+//!   ([`BorderSpec`]), precomputed per-shard border profile sets riding
+//!   the distance-table freshness machinery, and the stitch
+//!   (link at junctions, dominance-reduce, merge) that makes
+//!   [`ShardedService::s2s`] answer cross-shard pairs exactly,
 //! * [`transfer_selection`] / [`contraction`] — choosing the transfer
 //!   stations by station-graph contraction or by degree,
 //! * [`multicriteria`] — the paper's future-work extension: Pareto
@@ -49,6 +55,7 @@ pub mod cache;
 pub mod connection_setting;
 pub mod contraction;
 pub mod distance_table;
+pub mod gateway;
 pub mod journey;
 pub mod kernel;
 pub mod label_correcting;
@@ -67,6 +74,7 @@ pub mod workspace;
 pub use cache::{CacheStats, ProfileCache};
 pub use connection_setting::ProfileEngine;
 pub use distance_table::{DistanceTable, StaleTable};
+pub use gateway::{BorderSpec, GatewayStats};
 pub use journey::{earliest_journey, Journey, Leg};
 pub use kernel::KernelMode;
 pub use network::{

@@ -58,6 +58,9 @@ pub enum QueryKind {
     TargetTransfer,
     /// No distance table configured: stopping criterion only.
     Plain,
+    /// Endpoints in different shards: stitched over border stations by the
+    /// cross-shard gateway (see [`crate::shard::ShardedService`]).
+    Gateway,
 }
 
 /// Result of a station-to-station profile query.

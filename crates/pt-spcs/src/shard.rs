@@ -26,12 +26,22 @@
 //!   the feed changed anything and the shard has a table — **one** scoped
 //!   [`DistanceTable::refresh`]. A shard with no events (or a net-nil
 //!   batch) is not touched at all.
-//! * **Honest scoping.** A station-to-station query whose endpoints live in
-//!   different shards is *not* answered (no cross-shard journey search
-//!   exists yet); it returns a typed [`RouterError::CrossShard`] carrying
-//!   both owners, and a query explicitly directed at the wrong shard
-//!   returns [`RouterError::WrongShard`] naming the owner — the redirect
-//!   hook for a future gateway.
+//! * **Cross-shard journeys.** With a gateway configured
+//!   ([`ShardedServiceBuilder::gateway`]), a station-to-station query whose
+//!   endpoints live in different shards is answered by stitching
+//!   within-shard profiles at the declared **border stations** (see
+//!   [`crate::gateway`]): source → border one-to-alls through the owning
+//!   shards' engines, precomputed border sets between and out of shards,
+//!   [`pt_core::Profile::link_profile`] at each junction, and a final
+//!   dominance reduction of the border candidates. Gateway answers carry
+//!   [`QueryKind::Gateway`] and are routed to the *target's* shard.
+//!   Without a gateway, the cross-shard pair is refused with the typed
+//!   [`RouterError::CrossShard`] carrying both owners; a query explicitly
+//!   directed at the wrong shard returns [`RouterError::WrongShard`]
+//!   naming the owner. Same-shard pairs always stay on the owning shard's
+//!   engine: a shard is presumed internally complete (journeys that leave
+//!   a region and re-enter it are the gateway's concern only when the
+//!   endpoints actually cross).
 //! * **Snapshot isolation.** Each shard's network lives in a
 //!   [`ConcurrentNetwork`]: every query pins the shard's current
 //!   [`NetworkSnapshot`] and runs entirely against it, while
@@ -40,6 +50,9 @@
 //!   methods therefore take `&self` — one service value may be queried
 //!   from many threads while a feed stream applies concurrently, and every
 //!   answer is exactly a pre-feed or post-feed state, never a torn mix.
+//!   Batch forms pin **all touched shards' snapshots up front**, before
+//!   any demultiplexed group runs, so a feed landing mid-batch can never
+//!   answer items of one batch at different generations.
 
 use std::error::Error;
 use std::fmt;
@@ -52,10 +65,12 @@ use pt_timetable::DelayEvent;
 use crate::cache::CacheStats;
 use crate::connection_setting::ProfileEngine;
 use crate::distance_table::DistanceTable;
+use crate::gateway::{BorderSets, BorderSpec, Gateway, GatewayStats};
 use crate::network::{ConcurrentNetwork, DelayUpdate, FeedSummary, Network, NetworkSnapshot};
 use crate::partition::PartitionStrategy;
 use crate::profile_set::ProfileSet;
-use crate::s2s::{S2sEngine, S2sResult};
+use crate::s2s::{QueryKind, S2sEngine, S2sResult};
+use crate::stats::QueryStats;
 use crate::transfer_selection::TransferSelection;
 
 /// Identifies one shard of a [`ShardedService`]; dense, `0..num_shards`.
@@ -203,6 +218,7 @@ pub struct ShardedServiceBuilder {
     cache_per_shard: usize,
     s2s_cache_per_shard: usize,
     tables: Option<TransferSelection>,
+    gateway: Option<BorderSpec>,
 }
 
 impl Default for ShardedServiceBuilder {
@@ -213,6 +229,7 @@ impl Default for ShardedServiceBuilder {
             cache_per_shard: 0,
             s2s_cache_per_shard: 0,
             tables: None,
+            gateway: None,
         }
     }
 }
@@ -256,17 +273,30 @@ impl ShardedServiceBuilder {
         self
     }
 
+    /// Enables the cross-shard gateway: border stations are declared by
+    /// `spec` (explicit global-id alias groups, or [`BorderSpec::ByName`]
+    /// to seed them from the directory by matching station names across
+    /// shards), their border sets are precomputed at build time, and
+    /// [`ShardedService::s2s`] / [`ShardedService::s2s_batch`] answer
+    /// cross-shard pairs by stitching instead of refusing them.
+    pub fn gateway(mut self, spec: BorderSpec) -> Self {
+        self.gateway = Some(spec);
+        self
+    }
+
     /// Builds the service over the given shard networks (one shard per
     /// network, [`ShardId`]s in input order).
     ///
     /// # Panics
     ///
-    /// On an empty network list.
+    /// On an empty network list, or on an invalid gateway spec (border
+    /// station outside the directory, a group not spanning two shards,
+    /// diverging transfer times within a group, mixed periods).
     pub fn build(self, networks: Vec<Network>) -> ShardedService {
         assert!(!networks.is_empty(), "a sharded service needs at least one network");
         let mut base = Vec::with_capacity(networks.len() + 1);
         let mut next = 0u32;
-        let shards = networks
+        let shards: Vec<Shard> = networks
             .into_iter()
             .map(|net| {
                 base.push(next);
@@ -288,7 +318,28 @@ impl ShardedServiceBuilder {
             })
             .collect();
         base.push(next);
-        ShardedService { shards, base }
+        let mut service = ShardedService { shards, base, gateway: None };
+        if let Some(spec) = self.gateway {
+            let snaps: Vec<Arc<NetworkSnapshot>> =
+                service.shards.iter().map(|s| s.net.snapshot()).collect();
+            let groups = match spec {
+                BorderSpec::ByName => Gateway::groups_by_name(&snaps),
+                BorderSpec::Explicit(groups) => groups
+                    .into_iter()
+                    .map(|g| {
+                        g.into_iter()
+                            .map(|gid| {
+                                service
+                                    .locate(gid)
+                                    .expect("gateway border station outside the directory")
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            };
+            service.gateway = Some(Gateway::build(groups, &snaps));
+        }
+        service
     }
 }
 
@@ -331,6 +382,20 @@ pub struct ShardedService {
     /// Global-id base per shard, plus a trailing sentinel holding the total
     /// station count: shard `i` owns global ids `base[i]..base[i + 1]`.
     base: Vec<u32>,
+    /// The cross-shard gateway, when built with
+    /// [`ShardedServiceBuilder::gateway`].
+    gateway: Option<Gateway>,
+}
+
+/// A shard-addressed endpoint of a cross-shard pair: `(shard index,
+/// local station id)`.
+type Endpoint = (usize, StationId);
+
+/// A located station-to-station pair: on one shard, or crossing into the
+/// gateway (only produced when a gateway is configured).
+enum RoutedPair {
+    Same(ShardId, (StationId, StationId)),
+    Cross(Endpoint, Endpoint),
 }
 
 impl ShardedService {
@@ -474,13 +539,46 @@ impl ShardedService {
     /// sources (keeping [`ProfileEngine::many_to_all`]'s across-query
     /// parallelism and cache-hit dedup per shard); results come back in
     /// input order. Routing failures are per item — one unknown station
-    /// does not fail its neighbours.
+    /// does not fail its neighbours. Every touched shard's snapshot is
+    /// pinned **before** any group runs, so a feed landing mid-batch can
+    /// never split one batch across generations.
     pub fn many_to_all(
         &self,
         sources: &[StationId],
     ) -> Vec<Result<Routed<Arc<ProfileSet>>, RouterError>> {
         let located: Vec<Result<(ShardId, StationId), RouterError>> =
             sources.iter().map(|&s| self.locate(s)).collect();
+        let pins = self.pin_sources(&located);
+        self.many_to_all_pinned(located, &pins)
+    }
+
+    /// Pins the snapshot of every shard that owns at least one located
+    /// source — the up-front consistent cut a batch runs against.
+    fn pin_sources(
+        &self,
+        located: &[Result<(ShardId, StationId), RouterError>],
+    ) -> Vec<Option<Arc<NetworkSnapshot>>> {
+        let mut pins: Vec<Option<Arc<NetworkSnapshot>>> = vec![None; self.shards.len()];
+        for loc in located {
+            if let Ok((shard, _)) = *loc {
+                let slot = &mut pins[shard.idx()];
+                if slot.is_none() {
+                    *slot = Some(self.shards[shard.idx()].net.snapshot());
+                }
+            }
+        }
+        pins
+    }
+
+    /// The demultiplexed run of [`ShardedService::many_to_all`] against
+    /// already-pinned snapshots (the testable seam: pinning and running are
+    /// separate steps, so a feed between them provably cannot move the
+    /// batch).
+    fn many_to_all_pinned(
+        &self,
+        located: Vec<Result<(ShardId, StationId), RouterError>>,
+        pins: &[Option<Arc<NetworkSnapshot>>],
+    ) -> Vec<Result<Routed<Arc<ProfileSet>>, RouterError>> {
         let mut grouped: Vec<Vec<(usize, StationId)>> = vec![Vec::new(); self.shards.len()];
         for (i, loc) in located.iter().enumerate() {
             if let Ok((shard, local)) = *loc {
@@ -494,7 +592,7 @@ impl ShardedService {
                 continue;
             }
             let shard = &self.shards[idx];
-            let snap = shard.net.snapshot();
+            let snap = pins[idx].as_ref().expect("every shard with sources is pinned");
             let locals: Vec<StationId> = group.iter().map(|&(_, l)| l).collect();
             let sets = shard.profile.many_to_all(snap.network(), &locals);
             for (&(i, _), set) in group.iter().zip(sets) {
@@ -504,51 +602,102 @@ impl ShardedService {
         out.into_iter().map(|r| r.expect("every located source answered by its shard")).collect()
     }
 
-    /// Station-to-station profile between two global stations, answered by
-    /// the owning shard's engine with its distance table (when present).
-    /// Endpoints in different shards are refused with the typed
-    /// [`RouterError::CrossShard`] carrying both owners.
+    /// Station-to-station profile between two global stations. Same-shard
+    /// pairs are answered by the owning shard's engine with its distance
+    /// table (when present); endpoints in different shards are stitched by
+    /// the gateway (the answer is routed to the **target's** shard and
+    /// carries [`QueryKind::Gateway`]), or refused with the typed
+    /// [`RouterError::CrossShard`] when the service was built without one.
     pub fn s2s(
         &self,
         source: StationId,
         target: StationId,
     ) -> Result<Routed<S2sResult>, RouterError> {
-        let (s_shard, s_local) = self.locate(source)?;
-        let (t_shard, t_local) = self.locate(target)?;
-        if s_shard != t_shard {
-            return Err(RouterError::CrossShard { source: s_shard, target: t_shard });
+        match self.locate_pair(source, target)? {
+            RoutedPair::Same(shard, (s_local, t_local)) => {
+                let s = &self.shards[shard.idx()];
+                let snap = s.net.snapshot();
+                Ok(Routed { shard, value: s.s2s(&snap, s_local, t_local) })
+            }
+            RoutedPair::Cross(src, tgt) => {
+                let gw = self.gateway.as_ref().expect("locate_pair only crosses with a gateway");
+                let snaps = self.pin_all();
+                let sets = gw.sets_for(&snaps);
+                let value = self.stitch_one(&snaps, &sets, src, tgt);
+                Ok(Routed { shard: ShardId(tgt.0 as u32), value })
+            }
         }
-        let shard = &self.shards[s_shard.idx()];
-        let snap = shard.net.snapshot();
-        Ok(Routed { shard: s_shard, value: shard.s2s(&snap, s_local, t_local) })
     }
 
     /// Batch station-to-station over global pairs, demultiplexed so every
     /// shard's engine is entered **once** with all of its same-shard pairs
-    /// ([`S2sEngine::batch`] semantics per shard). Results come back in
-    /// input order; unknown stations and cross-shard pairs fail per item.
+    /// ([`S2sEngine::batch`] semantics per shard); cross-shard pairs are
+    /// stitched by the gateway when one is configured, and fail per item
+    /// otherwise. Results come back in input order. All touched shards'
+    /// snapshots are pinned up front — a batch with any cross-shard pair
+    /// pins **every** shard, so the stitch and the same-shard groups all
+    /// answer against one consistent cut.
     pub fn s2s_batch(
         &self,
         pairs: &[(StationId, StationId)],
     ) -> Vec<Result<Routed<S2sResult>, RouterError>> {
-        /// A located pair: `(owning shard, (local source, local target))`.
-        type LocatedPair = Result<(ShardId, (StationId, StationId)), RouterError>;
-        let located: Vec<LocatedPair> = pairs
-            .iter()
-            .map(|&(s, t)| {
-                let (s_shard, s_local) = self.locate(s)?;
-                let (t_shard, t_local) = self.locate(t)?;
-                if s_shard != t_shard {
-                    return Err(RouterError::CrossShard { source: s_shard, target: t_shard });
+        let located: Vec<Result<RoutedPair, RouterError>> =
+            pairs.iter().map(|&(s, t)| self.locate_pair(s, t)).collect();
+        let pins = self.pin_for(&located);
+        self.s2s_batch_pinned(located, &pins)
+    }
+
+    /// Routes one global pair: same-shard, cross-shard into the gateway, or
+    /// a typed refusal.
+    fn locate_pair(&self, s: StationId, t: StationId) -> Result<RoutedPair, RouterError> {
+        let (s_shard, s_local) = self.locate(s)?;
+        let (t_shard, t_local) = self.locate(t)?;
+        if s_shard == t_shard {
+            Ok(RoutedPair::Same(s_shard, (s_local, t_local)))
+        } else if self.gateway.is_some() {
+            Ok(RoutedPair::Cross((s_shard.idx(), s_local), (t_shard.idx(), t_local)))
+        } else {
+            Err(RouterError::CrossShard { source: s_shard, target: t_shard })
+        }
+    }
+
+    /// Pins the snapshots an s2s batch needs, up front: every shard with a
+    /// same-shard pair — or **all** shards as soon as any pair crosses
+    /// (stitched answers read several shards, and they must read one cut).
+    fn pin_for(
+        &self,
+        located: &[Result<RoutedPair, RouterError>],
+    ) -> Vec<Option<Arc<NetworkSnapshot>>> {
+        if located.iter().any(|l| matches!(l, Ok(RoutedPair::Cross(..)))) {
+            return self.shards.iter().map(|s| Some(s.net.snapshot())).collect();
+        }
+        let mut pins: Vec<Option<Arc<NetworkSnapshot>>> = vec![None; self.shards.len()];
+        for loc in located {
+            if let Ok(RoutedPair::Same(shard, _)) = *loc {
+                let slot = &mut pins[shard.idx()];
+                if slot.is_none() {
+                    *slot = Some(self.shards[shard.idx()].net.snapshot());
                 }
-                Ok((s_shard, (s_local, t_local)))
-            })
-            .collect();
+            }
+        }
+        pins
+    }
+
+    /// The demultiplexed run of [`ShardedService::s2s_batch`] against
+    /// already-pinned snapshots (the testable pin/run seam).
+    fn s2s_batch_pinned(
+        &self,
+        located: Vec<Result<RoutedPair, RouterError>>,
+        pins: &[Option<Arc<NetworkSnapshot>>],
+    ) -> Vec<Result<Routed<S2sResult>, RouterError>> {
         let mut grouped: Vec<Vec<(usize, (StationId, StationId))>> =
             vec![Vec::new(); self.shards.len()];
+        let mut cross: Vec<(usize, Endpoint, Endpoint)> = Vec::new();
         for (i, loc) in located.iter().enumerate() {
-            if let Ok((shard, pair)) = *loc {
-                grouped[shard.idx()].push((i, pair));
+            match *loc {
+                Ok(RoutedPair::Same(shard, pair)) => grouped[shard.idx()].push((i, pair)),
+                Ok(RoutedPair::Cross(src, tgt)) => cross.push((i, src, tgt)),
+                Err(_) => {}
             }
         }
         let mut out: Vec<Option<Result<Routed<S2sResult>, RouterError>>> =
@@ -559,13 +708,59 @@ impl ShardedService {
             }
             let local_pairs: Vec<(StationId, StationId)> = group.iter().map(|&(_, p)| p).collect();
             let shard = &self.shards[idx];
-            let snap = shard.net.snapshot();
-            let results = shard.s2s_batch(&snap, &local_pairs);
+            let snap = pins[idx].as_ref().expect("every shard with same-shard pairs is pinned");
+            let results = shard.s2s_batch(snap, &local_pairs);
             for (&(i, _), r) in group.iter().zip(results) {
                 out[i] = Some(Ok(Routed { shard: ShardId(idx as u32), value: r }));
             }
         }
+        if !cross.is_empty() {
+            let gw = self.gateway.as_ref().expect("cross pairs are only located with a gateway");
+            let snaps: Vec<Arc<NetworkSnapshot>> = pins
+                .iter()
+                .map(|p| Arc::clone(p.as_ref().expect("a cross batch pins every shard")))
+                .collect();
+            let sets = gw.sets_for(&snaps);
+            for (i, src, tgt) in cross {
+                let value = self.stitch_one(&snaps, &sets, src, tgt);
+                out[i] = Some(Ok(Routed { shard: ShardId(tgt.0 as u32), value }));
+            }
+        }
         out.into_iter().map(|r| r.expect("every located pair answered by its shard")).collect()
+    }
+
+    /// Pins every shard's current snapshot — the consistent cut a stitched
+    /// answer reads.
+    fn pin_all(&self) -> Vec<Arc<NetworkSnapshot>> {
+        self.shards.iter().map(|s| s.net.snapshot()).collect()
+    }
+
+    /// Stitches one cross-shard pair against pinned snapshots and fresh
+    /// border sets; source searches go through the owning shard's engine
+    /// (and its cache stripe).
+    fn stitch_one(
+        &self,
+        snaps: &[Arc<NetworkSnapshot>],
+        sets: &[Arc<BorderSets>],
+        source: (usize, StationId),
+        target: (usize, StationId),
+    ) -> S2sResult {
+        let gw = self.gateway.as_ref().expect("stitching needs a gateway");
+        let one_to_all =
+            |sh: usize, s: StationId| self.shards[sh].profile.one_to_all(snaps[sh].network(), s);
+        let (profile, pruned) = gw.stitch(snaps, sets, &one_to_all, source, target);
+        S2sResult {
+            profile,
+            stats: QueryStats { table_pruned: pruned, ..Default::default() },
+            kind: QueryKind::Gateway,
+        }
+    }
+
+    /// Gateway counters — border groups, per-shard border counts, and the
+    /// cumulative border rows recomputed by feed-driven refreshes; `None`
+    /// when built without [`ShardedServiceBuilder::gateway`].
+    pub fn gateway_stats(&self) -> Option<GatewayStats> {
+        self.gateway.as_ref().map(Gateway::stats)
     }
 
     /// Applies a mixed realtime feed — events tagged with their shard — in
@@ -905,6 +1100,207 @@ mod tests {
             svc.apply_feed(&[(ShardId(9), DelayEvent::Cancel { train: TrainId(0) })]),
             Err(RouterError::UnknownShard { shard: ShardId(9) })
         );
+    }
+
+    /// Two region shards meeting at one border station "B" (same name,
+    /// same transfer time in both), plus the merged monolithic network the
+    /// gateway must reproduce exactly. Global ids: shard 0 = {a:0, B:1},
+    /// shard 1 = {B:2, c:3}; mono = {a:0, B:1, c:2}.
+    fn border_cities() -> (Vec<Network>, Network) {
+        let west_trips = |b: &mut TimetableBuilder, a: StationId, border: StationId| {
+            for h in [8u32, 9, 10] {
+                b.add_simple_trip(&[a, border], Time::hm(h, 0), &[Dur::minutes(20)], Dur::ZERO)
+                    .unwrap();
+            }
+            b.add_simple_trip(&[border, a], Time::hm(11, 30), &[Dur::minutes(20)], Dur::ZERO)
+                .unwrap();
+        };
+        let east_trips = |b: &mut TimetableBuilder, border: StationId, c: StationId| {
+            for h in [8u32, 9, 10] {
+                b.add_simple_trip(&[border, c], Time::hm(h, 40), &[Dur::minutes(15)], Dur::ZERO)
+                    .unwrap();
+            }
+            b.add_simple_trip(&[c, border], Time::hm(11, 0), &[Dur::minutes(15)], Dur::ZERO)
+                .unwrap();
+        };
+        let west = {
+            let mut b = TimetableBuilder::new(Period::DAY);
+            let a = b.add_named_station("a", Dur::minutes(2));
+            let border = b.add_named_station("B", Dur::minutes(3));
+            west_trips(&mut b, a, border);
+            Network::new(b.build().unwrap())
+        };
+        let east = {
+            let mut b = TimetableBuilder::new(Period::DAY);
+            let border = b.add_named_station("B", Dur::minutes(3));
+            let c = b.add_named_station("c", Dur::minutes(2));
+            east_trips(&mut b, border, c);
+            Network::new(b.build().unwrap())
+        };
+        let mono = {
+            let mut b = TimetableBuilder::new(Period::DAY);
+            let a = b.add_named_station("a", Dur::minutes(2));
+            let border = b.add_named_station("B", Dur::minutes(3));
+            let c = b.add_named_station("c", Dur::minutes(2));
+            west_trips(&mut b, a, border);
+            east_trips(&mut b, border, c);
+            Network::new(b.build().unwrap())
+        };
+        (vec![west, east], mono)
+    }
+
+    #[test]
+    fn gateway_stitches_cross_shard_pairs_to_the_monolithic_answer() {
+        let (shards, mono) = border_cities();
+        let svc = ShardedService::builder().gateway(BorderSpec::ByName).build(shards);
+        let mono_profiles = |src: u32| ProfileEngine::new().one_to_all(&mono, StationId(src));
+
+        // a (shard 0) → c (shard 1): crosses at B with its 3-minute buffer.
+        let routed = svc.s2s(StationId(0), StationId(3)).unwrap();
+        assert_eq!(routed.shard, ShardId(1), "stitched answers route to the target's shard");
+        assert_eq!(routed.value.kind, QueryKind::Gateway);
+        assert_eq!(&routed.value.profile, mono_profiles(0).profile(StationId(2)));
+
+        // Border endpoints on either side, and the reverse direction.
+        let cases =
+            [(0u32, 2u32, 0u32, 1u32), (1, 3, 1, 2), (3, 0, 2, 0), (2, 3, 1, 2), (3, 2, 2, 1)];
+        for (s, t, ms, mt) in cases {
+            let routed = svc.s2s(StationId(s), StationId(t)).unwrap();
+            assert_eq!(
+                &routed.value.profile,
+                mono_profiles(ms).profile(StationId(mt)),
+                "global {s} → {t} must equal monolithic {ms} → {mt}"
+            );
+        }
+
+        // The batch form agrees with the singles and keeps input order,
+        // mixing same-shard and cross-shard pairs.
+        let pairs = vec![
+            (StationId(0), StationId(3)), // cross
+            (StationId(0), StationId(1)), // within shard 0
+            (StationId(3), StationId(0)), // cross, reverse
+        ];
+        let out = svc.s2s_batch(&pairs);
+        for (i, &(s, t)) in pairs.iter().enumerate() {
+            let single = svc.s2s(s, t).unwrap();
+            let batched = out[i].as_ref().unwrap();
+            assert_eq!(batched.shard, single.shard, "slot {i}");
+            assert_eq!(batched.value.profile, single.value.profile, "slot {i}");
+        }
+        assert_eq!(out[1].as_ref().unwrap().value.kind, QueryKind::Plain, "no table, no gateway");
+
+        let stats = svc.gateway_stats().unwrap();
+        assert_eq!(stats.groups, 1);
+        assert_eq!(stats.borders_per_shard, vec![1, 1]);
+        assert_eq!(stats.rows_refreshed, vec![0, 0], "no feed, no refreshes");
+    }
+
+    #[test]
+    fn explicit_border_spec_agrees_with_by_name_seeding() {
+        let (shards, _) = border_cities();
+        let by_name = ShardedService::builder().gateway(BorderSpec::ByName).build(shards);
+        let (shards, _) = border_cities();
+        let explicit = ShardedService::builder()
+            .gateway(BorderSpec::Explicit(vec![vec![StationId(1), StationId(2)]]))
+            .build(shards);
+        assert_eq!(by_name.gateway_stats(), explicit.gateway_stats());
+        let a = by_name.s2s(StationId(0), StationId(3)).unwrap();
+        let b = explicit.s2s(StationId(0), StationId(3)).unwrap();
+        assert_eq!(a.value.profile, b.value.profile);
+    }
+
+    #[test]
+    fn gateway_answers_track_feeds_and_refresh_only_touched_border_rows() {
+        let (shards, mono) = border_cities();
+        let svc = ShardedService::builder().gateway(BorderSpec::ByName).build(shards);
+        let before = svc.s2s(StationId(0), StationId(3)).unwrap().value.profile;
+
+        // Delay shard 1's first B→c train (train 0 of the east shard).
+        let event = DelayEvent::Delay {
+            train: TrainId(0),
+            from_hop: 0,
+            delay: Dur::minutes(30),
+            recovery: Recovery::None,
+        };
+        assert!(svc.apply_feed(&[(ShardId(1), event)]).unwrap().changed());
+        let after = svc.s2s(StationId(0), StationId(3)).unwrap().value.profile;
+        assert_ne!(before, after, "a delay on the onward leg must move the stitched profile");
+
+        // The same delay applied to the monolithic network (east trips were
+        // added after west's four, so east train 0 is mono train 4).
+        let mut mono = mono;
+        mono.apply_feed(&[DelayEvent::Delay {
+            train: TrainId(4),
+            from_hop: 0,
+            delay: Dur::minutes(30),
+            recovery: Recovery::None,
+        }]);
+        let want = ProfileEngine::new().one_to_all(&mono, StationId(0));
+        assert_eq!(&after, want.profile(StationId(2)), "stitched must track the fed monolith");
+
+        // Only the touched shard's border row was recomputed.
+        let stats = svc.gateway_stats().unwrap();
+        assert_eq!(stats.rows_refreshed, vec![0, 1], "shard 0 was never touched");
+    }
+
+    #[test]
+    fn pinned_batches_ignore_racing_feeds_deterministically() {
+        let (shards, _) = border_cities();
+        let svc = ShardedService::builder().gateway(BorderSpec::ByName).build(shards);
+        let pairs = vec![(StationId(0), StationId(3)), (StationId(0), StationId(1))];
+
+        // The pin/run seam, exercised as a feed racing a batch: locate and
+        // pin, let a feed land, then run the batch on the pinned cut.
+        let located: Vec<_> = pairs.iter().map(|&(s, t)| svc.locate_pair(s, t)).collect();
+        let pins = svc.pin_for(&located);
+        assert!(pins.iter().all(Option::is_some), "a cross pair pins every shard");
+        let reference = svc.s2s_batch(&pairs);
+
+        let event = DelayEvent::Delay {
+            train: TrainId(0),
+            from_hop: 0,
+            delay: Dur::minutes(30),
+            recovery: Recovery::None,
+        };
+        assert!(svc.apply_feed(&[(ShardId(1), event)]).unwrap().changed());
+
+        // The pinned run answers entirely pre-feed…
+        let pinned = svc.s2s_batch_pinned(located, &pins);
+        for (i, (p, r)) in pinned.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                p.as_ref().unwrap().value.profile,
+                r.as_ref().unwrap().value.profile,
+                "pinned slot {i} must not see the racing feed"
+            );
+        }
+        // …while a fresh batch sees the feed.
+        let fresh = svc.s2s_batch(&pairs);
+        assert_ne!(
+            fresh[0].as_ref().unwrap().value.profile,
+            reference[0].as_ref().unwrap().value.profile,
+            "the cross pair rides the delayed onward leg"
+        );
+
+        // Same seam for one-to-all batches.
+        let sources = vec![StationId(2), StationId(3)];
+        let located: Vec<_> = sources.iter().map(|&s| svc.locate(s)).collect();
+        let pins = svc.pin_sources(&located);
+        let reference = svc.many_to_all(&sources);
+        let event = DelayEvent::Delay {
+            train: TrainId(1),
+            from_hop: 0,
+            delay: Dur::minutes(45),
+            recovery: Recovery::None,
+        };
+        assert!(svc.apply_feed(&[(ShardId(1), event)]).unwrap().changed());
+        let pinned = svc.many_to_all_pinned(located, &pins);
+        for (i, (p, r)) in pinned.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                p.as_ref().unwrap().value,
+                r.as_ref().unwrap().value,
+                "pinned one-to-all slot {i} must not see the racing feed"
+            );
+        }
     }
 
     #[test]

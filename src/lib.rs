@@ -15,7 +15,8 @@
 //!   label-correcting profile baseline, sequential and parallel self-pruning
 //!   connection-setting (SPCS), the station-to-station engine with
 //!   distance-table pruning, the workspace/pool/batch execution layers, and
-//!   the sharded multi-network router (`ShardedService`).
+//!   the sharded multi-network router (`ShardedService`) with its
+//!   cross-shard border gateway.
 //!
 //! # Quickstart
 //!
@@ -61,10 +62,10 @@ pub mod prelude {
     };
     pub use pt_graph::{StationGraph, TdGraph};
     pub use pt_spcs::{
-        CacheStats, ConcurrentNetwork, DelayUpdate, DistanceTable, FeedSummary, KernelMode,
-        Network, NetworkSnapshot, PartitionStrategy, ProfileEngine, PublishOutcome, QueryStats,
-        Routed, RouterError, S2sCache, S2sEngine, ShardFeedOutcome, ShardId, ShardedFeedSummary,
-        ShardedService, StaleTable, TransferSelection,
+        BorderSpec, CacheStats, ConcurrentNetwork, DelayUpdate, DistanceTable, FeedSummary,
+        GatewayStats, KernelMode, Network, NetworkSnapshot, PartitionStrategy, ProfileEngine,
+        PublishOutcome, QueryStats, Routed, RouterError, S2sCache, S2sEngine, ShardFeedOutcome,
+        ShardId, ShardedFeedSummary, ShardedService, StaleTable, TransferSelection,
     };
     pub use pt_timetable::{DelayEvent, Recovery, Station, Timetable, TimetableBuilder, TripStop};
 }
