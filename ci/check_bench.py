@@ -27,8 +27,13 @@ Two jobs, both exercised by CI after the `throughput` smoke run:
    absolute q/s floor in the baseline is the gate instead), the gateway
    phase (>= 2 shards stitched at >= 1 border group: cross-shard q/s, the
    merged-monolith reference q/s and their ratio — the stitch overhead —
-   plus the border rows the mid-phase feed refreshed) and the
-   work-stealing pool counters (stolen <= executed).
+   plus the border rows the mid-phase feed refreshed), the replay phase
+   (the pt-feed ingestion loop streaming one recorded feed day through a
+   sharded service: events ingested at > 0 events/sec, at least one
+   batch applied, and **zero quarantined lines** — the recorded day is
+   clean by construction, so any quarantine means the decoder or the
+   recorder regressed) and the work-stealing pool counters
+   (stolen <= executed).
 
 2. **Regression gate** (when a baseline file is given): fail on a >30%
    drop in any `events_per_sec` metric or any cached `hit_rate` against
@@ -275,6 +280,28 @@ def validate(doc):
             f"the feed between rounds never refreshed a border row: {gw}",
         )
 
+    replay = doc.get("replay")
+    check(replay is not None, "replay phase missing from document")
+    if replay is not None:
+        check(replay["shards"] >= 2, f"replay phase needs >= 2 shards: {replay}")
+        check(
+            replay["events"] > 0 and replay["events_per_sec"] > 0,
+            f"replay phase ingested no events: {replay}",
+        )
+        check(
+            replay["batches"] >= 1 and replay["changed_batches"] >= 1,
+            f"replay phase never applied a changing batch: {replay}",
+        )
+        check(
+            replay["quarantined"] == 0,
+            f"a clean recorded day quarantined {replay['quarantined']} line(s) — "
+            f"decoder or recorder regression: {replay}",
+        )
+        check(
+            replay["lines"] >= replay["events"],
+            f"fewer wire lines than events decoded from them: {replay}",
+        )
+
     pool = doc.get("pool")
     check(pool is not None, "pool counters missing from document")
     if pool is not None:
@@ -314,6 +341,9 @@ def metrics_of(doc):
     gw = doc.get("gateway")
     if gw is not None:
         out["gateway.cross_queries_per_sec"] = gw["cross_queries_per_sec"]
+    replay = doc.get("replay")
+    if replay is not None:
+        out["replay.events_per_sec"] = replay["events_per_sec"]
     return out
 
 
@@ -425,7 +455,7 @@ def main():
         fail(errors)
     print(
         f"structure ok: {len(current['networks'])} network(s) + shard, "
-        "concurrent, gateway and pool phases"
+        "concurrent, gateway, replay and pool phases"
     )
     for name, value in metrics_of(current).items():
         print(f"  {name} = {value:.6g}")

@@ -10,7 +10,9 @@ import check_bench
 
 
 def doc(qps=100.0, hit_rate=0.5, queries=4, scale=0.05):
-    """A minimal throughput document exercising config_of/metrics_of."""
+    """A structurally valid throughput document (passes `validate`) small
+    enough to mutate per test; stations stay below MIN_KERNEL_STATIONS and
+    host_cpus is 1 so the large-network / multi-core floors do not apply."""
     return {
         "scale": scale,
         "threads": 4,
@@ -18,14 +20,86 @@ def doc(qps=100.0, hit_rate=0.5, queries=4, scale=0.05):
             {
                 "name": "Oahu",
                 "stations": 100,
-                "one_to_all": {"queries": queries, "cached": {"hit_rate": hit_rate}},
-                "feed": {"events_per_sec": qps},
-                "kernel": {"soa_qps": qps},
+                "one_to_all": {
+                    "queries": queries,
+                    "cached": {"hits": queries, "hit_rate": hit_rate},
+                },
+                "feed": {
+                    "events": 40,
+                    "events_per_sec": qps,
+                    "feeds": 4,
+                    "generation_bumps": 4,
+                    "routes_touched": 10,
+                    "routes_repatched": 8,
+                    "routes_refit": 2,
+                    "post_feed_cache_hit_rate": hit_rate,
+                },
+                "s2s": {"batch_qps": qps, "batch_speedup_vs_cold": 1.2},
+                "kernel": {
+                    "queries": queries,
+                    "scalar_qps": qps,
+                    "soa_qps": qps,
+                    "soa_speedup": 1.0,
+                    "merge_ratio": 1.0,
+                    "bucket_phases": 5,
+                    "lane_chunks": 5,
+                },
+                "publish": {
+                    "publishes": 8,
+                    "p50_ns": 1000,
+                    "p99_ns": 2000,
+                    "full_clone_ns": 9000,
+                    "speedup_vs_full_clone": 9.0,
+                    "buckets_copied": 2,
+                    "buckets_shared": 6,
+                    "routes_shared": 6,
+                },
             }
         ],
-        "shard": {"events_per_sec": qps, "hit_rate": hit_rate},
-        "concurrent": {"queries_per_sec": qps, "clients": 4},
-        "gateway": {"cross_queries_per_sec": qps},
+        "shard": {
+            "shards": 3,
+            "stations_total": 300,
+            "queries": queries * 3,
+            "qps": qps,
+            "replay_qps": qps,
+            "hit_rate": hit_rate,
+            "shard_balance": 1.5,
+            "feeds": 5,
+            "events": 300,
+            "events_per_sec": qps,
+            "generation_bumps": 15,
+        },
+        "concurrent": {
+            "clients": 4,
+            "queries": queries * 12,
+            "queries_per_sec": qps,
+            "single_thread_qps": qps,
+            "speedup_vs_single_thread": 1.0,
+            "feed_events": 100,
+            "publishes": 10,
+            "host_cpus": 1,
+        },
+        "gateway": {
+            "shards": 3,
+            "border_groups": 2,
+            "queries": 16,
+            "cross_queries_per_sec": qps,
+            "mono_queries_per_sec": qps * 2,
+            "stitch_overhead": 2.0,
+            "feed_rows_refreshed": 4,
+        },
+        "replay": {
+            "shards": 3,
+            "lines": 401,
+            "events": 400,
+            "events_per_sec": qps,
+            "batches": 2,
+            "changed_batches": 2,
+            "quarantined": 0,
+            "out_of_order": 0,
+            "max_queue": 319,
+        },
+        "pool": {"executed": 100, "stolen": 10},
     }
 
 
@@ -82,6 +156,29 @@ class GateTest(unittest.TestCase):
         del current["gateway"]
         errors = check_bench.gate(current, baseline_for(doc()))
         self.assertTrue(any("disappeared" in e for e in errors))
+
+    def test_replay_metric_is_gated(self):
+        current = doc()
+        current["replay"]["events_per_sec"] = 1.0
+        errors = check_bench.gate(current, baseline_for(doc()))
+        self.assertTrue(any("replay.events_per_sec" in e for e in errors))
+
+    def test_replay_quarantine_fails_validation(self):
+        # The recorded replay day is clean by construction; any quarantined
+        # line is a decoder/recorder regression and must fail validation
+        # outright (not just drop a throughput number).
+        dirty = doc()
+        dirty["replay"]["quarantined"] = 3
+        errors = check_bench.validate(dirty)
+        self.assertTrue(any("quarantined 3 line(s)" in e for e in errors))
+        clean_errors = check_bench.validate(doc())
+        self.assertFalse(any("quarantined" in e for e in clean_errors))
+
+    def test_missing_replay_phase_fails_validation(self):
+        gone = doc()
+        del gone["replay"]
+        errors = check_bench.validate(gone)
+        self.assertTrue(any("replay phase missing" in e for e in errors))
 
     def test_hit_rates_are_stored_exactly_but_throughputs_floored(self):
         halved = baseline_for(doc(qps=100.0), headroom=0.5)

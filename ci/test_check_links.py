@@ -1,0 +1,70 @@
+"""Unit tests for check_links.py (run via `python3 -m unittest discover ci`)."""
+
+import tempfile
+import unittest
+from pathlib import Path
+
+import check_links
+
+
+class CheckLinksTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+        (self.root / "docs").mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel, text):
+        p = self.root / rel
+        p.write_text(text, encoding="utf-8")
+        return p
+
+    def test_resolving_relative_link_passes(self):
+        self.write("docs/ARCHITECTURE.md", "# a\n")
+        readme = self.write("README.md", "see [arch](docs/ARCHITECTURE.md)\n")
+        self.assertEqual(check_links.check_file(readme, self.root), [])
+
+    def test_broken_relative_link_fails_with_location(self):
+        readme = self.write("README.md", "x\nsee [gone](docs/NOPE.md)\n")
+        errors = check_links.check_file(readme, self.root)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("README.md:2", errors[0])
+        self.assertIn("docs/NOPE.md", errors[0])
+
+    def test_external_and_anchor_links_are_skipped(self):
+        readme = self.write(
+            "README.md",
+            "[a](https://example.com/x) [b](#section) [c](mailto:x@y.z)\n",
+        )
+        self.assertEqual(check_links.check_file(readme, self.root), [])
+
+    def test_anchor_suffix_is_stripped_before_resolution(self):
+        self.write("docs/ARCHITECTURE.md", "# a\n")
+        readme = self.write("README.md", "[arch](docs/ARCHITECTURE.md#data-flow)\n")
+        self.assertEqual(check_links.check_file(readme, self.root), [])
+
+    def test_links_inside_code_fences_are_ignored(self):
+        readme = self.write(
+            "README.md",
+            "```text\n[not a link](nowhere.md)\n```\n",
+        )
+        self.assertEqual(check_links.check_file(readme, self.root), [])
+
+    def test_sibling_relative_link_resolves_from_containing_file(self):
+        self.write("docs/OTHER.md", "# o\n")
+        doc = self.write("docs/ARCHITECTURE.md", "[o](OTHER.md)\n")
+        self.assertEqual(check_links.check_file(doc, self.root), [])
+
+    def test_main_reports_failure_exit_code(self):
+        self.write("README.md", "[gone](missing.md)\n")
+        self.assertEqual(check_links.main(["check_links.py", str(self.root)]), 1)
+
+    def test_main_ok_exit_code(self):
+        self.write("README.md", "plain text, no links\n")
+        self.assertEqual(check_links.main(["check_links.py", str(self.root)]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

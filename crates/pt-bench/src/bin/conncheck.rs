@@ -30,8 +30,15 @@
 //! across live mixed feeds applied through the service (exercising the
 //! scoped border-set refresh).
 //!
+//! With `--calendar` it runs the service-calendar battery instead: every
+//! preset's trains are striped across weekday / weekend / summer services
+//! and several concrete query days are materialized through
+//! `Timetable::for_day`, each held equal — structurally and on profile /
+//! time-query answers — to an independent filter-and-rebuild whose dates
+//! are re-derived with a different weekday algorithm.
+//!
 //! ```text
-//! cargo run --release --bin conncheck [-- --kernel | --gateway]
+//! cargo run --release --bin conncheck [-- --kernel | --gateway | --calendar]
 //! ```
 //!
 //! Knobs: `BC_SCALE` (default 0.5), `BC_QUERIES` sources per network
@@ -39,7 +46,7 @@
 //! `BC_NETWORKS` name filter, `BC_SEED`.
 
 use pt_bench::conncheck::{
-    apply_random_delays, apply_random_feeds, cross_check, cross_check_after_delays,
+    apply_random_delays, apply_random_feeds, calendar_check, cross_check, cross_check_after_delays,
     cross_check_after_feed, disrupt_scenario, gateway_check, gateway_scenario, kernel_check,
     standard_departures,
 };
@@ -146,6 +153,45 @@ fn main() {
             std::process::exit(1);
         }
         println!("conncheck --gateway OK: zero mismatches");
+        return;
+    }
+
+    // --calendar: the service-calendar battery — every preset's trains are
+    // striped across weekday/weekend/summer services, several concrete
+    // query days are materialized through `Timetable::for_day`, and each
+    // day network is held equal to an independent filter + rebuild (dates
+    // re-derived with a different weekday algorithm), both structurally
+    // and on profile / time-query answers. Pristine and after a feed: a
+    // delayed dataset's day must filter the *delayed* connections.
+    if std::env::args().skip(1).any(|a| a == "--calendar") {
+        println!();
+        println!("calendar: for_day vs independent filter + rebuild");
+        for (name, tt) in networks {
+            let net = Network::new(tt);
+            let sources = pt_bench::random_stations(net.num_stations(), sources_per_net, cfg.seed);
+            let pristine = calendar_check(name, &net, &sources, &departures);
+            let (fed_net, events) = apply_random_feeds(&net, 2, 10, cfg.seed);
+            let fed = calendar_check(&format!("{name}+feed"), &fed_net, &sources, &departures);
+            for outcome in [&pristine, &fed] {
+                println!(
+                    "{:<16} sources={:<3} comparisons={:<8} mismatches={}",
+                    outcome.network,
+                    outcome.sources,
+                    outcome.comparisons,
+                    outcome.mismatches.len()
+                );
+                for m in &outcome.mismatches {
+                    eprintln!("  MISMATCH: {m}");
+                }
+                total_mismatches += outcome.mismatches.len();
+            }
+            println!("{:<16} ({} feed events before the second battery)", name, events);
+        }
+        if total_mismatches > 0 {
+            eprintln!("conncheck --calendar FAILED: {total_mismatches} mismatch(es)");
+            std::process::exit(1);
+        }
+        println!("conncheck --calendar OK: zero mismatches");
         return;
     }
 

@@ -47,7 +47,13 @@
 //!   on the same service (speedup > 1 proves the concurrent serving core
 //!   scales), plus the feed events applied and snapshots published
 //!   mid-flight. Engines run single-threaded here so all parallelism
-//!   comes from the client threads.
+//!   comes from the client threads,
+//! * **replay** — the ingestion phase: one recorded feed day (CSV and
+//!   JSON wire lines alternating) streamed through a fresh
+//!   [`ShardedService`] by the pt-feed `FeedDriver` — decode, roster
+//!   validation, bounded-queue batching, `apply_feed` per touched shard —
+//!   reporting end-to-end events/sec and asserting zero quarantine on the
+//!   clean recorded day.
 //!
 //! Results are printed and written to `BENCH_spcs.json` (override with
 //! `BC_JSON_OUT`) so the perf trajectory is tracked across PRs: per-query
@@ -70,7 +76,8 @@ use rand::{Rng, SeedableRng};
 use pt_bench::conncheck::gateway_scenario;
 use pt_bench::report::{balance, json_out_path, median, percentile, write_json, Json};
 use pt_bench::{env_parse, random_feed, random_pairs, random_stations, BenchConfig};
-use pt_core::{Dur, StationId, TrainId};
+use pt_core::{Dur, StationId, Time, TrainId};
+use pt_feed::{encode_csv, encode_json, FeedDriver, FeedDriverConfig, RecordedFeed, WireEvent};
 use pt_spcs::{
     BorderSpec, ConcurrentNetwork, KernelMode, Network, ProfileEngine, QueryStats, S2sEngine,
     ShardId, ShardedService, TransferSelection,
@@ -802,6 +809,80 @@ fn main() {
         ("feed_rows_refreshed", Json::from(gw_feed_rows)),
     ]);
 
+    // --- replay (feed ingestion) ------------------------------------------
+    // One recorded feed day streamed through a fresh sharded service by the
+    // pt-feed FeedDriver: wire decode (CSV and JSON lines alternating),
+    // roster validation, bounded-queue batching, one apply_feed per touched
+    // shard per batch. The recorded day is clean by construction, so the
+    // zero-quarantine assertion holds here and is re-checked by CI on the
+    // emitted JSON.
+    let replay_events: usize = env_parse("BC_REPLAY_EVENTS", 400);
+    let mut replay_nets: Vec<Network> =
+        cfg.networks().into_iter().map(|p| Network::new(p.timetable)).collect();
+    let distinct = replay_nets.len();
+    while replay_nets.len() < 3 {
+        let copy = replay_nets[replay_nets.len() % distinct].clone();
+        replay_nets.push(copy);
+    }
+    let replay_shards = replay_nets.len();
+    let replay_svc = ShardedService::builder().threads(threads).build(replay_nets);
+    let trains_per_shard: Vec<u32> = replay_svc
+        .shard_ids()
+        .map(|sh| replay_svc.network(sh).unwrap().timetable().num_trains() as u32)
+        .collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xFEED);
+    let mut lines = Vec::with_capacity(replay_events + 2);
+    lines.push("# recorded feed day (synthetic)".to_string());
+    for i in 0..replay_events {
+        let shard = i % replay_shards;
+        let event = random_feed(&mut rng, trains_per_shard[shard], 1, 45)
+            .pop()
+            .expect("one event requested");
+        let wire = WireEvent {
+            // Producer clock: one service day, 06:00 onward, monotone.
+            time: Time(6 * 3600 + (i * 43_200 / replay_events.max(1)) as u32),
+            shard: ShardId(shard as u32),
+            event,
+        };
+        lines.push(if i % 2 == 0 { encode_csv(&wire) } else { encode_json(&wire) });
+    }
+    let replay_lines = lines.len();
+    let mut replay_src = RecordedFeed::new(lines, 64);
+    let mut replay_driver = FeedDriver::new(&replay_svc, FeedDriverConfig::replay());
+    let t0 = Instant::now();
+    let replay_stats = replay_driver.run(&mut replay_src).expect("recorded source never fails");
+    let replay_ns = t0.elapsed().as_nanos() as f64;
+    assert!(
+        replay_stats.quarantine.is_empty(),
+        "recorded day is clean: {}",
+        replay_stats.quarantine
+    );
+    assert_eq!(replay_stats.events_applied as usize, replay_events, "every event applied");
+    let replay_eps = rate(replay_events, replay_ns);
+
+    println!("## replay ({replay_shards} shards, {replay_events} recorded events)");
+    println!(
+        "  ingested {replay_lines} lines end-to-end: {replay_eps:.0} events/s in {} batches \
+         ({} changed), queue high-water {}, {}",
+        replay_stats.batches_applied,
+        replay_stats.changed_batches,
+        replay_stats.max_queue_len,
+        replay_stats.quarantine
+    );
+    println!();
+
+    let replay_json = Json::obj([
+        ("shards", Json::from(replay_shards)),
+        ("lines", Json::from(replay_lines)),
+        ("events", Json::from(replay_events)),
+        ("events_per_sec", Json::from(replay_eps)),
+        ("batches", Json::from(replay_stats.batches_applied)),
+        ("changed_batches", Json::from(replay_stats.changed_batches)),
+        ("quarantined", Json::from(replay_stats.quarantine.total)),
+        ("out_of_order", Json::from(replay_stats.out_of_order)),
+        ("max_queue", Json::from(replay_stats.max_queue_len)),
+    ]);
+
     let pool = rayon::global().stats();
     let doc = Json::obj([
         ("bench", Json::from("spcs_throughput")),
@@ -812,6 +893,7 @@ fn main() {
         ("shard", shard_json),
         ("concurrent", concurrent_json),
         ("gateway", gateway_json),
+        ("replay", replay_json),
         (
             "pool",
             Json::obj([

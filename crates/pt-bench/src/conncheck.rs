@@ -586,6 +586,197 @@ pub fn apply_random_feeds(
     (fed, events)
 }
 
+/// The calendar battery: stripes `net`'s trains across a multi-service
+/// [`pt_timetable::ServiceCalendar`] (weekday / weekend /
+/// summer-with-holiday-exception /
+/// unassigned-daily), materializes several concrete query days through
+/// [`pt_timetable::Timetable::for_day`], and checks every day network
+/// against *independent* reconstructions:
+///
+/// * the active-train set is re-derived here with a different weekday
+///   algorithm (Sakamoto's congruence, vs the model's civil-days
+///   computation) and the activation rules restated inline — a shared bug
+///   in the date arithmetic cannot cancel out;
+/// * the day timetable's connections must equal a from-scratch
+///   [`pt_timetable::Timetable`] built from that independently filtered,
+///   re-numbered connection list;
+/// * sequential SPCS profiles from every sampled source must agree
+///   between the `for_day` network and the independent rebuild, and
+///   `time_query::earliest_arrivals` on the day network must match those
+///   profiles at every sampled departure;
+/// * an *empty* calendar's day must be query-identical to the original
+///   network from every sampled source (introducing calendars changes
+///   nothing until services are assigned).
+pub fn calendar_check(
+    name: &str,
+    net: &Network,
+    sources: &[StationId],
+    departures: &[Time],
+) -> CheckOutcome {
+    use pt_timetable::{Date, ServiceCalendar, ServicePattern, Timetable};
+
+    let tt = net.timetable();
+    let num_trains = tt.num_trains();
+    let mut comparisons = 0usize;
+    let mut mismatches = Vec::new();
+
+    let date = |y, m, d| Date::new(y, m, d).expect("battery dates are valid");
+    let year = (date(2026, 1, 1), date(2026, 12, 31));
+    let holiday = date(2026, 7, 4);
+
+    let mut cal = ServiceCalendar::new();
+    let weekday = cal.add_service(ServicePattern::weekdays(year.0, year.1));
+    let weekend = cal.add_service(ServicePattern::weekends(year.0, year.1));
+    let summer = cal.add_service(
+        ServicePattern::daily(date(2026, 6, 1), date(2026, 8, 31)).with_removed(&[holiday]),
+    );
+    for t in 0..num_trains as u32 {
+        match t % 4 {
+            0 => cal.assign(TrainId(t), weekday).expect("service defined"),
+            1 => cal.assign(TrainId(t), weekend).expect("service defined"),
+            2 => cal.assign(TrainId(t), summer).expect("service defined"),
+            _ => {} // unassigned: runs daily
+        }
+    }
+
+    // Independent activation oracle: Sakamoto's weekday congruence plus the
+    // service rules restated from scratch (not via ServicePattern).
+    let sakamoto_weekday = |d: Date| -> usize {
+        // 0 = Sunday .. 6 = Saturday.
+        const T: [i32; 12] = [0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4];
+        let (mut y, m, dd) = (d.year(), d.month() as usize, d.day() as i32);
+        if m < 3 {
+            y -= 1;
+        }
+        ((y + y / 4 - y / 100 + y / 400 + T[m - 1] + dd) % 7) as usize
+    };
+    let oracle_active = |t: u32, d: Date| -> bool {
+        let dow = sakamoto_weekday(d);
+        let in_year = d >= year.0 && d <= year.1;
+        match t % 4 {
+            0 => in_year && (1..=5).contains(&dow),
+            1 => in_year && (dow == 0 || dow == 6),
+            2 => d >= date(2026, 6, 1) && d <= date(2026, 8, 31) && d != holiday,
+            _ => true,
+        }
+    };
+
+    let days = [
+        date(2026, 8, 8),   // Saturday, mid-summer
+        date(2026, 8, 10),  // Monday
+        holiday,            // Saturday removed from the summer service
+        date(2025, 12, 29), // Monday before every range opens
+    ];
+    for day_date in days {
+        let day = match tt.for_day(&cal, day_date) {
+            Ok(d) => d,
+            Err(e) => {
+                record(&mut mismatches, format!("{name}: for_day({day_date}) failed: {e}"));
+                continue;
+            }
+        };
+
+        // Structural: equal to the independent filter + dense re-map.
+        let mut remap = vec![u32::MAX; num_trains];
+        let mut kept = 0u32;
+        for t in 0..num_trains as u32 {
+            if oracle_active(t, day_date) {
+                remap[t as usize] = kept;
+                kept += 1;
+            }
+        }
+        let expected_conns: Vec<_> = tt
+            .connections()
+            .into_iter()
+            .filter_map(|mut c| {
+                let new = remap[c.train.idx()];
+                (new != u32::MAX).then(|| {
+                    c.train = TrainId(new);
+                    c
+                })
+            })
+            .collect();
+        let expected = Timetable::new(tt.period(), tt.stations().to_vec(), expected_conns, kept)
+            .expect("filtered subset of a valid timetable is valid");
+        comparisons += 1;
+        if day.timetable.num_trains() != kept as usize
+            || day.timetable.connections() != expected.connections()
+        {
+            record(
+                &mut mismatches,
+                format!(
+                    "{name}: for_day({day_date}) != independent filter \
+                     ({} trains vs {kept}, {} conns vs {})",
+                    day.timetable.num_trains(),
+                    day.timetable.num_connections(),
+                    expected.num_connections()
+                ),
+            );
+            continue;
+        }
+
+        // Behavioural: profiles agree between the day network and the
+        // rebuild, and time queries agree with the day profiles.
+        let day_net = Network::build(&day.timetable);
+        let ref_net = Network::build(&expected);
+        for &s in sources {
+            let from_day = ProfileEngine::new().one_to_all(&day_net, s);
+            let from_ref = ProfileEngine::new().one_to_all(&ref_net, s);
+            comparisons += 1;
+            if from_day != from_ref {
+                record(
+                    &mut mismatches,
+                    format!("{name}: day({day_date}) profiles != rebuilt filter from {s}"),
+                );
+            }
+            for &dep in departures {
+                let truth = time_query::earliest_arrivals(&day_net, s, dep);
+                comparisons += 1;
+                let disagrees = day_net.station_ids().any(|t| {
+                    t != s // source-profile convention, see ProfileSet::profile
+                        && truth.arrival_at(t) != from_day.profile(t).eval_arr(dep, tt.period())
+                });
+                if disagrees {
+                    record(
+                        &mut mismatches,
+                        format!(
+                            "{name}: day({day_date}) time query from {s} at {dep} \
+                             != profile evaluation"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // An empty calendar must be a no-op: same trains, same answers.
+    let empty_day = tt
+        .for_day(&ServiceCalendar::new(), date(2026, 8, 8))
+        .expect("empty calendar filters nothing");
+    comparisons += 1;
+    if empty_day.timetable.connections() != tt.connections() {
+        record(&mut mismatches, format!("{name}: empty-calendar day dropped connections"));
+    }
+    let empty_net = Network::build(&empty_day.timetable);
+    for &s in sources {
+        comparisons += 1;
+        if ProfileEngine::new().one_to_all(&empty_net, s) != ProfileEngine::new().one_to_all(net, s)
+        {
+            record(
+                &mut mismatches,
+                format!("{name}: empty-calendar day != original network from {s}"),
+            );
+        }
+    }
+
+    CheckOutcome {
+        network: format!("{name}+calendar"),
+        sources: sources.len(),
+        comparisons,
+        mismatches,
+    }
+}
+
 /// The fully dynamic scenario (§5.1): applies `num_delays` deterministic
 /// delays to a copy of `net` through the incremental path
 /// ([`Network::apply_delay`]), asserts the patched network is

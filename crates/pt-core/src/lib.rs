@@ -17,6 +17,8 @@
 //! to send across threads — a prerequisite for the parallel search in
 //! `pt-spcs`.
 
+#![warn(missing_docs)]
+
 pub mod id;
 pub mod plf;
 pub mod profile;

@@ -80,6 +80,7 @@ impl Time {
 }
 
 impl Dur {
+    /// The zero duration.
     pub const ZERO: Dur = Dur(0);
     /// Sentinel for "unreachable" travel times.
     pub const INFINITE: Dur = Dur(u32::MAX);

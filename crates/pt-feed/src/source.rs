@@ -1,0 +1,165 @@
+//! Where feed lines come from: the [`FeedSource`] abstraction and the
+//! offline implementations the no-network build ships — a recorded feed
+//! replayed in chunks, and a fault-injection wrapper for exercising the
+//! driver's retry path.
+
+use std::fmt;
+
+/// One poll's worth of feed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedPoll {
+    /// New wire lines arrived since the last poll.
+    Batch(Vec<String>),
+    /// The source is healthy but has nothing new; poll again later.
+    Idle,
+    /// The source is exhausted (end of a recorded day); stop polling.
+    End,
+}
+
+/// A source failure. `transient` failures are retried with backoff by the
+/// driver; permanent ones abort the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    /// `true` if retrying may succeed (timeout, connection reset);
+    /// `false` for unrecoverable failures (file vanished, auth revoked).
+    pub transient: bool,
+    /// Human-readable cause.
+    pub msg: String,
+}
+
+impl SourceError {
+    /// A retryable failure.
+    pub fn transient(msg: impl Into<String>) -> SourceError {
+        SourceError { transient: true, msg: msg.into() }
+    }
+
+    /// An unrecoverable failure.
+    pub fn permanent(msg: impl Into<String>) -> SourceError {
+        SourceError { transient: false, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.transient { "transient" } else { "permanent" };
+        write!(f, "{kind} source error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A producer of wire lines, polled by the
+/// [`FeedDriver`](crate::FeedDriver) on its timer. Implementations own
+/// whatever transport they like; the driver only sees lines.
+pub trait FeedSource {
+    /// Fetches whatever arrived since the last poll.
+    fn poll(&mut self) -> Result<FeedPoll, SourceError>;
+}
+
+/// A recorded feed (one day of wire lines) replayed `lines_per_poll` at a
+/// time — the offline stand-in for a live GTFS-RT endpoint, and the
+/// replay harness's source.
+#[derive(Debug, Clone)]
+pub struct RecordedFeed {
+    lines: Vec<String>,
+    pos: usize,
+    lines_per_poll: usize,
+}
+
+impl RecordedFeed {
+    /// Replays `lines`, yielding at most `lines_per_poll` per poll
+    /// (clamped to ≥ 1).
+    pub fn new(lines: Vec<String>, lines_per_poll: usize) -> RecordedFeed {
+        RecordedFeed { lines, pos: 0, lines_per_poll: lines_per_poll.max(1) }
+    }
+
+    /// Parses a whole recorded file into a feed (splits on newlines).
+    pub fn from_text(text: &str, lines_per_poll: usize) -> RecordedFeed {
+        RecordedFeed::new(text.lines().map(str::to_string).collect(), lines_per_poll)
+    }
+
+    /// Lines not yet replayed.
+    pub fn remaining(&self) -> usize {
+        self.lines.len() - self.pos
+    }
+}
+
+impl FeedSource for RecordedFeed {
+    fn poll(&mut self) -> Result<FeedPoll, SourceError> {
+        if self.pos >= self.lines.len() {
+            return Ok(FeedPoll::End);
+        }
+        let end = (self.pos + self.lines_per_poll).min(self.lines.len());
+        let batch = self.lines[self.pos..end].to_vec();
+        self.pos = end;
+        Ok(FeedPoll::Batch(batch))
+    }
+}
+
+/// Wraps a source and injects a transient error every `every`-th poll —
+/// deterministic fault injection for the driver's retry-with-backoff path.
+#[derive(Debug)]
+pub struct FlakySource<S> {
+    inner: S,
+    every: u64,
+    polls: u64,
+    /// Transient errors injected so far.
+    pub injected: u64,
+}
+
+impl<S: FeedSource> FlakySource<S> {
+    /// Fails every `every`-th poll (1 = every poll; clamped to ≥ 2 so
+    /// progress stays possible).
+    pub fn new(inner: S, every: u64) -> FlakySource<S> {
+        FlakySource { inner, every: every.max(2), polls: 0, injected: 0 }
+    }
+}
+
+impl<S: FeedSource> FeedSource for FlakySource<S> {
+    fn poll(&mut self) -> Result<FeedPoll, SourceError> {
+        self.polls += 1;
+        if self.polls.is_multiple_of(self.every) {
+            self.injected += 1;
+            return Err(SourceError::transient(format!("injected fault on poll {}", self.polls)));
+        }
+        self.inner.poll()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorded_feed_chunks_then_ends() {
+        let mut src = RecordedFeed::new((0..5).map(|i| i.to_string()).collect(), 2);
+        assert_eq!(src.poll().unwrap(), FeedPoll::Batch(vec!["0".into(), "1".into()]));
+        assert_eq!(src.remaining(), 3);
+        assert_eq!(src.poll().unwrap(), FeedPoll::Batch(vec!["2".into(), "3".into()]));
+        assert_eq!(src.poll().unwrap(), FeedPoll::Batch(vec!["4".into()]));
+        assert_eq!(src.poll().unwrap(), FeedPoll::End);
+        assert_eq!(src.poll().unwrap(), FeedPoll::End);
+    }
+
+    #[test]
+    fn flaky_source_injects_periodically() {
+        let inner = RecordedFeed::new((0..6).map(|i| i.to_string()).collect(), 1);
+        let mut src = FlakySource::new(inner, 3);
+        let mut errors = 0;
+        let mut lines = 0;
+        loop {
+            match src.poll() {
+                Ok(FeedPoll::Batch(b)) => lines += b.len(),
+                Ok(FeedPoll::End) => break,
+                Ok(FeedPoll::Idle) => {}
+                Err(e) => {
+                    assert!(e.transient);
+                    errors += 1;
+                }
+            }
+        }
+        assert_eq!(lines, 6, "every recorded line still arrives");
+        assert_eq!(errors as u64, src.injected);
+        assert!(errors > 0);
+    }
+}

@@ -397,6 +397,8 @@ impl DistanceTable {
         }
     }
 
+    /// Number of rows this table shares (by allocation, [`Arc::ptr_eq`])
+    /// with `other` — how much of a copy-on-write publish was *not* copied.
     pub fn shared_rows_with(&self, other: &DistanceTable) -> usize {
         self.rows.iter().zip(&other.rows).filter(|(a, b)| Arc::ptr_eq(a, b)).count()
     }

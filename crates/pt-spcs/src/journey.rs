@@ -16,10 +16,15 @@ use crate::network::Network;
 /// `to` (arriving `arr`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Leg {
+    /// The train ridden.
     pub train: TrainId,
+    /// Boarding station.
     pub from: StationId,
+    /// Alighting station.
     pub to: StationId,
+    /// Departure time at `from`.
     pub dep: Time,
+    /// Arrival time at `to`.
     pub arr: Time,
 }
 

@@ -51,6 +51,8 @@
 //! * [`multicriteria`] — the paper's future-work extension: Pareto
 //!   (arrival, transfers) time-queries.
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod connection_setting;
 pub mod contraction;

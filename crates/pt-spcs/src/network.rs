@@ -10,7 +10,9 @@ use arc_swap::ArcSwap;
 
 use pt_core::{Dur, RouteId, StationId, TrainId};
 use pt_graph::{StationGraph, TdGraph};
-use pt_timetable::{DelayEvent, Recovery, Routes, Timetable};
+use pt_timetable::{
+    CalendarError, Date, DayTimetable, DelayEvent, Recovery, Routes, ServiceCalendar, Timetable,
+};
 
 use crate::distance_table::DistanceTable;
 use crate::transfer_selection::TransferSelection;
@@ -352,6 +354,21 @@ impl Network {
     #[inline]
     pub fn timetable(&self) -> &Timetable {
         &self.timetable
+    }
+
+    /// The network of one concrete query day: filters the timetable by
+    /// `calendar` (see [`Timetable::for_day`]) and rebuilds every derived
+    /// search structure over the surviving trains. The returned network is
+    /// independent — a fresh epoch, generation history reset — and its
+    /// train ids are day-local; use the returned [`DayTimetable`]'s remap
+    /// to translate feed events recorded against the full dataset.
+    pub fn for_day(
+        &self,
+        calendar: &ServiceCalendar,
+        date: Date,
+    ) -> Result<(Network, DayTimetable), CalendarError> {
+        let day = self.timetable.for_day(calendar, date)?;
+        Ok((Network::new(day.timetable.clone()), day))
     }
 
     /// The route partition.

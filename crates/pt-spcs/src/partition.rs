@@ -24,7 +24,10 @@ pub enum PartitionStrategy {
     #[default]
     EqualConnections,
     /// 1-D k-means clustering of departure times (`iters` Lloyd rounds).
-    KMeans { iters: u32 },
+    KMeans {
+        /// Number of Lloyd iterations to run.
+        iters: u32,
+    },
 }
 
 impl PartitionStrategy {

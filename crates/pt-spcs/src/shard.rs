@@ -98,16 +98,34 @@ impl fmt::Display for ShardId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterError {
     /// The global station id is outside every shard's range.
-    UnknownStation { station: StationId },
+    UnknownStation {
+        /// The unmapped global station id.
+        station: StationId,
+    },
     /// The shard id is outside `0..num_shards`.
-    UnknownShard { shard: ShardId },
+    UnknownShard {
+        /// The nonexistent shard id.
+        shard: ShardId,
+    },
     /// A call directed at an explicit shard named a station another shard
     /// owns; re-issue against `owner`.
-    WrongShard { station: StationId, queried: ShardId, owner: ShardId },
+    WrongShard {
+        /// The station the call named.
+        station: StationId,
+        /// The shard the call was directed at.
+        queried: ShardId,
+        /// The shard that actually owns the station.
+        owner: ShardId,
+    },
     /// A station-to-station query whose endpoints live in different
     /// shards — out of scope for the per-shard engines (the hook for a
     /// cross-shard gateway).
-    CrossShard { source: ShardId, target: ShardId },
+    CrossShard {
+        /// Shard owning the source station.
+        source: ShardId,
+        /// Shard owning the target station.
+        target: ShardId,
+    },
 }
 
 impl fmt::Display for RouterError {

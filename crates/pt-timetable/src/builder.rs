@@ -8,8 +8,11 @@ use crate::model::{Connection, Station, Timetable, TimetableError};
 /// (absolute times, monotone along the trip; `arr ≤ dep` models dwell time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TripStop {
+    /// The station called at.
     pub station: StationId,
+    /// Absolute arrival time at the stop.
     pub arr: Time,
+    /// Absolute departure time from the stop (`≥ arr`).
     pub dep: Time,
 }
 

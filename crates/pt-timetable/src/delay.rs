@@ -24,7 +24,10 @@ pub enum Recovery {
     /// The full delay propagates to every later stop.
     None,
     /// The train catches up `per_hop` at each later hop until on time.
-    CatchUp { per_hop: Dur },
+    CatchUp {
+        /// Delay recovered per subsequent hop.
+        per_hop: Dur,
+    },
 }
 
 /// One item of a realtime update feed (a GTFS-RT-style stream): either a
@@ -41,10 +44,22 @@ pub enum DelayEvent {
     /// `train` runs `delay` late from its `from_hop`-th hop onward,
     /// recovering per [`Recovery`] — the batched form of
     /// [`Timetable::patch_delay`].
-    Delay { train: TrainId, from_hop: u16, delay: Dur, recovery: Recovery },
+    Delay {
+        /// The delayed train.
+        train: TrainId,
+        /// First hop of the train's journey that runs late.
+        from_hop: u16,
+        /// The announced delay.
+        delay: Dur,
+        /// How the train recovers at later hops.
+        recovery: Recovery,
+    },
     /// All delay announcements for `train` are withdrawn: every hop returns
     /// to its published schedule time.
-    Cancel { train: TrainId },
+    Cancel {
+        /// The train whose announcements are withdrawn.
+        train: TrainId,
+    },
 }
 
 impl DelayEvent {

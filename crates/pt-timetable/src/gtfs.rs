@@ -35,7 +35,14 @@ pub enum GtfsError {
     /// Filesystem failure.
     Io(io::Error),
     /// Malformed content.
-    Parse { file: String, line: usize, msg: String },
+    Parse {
+        /// The file being read.
+        file: String,
+        /// 1-based line the parse failed on.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
     /// The resulting timetable failed validation.
     Invalid(crate::model::TimetableError),
 }

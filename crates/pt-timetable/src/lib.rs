@@ -13,11 +13,17 @@
 //!   time-dependent model),
 //! * [`gtfs`] — a reader/writer for a minimal GTFS-like CSV directory, the
 //!   format of the paper's public inputs (Google Transit Data Feeds),
+//! * [`calendar`] — service calendars (weekday masks, date ranges, exception
+//!   dates) and [`Timetable::for_day`], which materializes the timetable of
+//!   one concrete query day out of an imported dataset,
 //! * [`synthetic`] — seeded generators for city-bus and railway networks
 //!   mirroring the paper's five inputs (Oahu, Los Angeles, Washington D.C.,
 //!   Germany, Europe), used because the original feeds are not shipped.
 
+#![warn(missing_docs)]
+
 pub mod builder;
+pub mod calendar;
 pub mod delay;
 pub mod gtfs;
 pub mod model;
@@ -26,6 +32,9 @@ pub mod synthetic;
 pub mod validate;
 
 pub use builder::{TimetableBuilder, TripStop};
+pub use calendar::{
+    CalendarError, Date, DayTimetable, ServiceCalendar, ServiceId, ServicePattern, Weekday,
+};
 pub use delay::{apply_delay, DelayEvent, DelayPatch, FeedPatch, Recovery};
 pub use model::{Connection, Station, Timetable, TimetableError, TimetableStats};
 pub use routes::{RouteInfo, Routes};

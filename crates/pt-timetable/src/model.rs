@@ -59,19 +59,46 @@ impl Connection {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TimetableError {
     /// A connection references a station index out of range.
-    UnknownStation { conn: usize, station: u32 },
+    UnknownStation {
+        /// Index of the offending connection in construction order.
+        conn: usize,
+        /// The out-of-range station index it referenced.
+        station: u32,
+    },
     /// A departure time is not period-local.
-    DepartureNotLocal { conn: usize, dep: Time },
+    DepartureNotLocal {
+        /// Index of the offending connection in construction order.
+        conn: usize,
+        /// The non-local departure time.
+        dep: Time,
+    },
     /// An arrival precedes its departure.
-    ArrivalBeforeDeparture { conn: usize },
+    ArrivalBeforeDeparture {
+        /// Index of the offending connection in construction order.
+        conn: usize,
+    },
     /// A connection departs and arrives at the same station.
-    SelfLoop { conn: usize, station: StationId },
+    SelfLoop {
+        /// Index of the offending connection in construction order.
+        conn: usize,
+        /// The station it loops at.
+        station: StationId,
+    },
     /// A connection has zero duration.
-    ZeroDuration { conn: usize },
+    ZeroDuration {
+        /// Index of the offending connection in construction order.
+        conn: usize,
+    },
     /// A trip's stops are not in chronological order (builder-level).
-    NonMonotoneTrip { train: TrainId },
+    NonMonotoneTrip {
+        /// The train whose trip is out of order.
+        train: TrainId,
+    },
     /// A trip has fewer than two stops (builder-level).
-    TripTooShort { train: TrainId },
+    TripTooShort {
+        /// The train whose trip is too short.
+        train: TrainId,
+    },
 }
 
 impl fmt::Display for TimetableError {
@@ -108,8 +135,11 @@ impl std::error::Error for TimetableError {}
 /// (stations, elementary connections, connections-per-station ratio).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimetableStats {
+    /// Number of stations `|S|`.
     pub stations: usize,
+    /// Number of trains `|Z|`.
     pub trains: usize,
+    /// Number of elementary connections `|C|`.
     pub connections: usize,
     /// Average `|conn(S)|` — the quantity that drives self-pruning quality
     /// and parallel scalability (paper, §3.2 and §5.1).

@@ -1,93 +1,116 @@
-//! A feed-driven server loop in miniature: a live network under batches of
-//! realtime updates (delays *and* cancellations), a distance table kept hot
-//! by incremental refreshes, and station-to-station queries that recover
-//! from a stale table through the typed error instead of crashing.
+//! A feed-driven server loop in miniature — now through the real ingestion
+//! stack: recorded GTFS-RT-style wire lines (CSV and JSON), decoded with
+//! malformed-input quarantine, batched by the [`FeedDriver`] under
+//! backpressure and applied to a live [`ShardedService`] whose queries
+//! keep answering throughout.
 //!
 //! ```text
 //! cargo run --release --example live_feed
 //! ```
 
+use best_connections::feed::{encode_csv, encode_json, FlakySource, RecordedFeed};
 use best_connections::prelude::*;
 use best_connections::timetable::synthetic::city::{generate_city, CityConfig};
 
 fn main() {
-    let net_tt = generate_city(&CityConfig::sized(49, 7, 17));
-    let mut net = Network::new(net_tt);
-    let mut table = DistanceTable::build(&net, &TransferSelection::Fraction(0.15));
-    println!(
-        "network: {} stations, {} connections; distance table over {} transfer stations",
-        net.num_stations(),
-        net.timetable().num_connections(),
-        table.len()
-    );
+    // Two city networks, each its own shard of one service.
+    let nets: Vec<Network> = [(49, 7, 17), (36, 6, 23)]
+        .into_iter()
+        .map(|(stations, lines, seed)| {
+            Network::new(generate_city(&CityConfig::sized(stations, lines, seed)))
+        })
+        .collect();
+    let svc = ShardedService::builder().cache(64).build(nets);
+    for shard in svc.shard_ids() {
+        let net = svc.network(shard).unwrap();
+        println!(
+            "{shard}: {} stations, {} connections",
+            net.num_stations(),
+            net.timetable().num_connections()
+        );
+    }
 
+    // A reference query we re-ask as the feed lands (global station ids:
+    // shard 0 owns the first 49 stations, shard 1 the next 36).
     let (source, target) = (StationId(3), StationId(40));
+    let eight = Time::hm(8, 0);
+    let arr_before = query(&svc, source, target, eight);
+    println!("\ndist({source}, {target}, 08:00) before feed = {arr_before}");
 
-    // Two feed batches: a cluster of delays, then a partial recovery where
-    // one train's announcements are withdrawn entirely.
-    let feeds: [Vec<DelayEvent>; 2] = [
-        // Small disruptions that keep every route overtaking-free: the
-        // whole batch lands on the incremental repatch path.
-        vec![
+    // The "recorded day": delays and a cancellation as wire lines, CSV and
+    // JSON mixed, plus producer garbage the decoder must quarantine —
+    // never panic on — while everything else still applies.
+    let wire = |h: u32, m: u32, shard: u32, event| WireEvent {
+        time: Time::hm(h, m),
+        shard: ShardId(shard),
+        event,
+    };
+    let lines = vec![
+        "# recorded 2026-08-08, city pair".to_string(),
+        encode_csv(&wire(
+            8,
+            5,
+            0,
             DelayEvent::Delay {
                 train: TrainId(0),
                 from_hop: 0,
                 delay: Dur::minutes(8),
                 recovery: Recovery::None,
             },
+        )),
+        encode_json(&wire(
+            8,
+            7,
+            1,
             DelayEvent::Delay {
-                train: TrainId(0),
-                from_hop: 2,
-                delay: Dur::minutes(3),
-                recovery: Recovery::CatchUp { per_hop: Dur::minutes(1) },
+                train: TrainId(2),
+                from_hop: 1,
+                delay: Dur::minutes(12),
+                recovery: Recovery::CatchUp { per_hop: Dur::minutes(2) },
             },
-        ],
-        // A recovery plus a disruption big enough to overtake: the first
-        // train's announcements are withdrawn, the second forces the
-        // fallback — scoped to its own route.
-        vec![
-            DelayEvent::Cancel { train: TrainId(0) },
+        )),
+        "8:15,0,delay,oops".to_string(), // malformed: quarantined, not fatal
+        encode_csv(&wire(8, 20, 0, DelayEvent::Cancel { train: TrainId(0) })),
+        encode_csv(&wire(
+            8,
+            30,
+            0,
             DelayEvent::Delay {
                 train: TrainId(9),
                 from_hop: 1,
                 delay: Dur::minutes(40),
                 recovery: Recovery::CatchUp { per_hop: Dur::minutes(5) },
             },
-        ],
+        )),
     ];
 
-    for (i, feed) in feeds.iter().enumerate() {
-        let summary = net.apply_feed(feed);
-        println!(
-            "\nfeed {i}: {} events -> {:?}; {} routes touched ({} repatched, {} refit), \
-             generation {}",
-            feed.len(),
-            summary.events,
-            summary.touched_routes,
-            summary.repatched_routes,
-            summary.refit_routes,
-            net.generation()
-        );
+    // Poll it through a flaky transport: every third poll fails with a
+    // transient error the driver absorbs by retrying with backoff.
+    let mut src = FlakySource::new(RecordedFeed::new(lines, 2), 3);
+    let mut driver = FeedDriver::new(&svc, FeedDriverConfig::replay());
+    let stats = driver.run(&mut src).expect("recorded feed never fails permanently");
 
-        // The table snapshot predates the feed: the engine refuses with a
-        // typed error a server can act on…
-        let stale =
-            S2sEngine::new().with_table(&table).try_query(&net, source, target).unwrap_err();
-        println!("  query rejected: {stale}");
-        assert!(stale.refreshable());
-        // …by refreshing only the rows the feed can have changed.
-        let rows = table.refresh(&net).expect("same network");
-        println!("  refreshed {rows}/{} table rows", table.len());
-        let result = S2sEngine::new()
-            .with_table(&table)
-            .try_query(&net, source, target)
-            .expect("fresh table answers");
-        let eight = Time::hm(8, 0);
-        println!(
-            "  dist({source}, {target}, 08:00) = {} ({:?} query, {} settled)",
-            result.profile.eval_arr(eight, net.timetable().period()),
-            result.kind,
-            result.stats.settled
-        );
+    println!("\nfeed driver: {stats}");
+    assert_eq!(stats.quarantine.total, 1, "exactly the garbage line");
+    for (line_no, line, err) in &stats.quarantine.samples {
+        println!("  quarantined line {line_no}: {line:?} — {err}");
     }
+
+    // Serving state moved under us (snapshot-published per shard).
+    let gens: Vec<String> = svc
+        .shard_ids()
+        .map(|sh| {
+            let n = svc.network(sh).unwrap();
+            format!("{sh} gen {}", n.generation())
+        })
+        .collect();
+    println!("\nshard generations after feed: {}", gens.join(", "));
+    let arr_after = query(&svc, source, target, eight);
+    println!("dist({source}, {target}, 08:00) after feed = {arr_after}");
+}
+
+fn query(svc: &ShardedService, source: StationId, target: StationId, dep: Time) -> Time {
+    let routed = svc.s2s(source, target).expect("stations exist");
+    let period = svc.network(routed.shard).expect("routed shard exists").timetable().period();
+    routed.value.profile.eval_arr(dep, period)
 }

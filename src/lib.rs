@@ -16,7 +16,10 @@
 //!   connection-setting (SPCS), the station-to-station engine with
 //!   distance-table pruning, the workspace/pool/batch execution layers, and
 //!   the sharded multi-network router (`ShardedService`) with its
-//!   cross-shard border gateway.
+//!   cross-shard border gateway,
+//! * [`feed`] — realtime feed ingestion: the recorded GTFS-RT-style wire
+//!   decoder with malformed-input quarantine, and the polling `FeedDriver`
+//!   with bounded-queue backpressure and retry-with-backoff.
 //!
 //! # Quickstart
 //!
@@ -48,7 +51,10 @@
 //! assert_eq!(delayed.profile(t).eval_arr(Time::hm(7, 0), Period::DAY), Time::hm(8, 45));
 //! ```
 
+#![warn(missing_docs)]
+
 pub use pt_core as core;
+pub use pt_feed as feed;
 pub use pt_graph as graph;
 pub use pt_heap as heap;
 pub use pt_spcs as spcs;
@@ -60,6 +66,9 @@ pub mod prelude {
         ConnId, Dur, NodeId, Period, Plf, PlfPoint, Profile, ProfilePoint, RouteId, StationId,
         Time, TrainId, INFINITY,
     };
+    pub use pt_feed::{
+        FeedDecoder, FeedDriver, FeedDriverConfig, FeedSource, FeedStats, RecordedFeed, WireEvent,
+    };
     pub use pt_graph::{StationGraph, TdGraph};
     pub use pt_spcs::{
         BorderSpec, CacheStats, ConcurrentNetwork, DelayUpdate, DistanceTable, FeedSummary,
@@ -67,5 +76,8 @@ pub mod prelude {
         PublishOutcome, QueryStats, Routed, RouterError, S2sCache, S2sEngine, ShardFeedOutcome,
         ShardId, ShardedFeedSummary, ShardedService, StaleTable, TransferSelection,
     };
-    pub use pt_timetable::{DelayEvent, Recovery, Station, Timetable, TimetableBuilder, TripStop};
+    pub use pt_timetable::{
+        Date, DelayEvent, Recovery, ServiceCalendar, ServicePattern, Station, Timetable,
+        TimetableBuilder, TripStop, Weekday,
+    };
 }
